@@ -1,0 +1,69 @@
+"""Ablation: beam width of the "A*-like" search (§4.2).
+
+Algorithm 1 is greedy best-first; the thesis describes the search as
+"A*-like".  This bench widens the frontier and measures what a beam
+buys: quality (CandidateScore of the final summary) can only improve,
+at a roughly beam-width-proportional cost in time.
+"""
+
+import statistics
+
+from repro.core import SummarizationConfig
+from repro.core.beam import BeamSummarizer
+from repro.experiments import check_shapes, format_rows, movielens_spec
+
+from conftest import FAST_SEEDS, emit
+
+WIDTHS = (1, 2, 4)
+
+
+def test_ablation_beam(benchmark):
+    spec = movielens_spec()
+
+    def sweep():
+        rows = []
+        for width in WIDTHS:
+            results = [
+                BeamSummarizer(
+                    spec.factory(seed).problem(),
+                    SummarizationConfig(w_dist=0.5, max_steps=10, seed=seed),
+                    beam_width=width,
+                ).run()
+                for seed in FAST_SEEDS
+            ]
+            rows.append(
+                {
+                    "beam_width": width,
+                    "avg_score": statistics.mean(
+                        0.5 * r.final_distance.normalized
+                        + 0.5 * r.final_size / r.original_size
+                        for r in results
+                    ),
+                    "avg_distance": statistics.mean(
+                        r.final_distance.normalized for r in results
+                    ),
+                    "avg_size": statistics.mean(r.final_size for r in results),
+                    "avg_seconds": statistics.mean(r.total_seconds for r in results),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    scores = [row["avg_score"] for row in rows]
+    times = [row["avg_seconds"] for row in rows]
+    checks = [
+        (
+            "wider beams never worsen the optimized score",
+            all(later <= earlier + 1e-9 for earlier, later in zip(scores, scores[1:])),
+        ),
+        (
+            "cost grows with beam width",
+            times[-1] >= times[0],
+        ),
+    ]
+    emit(
+        "ablation_beam",
+        "beam width vs summary quality and cost",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,78 @@
+"""Ablation: k-way merges (the thesis's stated future work, Ch. 9).
+
+"We intend to explore a generalized version of the algorithm in which
+in each iteration we map k annotations to a new annotation rather than
+just 2 ... the more annotations mapped in a single step, the more work
+done by the algorithm in a single step and so less algorithm steps are
+required to reach the stop condition."
+
+The bench sweeps the merge arity on the MovieLens dataset with a fixed
+TARGET-SIZE and confirms that tradeoff: higher arity reaches the bound
+in fewer steps, at a (weakly) higher distance per step taken.
+"""
+
+from repro.core import SummarizationConfig
+from repro.experiments import check_shapes, execute, format_rows, movielens_spec
+
+from conftest import FAST_SEEDS, emit
+
+ARITIES = (2, 3, 4)
+
+
+def run_arity(arity: int, seed: int):
+    spec = movielens_spec()
+    original = spec.factory(seed).expression.size()
+    return execute(
+        spec,
+        "prov-approx",
+        SummarizationConfig(
+            w_dist=0.5,
+            target_size=int(original * 0.6),
+            max_steps=200,
+            merge_arity=arity,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+def test_ablation_kway(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            arity: [run_arity(arity, seed) for seed in FAST_SEEDS]
+            for arity in ARITIES
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for arity, arity_results in results.items():
+        rows.append(
+            {
+                "merge_arity": arity,
+                "avg_steps": sum(r.n_steps for r in arity_results) / len(arity_results),
+                "avg_size": sum(r.final_size for r in arity_results)
+                / len(arity_results),
+                "avg_distance": sum(
+                    r.final_distance.normalized for r in arity_results
+                )
+                / len(arity_results),
+                "all_hit_target": all(
+                    r.stop_reason == "target_size" for r in arity_results
+                ),
+            }
+        )
+    steps = {row["merge_arity"]: row["avg_steps"] for row in rows}
+    checks = [
+        ("every arity reaches TARGET-SIZE", all(r["all_hit_target"] for r in rows)),
+        (
+            "higher arity needs fewer (or equal) steps",
+            steps[2] >= steps[3] >= steps[4],
+        ),
+    ]
+    emit(
+        "ablation_kway",
+        "k-way merges: steps to TARGET-SIZE vs merge arity",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,86 @@
+"""Ablation: HAC linkage criteria (§6.2).
+
+"All linkage criteria were examined in the experiments, but since they
+all yield similar results compared to our approach we present the
+'Single Linkage' results."  This bench runs the Clustering baseline
+with every linkage on identical MovieLens instances and verifies (a)
+the criteria do land in a similar quality band, and (b) each of them
+still loses to Prov-Approx on distance at wDist = 1.
+"""
+
+import statistics
+
+from repro.clustering import LINKAGES
+from repro.core import ClusteringSummarizer, SummarizationConfig, Summarizer
+from repro.experiments import check_shapes, format_rows, movielens_spec
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_ablation_linkage(benchmark):
+    spec = movielens_spec()
+
+    def sweep():
+        rows = []
+        for linkage in LINKAGES:
+            results = []
+            for seed in FAST_SEEDS:
+                instance = spec.factory(seed)
+                results.append(
+                    ClusteringSummarizer(
+                        instance.problem(),
+                        SummarizationConfig(max_steps=20, seed=seed),
+                        instance.cluster_specs,
+                        linkage=linkage,
+                    ).run()
+                )
+            rows.append(
+                {
+                    "linkage": linkage,
+                    "avg_distance": statistics.mean(
+                        r.final_distance.normalized for r in results
+                    ),
+                    "avg_size": statistics.mean(r.final_size for r in results),
+                }
+            )
+        prov = [
+            Summarizer(
+                spec.factory(seed).problem(),
+                SummarizationConfig(w_dist=1.0, max_steps=20, seed=seed),
+            ).run()
+            for seed in FAST_SEEDS
+        ]
+        rows.append(
+            {
+                "linkage": "(prov-approx, wDist=1)",
+                "avg_distance": statistics.mean(
+                    r.final_distance.normalized for r in prov
+                ),
+                "avg_size": statistics.mean(r.final_size for r in prov),
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    linkage_rows = [row for row in rows if not row["linkage"].startswith("(")]
+    prov_row = rows[-1]
+    distances = [row["avg_distance"] for row in linkage_rows]
+    checks = [
+        (
+            "the seven linkages land in a similar band (spread < 0.02)",
+            max(distances) - min(distances) < 0.02,
+        ),
+        (
+            "every linkage still loses to Prov-Approx (wDist=1) on distance",
+            all(
+                row["avg_distance"] >= prov_row["avg_distance"] - 1e-9
+                for row in linkage_rows
+            ),
+        ),
+    ]
+    emit(
+        "ablation_linkage",
+        "Clustering baseline quality per linkage criterion",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,120 @@
+"""Ablation: sampling budget of the distance approximation (Prop 4.1.2).
+
+DIST-COMP is #P-hard; the sampling algorithm's error shrinks with the
+number of samples (Chebyshev).  The bench measures the absolute error
+of the sampled estimate against the exhaustively enumerated DIST-COMP
+value on a small expression, across sampling budgets.
+"""
+
+import random
+import statistics
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    MappingState,
+    exhaustive_distance,
+)
+from repro.experiments import check_shapes, format_rows
+from repro.provenance import (
+    MAX,
+    Annotation,
+    AnnotationUniverse,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    cancel,
+)
+
+from conftest import emit
+
+BUDGETS = (5, 20, 80, 320)
+TRIALS = 24
+
+
+def build_case():
+    universe = AnnotationUniverse()
+    names = [f"u{i}" for i in range(8)]
+    for index, name in enumerate(names):
+        universe.register(Annotation(name, "user", {"g": index % 2}))
+    expression = TensorSum(
+        [
+            Term((name,), float(index % 5 + 1), group=f"m{index % 3}")
+            for index, name in enumerate(names)
+        ],
+        MAX,
+    )
+    summary_annotation = universe.new_summary(
+        [universe["u0"], universe["u2"], universe["u4"]], label="even"
+    )
+    step = {name: summary_annotation.name for name in ("u0", "u2", "u4")}
+    mapping = MappingState(names).compose(step)
+    summary = expression.apply_mapping(step)
+    # The all-subsets valuation class realizes DIST-COMP exactly.
+    valuations = ExplicitValuations(
+        [
+            cancel([name for bit, name in enumerate(names) if mask >> bit & 1])
+            if mask
+            else cancel([])
+            for mask in range(2 ** len(names))
+        ]
+    )
+    return universe, expression, summary, mapping, valuations
+
+
+def test_ablation_sampling(benchmark):
+    universe, expression, summary, mapping, valuations = build_case()
+    truth = exhaustive_distance(
+        expression,
+        summary,
+        mapping,
+        EuclideanDistance(MAX),
+        DomainCombiners(),
+        universe,
+    )
+
+    def sweep():
+        rows = []
+        for budget in BUDGETS:
+            errors = []
+            for trial in range(TRIALS):
+                computer = DistanceComputer(
+                    expression,
+                    valuations,
+                    EuclideanDistance(MAX),
+                    DomainCombiners(),
+                    universe,
+                    max_enumerate=0,
+                    n_samples=budget,
+                    rng=random.Random(1000 * budget + trial),
+                )
+                estimate = computer.distance(summary, mapping)
+                errors.append(abs(estimate.normalized - truth))
+            rows.append(
+                {
+                    "n_samples": budget,
+                    "mean_abs_error": statistics.mean(errors),
+                    "max_abs_error": max(errors),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    means = [row["mean_abs_error"] for row in rows]
+    checks = [
+        (
+            "mean error shrinks with the sampling budget",
+            means[0] >= means[-1],
+        ),
+        (
+            "320 samples land within 0.02 of DIST-COMP on average",
+            means[-1] < 0.02,
+        ),
+    ]
+    emit(
+        "ablation_sampling",
+        f"sampling error vs budget (exhaustive DIST-COMP = {truth:.4f})",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,79 @@
+"""Ablation: normalized vs ordinal CandidateScore ranks.
+
+Definition 3.2.4 scores candidates by distance/size *ranks*; DESIGN.md
+documents the two readings we implement.  The bench runs both on the
+same instances and verifies they produce comparable quality -- the
+wDist tradeoff direction must hold under either reading.
+"""
+
+from repro.core import SummarizationConfig
+from repro.experiments import check_shapes, execute, format_rows, movielens_spec
+
+from conftest import FAST_SEEDS, emit
+
+STRATEGIES = ("normalized", "ordinal")
+WDISTS = (0.0, 1.0)
+
+
+def test_ablation_scoring(benchmark):
+    def sweep():
+        rows = []
+        for strategy in STRATEGIES:
+            for w_dist in WDISTS:
+                results = [
+                    execute(
+                        movielens_spec(),
+                        "prov-approx",
+                        SummarizationConfig(
+                            w_dist=w_dist,
+                            max_steps=15,
+                            scoring=strategy,
+                            seed=seed,
+                        ),
+                        seed=seed,
+                    )
+                    for seed in FAST_SEEDS
+                ]
+                rows.append(
+                    {
+                        "scoring": strategy,
+                        "w_dist": w_dist,
+                        "avg_distance": sum(
+                            r.final_distance.normalized for r in results
+                        )
+                        / len(results),
+                        "avg_size": sum(r.final_size for r in results) / len(results),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def cell(strategy, w_dist, metric):
+        return next(
+            row[metric]
+            for row in rows
+            if row["scoring"] == strategy and row["w_dist"] == w_dist
+        )
+
+    checks = []
+    for strategy in STRATEGIES:
+        checks.append(
+            (
+                f"{strategy}: wDist=1 yields distance <= wDist=0",
+                cell(strategy, 1.0, "avg_distance")
+                <= cell(strategy, 0.0, "avg_distance") + 1e-9,
+            )
+        )
+        checks.append(
+            (
+                f"{strategy}: wDist=0 yields size <= wDist=1",
+                cell(strategy, 0.0, "avg_size")
+                <= cell(strategy, 1.0, "avg_size") + 1e-9,
+            )
+        )
+    emit(
+        "ablation_scoring",
+        "CandidateScore rank readings: normalized vs ordinal",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,134 @@
+"""Figure 6.1 -- MovieLens average distance vs wDist and TARGET-SIZE.
+
+(a) Average normalized distance as a function of wDist for the three
+    algorithms (Cancel-Single-Attribute, MAX aggregation, ≤20 steps).
+(b) Average distance as a function of TARGET-SIZE with wDist = 1.
+
+Expected shapes (§6.4-§6.5): Prov-Approx's distance decreases as wDist
+grows and beats Clustering for medium/large wDist; Random is worst; a
+looser TARGET-SIZE (stopping earlier) yields smaller distance.
+"""
+
+import pytest
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    DEFAULT_SEEDS,
+    MAX_STEPS,
+    check_shapes,
+    execute,
+    format_rows,
+    mean_of,
+    movielens_spec,
+    series,
+    target_size_experiment,
+    trend,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+COLUMNS = ("algorithm", "w_dist", "avg_distance", "avg_size", "avg_steps")
+
+
+def test_fig_6_1a_distance_vs_wdist(benchmark, movielens_wdist_rows):
+    rows = movielens_wdist_rows
+    prov = series(rows, "w_dist", "avg_distance", {"algorithm": "prov-approx"})
+    prov_values = [value for _, value in prov]
+    checks = [
+        (
+            "Prov-Approx distance trends down as wDist grows",
+            trend(prov_values) <= 1e-9,
+        ),
+        (
+            "Prov-Approx (wDist=1) beats Clustering",
+            prov_values[-1]
+            <= mean_of(rows, "avg_distance", {"algorithm": "clustering"}) + 1e-9,
+        ),
+        (
+            "Random has the largest distance",
+            mean_of(rows, "avg_distance", {"algorithm": "random"})
+            >= max(
+                mean_of(rows, "avg_distance", {"algorithm": "clustering"}),
+                prov_values[-1],
+            )
+            - 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_1a",
+        "MovieLens avg distance vs wDist",
+        format_rows(rows, COLUMNS)
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_distance", split_by="algorithm",
+            width=44, height=10,
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            movielens_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.5, max_steps=MAX_STEPS["movielens"], seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_1b_distance_vs_target_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_size_experiment(
+            movielens_spec(),
+            seeds=FAST_SEEDS,
+            size_fractions=(0.6, 0.7, 0.8, 0.9),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = series(
+        rows, "target_size_fraction", "avg_distance", {"algorithm": "prov-approx"}
+    )
+    prov_values = [value for _, value in prov]
+    checks = [
+        (
+            "looser TARGET-SIZE (earlier stop) gives smaller distance",
+            trend(prov_values) <= 1e-9,
+        ),
+        (
+            "Prov-Approx distance <= Random at the tightest target",
+            prov_values[0]
+            <= series(
+                rows,
+                "target_size_fraction",
+                "avg_distance",
+                {"algorithm": "random"},
+            )[0][1]
+            + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_1b",
+        "MovieLens avg distance vs TARGET-SIZE (wDist=1)",
+        format_rows(
+            rows,
+            ("algorithm", "target_size_fraction", "avg_distance", "avg_size"),
+        )
+        + "\n\n"
+        + chart_from_rows(
+            rows,
+            x="target_size_fraction",
+            y="avg_distance",
+            split_by="algorithm",
+            width=44,
+            height=10,
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,104 @@
+"""Figure 6.2 -- MovieLens average size vs wDist and TARGET-DIST.
+
+(a) Average summary size as a function of wDist (same runs as 6.1a):
+    larger wDist prioritizes distance, so less size reduction.
+(b) Average size as a function of TARGET-DIST with wDist = 0: a looser
+    distance budget lets the algorithm shrink further, with
+    Prov-Approx reaching the smallest sizes (§6.6).
+"""
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    check_shapes,
+    execute,
+    format_rows,
+    mean_of,
+    movielens_spec,
+    series,
+    target_dist_experiment,
+    trend,
+    weakly_monotone,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_2a_size_vs_wdist(benchmark, movielens_wdist_rows):
+    rows = movielens_wdist_rows
+    prov = series(rows, "w_dist", "avg_size", {"algorithm": "prov-approx"})
+    prov_values = [value for _, value in prov]
+    checks = [
+        ("Prov-Approx size grows with wDist", trend(prov_values) >= 0.0),
+        (
+            "Prov-Approx (wDist=0) reaches the smallest size",
+            prov_values[0]
+            <= min(
+                mean_of(rows, "avg_size", {"algorithm": "clustering"}),
+                mean_of(rows, "avg_size", {"algorithm": "random"}),
+            )
+            + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_2a",
+        "MovieLens avg size vs wDist",
+        format_rows(rows, ("algorithm", "w_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_size", split_by="algorithm", width=44, height=10
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            movielens_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.0, max_steps=20, seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_2b_size_vs_target_dist(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_dist_experiment(
+            movielens_spec(),
+            seeds=FAST_SEEDS,
+            target_dists=(0.005, 0.01, 0.02, 0.04),
+            max_steps=60,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = series(rows, "target_dist", "avg_size", {"algorithm": "prov-approx"})
+    prov_values = [value for _, value in prov]
+    random_values = [
+        value
+        for _, value in series(
+            rows, "target_dist", "avg_size", {"algorithm": "random"}
+        )
+    ]
+    checks = [
+        (
+            "size decreases (until a floor) as TARGET-DIST loosens",
+            weakly_monotone(prov_values, "decreasing", tolerance=2.0),
+        ),
+        (
+            "Prov-Approx reaches smaller sizes than Random",
+            sum(prov_values) <= sum(random_values) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_2b",
+        "MovieLens avg size vs TARGET-DIST (wDist=0)",
+        format_rows(rows, ("algorithm", "target_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,96 @@
+"""Figure 6.3 -- distance and size vs wDist for varying step budgets.
+
+More steps means more merges: larger distances and smaller sizes
+(§6.7).  At the deepest budget most runs hit constraint exhaustion
+before the bound, so the wDist effect flattens -- exactly the
+behaviour the thesis reports for 40 steps.
+"""
+
+from repro.experiments import (
+    check_shapes,
+    format_rows,
+    mean_of,
+    movielens_spec,
+    series,
+    steps_experiment,
+    trend,
+)
+
+from conftest import FAST_SEEDS, emit
+
+STEPS_GRID = (10, 20, 40)
+WDIST_GRID = (0.0, 0.5, 1.0)
+
+
+def test_fig_6_3_steps(benchmark):
+    rows = benchmark.pedantic(
+        lambda: steps_experiment(
+            movielens_spec(),
+            seeds=FAST_SEEDS,
+            wdist_grid=WDIST_GRID,
+            steps_grid=STEPS_GRID,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sizes_by_budget = {
+        budget: mean_of(rows, "avg_size", {"max_steps": budget})
+        for budget in STEPS_GRID
+    }
+    distances_by_budget = {
+        budget: mean_of(rows, "avg_distance", {"max_steps": budget})
+        for budget in STEPS_GRID
+    }
+    spread_of = {
+        budget: _spread(
+            [
+                value
+                for _, value in series(
+                    rows, "w_dist", "avg_distance", {"max_steps": budget}
+                )
+            ]
+        )
+        for budget in STEPS_GRID
+    }
+    checks = [
+        (
+            "more steps => smaller sizes",
+            sizes_by_budget[10] >= sizes_by_budget[20] >= sizes_by_budget[40],
+        ),
+        (
+            "more steps => larger distances",
+            distances_by_budget[10]
+            <= distances_by_budget[20] + 1e-9
+            and distances_by_budget[20] <= distances_by_budget[40] + 1e-9,
+        ),
+        (
+            "wDist still shapes the 20-step curve (distance trends down)",
+            trend(
+                [
+                    value
+                    for _, value in series(
+                        rows, "w_dist", "avg_distance", {"max_steps": 20}
+                    )
+                ]
+            )
+            <= 1e-9,
+        ),
+        (
+            "the deepest budget flattens the wDist effect",
+            spread_of[40] <= spread_of[20] + 1e-9 or spread_of[40] < 0.01,
+        ),
+    ]
+    emit(
+        "fig_6_3",
+        "MovieLens distance & size vs wDist for steps in {10, 20, 40}",
+        format_rows(
+            rows, ("max_steps", "w_dist", "avg_distance", "avg_size", "avg_steps")
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)
+
+
+def _spread(values):
+    return max(values) - min(values) if values else 0.0

@@ -1,0 +1,67 @@
+"""Figure 6.4 -- usage-time ratio (summary vs original evaluation).
+
+Ten random valuations are evaluated on both expressions; the ratio of
+wall-clock evaluation times is below 1 (summaries evaluate faster) and
+smaller with more algorithm steps (§6.8).  Prov-Approx's ratio grows
+with wDist (less size reduction); baselines are wDist-independent.
+"""
+
+from repro.experiments import (
+    check_shapes,
+    format_rows,
+    mean_of,
+    movielens_spec,
+    series,
+    usage_time_experiment,
+)
+
+from conftest import FAST_SEEDS, emit
+
+WDIST_GRID = (0.0, 0.5, 1.0)
+
+
+def test_fig_6_4_usage_time(benchmark):
+    rows = benchmark.pedantic(
+        lambda: usage_time_experiment(
+            movielens_spec(),
+            seeds=FAST_SEEDS,
+            wdist_grid=WDIST_GRID,
+            steps_grid=(20, 30),
+            n_valuations=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov_mean = {
+        steps: mean_of(
+            rows, "avg_usage_ratio", {"algorithm": "prov-approx", "max_steps": steps}
+        )
+        for steps in (20, 30)
+    }
+    checks = [
+        (
+            "summaries evaluate faster than the original (ratio < 1)",
+            all(
+                row["avg_usage_ratio"] < 1.0
+                for row in rows
+                if row["algorithm"] == "prov-approx"
+            ),
+        ),
+        (
+            "more steps give a smaller (better) ratio",
+            prov_mean[30] <= prov_mean[20] + 0.05,
+        ),
+        (
+            "Clustering's ratio exceeds Prov-Approx's (less reduction)",
+            mean_of(rows, "avg_usage_ratio", {"algorithm": "clustering"})
+            >= prov_mean[30] - 0.05,
+        ),
+    ]
+    emit(
+        "fig_6_4",
+        "MovieLens usage-time ratio vs wDist (20 / 30 steps)",
+        format_rows(rows, ("algorithm", "max_steps", "w_dist", "avg_usage_ratio"))
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

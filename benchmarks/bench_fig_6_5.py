@@ -1,0 +1,74 @@
+"""Figure 6.5 -- candidate-computation and summarization times vs size.
+
+One deep Prov-Approx run (wDist = 1, 50-step budget) is instrumented
+per step: as the expression shrinks, fewer candidate pairs remain and
+each distance computation gets cheaper, so both the per-candidate time
+and the per-step summarization time fall with expression size (§6.9).
+"""
+
+import statistics
+
+from repro.experiments import (
+    check_shapes,
+    format_rows,
+    movielens_spec,
+    timing_experiment,
+)
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_5_timing(benchmark):
+    rows = benchmark.pedantic(
+        lambda: timing_experiment(movielens_spec(), seeds=FAST_SEEDS, max_steps=50),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows, "the run must record steps"
+    # Compare the first-third (largest sizes) with the last-third
+    # (smallest sizes) of each run's step sequence.
+    def thirds(metric):
+        early, late = [], []
+        for seed in {row["seed"] for row in rows}:
+            seed_rows = [row for row in rows if row["seed"] == seed]
+            cut = max(1, len(seed_rows) // 3)
+            early.extend(row[metric] for row in seed_rows[:cut])
+            late.extend(row[metric] for row in seed_rows[-cut:])
+        return statistics.mean(early), statistics.mean(late)
+
+    candidates_early, candidates_late = thirds("n_candidates")
+    step_early, step_late = thirds("step_seconds")
+    per_candidate_early, per_candidate_late = thirds("candidate_ms")
+    checks = [
+        (
+            "the candidate pool shrinks as the expression shrinks",
+            candidates_late <= candidates_early,
+        ),
+        (
+            "per-step summarization time falls with size",
+            step_late <= step_early * 1.10,
+        ),
+        (
+            "per-candidate time falls with size",
+            per_candidate_late <= per_candidate_early * 1.25,
+        ),
+    ]
+    emit(
+        "fig_6_5",
+        "MovieLens candidate & summarization time vs provenance size",
+        format_rows(
+            rows[:40],
+            (
+                "seed",
+                "step",
+                "size_before",
+                "n_candidates",
+                "candidate_ms",
+                "step_seconds",
+            ),
+        )
+        + ("\n... (truncated)" if len(rows) > 40 else "")
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,104 @@
+"""Figure 6.6 -- Wikipedia average distance vs wDist and TARGET-SIZE.
+
+Cancel-Single-Annotation valuations, SUM aggregation, ≤20 steps,
+taxonomy-constrained page merges (§6.10).  Shapes as for MovieLens.
+"""
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    check_shapes,
+    execute,
+    format_rows,
+    mean_of,
+    series,
+    target_size_experiment,
+    trend,
+    wikipedia_spec,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_6a_distance_vs_wdist(benchmark, wikipedia_wdist_rows):
+    rows = wikipedia_wdist_rows
+    prov = [
+        value
+        for _, value in series(
+            rows, "w_dist", "avg_distance", {"algorithm": "prov-approx"}
+        )
+    ]
+    checks = [
+        ("Prov-Approx distance trends down as wDist grows", trend(prov) <= 1e-9),
+        (
+            "Prov-Approx (wDist=1) beats both baselines",
+            prov[-1]
+            <= min(
+                mean_of(rows, "avg_distance", {"algorithm": "clustering"}),
+                mean_of(rows, "avg_distance", {"algorithm": "random"}),
+            )
+            + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_6a",
+        "Wikipedia avg distance vs wDist",
+        format_rows(rows, ("algorithm", "w_dist", "avg_distance", "avg_size"))
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_distance", split_by="algorithm", width=44, height=10
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            wikipedia_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.5, max_steps=20, seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_6b_distance_vs_target_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_size_experiment(
+            wikipedia_spec(),
+            seeds=FAST_SEEDS,
+            size_fractions=(0.5, 0.65, 0.8),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = [
+        value
+        for _, value in series(
+            rows,
+            "target_size_fraction",
+            "avg_distance",
+            {"algorithm": "prov-approx"},
+        )
+    ]
+    checks = [
+        ("looser TARGET-SIZE gives smaller distance", trend(prov) <= 1e-9),
+        (
+            "Prov-Approx distance <= Random across targets",
+            mean_of(rows, "avg_distance", {"algorithm": "prov-approx"})
+            <= mean_of(rows, "avg_distance", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_6b",
+        "Wikipedia avg distance vs TARGET-SIZE (wDist=1)",
+        format_rows(
+            rows, ("algorithm", "target_size_fraction", "avg_distance", "avg_size")
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,98 @@
+"""Figure 6.7 -- Wikipedia average size vs wDist and TARGET-DIST (§6.10)."""
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    check_shapes,
+    execute,
+    format_rows,
+    mean_of,
+    series,
+    target_dist_experiment,
+    trend,
+    weakly_monotone,
+    wikipedia_spec,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_7a_size_vs_wdist(benchmark, wikipedia_wdist_rows):
+    rows = wikipedia_wdist_rows
+    prov = [
+        value
+        for _, value in series(rows, "w_dist", "avg_size", {"algorithm": "prov-approx"})
+    ]
+    checks = [
+        ("Prov-Approx size grows with wDist", trend(prov) >= 0.0),
+        (
+            "Prov-Approx (wDist=0) is the smallest",
+            prov[0]
+            <= min(
+                mean_of(rows, "avg_size", {"algorithm": "clustering"}),
+                mean_of(rows, "avg_size", {"algorithm": "random"}),
+            )
+            + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_7a",
+        "Wikipedia avg size vs wDist",
+        format_rows(rows, ("algorithm", "w_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_size", split_by="algorithm", width=44, height=10
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            wikipedia_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.0, max_steps=20, seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_7b_size_vs_target_dist(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_dist_experiment(
+            wikipedia_spec(),
+            seeds=FAST_SEEDS,
+            target_dists=(0.02, 0.05, 0.1, 0.2),
+            max_steps=60,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = [
+        value
+        for _, value in series(
+            rows, "target_dist", "avg_size", {"algorithm": "prov-approx"}
+        )
+    ]
+    checks = [
+        (
+            "size decreases (until a floor) as TARGET-DIST loosens",
+            weakly_monotone(prov, "decreasing", tolerance=2.0),
+        ),
+        (
+            "Prov-Approx sizes <= Random sizes on average",
+            mean_of(rows, "avg_size", {"algorithm": "prov-approx"})
+            <= mean_of(rows, "avg_size", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_7b",
+        "Wikipedia avg size vs TARGET-DIST (wDist=0)",
+        format_rows(rows, ("algorithm", "target_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,102 @@
+"""Figure 6.8 -- DDP average distance vs wDist and TARGET-SIZE.
+
+Cancel-Single-Attribute valuations, tropical cost semiring, ≤10 steps.
+The Clustering baseline is absent by design: no meaningful feature
+vectors exist for DDP provenance (§6.1, §6.10).
+"""
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    check_shapes,
+    ddp_spec,
+    execute,
+    format_rows,
+    mean_of,
+    series,
+    target_size_experiment,
+    trend,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_8a_distance_vs_wdist(benchmark, ddp_wdist_rows):
+    rows = ddp_wdist_rows
+    assert {row["algorithm"] for row in rows} == {"prov-approx", "random"}
+    prov = [
+        value
+        for _, value in series(
+            rows, "w_dist", "avg_distance", {"algorithm": "prov-approx"}
+        )
+    ]
+    checks = [
+        ("Prov-Approx distance trends down as wDist grows", trend(prov) <= 1e-9),
+        (
+            "Prov-Approx (wDist=1) beats Random",
+            prov[-1]
+            <= mean_of(rows, "avg_distance", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_8a",
+        "DDP avg distance vs wDist (no Clustering, §6.1)",
+        format_rows(rows, ("algorithm", "w_dist", "avg_distance", "avg_size"))
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_distance", split_by="algorithm", width=44, height=10
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            ddp_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.5, max_steps=10, seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_8b_distance_vs_target_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_size_experiment(
+            ddp_spec(),
+            seeds=FAST_SEEDS,
+            size_fractions=(0.85, 0.92, 0.97),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = [
+        value
+        for _, value in series(
+            rows,
+            "target_size_fraction",
+            "avg_distance",
+            {"algorithm": "prov-approx"},
+        )
+    ]
+    checks = [
+        ("looser TARGET-SIZE gives smaller distance", trend(prov) <= 1e-9),
+        (
+            "Prov-Approx distance <= Random across targets",
+            mean_of(rows, "avg_distance", {"algorithm": "prov-approx"})
+            <= mean_of(rows, "avg_distance", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_8b",
+        "DDP avg distance vs TARGET-SIZE (wDist=1)",
+        format_rows(
+            rows, ("algorithm", "target_size_fraction", "avg_distance", "avg_size")
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

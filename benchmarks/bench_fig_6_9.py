@@ -1,0 +1,96 @@
+"""Figure 6.9 -- DDP average size vs wDist and TARGET-DIST (§6.10)."""
+
+from repro.core import SummarizationConfig
+from repro.experiments import (
+    check_shapes,
+    ddp_spec,
+    execute,
+    format_rows,
+    mean_of,
+    series,
+    target_dist_experiment,
+    weakly_monotone,
+)
+
+from repro.experiments.ascii_chart import chart_from_rows
+
+from conftest import FAST_SEEDS, emit
+
+
+def test_fig_6_9a_size_vs_wdist(benchmark, ddp_wdist_rows):
+    rows = ddp_wdist_rows
+    prov = [
+        value
+        for _, value in series(rows, "w_dist", "avg_size", {"algorithm": "prov-approx"})
+    ]
+    checks = [
+        (
+            "size never decreases as wDist grows",
+            weakly_monotone(prov, "increasing", tolerance=1.0),
+        ),
+        (
+            "Prov-Approx reaches sizes <= Random",
+            min(prov)
+            <= mean_of(rows, "avg_size", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_9a",
+        "DDP avg size vs wDist",
+        format_rows(rows, ("algorithm", "w_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + chart_from_rows(
+            rows, x="w_dist", y="avg_size", split_by="algorithm", width=44, height=10
+        )
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    benchmark.pedantic(
+        lambda: execute(
+            ddp_spec(),
+            "prov-approx",
+            SummarizationConfig(w_dist=0.0, max_steps=10, seed=11),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(passed for _, passed in checks)
+
+
+def test_fig_6_9b_size_vs_target_dist(benchmark):
+    rows = benchmark.pedantic(
+        lambda: target_dist_experiment(
+            ddp_spec(),
+            seeds=FAST_SEEDS,
+            target_dists=(0.01, 0.03, 0.08, 0.15),
+            max_steps=40,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    prov = [
+        value
+        for _, value in series(
+            rows, "target_dist", "avg_size", {"algorithm": "prov-approx"}
+        )
+    ]
+    checks = [
+        (
+            "size decreases (until a floor) as TARGET-DIST loosens",
+            weakly_monotone(prov, "decreasing", tolerance=2.0),
+        ),
+        (
+            "Prov-Approx sizes <= Random sizes on average",
+            mean_of(rows, "avg_size", {"algorithm": "prov-approx"})
+            <= mean_of(rows, "avg_size", {"algorithm": "random"}) + 1e-9,
+        ),
+    ]
+    emit(
+        "fig_6_9b",
+        "DDP avg size vs TARGET-DIST (wDist=0)",
+        format_rows(rows, ("algorithm", "target_dist", "avg_size", "avg_distance"))
+        + "\n\n"
+        + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core operations on Algorithm 1's hot path.
+
+These are real repeated-measurement benchmarks (multiple rounds), in
+contrast to the figure regenerations: evaluation under a valuation,
+homomorphism application, one full step of candidate scoring through
+the batch scorer vs the reference computer.
+"""
+
+import pytest
+
+from repro.core import (
+    DistanceComputer,
+    MappingState,
+    enumerate_candidates,
+    virtual_summary,
+)
+from repro.core.fast_distance import FastStepScorer
+from repro.core.summarize import _OverlayUniverse
+from repro.datasets import MovieLensConfig, generate_movielens
+
+
+@pytest.fixture(scope="module")
+def setting():
+    instance = generate_movielens(MovieLensConfig(n_users=20, n_movies=10, seed=3))
+    problem = instance.problem()
+    computer = DistanceComputer(
+        problem.expression,
+        problem.valuations,
+        problem.val_func,
+        problem.combiners,
+        problem.universe,
+    )
+    mapping = MappingState(sorted(problem.expression.annotation_names()))
+    candidates = enumerate_candidates(
+        problem.expression, problem.universe, problem.constraint
+    )
+    return problem, computer, mapping, candidates
+
+
+def test_micro_evaluate_masked(benchmark, setting):
+    problem, _, _, _ = setting
+    expression = problem.expression
+    names = sorted(expression.annotation_names())
+    benchmark(expression.evaluate, frozenset(names[:3]))
+
+
+def test_micro_evaluate_scan(benchmark, setting):
+    problem, _, _, _ = setting
+    expression = problem.expression
+    truth = {name: True for name in expression.annotation_names()}
+    benchmark(expression.evaluate_scan, truth)
+
+
+def test_micro_apply_mapping(benchmark, setting):
+    problem, _, _, candidates = setting
+    candidate = candidates[0]
+    step = {name: "merged" for name in candidate.parts}
+    benchmark(problem.expression.apply_mapping, step)
+
+
+def test_micro_reference_candidate_scoring(benchmark, setting):
+    problem, computer, mapping, candidates = setting
+    candidate = candidates[0]
+
+    def score_reference():
+        parts = [problem.universe[name] for name in candidate.parts]
+        virtual = virtual_summary(parts, candidate.proposal)
+        overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
+        step = {name: virtual.name for name in candidate.parts}
+        expression = problem.expression.apply_mapping(step)
+        return computer.distance(expression, mapping.compose(step), universe=overlay)
+
+    benchmark(score_reference)
+
+
+def test_micro_batch_step_scoring(benchmark, setting):
+    """One full step: batch scorer over every candidate."""
+    problem, computer, mapping, candidates = setting
+
+    def score_step():
+        scorer = FastStepScorer(
+            computer, problem.expression, mapping, problem.universe
+        )
+        return [scorer.score(candidate.parts) for candidate in candidates]
+
+    benchmark(score_step)

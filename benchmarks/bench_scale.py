@@ -1,0 +1,60 @@
+"""Scaling: summarization time vs input provenance size.
+
+Complements Fig 6.5 (which tracks the shrinking expression *within*
+one run) with the across-instances view: how total summarization time
+grows as the input provenance grows.  Candidate enumeration is
+quadratic in the mergeable-annotation count and every candidate is
+scored against every valuation, so super-linear growth is expected;
+the bench records the measured curve and asserts only monotonicity.
+"""
+
+from repro.core import SummarizationConfig, Summarizer
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.experiments import check_shapes, format_rows
+
+from conftest import emit
+
+SCALES = ((15, 8), (30, 12), (60, 20))
+
+
+def test_scale(benchmark):
+    def sweep():
+        rows = []
+        for n_users, n_movies in SCALES:
+            instance = generate_movielens(
+                MovieLensConfig(n_users=n_users, n_movies=n_movies, seed=17)
+            )
+            result = Summarizer(
+                instance.problem(),
+                SummarizationConfig(w_dist=0.5, max_steps=10, seed=17),
+            ).run()
+            rows.append(
+                {
+                    "n_users": n_users,
+                    "provenance_size": result.original_size,
+                    "candidates_step1": result.steps[0].n_candidates
+                    if result.steps
+                    else 0,
+                    "seconds": result.total_seconds,
+                    "final_size": result.final_size,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = [row["seconds"] for row in rows]
+    sizes = [row["provenance_size"] for row in rows]
+    checks = [
+        ("provenance size grows with the user count", sizes == sorted(sizes)),
+        ("summarization time grows with input size", times == sorted(times)),
+        (
+            "the 4x instance stays laptop-friendly (< 60 s for 10 steps)",
+            times[-1] < 60.0,
+        ),
+    ]
+    emit(
+        "scale",
+        "summarization time vs input provenance size (10 steps, wDist=0.5)",
+        format_rows(rows) + "\n\n" + check_shapes(checks),
+    )
+    assert all(passed for _, passed in checks)

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each ``bench_fig_*.py`` regenerates one figure of Chapter 6: it runs
+the experiment harness at laptop scale, prints the same series the
+thesis plots, verifies the figure's *shape* (who wins, which way the
+curves move) and records everything under ``benchmarks/results/`` so
+EXPERIMENTS.md can be assembled from actual runs.
+
+Experiments that share runs (Figs 6.1a and 6.2a are two views of the
+same wDist sweep) share session-scoped fixtures, so the whole bench
+suite stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+import pytest
+
+from repro.experiments import (
+    BENCH_WDIST_GRID,
+    DEFAULT_SEEDS,
+    MAX_STEPS,
+    ddp_spec,
+    movielens_spec,
+    wdist_experiment,
+    wikipedia_spec,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reduced seed set for the slowest sweeps.
+FAST_SEEDS = DEFAULT_SEEDS[:2]
+
+
+def emit(figure: str, title: str, body: str) -> None:
+    """Print a figure's regenerated series and persist it."""
+    banner = f"=== {figure}: {title} ==="
+    text = f"{banner}\n{body}\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure}.txt"
+    path.write_text(text)
+
+
+@pytest.fixture(scope="session")
+def movielens_wdist_rows():
+    """The Fig 6.1a / 6.2a sweep: one run shared by both figures."""
+    return wdist_experiment(
+        movielens_spec(),
+        seeds=DEFAULT_SEEDS,
+        wdist_grid=BENCH_WDIST_GRID,
+        max_steps=MAX_STEPS["movielens"],
+    )
+
+
+@pytest.fixture(scope="session")
+def wikipedia_wdist_rows():
+    """The Fig 6.6a / 6.7a sweep."""
+    return wdist_experiment(
+        wikipedia_spec(),
+        seeds=DEFAULT_SEEDS,
+        wdist_grid=BENCH_WDIST_GRID,
+        max_steps=MAX_STEPS["wikipedia"],
+    )
+
+
+@pytest.fixture(scope="session")
+def ddp_wdist_rows():
+    """The Fig 6.8a / 6.9a sweep (no Clustering, §6.1)."""
+    return wdist_experiment(
+        ddp_spec(),
+        seeds=DEFAULT_SEEDS,
+        wdist_grid=BENCH_WDIST_GRID,
+        max_steps=MAX_STEPS["ddp"],
+    )

@@ -1,0 +1,62 @@
+"""Drive the PROX system (Chapter 7) end to end.
+
+Walks the three web-UI views as a Python session: select movies,
+configure and run the summarization, inspect the groups/expression
+views, and provision hypothetical scenarios on both the original and
+the summarized provenance -- comparing answers and evaluation times as
+Figures 7.9/7.10 do.  Run with::
+
+    python examples/prox_session.py
+"""
+
+from repro.prox import ProxSession, SummarizationRequest
+
+
+def main() -> None:
+    session = ProxSession(seed=7)
+
+    # --- selection view ---------------------------------------------------
+    print("available movies:", ", ".join(session.titles()[:6]), "...")
+    print("search 'titan':", ", ".join(session.titles("titan")))
+    size = session.select_by(genre="horror")
+    print(f"selected horror provenance: size {size}")
+    print()
+
+    # --- summarization view --------------------------------------------------
+    request = SummarizationRequest(
+        distance_weight=0.7,
+        number_of_steps=6,
+        aggregation="MAX",
+        valuation_class="Cancel Single Attribute",
+        val_func="Euclidean Distance",
+    )
+    result = session.summarize(request)
+    print(f"summarized in {result.n_steps} steps "
+          f"(stop: {result.stop_reason}), "
+          f"distance {result.final_distance.normalized:.4f}")
+    print()
+
+    # --- summary view: expression ---------------------------------------------
+    print("expression view:")
+    print(session.expression_view())
+    print()
+
+    # --- summary view: groups ---------------------------------------------------
+    print("groups view:")
+    for group in session.groups_view():
+        shared = ", ".join(f"{k}={v}" for k, v in group.shared_attributes.items())
+        print(f"  {group.annotation} (size {group.size}): "
+              f"members [{', '.join(group.members)}] shared [{shared}]")
+    print()
+
+    # --- provisioning -------------------------------------------------------------
+    print("evaluate assignment: cancel all Male users")
+    original, summary = session.evaluate(false_attributes={"gender": "M"})
+    print(f"  original ratings: {dict(original.rows())} "
+          f"({original.evaluation_time_ns} ns)")
+    print(f"  summary ratings : {dict(summary.rows())} "
+          f"({summary.evaluation_time_ns} ns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro -- reproduction of *PROX: Approximated Summarization of Data Provenance*.
+
+The package implements the full PROX stack:
+
+* :mod:`repro.provenance` -- the semiring provenance model with
+  aggregates (Chapter 2).
+* :mod:`repro.db` / :mod:`repro.workflow` -- a provenance-aware
+  relational layer and the workflow engine of Figure 2.1.
+* :mod:`repro.taxonomy` -- YAGO/WordNet-style taxonomy with Wu-Palmer
+  relatedness.
+* :mod:`repro.core` -- the summarization algorithm (Algorithm 1), its
+  distance machinery, and the Random/Clustering baselines.
+* :mod:`repro.clustering` -- agglomerative hierarchical clustering
+  (the paper's competitor, built from scratch).
+* :mod:`repro.datasets` -- MovieLens / Wikipedia / DDP provenance
+  builders (Table 5.1).
+* :mod:`repro.experiments` -- harness regenerating every figure of
+  Chapter 6.
+* :mod:`repro.prox` -- the PROX system services (Chapter 7).
+
+Quickstart::
+
+    from repro.datasets import MovieLensConfig, generate_movielens
+    from repro.core import Summarizer, SummarizationConfig
+
+    instance = generate_movielens(MovieLensConfig(seed=7))
+    result = Summarizer(instance.problem(), SummarizationConfig(
+        w_dist=0.5, max_steps=20)).run()
+    print(result.summary_expression)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,290 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+``table51``
+    Print Table 5.1 (dataset / summarization parameters).
+``generate``
+    Generate a dataset's provenance expression; optionally save JSON.
+``summarize``
+    Run Prov-Approx / Clustering / Random on a generated instance and
+    report size, distance and the merge log.
+``experiment``
+    Run one of the Chapter 6 experiments and print its rows.
+``prox``
+    A scripted tour of the PROX system session.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import serialization
+from .core import (
+    ClusteringSummarizer,
+    RandomSummarizer,
+    SummarizationConfig,
+    Summarizer,
+)
+from .datasets import (
+    DDPConfig,
+    MovieLensConfig,
+    WikipediaConfig,
+    format_table_5_1,
+    generate_ddp,
+    generate_movielens,
+    generate_wikipedia,
+)
+from .experiments import (
+    DatasetSpec,
+    ddp_spec,
+    format_rows,
+    movielens_spec,
+    steps_experiment,
+    target_dist_experiment,
+    target_size_experiment,
+    timing_experiment,
+    usage_time_experiment,
+    wdist_experiment,
+    wikipedia_spec,
+)
+from .prox import ProxSession, SummarizationRequest
+
+_GENERATORS = {
+    "movielens": lambda seed: generate_movielens(MovieLensConfig(seed=seed)),
+    "wikipedia": lambda seed: generate_wikipedia(WikipediaConfig(seed=seed)),
+    "ddp": lambda seed: generate_ddp(DDPConfig(seed=seed)),
+}
+
+_SPECS = {
+    "movielens": movielens_spec,
+    "wikipedia": wikipedia_spec,
+    "ddp": ddp_spec,
+}
+
+_EXPERIMENTS = {
+    "wdist": wdist_experiment,
+    "target-size": target_size_experiment,
+    "target-dist": target_dist_experiment,
+    "steps": steps_experiment,
+    "usage": usage_time_experiment,
+    "timing": timing_experiment,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PROX: approximated summarization of data provenance",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table51", help="print Table 5.1")
+
+    generate = commands.add_parser("generate", help="generate a provenance instance")
+    generate.add_argument("dataset", choices=sorted(_GENERATORS))
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", help="write the expression as JSON to this file")
+    generate.add_argument(
+        "--show", action="store_true", help="print the full expression"
+    )
+
+    summarize = commands.add_parser("summarize", help="summarize an instance")
+    summarize.add_argument("dataset", choices=sorted(_GENERATORS))
+    summarize.add_argument("--seed", type=int, default=0)
+    summarize.add_argument(
+        "--algorithm",
+        choices=("prov-approx", "clustering", "random"),
+        default="prov-approx",
+    )
+    summarize.add_argument("--wdist", type=float, default=0.5)
+    summarize.add_argument("--steps", type=int, default=20)
+    summarize.add_argument("--target-size", type=int, default=1)
+    summarize.add_argument("--target-dist", type=float, default=1.0)
+    summarize.add_argument("--arity", type=int, default=2, help="merge arity (k-way)")
+    summarize.add_argument("--save", help="write the summary as JSON to this file")
+    summarize.add_argument(
+        "--log", action="store_true", help="print the per-step merge log"
+    )
+
+    experiment = commands.add_parser("experiment", help="run a Chapter 6 experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--dataset", choices=sorted(_SPECS), default="movielens")
+    experiment.add_argument(
+        "--seeds", type=int, nargs="+", default=[11, 23], metavar="SEED"
+    )
+    experiment.add_argument("--csv", help="also write the rows to this CSV file")
+
+    prox = commands.add_parser("prox", help="scripted PROX session tour")
+    prox.add_argument("--seed", type=int, default=7)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the Chapter 6 evaluation"
+    )
+    reproduce.add_argument("--out", default="results", help="output directory")
+    reproduce.add_argument(
+        "--profile", choices=("quick", "full"), default="quick",
+        help="quick: bench grids (~3 min); full: thesis grids (much longer)",
+    )
+    reproduce.add_argument(
+        "--figures", nargs="+", metavar="FIG",
+        help="restrict to specific figure ids (e.g. fig_6_1a)",
+    )
+
+    serve = commands.add_parser("serve", help="run the PROX HTTP server")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table51": _cmd_table51,
+        "generate": _cmd_generate,
+        "summarize": _cmd_summarize,
+        "experiment": _cmd_experiment,
+        "prox": _cmd_prox,
+        "reproduce": _cmd_reproduce,
+        "serve": _cmd_serve,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_table51(args: argparse.Namespace) -> int:
+    rows = [factory(0).describe_row() for factory in _GENERATORS.values()]
+    print(format_table_5_1(rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = _GENERATORS[args.dataset](args.seed)
+    expression = instance.expression
+    print(f"{instance.name} provenance (seed {args.seed}):")
+    print(f"  size {expression.size()}, "
+          f"{len(expression.annotation_names())} annotations, "
+          f"valuation class {instance.valuations.name} ({len(instance.valuations)})")
+    if args.show:
+        print(expression)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            serialization.dump(serialization.expression_to_dict(expression), handle)
+        print(f"  expression written to {args.out}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    instance = _GENERATORS[args.dataset](args.seed)
+    config = SummarizationConfig(
+        w_dist=args.wdist,
+        target_size=args.target_size,
+        target_dist=args.target_dist,
+        max_steps=args.steps,
+        merge_arity=args.arity,
+        seed=args.seed,
+    )
+    problem = instance.problem()
+    if args.algorithm == "prov-approx":
+        result = Summarizer(problem, config).run()
+    elif args.algorithm == "random":
+        result = RandomSummarizer(problem, config).run()
+    else:
+        if not instance.cluster_specs:
+            print(
+                f"error: the clustering baseline is undefined for "
+                f"{args.dataset} (no feature vectors, §6.1)",
+                file=sys.stderr,
+            )
+            return 2
+        result = ClusteringSummarizer(problem, config, instance.cluster_specs).run()
+
+    print(f"{args.algorithm} on {instance.name} (seed {args.seed}):")
+    print(f"  size {result.original_size} -> {result.final_size}")
+    print(f"  distance {result.final_distance.normalized:.4f} "
+          f"({'exact' if result.final_distance.exact else 'sampled'})")
+    print(f"  {result.n_steps} steps"
+          f" (+{result.equivalence_merges} equivalence merges),"
+          f" stop: {result.stop_reason},"
+          f" {result.total_seconds:.2f}s")
+    if args.log:
+        for record in result.steps:
+            distance = (
+                f"{record.distance_after.normalized:.4f}"
+                if record.distance_after is not None
+                else "-"
+            )
+            print(f"    step {record.step}: {{{', '.join(record.merged)}}} -> "
+                  f"{record.label} (size {record.size_after}, distance {distance})")
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            serialization.dump(serialization.summary_to_dict(result), handle)
+        print(f"  summary written to {args.save}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    spec: DatasetSpec = _SPECS[args.dataset]()
+    runner = _EXPERIMENTS[args.name]
+    rows = runner(spec, seeds=tuple(args.seeds))
+    print(format_rows(rows))
+    if args.csv:
+        from .experiments import write_csv
+
+        write_csv(rows, args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _cmd_prox(args: argparse.Namespace) -> int:
+    session = ProxSession(seed=args.seed)
+    titles = session.titles()
+    print(f"PROX session over {len(titles)} movies; selecting the first 4.")
+    size = session.select_titles(titles[:4])
+    print(f"selected provenance size: {size}")
+    result = session.summarize(
+        SummarizationRequest(distance_weight=0.7, number_of_steps=6)
+    )
+    print(f"summary: size {result.final_size}, "
+          f"distance {result.final_distance.normalized:.4f}")
+    print(session.expression_view())
+    original, summary = session.evaluate(false_attributes={"gender": "M"})
+    print(f"provisioning 'cancel all Male users':")
+    print(f"  original: {dict(original.rows())} ({original.evaluation_time_ns} ns)")
+    print(f"  summary : {dict(summary.rows())} ({summary.evaluation_time_ns} ns)")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments import reproduce_all
+
+    reproduce_all(args.out, profile=args.profile, figures=args.figures)
+    print(f"results written to {args.out}/")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+    from .prox.server import ProxServer
+
+    server = ProxServer(ProxSession(seed=args.seed), host=args.host, port=args.port)
+    host, port = server.address
+    print(f"PROX HTTP API on http://{host}:{port} (Ctrl-C to stop)")
+    server.start()
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Agglomerative hierarchical clustering -- the thesis's baseline (§6.2)."""
+
+from .dissimilarity import (
+    jaccard_dissimilarity,
+    pearson_correlation,
+    pearson_dissimilarity,
+)
+from .features import (
+    FeatureVector,
+    attribute_dissimilarity,
+    feature_dissimilarity,
+    feature_vectors,
+)
+from .hac import LINKAGES, AgglomerativeClustering, Merge, dendrogram
+
+__all__ = [
+    "AgglomerativeClustering",
+    "FeatureVector",
+    "attribute_dissimilarity",
+    "feature_dissimilarity",
+    "LINKAGES",
+    "Merge",
+    "dendrogram",
+    "feature_vectors",
+    "jaccard_dissimilarity",
+    "pearson_correlation",
+    "pearson_dissimilarity",
+]

@@ -1,0 +1,71 @@
+"""Dissimilarity measures for the Clustering baseline (§6.2).
+
+The thesis associates each user (or page) with a feature vector whose
+last feature is a sparse ratings/edits vector, and measures similarity
+between two vectors with the Pearson Correlation Coefficient over the
+ratings they share -- the classic collaborative-filtering measure.
+Dissimilarity is ``(1 - r) / 2``, mapping perfect correlation to 0 and
+perfect anti-correlation to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+
+def pearson_correlation(
+    first: Mapping[str, float], second: Mapping[str, float]
+) -> Optional[float]:
+    """Pearson correlation over the keys the two sparse vectors share.
+
+    Returns ``None`` when fewer than two common keys exist or either
+    restriction is constant (the coefficient is undefined there).
+    """
+    common = sorted(set(first) & set(second))
+    if len(common) < 2:
+        return None
+    xs = [first[key] for key in common]
+    ys = [second[key] for key in common]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator == 0:
+        # Constant restrictions, including variances that underflow.
+        return None
+    return min(1.0, max(-1.0, cov / denominator))
+
+
+def pearson_dissimilarity(
+    first: Mapping[str, float],
+    second: Mapping[str, float],
+    undefined: float = 0.75,
+) -> float:
+    """``(1 - r) / 2`` over shared keys, in ``[0, 1]``.
+
+    Pairs with an undefined coefficient (too little overlap) get the
+    pessimistic-but-not-maximal ``undefined`` value, so users with no
+    common movies cluster late but are not forbidden from clustering
+    (the semantic constraints, not the metric, decide admissibility).
+    """
+    correlation = pearson_correlation(first, second)
+    if correlation is None:
+        return undefined
+    # Clamp: float rounding can push |r| infinitesimally past 1.
+    return min(1.0, max(0.0, (1.0 - correlation) / 2.0))
+
+
+def jaccard_dissimilarity(
+    first: Mapping[str, float], second: Mapping[str, float]
+) -> float:
+    """``1 - |keys∩| / |keys∪|`` -- a set-overlap alternative used by
+    the clustering ablation (pages sharing editors cluster early)."""
+    keys_first = set(first)
+    keys_second = set(second)
+    union = keys_first | keys_second
+    if not union:
+        return 1.0
+    return 1.0 - len(keys_first & keys_second) / len(union)

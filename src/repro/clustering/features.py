@@ -1,0 +1,121 @@
+"""Feature-vector construction for the Clustering baseline (§6.2).
+
+The thesis builds, per user, a vector of identifying attributes plus a
+sparse ratings vector ``(MovieTitle_1 = Rating_1, ...)``; per Wikipedia
+page, the taxonomy ancestors plus a sparse editor vector
+``(UID_1 = NumMajorEdits_1, ...)``.  Both shapes are derived directly
+from the provenance expression here, so the baseline sees exactly the
+data Algorithm 1 sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..provenance.annotations import AnnotationUniverse
+from ..provenance.tensor_sum import TensorSum
+from .dissimilarity import pearson_dissimilarity
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One observation for clustering.
+
+    ``ident`` is the annotation name; ``attributes`` its semantic
+    attributes (used by the merge constraints); ``ratings`` the sparse
+    numeric profile (movie → rating, editor → edit count, ...) the
+    dissimilarity measure compares.
+    """
+
+    ident: str
+    attributes: Mapping[str, object]
+    ratings: Mapping[str, float]
+
+
+def feature_vectors(
+    expression: TensorSum,
+    universe: AnnotationUniverse,
+    domain: str,
+    key_domain: Optional[str] = None,
+) -> List[FeatureVector]:
+    """Feature vectors for all ``domain`` annotations in ``expression``.
+
+    The sparse profile key of each term is the term's *group* (the
+    movie a rating aggregates into) unless ``key_domain`` names another
+    annotation domain -- Wikipedia pages, which are themselves the
+    groups, are profiled by their *editors* (``key_domain="user"``).
+    Values of colliding keys add up (a user editing the same page twice
+    contributes its total).
+    """
+    profiles: Dict[str, Dict[str, float]] = {}
+    for term in expression.terms:
+        for name in term.annotations:
+            annotation = universe[name]
+            if annotation.domain != domain:
+                continue
+            key = _profile_key(term, name, universe, key_domain)
+            if key is None:
+                continue
+            bucket = profiles.setdefault(name, {})
+            bucket[key] = bucket.get(key, 0.0) + term.value
+    vectors = []
+    for name in sorted(profiles):
+        annotation = universe[name]
+        vectors.append(
+            FeatureVector(
+                ident=name,
+                attributes=dict(annotation.attributes),
+                ratings=dict(profiles[name]),
+            )
+        )
+    return vectors
+
+
+def attribute_dissimilarity(
+    first: Mapping[str, object], second: Mapping[str, object]
+) -> float:
+    """Fraction of attributes (over the union) with differing values."""
+    keys = set(first) | set(second)
+    if not keys:
+        return 0.0
+    differing = sum(1 for key in keys if first.get(key) != second.get(key))
+    return differing / len(keys)
+
+
+def feature_dissimilarity(
+    first: FeatureVector,
+    second: FeatureVector,
+    attribute_weight: float = 0.5,
+) -> float:
+    """The §6.2 dissimilarity over full feature vectors.
+
+    The thesis's feature vectors carry both the identifying attributes
+    (gender, age range, ...) and the sparse ratings profile, and its
+    measure uses Pearson correlation "as a measure of similarity
+    between the ratings vectors, that the feature vectors include as a
+    single feature" -- i.e. one feature among the attributes.  We
+    combine the two parts linearly: attribute mismatch fraction and
+    Pearson dissimilarity of the profiles.
+    """
+    if not 0.0 <= attribute_weight <= 1.0:
+        raise ValueError("attribute_weight must be in [0, 1]")
+    attributes = attribute_dissimilarity(first.attributes, second.attributes)
+    ratings = pearson_dissimilarity(first.ratings, second.ratings)
+    return attribute_weight * attributes + (1.0 - attribute_weight) * ratings
+
+
+def _profile_key(
+    term,
+    owner: str,
+    universe: AnnotationUniverse,
+    key_domain: Optional[str],
+) -> Optional[str]:
+    if key_domain is None:
+        return term.group
+    for name in term.annotations:
+        if name == owner:
+            continue
+        if universe[name].domain == key_domain:
+            return name
+    return None

@@ -1,0 +1,210 @@
+"""Agglomerative hierarchical clustering, from scratch (§6.2).
+
+The thesis's Clustering baseline uses the HAC Java library; we
+implement the same algorithm natively.  HAC starts from singleton
+clusters and repeatedly merges the pair of clusters with the smallest
+linkage dissimilarity.  All seven linkage criteria listed in §6.2 are
+supported through Lance-Williams update coefficients:
+
+=================  =============================================================
+linkage            dissimilarity between merged cluster ``(i ∪ j)`` and ``k``
+=================  =============================================================
+single             ``min(d_ik, d_jk)``
+complete           ``max(d_ik, d_jk)``
+average            size-weighted average of ``d_ik`` and ``d_jk`` (UPGMA)
+weighted_average   plain average (WPGMA; "sizes assumed equal")
+centroid           distance of centroids (UPGMC)
+median             distance of weighted centroids (WPGMC)
+ward               minimal increase of within-cluster sum of squares
+=================  =============================================================
+
+The implementation works on a dissimilarity matrix (callable), so any
+measure -- including the Pearson-correlation dissimilarity of
+:mod:`repro.clustering.dissimilarity` -- plugs in, and it accepts a
+merge predicate so the thesis's semantic constraints restrict the
+dendrogram exactly as they restrict Algorithm 1 ("we do not allow two
+clusters to merge if the users that belong to these clusters do not
+have at least one attribute in common").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+#: linkage name → Lance-Williams coefficient function
+#: (n_i, n_j, n_k) → (alpha_i, alpha_j, beta, gamma)
+_LANCE_WILLIAMS: Dict[str, Callable[[int, int, int], Tuple[float, float, float, float]]] = {
+    "single": lambda ni, nj, nk: (0.5, 0.5, 0.0, -0.5),
+    "complete": lambda ni, nj, nk: (0.5, 0.5, 0.0, 0.5),
+    "average": lambda ni, nj, nk: (ni / (ni + nj), nj / (ni + nj), 0.0, 0.0),
+    "weighted_average": lambda ni, nj, nk: (0.5, 0.5, 0.0, 0.0),
+    "centroid": lambda ni, nj, nk: (
+        ni / (ni + nj),
+        nj / (ni + nj),
+        -(ni * nj) / ((ni + nj) ** 2),
+        0.0,
+    ),
+    "median": lambda ni, nj, nk: (0.5, 0.5, -0.25, 0.0),
+    "ward": lambda ni, nj, nk: (
+        (ni + nk) / (ni + nj + nk),
+        (nj + nk) / (ni + nj + nk),
+        -nk / (ni + nj + nk),
+        0.0,
+    ),
+}
+
+#: The §6.2 linkage criteria, in the order the thesis lists them.
+LINKAGES: Tuple[str, ...] = tuple(_LANCE_WILLIAMS)
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One dendrogram merge: clusters ``first`` and ``second`` → ``new``.
+
+    ``members`` is the merged cluster's item-index set and
+    ``dissimilarity`` the linkage value at which the merge happened.
+    """
+
+    first: int
+    second: int
+    new: int
+    dissimilarity: float
+    members: FrozenSet[int]
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering over ``n`` items.
+
+    Parameters
+    ----------
+    n:
+        Number of items (clusters 0..n-1 start as singletons).
+    dissimilarity:
+        ``(i, j) -> float`` over item indexes.
+    linkage:
+        One of :data:`LINKAGES`.
+    allowed:
+        Optional merge predicate over member sets; pairs it rejects are
+        never merged (the semantic constraints of §6.2).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        dissimilarity: Callable[[int, int], float],
+        linkage: str = "single",
+        allowed: Optional[Callable[[FrozenSet[int], FrozenSet[int]], bool]] = None,
+    ):
+        if linkage not in _LANCE_WILLIAMS:
+            raise ValueError(
+                f"unknown linkage {linkage!r}; expected one of {LINKAGES}"
+            )
+        if n < 1:
+            raise ValueError("need at least one item")
+        self.n = n
+        self.linkage = linkage
+        self.allowed = allowed
+        self._coefficients = _LANCE_WILLIAMS[linkage]
+        # Current clusters: id → member item indexes.
+        self._members: Dict[int, FrozenSet[int]] = {
+            index: frozenset((index,)) for index in range(n)
+        }
+        # Pairwise dissimilarities between current clusters.
+        self._dist: Dict[Tuple[int, int], float] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                self._dist[(i, j)] = float(dissimilarity(i, j))
+        self._next_id = n
+
+    # -- queries -----------------------------------------------------------------
+
+    def clusters(self) -> Dict[int, FrozenSet[int]]:
+        """Current cluster id → members."""
+        return dict(self._members)
+
+    def _pair_key(self, a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def _pair_distance(self, a: int, b: int) -> float:
+        return self._dist[self._pair_key(a, b)]
+
+    # -- the algorithm -------------------------------------------------------------
+
+    def merge_once(self) -> Optional[Merge]:
+        """Perform the best allowed merge; ``None`` when nothing merges.
+
+        Picks the pair with minimal linkage dissimilarity among pairs
+        the predicate allows (ties broken by cluster ids for
+        determinism), merges it and updates all distances via the
+        Lance-Williams recurrence.
+        """
+        ids = sorted(self._members)
+        best: Optional[Tuple[float, int, int]] = None
+        for position, first in enumerate(ids):
+            for second in ids[position + 1:]:
+                value = self._pair_distance(first, second)
+                if math.isinf(value):
+                    continue
+                if self.allowed is not None and not self.allowed(
+                    self._members[first], self._members[second]
+                ):
+                    continue
+                if best is None or value < best[0]:
+                    best = (value, first, second)
+        if best is None:
+            return None
+        value, first, second = best
+        merged_members = self._members[first] | self._members[second]
+        new_id = self._next_id
+        self._next_id += 1
+
+        size_first = len(self._members[first])
+        size_second = len(self._members[second])
+        for other in ids:
+            if other in (first, second):
+                continue
+            alpha_i, alpha_j, beta, gamma = self._coefficients(
+                size_first, size_second, len(self._members[other])
+            )
+            d_ik = self._pair_distance(first, other)
+            d_jk = self._pair_distance(second, other)
+            d_ij = value
+            updated = (
+                alpha_i * d_ik
+                + alpha_j * d_jk
+                + beta * d_ij
+                + gamma * abs(d_ik - d_jk)
+            )
+            self._dist[self._pair_key(new_id, other)] = updated
+
+        for other in ids:
+            self._dist.pop(self._pair_key(first, other), None)
+            self._dist.pop(self._pair_key(second, other), None)
+        del self._members[first]
+        del self._members[second]
+        self._members[new_id] = merged_members
+        return Merge(first, second, new_id, value, merged_members)
+
+    def run(self, until_clusters: int = 1) -> List[Merge]:
+        """Merge until ``until_clusters`` remain (or nothing merges)."""
+        if until_clusters < 1:
+            raise ValueError("until_clusters must be at least 1")
+        merges: List[Merge] = []
+        while len(self._members) > until_clusters:
+            merge = self.merge_once()
+            if merge is None:
+                break
+            merges.append(merge)
+        return merges
+
+
+def dendrogram(
+    n: int,
+    dissimilarity: Callable[[int, int], float],
+    linkage: str = "single",
+    allowed: Optional[Callable[[FrozenSet[int], FrozenSet[int]], bool]] = None,
+) -> List[Merge]:
+    """Full merge sequence (as far as the constraints permit)."""
+    return AgglomerativeClustering(n, dissimilarity, linkage, allowed).run(1)

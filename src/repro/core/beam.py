@@ -1,0 +1,203 @@
+"""Beam-search summarization -- widening the "A*-like" search (§4.2).
+
+The thesis frames its search as "an A*-like search of expressions" but
+Algorithm 1 keeps a single frontier expression per step (greedy
+best-first).  :class:`BeamSummarizer` generalizes the frontier to a
+*beam* of the ``beam_width`` best expressions: each step expands every
+beam member's candidates, scores them all with the same
+``CandidateScore``, and keeps the best ``beam_width`` distinct
+expressions.  ``beam_width=1`` coincides with Algorithm 1 step for
+step.
+
+Because distance is monotone along merge chains (Prop 4.2.2) a wider
+beam can only find summaries at least as good as the greedy path for
+the same number of steps -- the ``bench_ablation_beam`` benchmark
+measures how much it actually helps and at what cost.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .candidates import enumerate_candidates
+from .distance import DistanceComputer, DistanceEstimate
+from .fast_distance import FastStepScorer
+from .equivalence import group_equivalent
+from .mapping import MappingState
+from .problem import SummarizationConfig, SummarizationProblem
+from .summarize import StepRecord, SummarizationResult
+
+
+@dataclass
+class _Beam:
+    """One frontier expression with its history."""
+
+    expression: object
+    mapping: MappingState
+    score: float
+    steps: List[StepRecord]
+    last_distance: Optional[DistanceEstimate]
+
+
+class BeamSummarizer:
+    """Algorithm 1 with a configurable search beam."""
+
+    def __init__(
+        self,
+        problem: SummarizationProblem,
+        config: SummarizationConfig,
+        beam_width: int = 2,
+    ):
+        if beam_width < 1:
+            raise ValueError("beam_width must be at least 1")
+        self.problem = problem
+        self.config = config
+        self.beam_width = beam_width
+        self._rng = random.Random(config.seed)
+
+    def run(self) -> SummarizationResult:
+        problem, config = self.problem, self.config
+        started = time.perf_counter()
+        original = problem.expression
+        computer = DistanceComputer(
+            original,
+            problem.valuations,
+            problem.val_func,
+            problem.combiners,
+            problem.universe,
+            max_enumerate=config.max_enumerate,
+            n_samples=config.distance_samples,
+            epsilon=config.epsilon,
+            delta=config.delta,
+            rng=self._rng,
+        )
+
+        current = original
+        mapping = MappingState(sorted(original.annotation_names()))
+        equivalence_merges = 0
+        equivalence_mapping: Dict[str, str] = {}
+        if config.group_equivalent_first:
+            current, equivalence_mapping, equivalence_merges = group_equivalent(
+                original, problem.universe, problem.valuations, problem.constraint
+            )
+            if equivalence_mapping:
+                mapping = mapping.compose(equivalence_mapping)
+
+        beams = [_Beam(current, mapping, 0.0, [], None)]
+        stop_reason = "exhausted"
+        for step_index in range(config.max_steps or 0):
+            expansions: List[
+                Tuple[float, DistanceEstimate, int, _Beam, Tuple[str, ...], str, int]
+            ] = []
+            step_started = time.perf_counter()
+            for beam in beams:
+                candidates = enumerate_candidates(
+                    beam.expression,
+                    problem.universe,
+                    problem.constraint,
+                    arity=config.merge_arity,
+                    cap=config.candidate_cap,
+                    rng=self._rng,
+                )
+                if not candidates:
+                    continue
+                scorer = (
+                    FastStepScorer(
+                        computer, beam.expression, beam.mapping, problem.universe
+                    )
+                    if FastStepScorer.applicable(
+                        beam.expression,
+                        problem.val_func,
+                        problem.combiners,
+                        problem.valuations,
+                        problem.universe,
+                        config.max_enumerate,
+                    )
+                    else None
+                )
+                if scorer is None:
+                    raise NotImplementedError(
+                        "BeamSummarizer currently requires the batch-scorer "
+                        "preconditions (tensor-sum expression, vector "
+                        "VAL-FUNC, OR combiners, enumerable valuations)"
+                    )
+                for candidate in candidates:
+                    size, distance = scorer.score(candidate.parts)
+                    r_size = size / original.size() if original.size() else 0.0
+                    score = config.w_dist * distance.normalized + config.w_size * r_size
+                    expansions.append(
+                        (
+                            score,
+                            distance,
+                            size,
+                            beam,
+                            candidate.parts,
+                            candidate.proposal.label,
+                            len(candidates),
+                        )
+                    )
+            if not expansions:
+                stop_reason = "exhausted"
+                break
+            expansions.sort(key=lambda entry: (entry[0], entry[4]))
+            candidate_seconds = (time.perf_counter() - step_started) / len(expansions)
+
+            next_beams: List[_Beam] = []
+            seen_keys: set = set()
+            for score, distance, size, beam, parts, label, n_candidates in expansions:
+                if len(next_beams) >= self.beam_width:
+                    break
+                summary_parts = [problem.universe[name] for name in parts]
+                key = frozenset().union(
+                    *(part.base_members() for part in summary_parts)
+                ) | {id(beam)}
+                frozen = (frozenset(key), size)
+                if frozen in seen_keys:
+                    continue
+                seen_keys.add(frozen)
+                summary = problem.universe.new_summary(summary_parts, label=label)
+                step_mapping = {name: summary.name for name in parts}
+                expression = beam.expression.apply_mapping(step_mapping)
+                new_mapping = beam.mapping.compose(step_mapping)
+                record = StepRecord(
+                    step=len(beam.steps) + 1,
+                    merged=parts,
+                    new_annotation=summary.name,
+                    label=label,
+                    size_after=expression.size(),
+                    distance_after=distance,
+                    n_candidates=n_candidates,
+                    candidate_seconds=candidate_seconds,
+                    step_seconds=time.perf_counter() - step_started,
+                )
+                next_beams.append(
+                    _Beam(expression, new_mapping, score, beam.steps + [record], distance)
+                )
+            beams = next_beams
+            stop_reason = "max_steps"
+
+            if all(
+                beam.expression.size() <= config.target_size for beam in beams
+            ):
+                stop_reason = "target_size"
+                break
+
+        best = min(beams, key=lambda beam: beam.score)
+        final_distance = computer.distance(best.expression, best.mapping)
+        return SummarizationResult(
+            original_expression=original,
+            summary_expression=best.expression,
+            mapping=best.mapping,
+            universe=problem.universe,
+            steps=best.steps,
+            stop_reason=stop_reason,
+            final_size=best.expression.size(),
+            final_distance=final_distance,
+            equivalence_merges=equivalence_merges,
+            total_seconds=time.perf_counter() - started,
+            config=config,
+            equivalence_mapping=equivalence_mapping,
+        )

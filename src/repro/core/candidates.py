@@ -1,0 +1,142 @@
+"""Candidate homomorphism enumeration (``CandidateHom`` of Algorithm 1).
+
+Each algorithm step examines the single-step mappings that send a
+small set of current annotations (normally a pair; ``arity > 2``
+implements the thesis's future-work k-way generalization) to one new
+summary annotation, subject to the semantic constraints.
+
+Because summary annotations carry the *intersection* of their members'
+attributes and their members' LCA concept, checking a constraint
+between two current annotations is equivalent to checking it across
+the union of their base members -- no special-casing for
+summary-with-summary merges is needed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from .constraints import MergeConstraint, MergeProposal
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate single-step merge: ``parts → proposal.label``."""
+
+    parts: Tuple[str, ...]
+    proposal: MergeProposal
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(self.parts)}}} → {self.proposal.label}"
+
+
+def virtual_summary(parts: Sequence[Annotation], proposal: MergeProposal) -> Annotation:
+    """An unregistered summary annotation standing in for a candidate.
+
+    Candidate scoring needs the summary's members and domain but must
+    not pollute the universe with annotations for merges that are never
+    chosen; the winner is re-minted through
+    :meth:`~repro.provenance.annotations.AnnotationUniverse.new_summary`.
+    """
+    members = frozenset().union(*(part.base_members() for part in parts))
+    shared = dict(parts[0].attributes)
+    for part in parts[1:]:
+        shared = {
+            key: value
+            for key, value in shared.items()
+            if key in part.attributes and part.attributes[key] == value
+        }
+    return Annotation(
+        name=f"{proposal.label}?cand",
+        domain=parts[0].domain,
+        attributes=shared,
+        concept=proposal.concept,
+        members=members,
+    )
+
+
+def enumerate_candidates(
+    expression,
+    universe: AnnotationUniverse,
+    constraint: MergeConstraint,
+    arity: int = 2,
+    cap: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Candidate]:
+    """All constraint-satisfying single-step merges of ``expression``.
+
+    Pairs are enumerated within each domain; for ``arity > 2`` each
+    allowed pair is greedily extended with further annotations that the
+    constraint accepts against the growing (virtual) summary, so every
+    returned candidate is internally consistent.  ``cap`` optionally
+    subsamples the candidate list deterministically via ``rng`` (an
+    escape hatch for very large expressions; the thesis enumerates all
+    pairs).
+    """
+    if arity < 2:
+        raise ValueError("merge arity must be at least 2")
+    present = sorted(expression.annotation_names())
+    by_domain: Dict[str, List[Annotation]] = {}
+    for name in present:
+        annotation = universe[name]
+        by_domain.setdefault(annotation.domain, []).append(annotation)
+
+    candidates: List[Candidate] = []
+    for domain_annotations in by_domain.values():
+        for first, second in combinations(domain_annotations, 2):
+            proposal = constraint.propose(first, second)
+            if proposal is None:
+                continue
+            parts = [first, second]
+            if arity > 2:
+                parts, proposal = _extend_group(
+                    parts, proposal, domain_annotations, constraint, arity
+                )
+            candidates.append(
+                Candidate(tuple(part.name for part in parts), proposal)
+            )
+
+    if arity > 2:
+        candidates = _dedupe(candidates)
+    if cap is not None and len(candidates) > cap:
+        sampler = rng if rng is not None else random.Random(0)
+        candidates = sampler.sample(candidates, cap)
+        candidates.sort(key=lambda candidate: candidate.parts)
+    return candidates
+
+
+def _extend_group(
+    parts: List[Annotation],
+    proposal: MergeProposal,
+    pool: Sequence[Annotation],
+    constraint: MergeConstraint,
+    arity: int,
+) -> Tuple[List[Annotation], MergeProposal]:
+    """Greedily grow a pair to ``arity`` members under the constraint."""
+    chosen = {part.name for part in parts}
+    representative = virtual_summary(parts, proposal)
+    for annotation in pool:
+        if len(parts) >= arity:
+            break
+        if annotation.name in chosen:
+            continue
+        extended = constraint.propose(representative, annotation)
+        if extended is None:
+            continue
+        parts = parts + [annotation]
+        chosen.add(annotation.name)
+        proposal = extended
+        representative = virtual_summary(parts, proposal)
+    return parts, proposal
+
+
+def _dedupe(candidates: List[Candidate]) -> List[Candidate]:
+    seen: Dict[Tuple[str, ...], Candidate] = {}
+    for candidate in candidates:
+        key = tuple(sorted(candidate.parts))
+        seen.setdefault(key, candidate)
+    return [seen[key] for key in sorted(seen)]

@@ -1,0 +1,141 @@
+"""Valuation-equivalence grouping (``GroupEquivalent``, Prop. 4.2.1).
+
+Two annotations are *equivalent* with respect to ``V_Ann`` when every
+valuation in the class assigns them the same truth value.  Merging
+equivalent annotations can never change any valuation's result, so the
+distance stays exactly 0 while the size shrinks -- which is why
+Algorithm 1 performs this grouping before its greedy loop, and why
+finding a minimal distance-0 summary is in PTIME.
+
+Following the proof of Proposition 4.2.1, classes are computed by
+iterative refinement: start from the partition induced by the first
+valuation's (true-set, false-set) and intersect with each further
+valuation's partition.  Equivalently (and how we implement it), group
+annotations by their truth *signature* across the class.
+
+We additionally respect the semantic constraints while merging inside
+an equivalence class: the thesis never merges annotations that share
+no attribute, so each class is greedily split into
+constraint-compatible groups first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.valuation_classes import ValuationClass
+from .candidates import virtual_summary
+from .constraints import MergeConstraint, MergeProposal
+
+
+def equivalence_classes(
+    names: Sequence[str], valuations: ValuationClass
+) -> List[Tuple[str, ...]]:
+    """Partition ``names`` into ``V_Ann``-equivalence classes.
+
+    Each annotation's signature is its truth value under every
+    valuation of the class; equal signatures mean no valuation can
+    ever tell the annotations apart.
+    """
+    signatures: Dict[Tuple[bool, ...], List[str]] = {}
+    valuation_list = list(valuations)
+    for name in names:
+        signature = tuple(valuation.truth(name) for valuation in valuation_list)
+        signatures.setdefault(signature, []).append(name)
+    return [tuple(group) for group in signatures.values()]
+
+
+def constrained_groups(
+    annotations: Sequence[Annotation],
+    constraint: MergeConstraint,
+) -> List[Tuple[List[Annotation], MergeProposal]]:
+    """Split a set of equivalent annotations into mergeable groups.
+
+    Greedy: each annotation joins the first existing group whose
+    (virtual) summary the constraint accepts it against; otherwise it
+    seeds a new group.  Returned groups have at least two members.
+    """
+    groups: List[List[Annotation]] = []
+    proposals: List[Optional[MergeProposal]] = []
+    representatives: List[Annotation] = []
+    for annotation in annotations:
+        placed = False
+        for index, representative in enumerate(representatives):
+            proposal = constraint.propose(representative, annotation)
+            if proposal is not None:
+                groups[index].append(annotation)
+                proposals[index] = proposal
+                representatives[index] = virtual_summary(groups[index], proposal)
+                placed = True
+                break
+        if not placed:
+            groups.append([annotation])
+            proposals.append(None)
+            representatives.append(annotation)
+    return [
+        (group, proposal)
+        for group, proposal in zip(groups, proposals)
+        if len(group) >= 2 and proposal is not None
+    ]
+
+
+def minimal_zero_distance_summary(expression, valuations: ValuationClass):
+    """The minimal summary at distance exactly 0 (Proposition 4.2.1).
+
+    Merges every full ``V_Ann``-equivalence class, ignoring semantic
+    constraints -- this is the PTIME construction of the proposition's
+    proof, where the minimal ``p'`` with ``distance(p, p') = 0`` is
+    obtained by mapping each equivalence class to one representative.
+
+    Returns ``(summary_expression, mapping)`` where ``mapping`` sends
+    each annotation to its class representative (the lexicographically
+    first member, as the proof's "arbitrary order").
+    """
+    step: Dict[str, str] = {}
+    names = sorted(expression.annotation_names())
+    for class_names in equivalence_classes(names, valuations):
+        if len(class_names) < 2:
+            continue
+        representative = min(class_names)
+        for name in class_names:
+            if name != representative:
+                step[name] = representative
+    if not step:
+        return expression, step
+    return expression.apply_mapping(step), step
+
+
+def group_equivalent(
+    expression,
+    universe: AnnotationUniverse,
+    valuations: ValuationClass,
+    constraint: MergeConstraint,
+):
+    """The ``GroupEquivalent`` step of Algorithm 1 (line 1).
+
+    Returns ``(new_expression, step_mapping, merge_count)`` where
+    ``step_mapping`` maps every merged current annotation to its new
+    summary annotation (registered in ``universe``).
+    """
+    step: Dict[str, str] = {}
+    merges = 0
+    names = sorted(expression.annotation_names())
+    for class_names in equivalence_classes(names, valuations):
+        if len(class_names) < 2:
+            continue
+        by_domain: Dict[str, List[Annotation]] = {}
+        for name in class_names:
+            annotation = universe[name]
+            by_domain.setdefault(annotation.domain, []).append(annotation)
+        for domain_annotations in by_domain.values():
+            for group, proposal in constrained_groups(domain_annotations, constraint):
+                summary = universe.new_summary(
+                    group, label=proposal.label, concept=proposal.concept
+                )
+                for annotation in group:
+                    step[annotation.name] = summary.name
+                merges += len(group) - 1
+    if not step:
+        return expression, step, 0
+    return expression.apply_mapping(step), step, merges

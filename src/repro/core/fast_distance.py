@@ -1,0 +1,371 @@
+"""Batch candidate scoring for one Algorithm-1 step (optimized path).
+
+Scoring a step naively costs
+``O(#candidates × #valuations × #terms)`` -- the dominant cost of the
+whole algorithm (and what Fig. 6.5 measures).  This module exploits
+three structural facts to collapse that product:
+
+1. The valuation class is fixed across the step, so each current
+   annotation's lifted truth values can be packed once into an integer
+   *bitmask* (bit ``v`` set ⇔ the annotation is false under valuation
+   ``v``).  A term is dead exactly when any of its annotations' bits
+   are set, so per-term aliveness across *all* valuations is a couple
+   of bitwise ORs.
+2. A candidate merge ``{a, b} → c`` changes aliveness only for terms
+   containing ``a`` or ``b`` (with the OR combiner,
+   ``mask(c) = mask(a) AND mask(b)``); every other group's aggregate is
+   shared with the step's baseline and computed once.
+3. Per-group aggregates across all valuations need not iterate
+   valuations: for MAX, walking the group's terms in descending value
+   order assigns each valuation its maximum the first time an alive
+   term covers it; for SUM, only each term's (typically few) dead bits
+   are subtracted from the full-sum.
+
+The scorer mirrors :class:`~repro.core.distance.DistanceComputer`
+semantics exactly -- the equivalence is asserted by
+``tests/core/test_fast_distance.py`` over randomized instances.
+
+Applicability (checked by :func:`FastStepScorer.applicable`): the
+expression is a :class:`~repro.provenance.tensor_sum.TensorSum` with
+non-negative values, the VAL-FUNC is a
+:class:`~repro.core.val_funcs.VectorValFunc` whose monoid is MAX or
+SUM, every domain lifts with the OR combiner, and the valuation class
+is small enough to enumerate.  Everything else falls back to the
+reference path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.annotations import AnnotationUniverse
+from ..provenance.monoids import MaxMonoid, SumMonoid
+from ..provenance.tensor_sum import Guard, TensorSum, Term
+from ..provenance.valuation_classes import ValuationClass
+from .combiners import DomainCombiners, OrCombiner
+from .distance import DistanceComputer, DistanceEstimate
+from .mapping import MappingState
+from .val_funcs import VectorValFunc
+
+_COMPARE = {
+    ">": lambda left, threshold: left > threshold,
+    ">=": lambda left, threshold: left >= threshold,
+    "<": lambda left, threshold: left < threshold,
+    "<=": lambda left, threshold: left <= threshold,
+    "==": lambda left, threshold: left == threshold,
+    "!=": lambda left, threshold: left != threshold,
+}
+
+
+class FastStepScorer:
+    """Scores every candidate of one step against all valuations."""
+
+    @staticmethod
+    def applicable(expression, val_func, combiners: DomainCombiners,
+                   valuations: ValuationClass, universe: AnnotationUniverse,
+                   max_enumerate: int) -> bool:
+        """Whether the optimized path reproduces the reference result."""
+        if not isinstance(expression, TensorSum):
+            return False
+        if not isinstance(val_func, VectorValFunc):
+            return False
+        if not isinstance(val_func.monoid, (MaxMonoid, SumMonoid)):
+            return False
+        if len(valuations) > max_enumerate:
+            return False
+        domains = {universe[name].domain for name in expression.annotation_names()}
+        if any(not isinstance(combiners.for_domain(d), OrCombiner) for d in domains):
+            return False
+        return all(term.value >= 0 for term in expression.terms)
+
+    def __init__(
+        self,
+        computer: DistanceComputer,
+        current: TensorSum,
+        mapping: MappingState,
+        universe: AnnotationUniverse,
+    ):
+        self.computer = computer
+        self.current = current
+        self.mapping = mapping
+        self.universe = universe
+        self.val_func: VectorValFunc = computer.val_func
+        self.monoid = self.val_func.monoid
+        self._is_max = isinstance(self.monoid, MaxMonoid)
+        self.valuations = list(computer.valuations)
+        self.n_vals = len(self.valuations)
+        self._full_mask = (1 << self.n_vals) - 1
+
+        self._build_masks()
+        self._build_terms()
+        self._baseline = {
+            group: self._group_values(indexes)
+            for group, indexes in self._group_terms.items()
+        }
+        self._orig_aligned = self._align_originals()
+
+    # -- precomputation ---------------------------------------------------------
+
+    def _build_masks(self) -> None:
+        """Lifted false bitmask per current annotation."""
+        self._mask: Dict[str, int] = {
+            name: 0 for name in self.current.annotation_names()
+        }
+        combiners = self.computer.combiners
+        for index, valuation in enumerate(self.valuations):
+            bit = 1 << index
+            for name in combiners.lifted_false_set(
+                valuation, self.mapping, self.universe
+            ):
+                if name in self._mask:
+                    self._mask[name] |= bit
+
+    def _term_mask(self, term: Term, mask_of: Mapping[str, int]) -> int:
+        """Valuations under which ``term`` contributes nothing."""
+        dead = 0
+        for name in term.annotations:
+            dead |= mask_of[name]
+        for guard_token in term.guards:
+            dead |= self._guard_mask(guard_token, mask_of)
+        return dead
+
+    def _guard_mask(self, guard_token: Guard, mask_of: Mapping[str, int]) -> int:
+        compare = _COMPARE[guard_token.op]
+        sat_alive = compare(guard_token.value, guard_token.threshold)
+        sat_dead = compare(0.0, guard_token.threshold)
+        union = 0
+        for name in guard_token.annotations:
+            union |= mask_of.get(name, 0)
+        if sat_alive and sat_dead:
+            return 0
+        if sat_alive and not sat_dead:
+            return union
+        if not sat_alive and sat_dead:
+            return ~union & self._full_mask
+        return self._full_mask
+
+    def _build_terms(self) -> None:
+        self._terms: List[Term] = list(self.current.terms)
+        self._term_dead: List[int] = [
+            self._term_mask(term, self._mask) for term in self._terms
+        ]
+        self._group_terms: Dict[Optional[str], List[int]] = {}
+        self._ann_terms: Dict[str, List[int]] = {}
+        for index, term in enumerate(self._terms):
+            self._group_terms.setdefault(term.group, []).append(index)
+            for name in set(term.all_annotation_names()):
+                self._ann_terms.setdefault(name, []).append(index)
+
+    def _group_values(
+        self,
+        indexes: Sequence[int],
+        override: Optional[Mapping[int, int]] = None,
+    ) -> List[float]:
+        """Aggregate value of one group under every valuation.
+
+        ``override`` substitutes dead masks for (candidate-affected)
+        term indexes.
+        """
+        dead_of = self._term_dead
+        if override is None:
+            masks = [(self._terms[i].value, dead_of[i]) for i in indexes]
+        else:
+            masks = [
+                (self._terms[i].value, override.get(i, dead_of[i]))
+                for i in indexes
+            ]
+        if self._is_max:
+            return self._fold_max(masks)
+        return self._fold_sum(masks)
+
+    def _fold_max(self, masks: List[Tuple[float, int]]) -> List[float]:
+        out = [0.0] * self.n_vals
+        remaining = self._full_mask
+        for value, dead in sorted(masks, key=lambda pair: -pair[0]):
+            alive = ~dead & remaining
+            while alive:
+                bit = alive & -alive
+                out[bit.bit_length() - 1] = value
+                alive ^= bit
+            remaining &= dead
+            if not remaining:
+                break
+        return out
+
+    def _fold_sum(self, masks: List[Tuple[float, int]]) -> List[float]:
+        total = sum(value for value, _ in masks)
+        out = [total] * self.n_vals
+        for value, dead in masks:
+            dead &= self._full_mask
+            while dead:
+                bit = dead & -dead
+                out[bit.bit_length() - 1] -= value
+                dead ^= bit
+        return out
+
+    def _align_originals(self) -> List[Dict[Optional[str], float]]:
+        """Original vectors per valuation, in current-group coordinates."""
+        aligned: List[Dict[Optional[str], float]] = []
+        mapping = self.mapping
+        for index, valuation in enumerate(self.valuations):
+            original = self.computer._original_result(index, valuation)
+            vector: Dict[Optional[str], float] = {}
+            for key, aggregate in original.items():
+                image = mapping.get(key, key) if key is not None else None
+                value = aggregate.finalized_value()
+                if image in vector:
+                    vector[image] = self.monoid.combine(vector[image], value)
+                else:
+                    vector[image] = value
+            aligned.append(vector)
+        return aligned
+
+    # -- candidate scoring ---------------------------------------------------------
+
+    def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
+        """Size and distance of the merge ``parts → c``."""
+        part_set = frozenset(parts)
+        merged_mask = self._full_mask
+        for name in parts:
+            merged_mask &= self._mask[name]
+        substituted = dict(self._mask)
+        marker = "\x00merged"
+        for name in parts:
+            substituted[name] = merged_mask
+        substituted[marker] = merged_mask
+
+        affected: List[int] = []
+        seen: set = set()
+        for name in parts:
+            for index in self._ann_terms.get(name, ()):
+                if index not in seen:
+                    seen.add(index)
+                    affected.append(index)
+
+        override = {
+            index: self._term_mask(self._terms[index], substituted)
+            for index in affected
+        }
+
+        group_merge = any(
+            part in self._group_terms for part in parts
+        )
+        summary = self._candidate_vectors(part_set, marker, override, group_merge)
+        orig = self._orig_for(part_set, marker, group_merge)
+
+        total = 0.0
+        total_weight = 0.0
+        for index, valuation in enumerate(self.valuations):
+            orig_vec = orig[index]
+            summ_vec = summary[index]
+            keys = orig_vec.keys() | summ_vec.keys()
+            value = self.val_func.metric(
+                {key: orig_vec.get(key, 0.0) for key in keys},
+                {key: summ_vec.get(key, 0.0) for key in keys},
+            )
+            total += valuation.weight * value
+            total_weight += valuation.weight
+        distance_value = total / total_weight if total_weight else 0.0
+        max_error = self.computer.max_error
+        normalized = (
+            min(1.0, distance_value / max_error) if max_error > 0 else 0.0
+        )
+        estimate = DistanceEstimate(
+            value=distance_value,
+            normalized=normalized,
+            n_valuations=self.n_vals,
+            exact=True,
+        )
+        return self._candidate_size(part_set, marker, affected), estimate
+
+    def _candidate_vectors(
+        self,
+        parts: FrozenSet[str],
+        marker: str,
+        override: Mapping[int, int],
+        group_merge: bool,
+    ) -> List[Dict[Optional[str], float]]:
+        affected_groups: Dict[Optional[str], List[int]] = {}
+        for index in override:
+            group = self._terms[index].group
+            image = marker if group in parts else group
+            affected_groups.setdefault(image, [])
+        if group_merge:
+            merged_indexes: List[int] = []
+            for part in parts:
+                merged_indexes.extend(self._group_terms.get(part, ()))
+            if merged_indexes:
+                affected_groups[marker] = merged_indexes
+        for group in list(affected_groups):
+            if group == marker:
+                continue
+            affected_groups[group] = self._group_terms[group]
+
+        recomputed = {
+            group: self._group_values(indexes, override)
+            for group, indexes in affected_groups.items()
+        }
+        vectors: List[Dict[Optional[str], float]] = []
+        for index in range(self.n_vals):
+            vector: Dict[Optional[str], float] = {}
+            for group, values in self._baseline.items():
+                if group in parts:
+                    continue
+                if group in recomputed:
+                    vector[group] = recomputed[group][index]
+                else:
+                    vector[group] = values[index]
+            if marker in recomputed:
+                vector[marker] = recomputed[marker][index]
+            vectors.append(vector)
+        return vectors
+
+    def _orig_for(
+        self, parts: FrozenSet[str], marker: str, group_merge: bool
+    ) -> List[Dict[Optional[str], float]]:
+        if not group_merge:
+            return self._orig_aligned
+        adjusted = []
+        for vector in self._orig_aligned:
+            out: Dict[Optional[str], float] = {}
+            for key, value in vector.items():
+                image = marker if key in parts else key
+                if image in out:
+                    out[image] = self.monoid.combine(out[image], value)
+                else:
+                    out[image] = value
+            adjusted.append(out)
+        return adjusted
+
+    def _candidate_size(
+        self, parts: FrozenSet[str], marker: str, affected: Sequence[int]
+    ) -> int:
+        """Size after the merge: only affected terms can newly collide."""
+        size = self.current.size()
+        seen: Dict[Tuple, int] = {}
+        for index in affected:
+            term = self._terms[index]
+            monomial = tuple(
+                sorted(marker if name in parts else name for name in term.annotations)
+            )
+            guards = tuple(
+                (
+                    tuple(
+                        sorted(
+                            marker if name in parts else name
+                            for name in guard_token.annotations
+                        )
+                    ),
+                    guard_token.value,
+                    guard_token.op,
+                    guard_token.threshold,
+                )
+                for guard_token in term.guards
+            )
+            group = marker if term.group in parts else term.group
+            key = (monomial, guards, group)
+            if key in seen:
+                size -= term.size()
+            else:
+                seen[key] = index
+        return size

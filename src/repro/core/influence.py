@@ -1,0 +1,90 @@
+"""Annotation influence analysis.
+
+The introduction motivates provenance with questions like "if some
+contribution seems wrong, how does the information change if we
+discard it?" and the related-work chapter highlights that large
+derivations hide *which facts are influential*.  This module answers
+both directly from the semiring model:
+
+* :func:`annotation_influence` -- for each annotation, the effect of
+  cancelling it alone, measured by a VAL-FUNC against the uncancelled
+  result (the "single spammer" class of Example 3.2.1);
+* :func:`group_influence` -- the same for attribute groups (all Male
+  users, all reviews from one platform, ...);
+* :func:`rank_influential` -- annotations ordered by influence, the
+  related-work notion of "tracking only the most influential facts".
+
+Influence is also a diagnostic for summaries: merging high-influence
+annotations with low-influence ones is what creates summary error, so
+summaries chosen by Algorithm 1 with high ``wDist`` tend to keep
+high-influence annotations separate (exercised in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.annotations import AnnotationUniverse
+from .mapping import MappingState
+
+
+def annotation_influence(
+    expression,
+    val_func,
+    annotations: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Effect of cancelling each annotation alone.
+
+    ``val_func`` is any VAL-FUNC comparing two evaluation results
+    (vector or DDP); the influence of ``a`` is
+    ``VAL-FUNC(result_all_true, result_without_a)``.
+    """
+    names = (
+        sorted(expression.annotation_names())
+        if annotations is None
+        else list(annotations)
+    )
+    identity = MappingState(sorted(expression.annotation_names()))
+    baseline = expression.evaluate(frozenset())
+    influences: Dict[str, float] = {}
+    for name in names:
+        adjusted = expression.evaluate(frozenset((name,)))
+        influences[name] = float(val_func(baseline, adjusted, identity))
+    return influences
+
+
+def group_influence(
+    expression,
+    val_func,
+    universe: AnnotationUniverse,
+    attribute: str,
+) -> Dict[object, float]:
+    """Effect of cancelling each value-group of ``attribute``.
+
+    Mirrors the Cancel-Single-Attribute valuations: the influence of
+    ``gender = M`` is the VAL-FUNC between the full result and the
+    result with every male user's annotation cancelled.
+    """
+    identity = MappingState(sorted(expression.annotation_names()))
+    baseline = expression.evaluate(frozenset())
+    influences: Dict[object, float] = {}
+    present = expression.annotation_names()
+    for value in universe.attribute_values(attribute):
+        names = frozenset(
+            annotation.name
+            for annotation in universe.with_attribute(attribute, value)
+            if annotation.name in present
+        )
+        if not names:
+            continue
+        adjusted = expression.evaluate(names)
+        influences[value] = float(val_func(baseline, adjusted, identity))
+    return influences
+
+
+def rank_influential(
+    influences: Mapping[str, float], top: Optional[int] = None
+) -> List[Tuple[str, float]]:
+    """Annotations by decreasing influence (ties broken by name)."""
+    ordered = sorted(influences.items(), key=lambda item: (-item[1], item[0]))
+    return ordered if top is None else ordered[:top]

@@ -1,0 +1,87 @@
+"""Cumulative annotation mappings (the homomorphism ``h`` of §3.1).
+
+Algorithm 1 builds its homomorphism gradually -- one pair merge per
+step.  :class:`MappingState` tracks the *composition* of all steps so
+far as a base-annotation → current-annotation table, which is exactly
+what the distance machinery needs:
+
+* lifting a valuation ``v ∈ V_Ann`` to the summary's annotations
+  touches only the current annotations of the bases ``v`` deviates on;
+* the Euclidean VAL-FUNC aligns the original evaluation vector with the
+  summary's by pushing original group keys through the table.
+
+States are immutable; :meth:`compose` returns a new state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class MappingState(Mapping[str, str]):
+    """An immutable base → current annotation mapping.
+
+    Starts as the identity on the base annotations and composes
+    single-step homomorphisms (each mapping a few current annotations
+    to one new summary annotation).
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, base_names: Iterable[str]):
+        self._table: Dict[str, str] = {name: name for name in base_names}
+
+    @classmethod
+    def _from_table(cls, table: Dict[str, str]) -> "MappingState":
+        state = cls(())
+        state._table = table
+        return state
+
+    def compose(self, step: Mapping[str, str]) -> "MappingState":
+        """Compose with a single-step homomorphism over *current* names.
+
+        ``step`` maps some current annotations to their replacement;
+        unmentioned names stay fixed.
+        """
+        return MappingState._from_table(
+            {
+                base: step.get(current, current)
+                for base, current in self._table.items()
+            }
+        )
+
+    # -- Mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, base: str) -> str:
+        return self._table[base]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- queries ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self._table)
+
+    def current_names(self) -> Tuple[str, ...]:
+        """Distinct current annotation names, in base order."""
+        seen: Dict[str, None] = {}
+        for current in self._table.values():
+            seen.setdefault(current)
+        return tuple(seen)
+
+    def preimage(self, current: str) -> Tuple[str, ...]:
+        """Base annotations mapped to ``current``."""
+        return tuple(
+            base for base, image in self._table.items() if image == current
+        )
+
+    def is_identity(self) -> bool:
+        return all(base == current for base, current in self._table.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        merged = sum(1 for base, current in self._table.items() if base != current)
+        return f"<MappingState over {len(self)} bases, {merged} remapped>"

@@ -1,0 +1,98 @@
+"""Problem and configuration objects for the summarization algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..provenance.annotations import AnnotationUniverse
+from ..provenance.valuation_classes import ValuationClass
+from ..taxonomy.dag import Taxonomy
+from .combiners import DomainCombiners
+from .constraints import MergeConstraint
+from .scoring import SCORING_STRATEGIES
+
+
+@dataclass
+class SummarizationProblem:
+    """Everything Algorithm 1 needs besides its tuning knobs.
+
+    Mirrors one row of Table 5.1: the provenance expression and its
+    annotation universe, the valuation class ``V_Ann``, the VAL-FUNC,
+    the per-domain combiners ``φ``, the semantic merge constraints and
+    (optionally) the taxonomy used for tie-breaking.
+    """
+
+    expression: object
+    universe: AnnotationUniverse
+    valuations: ValuationClass
+    val_func: object
+    combiners: DomainCombiners
+    constraint: MergeConstraint
+    taxonomy: Optional[Taxonomy] = None
+    description: str = ""
+
+    def describe(self) -> str:
+        """One-paragraph Table 5.1-style description."""
+        lines = [
+            self.description or "summarization problem",
+            f"  expression size: {self.expression.size()}",
+            f"  annotations: {len(self.expression.annotation_names())}",
+            f"  valuation class: {self.valuations.name} ({len(self.valuations)})",
+            f"  VAL-FUNC: {getattr(self.val_func, 'name', type(self.val_func).__name__)}",
+            f"  φ combiners: {self.combiners.describe()}",
+            f"  constraints: {self.constraint.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class SummarizationConfig:
+    """Tuning knobs of Algorithm 1 (§3.2 "Computational problems").
+
+    The three problem flavors map onto the knobs as the thesis
+    prescribes:
+
+    1. *weights*: choose ``w_dist`` (``w_size`` defaults to its
+       complement), keep ``target_size=1`` / ``target_dist=1.0`` and
+       bound ``max_steps``;
+    2. *TARGET-SIZE*: set ``w_dist=1``, ``target_dist=1.0``, and the
+       desired ``target_size``;
+    3. *TARGET-DIST*: set ``w_dist=0``, ``target_size=1``, and the
+       desired ``target_dist``.
+    """
+
+    w_dist: float = 0.5
+    w_size: Optional[float] = None
+    target_size: int = 1
+    target_dist: float = 1.0
+    max_steps: Optional[int] = None
+    merge_arity: int = 2
+    scoring: str = "normalized"
+    group_equivalent_first: bool = True
+    max_enumerate: int = 512
+    distance_samples: Optional[int] = None
+    epsilon: float = 0.05
+    delta: float = 0.9
+    candidate_cap: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.w_dist <= 1.0:
+            raise ValueError("w_dist must be in [0, 1]")
+        if self.w_size is None:
+            self.w_size = 1.0 - self.w_dist
+        if abs(self.w_dist + self.w_size - 1.0) > 1e-9:
+            raise ValueError("w_dist + w_size must equal 1 (Definition 3.2.4)")
+        if self.target_size < 1:
+            raise ValueError("target_size must be at least 1")
+        if not 0.0 <= self.target_dist <= 1.0:
+            raise ValueError("target_dist is a normalized distance in [0, 1]")
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if self.merge_arity < 2:
+            raise ValueError("merge_arity must be at least 2")
+        if self.scoring not in SCORING_STRATEGIES:
+            raise ValueError(
+                f"scoring must be one of {SCORING_STRATEGIES}, got {self.scoring!r}"
+            )

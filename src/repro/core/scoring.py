@@ -1,0 +1,117 @@
+"""Candidate scoring (``CandidateScore``, Definition 3.2.4).
+
+Each candidate merge is scored by a weighted combination of its
+distance rank and its size rank:
+
+    CandidateScore = wDist * rDist + wSize * rSize
+
+Definition 3.2.4 calls the two components *ranks*; we support both
+natural readings:
+
+* ``"normalized"`` (default) -- ``rDist`` is the normalized approximate
+  distance (already in ``[0, 1]`` after dividing by the maximum
+  possible error) and ``rSize`` the candidate's size divided by the
+  *original* expression's size.  Both live on an absolute scale, so
+  scores are comparable across steps.
+* ``"ordinal"`` -- components are the candidate's fractional rank
+  within the step's candidate set (0 for the best candidate, 1 for the
+  worst, ties sharing a rank).  This reading is scale-free; the
+  ``bench_ablation_scoring`` benchmark compares the two.
+
+Ties on the score are broken by taxonomy cost (MAX or SUM of Wu-Palmer
+distances of the merged annotations to their new concept, §4.2) and
+then deterministically by the merged annotation names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .candidates import Candidate
+from .distance import DistanceEstimate
+
+#: Recognized values for the ``scoring`` configuration knob.
+SCORING_STRATEGIES = ("normalized", "ordinal")
+
+
+@dataclass
+class ScoredCandidate:
+    """A candidate together with its measured quality and final score."""
+
+    candidate: Candidate
+    expression: object
+    step_mapping: Dict[str, str]
+    size: int
+    distance: DistanceEstimate
+    r_dist: float = 0.0
+    r_size: float = 0.0
+    score: float = 0.0
+
+    @property
+    def taxonomy_cost(self) -> float:
+        return self.candidate.proposal.taxonomy_cost
+
+    def sort_key(self) -> Tuple[float, float, Tuple[str, ...]]:
+        """Score, then taxonomy tie-break, then deterministic order."""
+        return (self.score, self.taxonomy_cost, self.candidate.parts)
+
+
+def score_candidates(
+    measured: Sequence[ScoredCandidate],
+    w_dist: float,
+    w_size: float,
+    original_size: int,
+    strategy: str = "normalized",
+) -> List[ScoredCandidate]:
+    """Fill in ``r_dist`` / ``r_size`` / ``score`` and sort best-first."""
+    if strategy not in SCORING_STRATEGIES:
+        raise ValueError(
+            f"unknown scoring strategy {strategy!r}; expected one of "
+            f"{SCORING_STRATEGIES}"
+        )
+    if not measured:
+        return []
+    if strategy == "normalized":
+        for entry in measured:
+            entry.r_dist = entry.distance.normalized
+            entry.r_size = entry.size / original_size if original_size else 0.0
+    else:
+        _assign_ordinal_ranks(measured)
+    ordered = list(measured)
+    for entry in ordered:
+        entry.score = w_dist * entry.r_dist + w_size * entry.r_size
+    ordered.sort(key=ScoredCandidate.sort_key)
+    return ordered
+
+
+def _assign_ordinal_ranks(measured: Sequence[ScoredCandidate]) -> None:
+    """Fractional ranks in [0, 1]; equal measurements share a rank."""
+    span = max(1, len(measured) - 1)
+
+    def fill(values: Sequence[float], setter) -> None:
+        order = sorted(range(len(values)), key=lambda index: values[index])
+        rank_of: Dict[int, float] = {}
+        position = 0
+        while position < len(order):
+            tied = [order[position]]
+            while (
+                position + len(tied) < len(order)
+                and values[order[position + len(tied)]] == values[tied[0]]
+            ):
+                tied.append(order[position + len(tied)])
+            rank = position / span
+            for index in tied:
+                rank_of[index] = rank
+            position += len(tied)
+        for index, entry in enumerate(measured):
+            setter(entry, rank_of[index])
+
+    fill(
+        [entry.distance.normalized for entry in measured],
+        lambda entry, rank: setattr(entry, "r_dist", rank),
+    )
+    fill(
+        [float(entry.size) for entry in measured],
+        lambda entry, rank: setattr(entry, "r_size", rank),
+    )

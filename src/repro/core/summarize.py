@@ -1,0 +1,357 @@
+"""The provenance summarization algorithm (Algorithm 1, Ch. 4.2).
+
+The algorithm builds its homomorphism gradually.  Line 1 merges
+valuation-equivalent annotations (distance stays exactly 0,
+Proposition 4.2.1).  Each subsequent step enumerates the
+constraint-satisfying single-pair merges (``CandidateHom``), measures
+every candidate's size and approximate distance from the *original*
+expression, picks the candidate with the minimal
+``CandidateScore = wDist*rDist + wSize*rSize`` (taxonomy distances
+break ties) and repeats until a stop condition fires:
+
+* the expression reached ``TARGET-SIZE``;
+* the distance reached ``TARGET-DIST`` -- in which case the *previous*
+  expression (the last one within the bound) is returned, as in the
+  final lines of Algorithm 1;
+* the step budget ran out, or no candidate merge remains.
+
+Note on the loop condition: the thesis's pseudo-code writes the two
+stop conditions with ``or`` but describes them ("the stop condition
+for TARGET-SIZE (TARGET-DIST) is when the expression meets the size
+(resp. distance) bound") and uses them experimentally (§6.5, §6.6) as
+independent stopping rules; we implement the described semantics --
+either bound being met stops the loop.
+
+Greedy search is justified by monotonicity (Proposition 4.2.2): along
+any merge chain the distance never decreases and the size never
+increases, so a step that overshoots a bound can never be repaired by
+later steps.
+
+Instrumentation: every step records wall-clock time and the average
+per-candidate measurement time -- the quantities plotted in Fig. 6.5.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from .candidates import Candidate, enumerate_candidates, virtual_summary
+from .distance import DistanceComputer, DistanceEstimate
+from .equivalence import group_equivalent
+from .fast_distance import FastStepScorer
+from .mapping import MappingState
+from .problem import SummarizationConfig, SummarizationProblem
+from .scoring import ScoredCandidate, score_candidates
+
+
+class _OverlayUniverse:
+    """Read-only view of a universe plus a few virtual annotations.
+
+    Candidate scoring evaluates merges that are mostly discarded; the
+    overlay lets the distance machinery resolve a candidate's virtual
+    summary annotation without registering it.
+    """
+
+    __slots__ = ("_base", "_extra")
+
+    def __init__(self, base: AnnotationUniverse, extra: Mapping[str, Annotation]):
+        self._base = base
+        self._extra = dict(extra)
+
+    def __getitem__(self, name: str) -> Annotation:
+        extra = self._extra.get(name)
+        if extra is not None:
+            return extra
+        return self._base[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extra or name in self._base
+
+
+@dataclass
+class StepRecord:
+    """One greedy step: what merged and what it cost.
+
+    ``distance_after`` is the approximate distance of the expression
+    after the step; baselines leave it ``None`` when no stop condition
+    forced them to compute it.
+    """
+
+    step: int
+    merged: Tuple[str, ...]
+    new_annotation: str
+    label: str
+    size_after: int
+    distance_after: Optional[DistanceEstimate]
+    n_candidates: int
+    candidate_seconds: float
+    step_seconds: float
+
+    @property
+    def step_mapping(self) -> Dict[str, str]:
+        """The single-step homomorphism this step applied."""
+        return {name: self.new_annotation for name in self.merged}
+
+
+@dataclass
+class SummarizationResult:
+    """Output of Algorithm 1 plus the telemetry the experiments plot."""
+
+    original_expression: object
+    summary_expression: object
+    mapping: MappingState
+    universe: AnnotationUniverse
+    steps: List[StepRecord]
+    stop_reason: str
+    final_size: int
+    final_distance: DistanceEstimate
+    equivalence_merges: int
+    total_seconds: float
+    config: SummarizationConfig
+    equivalence_mapping: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def original_size(self) -> int:
+        return self.original_expression.size()
+
+    def size_trajectory(self) -> List[int]:
+        """Expression size after every step (starting point included)."""
+        sizes = [self.original_size]
+        sizes.extend(record.size_after for record in self.steps)
+        return sizes
+
+    def at_step(self, step: int):
+        """The expression after ``step`` greedy steps (0 = after the
+        equivalence grouping) -- the UI's left/right arrows (Figs
+        7.5-7.8 let the user "observe the algorithm in action, step by
+        step").
+        """
+        if not 0 <= step <= len(self.steps):
+            raise IndexError(
+                f"step must be in [0, {len(self.steps)}], got {step}"
+            )
+        expression = self.original_expression
+        if self.equivalence_mapping:
+            expression = expression.apply_mapping(self.equivalence_mapping)
+        for record in self.steps[:step]:
+            expression = expression.apply_mapping(record.step_mapping)
+        return expression
+
+    def summary_groups(self) -> Dict[str, Tuple[str, ...]]:
+        """Final summary annotation → the base annotations it stands for."""
+        groups: Dict[str, Tuple[str, ...]] = {}
+        for current in self.mapping.current_names():
+            annotation = self.universe[current]
+            if annotation.is_summary:
+                groups[current] = tuple(sorted(annotation.base_members()))
+        return groups
+
+
+class Summarizer:
+    """Runs Algorithm 1 on a :class:`SummarizationProblem`."""
+
+    def __init__(self, problem: SummarizationProblem, config: SummarizationConfig):
+        self.problem = problem
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def run(self) -> SummarizationResult:
+        problem, config = self.problem, self.config
+        started = time.perf_counter()
+        original = problem.expression
+        mapping = MappingState(sorted(original.annotation_names()))
+        computer = DistanceComputer(
+            original,
+            problem.valuations,
+            problem.val_func,
+            problem.combiners,
+            problem.universe,
+            max_enumerate=config.max_enumerate,
+            n_samples=config.distance_samples,
+            epsilon=config.epsilon,
+            delta=config.delta,
+            rng=self._rng,
+        )
+
+        current = original
+        equivalence_merges = 0
+        equivalence_mapping: Dict[str, str] = {}
+        if config.group_equivalent_first:
+            current, equivalence_mapping, equivalence_merges = group_equivalent(
+                original, problem.universe, problem.valuations, problem.constraint
+            )
+            if equivalence_mapping:
+                mapping = mapping.compose(equivalence_mapping)
+
+        steps: List[StepRecord] = []
+        previous: Optional[Tuple[object, MappingState]] = None
+        last_distance: Optional[DistanceEstimate] = None
+        stop_reason = "exhausted"
+        while True:
+            # The distance bound is checked before the size bound: the
+            # final lines of Algorithm 1 revert to the previous
+            # expression whenever the bound is exceeded, even if the
+            # same step also reached TARGET-SIZE.
+            if config.target_dist < 1.0:
+                distance = (
+                    last_distance
+                    if last_distance is not None
+                    else computer.distance(current, mapping)
+                )
+                if distance.normalized >= config.target_dist:
+                    if previous is not None:
+                        current, mapping = previous
+                        steps.pop()
+                    stop_reason = "target_dist"
+                    break
+            if current.size() <= config.target_size:
+                stop_reason = "target_size"
+                break
+            if config.max_steps is not None and len(steps) >= config.max_steps:
+                stop_reason = "max_steps"
+                break
+
+            step_started = time.perf_counter()
+            candidates = enumerate_candidates(
+                current,
+                problem.universe,
+                problem.constraint,
+                arity=config.merge_arity,
+                cap=config.candidate_cap,
+                rng=self._rng,
+            )
+            if not candidates:
+                stop_reason = "exhausted"
+                break
+
+            measured, scoring_seconds = self._measure_candidates(
+                candidates, current, mapping, computer
+            )
+            candidate_seconds = scoring_seconds / len(candidates)
+            scored = score_candidates(
+                measured,
+                w_dist=config.w_dist,
+                w_size=config.w_size,
+                original_size=original.size(),
+                strategy=config.scoring,
+            )
+            best = scored[0]
+
+            summary_parts = [problem.universe[name] for name in best.candidate.parts]
+            summary = problem.universe.new_summary(
+                summary_parts,
+                label=best.candidate.proposal.label,
+                concept=best.candidate.proposal.concept,
+            )
+            step_mapping = {name: summary.name for name in best.candidate.parts}
+            previous = (current, mapping)
+            current = current.apply_mapping(step_mapping)
+            mapping = mapping.compose(step_mapping)
+            last_distance = best.distance
+            steps.append(
+                StepRecord(
+                    step=len(steps) + 1,
+                    merged=best.candidate.parts,
+                    new_annotation=summary.name,
+                    label=best.candidate.proposal.label,
+                    size_after=current.size(),
+                    distance_after=best.distance,
+                    n_candidates=len(candidates),
+                    candidate_seconds=candidate_seconds,
+                    step_seconds=time.perf_counter() - step_started,
+                )
+            )
+
+        final_distance = computer.distance(current, mapping)
+        return SummarizationResult(
+            original_expression=original,
+            summary_expression=current,
+            mapping=mapping,
+            universe=problem.universe,
+            steps=steps,
+            stop_reason=stop_reason,
+            final_size=current.size(),
+            final_distance=final_distance,
+            equivalence_merges=equivalence_merges,
+            total_seconds=time.perf_counter() - started,
+            config=config,
+            equivalence_mapping=equivalence_mapping,
+        )
+
+    def _measure_candidates(
+        self,
+        candidates: List[Candidate],
+        current,
+        mapping: MappingState,
+        computer: DistanceComputer,
+    ) -> Tuple[List[ScoredCandidate], float]:
+        """Apply each candidate and measure its size and distance.
+
+        Uses the batch scorer of :mod:`repro.core.fast_distance` when
+        its preconditions hold (identical results, far cheaper);
+        otherwise each candidate expression is materialized and scored
+        through the reference :class:`DistanceComputer`.
+
+        Returns the scored candidates and the pure per-candidate
+        scoring time (excluding the step's shared precomputation) --
+        the quantity Fig. 6.5a plots.
+        """
+        problem = self.problem
+        if FastStepScorer.applicable(
+            current,
+            problem.val_func,
+            problem.combiners,
+            problem.valuations,
+            problem.universe,
+            self.config.max_enumerate,
+        ):
+            scorer = FastStepScorer(computer, current, mapping, problem.universe)
+            measured = []
+            scoring_started = time.perf_counter()
+            for candidate in candidates:
+                size, distance = scorer.score(candidate.parts)
+                measured.append(
+                    ScoredCandidate(
+                        candidate=candidate,
+                        expression=None,
+                        step_mapping={},
+                        size=size,
+                        distance=distance,
+                    )
+                )
+            return measured, time.perf_counter() - scoring_started
+        measured = []
+        scoring_started = time.perf_counter()
+        for candidate in candidates:
+            parts = [problem.universe[name] for name in candidate.parts]
+            virtual = virtual_summary(parts, candidate.proposal)
+            overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
+            step_mapping = {name: virtual.name for name in candidate.parts}
+            expression = current.apply_mapping(step_mapping)
+            candidate_mapping = mapping.compose(step_mapping)
+            distance = computer.distance(expression, candidate_mapping, universe=overlay)
+            measured.append(
+                ScoredCandidate(
+                    candidate=candidate,
+                    expression=expression,
+                    step_mapping=step_mapping,
+                    size=expression.size(),
+                    distance=distance,
+                )
+            )
+        return measured, time.perf_counter() - scoring_started
+
+
+def summarize(
+    problem: SummarizationProblem, config: Optional[SummarizationConfig] = None
+) -> SummarizationResult:
+    """Convenience wrapper: run Algorithm 1 with the given (or default) config."""
+    return Summarizer(problem, config or SummarizationConfig()).run()

@@ -1,0 +1,27 @@
+"""Provenance dataset builders of Chapter 5 (Table 5.1)."""
+
+from .base import DatasetInstance, format_table_5_1
+from .ddp import (
+    MAX_COST_PER_TRANSITION,
+    MAX_TRANSITIONS_PER_EXECUTION,
+    DDPConfig,
+    generate_ddp,
+)
+from .loaders import load_movielens_100k, load_wikipedia_edits
+from .movielens import MovieLensConfig, generate_movielens
+from .wikipedia import WikipediaConfig, generate_wikipedia
+
+__all__ = [
+    "DDPConfig",
+    "DatasetInstance",
+    "MAX_COST_PER_TRANSITION",
+    "MAX_TRANSITIONS_PER_EXECUTION",
+    "MovieLensConfig",
+    "WikipediaConfig",
+    "format_table_5_1",
+    "generate_ddp",
+    "generate_movielens",
+    "generate_wikipedia",
+    "load_movielens_100k",
+    "load_wikipedia_edits",
+]

@@ -1,0 +1,97 @@
+"""Common shape of the three provenance datasets (Ch. 5, Table 5.1).
+
+A :class:`DatasetInstance` bundles a generated provenance expression
+with everything Table 5.1 specifies for its dataset: the annotation
+universe, default valuation class, VAL-FUNC, ``φ`` combiners, merge
+constraints, optional taxonomy, and the feature specs the Clustering
+baseline uses.  ``instance.problem()`` turns it into the
+:class:`~repro.core.problem.SummarizationProblem` Algorithm 1 and the
+baselines consume.
+
+Because summarizers register summary annotations into the universe,
+each algorithm run should receive a *fresh* instance; the generators
+are fully seeded, so regenerating is cheap and exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..core.baselines import ClusterDomainSpec
+from ..core.combiners import DomainCombiners
+from ..core.constraints import MergeConstraint
+from ..core.problem import SummarizationProblem
+from ..provenance.annotations import AnnotationUniverse
+from ..provenance.valuation_classes import ValuationClass
+from ..taxonomy.dag import Taxonomy
+
+
+@dataclass
+class DatasetInstance:
+    """One generated provenance expression plus its Table 5.1 row."""
+
+    name: str
+    expression: object
+    universe: AnnotationUniverse
+    valuations: ValuationClass
+    val_func: object
+    combiners: DomainCombiners
+    constraint: MergeConstraint
+    taxonomy: Optional[Taxonomy] = None
+    cluster_specs: Sequence[ClusterDomainSpec] = ()
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def problem(
+        self, valuations: Optional[ValuationClass] = None
+    ) -> SummarizationProblem:
+        """The summarization problem this instance poses.
+
+        ``valuations`` overrides the dataset's default valuation class
+        (the experiments switch between Cancel-Single-Annotation and
+        Cancel-Single-Attribute).
+        """
+        return SummarizationProblem(
+            expression=self.expression,
+            universe=self.universe,
+            valuations=valuations if valuations is not None else self.valuations,
+            val_func=self.val_func,
+            combiners=self.combiners,
+            constraint=self.constraint,
+            taxonomy=self.taxonomy,
+            description=self.name,
+        )
+
+    def describe_row(self) -> Dict[str, str]:
+        """This dataset's Table 5.1 row."""
+        return {
+            "Type": self.name,
+            "Structure": str(self.metadata.get("structure", "")),
+            "Mapping Constraints": self.constraint.describe(),
+            "Aggregation": str(self.metadata.get("aggregation", "")),
+            "Valuations Classes": self.valuations.name,
+            "φ Functions": self.combiners.describe(),
+            "VAL-FUNC": getattr(
+                self.val_func, "name", type(self.val_func).__name__
+            ),
+        }
+
+
+def format_table_5_1(rows: Sequence[Dict[str, str]]) -> str:
+    """Render Table 5.1 rows as an aligned text table."""
+    if not rows:
+        return "(no datasets)"
+    headers = list(rows[0])
+    widths = {
+        header: max(len(header), *(len(str(row[header])) for row in rows))
+        for header in headers
+    }
+    lines = [
+        " | ".join(header.ljust(widths[header]) for header in headers),
+        "-+-".join("-" * widths[header] for header in headers),
+    ]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row[header]).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)

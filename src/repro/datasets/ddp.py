@@ -1,0 +1,196 @@
+"""Synthetic Data-Dependent Process provenance (§5.1 item 3, Example 5.2.2).
+
+A DDP provenance expression sums over *executions*, each a product of
+transitions: user-dependent ``⟨c_k, 1⟩`` (cost variable, effort up to
+10) and database-dependent ``⟨0, [d_i · d_j] ≠ 0⟩`` / ``= 0`` guards.
+Evaluation lives in the tropical semiring; the VAL-FUNC is the cost
+difference of Example 5.2.2 with the 10 × 5 infeasibility penalty.
+
+Generator design (DESIGN.md substitution).  The thesis generated DDP
+expressions "based on the structure described in [17]" -- executions of
+a state machine share structure because they traverse the same states.
+We model that with *templates*: each template fixes a sequence of
+transition slots (a cost slot drawing from one cost bucket, or a DB
+slot drawing from one relation), and every execution instantiates the
+template with concrete variables.  Mapping two same-bucket cost
+variables (or same-relation DB variables) to one new variable can then
+make two instantiations *equal*, at which point the sum of executions
+deduplicates and the provenance size drops -- exactly the dynamics of
+the thesis's worked example.
+
+Merge constraints (Table 5.1): cost variables sharing a cost bucket
+("more or less the same cost") may merge; database variables sharing a
+source relation may merge.  ``φ`` combiners: logical OR for DB
+variables, MAX for cost variables.  The Cancel-Single-Attribute
+valuation class cancels by *exact* cost (cost variables) and by key
+range (DB variables) -- both finer than the merge constraints, so
+merges trade real distance for size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.combiners import MAXC, OR, DomainCombiners
+from ..core.constraints import DomainConstraints, SharedAttribute
+from ..core.val_funcs import DDPCostDifference
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.ddp_expression import (
+    CostTransition,
+    DBTransition,
+    DDPExpression,
+    Execution,
+)
+from ..provenance.valuation_classes import (
+    CancelSingleAnnotation,
+    CancelSingleAttribute,
+    ValuationClass,
+)
+from .base import DatasetInstance
+
+#: Table 5.1 / Example 5.2.2 constants: the maximum cost of a single
+#: transition and the maximum number of transitions per execution.
+MAX_COST_PER_TRANSITION = 10.0
+MAX_TRANSITIONS_PER_EXECUTION = 5
+
+
+@dataclass(frozen=True)
+class DDPConfig:
+    """Knobs of the DDP provenance generator."""
+
+    n_templates: int = 4
+    executions_per_template: int = 5
+    min_transitions: int = 2
+    max_transitions: int = MAX_TRANSITIONS_PER_EXECUTION
+    n_db_vars: int = 12
+    n_cost_vars: int = 14
+    n_relations: int = 3
+    n_key_ranges: int = 4
+    n_cost_buckets: int = 3
+    equality_guard_probability: float = 0.2
+    valuation_class: str = "attribute"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_templates < 1 or self.executions_per_template < 1:
+            raise ValueError("need at least one template and one execution")
+        if not 1 <= self.min_transitions <= self.max_transitions:
+            raise ValueError("invalid transition bounds")
+        if self.max_transitions > MAX_TRANSITIONS_PER_EXECUTION:
+            raise ValueError(
+                f"executions have at most {MAX_TRANSITIONS_PER_EXECUTION} "
+                f"transitions (Example 5.2.2)"
+            )
+        if self.valuation_class not in ("annotation", "attribute"):
+            raise ValueError("valuation_class must be 'annotation' or 'attribute'")
+
+
+def generate_ddp(config: DDPConfig = DDPConfig()) -> DatasetInstance:
+    """Generate one DDP provenance instance (seeded)."""
+    rng = random.Random(config.seed)
+    universe = AnnotationUniverse()
+
+    bucket_width = MAX_COST_PER_TRANSITION / config.n_cost_buckets
+    cost_by_bucket: Dict[int, List[Annotation]] = {}
+    for index in range(config.n_cost_vars):
+        bucket = index % config.n_cost_buckets
+        low = bucket * bucket_width
+        cost = round(rng.uniform(max(1.0, low), low + bucket_width), 1)
+        annotation = universe.register(
+            Annotation(
+                name=f"c{index + 1}",
+                domain="cost",
+                attributes={"cost_bucket": f"B{bucket}", "cost": cost},
+            )
+        )
+        cost_by_bucket.setdefault(bucket, []).append(annotation)
+
+    db_by_relation: Dict[int, List[Annotation]] = {}
+    for index in range(config.n_db_vars):
+        relation = index % config.n_relations
+        annotation = universe.register(
+            Annotation(
+                name=f"d{index + 1}",
+                domain="db",
+                attributes={
+                    "relation": f"R{relation}",
+                    "key_range": f"K{rng.randrange(config.n_key_ranges)}",
+                },
+            )
+        )
+        db_by_relation.setdefault(relation, []).append(annotation)
+
+    # Templates: a fixed slot sequence; executions instantiate slots
+    # with concrete variables from the slot's pool.
+    executions: List[Execution] = []
+    for _ in range(config.n_templates):
+        length = rng.randint(config.min_transitions, config.max_transitions)
+        slots: List[Tuple[str, int, str]] = []
+        for position in range(length):
+            if position % 2 == 0:
+                slots.append(("cost", rng.randrange(config.n_cost_buckets), ""))
+            else:
+                op = (
+                    "=="
+                    if rng.random() < config.equality_guard_probability
+                    else "!="
+                )
+                slots.append(("db", rng.randrange(config.n_relations), op))
+        for _ in range(config.executions_per_template):
+            transitions: List[object] = []
+            for kind, pool_index, op in slots:
+                if kind == "cost":
+                    var = rng.choice(cost_by_bucket[pool_index])
+                    transitions.append(
+                        CostTransition(var.name, float(var.attributes["cost"]))
+                    )
+                else:
+                    pool = db_by_relation[pool_index]
+                    if len(pool) >= 2:
+                        first, second = rng.sample(pool, 2)
+                    else:
+                        first = second = pool[0]
+                    transitions.append(
+                        DBTransition(tuple(sorted({first.name, second.name})), op)
+                    )
+            executions.append(Execution(transitions))
+    expression = DDPExpression(executions)
+
+    if config.valuation_class == "annotation":
+        valuations: ValuationClass = CancelSingleAnnotation(universe)
+    else:
+        # Finer-grained than the merge constraints (exact cost vs cost
+        # bucket; key range vs relation), so within-bucket merges have
+        # genuine distance cost.
+        valuations = CancelSingleAttribute(
+            universe, attributes=("cost", "key_range")
+        )
+
+    constraint = DomainConstraints(
+        {
+            "cost": SharedAttribute(("cost_bucket",)),
+            "db": SharedAttribute(("relation",)),
+        }
+    )
+
+    return DatasetInstance(
+        name="DDP",
+        expression=expression,
+        universe=universe,
+        valuations=valuations,
+        val_func=DDPCostDifference(
+            MAX_COST_PER_TRANSITION, MAX_TRANSITIONS_PER_EXECUTION
+        ),
+        combiners=DomainCombiners(default=OR, per_domain={"cost": MAXC}),
+        constraint=constraint,
+        taxonomy=None,
+        cluster_specs=(),  # §6.1: no meaningful feature vectors for DDPs
+        metadata={
+            "structure": "⟨c1,1⟩·⟨0,[d1·d2]≠0⟩ + ⟨0,[d2·d3]=0⟩·⟨c2,1⟩ + ...",
+            "aggregation": "tropical (min, +)",
+            "config": config,
+            "n_executions": len(expression.executions),
+        },
+    )

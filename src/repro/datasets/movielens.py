@@ -1,0 +1,226 @@
+"""Synthetic MovieLens provenance (§5.1 item 1, Table 5.1 row 1).
+
+The thesis summarizes provenance of aggregated MovieLens ratings with
+the structure::
+
+    (UserID_1 · MovieTitle_1 · MovieYear_1) ⊗ (Rating_1, 1) ⊕
+    (UserID_2 · MovieTitle_2 · MovieYear_2) ⊗ (Rating_2, 1) ⊕ ...
+
+We cannot ship the MovieLens dump, but the algorithm only consumes the
+expression above plus user attributes and merge constraints, so a
+seeded generator with MovieLens-100k attribute marginals (gender ~71%
+male; the seven MovieLens age buckets; the 21 occupation labels)
+substitutes faithfully -- see DESIGN.md.
+
+Users carry gender / age-range / occupation / zip-code attributes (the
+Table 5.1 mapping constraints); movie-title annotations carry genre /
+year / decade and year annotations carry the decade, so the PROX
+system can also merge movie annotations as in Figures 7.3/7.7.  The
+*experiments* merge users only, matching Table 5.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.baselines import ClusterDomainSpec
+from ..core.combiners import DomainCombiners
+from ..core.constraints import DomainConstraints, SharedAttribute
+from ..core.val_funcs import EuclideanDistance
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.monoids import monoid_by_name
+from ..provenance.tensor_sum import TensorSum, Term
+from ..provenance.valuation_classes import (
+    CancelSingleAnnotation,
+    CancelSingleAttribute,
+    ValuationClass,
+)
+from .base import DatasetInstance
+
+#: MovieLens-100k gender marginal.
+_GENDERS: Tuple[Tuple[str, float], ...] = (("M", 0.71), ("F", 0.29))
+
+#: The MovieLens age buckets.
+_AGE_RANGES: Tuple[str, ...] = (
+    "Under 18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+",
+)
+
+#: The 21 MovieLens occupation labels.
+_OCCUPATIONS: Tuple[str, ...] = (
+    "academic/educator", "artist", "clerical/admin", "college/grad student",
+    "customer service", "doctor/health care", "executive/managerial",
+    "farmer", "homemaker", "K-12 student", "lawyer", "programmer",
+    "retired", "sales/marketing", "scientist", "self-employed",
+    "technician/engineer", "tradesman/craftsman", "unemployed", "writer",
+    "other",
+)
+
+_GENRES: Tuple[str, ...] = (
+    "drama", "comedy", "action", "thriller", "romance", "sci-fi",
+    "horror", "documentary", "animation", "crime",
+)
+
+_TITLE_STEMS: Tuple[str, ...] = (
+    "Match Point", "Blue Jasmine", "Party Girl", "Bye Bye Love", "Sleepover",
+    "Man of the House", "Friday", "The Fury", "Near Dark", "Titanic",
+    "Raise the Titanic", "Remember the Titans", "Annie Hall", "Clerks",
+    "Heat", "Casino", "Twister", "Fargo", "Scream", "Contact",
+)
+
+
+@dataclass(frozen=True)
+class MovieLensConfig:
+    """Knobs of the synthetic MovieLens provenance generator."""
+
+    n_users: int = 30
+    n_movies: int = 12
+    min_ratings_per_user: int = 3
+    max_ratings_per_user: int = 7
+    aggregation: str = "MAX"
+    valuation_class: str = "attribute"
+    constraint_attributes: Tuple[str, ...] = (
+        "gender", "age_range", "occupation", "zip_region",
+    )
+    n_zip_regions: int = 6
+    include_movie_merges: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2 or self.n_movies < 1:
+            raise ValueError("need at least 2 users and 1 movie")
+        if self.min_ratings_per_user < 1:
+            raise ValueError("users must rate at least one movie")
+        if self.max_ratings_per_user < self.min_ratings_per_user:
+            raise ValueError("max_ratings_per_user < min_ratings_per_user")
+        if self.valuation_class not in ("annotation", "attribute"):
+            raise ValueError(
+                "valuation_class must be 'annotation' or 'attribute'"
+            )
+
+
+def _weighted_choice(rng: random.Random, options) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, weight in options:
+        cumulative += weight
+        if roll <= cumulative:
+            return value
+    return options[-1][0]
+
+
+def generate_movielens(config: MovieLensConfig = MovieLensConfig()) -> DatasetInstance:
+    """Generate one MovieLens provenance instance.
+
+    Deterministic in ``config.seed``: the same config always yields the
+    same expression, universe and valuation class.
+    """
+    rng = random.Random(config.seed)
+    universe = AnnotationUniverse()
+
+    users: List[Annotation] = []
+    for index in range(config.n_users):
+        users.append(
+            universe.register(
+                Annotation(
+                    name=f"UID{100 + index}",
+                    domain="user",
+                    attributes={
+                        "gender": _weighted_choice(rng, _GENDERS),
+                        "age_range": rng.choice(_AGE_RANGES),
+                        "occupation": rng.choice(_OCCUPATIONS),
+                        "zip_region": f"Z{rng.randrange(config.n_zip_regions)}",
+                    },
+                )
+            )
+        )
+
+    movies: List[Annotation] = []
+    years: Dict[int, Annotation] = {}
+    for index in range(config.n_movies):
+        stem = _TITLE_STEMS[index % len(_TITLE_STEMS)]
+        title = stem if index < len(_TITLE_STEMS) else f"{stem} {index // len(_TITLE_STEMS) + 1}"
+        year = rng.randrange(1970, 2010)
+        if year not in years:
+            years[year] = universe.register(
+                Annotation(
+                    name=f"Y{year}",
+                    domain="year",
+                    attributes={"decade": f"{year // 10 * 10}s"},
+                )
+            )
+        movies.append(
+            universe.register(
+                Annotation(
+                    name=title,
+                    domain="movie",
+                    attributes={
+                        "genre": rng.choice(_GENRES),
+                        "year": year,
+                        "decade": f"{year // 10 * 10}s",
+                    },
+                )
+            )
+        )
+
+    monoid = monoid_by_name(config.aggregation)
+    quality = {movie.name: rng.uniform(2.0, 4.5) for movie in movies}
+    terms: List[Term] = []
+    for user in users:
+        bias = rng.uniform(-1.0, 1.0)
+        count = rng.randint(config.min_ratings_per_user, config.max_ratings_per_user)
+        rated = rng.sample(movies, min(count, len(movies)))
+        for movie in rated:
+            rating = round(
+                min(5.0, max(1.0, quality[movie.name] + bias + rng.uniform(-1.0, 1.0)))
+            )
+            year_annotation = years[movie.attributes["year"]]
+            terms.append(
+                Term(
+                    annotations=tuple(
+                        sorted((user.name, movie.name, year_annotation.name))
+                    ),
+                    value=float(rating),
+                    count=1,
+                    group=movie.name,
+                )
+            )
+    expression = TensorSum(terms, monoid)
+
+    valuations = _valuation_class(config, universe)
+    per_domain = {"user": SharedAttribute(config.constraint_attributes)}
+    if config.include_movie_merges:
+        per_domain["movie"] = SharedAttribute(("genre", "decade"))
+        per_domain["year"] = SharedAttribute(("decade",))
+    constraint = DomainConstraints(per_domain)
+
+    return DatasetInstance(
+        name="Movies",
+        expression=expression,
+        universe=universe,
+        valuations=valuations,
+        val_func=EuclideanDistance(monoid),
+        combiners=DomainCombiners(),
+        constraint=constraint,
+        taxonomy=None,
+        cluster_specs=(ClusterDomainSpec("user"),),
+        metadata={
+            "structure": "(UserID·MovieTitle·MovieYear) ⊗ (Rating, 1) ⊕ ...",
+            "aggregation": config.aggregation,
+            "config": config,
+            "n_terms": len(expression),
+        },
+    )
+
+
+def _valuation_class(
+    config: MovieLensConfig, universe: AnnotationUniverse
+) -> ValuationClass:
+    if config.valuation_class == "annotation":
+        return CancelSingleAnnotation(universe, domains=("user",))
+    return CancelSingleAttribute(
+        universe,
+        attributes=config.constraint_attributes,
+        domains=("user",),
+    )

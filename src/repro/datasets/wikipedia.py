@@ -1,0 +1,226 @@
+"""Synthetic Wikipedia edit provenance (§5.1 item 2, Table 5.1 row 2).
+
+The thesis collected user edits through the MediaWiki API and
+constrained page merges by the YAGO taxonomy.  Structure::
+
+    (Username_1 · PageTitle_1) ⊗ (EditType_1, 1) ⊕ ...
+
+where EditType is 0 (minor) or 1 (major), aggregated with SUM (per
+page: the number of major edits).  User annotations carry
+isRegistered / gender / contribution level; page annotations carry
+their WordNet concept, and merges of pages must share a taxonomy
+ancestor.  Distance uses only valuations consistent with the taxonomy
+(Example 5.2.1).
+
+Substitutions (DESIGN.md): edits are generated with a Zipf-like skew
+over users (a few top contributors make most edits, as on real wikis);
+pages are instances of the leaf concepts of the built-in WordNet
+person fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.baselines import ClusterDomainSpec
+from ..core.combiners import DomainCombiners
+from ..core.constraints import (
+    DomainConstraints,
+    SharedAttribute,
+    TaxonomyAncestor,
+)
+from ..core.val_funcs import EuclideanDistance
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.monoids import SUM
+from ..provenance.tensor_sum import TensorSum, Term
+from ..provenance.valuation_classes import (
+    CancelSingleAnnotation,
+    CancelSingleAttribute,
+    TaxonomyConsistent,
+    ValuationClass,
+)
+from ..taxonomy.dag import Taxonomy
+from ..taxonomy.wordnet_fragment import wordnet_person_fragment
+from .base import DatasetInstance
+
+_USERNAME_STEMS: Tuple[str, ...] = (
+    "SalubriousToxin", "Dubulge", "DrBackInTheStreet", "JasperTheFriendlyPunk",
+    "Ebyabe", "Smalljim", "QuietRevision", "EditorAtLarge", "Wikignome",
+    "RecentChanger", "TypoTamer", "CiteNeeded", "InfoboxFan", "RedLinkFixer",
+    "StubSorter", "VandalWatcher", "CatFixer", "MergeProposer", "PageMover",
+    "TalkPageSage",
+)
+
+_PAGE_STEMS: Dict[str, Tuple[str, ...]] = {
+    "wordnet_singer": ("Adele", "Celine Dion", "Freddie Mercury", "Nina Simone"),
+    "wordnet_guitarist": ("Lori Black", "Alec Baillie", "Jimi Hendrix", "Nile Rodgers"),
+    "wordnet_pianist": ("Glenn Gould", "Nina Keys", "Art Tatum"),
+    "wordnet_violinist": ("Itzhak Perlman", "Hilary Hahn"),
+    "wordnet_actor": ("Ingrid Bergman", "Toshiro Mifune", "Setsuko Hara"),
+    "wordnet_dancer": ("Martha Graham", "Rudolf Nureyev"),
+    "wordnet_comedian": ("Buster Keaton", "Gilda Radner"),
+    "wordnet_physicist": ("Emmy Noether", "Lise Meitner", "Paul Dirac"),
+    "wordnet_chemist": ("Rosalind Franklin", "Linus Pauling"),
+    "wordnet_biologist": ("Barbara McClintock", "Carl Linnaeus"),
+    "wordnet_novelist": ("Chinua Achebe", "Ursula Le Guin", "Italo Calvino"),
+    "wordnet_poet": ("Wislawa Szymborska", "Pablo Neruda"),
+    "wordnet_footballer": ("Marta Vieira", "Ferenc Puskas"),
+    "wordnet_swimmer": ("Dawn Fraser", "Duke Kahanamoku"),
+}
+
+
+@dataclass(frozen=True)
+class WikipediaConfig:
+    """Knobs of the synthetic Wikipedia provenance generator."""
+
+    n_users: int = 18
+    n_pages: int = 14
+    min_edits_per_user: int = 2
+    max_edits_per_user: int = 6
+    major_edit_probability: float = 0.6
+    valuation_class: str = "annotation"
+    max_taxonomy_distance: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2 or self.n_pages < 2:
+            raise ValueError("need at least 2 users and 2 pages")
+        if not 0.0 <= self.major_edit_probability <= 1.0:
+            raise ValueError("major_edit_probability must be a probability")
+        if self.valuation_class not in ("annotation", "attribute"):
+            raise ValueError("valuation_class must be 'annotation' or 'attribute'")
+
+
+def generate_wikipedia(
+    config: WikipediaConfig = WikipediaConfig(),
+) -> DatasetInstance:
+    """Generate one Wikipedia provenance instance (seeded)."""
+    rng = random.Random(config.seed)
+    universe = AnnotationUniverse()
+    taxonomy = wordnet_person_fragment()
+
+    # Pages: round-robin over the concept stems so several pages share
+    # a parent concept (merges must be possible).
+    pages: List[Annotation] = []
+    concept_names = [c for c in _PAGE_STEMS if c in taxonomy]
+    pool: List[Tuple[str, str]] = [
+        (title, concept)
+        for concept in concept_names
+        for title in _PAGE_STEMS[concept]
+    ]
+    rng.shuffle(pool)
+    for index in range(config.n_pages):
+        title, concept = pool[index % len(pool)]
+        name = title if index < len(pool) else f"{title} ({index})"
+        pages.append(
+            universe.register(
+                Annotation(
+                    name=name,
+                    domain="page",
+                    attributes={"concept": concept},
+                    concept=concept,
+                )
+            )
+        )
+
+    # Users with a Zipf-like activity skew; contribution level derives
+    # from the planned edit volume, as on real wikis.
+    users: List[Annotation] = []
+    planned_edits: Dict[str, int] = {}
+    for index in range(config.n_users):
+        stem = _USERNAME_STEMS[index % len(_USERNAME_STEMS)]
+        name = stem if index < len(_USERNAME_STEMS) else f"{stem}{index}"
+        rank = index + 1
+        base = config.max_edits_per_user / rank ** 0.5
+        edits = max(config.min_edits_per_user, min(config.max_edits_per_user, round(base)))
+        planned_edits[name] = edits
+        if edits >= config.max_edits_per_user - 1:
+            level = "Top-Contributor"
+        elif edits >= config.min_edits_per_user + 1:
+            level = "Reviewer"
+        else:
+            level = "Novice"
+        users.append(
+            universe.register(
+                Annotation(
+                    name=name,
+                    domain="user",
+                    attributes={
+                        "is_registered": rng.random() < 0.8,
+                        "gender": rng.choice(("M", "F")),
+                        "contribution_level": level,
+                    },
+                )
+            )
+        )
+
+    terms: List[Term] = []
+    for user in users:
+        edited = rng.sample(pages, min(planned_edits[user.name], len(pages)))
+        for page in edited:
+            edit_type = 1.0 if rng.random() < config.major_edit_probability else 0.0
+            terms.append(
+                Term(
+                    annotations=tuple(sorted((user.name, page.name))),
+                    value=edit_type,
+                    count=1,
+                    group=page.name,
+                )
+            )
+    expression = TensorSum(terms, SUM)
+
+    valuations = _valuation_class(config, universe, taxonomy, pages)
+    constraint = DomainConstraints(
+        {
+            "user": SharedAttribute(
+                ("is_registered", "gender", "contribution_level")
+            ),
+            "page": TaxonomyAncestor(
+                taxonomy, max_distance=config.max_taxonomy_distance
+            ),
+        }
+    )
+
+    return DatasetInstance(
+        name="Wikipedia",
+        expression=expression,
+        universe=universe,
+        valuations=valuations,
+        val_func=EuclideanDistance(SUM),
+        combiners=DomainCombiners(),
+        constraint=constraint,
+        taxonomy=taxonomy,
+        cluster_specs=(
+            ClusterDomainSpec("user"),
+            ClusterDomainSpec("page", key_domain="user"),
+        ),
+        metadata={
+            "structure": "(Username·PageTitle) ⊗ (EditType, 1) ⊕ ...",
+            "aggregation": "SUM",
+            "config": config,
+            "n_terms": len(expression),
+        },
+    )
+
+
+def _valuation_class(
+    config: WikipediaConfig,
+    universe: AnnotationUniverse,
+    taxonomy: Taxonomy,
+    pages: Sequence[Annotation],
+) -> ValuationClass:
+    if config.valuation_class == "annotation":
+        inner: ValuationClass = CancelSingleAnnotation(
+            universe, domains=("user", "page")
+        )
+    else:
+        inner = CancelSingleAttribute(
+            universe,
+            attributes=("is_registered", "gender", "contribution_level", "concept"),
+        )
+    concepts_of = {
+        page.name: taxonomy.ancestors(page.concept) for page in pages if page.concept
+    }
+    return TaxonomyConsistent(inner, concepts_of, taxonomy.parent_map())

@@ -1,0 +1,27 @@
+"""Provenance-aware relational layer (K-relations + positive RA)."""
+
+from .query import (
+    aggregate,
+    aggregate_having,
+    combined_aggregate,
+    guard,
+    join,
+    project,
+    select,
+    union,
+)
+from .relation import AnnotatedTuple, Database, Relation
+
+__all__ = [
+    "AnnotatedTuple",
+    "Database",
+    "Relation",
+    "aggregate",
+    "aggregate_having",
+    "combined_aggregate",
+    "guard",
+    "join",
+    "project",
+    "select",
+    "union",
+]

@@ -1,0 +1,243 @@
+"""Provenance-tracking positive relational algebra with aggregation.
+
+Implements the query language of the semiring framework over
+:class:`~repro.db.relation.Relation`:
+
+* :func:`select` -- keeps annotations as-is;
+* :func:`project` -- collapsing tuples *add* their annotations
+  (alternative derivations);
+* :func:`join` -- joined tuples *multiply* their annotations (joint
+  use);
+* :func:`union` -- same-schema tuples add;
+* :func:`guard` -- multiplies each annotation by a comparison token
+  ``[prov ⊗ value op threshold]``, the §2.2 device for aggregate
+  results used in later selections (the "more than 2 reviews" rule of
+  Example 2.1.1);
+* :func:`aggregate` -- produces the tensor-paired aggregate values of
+  [7]: one output tuple per group whose value column holds an
+  :class:`~repro.provenance.expressions.AggSum`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.expressions import AggSum, Comparison, ProvExpr, Tensor, ZERO
+from ..provenance.monoids import AggregationMonoid
+from .relation import AnnotatedTuple, Relation
+
+
+def select(
+    relation: Relation,
+    predicate: Callable[[Mapping[str, object]], bool],
+    name: Optional[str] = None,
+) -> Relation:
+    """Tuples satisfying ``predicate``; annotations unchanged."""
+    return Relation(
+        name or f"σ({relation.name})",
+        relation.columns,
+        (t for t in relation if predicate(t.values)),
+    )
+
+
+def project(
+    relation: Relation, columns: Sequence[str], name: Optional[str] = None
+) -> Relation:
+    """Projection; tuples that collapse add their annotations."""
+    combined: Dict[Tuple[object, ...], ProvExpr] = {}
+    order: List[Tuple[object, ...]] = []
+    for annotated in relation:
+        key = annotated.project(columns)
+        if key in combined:
+            combined[key] = (combined[key] + annotated.prov)
+        else:
+            combined[key] = annotated.prov
+            order.append(key)
+    return Relation(
+        name or f"π({relation.name})",
+        columns,
+        (
+            AnnotatedTuple(dict(zip(columns, key)), combined[key])
+            for key in order
+        ),
+    )
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> Relation:
+    """Natural join on ``on`` (default: shared columns); annotations multiply."""
+    if on is None:
+        on = [column for column in left.columns if column in right.columns]
+    on = list(on)
+    right_only = [column for column in right.columns if column not in left.columns]
+    columns = list(left.columns) + right_only
+    index: Dict[Tuple[object, ...], List[AnnotatedTuple]] = {}
+    for annotated in right:
+        index.setdefault(annotated.project(on), []).append(annotated)
+    out: List[AnnotatedTuple] = []
+    for annotated in left:
+        for match in index.get(annotated.project(on), ()):
+            values = dict(annotated.values)
+            for column in right_only:
+                values[column] = match.values[column]
+            out.append(AnnotatedTuple(values, annotated.prov * match.prov))
+    return Relation(name or f"({left.name} ⋈ {right.name})", columns, out)
+
+
+def union(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Union of same-schema relations; duplicate tuples add annotations."""
+    if tuple(left.columns) != tuple(right.columns):
+        raise ValueError(
+            f"union requires identical schemas; got {left.columns} vs {right.columns}"
+        )
+    combined: Dict[Tuple[object, ...], ProvExpr] = {}
+    order: List[Tuple[object, ...]] = []
+    for relation in (left, right):
+        for annotated in relation:
+            key = annotated.project(left.columns)
+            if key in combined:
+                combined[key] = combined[key] + annotated.prov
+            else:
+                combined[key] = annotated.prov
+                order.append(key)
+    return Relation(
+        name or f"({left.name} ∪ {right.name})",
+        left.columns,
+        (
+            AnnotatedTuple(dict(zip(left.columns, key)), combined[key])
+            for key in order
+        ),
+    )
+
+
+def guard(
+    relation: Relation,
+    guard_of: Callable[[Mapping[str, object]], Optional[Comparison]],
+    name: Optional[str] = None,
+) -> Relation:
+    """Attach a comparison token to every tuple's annotation.
+
+    ``guard_of`` returns the :class:`Comparison` to multiply in (or
+    ``None`` to leave the tuple unguarded).  This models Example
+    2.2.1's inequality terms ``[S_i · U_i ⊗ n > 2]`` gating each
+    review on the reviewer's statistics.
+    """
+    out = []
+    for annotated in relation:
+        token = guard_of(annotated.values)
+        prov = annotated.prov if token is None else annotated.prov * token
+        if prov == ZERO:
+            continue
+        out.append(AnnotatedTuple(annotated.values, prov))
+    return Relation(name or f"guard({relation.name})", relation.columns, out)
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    value_column: str,
+    monoid: AggregationMonoid,
+    name: Optional[str] = None,
+    output_column: str = "agg",
+) -> Relation:
+    """Tensor-paired aggregation: one ``AggSum`` per group (§2.2).
+
+    Each input tuple contributes the tensor
+    ``annotation ⊗ (value, 1)``; the group key becomes the tensors'
+    group so downstream evaluation yields per-group aggregates.
+    """
+    group_by = list(group_by)
+    buckets: Dict[Tuple[object, ...], List[Tensor]] = {}
+    order: List[Tuple[object, ...]] = []
+    for annotated in relation:
+        key = annotated.project(group_by)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(
+            Tensor(
+                annotated.prov,
+                float(annotated.values[value_column]),
+                1,
+                group="|".join(str(part) for part in key),
+            )
+        )
+    columns = group_by + [output_column]
+    out = []
+    for key in order:
+        values = dict(zip(group_by, key))
+        values[output_column] = AggSum(buckets[key], monoid).simplify()
+        out.append(AnnotatedTuple(values))
+    return Relation(name or f"γ({relation.name})", columns, out)
+
+
+def aggregate_having(
+    relation: Relation,
+    group_by: Sequence[str],
+    value_column: str,
+    monoid: AggregationMonoid,
+    op: str,
+    threshold: float,
+    name: Optional[str] = None,
+) -> Relation:
+    """Aggregation with a provenance-aware HAVING guard (§2.2).
+
+    The semiring framework handles aggregate results used in further
+    selections by keeping the comparison as an abstract token: each
+    group's tuple is annotated with ``[prov ⊗ agg op threshold]`` where
+    ``prov`` is the *joint* provenance of the group's contributions and
+    ``agg`` the aggregate value.  Under a valuation the group survives
+    exactly when its (re-evaluated) guard holds -- this is how
+    Example 2.1.1's "more than 2 reviews" rule enters provenance.
+    """
+    group_by = list(group_by)
+    buckets: Dict[Tuple[object, ...], List[AnnotatedTuple]] = {}
+    order: List[Tuple[object, ...]] = []
+    for annotated in relation:
+        key = annotated.project(group_by)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(annotated)
+    columns = group_by + ["agg"]
+    out: List[AnnotatedTuple] = []
+    for key in order:
+        members = buckets[key]
+        value = monoid.fold(float(t.values[value_column]) for t in members)
+        joint: ProvExpr = members[0].prov
+        for member in members[1:]:
+            joint = joint * member.prov
+        guard_token = Comparison(joint, value, op, threshold).simplify()
+        if guard_token == ZERO:
+            continue
+        values = dict(zip(group_by, key))
+        values["agg"] = value
+        out.append(AnnotatedTuple(values, guard_token))
+    return Relation(name or f"γ_having({relation.name})", columns, out)
+
+
+def combined_aggregate(relation: Relation, output_column: str = "agg") -> AggSum:
+    """Fuse a relation of per-group ``AggSum`` values into one expression.
+
+    This is the formal sum ``⊕_M`` across movies of Example 4.2.3 --
+    the whole selected provenance as a single summarizable expression.
+    """
+    tensors: List[Tensor] = []
+    monoid: Optional[AggregationMonoid] = None
+    for annotated in relation:
+        agg = annotated.values[output_column]
+        if not isinstance(agg, AggSum):
+            raise TypeError(
+                f"column {output_column!r} must hold AggSum values, got "
+                f"{type(agg).__name__}"
+            )
+        if monoid is None:
+            monoid = agg.monoid
+        tensors.extend(agg.tensors)
+    if monoid is None:
+        raise ValueError("cannot combine an empty relation")
+    return AggSum(tensors, monoid)

@@ -1,0 +1,128 @@
+"""K-relations: relations whose tuples carry provenance annotations.
+
+The semiring framework annotates every tuple with an element of
+``N[Ann]``; positive relational algebra then combines annotations with
+``+`` (union / projection collapses) and ``*`` (join).  This module
+provides the storage layer; :mod:`repro.db.query` provides the
+operators.
+
+Tuples are dictionaries (column → value) plus a provenance expression;
+base-table tuples are typically annotated with a fresh
+:class:`~repro.provenance.expressions.Var`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.expressions import ONE, ProvExpr, Var
+
+
+@dataclass(frozen=True)
+class AnnotatedTuple:
+    """One tuple with its ``N[Ann]`` annotation."""
+
+    values: Mapping[str, object]
+    prov: ProvExpr = ONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __getitem__(self, column: str) -> object:
+        return self.values[column]
+
+    def project(self, columns: Sequence[str]) -> Tuple[object, ...]:
+        return tuple(self.values[column] for column in columns)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.values.items())
+        return f"({inner}) @ {self.prov}"
+
+
+class Relation:
+    """A named K-relation with a fixed column list."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        tuples: Iterable[AnnotatedTuple] = (),
+    ):
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._tuples: List[AnnotatedTuple] = []
+        for annotated in tuples:
+            self._check(annotated)
+            self._tuples.append(annotated)
+
+    def _check(self, annotated: AnnotatedTuple) -> None:
+        missing = [column for column in self.columns if column not in annotated.values]
+        if missing:
+            raise ValueError(
+                f"tuple for {self.name!r} is missing columns {missing}"
+            )
+
+    def add(
+        self,
+        values: Mapping[str, object],
+        prov: Optional[ProvExpr] = None,
+        annotation: Optional[str] = None,
+    ) -> AnnotatedTuple:
+        """Insert a tuple.
+
+        ``annotation`` is shorthand for annotating with a fresh
+        variable of that name; ``prov`` supplies a full expression;
+        omitting both annotates with ``1`` (present, untracked).
+        """
+        if prov is not None and annotation is not None:
+            raise ValueError("pass either prov or annotation, not both")
+        if annotation is not None:
+            prov = Var(annotation)
+        annotated = AnnotatedTuple(values, prov if prov is not None else ONE)
+        self._check(annotated)
+        self._tuples.append(annotated)
+        return annotated
+
+    def __iter__(self) -> Iterator[AnnotatedTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def annotations(self) -> Tuple[str, ...]:
+        """All annotation names appearing in the relation, sorted."""
+        names: set = set()
+        for annotated in self._tuples:
+            names |= annotated.prov.annotation_names()
+        return tuple(sorted(names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Relation {self.name}({', '.join(self.columns)}) with {len(self)} tuples>"
+
+
+class Database:
+    """The underlying persistent state the workflow operates on (§2.1)."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.put(relation)
+
+    def put(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Database: {', '.join(self.names())}>"

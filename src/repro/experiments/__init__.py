@@ -1,0 +1,63 @@
+"""Experiment harness regenerating every Chapter 6 figure."""
+
+from .configs import (
+    BENCH_WDIST_GRID,
+    DEFAULT_SEEDS,
+    MAX_STEPS,
+    ddp_spec,
+    movielens_spec,
+    wikipedia_spec,
+)
+from .full_reproduction import reproduce_all
+from .report import (
+    all_passed,
+    check_shapes,
+    format_rows,
+    mean_of,
+    series,
+    trend,
+    weakly_monotone,
+    write_csv,
+)
+from .runner import (
+    ALGORITHMS,
+    WDIST_GRID,
+    DatasetSpec,
+    execute,
+    steps_experiment,
+    target_dist_experiment,
+    target_size_experiment,
+    timing_experiment,
+    usage_ratio,
+    usage_time_experiment,
+    wdist_experiment,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BENCH_WDIST_GRID",
+    "DEFAULT_SEEDS",
+    "DatasetSpec",
+    "MAX_STEPS",
+    "WDIST_GRID",
+    "all_passed",
+    "check_shapes",
+    "ddp_spec",
+    "execute",
+    "format_rows",
+    "mean_of",
+    "reproduce_all",
+    "movielens_spec",
+    "series",
+    "steps_experiment",
+    "target_dist_experiment",
+    "target_size_experiment",
+    "timing_experiment",
+    "trend",
+    "usage_ratio",
+    "usage_time_experiment",
+    "wdist_experiment",
+    "weakly_monotone",
+    "write_csv",
+    "wikipedia_spec",
+]

@@ -1,0 +1,114 @@
+"""ASCII line charts for experiment series.
+
+The thesis presents its evaluation as line plots; terminal
+reproductions deserve at least a sketch of the same curves.  The
+renderer places one mark per series on a character grid with y-axis
+labels, so a bench's output can show the figure's *shape* directly:
+
+    0.0220 |                                        r
+           |  r    r    r     r
+    0.0165 |  c    c    c     c    c     r
+           |  p
+    0.0110 |       p    p
+           |                  p
+    0.0055 |
+           |                       p
+    0.0000 +-----------------------------------------
+             0.00 0.25 0.50 0.75 1.00    (wDist)
+
+Pure string manipulation, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def render_chart(
+    series: Mapping[str, Series],
+    width: int = 48,
+    height: int = 12,
+    x_label: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Each series is marked with the first character of its name;
+    collisions show ``*``.  ``y_range`` defaults to the data's span
+    (padded so flat lines stay visible).
+    """
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    if y_range is not None:
+        y_low, y_high = y_range
+    else:
+        y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        pad = abs(y_high) * 0.1 or 1.0
+        y_low, y_high = y_low - pad, y_high + pad
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        row = height - 1 - row
+        current = grid[row][column]
+        grid[row][column] = mark if current in (" ", mark) else "*"
+
+    for name, values in series.items():
+        mark = name[0] if name else "?"
+        for x, y in values:
+            place(x, y, mark)
+
+    label_width = max(
+        len(f"{y_low:.4g}"), len(f"{y_high:.4g}"), len(f"{(y_low + y_high) / 2:.4g}")
+    )
+    lines = []
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_high:.4g}"
+        elif index == height - 1:
+            label = f"{y_low:.4g}"
+        elif index == height // 2:
+            label = f"{(y_low + y_high) / 2:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = f"{'':>{label_width}} +" + "-" * width
+    lines.append(axis)
+    footer_parts = [f"x: {x_low:.4g} … {x_high:.4g}"]
+    if x_label:
+        footer_parts.append(f"({x_label})")
+    footer_parts.append(
+        "marks: " + ", ".join(f"{name[0]}={name}" for name in series)
+    )
+    lines.append(f"{'':>{label_width}}  " + "  ".join(footer_parts))
+    return "\n".join(lines)
+
+
+def chart_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    split_by: str,
+    **kwargs,
+) -> str:
+    """Convenience: build the series dict from experiment rows."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        key = str(row[split_by])
+        series.setdefault(key, []).append((float(row[x]), float(row[y])))
+    for values in series.values():
+        values.sort()
+    return render_chart(series, x_label=x, **kwargs)

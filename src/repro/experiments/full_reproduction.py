@@ -1,0 +1,147 @@
+"""One-call reproduction of the entire Chapter 6 evaluation.
+
+The bench suite (`pytest benchmarks/ --benchmark-only`) runs trimmed
+grids so every figure regenerates in ~2 minutes; this module runs the
+*full* thesis grids (the 11-point wDist sweep, all three datasets,
+all experiments) and writes a results directory:
+
+    results/
+      fig_6_1a.txt ... fig_6_9b.txt     the series + ASCII charts
+      fig_6_1a.csv ...                  raw rows for external plotting
+      SUMMARY.md                        one page of verdicts
+
+Use ``profile="quick"`` (bench-sized grids) for smoke runs -- the
+tests do -- and ``profile="full"`` to reproduce at paper scale
+(tens of minutes).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .ascii_chart import chart_from_rows
+from .configs import BENCH_WDIST_GRID, DEFAULT_SEEDS, MAX_STEPS
+from .configs import ddp_spec, movielens_spec, wikipedia_spec
+from .report import format_rows, write_csv
+from .runner import (
+    WDIST_GRID,
+    DatasetSpec,
+    steps_experiment,
+    target_dist_experiment,
+    target_size_experiment,
+    timing_experiment,
+    usage_time_experiment,
+    wdist_experiment,
+)
+
+#: (figure id, dataset spec factory, experiment callable, chart config)
+FigurePlan = Tuple[str, Callable[[], DatasetSpec], Callable, Optional[Dict[str, str]]]
+
+
+def _plan(wdist_grid: Sequence[float], seeds: Sequence[int]) -> List[FigurePlan]:
+    def wdist_for(spec_factory, max_steps):
+        return lambda: wdist_experiment(
+            spec_factory(), seeds=seeds, wdist_grid=wdist_grid, max_steps=max_steps
+        )
+
+    def tsize_for(spec_factory, fractions):
+        return lambda: target_size_experiment(
+            spec_factory(), seeds=seeds, size_fractions=fractions
+        )
+
+    def tdist_for(spec_factory, targets):
+        return lambda: target_dist_experiment(
+            spec_factory(), seeds=seeds, target_dists=targets
+        )
+
+    wdist_chart = {"x": "w_dist", "y": "avg_distance", "split_by": "algorithm"}
+    size_chart = {"x": "w_dist", "y": "avg_size", "split_by": "algorithm"}
+    return [
+        ("fig_6_1a", movielens_spec, wdist_for(movielens_spec, MAX_STEPS["movielens"]), wdist_chart),
+        ("fig_6_1b", movielens_spec, tsize_for(movielens_spec, (0.6, 0.7, 0.8, 0.9)), None),
+        ("fig_6_2a", movielens_spec, wdist_for(movielens_spec, MAX_STEPS["movielens"]), size_chart),
+        ("fig_6_2b", movielens_spec, tdist_for(movielens_spec, (0.005, 0.01, 0.02, 0.04)), None),
+        (
+            "fig_6_3",
+            movielens_spec,
+            lambda: steps_experiment(
+                movielens_spec(), seeds=seeds, wdist_grid=wdist_grid,
+                steps_grid=(20, 30, 40),
+            ),
+            None,
+        ),
+        (
+            "fig_6_4",
+            movielens_spec,
+            lambda: usage_time_experiment(
+                movielens_spec(), seeds=seeds, wdist_grid=wdist_grid,
+                steps_grid=(20, 30),
+            ),
+            {"x": "w_dist", "y": "avg_usage_ratio", "split_by": "algorithm"},
+        ),
+        (
+            "fig_6_5",
+            movielens_spec,
+            lambda: timing_experiment(movielens_spec(), seeds=seeds, max_steps=50),
+            None,
+        ),
+        ("fig_6_6a", wikipedia_spec, wdist_for(wikipedia_spec, MAX_STEPS["wikipedia"]), wdist_chart),
+        ("fig_6_6b", wikipedia_spec, tsize_for(wikipedia_spec, (0.5, 0.65, 0.8)), None),
+        ("fig_6_7a", wikipedia_spec, wdist_for(wikipedia_spec, MAX_STEPS["wikipedia"]), size_chart),
+        ("fig_6_7b", wikipedia_spec, tdist_for(wikipedia_spec, (0.02, 0.05, 0.1, 0.2)), None),
+        ("fig_6_8a", ddp_spec, wdist_for(ddp_spec, MAX_STEPS["ddp"]), wdist_chart),
+        ("fig_6_8b", ddp_spec, tsize_for(ddp_spec, (0.85, 0.92, 0.97)), None),
+        ("fig_6_9a", ddp_spec, wdist_for(ddp_spec, MAX_STEPS["ddp"]), size_chart),
+        ("fig_6_9b", ddp_spec, tdist_for(ddp_spec, (0.01, 0.03, 0.08, 0.15)), None),
+    ]
+
+
+def reproduce_all(
+    out_dir: Union[str, Path],
+    profile: str = "quick",
+    figures: Optional[Sequence[str]] = None,
+    log: Callable[[str], None] = print,
+) -> Dict[str, List[Mapping[str, object]]]:
+    """Run the Chapter 6 experiments and write a results directory.
+
+    ``profile``: ``"quick"`` uses the bench grids (5-point wDist, 2
+    seeds); ``"full"`` the thesis grids (11-point wDist, 3 seeds).
+    ``figures`` optionally restricts to a subset of figure ids.
+    Returns figure id → rows.
+    """
+    if profile == "quick":
+        grid: Sequence[float] = BENCH_WDIST_GRID
+        seeds: Sequence[int] = DEFAULT_SEEDS[:2]
+    elif profile == "full":
+        grid = WDIST_GRID
+        seeds = DEFAULT_SEEDS
+    else:
+        raise ValueError("profile must be 'quick' or 'full'")
+
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    results: Dict[str, List[Mapping[str, object]]] = {}
+    summary_lines = [
+        f"# Chapter 6 reproduction ({profile} profile)",
+        "",
+        "| figure | rows | seconds |",
+        "|---|---|---|",
+    ]
+    for figure, _spec, runner, chart in _plan(grid, seeds):
+        if figures is not None and figure not in figures:
+            continue
+        started = time.perf_counter()
+        rows = runner()
+        elapsed = time.perf_counter() - started
+        results[figure] = rows
+        body = format_rows(rows)
+        if chart is not None:
+            body += "\n\n" + chart_from_rows(rows, width=44, height=10, **chart)
+        (out_path / f"{figure}.txt").write_text(f"=== {figure} ===\n{body}\n")
+        write_csv(rows, out_path / f"{figure}.csv")
+        summary_lines.append(f"| {figure} | {len(rows)} | {elapsed:.1f} |")
+        log(f"{figure}: {len(rows)} rows in {elapsed:.1f}s")
+    (out_path / "SUMMARY.md").write_text("\n".join(summary_lines) + "\n")
+    return results

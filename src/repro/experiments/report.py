@@ -1,0 +1,135 @@
+"""Row formatting and shape checks for the Chapter 6 reproductions.
+
+The reproduction cannot (and need not) match the thesis's absolute
+numbers -- our datasets are synthetic substitutes -- but the *shapes*
+of the figures must hold: who wins, which direction each curve moves,
+where the tradeoffs appear.  :func:`check_shapes` encodes those
+expectations as named predicates over experiment rows; the bench
+targets print the verdicts and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render result rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(render(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                render(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def series(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    where: Optional[Mapping[str, object]] = None,
+) -> List[Tuple[object, float]]:
+    """Extract an ``(x, y)`` series matching the ``where`` filter."""
+    out = []
+    for row in rows:
+        if where and any(row.get(key) != value for key, value in where.items()):
+            continue
+        out.append((row[x], float(row[y])))
+    out.sort(key=lambda pair: pair[0])
+    return out
+
+
+def mean_of(
+    rows: Sequence[Mapping[str, object]],
+    metric: str,
+    where: Optional[Mapping[str, object]] = None,
+) -> float:
+    values = [pair[1] for pair in series(rows, metric, metric, where)]
+    if not values:
+        raise ValueError(f"no rows match {where!r}")
+    return sum(values) / len(values)
+
+
+def weakly_monotone(
+    values: Sequence[float], direction: str, tolerance: float = 0.0
+) -> bool:
+    """Whether ``values`` are weakly increasing/decreasing up to noise.
+
+    ``tolerance`` forgives small counter-movements (sampling noise and
+    discrete step effects produce local wiggles in the thesis's plots
+    too -- see the TARGET-SIZE discussion of the Random baseline in
+    §6.5).
+    """
+    if direction not in ("increasing", "decreasing"):
+        raise ValueError("direction must be 'increasing' or 'decreasing'")
+    sign = 1.0 if direction == "increasing" else -1.0
+    return all(
+        sign * (after - before) >= -tolerance
+        for before, after in zip(values, values[1:])
+    )
+
+
+def trend(values: Sequence[float]) -> float:
+    """Last-minus-first; the direction a curve moves over its grid."""
+    if len(values) < 2:
+        return 0.0
+    return values[-1] - values[0]
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write experiment rows as CSV (for external plotting)."""
+    import csv
+
+    if not rows:
+        raise ValueError("cannot write an empty row set")
+    if columns is None:
+        columns = list(rows[0])
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+
+
+ShapeCheck = Tuple[str, bool]
+
+
+def check_shapes(checks: Sequence[ShapeCheck]) -> str:
+    """Render shape-check verdicts; used by benches and EXPERIMENTS.md."""
+    lines = []
+    for description, passed in checks:
+        marker = "OK  " if passed else "FAIL"
+        lines.append(f"[{marker}] {description}")
+    return "\n".join(lines)
+
+
+def all_passed(checks: Sequence[ShapeCheck]) -> bool:
+    return all(passed for _, passed in checks)

@@ -1,0 +1,370 @@
+"""Experiment runner regenerating the measurements of Chapter 6.
+
+Every figure of the thesis's evaluation is an average, over several
+generated provenance expressions, of some property of the summaries
+produced by the three algorithms (Prov-Approx / Clustering / Random).
+This module provides:
+
+* :func:`execute` -- run one algorithm on a freshly generated dataset
+  instance;
+* the per-experiment loops (``wdist_experiment``,
+  ``target_size_experiment``, ``target_dist_experiment``,
+  ``steps_experiment``, ``usage_time_experiment``,
+  ``timing_experiment``) returning plain row dictionaries -- the same
+  rows the thesis plots;
+* :func:`usage_ratio` -- the Fig. 6.4 measurement: wall-clock ratio of
+  evaluating random valuations on the summary vs the original.
+
+Each run regenerates its dataset instance from the seed, because
+summarizers register summary annotations into the instance's universe.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.baselines import ClusteringSummarizer, RandomSummarizer
+from ..core.problem import SummarizationConfig
+from ..core.summarize import SummarizationResult, Summarizer
+from ..datasets.base import DatasetInstance
+from ..provenance.ddp_expression import DDPExpression
+
+#: The three §6.1 algorithms.
+ALGORITHMS = ("prov-approx", "clustering", "random")
+
+#: The wDist grid the thesis sweeps (Figs 6.1a-6.3).
+WDIST_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named, seedable dataset factory."""
+
+    name: str
+    factory: Callable[[int], DatasetInstance]
+
+
+def execute(
+    spec: DatasetSpec,
+    algorithm: str,
+    config: SummarizationConfig,
+    seed: int,
+    linkage: str = "single",
+) -> SummarizationResult:
+    """Run ``algorithm`` on a fresh instance generated from ``seed``."""
+    instance = spec.factory(seed)
+    problem = instance.problem()
+    if algorithm == "prov-approx":
+        return Summarizer(problem, config).run()
+    if algorithm == "random":
+        return RandomSummarizer(problem, config).run()
+    if algorithm == "clustering":
+        if not instance.cluster_specs:
+            raise ValueError(
+                f"dataset {spec.name!r} has no clustering feature specs "
+                f"(the DDP dataset cannot be clustered, §6.1)"
+            )
+        return ClusteringSummarizer(
+            problem, config, instance.cluster_specs, linkage=linkage
+        ).run()
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def _algorithms_for(spec: DatasetSpec, requested: Optional[Sequence[str]]) -> List[str]:
+    algorithms = list(requested) if requested is not None else list(ALGORITHMS)
+    probe = spec.factory(0)
+    if not probe.cluster_specs and "clustering" in algorithms:
+        algorithms.remove("clustering")
+    return algorithms
+
+
+def wdist_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    wdist_grid: Sequence[float] = WDIST_GRID,
+    max_steps: int = 20,
+    algorithms: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Figs 6.1a / 6.2a / 6.6a / 6.7a / 6.8a / 6.9a.
+
+    Prov-Approx sweeps wDist; Clustering and Random ignore it, so they
+    run once per seed and their average is reported flat across the
+    grid (as in §6.4).
+    """
+    rows: List[Dict[str, object]] = []
+    names = _algorithms_for(spec, algorithms)
+    for algorithm in names:
+        if algorithm == "prov-approx":
+            for w_dist in wdist_grid:
+                results = [
+                    execute(
+                        spec,
+                        algorithm,
+                        SummarizationConfig(w_dist=w_dist, max_steps=max_steps, seed=seed),
+                        seed,
+                    )
+                    for seed in seeds
+                ]
+                rows.append(_mean_row(spec, algorithm, results, w_dist=w_dist))
+        else:
+            results = [
+                execute(
+                    spec,
+                    algorithm,
+                    SummarizationConfig(max_steps=max_steps, seed=seed),
+                    seed,
+                )
+                for seed in seeds
+            ]
+            for w_dist in wdist_grid:
+                rows.append(_mean_row(spec, algorithm, results, w_dist=w_dist))
+    return rows
+
+
+def target_size_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    size_fractions: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    max_steps: int = 200,
+    algorithms: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Figs 6.1b / 6.6b / 6.8b: distance when stopping at TARGET-SIZE.
+
+    ``wDist = 1`` and ``TARGET-DIST = 1`` per §6.5; target sizes are
+    expressed as fractions of each instance's original size so the
+    sweep is scale-free across seeds.
+    """
+    rows: List[Dict[str, object]] = []
+    names = _algorithms_for(spec, algorithms)
+    for algorithm in names:
+        for fraction in size_fractions:
+            results = []
+            for seed in seeds:
+                original_size = spec.factory(seed).expression.size()
+                target = max(1, int(original_size * fraction))
+                results.append(
+                    execute(
+                        spec,
+                        algorithm,
+                        SummarizationConfig(
+                            w_dist=1.0,
+                            target_size=target,
+                            max_steps=max_steps,
+                            seed=seed,
+                        ),
+                        seed,
+                    )
+                )
+            rows.append(
+                _mean_row(spec, algorithm, results, target_size_fraction=fraction)
+            )
+    return rows
+
+
+def target_dist_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    target_dists: Sequence[float] = (0.01, 0.02, 0.03, 0.05, 0.08, 0.12),
+    max_steps: int = 200,
+    algorithms: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Figs 6.2b / 6.7b / 6.9b: size when stopping at TARGET-DIST.
+
+    ``wDist = 0`` and ``TARGET-SIZE = 1`` per §6.6.
+    """
+    rows: List[Dict[str, object]] = []
+    names = _algorithms_for(spec, algorithms)
+    for algorithm in names:
+        for target_dist in target_dists:
+            results = [
+                execute(
+                    spec,
+                    algorithm,
+                    SummarizationConfig(
+                        w_dist=0.0,
+                        target_dist=target_dist,
+                        max_steps=max_steps,
+                        seed=seed,
+                    ),
+                    seed,
+                )
+                for seed in seeds
+            ]
+            rows.append(_mean_row(spec, algorithm, results, target_dist=target_dist))
+    return rows
+
+
+def steps_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    wdist_grid: Sequence[float] = WDIST_GRID,
+    steps_grid: Sequence[int] = (20, 30, 40),
+) -> List[Dict[str, object]]:
+    """Fig 6.3: Prov-Approx distance and size for varying step budgets."""
+    rows: List[Dict[str, object]] = []
+    for max_steps in steps_grid:
+        for w_dist in wdist_grid:
+            results = [
+                execute(
+                    spec,
+                    "prov-approx",
+                    SummarizationConfig(w_dist=w_dist, max_steps=max_steps, seed=seed),
+                    seed,
+                )
+                for seed in seeds
+            ]
+            rows.append(
+                _mean_row(
+                    spec, "prov-approx", results, w_dist=w_dist, max_steps=max_steps
+                )
+            )
+    return rows
+
+
+def usage_ratio(
+    result: SummarizationResult,
+    instance: DatasetInstance,
+    n_valuations: int = 10,
+    repeats: int = 30,
+    seed: int = 0,
+) -> float:
+    """Fig 6.4 measurement: evaluation-time ratio summary / original.
+
+    Draws ``n_valuations`` random valuations from the instance's class,
+    evaluates each on the original and (lifted) on the summary with the
+    cache-free scan evaluator, and returns the wall-clock ratio.
+    ``repeats`` amortizes timer noise on these micro-evaluations.
+    """
+    rng = random.Random(seed)
+    valuations = [instance.valuations.sample(rng) for _ in range(n_valuations)]
+    original = result.original_expression
+    summary = result.summary_expression
+    combiners = instance.combiners
+
+    original_names = sorted(original.annotation_names())
+    original_truths = [valuation.truth_map(original_names) for valuation in valuations]
+    summary_names = sorted(summary.annotation_names())
+    lifted_truths = []
+    for valuation in valuations:
+        lifted = combiners.lift_valuation(valuation, result.mapping, result.universe)
+        lifted_truths.append(lifted.truth_map(summary_names))
+
+    def time_scan(expression, truths) -> float:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for truth in truths:
+                expression.evaluate_scan(truth)
+        return time.perf_counter() - started
+
+    time_original = time_scan(original, original_truths)
+    time_summary = time_scan(summary, lifted_truths)
+    if time_original <= 0:
+        return 1.0
+    return time_summary / time_original
+
+
+def usage_time_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    wdist_grid: Sequence[float] = WDIST_GRID,
+    steps_grid: Sequence[int] = (20, 30),
+    n_valuations: int = 10,
+    algorithms: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Fig 6.4: usage-time ratio as a function of wDist (20 / 30 steps)."""
+    rows: List[Dict[str, object]] = []
+    names = _algorithms_for(spec, algorithms)
+    for max_steps in steps_grid:
+        for algorithm in names:
+            grid = wdist_grid if algorithm == "prov-approx" else [None]
+            for w_dist in grid:
+                ratios = []
+                for seed in seeds:
+                    config = SummarizationConfig(
+                        w_dist=w_dist if w_dist is not None else 0.5,
+                        max_steps=max_steps,
+                        seed=seed,
+                    )
+                    instance = spec.factory(seed)
+                    result = execute(spec, algorithm, config, seed)
+                    ratios.append(
+                        usage_ratio(
+                            result, instance, n_valuations=n_valuations, seed=seed
+                        )
+                    )
+                row = {
+                    "dataset": spec.name,
+                    "algorithm": algorithm,
+                    "max_steps": max_steps,
+                    "w_dist": w_dist,
+                    "avg_usage_ratio": statistics.mean(ratios),
+                }
+                if algorithm != "prov-approx":
+                    # §6.8: baselines are wDist-independent; report the
+                    # average across the grid as a flat series.
+                    for w in wdist_grid:
+                        rows.append({**row, "w_dist": w})
+                else:
+                    rows.append(row)
+    return rows
+
+
+def timing_experiment(
+    spec: DatasetSpec,
+    seeds: Sequence[int],
+    max_steps: int = 50,
+) -> List[Dict[str, object]]:
+    """Fig 6.5: per-candidate and per-step time vs expression size.
+
+    Runs Prov-Approx with ``wDist = 1`` and a deep step budget; every
+    step contributes a row keyed by the expression size at which the
+    step ran, with the average candidate-measurement time and the
+    step's total summarization time.
+    """
+    rows: List[Dict[str, object]] = []
+    for seed in seeds:
+        result = execute(
+            spec,
+            "prov-approx",
+            SummarizationConfig(w_dist=1.0, max_steps=max_steps, seed=seed),
+            seed,
+        )
+        sizes = result.size_trajectory()
+        for record in result.steps:
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "seed": seed,
+                    "step": record.step,
+                    "size_before": sizes[record.step - 1]
+                    if record.step - 1 < len(sizes)
+                    else record.size_after,
+                    "size_after": record.size_after,
+                    "n_candidates": record.n_candidates,
+                    "candidate_ms": record.candidate_seconds * 1e3,
+                    "step_seconds": record.step_seconds,
+                }
+            )
+    return rows
+
+
+def _mean_row(
+    spec: DatasetSpec,
+    algorithm: str,
+    results: Sequence[SummarizationResult],
+    **extra: object,
+) -> Dict[str, object]:
+    row: Dict[str, object] = {"dataset": spec.name, "algorithm": algorithm}
+    row.update(extra)
+    row["avg_distance"] = statistics.mean(
+        result.final_distance.normalized for result in results
+    )
+    row["avg_size"] = statistics.mean(result.final_size for result in results)
+    row["avg_steps"] = statistics.mean(result.n_steps for result in results)
+    row["avg_seconds"] = statistics.mean(result.total_seconds for result in results)
+    row["runs"] = len(results)
+    return row

@@ -1,0 +1,240 @@
+"""Provenance of Data-Dependent Processes (DDPs) -- Example 5.2.2.
+
+A DDP models an application whose control flow is driven by a finite
+state machine and by the state of an underlying database.  Its
+provenance is a sum over *executions*, each a product of *transitions*:
+
+* a user-dependent transition ``⟨c_k, 1⟩``, where ``c_k`` is a cost
+  variable standing for the user effort of the step;
+* a database-dependent transition ``⟨0, [d_i · d_j] ≠ 0⟩`` (or ``= 0``),
+  whose guard tests a query over database variables.
+
+Evaluation uses the tropical semiring ``(N ∪ {∞}, min, +, ∞, 0)``:
+an execution is *feasible* when all its guards hold, its cost is the
+sum of the costs of its user transitions (each multiplied by the 0/1
+valuation of its cost variable), and the value of the whole expression
+is the minimum cost over feasible executions, paired with a
+feasibility flag -- ``⟨C, True⟩`` or ``⟨∞, False⟩``.
+
+:class:`DDPExpression` implements the same summarizable-expression
+protocol as :class:`~repro.provenance.tensor_sum.TensorSum`
+(``annotation_names`` / ``size`` / ``apply_mapping`` / evaluation), so
+Algorithm 1 runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .valuation import Valuation
+
+
+@dataclass(frozen=True)
+class CostTransition:
+    """A user-dependent transition ``⟨var, 1⟩`` with effort ``cost``.
+
+    The valuation assigns the cost variable a 0/1 multiplier; the
+    transition contributes ``multiplier * cost`` to the execution's
+    effort.
+    """
+
+    var: str
+    cost: float
+
+    def rename(self, mapping: Mapping[str, str]) -> "CostTransition":
+        return CostTransition(mapping.get(self.var, self.var), self.cost)
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"⟨{self.var}:{self.cost:g}, 1⟩"
+
+
+@dataclass(frozen=True)
+class DBTransition:
+    """A database-dependent transition ``⟨0, [d_i · d_j] op 0⟩``.
+
+    ``op`` is ``"!="`` (the query must return a tuple: all variables
+    true) or ``"=="`` (the query must be empty: at least one variable
+    false).
+    """
+
+    vars: Tuple[str, ...]
+    op: str = "!="
+
+    def __post_init__(self) -> None:
+        if self.op not in ("!=", "=="):
+            raise ValueError(f"DDP guard operator must be '!=' or '==', got {self.op!r}")
+        object.__setattr__(self, "vars", tuple(self.vars))
+
+    def satisfied(self, truth_of) -> bool:
+        product_nonzero = all(truth_of(var) for var in self.vars)
+        return product_nonzero if self.op == "!=" else not product_nonzero
+
+    def rename(self, mapping: Mapping[str, str]) -> "DBTransition":
+        return DBTransition(
+            tuple(sorted(mapping.get(var, var) for var in self.vars)), self.op
+        )
+
+    def size(self) -> int:
+        return len(self.vars)
+
+    def __str__(self) -> str:
+        inner = " · ".join(self.vars)
+        return f"⟨0, [{inner}] {self.op} 0⟩"
+
+
+Transition = object  # CostTransition | DBTransition (kept loose for 3.10)
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One workflow execution: a product of transitions."""
+
+    transitions: Tuple[Transition, ...]
+
+    def __init__(self, transitions: Iterable[Transition]):
+        object.__setattr__(self, "transitions", tuple(transitions))
+
+    def cost_transitions(self) -> Tuple[CostTransition, ...]:
+        return tuple(t for t in self.transitions if isinstance(t, CostTransition))
+
+    def db_transitions(self) -> Tuple[DBTransition, ...]:
+        return tuple(t for t in self.transitions if isinstance(t, DBTransition))
+
+    def annotation_names(self) -> FrozenSet[str]:
+        names: set = set()
+        for transition in self.transitions:
+            if isinstance(transition, CostTransition):
+                names.add(transition.var)
+            else:
+                names.update(transition.vars)
+        return frozenset(names)
+
+    def size(self) -> int:
+        return sum(t.size() for t in self.transitions)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Execution":
+        return Execution(t.rename(mapping) for t in self.transitions)
+
+    def normalized(self) -> Tuple:
+        """Commutativity-normal form used to detect equal executions."""
+        costs = tuple(sorted((t.var, t.cost) for t in self.cost_transitions()))
+        guards = tuple(sorted((t.vars, t.op) for t in self.db_transitions()))
+        return (costs, guards)
+
+    def __str__(self) -> str:
+        return " · ".join(str(t) for t in self.transitions)
+
+
+@dataclass(frozen=True)
+class DDPResult:
+    """Value of a DDP provenance under a valuation: ``⟨cost, feasible⟩``."""
+
+    cost: float
+    feasible: bool
+
+    def __str__(self) -> str:
+        cost = "∞" if math.isinf(self.cost) else f"{self.cost:g}"
+        return f"⟨{cost}, {self.feasible}⟩"
+
+
+class DDPExpression:
+    """A sum of executions over the tropical cost semiring."""
+
+    __slots__ = ("executions", "_annotation_names", "_size")
+
+    def __init__(self, executions: Iterable[Execution]):
+        self.executions: Tuple[Execution, ...] = self._dedup(executions)
+        self._annotation_names: Optional[FrozenSet[str]] = None
+        self._size: Optional[int] = None
+
+    @staticmethod
+    def _dedup(executions: Iterable[Execution]) -> Tuple[Execution, ...]:
+        """Drop duplicate executions (idempotence of the sum of runs).
+
+        Two executions are equal up to commutativity of the product;
+        equal executions denote the same run, so keeping one preserves
+        both the min-cost evaluation and the feasibility flag.
+        """
+        seen: Dict[Tuple, Execution] = {}
+        order: List[Tuple] = []
+        for execution in executions:
+            key = execution.normalized()
+            if key not in seen:
+                seen[key] = execution
+                order.append(key)
+        return tuple(seen[key] for key in order)
+
+    # -- structural queries ---------------------------------------------------
+
+    def annotation_names(self) -> FrozenSet[str]:
+        if self._annotation_names is None:
+            names: set = set()
+            for execution in self.executions:
+                names |= execution.annotation_names()
+            self._annotation_names = frozenset(names)
+        return self._annotation_names
+
+    def size(self) -> int:
+        """Number of variable occurrences across all executions."""
+        if self._size is None:
+            self._size = sum(execution.size() for execution in self.executions)
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    # -- homomorphism application ----------------------------------------------
+
+    def apply_mapping(self, mapping: Mapping[str, str]) -> "DDPExpression":
+        return DDPExpression(execution.rename(mapping) for execution in self.executions)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, false_annotations: AbstractSet[str]) -> DDPResult:
+        """Evaluate with the given variables set to 0/false, rest 1/true."""
+        return self._evaluate(lambda var: var not in false_annotations,
+                              lambda var: 0.0 if var in false_annotations else 1.0)
+
+    def evaluate_valuation(self, valuation: Valuation) -> DDPResult:
+        """Evaluate under a general (possibly fractional-cost) valuation."""
+        return self._evaluate(valuation.truth, valuation.value)
+
+    def _evaluate(self, truth_of, multiplier_of) -> DDPResult:
+        best = math.inf
+        feasible = False
+        for execution in self.executions:
+            if not all(t.satisfied(truth_of) for t in execution.db_transitions()):
+                continue
+            cost = sum(
+                t.cost * multiplier_of(t.var) for t in execution.cost_transitions()
+            )
+            feasible = True
+            best = min(best, cost)
+        return DDPResult(best if feasible else math.inf, feasible)
+
+    def evaluate_scan(self, truth: Mapping[str, bool]) -> DDPResult:
+        """Mapping-driven evaluation (usage-time experiment path)."""
+        return self._evaluate(
+            lambda var: truth.get(var, True),
+            lambda var: 1.0 if truth.get(var, True) else 0.0,
+        )
+
+    def __str__(self) -> str:
+        return " + ".join(str(execution) for execution in self.executions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DDPExpression of {len(self.executions)} executions, size {self.size()}>"

@@ -1,0 +1,113 @@
+"""Witness extraction and textual explanations.
+
+Provenance "can be used to explain results by correlating input with
+output data" (Ch. 1).  For an aggregate, the natural explanation is
+its *witnesses*: the contributions that actually determine the
+reported value -- for MAX, the argmax terms; for MIN, the argmin
+terms; for SUM/COUNT, every surviving contribution.
+
+:func:`witnesses` returns those terms (under an optional what-if
+cancellation set) and :func:`explain` renders the answer the way the
+PROX group views do: the value, who contributed it, and the attributes
+of the contributors.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, List, Optional
+
+from .annotations import AnnotationUniverse
+from .monoids import MaxMonoid, MinMonoid
+from .tensor_sum import TensorSum, Term
+
+
+def witnesses(
+    expression: TensorSum,
+    group: Optional[str],
+    false_annotations: AbstractSet[str] = frozenset(),
+) -> List[Term]:
+    """The terms that determine ``group``'s aggregate value.
+
+    For MAX (MIN) aggregation only the terms attaining the maximum
+    (minimum) are witnesses -- cancelling any other contribution cannot
+    change the answer.  For additive monoids every alive term is a
+    witness.  Returns an empty list when the group has no surviving
+    contributions.
+    """
+    alive = [
+        term
+        for term in expression.terms
+        if term.group == group and term.alive(false_annotations)
+    ]
+    if not alive:
+        return []
+    monoid = expression.monoid
+    if isinstance(monoid, MaxMonoid):
+        best = max(term.value for term in alive)
+        return [term for term in alive if term.value == best]
+    if isinstance(monoid, MinMonoid):
+        best = min(term.value for term in alive)
+        return [term for term in alive if term.value == best]
+    return alive
+
+
+def counterfactual_annotations(
+    expression: TensorSum,
+    group: Optional[str],
+    false_annotations: AbstractSet[str] = frozenset(),
+) -> FrozenSet[str]:
+    """Annotations whose individual cancellation changes the answer.
+
+    The actionable core of "how does the information change if we
+    discard this contribution?": an annotation is counterfactual for
+    the group iff it appears in *every* witness.
+    """
+    witness_terms = witnesses(expression, group, false_annotations)
+    if not witness_terms:
+        return frozenset()
+    common: FrozenSet[str] = frozenset(witness_terms[0].all_annotation_names())
+    for term in witness_terms[1:]:
+        common &= frozenset(term.all_annotation_names())
+    return common - frozenset(false_annotations)
+
+
+def explain(
+    expression: TensorSum,
+    group: Optional[str],
+    universe: Optional[AnnotationUniverse] = None,
+    false_annotations: AbstractSet[str] = frozenset(),
+) -> str:
+    """A textual explanation of one group's aggregate value."""
+    vector = expression.evaluate(false_annotations)
+    aggregate = vector.get(group)
+    label = str(group) if group is not None else "(result)"
+    if aggregate is None or aggregate.count == 0:
+        return f"{label}: no surviving contributions"
+    witness_terms = witnesses(expression, group, false_annotations)
+    lines = [
+        f"{label}: {expression.monoid.name} = "
+        f"{aggregate.finalized_value():g} from {aggregate.count} contribution(s)"
+    ]
+    for term in witness_terms:
+        contributors = []
+        for name in term.annotations:
+            if universe is not None and name in universe:
+                attributes = dict(universe[name].attributes)
+                described = ", ".join(
+                    f"{key}={value}"
+                    for key, value in attributes.items()
+                    if not str(key).startswith("_")
+                )
+                contributors.append(f"{name} ({described})" if described else name)
+            else:
+                contributors.append(name)
+        lines.append(
+            f"  witness: {' · '.join(contributors)} ⊗ ({term.value:g}, {term.count})"
+        )
+    pivotal = counterfactual_annotations(expression, group, false_annotations)
+    if pivotal:
+        lines.append(
+            "  discarding any of "
+            f"{{{', '.join(sorted(pivotal))}}} would change this answer"
+        )
+    return "\n".join(lines)

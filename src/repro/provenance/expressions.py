@@ -1,0 +1,476 @@
+"""General provenance expression AST over ``N[Ann]`` with aggregates.
+
+This is the faithful algebraic representation of Chapter 2: polynomials
+over annotations (:class:`Var`, :class:`Sum`, :class:`Product`, the
+constants :class:`Zero`/:class:`One`), comparison tokens such as
+``[S1 · U1 ⊗ 5 > 2]`` (:class:`Comparison`), tensors pairing provenance
+with aggregate values (:class:`Tensor`) and the formal aggregation sum
+``⊕`` (:class:`AggSum`).
+
+The relational layer (:mod:`repro.db.query`) and the workflow engine
+build these trees.  The summarization algorithm itself runs on the
+flattened normal form of :mod:`repro.provenance.tensor_sum`, obtained
+through :meth:`AggSum.to_tensor_sum`.
+
+All nodes are immutable; ``simplify`` returns new trees, applying the
+semiring identities (0 absorbs products, drops out of sums; 1 drops out
+of products) and the tensor congruences ``0 ⊗ m ≡ 0`` and
+``k ⊗ m1 ⊕ k ⊗ m2 ≡ k ⊗ (m1 ⊕ m2)``.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .monoids import AggregationMonoid, CountedAggregate, fold_counted
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class ProvExpr(ABC):
+    """A node of the pure polynomial part of a provenance expression."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def annotation_names(self) -> FrozenSet[str]:
+        """Names of annotations occurring in the subtree."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Number of annotation occurrences, counted with repetition.
+
+        This is the thesis's provenance-size measure (§3.2).
+        """
+
+    @abstractmethod
+    def rename(self, mapping: Mapping[str, str]) -> "ProvExpr":
+        """Apply a homomorphism ``h`` by renaming annotations."""
+
+    @abstractmethod
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate in the boolean semiring under a truth assignment.
+
+        Annotations missing from ``assignment`` default to ``True``
+        (the thesis's valuations cancel a few annotations and keep the
+        rest).
+        """
+
+    @abstractmethod
+    def simplify(self) -> "ProvExpr":
+        """Apply semiring identities bottom-up."""
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: "ProvExpr") -> "ProvExpr":
+        return Sum((self, other)).simplify()
+
+    def __mul__(self, other: "ProvExpr") -> "ProvExpr":
+        return Product((self, other)).simplify()
+
+
+@dataclass(frozen=True)
+class Var(ProvExpr):
+    """An annotation indeterminate of ``N[Ann]``."""
+
+    name: str
+
+    def annotation_names(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def size(self) -> int:
+        return 1
+
+    def rename(self, mapping: Mapping[str, str]) -> ProvExpr:
+        return Var(mapping.get(self.name, self.name))
+
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment.get(self.name, True))
+
+    def simplify(self) -> ProvExpr:
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _Const(ProvExpr):
+    value: bool
+
+    def annotation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 0
+
+    def rename(self, mapping: Mapping[str, str]) -> ProvExpr:
+        return self
+
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def simplify(self) -> ProvExpr:
+        return self
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+#: The absent-data constant ``0``.
+ZERO = _Const(False)
+#: The present-data constant ``1``.
+ONE = _Const(True)
+
+
+@dataclass(frozen=True)
+class Sum(ProvExpr):
+    """Alternative use of data: ``+`` of ``N[Ann]`` (union, projection)."""
+
+    children: Tuple[ProvExpr, ...]
+
+    def __init__(self, children: Iterable[ProvExpr]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def annotation_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for child in self.children:
+            names |= child.annotation_names()
+        return names
+
+    def size(self) -> int:
+        return sum(child.size() for child in self.children)
+
+    def rename(self, mapping: Mapping[str, str]) -> ProvExpr:
+        return Sum(child.rename(mapping) for child in self.children)
+
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        return any(child.truth(assignment) for child in self.children)
+
+    def simplify(self) -> ProvExpr:
+        flat = []
+        for child in self.children:
+            child = child.simplify()
+            if child == ZERO:
+                continue
+            if isinstance(child, Sum):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            return ZERO
+        if len(flat) == 1:
+            return flat[0]
+        return Sum(flat)
+
+    def __str__(self) -> str:
+        return " + ".join(_wrap(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Product(ProvExpr):
+    """Joint use of data: ``*`` of ``N[Ann]`` (join)."""
+
+    children: Tuple[ProvExpr, ...]
+
+    def __init__(self, children: Iterable[ProvExpr]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def annotation_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for child in self.children:
+            names |= child.annotation_names()
+        return names
+
+    def size(self) -> int:
+        return sum(child.size() for child in self.children)
+
+    def rename(self, mapping: Mapping[str, str]) -> ProvExpr:
+        return Product(child.rename(mapping) for child in self.children)
+
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        return all(child.truth(assignment) for child in self.children)
+
+    def simplify(self) -> ProvExpr:
+        flat = []
+        for child in self.children:
+            child = child.simplify()
+            if child == ZERO:
+                return ZERO
+            if child == ONE:
+                continue
+            if isinstance(child, Product):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            return ONE
+        if len(flat) == 1:
+            return flat[0]
+        return Product(flat)
+
+    def __str__(self) -> str:
+        return " · ".join(_wrap(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Comparison(ProvExpr):
+    """A comparison token such as ``[S1 · U1 ⊗ 5 > 2]``.
+
+    The guard provenance ``prov`` is tensor-paired with ``value``; under
+    a truth assignment, ``prov`` evaluating to 1 makes the left operand
+    ``value`` (congruence ``1 ⊗ m ≡ m``) and evaluating to 0 makes it 0
+    (``0 ⊗ m ≡ 0``).  The token itself then evaluates to 1 or 0
+    depending on ``<left> op threshold``.
+
+    The DDP guards ``[d_i · d_j] ≠ 0`` are the ``value=1`` special
+    case: the token is satisfied exactly when the polynomial is
+    non-zero.
+    """
+
+    prov: ProvExpr
+    value: float
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(
+                f"unsupported comparison operator {self.op!r}; expected one of "
+                f"{sorted(_COMPARATORS)}"
+            )
+
+    def annotation_names(self) -> FrozenSet[str]:
+        return self.prov.annotation_names()
+
+    def size(self) -> int:
+        return self.prov.size()
+
+    def rename(self, mapping: Mapping[str, str]) -> ProvExpr:
+        return Comparison(self.prov.rename(mapping), self.value, self.op, self.threshold)
+
+    def truth(self, assignment: Mapping[str, bool]) -> bool:
+        left = self.value if self.prov.truth(assignment) else 0.0
+        return _COMPARATORS[self.op](left, self.threshold)
+
+    def simplify(self) -> ProvExpr:
+        prov = self.prov.simplify()
+        if prov in (ZERO, ONE):
+            left = self.value if prov == ONE else 0.0
+            return ONE if _COMPARATORS[self.op](left, self.threshold) else ZERO
+        # The token's outcome may not depend on the guard provenance at
+        # all (e.g. [s ⊗ 1 > 2] is false whatever s is): fold it.
+        alive = _COMPARATORS[self.op](self.value, self.threshold)
+        dead = _COMPARATORS[self.op](0.0, self.threshold)
+        if alive and dead:
+            return ONE
+        if not alive and not dead:
+            return ZERO
+        return Comparison(prov, self.value, self.op, self.threshold)
+
+    def __str__(self) -> str:
+        return f"[{self.prov} ⊗ {_fmt(self.value)} {self.op} {_fmt(self.threshold)}]"
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A tensor ``prov ⊗ (value, count)`` -- one aggregate contribution.
+
+    ``group`` optionally names the object (movie, page, ...) whose
+    aggregate this contribution belongs to; evaluation of an
+    :class:`AggSum` produces one aggregate per group (the thesis's
+    formal sum ``⊕_M`` across movies).
+    """
+
+    prov: ProvExpr
+    value: float
+    count: int = 1
+    group: Optional[str] = None
+
+    def annotation_names(self) -> FrozenSet[str]:
+        return self.prov.annotation_names()
+
+    def size(self) -> int:
+        return self.prov.size()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Tensor":
+        group = mapping.get(self.group, self.group) if self.group else None
+        return Tensor(self.prov.rename(mapping), self.value, self.count, group)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.prov)} ⊗ ({_fmt(self.value)}, {self.count})"
+
+
+@dataclass(frozen=True)
+class AggSum:
+    """The formal sum ``⊕`` of tensors -- a full aggregate expression.
+
+    This is the top-level shape of Example 2.2.1: a sum of
+    ``annotation-monomial ⊗ (value, count)`` contributions.  Evaluation
+    under a truth assignment applies the congruences, folds surviving
+    contributions through the aggregation monoid, and returns one
+    :class:`CountedAggregate` per group.
+    """
+
+    tensors: Tuple[Tensor, ...]
+    monoid: AggregationMonoid
+
+    def __init__(self, tensors: Iterable[Tensor], monoid: AggregationMonoid):
+        object.__setattr__(self, "tensors", tuple(tensors))
+        object.__setattr__(self, "monoid", monoid)
+
+    def annotation_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for tensor in self.tensors:
+            names |= tensor.annotation_names()
+        return names
+
+    def size(self) -> int:
+        return sum(tensor.size() for tensor in self.tensors)
+
+    def rename(self, mapping: Mapping[str, str]) -> "AggSum":
+        return AggSum((tensor.rename(mapping) for tensor in self.tensors), self.monoid)
+
+    def simplify(self) -> "AggSum":
+        """Drop ``0 ⊗ m`` tensors and merge tensors with equal provenance.
+
+        Equal-provenance tensors in the same group merge through
+        ``k ⊗ m1 ⊕ k ⊗ m2 ≡ k ⊗ (m1 ⊕ m2)``, combining values via the
+        aggregation monoid and summing the counts.
+        """
+        merged: Dict[Tuple[ProvExpr, Optional[str]], Tensor] = {}
+        order = []
+        for tensor in self.tensors:
+            prov = tensor.prov.simplify()
+            if prov == ZERO:
+                continue
+            key = (prov, tensor.group)
+            if key in merged:
+                previous = merged[key]
+                merged[key] = Tensor(
+                    prov,
+                    self.monoid.combine(previous.value, tensor.value),
+                    previous.count + tensor.count,
+                    tensor.group,
+                )
+            else:
+                merged[key] = Tensor(prov, tensor.value, tensor.count, tensor.group)
+                order.append(key)
+        return AggSum((merged[key] for key in order), self.monoid)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> Dict[Optional[str], CountedAggregate]:
+        """Aggregate per group under a truth assignment.
+
+        Unmapped annotations default to ``True``.
+        """
+        groups: Dict[Optional[str], list] = {}
+        for tensor in self.tensors:
+            if tensor.prov.truth(assignment):
+                groups.setdefault(tensor.group, []).append(
+                    CountedAggregate(tensor.value, tensor.count)
+                )
+        return {
+            group: fold_counted(pairs, self.monoid)
+            for group, pairs in groups.items()
+        }
+
+    def to_tensor_sum(self):
+        """Flatten into the summarizer's normal form.
+
+        Each tensor's provenance must be a monomial -- a product of
+        variables and comparison tokens -- which is the shape all the
+        thesis's datasets produce (Table 5.1).  A sum inside a tensor
+        is distributed out first.
+        """
+        from .tensor_sum import Guard, TensorSum, Term
+
+        terms = []
+        for tensor in self.tensors:
+            for monomial, guards in _monomials_of(tensor.prov):
+                terms.append(
+                    Term(
+                        annotations=tuple(sorted(monomial)),
+                        guards=tuple(guards),
+                        value=tensor.value,
+                        count=tensor.count,
+                        group=tensor.group,
+                    )
+                )
+        return TensorSum(terms, self.monoid)
+
+    def __str__(self) -> str:
+        return " ⊕ ".join(str(tensor) for tensor in self.tensors)
+
+
+def _monomials_of(expr: ProvExpr) -> Sequence[Tuple[Tuple[str, ...], Tuple]]:
+    """Expand ``expr`` into monomials ``(variables, guards)``.
+
+    Distributes products over sums so that each returned entry is a
+    pure conjunction.  Comparison tokens whose guard provenance is a
+    monomial become :class:`~repro.provenance.tensor_sum.Guard`.
+    """
+    from .tensor_sum import Guard
+
+    expr = expr.simplify()
+    if expr == ZERO:
+        return []
+    if expr == ONE:
+        return [((), ())]
+    if isinstance(expr, Var):
+        return [((expr.name,), ())]
+    if isinstance(expr, Comparison):
+        inner = _monomials_of(expr.prov)
+        if len(inner) != 1 or inner[0][1]:
+            raise ValueError(
+                "comparison guards must contain a single monomial to flatten"
+            )
+        guard = Guard(inner[0][0], expr.value, expr.op, expr.threshold)
+        return [((), (guard,))]
+    if isinstance(expr, Sum):
+        result = []
+        for child in expr.children:
+            result.extend(_monomials_of(child))
+        return result
+    if isinstance(expr, Product):
+        result: list = [((), ())]
+        for child in expr.children:
+            child_monomials = _monomials_of(child)
+            result = [
+                (vars_a + vars_b, guards_a + guards_b)
+                for vars_a, guards_a in result
+                for vars_b, guards_b in child_monomials
+            ]
+        return result
+    raise TypeError(f"cannot flatten expression node {type(expr).__name__}")
+
+
+def _wrap(expr: ProvExpr) -> str:
+    text = str(expr)
+    if isinstance(expr, Sum):
+        return f"({text})"
+    return text
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"

@@ -1,0 +1,175 @@
+"""Aggregation monoids for tensor-paired provenance values.
+
+Amsterdamer, Deutch and Tannen extend K-relations to aggregate queries
+by pairing provenance with values from a commutative monoid ``M`` via a
+tensor ``⊗`` and combining the pairs with a formal sum ``⊕``.  The
+thesis uses three aggregation monoids (Table 5.1): MAX, SUM and MIN,
+always alongside a contributor count, i.e. values are pairs
+``(aggregate, how many tuples contributed)``.
+
+:class:`AggregationMonoid` captures the plain value monoid;
+:class:`CountedAggregate` is the pair monoid used in the running
+examples, e.g. ``Female ⊗ (5, 2)`` meaning "max rating 5, from 2 users".
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class AggregationMonoid(ABC):
+    """A commutative monoid ``(M, ⊕, 0_M)`` of aggregate values."""
+
+    #: Name used when datasets describe themselves (Table 5.1).
+    name: str = "monoid"
+
+    @property
+    @abstractmethod
+    def identity(self) -> float:
+        """Neutral element of ``⊕`` (value of an empty aggregation)."""
+
+    @abstractmethod
+    def combine(self, a: float, b: float) -> float:
+        """The monoid operation ``⊕``."""
+
+    def fold(self, values: Iterable[float]) -> float:
+        """Aggregate ``values``, returning :attr:`identity` when empty."""
+        acc = self.identity
+        for value in values:
+            acc = self.combine(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SumMonoid(AggregationMonoid):
+    """Real addition with identity 0 -- the SUM aggregate."""
+
+    name = "SUM"
+
+    @property
+    def identity(self) -> float:
+        return 0.0
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+class MaxMonoid(AggregationMonoid):
+    """``max`` with identity ``-inf`` -- the MAX aggregate.
+
+    An empty MAX aggregation conventionally evaluates to 0 in the
+    thesis's UI (a movie whose reviews were all cancelled shows rating
+    0); use :meth:`finalize` to apply that convention.
+    """
+
+    name = "MAX"
+
+    @property
+    def identity(self) -> float:
+        return -math.inf
+
+    def combine(self, a: float, b: float) -> float:
+        return max(a, b)
+
+
+class MinMonoid(AggregationMonoid):
+    """``min`` with identity ``+inf`` -- the MIN aggregate."""
+
+    name = "MIN"
+
+    @property
+    def identity(self) -> float:
+        return math.inf
+
+    def combine(self, a: float, b: float) -> float:
+        return min(a, b)
+
+
+class CountMonoid(AggregationMonoid):
+    """Counts contributing tuples; each tensor contributes its count."""
+
+    name = "COUNT"
+
+    @property
+    def identity(self) -> float:
+        return 0.0
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+#: Shared stateless instances.
+SUM = SumMonoid()
+MAX = MaxMonoid()
+MIN = MinMonoid()
+COUNT = CountMonoid()
+
+_BY_NAME = {m.name: m for m in (SUM, MAX, MIN, COUNT)}
+
+
+def monoid_by_name(name: str) -> AggregationMonoid:
+    """Look up an aggregation monoid by its Table 5.1 name.
+
+    Raises :class:`KeyError` with the available names on a miss, which
+    surfaces configuration typos early.
+    """
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregation monoid {name!r}; expected one of "
+            f"{sorted(_BY_NAME)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CountedAggregate:
+    """A pair ``(value, count)`` as used in the running examples.
+
+    ``value`` is the aggregate (MAX/SUM/MIN of ratings, number of major
+    edits, ...) and ``count`` the number of base tuples that
+    contributed.  Pairs combine pointwise: values through the chosen
+    :class:`AggregationMonoid`, counts by addition.
+    """
+
+    value: float
+    count: int
+
+    def combine(self, other: "CountedAggregate", monoid: AggregationMonoid) -> "CountedAggregate":
+        """Combine two counted aggregates under ``monoid``."""
+        return CountedAggregate(
+            value=monoid.combine(self.value, other.value),
+            count=self.count + other.count,
+        )
+
+    def finalized_value(self, empty_value: float = 0.0) -> float:
+        """The aggregate value, mapping the empty aggregation to ``empty_value``.
+
+        MAX/MIN identities are infinite sentinels; user-facing results
+        (and the UI in Figures 7.9/7.10) report 0 for a group whose
+        contributions were all cancelled.
+        """
+        if self.count == 0 or math.isinf(self.value):
+            return empty_value
+        return self.value
+
+
+def fold_counted(
+    pairs: Iterable[CountedAggregate],
+    monoid: AggregationMonoid,
+    empty: Optional[CountedAggregate] = None,
+) -> CountedAggregate:
+    """Fold counted aggregates under ``monoid``.
+
+    Returns ``empty`` (default: identity with count 0) when ``pairs``
+    is empty.
+    """
+    acc = empty if empty is not None else CountedAggregate(monoid.identity, 0)
+    for pair in pairs:
+        acc = acc.combine(pair, monoid)
+    return acc

@@ -1,0 +1,238 @@
+"""Canonical ``N[Ann]`` polynomials (Green et al.'s provenance semiring).
+
+The AST of :mod:`repro.provenance.expressions` represents provenance
+*syntactically*; two expressions that are equal in ``N[Ann]`` (e.g.
+``a·(b + c)`` and ``a·b + a·c``) compare unequal as trees.  This module
+provides the *canonical form*: a mapping from monomials (multisets of
+annotations) to natural coefficients, on which semiring equality is
+structural equality.
+
+The polynomial semiring is the free commutative semiring over ``Ann``:
+any annotation valuation into any commutative semiring extends
+uniquely through :meth:`Polynomial.evaluate_in` -- that universal
+property is what makes ``N[Ann]`` "the most informative" provenance
+and is exercised directly by the property-based tests.
+
+Summarization mappings ``h : Ann → Ann'`` act on polynomials through
+:meth:`Polynomial.rename`, and :func:`from_expression` converts any
+pure (tensor-free) AST into canonical form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, TypeVar
+
+from .expressions import ONE, ZERO, Comparison, Product, ProvExpr, Sum, Var
+from .semirings import Semiring
+
+T = TypeVar("T")
+
+#: A monomial: annotation name → exponent.
+Monomial = Tuple[Tuple[str, int], ...]
+
+_EMPTY: Monomial = ()
+
+
+def _monomial(names: Iterable[str]) -> Monomial:
+    counts = Counter(names)
+    return tuple(sorted(counts.items()))
+
+
+def _monomial_product(first: Monomial, second: Monomial) -> Monomial:
+    counts = Counter(dict(first))
+    for name, exponent in second:
+        counts[name] += exponent
+    return tuple(sorted(counts.items()))
+
+
+class Polynomial:
+    """A polynomial with natural coefficients over annotation names.
+
+    Immutable; arithmetic returns new polynomials.  Construct with
+    :meth:`variable`, :meth:`constant`, or :func:`from_expression`.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int] = ()):
+        cleaned: Dict[Monomial, int] = {}
+        for monomial, coefficient in dict(terms).items():
+            if coefficient < 0:
+                raise ValueError("N[Ann] has natural coefficients only")
+            if coefficient:
+                cleaned[monomial] = coefficient
+        self._terms = cleaned
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        return cls({_EMPTY: 1})
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        return cls({_monomial((name,)): 1})
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        if value < 0:
+            raise ValueError("N[Ann] has natural coefficients only")
+        return cls({_EMPTY: value}) if value else cls()
+
+    # -- structure -----------------------------------------------------------
+
+    def terms(self) -> Dict[Monomial, int]:
+        """Monomial → coefficient (copy)."""
+        return dict(self._terms)
+
+    def coefficient(self, names: Iterable[str]) -> int:
+        return self._terms.get(_monomial(names), 0)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def annotation_names(self) -> FrozenSet[str]:
+        names: set = set()
+        for monomial in self._terms:
+            names.update(name for name, _ in monomial)
+        return frozenset(names)
+
+    def degree(self) -> int:
+        """Largest total degree of a monomial (0 for constants)."""
+        if not self._terms:
+            return 0
+        return max(
+            sum(exponent for _, exponent in monomial) for monomial in self._terms
+        )
+
+    def size(self) -> int:
+        """Annotation occurrences with repetition, counting coefficients.
+
+        Matches the §3.2 size measure on the expanded sum-of-monomials
+        form: ``2·a·b²`` contributes 2 × (1 + 2) = 6.
+        """
+        return sum(
+            coefficient * sum(exponent for _, exponent in monomial)
+            for monomial, coefficient in self._terms.items()
+        )
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            terms[monomial] = terms.get(monomial, 0) + coefficient
+        return Polynomial(terms)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        terms: Dict[Monomial, int] = {}
+        for left_monomial, left_coefficient in self._terms.items():
+            for right_monomial, right_coefficient in other._terms.items():
+                product = _monomial_product(left_monomial, right_monomial)
+                terms[product] = (
+                    terms.get(product, 0) + left_coefficient * right_coefficient
+                )
+        return Polynomial(terms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._terms.items())))
+
+    # -- homomorphisms ------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Apply a summarization mapping ``h`` (a semiring hom on N[Ann])."""
+        terms: Dict[Monomial, int] = {}
+        for monomial, coefficient in self._terms.items():
+            names = []
+            for name, exponent in monomial:
+                names.extend([mapping.get(name, name)] * exponent)
+            renamed = _monomial(names)
+            terms[renamed] = terms.get(renamed, 0) + coefficient
+        return Polynomial(terms)
+
+    def evaluate_in(
+        self, semiring: Semiring[T], valuation: Mapping[str, T]
+    ) -> T:
+        """The unique semiring-hom extension of ``valuation``.
+
+        Every annotation must be mapped; coefficients and exponents are
+        interpreted by repeated semiring addition/multiplication (so
+        the result is correct in *any* commutative semiring, including
+        the boolean and tropical ones).
+        """
+        total = semiring.zero
+        for monomial, coefficient in self._terms.items():
+            value = semiring.one
+            for name, exponent in monomial:
+                try:
+                    base = valuation[name]
+                except KeyError:
+                    raise KeyError(f"valuation missing annotation {name!r}") from None
+                for _ in range(exponent):
+                    value = semiring.times(value, base)
+            for _ in range(coefficient):
+                total = semiring.plus(total, value)
+        return total
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in sorted(self._terms.items()):
+            factors = [
+                name if exponent == 1 else f"{name}^{exponent}"
+                for name, exponent in monomial
+            ]
+            body = "·".join(factors) if factors else "1"
+            if coefficient == 1 and factors:
+                parts.append(body)
+            elif factors:
+                parts.append(f"{coefficient}·{body}")
+            else:
+                parts.append(str(coefficient))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polynomial({self})"
+
+
+def from_expression(expression: ProvExpr) -> Polynomial:
+    """Canonicalize a pure (tensor- and comparison-free) AST.
+
+    Comparison tokens have no polynomial normal form (they are abstract
+    guards, §2.2), so they are rejected here; flatten guarded
+    expressions through the tensor-sum form instead.
+    """
+    if expression == ZERO:
+        return Polynomial.zero()
+    if expression == ONE:
+        return Polynomial.one()
+    if isinstance(expression, Var):
+        return Polynomial.variable(expression.name)
+    if isinstance(expression, Sum):
+        total = Polynomial.zero()
+        for child in expression.children:
+            total = total + from_expression(child)
+        return total
+    if isinstance(expression, Product):
+        total = Polynomial.one()
+        for child in expression.children:
+            total = total * from_expression(child)
+        return total
+    if isinstance(expression, Comparison):
+        raise TypeError(
+            "comparison tokens are abstract guards without a polynomial "
+            "normal form (§2.2); canonicalize the guard-free part only"
+        )
+    raise TypeError(f"cannot canonicalize {type(expression).__name__}")

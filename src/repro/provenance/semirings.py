@@ -1,0 +1,224 @@
+"""Commutative semirings used throughout the provenance model.
+
+The semiring provenance framework of Green, Karvounarakis and Tannen
+interprets positive relational algebra over any commutative semiring
+``(K, +, *, 0, 1)``.  The polynomial semiring ``N[Ann]`` is the most
+general ("free") one; concrete semirings such as the boolean semiring
+or the tropical semiring are obtained from it by evaluating the
+indeterminates, which is exactly what a truth valuation does.
+
+This module provides a small semiring abstraction plus the concrete
+instances the thesis relies on:
+
+* :class:`BooleanSemiring` -- truth valuations of plain annotations.
+* :class:`NaturalsSemiring` -- bag semantics / counting.
+* :class:`TropicalSemiring` -- ``(N ∪ {∞}, min, +, ∞, 0)``; used by the
+  DDP dataset, where ``min`` picks the cheapest execution and ``+``
+  accumulates per-transition costs.
+* :class:`FloatSemiring` -- ordinary real arithmetic, for aggregate
+  values.
+
+Instances are stateless, so module-level singletons (``BOOLEAN``,
+``NATURALS``, ``TROPICAL``, ``REALS``) are provided for convenience.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Generic, Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+class Semiring(ABC, Generic[T]):
+    """A commutative semiring ``(K, +, *, 0, 1)``.
+
+    Subclasses supply the two operations and the two neutral elements;
+    this base class supplies folds and the axioms as checkable
+    predicates (used by the property-based tests).
+    """
+
+    #: Human-readable name of the structure, e.g. ``"N[x]"``.
+    name: str = "semiring"
+
+    @property
+    @abstractmethod
+    def zero(self) -> T:
+        """Neutral element of ``+`` (annihilator of ``*``)."""
+
+    @property
+    @abstractmethod
+    def one(self) -> T:
+        """Neutral element of ``*``."""
+
+    @abstractmethod
+    def plus(self, a: T, b: T) -> T:
+        """Semiring addition (alternative use of data)."""
+
+    @abstractmethod
+    def times(self, a: T, b: T) -> T:
+        """Semiring multiplication (joint use of data)."""
+
+    def sum(self, items: Iterable[T]) -> T:
+        """Fold ``+`` over ``items`` starting from :attr:`zero`."""
+        acc = self.zero
+        for item in items:
+            acc = self.plus(acc, item)
+        return acc
+
+    def product(self, items: Iterable[T]) -> T:
+        """Fold ``*`` over ``items`` starting from :attr:`one`."""
+        acc = self.one
+        for item in items:
+            acc = self.times(acc, item)
+        return acc
+
+    def is_member(self, value: Any) -> bool:
+        """Return whether ``value`` belongs to the carrier set.
+
+        The default accepts anything; subclasses narrow it so tests can
+        generate valid elements.
+        """
+        return True
+
+    # -- axiom predicates (exercised by hypothesis tests) ---------------
+
+    def satisfies_commutativity(self, a: T, b: T) -> bool:
+        return (
+            self.plus(a, b) == self.plus(b, a)
+            and self.times(a, b) == self.times(b, a)
+        )
+
+    def satisfies_associativity(self, a: T, b: T, c: T) -> bool:
+        return (
+            self.plus(self.plus(a, b), c) == self.plus(a, self.plus(b, c))
+            and self.times(self.times(a, b), c) == self.times(a, self.times(b, c))
+        )
+
+    def satisfies_identity(self, a: T) -> bool:
+        return (
+            self.plus(a, self.zero) == a
+            and self.times(a, self.one) == a
+            and self.times(a, self.zero) == self.zero
+        )
+
+    def satisfies_distributivity(self, a: T, b: T, c: T) -> bool:
+        return self.times(a, self.plus(b, c)) == self.plus(
+            self.times(a, b), self.times(a, c)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class BooleanSemiring(Semiring[bool]):
+    """``({False, True}, or, and, False, True)``.
+
+    Truth valuations of provenance polynomials take values here: ``+``
+    is disjunction (a tuple is derivable by *some* alternative) and
+    ``*`` is conjunction (all joined inputs must be present).
+    """
+
+    name = "bool"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def is_member(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+
+class NaturalsSemiring(Semiring[int]):
+    """``(N, +, *, 0, 1)`` -- counts derivations under bag semantics."""
+
+    name = "N"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, a: int, b: int) -> int:
+        return a + b
+
+    def times(self, a: int, b: int) -> int:
+        return a * b
+
+    def is_member(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+class TropicalSemiring(Semiring[float]):
+    """``(N ∪ {∞}, min, +, ∞, 0)`` -- the cost semiring of the DDP model.
+
+    Addition is ``min`` (choose the cheapest execution) and
+    multiplication is ``+`` (sum the costs of a single execution's
+    transitions).  ``math.inf`` plays the role of the absent
+    execution.
+    """
+
+    name = "tropical"
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def is_member(self, value: Any) -> bool:
+        if value == math.inf:
+            return True
+        return isinstance(value, (int, float)) and value >= 0
+
+
+class FloatSemiring(Semiring[float]):
+    """Ordinary real arithmetic ``(R, +, *, 0, 1)``."""
+
+    name = "R"
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return a + b
+
+    def times(self, a: float, b: float) -> float:
+        return a * b
+
+    def is_member(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+#: Shared stateless instances.
+BOOLEAN = BooleanSemiring()
+NATURALS = NaturalsSemiring()
+TROPICAL = TropicalSemiring()
+REALS = FloatSemiring()

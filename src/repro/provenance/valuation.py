@@ -1,0 +1,101 @@
+"""Truth valuations over provenance annotations (§2.3).
+
+A valuation maps annotations to truth values -- or, for DDP cost
+variables, to 0/1 multipliers -- and extends to whole provenance
+expressions through the semiring axioms and the tensor congruences.
+Provisioning ("what if we ignore all male users' reviews?") is exactly
+evaluation under such a valuation.
+
+Valuations here are *sparse*: they record only the annotations that
+deviate from a default (normally ``1``/true).  The thesis's valuation
+classes cancel one annotation or one attribute group, so the sparse
+representation keeps evaluation and lifting cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Valuation:
+    """A sparse truth/number valuation.
+
+    Parameters
+    ----------
+    assignment:
+        Annotation name → assigned value for the annotations that
+        deviate from ``default``.  Boolean annotations use 0.0 / 1.0;
+        DDP cost variables may use any multiplier (the thesis uses
+        0/1).
+    default:
+        Value of every unmentioned annotation (1.0: present/true).
+    weight:
+        The weighting ``w(v)`` of Definition 3.2.2 (uniform 1 by
+        default).
+    label:
+        Human-readable description, e.g. ``"cancel Gender=M"``.
+    """
+
+    assignment: Mapping[str, float] = field(default_factory=dict)
+    default: float = 1.0
+    weight: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignment", dict(self.assignment))
+
+    def value(self, name: str) -> float:
+        """Numeric value assigned to ``name``."""
+        return self.assignment.get(name, self.default)
+
+    def truth(self, name: str) -> bool:
+        """Boolean reading of the value (non-zero is true)."""
+        return self.value(name) != 0
+
+    def false_set(self) -> FrozenSet[str]:
+        """Annotations assigned zero.
+
+        Only meaningful with the (usual) default of 1: the returned set
+        together with "everything else true" determines the valuation
+        on boolean annotations.
+        """
+        return frozenset(
+            name for name, value in self.assignment.items() if value == 0
+        )
+
+    def truth_map(self, names: Iterable[str]) -> Dict[str, bool]:
+        """Materialize truth values for ``names`` (for scan evaluation)."""
+        return {name: self.truth(name) for name in names}
+
+    def cancelling(self, names: Iterable[str]) -> "Valuation":
+        """A copy that additionally cancels ``names``."""
+        assignment = dict(self.assignment)
+        for name in names:
+            assignment[name] = 0.0
+        return Valuation(assignment, self.default, self.weight, self.label)
+
+    def is_contradictory(self) -> bool:
+        """A sparse valuation assigns one value per name, never two."""
+        return False
+
+    def __str__(self) -> str:
+        if self.label:
+            return self.label
+        cancelled = sorted(self.false_set())
+        if cancelled:
+            return f"cancel {{{', '.join(cancelled)}}}"
+        return "all-true"
+
+
+#: The valuation that keeps every annotation (identity provisioning).
+ALL_TRUE = Valuation()
+
+
+def cancel(names: Iterable[str], weight: float = 1.0, label: str = "") -> Valuation:
+    """Convenience constructor: cancel exactly ``names``, keep the rest."""
+    names = tuple(names)
+    if not label:
+        label = f"cancel {{{', '.join(sorted(names))}}}"
+    return Valuation({name: 0.0 for name in names}, weight=weight, label=label)

@@ -1,0 +1,271 @@
+"""Valuation classes ``V_Ann`` (§3.2, Table 5.1).
+
+The distance between an expression and its summary is an average over
+a *class* of truth valuations.  The thesis evaluates two classes for
+every dataset:
+
+* **Cancel Single Annotation** -- one valuation per annotation,
+  assigning it false and everything else true
+  (:class:`CancelSingleAnnotation`).
+* **Cancel Single Attribute** -- one valuation per attribute value,
+  cancelling every annotation carrying it, e.g. all male users
+  (:class:`CancelSingleAttribute`).
+
+For the Wikipedia dataset only valuations *consistent with the
+taxonomy* are kept: a valuation must not treat a WordNet concept as
+false while keeping one of its descendants true
+(:class:`TaxonomyConsistent`).
+
+Classes are finite, sized, iterable and samplable, so the distance
+machinery can either enumerate them exactly or sample per
+Proposition 4.1.2.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .annotations import AnnotationUniverse
+from .valuation import Valuation, cancel
+
+
+class ValuationClass(ABC):
+    """A finite set of weighted truth valuations over base annotations."""
+
+    #: Table 5.1 name of the class.
+    name: str = "valuation class"
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of valuations in the class."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Valuation]:
+        """Iterate over all valuations (deterministic order)."""
+
+    def sample(self, rng: random.Random) -> Valuation:
+        """Draw one valuation uniformly (weights are not sampling odds;
+        they enter VAL-FUNC per Definition 3.2.2)."""
+        index = rng.randrange(len(self))
+        for position, valuation in enumerate(self):
+            if position == index:
+                return valuation
+        raise RuntimeError("valuation class changed size during sampling")
+
+    def total_weight(self) -> float:
+        return sum(valuation.weight for valuation in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name}) of {len(self)} valuations>"
+
+
+class ExplicitValuations(ValuationClass):
+    """A class given extensionally as a list of valuations."""
+
+    name = "Explicit"
+
+    def __init__(self, valuations: Iterable[Valuation]):
+        self._valuations: Tuple[Valuation, ...] = tuple(valuations)
+        if not self._valuations:
+            raise ValueError("a valuation class must contain at least one valuation")
+
+    def __len__(self) -> int:
+        return len(self._valuations)
+
+    def __iter__(self) -> Iterator[Valuation]:
+        return iter(self._valuations)
+
+    def sample(self, rng: random.Random) -> Valuation:
+        return rng.choice(self._valuations)
+
+
+class CancelSingleAnnotation(ExplicitValuations):
+    """One valuation per base annotation: cancel it, keep the rest.
+
+    ``domains`` restricts which annotations get their own valuation
+    (e.g. the MovieLens experiments cancel user annotations, not
+    years).  With no restriction every base annotation is used.
+    """
+
+    name = "Cancel Single Annotation"
+
+    def __init__(
+        self,
+        universe: AnnotationUniverse,
+        domains: Optional[Sequence[str]] = None,
+    ):
+        valuations = []
+        for annotation in universe:
+            if annotation.is_summary:
+                continue
+            if domains is not None and annotation.domain not in domains:
+                continue
+            valuations.append(
+                cancel((annotation.name,), label=f"cancel {annotation.name}")
+            )
+        super().__init__(valuations)
+
+
+class CancelSingleAttribute(ExplicitValuations):
+    """One valuation per attribute value: cancel all carriers.
+
+    For every attribute listed (default: all attributes present on
+    base annotations) and every value it takes, the class contains the
+    valuation cancelling exactly the base annotations carrying that
+    value -- e.g. *cancel all Male users*.
+    """
+
+    name = "Cancel Single Attribute"
+
+    def __init__(
+        self,
+        universe: AnnotationUniverse,
+        attributes: Optional[Sequence[str]] = None,
+        domains: Optional[Sequence[str]] = None,
+    ):
+        if attributes is None:
+            attributes = universe.attribute_names()
+        valuations = []
+        for attribute in attributes:
+            for value in universe.attribute_values(attribute):
+                names = [
+                    annotation.name
+                    for annotation in universe.with_attribute(attribute, value)
+                    if domains is None or annotation.domain in domains
+                ]
+                if names:
+                    valuations.append(
+                        cancel(names, label=f"cancel {attribute}={value}")
+                    )
+        super().__init__(valuations)
+
+
+class CancelSubsets(ExplicitValuations):
+    """All valuations cancelling between 1 and ``max_cancelled``
+    annotations of the given domains.
+
+    Generalizes Cancel-Single-Annotation ("we assume that there is a
+    single spammer", Example 3.2.1) to scenarios with up to ``k``
+    simultaneous spammers.  The class has ``Σ_{i=1..k} C(n, i)``
+    members, so keep ``max_cancelled`` small or let the distance
+    machinery sample it.
+    """
+
+    name = "Cancel Subsets"
+
+    def __init__(
+        self,
+        universe: AnnotationUniverse,
+        max_cancelled: int = 2,
+        domains: Optional[Sequence[str]] = None,
+    ):
+        from itertools import combinations
+
+        if max_cancelled < 1:
+            raise ValueError("max_cancelled must be at least 1")
+        names = [
+            annotation.name
+            for annotation in universe
+            if not annotation.is_summary
+            and (domains is None or annotation.domain in domains)
+        ]
+        valuations = []
+        for size in range(1, max_cancelled + 1):
+            for subset in combinations(names, size):
+                valuations.append(cancel(subset))
+        super().__init__(valuations)
+        self.name = f"Cancel Subsets (≤{max_cancelled})"
+
+
+def bernoulli_weighted(
+    valuations: ValuationClass, cancel_probability: float
+) -> ExplicitValuations:
+    """Reweight a class by the joint probability of its cancellations.
+
+    §3.2 names "the joint probability of the truth values" as a natural
+    ``w(v)``: if each annotation is independently cancelled with
+    probability ``q``, a valuation cancelling ``c`` annotations gets
+    weight ``q^c`` (the surviving annotations' factor is common to the
+    comparison and omitted).
+    """
+    if not 0.0 < cancel_probability <= 1.0:
+        raise ValueError("cancel_probability must be in (0, 1]")
+    reweighted = []
+    for valuation in valuations:
+        cancelled = len(valuation.false_set())
+        reweighted.append(
+            Valuation(
+                valuation.assignment,
+                default=valuation.default,
+                weight=valuation.weight * cancel_probability ** cancelled,
+                label=valuation.label,
+            )
+        )
+    return ExplicitValuations(reweighted)
+
+
+class TaxonomyConsistent(ValuationClass):
+    """Filter a class down to its taxonomy-consistent valuations.
+
+    A valuation is *inconsistent* (§5.2) when it treats a taxonomy
+    concept ``A`` as false while treating a concept ``B ⊑ A`` as true.
+    Concept-level truth is read off the annotations: concept ``C`` is
+    false under ``v`` iff ``C`` has carriers and ``v`` cancels every
+    base annotation whose concept set contains ``C``.
+    """
+
+    name = "Taxonomy Consistent"
+
+    def __init__(
+        self,
+        inner: ValuationClass,
+        concepts_of: Mapping[str, Sequence[str]],
+        parent_of: Mapping[str, Optional[str]],
+    ):
+        self._inner = inner
+        self._concepts_of = {
+            name: tuple(concepts) for name, concepts in concepts_of.items()
+        }
+        self._parent_of = dict(parent_of)
+        carriers: Dict[str, List[str]] = {}
+        for name, concepts in self._concepts_of.items():
+            for concept in concepts:
+                carriers.setdefault(concept, []).append(name)
+        self._carriers = {
+            concept: frozenset(names) for concept, names in carriers.items()
+        }
+        self._kept: Tuple[Valuation, ...] = tuple(
+            valuation for valuation in inner if self.is_consistent(valuation)
+        )
+        if not self._kept:
+            raise ValueError("no taxonomy-consistent valuations remain")
+        self.name = f"{inner.name} (taxonomy consistent)"
+
+    def is_consistent(self, valuation: Valuation) -> bool:
+        cancelled = valuation.false_set()
+        false_concepts = {
+            concept
+            for concept, names in self._carriers.items()
+            if names and names <= cancelled
+        }
+        for concept, names in self._carriers.items():
+            if concept in false_concepts:
+                continue
+            # The concept is true; all its ancestors must be true too.
+            parent = self._parent_of.get(concept)
+            while parent is not None:
+                if parent in false_concepts:
+                    return False
+                parent = self._parent_of.get(parent)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._kept)
+
+    def __iter__(self) -> Iterator[Valuation]:
+        return iter(self._kept)
+
+    def sample(self, rng: random.Random) -> Valuation:
+        return rng.choice(self._kept)

@@ -1,0 +1,25 @@
+"""The PROX system (Chapter 7): selection, summarization, provisioning."""
+
+from .evaluator import EvaluationOutcome, EvaluatorService
+from .selection import SelectionService
+from .server import ProxServer
+from .session import GroupView, ProxSession
+from .summarization import (
+    VAL_FUNCS,
+    VALUATION_CLASSES,
+    SummarizationRequest,
+    SummarizationService,
+)
+
+__all__ = [
+    "EvaluationOutcome",
+    "EvaluatorService",
+    "GroupView",
+    "ProxServer",
+    "ProxSession",
+    "SelectionService",
+    "SummarizationRequest",
+    "SummarizationService",
+    "VALUATION_CLASSES",
+    "VAL_FUNCS",
+]

@@ -1,0 +1,70 @@
+"""PROX selection service (§7.1, Figures 7.2-7.3).
+
+The selection service restricts provenance to user-chosen data
+components before summarization: either an explicit list of movie
+titles, or all movies matching genre/year criteria.  Selection never
+loses information -- it returns the sub-expression consisting of the
+selected groups' terms, over the same annotation universe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..datasets.base import DatasetInstance
+from ..provenance.tensor_sum import TensorSum
+
+
+class SelectionService:
+    """Selects provenance by title or by attribute criteria."""
+
+    def __init__(self, instance: DatasetInstance):
+        if not isinstance(instance.expression, TensorSum):
+            raise TypeError("the selection service operates on tensor-sum provenance")
+        self.instance = instance
+
+    def available_titles(self) -> Sequence[str]:
+        """All group (movie) titles present in the provenance."""
+        return [group for group in self.instance.expression.groups() if group]
+
+    def search_titles(self, needle: str) -> Sequence[str]:
+        """Substring title search, as in the Figure 7.2 search box."""
+        lowered = needle.lower()
+        return [title for title in self.available_titles() if lowered in title.lower()]
+
+    def by_titles(self, titles: Sequence[str]) -> TensorSum:
+        """Provenance of exactly the chosen titles."""
+        chosen = set(titles)
+        missing = chosen - set(self.available_titles())
+        if missing:
+            raise KeyError(f"unknown titles: {sorted(missing)}")
+        expression = self.instance.expression
+        return TensorSum(
+            (term for term in expression.terms if term.group in chosen),
+            expression.monoid,
+        )
+
+    def by_attributes(
+        self,
+        genre: Optional[str] = None,
+        year: Optional[int] = None,
+        decade: Optional[str] = None,
+    ) -> TensorSum:
+        """Provenance of all movies matching the given criteria
+        (Figure 7.3's genre + year selection)."""
+        universe = self.instance.universe
+        titles = []
+        for title in self.available_titles():
+            annotation = universe[title]
+            if genre is not None and annotation.attributes.get("genre") != genre:
+                continue
+            if year is not None and annotation.attributes.get("year") != year:
+                continue
+            if decade is not None and annotation.attributes.get("decade") != decade:
+                continue
+            titles.append(title)
+        if not titles:
+            raise LookupError(
+                f"no movies match genre={genre!r} year={year!r} decade={decade!r}"
+            )
+        return self.by_titles(titles)

@@ -1,0 +1,242 @@
+"""PROX as an HTTP service (§7.1's REST API, stdlib-only).
+
+The original PROX exposes its selection, summarization and evaluation
+services as REST endpoints behind a Java/Spring server.  This module
+provides the same API surface on ``http.server``:
+
+=======  =====================  ==========================================
+method   path                   body / query
+=======  =====================  ==========================================
+GET      /titles                optional ``?search=substring``
+POST     /select                ``{"titles": [...]}`` or
+                                ``{"genre": ..., "year": ..., "decade": ...}``
+POST     /summarize             the Figure 7.4 form fields (all optional):
+                                ``distance_weight``, ``size_weight``,
+                                ``distance_bound``, ``size_bound``,
+                                ``number_of_steps``, ``aggregation``,
+                                ``valuation_class``, ``val_func``
+GET      /summary/expression    the polynomial-form view (Figure 7.8)
+GET      /summary/groups        the groups view (Figures 7.5-7.7)
+POST     /evaluate              ``{"false_annotations": [...],
+                                "false_attributes": {...}}`` → original and
+                                summary answers with evaluation times
+=======  =====================  ==========================================
+
+Responses are JSON; errors use conventional status codes with a
+``{"error": ...}`` body.  One server hosts one
+:class:`~repro.prox.session.ProxSession` (like the demo deployment).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .session import ProxSession
+from .summarization import SummarizationRequest
+
+
+class ProxRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches the PROX REST API onto the server's session."""
+
+    server_version = "PROX/1.0"
+    #: Set by ProxServer; the shared session plus its lock.
+    session: ProxSession
+    lock: threading.Lock
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence default stderr logging (tests and CLI use)."""
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if not length:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid JSON body: {error}") from None
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routing --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        try:
+            with self.lock:
+                if parsed.path == "/titles":
+                    query = parse_qs(parsed.query)
+                    search = query.get("search", [None])[0]
+                    self._send(200, {"titles": list(self.session.titles(search))})
+                elif parsed.path == "/summary/expression":
+                    self._send(200, {"expression": self.session.expression_view()})
+                elif parsed.path == "/summary/groups":
+                    groups = [
+                        {
+                            "annotation": group.annotation,
+                            "size": group.size,
+                            "members": list(group.members),
+                            "shared_attributes": dict(group.shared_attributes),
+                            "aggregated": dict(group.aggregated),
+                        }
+                        for group in self.session.groups_view()
+                    ]
+                    self._send(200, {"groups": groups})
+                else:
+                    self._error(404, f"unknown path {parsed.path}")
+        except RuntimeError as error:
+            self._error(409, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        try:
+            body = self._body()
+            with self.lock:
+                if parsed.path == "/select":
+                    self._handle_select(body)
+                elif parsed.path == "/summarize":
+                    self._handle_summarize(body)
+                elif parsed.path == "/evaluate":
+                    self._handle_evaluate(body)
+                else:
+                    self._error(404, f"unknown path {parsed.path}")
+        except (ValueError, KeyError, LookupError) as error:
+            self._error(400, str(error))
+        except RuntimeError as error:
+            self._error(409, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, str(error))
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _handle_select(self, body: Dict[str, Any]) -> None:
+        if "titles" in body:
+            size = self.session.select_titles(list(body["titles"]))
+        else:
+            size = self.session.select_by(
+                genre=body.get("genre"),
+                year=body.get("year"),
+                decade=body.get("decade"),
+            )
+        self._send(200, {"selected_size": size})
+
+    def _handle_summarize(self, body: Dict[str, Any]) -> None:
+        allowed = {
+            "distance_weight",
+            "size_weight",
+            "distance_bound",
+            "size_bound",
+            "number_of_steps",
+            "aggregation",
+            "valuation_class",
+            "val_func",
+        }
+        unknown = set(body) - allowed - {"seed"}
+        if unknown:
+            raise ValueError(f"unknown summarization parameters: {sorted(unknown)}")
+        request = SummarizationRequest(
+            **{key: value for key, value in body.items() if key in allowed}
+        )
+        result = self.session.summarize(request, seed=int(body.get("seed", 0)))
+        self._send(
+            200,
+            {
+                "size": result.final_size,
+                "distance": result.final_distance.normalized,
+                "steps": result.n_steps,
+                "stop_reason": result.stop_reason,
+            },
+        )
+
+    def _handle_evaluate(self, body: Dict[str, Any]) -> None:
+        original, summary = self.session.evaluate(
+            false_annotations=list(body.get("false_annotations", ())),
+            false_attributes=body.get("false_attributes"),
+        )
+        self._send(
+            200,
+            {
+                "original": {
+                    "ratings": dict(original.ratings),
+                    "evaluation_time_ns": original.evaluation_time_ns,
+                },
+                "summary": {
+                    "ratings": dict(summary.ratings),
+                    "evaluation_time_ns": summary.evaluation_time_ns,
+                },
+            },
+        )
+
+
+class ProxServer:
+    """A threaded PROX HTTP server around one session.
+
+    Usage::
+
+        server = ProxServer(session)          # port 0: pick a free port
+        server.start()
+        ... http requests against server.address ...
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        session: Optional[ProxSession] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.session = session if session is not None else ProxSession()
+        handler = type(
+            "BoundProxHandler",
+            (ProxRequestHandler,),
+            {"session": self.session, "lock": threading.Lock()},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="prox-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ProxServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

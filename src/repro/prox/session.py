@@ -1,0 +1,165 @@
+"""The PROX session facade -- the three web-UI views as a Python API.
+
+Chapter 7's system is a Java/Spring + AngularJS web application; its
+value is the workflow it exposes, not the HTTP plumbing (DESIGN.md).
+:class:`ProxSession` drives the same loop:
+
+1. **Selection view** -- choose movies by title or genre/year
+   (:meth:`select_titles`, :meth:`select_by`);
+2. **Summarization view** -- configure and run Algorithm 1
+   (:meth:`summarize`);
+3. **Summary view** -- inspect the result as an expression
+   (:meth:`expression_view`) or as groups with their member attributes
+   and aggregates (:meth:`groups_view`), and provision hypothetical
+   scenarios (:meth:`evaluate`), comparing original and summary
+   answers with their evaluation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.summarize import SummarizationResult
+from ..datasets.base import DatasetInstance
+from ..datasets.movielens import MovieLensConfig, generate_movielens
+from ..provenance.tensor_sum import TensorSum
+from .evaluator import EvaluationOutcome, EvaluatorService
+from .selection import SelectionService
+from .summarization import SummarizationRequest, SummarizationService
+
+
+@dataclass
+class GroupView:
+    """One card of the groups view (Figures 7.5-7.7)."""
+
+    annotation: str
+    size: int
+    members: Tuple[str, ...]
+    shared_attributes: Mapping[str, object]
+    aggregated: Mapping[str, float]
+
+
+class ProxSession:
+    """One user's PROX session over a provenance instance."""
+
+    def __init__(self, instance: Optional[DatasetInstance] = None, seed: int = 0):
+        if instance is None:
+            instance = generate_movielens(
+                MovieLensConfig(include_movie_merges=True, seed=seed)
+            )
+        self.instance = instance
+        self.selection = SelectionService(instance)
+        self.summarization = SummarizationService(instance)
+        self.evaluator = EvaluatorService(instance)
+        self.selected: Optional[TensorSum] = None
+        self.result: Optional[SummarizationResult] = None
+
+    # -- selection view -------------------------------------------------------
+
+    def titles(self, search: Optional[str] = None) -> Sequence[str]:
+        if search:
+            return self.selection.search_titles(search)
+        return self.selection.available_titles()
+
+    def select_titles(self, titles: Sequence[str]) -> int:
+        """Select provenance by movie titles; returns its size."""
+        self.selected = self.selection.by_titles(titles)
+        self.result = None
+        return self.selected.size()
+
+    def select_by(
+        self,
+        genre: Optional[str] = None,
+        year: Optional[int] = None,
+        decade: Optional[str] = None,
+    ) -> int:
+        """Select provenance by genre/year; returns its size."""
+        self.selected = self.selection.by_attributes(genre, year, decade)
+        self.result = None
+        return self.selected.size()
+
+    # -- summarization view ------------------------------------------------------
+
+    def summarize(
+        self, request: SummarizationRequest = SummarizationRequest(), seed: int = 0
+    ) -> SummarizationResult:
+        if self.selected is None:
+            raise RuntimeError("select provenance first (selection view)")
+        self.result = self.summarization.summarize(self.selected, request, seed)
+        return self.result
+
+    # -- summary view ---------------------------------------------------------------
+
+    def expression_view(self) -> str:
+        """The summary in polynomial form with its size (Figure 7.8)."""
+        result = self._require_result()
+        return (
+            f"{result.summary_expression}\n"
+            f"Provenance Size: {result.final_size}"
+        )
+
+    def groups_view(self) -> List[GroupView]:
+        """The groups the algorithm chose to map together (Figure 7.5)."""
+        result = self._require_result()
+        universe = result.universe
+        views: List[GroupView] = []
+        for name, members in sorted(result.summary_groups().items()):
+            annotation = universe[name]
+            aggregated: Dict[str, float] = {}
+            for group, aggregate in result.summary_expression.full_vector().items():
+                for term in result.summary_expression.terms:
+                    if term.group == group and name in term.annotations:
+                        aggregated[str(group)] = aggregate.finalized_value()
+                        break
+            views.append(
+                GroupView(
+                    annotation=name,
+                    size=len(members),
+                    members=members,
+                    shared_attributes=dict(annotation.attributes),
+                    aggregated=aggregated,
+                )
+            )
+        return views
+
+    def explain(self, title: str) -> str:
+        """Why does ``title`` have its current rating? (witness view)
+
+        Uses the selected provenance; reports the aggregate, its
+        witnesses with their attributes, and which annotations are
+        pivotal (discarding them changes the answer).
+        """
+        from ..provenance.explanations import explain as explain_group
+
+        if self.selected is None:
+            raise RuntimeError("select provenance first (selection view)")
+        if title not in set(self.selected.groups()):
+            raise KeyError(f"{title!r} is not in the current selection")
+        return explain_group(self.selected, title, self.instance.universe)
+
+    def evaluate(
+        self,
+        false_annotations: Sequence[str] = (),
+        false_attributes: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[EvaluationOutcome, EvaluationOutcome]:
+        """Provision a scenario on both expressions (Figures 7.9-7.10).
+
+        Returns ``(original_outcome, summary_outcome)`` so callers can
+        compare answers and evaluation times.
+        """
+        result = self._require_result()
+        if self.selected is None:
+            raise RuntimeError("no selection active")
+        original = self.evaluator.evaluate_original(
+            self.selected, false_annotations, false_attributes
+        )
+        summary = self.evaluator.evaluate_summary(
+            result, false_annotations, false_attributes
+        )
+        return original, summary
+
+    def _require_result(self) -> SummarizationResult:
+        if self.result is None:
+            raise RuntimeError("summarize first (summarization view)")
+        return self.result

@@ -1,0 +1,109 @@
+"""PROX summarization service (§7.1, Figure 7.4).
+
+Exposes Algorithm 1 behind the parameter set of the PROX web UI's
+summarization view: distance/size weights, distance/size bounds,
+number of steps, aggregation function, valuation class and VAL-FUNC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.combiners import DomainCombiners
+from ..core.problem import SummarizationConfig, SummarizationProblem
+from ..core.summarize import SummarizationResult, Summarizer
+from ..core.val_funcs import AbsoluteDifference, Disagreement, EuclideanDistance
+from ..datasets.base import DatasetInstance
+from ..provenance.monoids import monoid_by_name
+from ..provenance.tensor_sum import TensorSum
+from ..provenance.valuation_classes import (
+    CancelSingleAnnotation,
+    CancelSingleAttribute,
+)
+
+#: The VAL-FUNC choices offered by the summarization view.
+VAL_FUNCS = {
+    "Euclidean Distance": EuclideanDistance,
+    "Absolute Difference": AbsoluteDifference,
+    "Disagreement": Disagreement,
+}
+
+#: The valuation-class choices offered by the summarization view.
+VALUATION_CLASSES = ("Cancel Single Annotation", "Cancel Single Attribute")
+
+
+@dataclass(frozen=True)
+class SummarizationRequest:
+    """The Figure 7.4 form: what the user configures before summarizing."""
+
+    distance_weight: float = 0.5
+    size_weight: Optional[float] = None
+    distance_bound: float = 1.0
+    size_bound: int = 1
+    number_of_steps: Optional[int] = 10
+    aggregation: str = "MAX"
+    valuation_class: str = "Cancel Single Annotation"
+    val_func: str = "Euclidean Distance"
+
+    def to_config(self, seed: int = 0) -> SummarizationConfig:
+        return SummarizationConfig(
+            w_dist=self.distance_weight,
+            w_size=self.size_weight,
+            target_dist=self.distance_bound,
+            target_size=self.size_bound,
+            max_steps=self.number_of_steps,
+            seed=seed,
+        )
+
+
+class SummarizationService:
+    """Summarizes selected provenance with UI-style parameters."""
+
+    def __init__(self, instance: DatasetInstance):
+        self.instance = instance
+
+    def summarize(
+        self,
+        selected: TensorSum,
+        request: SummarizationRequest = SummarizationRequest(),
+        seed: int = 0,
+    ) -> SummarizationResult:
+        """Run Algorithm 1 on ``selected`` provenance.
+
+        The aggregation / valuation class / VAL-FUNC dropdowns override
+        the instance defaults.
+        """
+        monoid = monoid_by_name(request.aggregation)
+        expression = TensorSum(selected.terms, monoid)
+        if request.valuation_class == "Cancel Single Annotation":
+            valuations = CancelSingleAnnotation(
+                self.instance.universe, domains=("user",)
+            )
+        elif request.valuation_class == "Cancel Single Attribute":
+            valuations = CancelSingleAttribute(
+                self.instance.universe, domains=("user",)
+            )
+        else:
+            raise ValueError(
+                f"unknown valuation class {request.valuation_class!r}; "
+                f"expected one of {VALUATION_CLASSES}"
+            )
+        try:
+            val_func = VAL_FUNCS[request.val_func](monoid)
+        except KeyError:
+            raise ValueError(
+                f"unknown VAL-FUNC {request.val_func!r}; expected one of "
+                f"{sorted(VAL_FUNCS)}"
+            ) from None
+        problem = SummarizationProblem(
+            expression=expression,
+            universe=self.instance.universe,
+            valuations=valuations,
+            val_func=val_func,
+            combiners=self.instance.combiners,
+            constraint=self.instance.constraint,
+            taxonomy=self.instance.taxonomy,
+            description=f"PROX selection of {len(expression.groups())} movies",
+        )
+        return Summarizer(problem, request.to_config(seed)).run()

@@ -1,0 +1,281 @@
+"""JSON (de)serialization of provenance expressions and summaries.
+
+Provenance is long-lived by nature -- it documents how data was derived
+-- so a provenance library must be able to persist its expressions and
+the summaries computed from them.  This module round-trips:
+
+* :class:`~repro.provenance.annotations.Annotation` /
+  :class:`~repro.provenance.annotations.AnnotationUniverse`;
+* :class:`~repro.provenance.tensor_sum.TensorSum` (terms, guards and
+  aggregation monoid);
+* :class:`~repro.provenance.ddp_expression.DDPExpression`;
+* summaries: a :class:`~repro.core.summarize.SummarizationResult`'s
+  portable part (summary expression + cumulative mapping + groups).
+
+The format is a versioned plain-JSON object; ``load_expression``
+dispatches on the recorded ``kind``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Mapping, Union
+
+from .core.summarize import SummarizationResult
+from .provenance.annotations import Annotation, AnnotationUniverse
+from .provenance.ddp_expression import (
+    CostTransition,
+    DBTransition,
+    DDPExpression,
+    Execution,
+)
+from .provenance.monoids import monoid_by_name
+from .provenance.tensor_sum import Guard, TensorSum, Term
+
+FORMAT_VERSION = 1
+
+Expression = Union[TensorSum, DDPExpression]
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or unsupported payloads."""
+
+
+# -- annotations ---------------------------------------------------------------
+
+
+def annotation_to_dict(annotation: Annotation) -> Dict[str, Any]:
+    return {
+        "name": annotation.name,
+        "domain": annotation.domain,
+        "attributes": dict(annotation.attributes),
+        "concept": annotation.concept,
+        "members": sorted(annotation.members),
+    }
+
+
+def annotation_from_dict(data: Mapping[str, Any]) -> Annotation:
+    try:
+        return Annotation(
+            name=data["name"],
+            domain=data["domain"],
+            attributes=dict(data.get("attributes", {})),
+            concept=data.get("concept"),
+            members=frozenset(data.get("members", ())),
+        )
+    except KeyError as missing:
+        raise SerializationError(f"annotation payload missing {missing}") from None
+
+
+def universe_to_dict(universe: AnnotationUniverse) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "universe",
+        "annotations": [annotation_to_dict(annotation) for annotation in universe],
+    }
+
+
+def universe_from_dict(data: Mapping[str, Any]) -> AnnotationUniverse:
+    _check(data, "universe")
+    return AnnotationUniverse(
+        annotation_from_dict(entry) for entry in data.get("annotations", ())
+    )
+
+
+# -- tensor sums ----------------------------------------------------------------
+
+
+def _guard_to_dict(guard: Guard) -> Dict[str, Any]:
+    return {
+        "annotations": list(guard.annotations),
+        "value": guard.value,
+        "op": guard.op,
+        "threshold": guard.threshold,
+    }
+
+
+def _guard_from_dict(data: Mapping[str, Any]) -> Guard:
+    return Guard(
+        tuple(data["annotations"]), data["value"], data["op"], data["threshold"]
+    )
+
+
+def tensor_sum_to_dict(expression: TensorSum) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "tensor_sum",
+        "monoid": expression.monoid.name,
+        "terms": [
+            {
+                "annotations": list(term.annotations),
+                "value": term.value,
+                "count": term.count,
+                "group": term.group,
+                "guards": [_guard_to_dict(guard) for guard in term.guards],
+            }
+            for term in expression.terms
+        ],
+    }
+
+
+def tensor_sum_from_dict(data: Mapping[str, Any]) -> TensorSum:
+    _check(data, "tensor_sum")
+    try:
+        monoid = monoid_by_name(data["monoid"])
+        terms = [
+            Term(
+                annotations=tuple(entry["annotations"]),
+                value=float(entry["value"]),
+                count=int(entry.get("count", 1)),
+                group=entry.get("group"),
+                guards=tuple(
+                    _guard_from_dict(guard) for guard in entry.get("guards", ())
+                ),
+            )
+            for entry in data["terms"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed tensor_sum payload: {error}") from None
+    return TensorSum(terms, monoid)
+
+
+# -- DDP expressions ---------------------------------------------------------------
+
+
+def ddp_to_dict(expression: DDPExpression) -> Dict[str, Any]:
+    executions = []
+    for execution in expression.executions:
+        transitions = []
+        for transition in execution.transitions:
+            if isinstance(transition, CostTransition):
+                transitions.append(
+                    {"kind": "cost", "var": transition.var, "cost": transition.cost}
+                )
+            else:
+                transitions.append(
+                    {
+                        "kind": "db",
+                        "vars": list(transition.vars),
+                        "op": transition.op,
+                    }
+                )
+        executions.append(transitions)
+    return {"version": FORMAT_VERSION, "kind": "ddp", "executions": executions}
+
+
+def ddp_from_dict(data: Mapping[str, Any]) -> DDPExpression:
+    _check(data, "ddp")
+    executions = []
+    try:
+        for transitions in data["executions"]:
+            parsed = []
+            for transition in transitions:
+                if transition["kind"] == "cost":
+                    parsed.append(
+                        CostTransition(transition["var"], float(transition["cost"]))
+                    )
+                elif transition["kind"] == "db":
+                    parsed.append(
+                        DBTransition(tuple(transition["vars"]), transition["op"])
+                    )
+                else:
+                    raise SerializationError(
+                        f"unknown transition kind {transition['kind']!r}"
+                    )
+            executions.append(Execution(parsed))
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed ddp payload: {error}") from None
+    return DDPExpression(executions)
+
+
+# -- generic expression dispatch ----------------------------------------------------
+
+
+def expression_to_dict(expression: Expression) -> Dict[str, Any]:
+    if isinstance(expression, TensorSum):
+        return tensor_sum_to_dict(expression)
+    if isinstance(expression, DDPExpression):
+        return ddp_to_dict(expression)
+    raise SerializationError(
+        f"cannot serialize expression of type {type(expression).__name__}"
+    )
+
+
+def expression_from_dict(data: Mapping[str, Any]) -> Expression:
+    kind = data.get("kind")
+    if kind == "tensor_sum":
+        return tensor_sum_from_dict(data)
+    if kind == "ddp":
+        return ddp_from_dict(data)
+    raise SerializationError(f"unknown expression kind {kind!r}")
+
+
+# -- summaries ---------------------------------------------------------------------------
+
+
+def summary_to_dict(result: SummarizationResult) -> Dict[str, Any]:
+    """The portable part of a summarization result.
+
+    Enough to *use* the summary later (approximate provisioning needs
+    the expression, the cumulative mapping and the summary annotations'
+    membership); step telemetry is not persisted.
+    """
+    summary_annotations = [
+        annotation_to_dict(result.universe[name])
+        for name in sorted(set(result.mapping.values()))
+        if result.universe[name].is_summary
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "summary",
+        "expression": expression_to_dict(result.summary_expression),
+        "mapping": result.mapping.as_dict(),
+        "summary_annotations": summary_annotations,
+        "final_size": result.final_size,
+        "final_distance": result.final_distance.normalized,
+        "stop_reason": result.stop_reason,
+    }
+
+
+def summary_from_dict(data: Mapping[str, Any]):
+    """Load a persisted summary.
+
+    Returns ``(expression, mapping_dict, annotations)`` where
+    ``annotations`` are the summary annotations to re-register into a
+    universe before lifting valuations.
+    """
+    _check(data, "summary")
+    expression = expression_from_dict(data["expression"])
+    mapping = dict(data["mapping"])
+    annotations = [
+        annotation_from_dict(entry) for entry in data.get("summary_annotations", ())
+    ]
+    return expression, mapping, annotations
+
+
+# -- file helpers ---------------------------------------------------------------------------
+
+
+def dump(payload: Dict[str, Any], target: IO[str]) -> None:
+    json.dump(payload, target, ensure_ascii=False, indent=2, sort_keys=True)
+
+
+def dumps(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, ensure_ascii=False, sort_keys=True)
+
+
+def load_expression(source: Union[str, IO[str]]) -> Expression:
+    data = json.loads(source) if isinstance(source, str) else json.load(source)
+    return expression_from_dict(data)
+
+
+def _check(data: Mapping[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+    version = data.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"payload version {version} is newer than supported {FORMAT_VERSION}"
+        )

@@ -1,0 +1,25 @@
+"""YAGO/WordNet-style taxonomy with Wu-Palmer relatedness (§5.1)."""
+
+from .dag import Taxonomy
+from .wordnet_fragment import (
+    leaf_concepts,
+    synthetic_taxonomy,
+    wordnet_person_fragment,
+)
+from .wu_palmer import (
+    group_distance,
+    most_specific_common_ancestor,
+    wu_palmer_distance,
+    wu_palmer_similarity,
+)
+
+__all__ = [
+    "Taxonomy",
+    "group_distance",
+    "leaf_concepts",
+    "most_specific_common_ancestor",
+    "synthetic_taxonomy",
+    "wordnet_person_fragment",
+    "wu_palmer_distance",
+    "wu_palmer_similarity",
+]

@@ -1,0 +1,146 @@
+"""Taxonomy of concepts (``rdfs:subClassOf`` facts), YAGO-style.
+
+The Wikipedia experiments constrain merges of page annotations to
+pages sharing a taxonomy ancestor, and use Wu-Palmer relatedness over
+the taxonomy to break ties between candidate merges (§3.2, §5.1).
+
+The thesis uses the YAGO taxonomy, a tree-shaped fragment of WordNet
+concepts.  We model a rooted tree (each concept has at most one
+parent, a single root); that is all Wu-Palmer and the lowest-common-
+ancestor queries need, and matches the WordNet hypernym paths the
+thesis displays (singer → musician → performer → ... → entity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Taxonomy:
+    """A rooted concept tree with LCA and depth queries.
+
+    Build with :meth:`add` (child, parent) facts; the unique concept
+    without a parent is the root.  Queries memoize depths, so build
+    fully before querying (adding after a query raises).
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._depth_cache: Optional[Dict[str, int]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, concept: str, parent: Optional[str] = None) -> None:
+        """Record ``concept subClassOf parent`` (``parent=None``: root)."""
+        if self._depth_cache is not None:
+            raise RuntimeError("taxonomy is frozen once queried")
+        existing = self._parent.get(concept)
+        if existing is not None and parent is not None and existing != parent:
+            raise ValueError(
+                f"concept {concept!r} already has parent {existing!r}; "
+                f"a taxonomy tree allows one parent"
+            )
+        if parent is not None:
+            self._parent[concept] = parent
+            self._parent.setdefault(parent, None)
+            self._children.setdefault(parent, []).append(concept)
+        else:
+            self._parent.setdefault(concept, None)
+        self._children.setdefault(concept, [])
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[str, str]]) -> "Taxonomy":
+        """Build from ``(child, parent)`` pairs."""
+        taxonomy = cls()
+        for child, parent in edges:
+            taxonomy.add(child, parent)
+        return taxonomy
+
+    # -- basic structure ------------------------------------------------------
+
+    def __contains__(self, concept: str) -> bool:
+        return concept in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parent)
+
+    def parent(self, concept: str) -> Optional[str]:
+        self._require(concept)
+        return self._parent[concept]
+
+    def children(self, concept: str) -> Tuple[str, ...]:
+        self._require(concept)
+        return tuple(self._children.get(concept, ()))
+
+    def roots(self) -> Tuple[str, ...]:
+        return tuple(
+            concept for concept, parent in self._parent.items() if parent is None
+        )
+
+    def parent_map(self) -> Dict[str, Optional[str]]:
+        """Concept → parent mapping (copy), as consumed by
+        :class:`~repro.provenance.valuation_classes.TaxonomyConsistent`."""
+        return dict(self._parent)
+
+    # -- ancestry ----------------------------------------------------------------
+
+    def ancestors(self, concept: str) -> Tuple[str, ...]:
+        """Concepts on the path to the root, starting with ``concept``."""
+        self._require(concept)
+        path = [concept]
+        seen = {concept}
+        current = self._parent[concept]
+        while current is not None:
+            if current in seen:
+                raise ValueError(f"taxonomy contains a cycle through {current!r}")
+            path.append(current)
+            seen.add(current)
+            current = self._parent[current]
+        return tuple(path)
+
+    def depth(self, concept: str) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        if self._depth_cache is None:
+            self._depth_cache = {}
+        cached = self._depth_cache.get(concept)
+        if cached is not None:
+            return cached
+        depth = len(self.ancestors(concept)) - 1
+        self._depth_cache[concept] = depth
+        return depth
+
+    def is_ancestor(self, ancestor: str, concept: str) -> bool:
+        """Whether ``ancestor`` lies on ``concept``'s path to the root
+        (a concept is its own ancestor)."""
+        return ancestor in self.ancestors(concept)
+
+    def lca(self, first: str, second: str) -> Optional[str]:
+        """Lowest common ancestor, or ``None`` for disjoint trees."""
+        first_path = self.ancestors(first)
+        second_set = set(self.ancestors(second))
+        for concept in first_path:
+            if concept in second_set:
+                return concept
+        return None
+
+    def lca_of(self, concepts: Sequence[str]) -> Optional[str]:
+        """Lowest common ancestor of several concepts."""
+        if not concepts:
+            return None
+        current: Optional[str] = concepts[0]
+        for concept in concepts[1:]:
+            if current is None:
+                return None
+            current = self.lca(current, concept)
+        return current
+
+    def _require(self, concept: str) -> None:
+        if concept not in self._parent:
+            raise KeyError(f"unknown concept {concept!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Taxonomy of {len(self)} concepts>"

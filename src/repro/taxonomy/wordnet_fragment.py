@@ -1,0 +1,101 @@
+"""WordNet-style concept fragment and synthetic taxonomy generation.
+
+The thesis constrains Wikipedia-page merges with the YAGO taxonomy
+(WordNet ``subClassOf`` facts).  YAGO itself is a multi-gigabyte
+download; the summarization algorithm only consumes subClassOf
+reachability, LCA and Wu-Palmer depths, so we substitute:
+
+* :func:`wordnet_person_fragment` -- a hand-written fragment of the
+  actual WordNet hypernym paths the thesis displays (singer and
+  guitarist under person, plus enough siblings to make constraints
+  non-trivial);
+* :func:`synthetic_taxonomy` -- a seeded random tree of configurable
+  depth/branching for larger experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .dag import Taxonomy
+
+#: (child, parent) WordNet-style subClassOf facts.  Mirrors the paths
+#: shown in Example 5.2.1: wordnet_singer and wordnet_guitarist are
+#: both descendants of wordnet_person, so Adele/CelineDion pages group
+#: under singer and LoriBlack/AlecBaillie pages under guitarist.
+_PERSON_FRAGMENT_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("wordnet_physical_entity", "wordnet_entity"),
+    ("wordnet_abstraction", "wordnet_entity"),
+    ("wordnet_object", "wordnet_physical_entity"),
+    ("wordnet_causal_agent", "wordnet_physical_entity"),
+    ("wordnet_person", "wordnet_causal_agent"),
+    ("wordnet_entertainer", "wordnet_person"),
+    ("wordnet_scientist", "wordnet_person"),
+    ("wordnet_politician", "wordnet_person"),
+    ("wordnet_athlete", "wordnet_person"),
+    ("wordnet_writer", "wordnet_person"),
+    ("wordnet_performer", "wordnet_entertainer"),
+    ("wordnet_comedian", "wordnet_entertainer"),
+    ("wordnet_musician", "wordnet_performer"),
+    ("wordnet_actor", "wordnet_performer"),
+    ("wordnet_dancer", "wordnet_performer"),
+    ("wordnet_singer", "wordnet_musician"),
+    ("wordnet_instrumentalist", "wordnet_musician"),
+    ("wordnet_guitarist", "wordnet_instrumentalist"),
+    ("wordnet_pianist", "wordnet_instrumentalist"),
+    ("wordnet_violinist", "wordnet_instrumentalist"),
+    ("wordnet_physicist", "wordnet_scientist"),
+    ("wordnet_chemist", "wordnet_scientist"),
+    ("wordnet_biologist", "wordnet_scientist"),
+    ("wordnet_novelist", "wordnet_writer"),
+    ("wordnet_poet", "wordnet_writer"),
+    ("wordnet_footballer", "wordnet_athlete"),
+    ("wordnet_swimmer", "wordnet_athlete"),
+)
+
+
+def wordnet_person_fragment() -> Taxonomy:
+    """The built-in person-branch WordNet fragment (28 concepts)."""
+    taxonomy = Taxonomy()
+    taxonomy.add("wordnet_entity")
+    for child, parent in _PERSON_FRAGMENT_EDGES:
+        taxonomy.add(child, parent)
+    return taxonomy
+
+
+def leaf_concepts(taxonomy: Taxonomy) -> List[str]:
+    """Concepts without children -- the ones pages are tagged with."""
+    return sorted(
+        concept for concept in taxonomy if not taxonomy.children(concept)
+    )
+
+
+def synthetic_taxonomy(
+    depth: int = 4,
+    branching: int = 3,
+    seed: int = 0,
+    root: str = "concept_root",
+) -> Taxonomy:
+    """A seeded random concept tree for larger experiments.
+
+    Every internal node gets between 2 and ``branching`` children; leaf
+    names encode their path, so tests can recover structure from names.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if branching < 2:
+        raise ValueError("branching must be at least 2")
+    rng = random.Random(seed)
+    taxonomy = Taxonomy()
+    taxonomy.add(root)
+    frontier = [root]
+    for level in range(1, depth + 1):
+        next_frontier = []
+        for parent in frontier:
+            for index in range(rng.randint(2, branching)):
+                child = f"{parent}/{level}{chr(ord('a') + index)}"
+                taxonomy.add(child, parent)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return taxonomy

@@ -1,0 +1,74 @@
+"""Wu-Palmer semantic relatedness over a taxonomy (§5.1).
+
+Wu & Palmer (1994) measure the similarity of two concepts by how deep
+their lowest common ancestor sits relative to the concepts themselves:
+
+    sim(c1, c2) = 2 * depth(lcs) / (depth(c1) + depth(c2))
+
+computed with node-counted depths (the root has depth 1), so that
+similarity lies in ``(0, 1]`` and equals 1 exactly for identical
+concepts.  The thesis uses the complementary *distance*
+``1 - sim`` to prefer candidate merges whose new annotation concept is
+taxonomically close to the annotations it summarizes ("mapping user
+annotations to 'Guitarist' is preferable to mapping them to 'Person'").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .dag import Taxonomy
+
+
+def wu_palmer_similarity(taxonomy: Taxonomy, first: str, second: str) -> float:
+    """Wu-Palmer similarity in ``[0, 1]``; 0 for disjoint concepts."""
+    lcs = taxonomy.lca(first, second)
+    if lcs is None:
+        return 0.0
+    # Node-counted depth: the root counts 1, so identical root concepts
+    # still get similarity 1 rather than a 0/0.
+    depth_first = taxonomy.depth(first) + 1
+    depth_second = taxonomy.depth(second) + 1
+    depth_lcs = taxonomy.depth(lcs) + 1
+    return (2.0 * depth_lcs) / (depth_first + depth_second)
+
+
+def wu_palmer_distance(taxonomy: Taxonomy, first: str, second: str) -> float:
+    """``1 - similarity``; 0 for identical concepts, 1 for disjoint."""
+    return 1.0 - wu_palmer_similarity(taxonomy, first, second)
+
+
+def group_distance(
+    taxonomy: Taxonomy,
+    members: Sequence[str],
+    target: str,
+    mode: str = "max",
+) -> float:
+    """Taxonomic distance of a merge: members → target concept.
+
+    The thesis breaks candidate-score ties by "the MAX (or SUM) of
+    these distances" between each merged annotation's concept and the
+    concept they are mapped to (§3.2, §4.2).
+
+    Parameters
+    ----------
+    members:
+        Concepts of the annotations being merged.
+    target:
+        Concept of the new summary annotation (typically the LCA).
+    mode:
+        ``"max"`` or ``"sum"``.
+    """
+    if mode not in ("max", "sum"):
+        raise ValueError(f"mode must be 'max' or 'sum', got {mode!r}")
+    distances = [wu_palmer_distance(taxonomy, member, target) for member in members]
+    if not distances:
+        return 0.0
+    return max(distances) if mode == "max" else sum(distances)
+
+
+def most_specific_common_ancestor(
+    taxonomy: Taxonomy, concepts: Iterable[str]
+) -> Optional[str]:
+    """The LCA of ``concepts`` -- the name a summary annotation takes."""
+    return taxonomy.lca_of(tuple(concepts))

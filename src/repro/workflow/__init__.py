@@ -1,0 +1,15 @@
+"""Workflow model of §2.1: specifications, engine, Example 2.1.1 modules."""
+
+from .engine import WorkflowEngine, WorkflowRun
+from .modules import Review, build_movie_workflow, run_movie_workflow
+from .spec import Module, WorkflowSpec
+
+__all__ = [
+    "Module",
+    "Review",
+    "WorkflowEngine",
+    "WorkflowRun",
+    "WorkflowSpec",
+    "build_movie_workflow",
+    "run_movie_workflow",
+]

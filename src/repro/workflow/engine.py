@@ -1,0 +1,51 @@
+"""Workflow execution engine (§2.1).
+
+A *run* applies the specification's modules in an order consistent
+with the dataflow edges, threading each module's output relation to
+its successors and giving every module access to the shared database.
+The engine records all module outputs, so provenance-bearing
+intermediate results stay inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..db.relation import Database, Relation
+from .spec import WorkflowSpec
+
+
+class WorkflowRun:
+    """The result of executing a workflow: output relation per module."""
+
+    def __init__(self, outputs: Dict[str, Optional[Relation]]):
+        self._outputs = outputs
+
+    def __getitem__(self, module: str) -> Relation:
+        output = self._outputs.get(module)
+        if output is None:
+            raise KeyError(f"module {module!r} produced no output")
+        return output
+
+    def output_names(self):
+        return tuple(sorted(name for name, out in self._outputs.items() if out is not None))
+
+
+class WorkflowEngine:
+    """Executes a :class:`~repro.workflow.spec.WorkflowSpec`."""
+
+    def __init__(self, spec: WorkflowSpec, database: Database):
+        self.spec = spec
+        self.database = database
+
+    def run(self) -> WorkflowRun:
+        """One workflow execution over the current database state."""
+        outputs: Dict[str, Optional[Relation]] = {}
+        for name in self.spec.topological_order():
+            module = next(m for m in self.spec.modules() if m.name == name)
+            inputs = {
+                source: outputs.get(source)
+                for source in self.spec.predecessors(name)
+            }
+            outputs[name] = module.fn(self.database, inputs)
+        return WorkflowRun(outputs)

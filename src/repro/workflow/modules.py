@@ -1,0 +1,205 @@
+"""The movie-rating workflow of Example 2.1.1 (Figure 2.1).
+
+Users rate movies on several reviewing platforms.  Each *reviewing
+module* crawls one platform, updates per-user statistics in the Stats
+table (NumRate), and outputs a *sanitized* review stream: only reviews
+by users of the module's role (audience / critic) who are "active" --
+who submitted more than ``threshold`` reviews.  The sanitization is
+recorded in provenance as the inequality token
+``[S_i · U_i ⊗ NumRate > threshold]`` multiplying the user annotation,
+exactly the shape of Example 2.2.1.  The *aggregator* unions the
+sanitized streams and computes per-movie tensor-paired aggregates.
+
+:func:`build_movie_workflow` wires the whole Figure 2.1 graph; running
+it through :class:`~repro.workflow.engine.WorkflowEngine` yields a
+Movies relation whose ``agg`` column holds the provenance-aware values
+the thesis summarizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..db.query import aggregate, guard, join, select, union
+from ..db.relation import AnnotatedTuple, Database, Relation
+from ..provenance.expressions import Comparison, Var
+from ..provenance.monoids import AggregationMonoid, MAX
+from .engine import WorkflowEngine, WorkflowRun
+from .spec import WorkflowSpec
+
+
+@dataclass(frozen=True)
+class Review:
+    """One raw review arriving at a reviewing platform."""
+
+    user_id: str
+    movie: str
+    rating: float
+
+
+def _source_module(reviews: Sequence[Review], source: str):
+    """A module emitting one platform's raw reviews.
+
+    Each review tuple is annotated with its reviewer's user annotation
+    ``U_<id>`` -- the basic unit of data of the application.
+    """
+
+    def fn(database: Database, inputs) -> Relation:
+        relation = Relation(f"reviews_{source}", ("user_id", "movie", "rating"))
+        for review in reviews:
+            # Raw reviews are simply present; the user annotation enters
+            # through the join with the Users table, so the sanitized
+            # provenance is exactly Example 2.2.1's ``U_i · [guard]``.
+            relation.add(
+                {
+                    "user_id": review.user_id,
+                    "movie": review.movie,
+                    "rating": review.rating,
+                }
+            )
+        return relation
+
+    return fn
+
+
+def _reviewing_module(role: str, threshold: int):
+    """Sanitizes a platform's reviews (Example 2.1.1's logic).
+
+    Updates Stats (NumRate per user, annotated ``S_<id>``), keeps only
+    reviews by users of ``role``, and multiplies every kept review's
+    annotation with the activity guard
+    ``[S · U ⊗ NumRate > threshold]``.
+    """
+
+    def fn(database: Database, inputs: Mapping[str, Optional[Relation]]) -> Relation:
+        (reviews,) = [value for value in inputs.values() if value is not None]
+        stats = database["Stats"]
+        counted: Dict[str, int] = {}
+        for annotated in reviews:
+            user = str(annotated["user_id"])
+            counted[user] = counted.get(user, 0) + 1
+        existing = {str(t["user_id"]): t for t in stats}
+        for user, count in counted.items():
+            if user in existing:
+                previous = existing[user]
+                previous.values["num_rate"] = previous.values["num_rate"] + count
+            else:
+                stats.add(
+                    {"user_id": user, "num_rate": count},
+                    annotation=f"S_{user}",
+                )
+
+        users = database["Users"]
+        of_role = select(users, lambda values: values["role"] == role)
+        with_user = join(reviews, of_role, on=("user_id",))
+        num_rate = {str(t["user_id"]): int(t["num_rate"]) for t in stats}
+
+        def activity_guard(values) -> Comparison:
+            # [S_i · U_i ⊗ NumRate > threshold]: the Stats annotation
+            # participates only inside the inequality token (§2.2).
+            user = str(values["user_id"])
+            return Comparison(
+                Var(f"S_{user}") * Var(f"U_{user}"),
+                float(num_rate.get(user, 0)),
+                ">",
+                float(threshold),
+            )
+
+        guarded = guard(with_user, activity_guard, name=f"sanitized_{role}")
+        return Relation(
+            f"sanitized_{role}",
+            ("user_id", "movie", "rating"),
+            (
+                AnnotatedTuple(
+                    {
+                        "user_id": t["user_id"],
+                        "movie": t["movie"],
+                        "rating": t["rating"],
+                    },
+                    t.prov,
+                )
+                for t in guarded
+            ),
+        )
+
+    return fn
+
+
+def _aggregator_module(monoid: AggregationMonoid):
+    """Combines sanitized streams and aggregates ratings per movie."""
+
+    def fn(database: Database, inputs: Mapping[str, Optional[Relation]]) -> Relation:
+        streams = [value for value in inputs.values() if value is not None]
+        if not streams:
+            raise ValueError("aggregator received no sanitized reviews")
+        merged = streams[0]
+        for stream in streams[1:]:
+            merged = union(merged, stream)
+        movies = aggregate(
+            merged, group_by=("movie",), value_column="rating",
+            monoid=monoid, name="Movies",
+        )
+        database.put(Relation("Movies", movies.columns, iter(movies)))
+        return movies
+
+    return fn
+
+
+def build_movie_workflow(
+    users: Mapping[str, Mapping[str, object]],
+    reviews_by_source: Mapping[str, Sequence[Review]],
+    threshold: int = 2,
+    monoid: AggregationMonoid = MAX,
+) -> Tuple[WorkflowSpec, Database]:
+    """Wire the Figure 2.1 workflow.
+
+    Parameters
+    ----------
+    users:
+        user id → attribute mapping; must include a ``"role"``
+        attribute naming the reviewing module that accepts the user
+        (``"audience"`` / ``"critic"``).
+    reviews_by_source:
+        platform name → raw reviews collected there.  One source
+        module and one reviewing module are created per platform,
+        alternating the audience/critic roles in declaration order.
+    """
+    users_relation = Relation("Users", ("user_id", "role"))
+    roles = sorted({str(attributes.get("role", "audience")) for attributes in users.values()})
+    for user_id, attributes in users.items():
+        users_relation.add(
+            {"user_id": user_id, "role": attributes.get("role", "audience")},
+            annotation=f"U_{user_id}",
+        )
+    database = Database(
+        [users_relation, Relation("Stats", ("user_id", "num_rate"))]
+    )
+
+    spec = WorkflowSpec()
+    spec.add_module("aggregator", _aggregator_module(monoid), "per-movie aggregation")
+    for index, (source, reviews) in enumerate(reviews_by_source.items()):
+        role = roles[index % len(roles)] if roles else "audience"
+        source_name = f"source_{source}"
+        reviewer_name = f"reviewing_{source}"
+        spec.add_module(source_name, _source_module(reviews, source), f"crawl {source}")
+        spec.add_module(
+            reviewer_name,
+            _reviewing_module(role, threshold),
+            f"sanitize {source} ({role})",
+        )
+        spec.add_edge(source_name, reviewer_name)
+        spec.add_edge(reviewer_name, "aggregator")
+    return spec, database
+
+
+def run_movie_workflow(
+    users: Mapping[str, Mapping[str, object]],
+    reviews_by_source: Mapping[str, Sequence[Review]],
+    threshold: int = 2,
+    monoid: AggregationMonoid = MAX,
+) -> Tuple[WorkflowRun, Database]:
+    """Build and execute the workflow; returns the run and final state."""
+    spec, database = build_movie_workflow(users, reviews_by_source, threshold, monoid)
+    run = WorkflowEngine(spec, database).run()
+    return run, database

@@ -1,0 +1,96 @@
+"""Workflow specifications (§2.1).
+
+A workflow specification is an FSM-like graph: *modules* are processing
+steps, edges indicate dataflow from one module's output port to
+another's input port, and the whole thing operates in the context of a
+global persistent state -- the underlying
+:class:`~repro.db.relation.Database`.  A workflow execution ("run") is
+an application of the modules ordered consistently with the edges.
+
+Modules are atomic: a module is a Python callable
+``fn(database, inputs) -> Relation | None`` where ``inputs`` maps each
+predecessor module's name to its output relation.  Modules may also
+update the database (Example 2.1.1's reviewing modules update the
+Stats table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..db.relation import Database, Relation
+
+ModuleFn = Callable[[Database, Mapping[str, Optional[Relation]]], Optional[Relation]]
+
+
+@dataclass(frozen=True)
+class Module:
+    """One processing step of the workflow."""
+
+    name: str
+    fn: ModuleFn
+    description: str = ""
+
+
+class WorkflowSpec:
+    """A DAG of modules with dataflow edges."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, Module] = {}
+        self._edges: List[Tuple[str, str]] = []
+
+    def add_module(
+        self, name: str, fn: ModuleFn, description: str = ""
+    ) -> Module:
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already exists")
+        module = Module(name, fn, description)
+        self._modules[name] = module
+        return module
+
+    def add_edge(self, source: str, target: str) -> None:
+        """Dataflow: ``source``'s output feeds ``target``'s input."""
+        for endpoint in (source, target):
+            if endpoint not in self._modules:
+                raise KeyError(f"unknown module {endpoint!r}")
+        if source == target:
+            raise ValueError("self-loops are not allowed")
+        self._edges.append((source, target))
+
+    def modules(self) -> Tuple[Module, ...]:
+        return tuple(self._modules.values())
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        return tuple(source for source, target in self._edges if target == name)
+
+    def topological_order(self) -> List[str]:
+        """Module names in an execution-compatible order.
+
+        Raises :class:`ValueError` on cycles -- specifications must be
+        acyclic for a single run to be well-defined.
+        """
+        incoming: Dict[str, Set[str]] = {name: set() for name in self._modules}
+        for source, target in self._edges:
+            incoming[target].add(source)
+        order: List[str] = []
+        ready = sorted(name for name, sources in incoming.items() if not sources)
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            newly_ready = []
+            for target, sources in incoming.items():
+                if name in sources:
+                    sources.discard(name)
+                    if not sources and target not in order and target not in ready:
+                        newly_ready.append(target)
+            ready.extend(sorted(newly_ready))
+        if len(order) != len(self._modules):
+            raise ValueError("workflow specification contains a cycle")
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<WorkflowSpec of {len(self._modules)} modules, "
+            f"{len(self._edges)} edges>"
+        )

@@ -1,0 +1,65 @@
+"""Pearson / Jaccard dissimilarity for feature vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    jaccard_dissimilarity,
+    pearson_correlation,
+    pearson_dissimilarity,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        first = {"a": 1.0, "b": 2.0, "c": 3.0}
+        second = {"a": 2.0, "b": 4.0, "c": 6.0}
+        assert pearson_correlation(first, second) == pytest.approx(1.0)
+        assert pearson_dissimilarity(first, second) == pytest.approx(0.0)
+
+    def test_perfect_negative(self):
+        first = {"a": 1.0, "b": 2.0, "c": 3.0}
+        second = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert pearson_correlation(first, second) == pytest.approx(-1.0)
+        assert pearson_dissimilarity(first, second) == pytest.approx(1.0)
+
+    def test_only_common_keys_count(self):
+        first = {"a": 1.0, "b": 2.0, "x": 99.0}
+        second = {"a": 2.0, "b": 4.0, "y": -5.0}
+        assert pearson_correlation(first, second) == pytest.approx(1.0)
+
+    def test_undefined_cases(self):
+        assert pearson_correlation({"a": 1.0}, {"a": 2.0}) is None  # 1 common key
+        assert pearson_correlation({}, {"a": 1.0}) is None
+        constant = {"a": 3.0, "b": 3.0}
+        assert pearson_correlation(constant, {"a": 1.0, "b": 2.0}) is None
+        assert pearson_dissimilarity(constant, {"a": 1.0, "b": 2.0}) == 0.75
+        assert pearson_dissimilarity({}, {}, undefined=0.5) == 0.5
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+        ),
+        st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+        ),
+    )
+    def test_property_bounds_and_symmetry(self, first, second):
+        value = pearson_dissimilarity(first, second)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(pearson_dissimilarity(second, first))
+
+
+class TestJaccard:
+    def test_known_values(self):
+        assert jaccard_dissimilarity({"a": 1}, {"a": 2}) == 0.0
+        assert jaccard_dissimilarity({"a": 1}, {"b": 2}) == 1.0
+        assert jaccard_dissimilarity({"a": 1, "b": 1}, {"b": 2, "c": 3}) == pytest.approx(
+            2 / 3
+        )
+        assert jaccard_dissimilarity({}, {}) == 1.0

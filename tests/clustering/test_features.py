@@ -1,0 +1,57 @@
+"""Feature vectors derived from provenance expressions."""
+
+from repro.clustering import feature_vectors
+from repro.provenance import MAX, SUM, Annotation, AnnotationUniverse, TensorSum, Term
+
+
+def build_universe():
+    universe = AnnotationUniverse()
+    universe.register(Annotation("U1", "user", {"gender": "F"}))
+    universe.register(Annotation("U2", "user", {"gender": "M"}))
+    universe.register(Annotation("P1", "page", {"concept": "singer"}))
+    universe.register(Annotation("P2", "page", {"concept": "guitarist"}))
+    return universe
+
+
+def build_expression():
+    return TensorSum(
+        [
+            Term(("P1", "U1"), 1.0, group="P1"),
+            Term(("P2", "U1"), 0.0, group="P2"),
+            Term(("P1", "U2"), 1.0, group="P1"),
+            Term(("P1", "U2"), 1.0, group="P1", guards=()),
+        ],
+        SUM,
+    )
+
+
+def test_user_features_profile_by_group():
+    universe = build_universe()
+    vectors = feature_vectors(build_expression(), universe, "user")
+    by_ident = {vector.ident: vector for vector in vectors}
+    assert by_ident["U1"].ratings == {"P1": 1.0, "P2": 0.0}
+    # U2's two P1 edits merge into one congruent term of value 2.
+    assert by_ident["U2"].ratings == {"P1": 2.0}
+    assert by_ident["U1"].attributes == {"gender": "F"}
+
+
+def test_page_features_profile_by_user_domain():
+    universe = build_universe()
+    vectors = feature_vectors(
+        build_expression(), universe, "page", key_domain="user"
+    )
+    by_ident = {vector.ident: vector for vector in vectors}
+    assert by_ident["P1"].ratings == {"U1": 1.0, "U2": 2.0}
+    assert by_ident["P2"].ratings == {"U1": 0.0}
+
+
+def test_movielens_shape():
+    universe = AnnotationUniverse()
+    universe.register(Annotation("U1", "user", {"gender": "F"}))
+    universe.register(Annotation("MP", "movie", {}))
+    universe.register(Annotation("Y1995", "year", {}))
+    expression = TensorSum([Term(("MP", "U1", "Y1995"), 4.0, group="MP")], MAX)
+    (vector,) = feature_vectors(expression, universe, "user")
+    assert vector.ratings == {"MP": 4.0}
+    # Terms without a key in the requested domain are skipped.
+    assert feature_vectors(expression, universe, "year", key_domain="missing") == []

@@ -1,0 +1,122 @@
+"""Agglomerative clustering: linkages, constraints, dendrograms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import LINKAGES, AgglomerativeClustering, dendrogram
+
+
+def matrix_dissimilarity(matrix):
+    return lambda i, j: matrix[i][j]
+
+
+@pytest.fixture
+def four_points():
+    """Points on a line at 0, 1, 5, 7 (absolute-difference metric)."""
+    points = [0.0, 1.0, 5.0, 7.0]
+    return lambda i, j: abs(points[i] - points[j])
+
+
+class TestSingleLinkage:
+    def test_merge_order(self, four_points):
+        merges = dendrogram(4, four_points, linkage="single")
+        # 0-1 (distance 1), then 2-3 (2), then the two clusters (4).
+        assert [m.dissimilarity for m in merges] == [1.0, 2.0, 4.0]
+        assert merges[0].members == frozenset({0, 1})
+        assert merges[1].members == frozenset({2, 3})
+        assert merges[2].members == frozenset({0, 1, 2, 3})
+
+    def test_single_linkage_heights_monotone(self, four_points):
+        merges = dendrogram(4, four_points, linkage="single")
+        heights = [m.dissimilarity for m in merges]
+        assert heights == sorted(heights)
+
+
+class TestCompleteLinkage:
+    def test_uses_largest_distance(self, four_points):
+        merges = dendrogram(4, four_points, linkage="complete")
+        # Final merge joins {0,1} and {2,3} at max distance 7.
+        assert merges[-1].dissimilarity == 7.0
+
+
+class TestAverageLinkage:
+    def test_matches_direct_average(self, four_points):
+        merges = dendrogram(4, four_points, linkage="average")
+        # Average of pairwise distances between {0,1} and {2,3}:
+        # (5 + 7 + 4 + 6) / 4 = 5.5.
+        assert merges[-1].dissimilarity == pytest.approx(5.5)
+
+
+class TestWardLinkage:
+    def test_prefers_balanced_tight_merges(self):
+        # Two tight pairs far apart; ward must merge within pairs first.
+        points = [0.0, 0.1, 10.0, 10.1]
+        merges = dendrogram(
+            4, lambda i, j: (points[i] - points[j]) ** 2, linkage="ward"
+        )
+        first_two = {merges[0].members, merges[1].members}
+        assert first_two == {frozenset({0, 1}), frozenset({2, 3})}
+
+
+class TestConstraints:
+    def test_disallowed_pairs_never_merge(self, four_points):
+        def allowed(first, second):
+            # Forbid mixing {0,1} with {2,3}.
+            return max(first | second) <= 1 or min(first | second) >= 2
+
+        merges = dendrogram(4, four_points, allowed=allowed)
+        assert len(merges) == 2
+        assert all(m.members in (frozenset({0, 1}), frozenset({2, 3})) for m in merges)
+
+    def test_infinite_dissimilarity_blocks(self):
+        def dis(i, j):
+            return math.inf if {i, j} == {0, 1} else 1.0
+
+        merges = dendrogram(3, dis)
+        # 0 and 1 can still end up together via cluster {0,2} ∪ {1}:
+        # Lance-Williams keeps inf only until a finite path exists.
+        assert len(merges) >= 1
+
+
+class TestAPI:
+    def test_until_clusters(self, four_points):
+        hac = AgglomerativeClustering(4, four_points)
+        merges = hac.run(until_clusters=2)
+        assert len(merges) == 2
+        assert len(hac.clusters()) == 2
+
+    def test_validation(self, four_points):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            AgglomerativeClustering(4, four_points, linkage="bogus")
+        with pytest.raises(ValueError, match="at least one item"):
+            AgglomerativeClustering(0, four_points)
+        with pytest.raises(ValueError, match="at least 1"):
+            AgglomerativeClustering(4, four_points).run(0)
+
+    def test_merge_once_returns_none_when_done(self):
+        hac = AgglomerativeClustering(1, lambda i, j: 0.0)
+        assert hac.merge_once() is None
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_all_linkages_complete(self, linkage, four_points):
+        merges = dendrogram(4, four_points, linkage=linkage)
+        assert len(merges) == 3
+        assert merges[-1].members == frozenset({0, 1, 2, 3})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    )
+)
+def test_property_dendrogram_is_complete_and_nested(points):
+    merges = dendrogram(len(points), lambda i, j: abs(points[i] - points[j]))
+    assert len(merges) == len(points) - 1
+    # Every merge's members are the union of previously formed clusters.
+    assert merges[-1].members == frozenset(range(len(points)))

@@ -1,0 +1,101 @@
+"""Cross-validate our HAC against scipy.cluster.hierarchy.
+
+Our Lance-Williams implementation must produce the same dendrogram
+merge heights as scipy's reference linkage code on unconstrained
+Euclidean inputs, for every linkage the two share.  (scipy is a test
+dependency only -- the library itself is stdlib-pure.)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster.hierarchy import linkage as scipy_linkage
+from scipy.spatial.distance import pdist
+
+from repro.clustering import AgglomerativeClustering
+
+#: our linkage name → scipy method name (on Euclidean distances).
+_SCIPY_NAMES = {
+    "single": "single",
+    "complete": "complete",
+    "average": "average",
+    "weighted_average": "weighted",
+}
+
+
+def run_ours(points: np.ndarray, linkage: str):
+    def dissimilarity(i: int, j: int) -> float:
+        return float(np.linalg.norm(points[i] - points[j]))
+
+    hac = AgglomerativeClustering(len(points), dissimilarity, linkage=linkage)
+    return hac.run(1)
+
+
+@pytest.mark.parametrize("linkage", sorted(_SCIPY_NAMES))
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_merge_heights_match_scipy(linkage, data):
+    n = data.draw(st.integers(min_value=3, max_value=9))
+    coordinates = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    points = np.asarray(coordinates, dtype=float)
+    ours = sorted(merge.dissimilarity for merge in run_ours(points, linkage))
+    theirs = sorted(
+        scipy_linkage(pdist(points), method=_SCIPY_NAMES[linkage])[:, 2].tolist()
+    )
+    assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+
+def test_ward_matches_scipy_on_squared_distances():
+    """Ward via Lance-Williams over *squared* Euclidean distances gives
+    squared scipy heights (scipy reports sqrt of the SSE increase)."""
+    rng = np.random.default_rng(5)
+    points = rng.normal(size=(8, 3))
+
+    def squared(i: int, j: int) -> float:
+        return float(np.sum((points[i] - points[j]) ** 2))
+
+    hac = AgglomerativeClustering(len(points), squared, linkage="ward")
+    ours = sorted(merge.dissimilarity for merge in hac.run(1))
+    theirs = sorted((scipy_linkage(pdist(points), method="ward")[:, 2] ** 2).tolist())
+    assert ours == pytest.approx(theirs, rel=1e-9)
+
+
+def test_centroid_matches_scipy_on_squared_distances():
+    rng = np.random.default_rng(7)
+    points = rng.normal(size=(7, 2))
+
+    def squared(i: int, j: int) -> float:
+        return float(np.sum((points[i] - points[j]) ** 2))
+
+    hac = AgglomerativeClustering(len(points), squared, linkage="centroid")
+    ours = sorted(merge.dissimilarity for merge in hac.run(1))
+    theirs = sorted(
+        (scipy_linkage(pdist(points), method="centroid")[:, 2] ** 2).tolist()
+    )
+    assert ours == pytest.approx(theirs, rel=1e-9)
+
+
+def test_median_matches_scipy_on_squared_distances():
+    rng = np.random.default_rng(9)
+    points = rng.normal(size=(7, 2))
+
+    def squared(i: int, j: int) -> float:
+        return float(np.sum((points[i] - points[j]) ** 2))
+
+    hac = AgglomerativeClustering(len(points), squared, linkage="median")
+    ours = sorted(merge.dissimilarity for merge in hac.run(1))
+    theirs = sorted(
+        (scipy_linkage(pdist(points), method="median")[:, 2] ** 2).tolist()
+    )
+    assert ours == pytest.approx(theirs, rel=1e-9)

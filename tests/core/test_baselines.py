@@ -1,0 +1,119 @@
+"""Random and Clustering baselines (§6.1-§6.2)."""
+
+import pytest
+
+from repro.core import (
+    ClusterDomainSpec,
+    ClusteringSummarizer,
+    RandomSummarizer,
+    SummarizationConfig,
+)
+from repro.datasets import (
+    DDPConfig,
+    MovieLensConfig,
+    generate_ddp,
+    generate_movielens,
+)
+
+
+@pytest.fixture
+def instance():
+    return generate_movielens(MovieLensConfig(n_users=10, n_movies=5, seed=2))
+
+
+class TestRandom:
+    def test_respects_step_budget(self, instance):
+        result = RandomSummarizer(
+            instance.problem(), SummarizationConfig(max_steps=3, seed=0)
+        ).run()
+        assert result.n_steps <= 3
+        assert result.stop_reason in ("max_steps", "exhausted")
+
+    def test_merges_respect_constraints(self, instance):
+        result = RandomSummarizer(
+            instance.problem(), SummarizationConfig(max_steps=5, seed=1)
+        ).run()
+        for record in result.steps:
+            # Every merged group carries a shared attribute: the label
+            # produced by SharedAttribute encodes it.
+            assert "=" in record.label
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            inst = generate_movielens(MovieLensConfig(n_users=10, n_movies=5, seed=2))
+            return RandomSummarizer(
+                inst.problem(), SummarizationConfig(max_steps=5, seed=seed)
+            ).run()
+
+        first, second = run(9), run(9)
+        assert [r.merged for r in first.steps] == [r.merged for r in second.steps]
+
+    def test_target_size(self, instance):
+        original = instance.expression.size()
+        result = RandomSummarizer(
+            instance.problem(),
+            SummarizationConfig(target_size=int(original * 0.8), max_steps=100, seed=0),
+        ).run()
+        assert result.final_size <= int(original * 0.8)
+
+    def test_target_dist_bound_respected(self, instance):
+        result = RandomSummarizer(
+            instance.problem(),
+            SummarizationConfig(target_dist=0.02, max_steps=100, seed=0),
+        ).run()
+        assert result.final_distance.normalized < 0.02 or result.n_steps == 0
+
+
+class TestClustering:
+    def test_replays_dendrogram_merges(self, instance):
+        result = ClusteringSummarizer(
+            instance.problem(),
+            SummarizationConfig(max_steps=4),
+            [ClusterDomainSpec("user")],
+        ).run()
+        assert 1 <= result.n_steps <= 4
+        assert result.final_size <= result.original_size
+
+    def test_all_linkages_run(self, instance):
+        from repro.clustering import LINKAGES
+
+        for linkage in LINKAGES:
+            inst = generate_movielens(MovieLensConfig(n_users=8, n_movies=5, seed=2))
+            result = ClusteringSummarizer(
+                inst.problem(),
+                SummarizationConfig(max_steps=3),
+                [ClusterDomainSpec("user")],
+                linkage=linkage,
+            ).run()
+            assert result.n_steps >= 0
+
+    def test_merges_respect_constraints(self, instance):
+        result = ClusteringSummarizer(
+            instance.problem(),
+            SummarizationConfig(max_steps=6),
+            [ClusterDomainSpec("user")],
+        ).run()
+        universe = result.universe
+        for name, members in result.summary_groups().items():
+            annotations = [universe[member] for member in members]
+            shared = dict(annotations[0].attributes)
+            for annotation in annotations[1:]:
+                shared = {
+                    key: value
+                    for key, value in shared.items()
+                    if annotation.attributes.get(key) == value
+                }
+            assert shared, f"group {name} shares no attribute"
+
+    def test_ddp_rejected(self):
+        instance = generate_ddp(DDPConfig(seed=0))
+        with pytest.raises(TypeError, match="Clustering baseline is undefined"):
+            ClusteringSummarizer(
+                instance.problem(),
+                SummarizationConfig(),
+                [ClusterDomainSpec("cost")],
+            )
+
+    def test_requires_domain_specs(self, instance):
+        with pytest.raises(ValueError, match="at least one ClusterDomainSpec"):
+            ClusteringSummarizer(instance.problem(), SummarizationConfig(), [])

@@ -1,0 +1,94 @@
+"""φ combiners and valuation lifting."""
+
+import pytest
+
+from repro.core import AND, MAXC, MINC, OR, DomainCombiners, MappingState
+from repro.provenance import Annotation, AnnotationUniverse, Valuation, cancel
+
+
+class TestLiftPrimitives:
+    def test_or(self):
+        assert OR.lift([0.0, 1.0]) == 1.0
+        assert OR.lift([0.0, 0.0]) == 0.0
+        assert OR.lift([]) == 0.0
+
+    def test_and(self):
+        assert AND.lift([1.0, 1.0]) == 1.0
+        assert AND.lift([1.0, 0.0]) == 0.0
+        assert AND.lift([]) == 1.0
+
+    def test_max_min(self):
+        assert MAXC.lift([0.0, 0.5, 1.0]) == 1.0
+        assert MINC.lift([0.5, 1.0]) == 0.5
+        assert MAXC.lift([]) == 1.0
+
+
+@pytest.fixture
+def setup():
+    universe = AnnotationUniverse()
+    for name in ("a", "b", "c"):
+        universe.register(Annotation(name, "user", {"k": "v"}))
+    universe.register(Annotation("c1", "cost", {"cost": 3.0}))
+    universe.register(Annotation("c2", "cost", {"cost": 5.0}))
+    summary = universe.new_summary([universe["a"], universe["b"]], label="ab")
+    mapping = MappingState(["a", "b", "c", "c1", "c2"]).compose(
+        {"a": summary.name, "b": summary.name}
+    )
+    return universe, mapping, summary
+
+
+class TestLiftedFalseSet:
+    def test_or_needs_all_members_cancelled(self, setup):
+        universe, mapping, summary = setup
+        combiners = DomainCombiners()
+        partial = combiners.lifted_false_set(cancel(["a"]), mapping, universe)
+        assert partial == frozenset()
+        full = combiners.lifted_false_set(cancel(["a", "b"]), mapping, universe)
+        assert full == frozenset({summary.name})
+
+    def test_base_annotations_pass_through(self, setup):
+        universe, mapping, _ = setup
+        combiners = DomainCombiners()
+        assert combiners.lifted_false_set(
+            cancel(["c"]), mapping, universe
+        ) == frozenset({"c"})
+
+    def test_unknown_bases_ignored(self, setup):
+        universe, mapping, _ = setup
+        combiners = DomainCombiners()
+        assert combiners.lifted_false_set(
+            cancel(["ghost"]), mapping, universe
+        ) == frozenset()
+
+
+class TestLiftValuation:
+    def test_cost_domain_uses_max(self, setup):
+        universe, mapping, _ = setup
+        combiners = DomainCombiners(per_domain={"cost": MAXC})
+        summary = universe.new_summary(
+            [universe["c1"], universe["c2"]], label="cost"
+        )
+        mapping = mapping.compose({"c1": summary.name, "c2": summary.name})
+        lifted = combiners.lift_valuation(
+            Valuation({"c1": 0.0}), mapping, universe
+        )
+        # MAX(0, 1) = 1 = default: no deviation recorded.
+        assert lifted.value(summary.name) == 1.0
+        lifted = combiners.lift_valuation(
+            Valuation({"c1": 0.0, "c2": 0.0}), mapping, universe
+        )
+        assert lifted.value(summary.name) == 0.0
+
+    def test_weight_preserved(self, setup):
+        universe, mapping, _ = setup
+        lifted = DomainCombiners().lift_valuation(
+            cancel(["a", "b"], weight=2.5), mapping, universe
+        )
+        assert lifted.weight == 2.5
+
+
+def test_describe():
+    combiners = DomainCombiners(per_domain={"cost": MAXC})
+    assert "cost: MAX" in combiners.describe()
+    assert "Logical OR" in combiners.describe()
+    assert DomainCombiners().describe() == "Logical OR"

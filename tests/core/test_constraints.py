@@ -1,0 +1,124 @@
+"""Semantic merge constraints (§3.2)."""
+
+import pytest
+
+from repro.core import (
+    AllowAll,
+    AnyOf,
+    DomainConstraints,
+    SharedAttribute,
+    TaxonomyAncestor,
+)
+from repro.provenance import Annotation
+from repro.taxonomy import wordnet_person_fragment
+
+
+def user(name, **attributes):
+    return Annotation(name, "user", attributes)
+
+
+def page(name, concept):
+    return Annotation(name, "page", {"concept": concept}, concept=concept)
+
+
+class TestSharedAttribute:
+    def test_requires_a_shared_value(self):
+        constraint = SharedAttribute(("gender", "age"))
+        assert constraint.propose(user("a", gender="F"), user("b", gender="F"))
+        assert (
+            constraint.propose(user("a", gender="F"), user("b", gender="M")) is None
+        )
+
+    def test_label_uses_configured_priority(self):
+        constraint = SharedAttribute(("age", "gender"))
+        proposal = constraint.propose(
+            user("a", gender="F", age="25-34"), user("b", gender="F", age="25-34")
+        )
+        assert proposal.label == "age=25-34"
+
+    def test_unlisted_attributes_ignored(self):
+        constraint = SharedAttribute(("gender",))
+        assert (
+            constraint.propose(user("a", zip="10001"), user("b", zip="10001"))
+            is None
+        )
+
+    def test_any_attribute_when_unrestricted(self):
+        proposal = SharedAttribute().propose(
+            user("a", zip="10001"), user("b", zip="10001")
+        )
+        assert proposal.label == "zip=10001"
+
+    def test_describe(self):
+        assert "gender" in SharedAttribute(("gender",)).describe()
+        assert SharedAttribute().describe() == "share any attribute"
+
+
+class TestTaxonomyAncestor:
+    def setup_method(self):
+        self.taxonomy = wordnet_person_fragment()
+        self.constraint = TaxonomyAncestor(self.taxonomy)
+
+    def test_lca_names_the_summary(self):
+        proposal = self.constraint.propose(
+            page("Adele", "wordnet_singer"), page("Lori", "wordnet_guitarist")
+        )
+        assert proposal.label == "wordnet_musician"
+        assert proposal.concept == "wordnet_musician"
+        assert proposal.taxonomy_cost > 0
+
+    def test_identical_concepts_cost_zero(self):
+        proposal = self.constraint.propose(
+            page("Adele", "wordnet_singer"), page("Celine", "wordnet_singer")
+        )
+        assert proposal.concept == "wordnet_singer"
+        assert proposal.taxonomy_cost == 0.0
+
+    def test_distance_bound(self):
+        bounded = TaxonomyAncestor(self.taxonomy, max_distance=0.1)
+        assert (
+            bounded.propose(
+                page("Adele", "wordnet_singer"), page("Emmy", "wordnet_physicist")
+            )
+            is None
+        )
+
+    def test_missing_concepts_rejected(self):
+        assert self.constraint.propose(user("a"), page("Adele", "wordnet_singer")) is None
+        unknown = page("X", "wordnet_dragon")
+        assert self.constraint.propose(unknown, unknown) is None
+
+    def test_describe(self):
+        assert "taxonomy ancestor" in self.constraint.describe()
+
+
+class TestCombinators:
+    def test_any_of_first_match_wins(self):
+        constraint = AnyOf(
+            [SharedAttribute(("gender",)), SharedAttribute(("zip",))]
+        )
+        proposal = constraint.propose(
+            user("a", gender="F", zip="1"), user("b", gender="F", zip="1")
+        )
+        assert proposal.label == "gender=F"
+        fallback = constraint.propose(
+            user("a", gender="F", zip="1"), user("b", gender="M", zip="1")
+        )
+        assert fallback.label == "zip=1"
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+    def test_allow_all(self):
+        proposal = AllowAll().propose(user("a"), user("b"))
+        assert proposal.label == "a+b"
+
+    def test_domain_dispatch(self):
+        constraint = DomainConstraints({"user": SharedAttribute(("gender",))})
+        assert constraint.propose(
+            user("a", gender="F"), user("b", gender="F")
+        )
+        # Cross-domain and unlisted-domain merges are always rejected.
+        assert constraint.propose(user("a", gender="F"), page("p", "c")) is None
+        assert constraint.propose(page("p", "c"), page("q", "c")) is None
+        assert constraint.mergeable_domains() == ("user",)
+        assert "user:" in constraint.describe()

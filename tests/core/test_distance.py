@@ -1,0 +1,219 @@
+"""Distance computation: exact, sampled, exhaustive (Ch. 4.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    MappingState,
+    chebyshev_sample_size,
+    exhaustive_distance,
+)
+from repro.provenance import (
+    MAX,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    cancel,
+)
+
+
+def make_computer(universe, expression, valuations=None, **kwargs):
+    return DistanceComputer(
+        expression,
+        valuations
+        if valuations is not None
+        else CancelSingleAnnotation(universe, domains=("user",)),
+        EuclideanDistance(MAX),
+        DomainCombiners(),
+        universe,
+        **kwargs,
+    )
+
+
+def test_chebyshev_sample_size():
+    # 1 / (4 · 0.1 · 0.1²) = 250 (float rounding may ceil to 251).
+    assert chebyshev_sample_size(0.1, 0.9) in (250, 251)
+    assert chebyshev_sample_size(0.05, 0.9) in (1000, 1001)
+    # Tighter epsilon or confidence needs more samples.
+    assert chebyshev_sample_size(0.01, 0.9) > chebyshev_sample_size(0.1, 0.9)
+    assert chebyshev_sample_size(0.1, 0.99) > chebyshev_sample_size(0.1, 0.9)
+    with pytest.raises(ValueError):
+        chebyshev_sample_size(0.0, 0.9)
+    with pytest.raises(ValueError):
+        chebyshev_sample_size(0.1, 1.0)
+
+
+class TestExample323:
+    """Example 3.2.3: P''_s is at distance 0 from P_s, P'_s is not."""
+
+    def test_audience_summary_distance_zero(
+        self, thesis_universe, match_point
+    ):
+        audience = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U3"]], label="Audience"
+        )
+        step = {"U1": audience.name, "U3": audience.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        computer = make_computer(thesis_universe, match_point)
+        estimate = computer.distance(match_point.apply_mapping(step), mapping)
+        assert estimate.exact
+        assert estimate.value == 0.0
+
+    def test_female_summary_distance_positive(
+        self, thesis_universe, match_point
+    ):
+        female = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        step = {"U1": female.name, "U2": female.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        computer = make_computer(thesis_universe, match_point)
+        estimate = computer.distance(match_point.apply_mapping(step), mapping)
+        # Cancelling U2 keeps Female alive (U1 lives): summary says 5,
+        # original says 3 -> error 2 on one of three valuations.
+        assert estimate.value == pytest.approx(2.0 / 3.0)
+        assert estimate.normalized == pytest.approx((2.0 / 3.0) / 5.0)
+
+
+class TestSampling:
+    def test_sampled_close_to_exact(self, thesis_universe, match_point):
+        female = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        step = {"U1": female.name, "U2": female.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        summary = match_point.apply_mapping(step)
+        computer = make_computer(
+            thesis_universe, match_point, rng=random.Random(7)
+        )
+        exact = computer.exact(summary, mapping)
+        sampled = computer.sampled(summary, mapping)
+        assert not sampled.exact
+        assert abs(sampled.value - exact.value) < 0.35  # epsilon-ish
+
+    def test_small_classes_enumerate(self, thesis_universe, match_point):
+        computer = make_computer(thesis_universe, match_point, max_enumerate=512)
+        mapping = MappingState(["U1", "U2", "U3"])
+        assert computer.distance(match_point, mapping).exact
+
+    def test_large_classes_sample(self, thesis_universe, match_point):
+        computer = make_computer(
+            thesis_universe, match_point, max_enumerate=1, n_samples=5
+        )
+        mapping = MappingState(["U1", "U2", "U3"])
+        estimate = computer.distance(match_point, mapping)
+        assert not estimate.exact
+        assert estimate.n_valuations == 5
+
+    def test_identity_mapping_distance_zero_even_sampled(
+        self, thesis_universe, match_point
+    ):
+        computer = make_computer(
+            thesis_universe, match_point, max_enumerate=1, n_samples=20
+        )
+        mapping = MappingState(["U1", "U2", "U3"])
+        assert computer.distance(match_point, mapping).value == 0.0
+
+
+class TestWeights:
+    def test_weighted_average(self, thesis_universe, match_point):
+        female = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        step = {"U1": female.name, "U2": female.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        summary = match_point.apply_mapping(step)
+        # Put all the weight on the disagreeing valuation (cancel U2).
+        valuations = ExplicitValuations(
+            [
+                cancel(["U1"], weight=0.0),
+                cancel(["U2"], weight=1.0),
+                cancel(["U3"], weight=0.0),
+            ]
+        )
+        computer = make_computer(thesis_universe, match_point, valuations)
+        assert computer.distance(summary, mapping).value == pytest.approx(2.0)
+
+
+class TestExhaustive:
+    def test_matches_handcount(self, thesis_universe, match_point):
+        """DIST-COMP over all 2^3 valuations for the Female summary."""
+        female = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        step = {"U1": female.name, "U2": female.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        summary = match_point.apply_mapping(step)
+        value = exhaustive_distance(
+            match_point,
+            summary,
+            mapping,
+            EuclideanDistance(MAX),
+            DomainCombiners(),
+            thesis_universe,
+        )
+        # Disagreements: valuations where exactly one of U1/U2 is true
+        # and the live one is U1 (summary reports 5, original 3):
+        # {U1,U3}, {U1} -> error 2 each; {U1, U3} has U3's 3 so still 5
+        # vs 3 = 2.  8 valuations total, error sum 4, normalized by 5.
+        assert value == pytest.approx((4.0 / 8.0) / 5.0)
+
+    def test_size_guard(self, thesis_universe):
+        big = TensorSum(
+            [Term((f"u{i}",), 1.0, group="g") for i in range(20)], MAX
+        )
+        with pytest.raises(ValueError, match="exhaustive enumeration"):
+            exhaustive_distance(
+                big,
+                big,
+                MappingState([f"u{i}" for i in range(20)]),
+                EuclideanDistance(MAX),
+                DomainCombiners(),
+                thesis_universe,
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_sampling_concentrates(seed):
+    """Proposition 4.1.2: the sampling estimate approaches the exact
+    distance (here: within 0.3 of it with 200 samples on a 4-valuation
+    class -- far inside the Chebyshev bound)."""
+    universe = AnnotationUniverse()
+    for index in range(4):
+        universe.register(Annotation(f"u{index}", "user", {"g": index % 2}))
+    expression = TensorSum(
+        [Term((f"u{i}",), float(i + 1), group="g") for i in range(4)], MAX
+    )
+    summary_annotation = universe.new_summary(
+        [universe["u0"], universe["u2"]], label="even"
+    )
+    step = {"u0": summary_annotation.name, "u2": summary_annotation.name}
+    mapping = MappingState([f"u{i}" for i in range(4)]).compose(step)
+    summary = expression.apply_mapping(step)
+    valuations = CancelSingleAnnotation(universe, domains=("user",))
+    exact_computer = DistanceComputer(
+        expression, valuations, EuclideanDistance(MAX), DomainCombiners(), universe
+    )
+    exact = exact_computer.exact(summary, mapping).normalized
+    sampled_computer = DistanceComputer(
+        expression,
+        valuations,
+        EuclideanDistance(MAX),
+        DomainCombiners(),
+        universe,
+        max_enumerate=0,
+        n_samples=200,
+        rng=random.Random(seed),
+    )
+    sampled = sampled_computer.distance(summary, mapping).normalized
+    assert abs(sampled - exact) < 0.3

@@ -1,0 +1,154 @@
+"""Edge cases and failure injection across the core pipeline."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    DomainConstraints,
+    EuclideanDistance,
+    MappingState,
+    SharedAttribute,
+    SummarizationConfig,
+    SummarizationProblem,
+    Summarizer,
+    enumerate_candidates,
+)
+from repro.provenance import (
+    MAX,
+    SUM,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    cancel,
+)
+
+
+def single_user_problem():
+    universe = AnnotationUniverse()
+    universe.register(Annotation("U1", "user", {"g": "x"}))
+    expression = TensorSum([Term(("U1",), 3.0, group="m")], MAX)
+    return SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=CancelSingleAnnotation(universe, domains=("user",)),
+        val_func=EuclideanDistance(MAX),
+        combiners=DomainCombiners(),
+        constraint=DomainConstraints({"user": SharedAttribute(("g",))}),
+    )
+
+
+class TestDegenerateInputs:
+    def test_single_annotation_expression(self):
+        """Nothing to merge: the algorithm stops immediately."""
+        result = Summarizer(single_user_problem(), SummarizationConfig()).run()
+        assert result.n_steps == 0
+        assert result.stop_reason in ("exhausted", "target_size")
+        assert result.final_distance.value == 0.0
+
+    def test_empty_expression(self):
+        universe = AnnotationUniverse()
+        universe.register(Annotation("U1", "user", {"g": "x"}))
+        expression = TensorSum([], MAX)
+        problem = SummarizationProblem(
+            expression=expression,
+            universe=universe,
+            valuations=CancelSingleAnnotation(universe),
+            val_func=EuclideanDistance(MAX),
+            combiners=DomainCombiners(),
+            constraint=DomainConstraints({}),
+        )
+        result = Summarizer(problem, SummarizationConfig()).run()
+        assert result.final_size == 0
+        assert result.stop_reason == "target_size"
+
+    def test_all_zero_values_normalization(self):
+        """max_error = 0: normalized distances degrade gracefully to 0."""
+        universe = AnnotationUniverse()
+        for name in ("a", "b"):
+            universe.register(Annotation(name, "user", {"g": "x"}))
+        expression = TensorSum(
+            [Term(("a",), 0.0, group="m"), Term(("b",), 0.0, group="m")], SUM
+        )
+        computer = DistanceComputer(
+            expression,
+            CancelSingleAnnotation(universe, domains=("user",)),
+            EuclideanDistance(SUM),
+            DomainCombiners(),
+            universe,
+        )
+        mapping = MappingState(["a", "b"])
+        estimate = computer.distance(expression, mapping)
+        assert estimate.normalized == 0.0
+
+    def test_no_constraints_means_no_candidates(self):
+        problem = single_user_problem()
+        candidates = enumerate_candidates(
+            problem.expression, problem.universe, DomainConstraints({})
+        )
+        assert candidates == []
+
+
+class TestConfigBoundaries:
+    def test_target_size_already_met(self):
+        problem = single_user_problem()
+        result = Summarizer(
+            problem, SummarizationConfig(target_size=100)
+        ).run()
+        assert result.stop_reason == "target_size"
+        assert result.n_steps == 0
+
+    def test_target_dist_zero_like(self):
+        """A microscopic distance budget still returns a valid result
+        whose distance respects the bound."""
+        universe = AnnotationUniverse()
+        for index in range(4):
+            universe.register(Annotation(f"u{index}", "user", {"g": "x"}))
+        expression = TensorSum(
+            [Term((f"u{index}",), float(index + 1), group="m") for index in range(4)],
+            MAX,
+        )
+        problem = SummarizationProblem(
+            expression=expression,
+            universe=universe,
+            valuations=CancelSingleAnnotation(universe, domains=("user",)),
+            val_func=EuclideanDistance(MAX),
+            combiners=DomainCombiners(),
+            constraint=DomainConstraints({"user": SharedAttribute(("g",))}),
+        )
+        result = Summarizer(
+            problem,
+            SummarizationConfig(w_dist=0.0, target_dist=1e-9, max_steps=10),
+        ).run()
+        assert result.final_distance.normalized < 1e-9
+
+    def test_sampling_budget_of_one(self):
+        problem = single_user_problem()
+        result = Summarizer(
+            problem,
+            SummarizationConfig(max_enumerate=0, distance_samples=1),
+        ).run()
+        assert result.final_distance.n_valuations == 1
+
+
+class TestWeightEdgeCases:
+    def test_zero_total_weight_valuations(self):
+        universe = AnnotationUniverse()
+        for name in ("a", "b"):
+            universe.register(Annotation(name, "user", {"g": "x"}))
+        expression = TensorSum(
+            [Term(("a",), 2.0, group="m"), Term(("b",), 3.0, group="m")], MAX
+        )
+        valuations = ExplicitValuations(
+            [cancel(["a"], weight=0.0), cancel(["b"], weight=0.0)]
+        )
+        computer = DistanceComputer(
+            expression, valuations, EuclideanDistance(MAX), DomainCombiners(), universe
+        )
+        estimate = computer.exact(expression, MappingState(["a", "b"]))
+        assert estimate.value == 0.0

@@ -1,0 +1,117 @@
+"""GroupEquivalent (Proposition 4.2.1)."""
+
+import pytest
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    DomainConstraints,
+    EuclideanDistance,
+    MappingState,
+    SharedAttribute,
+    constrained_groups,
+    equivalence_classes,
+    group_equivalent,
+)
+from repro.provenance import (
+    MAX,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAttribute,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    cancel,
+)
+
+
+@pytest.fixture
+def universe():
+    universe = AnnotationUniverse()
+    # U1/U2 identical attribute vectors, U3 differs, U4 differs more.
+    universe.register(Annotation("U1", "user", {"gender": "F", "age": "a"}))
+    universe.register(Annotation("U2", "user", {"gender": "F", "age": "a"}))
+    universe.register(Annotation("U3", "user", {"gender": "F", "age": "b"}))
+    universe.register(Annotation("U4", "user", {"gender": "M", "age": "b"}))
+    return universe
+
+
+@pytest.fixture
+def expression():
+    return TensorSum(
+        [
+            Term(("U1",), 3.0, group="m"),
+            Term(("U2",), 4.0, group="m"),
+            Term(("U3",), 5.0, group="m"),
+            Term(("U4",), 2.0, group="m"),
+        ],
+        MAX,
+    )
+
+
+def test_equivalence_classes_by_signature(universe):
+    valuations = CancelSingleAttribute(universe, attributes=("gender", "age"))
+    classes = equivalence_classes(["U1", "U2", "U3", "U4"], valuations)
+    as_sets = {frozenset(group) for group in classes}
+    assert frozenset({"U1", "U2"}) in as_sets
+    assert frozenset({"U3"}) in as_sets
+    assert frozenset({"U4"}) in as_sets
+
+
+def test_equivalence_classes_refinement_order_irrelevant(universe):
+    # The iterative-refinement proof and the signature implementation
+    # agree: classes do not depend on valuation order.
+    forward = CancelSingleAttribute(universe, attributes=("gender", "age"))
+    backward = ExplicitValuations(list(forward)[::-1])
+    as_sets = lambda classes: {frozenset(group) for group in classes}
+    names = ["U1", "U2", "U3", "U4"]
+    assert as_sets(equivalence_classes(names, forward)) == as_sets(
+        equivalence_classes(names, backward)
+    )
+
+
+def test_constrained_groups_split_incompatible(universe):
+    constraint = SharedAttribute(("gender",))
+    annotations = [universe[name] for name in ("U1", "U2", "U4")]
+    groups = constrained_groups(annotations, constraint)
+    # U4 (male) cannot join U1/U2 (female); singleton groups drop out.
+    assert len(groups) == 1
+    members, proposal = groups[0]
+    assert {a.name for a in members} == {"U1", "U2"}
+    assert proposal.label == "gender=F"
+
+
+def test_group_equivalent_merges_at_distance_zero(universe, expression):
+    valuations = CancelSingleAttribute(universe, attributes=("gender", "age"))
+    constraint = DomainConstraints({"user": SharedAttribute(("gender", "age"))})
+    grouped, step, merges = group_equivalent(
+        expression, universe, valuations, constraint
+    )
+    assert merges == 1
+    assert set(step) == {"U1", "U2"}
+    assert grouped.size() == 3
+
+    # Proposition 4.2.1: the grouping is free -- distance exactly 0.
+    mapping = MappingState(["U1", "U2", "U3", "U4"]).compose(step)
+    computer = DistanceComputer(
+        expression,
+        valuations,
+        EuclideanDistance(MAX),
+        DomainCombiners(),
+        universe,
+    )
+    assert computer.distance(grouped, mapping).value == 0.0
+
+
+def test_group_equivalent_noop_when_nothing_equivalent(universe, expression):
+    # Cancel-single-annotation: every annotation has a unique signature.
+    valuations = ExplicitValuations(
+        [cancel([name]) for name in ("U1", "U2", "U3", "U4")]
+    )
+    constraint = DomainConstraints({"user": SharedAttribute(("gender", "age"))})
+    grouped, step, merges = group_equivalent(
+        expression, universe, valuations, constraint
+    )
+    assert merges == 0
+    assert step == {}
+    assert grouped is expression

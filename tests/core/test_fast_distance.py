@@ -1,0 +1,190 @@
+"""The batch step scorer must replicate the reference path exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    MAXC,
+    MappingState,
+    enumerate_candidates,
+    virtual_summary,
+)
+from repro.core.fast_distance import FastStepScorer
+from repro.core.summarize import _OverlayUniverse
+from repro.core.val_funcs import DDPCostDifference
+from repro.datasets import (
+    MovieLensConfig,
+    WikipediaConfig,
+    generate_movielens,
+    generate_wikipedia,
+)
+from repro.provenance import MAX, MIN, Guard, TensorSum, Term
+
+
+def reference_score(problem, computer, mapping, candidate):
+    parts = [problem.universe[name] for name in candidate.parts]
+    virtual = virtual_summary(parts, candidate.proposal)
+    overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
+    step = {name: virtual.name for name in candidate.parts}
+    expression = problem.expression.apply_mapping(step)
+    distance = computer.distance(
+        expression, mapping.compose(step), universe=overlay
+    )
+    return expression.size(), distance
+
+
+def assert_scorer_matches(instance):
+    problem = instance.problem()
+    computer = DistanceComputer(
+        problem.expression,
+        problem.valuations,
+        problem.val_func,
+        problem.combiners,
+        problem.universe,
+    )
+    mapping = MappingState(sorted(problem.expression.annotation_names()))
+    assert FastStepScorer.applicable(
+        problem.expression,
+        problem.val_func,
+        problem.combiners,
+        problem.valuations,
+        problem.universe,
+        max_enumerate=512,
+    )
+    scorer = FastStepScorer(computer, problem.expression, mapping, problem.universe)
+    candidates = enumerate_candidates(
+        problem.expression, problem.universe, problem.constraint
+    )
+    assert candidates, "setting must produce candidates"
+    for candidate in candidates:
+        fast_size, fast_distance = scorer.score(candidate.parts)
+        ref_size, ref_distance = reference_score(problem, computer, mapping, candidate)
+        assert fast_size == ref_size, candidate
+        assert fast_distance.value == pytest.approx(
+            ref_distance.value, abs=1e-12
+        ), candidate
+        assert fast_distance.normalized == pytest.approx(
+            ref_distance.normalized, abs=1e-12
+        )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_matches_reference_on_movielens_attribute_class(seed):
+    assert_scorer_matches(
+        generate_movielens(MovieLensConfig(n_users=8, n_movies=5, seed=seed))
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_matches_reference_on_movielens_annotation_class(seed):
+    assert_scorer_matches(
+        generate_movielens(
+            MovieLensConfig(
+                n_users=8, n_movies=5, valuation_class="annotation", seed=seed
+            )
+        )
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_matches_reference_on_wikipedia_with_group_merges(seed):
+    """Wikipedia merges *page* annotations -- the group-merge path."""
+    assert_scorer_matches(
+        generate_wikipedia(WikipediaConfig(n_users=6, n_pages=8, seed=seed))
+    )
+
+
+class TestGuardMasks:
+    def test_four_guard_regimes(self, thesis_universe):
+        terms = [
+            # alive-sat & dead-sat: never blocks.
+            Term(("U1",), 1.0, group="g", guards=(Guard(("U2",), 5, ">=", 0),)),
+            # alive-sat only: blocks when U2 false.
+            Term(("U1",), 2.0, group="h", guards=(Guard(("U2",), 5, ">", 2),)),
+            # dead-sat only: blocks when U2 true.
+            Term(("U1",), 3.0, group="i", guards=(Guard(("U2",), 1, "==", 0),)),
+            # never satisfied: always blocked.
+            Term(("U1",), 4.0, group="j", guards=(Guard(("U2",), 1, ">", 2),)),
+        ]
+        expression = TensorSum(terms, MAX)
+        from repro.core import EuclideanDistance
+        from repro.provenance import CancelSingleAnnotation
+
+        valuations = CancelSingleAnnotation(thesis_universe, domains=("user",))
+
+        computer = DistanceComputer(
+            expression,
+            valuations,
+            EuclideanDistance(MAX),
+            DomainCombiners(),
+            thesis_universe,
+        )
+        mapping = MappingState(["U1", "U2", "U3"])
+        scorer = FastStepScorer(computer, expression, mapping, thesis_universe)
+        # Cross-check the baseline vectors against direct evaluation.
+        for index, valuation in enumerate(scorer.valuations):
+            direct = expression.evaluate(valuation.false_set())
+            for group, values in scorer._baseline.items():
+                expected = direct.get(group)
+                expected_value = expected.finalized_value() if expected else 0.0
+                assert values[index] == pytest.approx(expected_value)
+
+
+class TestApplicability:
+    def test_rejects_min_monoid(self, thesis_universe, match_point):
+        from repro.core import EuclideanDistance
+        from repro.provenance import CancelSingleAnnotation
+
+        expression = TensorSum(list(match_point.terms), MIN)
+        assert not FastStepScorer.applicable(
+            expression,
+            EuclideanDistance(MIN),
+            DomainCombiners(),
+            CancelSingleAnnotation(thesis_universe, domains=("user",)),
+            thesis_universe,
+            512,
+        )
+
+    def test_rejects_non_or_combiners(self, thesis_universe, match_point):
+        from repro.core import EuclideanDistance
+        from repro.provenance import CancelSingleAnnotation
+
+        assert not FastStepScorer.applicable(
+            match_point,
+            EuclideanDistance(MAX),
+            DomainCombiners(per_domain={"user": MAXC}),
+            CancelSingleAnnotation(thesis_universe, domains=("user",)),
+            thesis_universe,
+            512,
+        )
+
+    def test_rejects_ddp_val_func_and_large_classes(
+        self, thesis_universe, match_point
+    ):
+        from repro.provenance import CancelSingleAnnotation
+
+        valuations = CancelSingleAnnotation(thesis_universe, domains=("user",))
+        assert not FastStepScorer.applicable(
+            match_point,
+            DDPCostDifference(),
+            DomainCombiners(),
+            valuations,
+            thesis_universe,
+            512,
+        )
+        from repro.core import EuclideanDistance
+
+        assert not FastStepScorer.applicable(
+            match_point,
+            EuclideanDistance(MAX),
+            DomainCombiners(),
+            valuations,
+            thesis_universe,
+            max_enumerate=1,
+        )

@@ -1,0 +1,120 @@
+"""Fast scorer vs reference on randomly *guarded* expressions.
+
+The MovieLens/Wikipedia datasets carry no comparison tokens, so the
+guard handling of the batch scorer (all four satisfiability regimes)
+needs its own randomized cross-check against the reference path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    DomainConstraints,
+    EuclideanDistance,
+    MappingState,
+    SharedAttribute,
+    enumerate_candidates,
+    virtual_summary,
+)
+from repro.core.fast_distance import FastStepScorer
+from repro.core.summarize import _OverlayUniverse
+from repro.provenance import (
+    MAX,
+    SUM,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    Guard,
+    TensorSum,
+    Term,
+)
+
+_NAMES = [f"u{i}" for i in range(5)] + ["s0", "s1"]
+
+
+@st.composite
+def guarded_instances(draw):
+    universe = AnnotationUniverse()
+    for name in _NAMES:
+        domain = "stats" if name.startswith("s") else "user"
+        universe.register(Annotation(name, domain, {"g": "x"}))
+    n_terms = draw(st.integers(min_value=2, max_value=8))
+    terms = []
+    for _ in range(n_terms):
+        monomial = tuple(
+            sorted(
+                draw(
+                    st.lists(
+                        st.sampled_from(_NAMES[:5]), min_size=1, max_size=2,
+                        unique=True,
+                    )
+                )
+            )
+        )
+        guards = ()
+        if draw(st.booleans()):
+            guards = (
+                Guard(
+                    tuple(
+                        sorted(
+                            draw(
+                                st.lists(
+                                    st.sampled_from(_NAMES),
+                                    min_size=1,
+                                    max_size=2,
+                                    unique=True,
+                                )
+                            )
+                        )
+                    ),
+                    float(draw(st.integers(min_value=0, max_value=5))),
+                    draw(st.sampled_from([">", ">=", "<", "<=", "==", "!="])),
+                    float(draw(st.integers(min_value=0, max_value=5))),
+                ),
+            )
+        terms.append(
+            Term(
+                monomial,
+                float(draw(st.integers(min_value=0, max_value=5))),
+                group=draw(st.sampled_from(["m1", "m2"])),
+                guards=guards,
+            )
+        )
+    monoid = draw(st.sampled_from([MAX, SUM]))
+    return universe, TensorSum(terms, monoid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=guarded_instances())
+def test_fast_equals_reference_with_guards(instance):
+    universe, expression = instance
+    valuations = CancelSingleAnnotation(universe)
+    val_func = EuclideanDistance(expression.monoid)
+    combiners = DomainCombiners()
+    constraint = DomainConstraints(
+        {"user": SharedAttribute(("g",)), "stats": SharedAttribute(("g",))}
+    )
+    if not FastStepScorer.applicable(
+        expression, val_func, combiners, valuations, universe, 512
+    ):
+        return
+    computer = DistanceComputer(expression, valuations, val_func, combiners, universe)
+    mapping = MappingState(sorted(expression.annotation_names()))
+    scorer = FastStepScorer(computer, expression, mapping, universe)
+    for candidate in enumerate_candidates(expression, universe, constraint):
+        fast_size, fast_distance = scorer.score(candidate.parts)
+        parts = [universe[name] for name in candidate.parts]
+        virtual = virtual_summary(parts, candidate.proposal)
+        overlay = _OverlayUniverse(universe, {virtual.name: virtual})
+        step = {name: virtual.name for name in candidate.parts}
+        reference_expression = expression.apply_mapping(step)
+        reference = computer.distance(
+            reference_expression, mapping.compose(step), universe=overlay
+        )
+        assert fast_size == reference_expression.size(), candidate
+        assert fast_distance.value == pytest.approx(
+            reference.value, abs=1e-12
+        ), candidate

@@ -1,0 +1,101 @@
+"""Influence analysis over provenance expressions."""
+
+import pytest
+
+from repro.core import EuclideanDistance
+from repro.core.influence import (
+    annotation_influence,
+    group_influence,
+    rank_influential,
+)
+from repro.provenance import MAX, Annotation, AnnotationUniverse, TensorSum, Term
+
+
+def test_annotation_influence(match_point):
+    influences = annotation_influence(match_point, EuclideanDistance(MAX))
+    # U2 holds the max (5 vs 3): cancelling it drops the rating by 2.
+    assert influences["U2"] == pytest.approx(2.0)
+    # U1 and U3 are shadowed by U2's 5: zero influence.
+    assert influences["U1"] == 0.0
+    assert influences["U3"] == 0.0
+
+
+def test_rank_influential(match_point):
+    influences = annotation_influence(match_point, EuclideanDistance(MAX))
+    ranked = rank_influential(influences)
+    assert ranked[0] == ("U2", pytest.approx(2.0))
+    assert rank_influential(influences, top=1) == ranked[:1]
+    # Ties break by name.
+    assert [name for name, _ in ranked[1:]] == ["U1", "U3"]
+
+
+def test_group_influence(thesis_universe, thesis_movies):
+    influences = group_influence(
+        thesis_movies, EuclideanDistance(MAX), thesis_universe, "gender"
+    )
+    # Cancelling the females (U1, U2) drops MatchPoint 5->3 and
+    # BlueJasmine 4->0: sqrt(4 + 16).
+    assert influences["F"] == pytest.approx((4 + 16) ** 0.5)
+    # The male U3 is shadowed.
+    assert influences["M"] == 0.0
+
+
+def test_group_influence_skips_absent_groups():
+    universe = AnnotationUniverse()
+    universe.register(Annotation("a", "user", {"g": "x"}))
+    universe.register(Annotation("b", "user", {"g": "y"}))
+    expression = TensorSum([Term(("a",), 2.0, group="m")], MAX)
+    influences = group_influence(
+        expression, EuclideanDistance(MAX), universe, "g"
+    )
+    assert set(influences) == {"x"}
+
+
+def test_subset_of_annotations(match_point):
+    influences = annotation_influence(
+        match_point, EuclideanDistance(MAX), annotations=["U2"]
+    )
+    assert set(influences) == {"U2"}
+
+
+def test_summaries_with_high_wdist_protect_influential_annotations():
+    """Algorithm 1 with wDist = 1 avoids merging the influential
+    annotation into groups whose φ-lift would mask its cancellation."""
+    from repro.core import (
+        DomainCombiners,
+        DomainConstraints,
+        SharedAttribute,
+        SummarizationConfig,
+        SummarizationProblem,
+        Summarizer,
+    )
+    from repro.provenance import CancelSingleAnnotation
+
+    universe = AnnotationUniverse()
+    # u_star holds the max everywhere; all users share an attribute.
+    for name, rating in (("u_star", 5.0), ("u1", 3.0), ("u2", 3.0), ("u3", 2.0)):
+        universe.register(Annotation(name, "user", {"g": "same"}))
+    expression = TensorSum(
+        [
+            Term(("u_star",), 5.0, group="m"),
+            Term(("u1",), 3.0, group="m"),
+            Term(("u2",), 3.0, group="m"),
+            Term(("u3",), 2.0, group="m"),
+        ],
+        MAX,
+    )
+    problem = SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=CancelSingleAnnotation(universe, domains=("user",)),
+        val_func=EuclideanDistance(MAX),
+        combiners=DomainCombiners(),
+        constraint=DomainConstraints({"user": SharedAttribute(("g",))}),
+    )
+    result = Summarizer(
+        problem,
+        SummarizationConfig(w_dist=1.0, max_steps=2, group_equivalent_first=False),
+    ).run()
+    # The influential u_star stays unmerged; the shadowed users merge.
+    for merged_group in result.summary_groups().values():
+        assert "u_star" not in merged_group

@@ -1,0 +1,48 @@
+"""Cumulative mapping state."""
+
+from repro.core import MappingState
+
+
+def test_starts_as_identity():
+    mapping = MappingState(["a", "b"])
+    assert mapping.is_identity()
+    assert mapping["a"] == "a"
+    assert mapping.as_dict() == {"a": "a", "b": "b"}
+
+
+def test_compose_single_step():
+    mapping = MappingState(["a", "b", "c"]).compose({"a": "x", "b": "x"})
+    assert mapping["a"] == "x"
+    assert mapping["b"] == "x"
+    assert mapping["c"] == "c"
+    assert not mapping.is_identity()
+
+
+def test_compose_chains_through_summaries():
+    mapping = (
+        MappingState(["a", "b", "c"])
+        .compose({"a": "x", "b": "x"})
+        .compose({"x": "y", "c": "y"})
+    )
+    assert mapping.as_dict() == {"a": "y", "b": "y", "c": "y"}
+
+
+def test_compose_is_pure():
+    original = MappingState(["a", "b"])
+    original.compose({"a": "x"})
+    assert original.is_identity()
+
+
+def test_current_names_and_preimage():
+    mapping = MappingState(["a", "b", "c"]).compose({"a": "x", "b": "x"})
+    assert mapping.current_names() == ("x", "c")
+    assert mapping.preimage("x") == ("a", "b")
+    assert mapping.preimage("c") == ("c",)
+    assert mapping.preimage("unknown") == ()
+
+
+def test_mapping_protocol():
+    mapping = MappingState(["a"])
+    assert len(mapping) == 1
+    assert list(mapping) == ["a"]
+    assert mapping.get("missing") is None

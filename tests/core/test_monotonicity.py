@@ -1,0 +1,99 @@
+"""Proposition 4.2.2 on *arbitrary* merge chains (not just the
+algorithm's greedy choices): along any sequence of homomorphisms the
+distance never decreases and the size never increases."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Disagreement,
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    AbsoluteDifference,
+    MappingState,
+)
+from repro.provenance import (
+    MAX,
+    SUM,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    TensorSum,
+    Term,
+)
+
+VAL_FUNCS = {
+    "euclidean": EuclideanDistance,
+    "absolute": AbsoluteDifference,
+    "disagreement": Disagreement,
+}
+
+
+def random_instance(rng: random.Random, monoid):
+    universe = AnnotationUniverse()
+    n_users = rng.randint(4, 8)
+    for index in range(n_users):
+        universe.register(Annotation(f"u{index}", "user", {"g": "x"}))
+    terms = []
+    for index in range(n_users):
+        for _ in range(rng.randint(1, 2)):
+            terms.append(
+                Term(
+                    (f"u{index}",),
+                    float(rng.randint(0, 5)),
+                    group=rng.choice(("m1", "m2", "m3")),
+                )
+            )
+    return universe, TensorSum(terms, monoid)
+
+
+def random_merge_chain(rng: random.Random, universe, expression, length=4):
+    """A random sequence of constraint-free pair merges."""
+    mapping = MappingState(sorted(expression.annotation_names()))
+    chain = [(expression, mapping)]
+    current = expression
+    for _ in range(length):
+        names = sorted(current.annotation_names())
+        if len(names) < 2:
+            break
+        first, second = rng.sample(names, 2)
+        summary = universe.new_summary(
+            [universe[first], universe[second]], label="m"
+        )
+        step = {first: summary.name, second: summary.name}
+        current = current.apply_mapping(step)
+        mapping = mapping.compose(step)
+        chain.append((current, mapping))
+    return chain
+
+
+@pytest.mark.parametrize("val_func_name", sorted(VAL_FUNCS))
+@pytest.mark.parametrize("monoid", [MAX, SUM], ids=["MAX", "SUM"])
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_distance_monotone_and_size_antitone(val_func_name, monoid, seed):
+    rng = random.Random(seed)
+    universe, expression = random_instance(rng, monoid)
+    valuations = CancelSingleAnnotation(universe, domains=("user",))
+    computer = DistanceComputer(
+        expression,
+        valuations,
+        VAL_FUNCS[val_func_name](monoid),
+        DomainCombiners(),
+        universe,
+    )
+    chain = random_merge_chain(rng, universe, expression)
+    distances = [
+        computer.exact(summary, mapping).value for summary, mapping in chain
+    ]
+    sizes = [summary.size() for summary, _ in chain]
+    assert all(
+        later >= earlier - 1e-9 for earlier, later in zip(distances, distances[1:])
+    ), distances
+    assert all(
+        later <= earlier for earlier, later in zip(sizes, sizes[1:])
+    ), sizes

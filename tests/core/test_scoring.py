@@ -1,0 +1,91 @@
+"""CandidateScore (Definition 3.2.4) under both rank readings."""
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    DistanceEstimate,
+    MergeProposal,
+    ScoredCandidate,
+    score_candidates,
+)
+
+
+def entry(parts, size, distance, taxonomy_cost=0.0):
+    return ScoredCandidate(
+        candidate=Candidate(
+            tuple(parts), MergeProposal("label", taxonomy_cost=taxonomy_cost)
+        ),
+        expression=None,
+        step_mapping={},
+        size=size,
+        distance=DistanceEstimate(distance, distance, 4, True),
+    )
+
+
+class TestNormalized:
+    def test_weighted_combination(self):
+        measured = [entry(["a", "b"], 50, 0.2), entry(["c", "d"], 80, 0.0)]
+        scored = score_candidates(measured, 1.0, 0.0, original_size=100)
+        assert scored[0].candidate.parts == ("c", "d")
+        assert scored[0].score == pytest.approx(0.0)
+        assert scored[1].score == pytest.approx(0.2)
+
+    def test_size_weight(self):
+        measured = [entry(["a", "b"], 50, 0.2), entry(["c", "d"], 80, 0.0)]
+        scored = score_candidates(measured, 0.0, 1.0, original_size=100)
+        assert scored[0].candidate.parts == ("a", "b")
+        assert scored[0].r_size == pytest.approx(0.5)
+
+    def test_mixed_weights(self):
+        measured = [entry(["a", "b"], 50, 0.2), entry(["c", "d"], 80, 0.0)]
+        scored = score_candidates(measured, 0.5, 0.5, original_size=100)
+        assert scored[0].score == pytest.approx(0.5 * 0.2 + 0.5 * 0.5)
+
+
+class TestOrdinal:
+    def test_fractional_ranks(self):
+        measured = [
+            entry(["a", "b"], 50, 0.3),
+            entry(["c", "d"], 70, 0.1),
+            entry(["e", "f"], 90, 0.2),
+        ]
+        scored = score_candidates(
+            measured, 1.0, 0.0, original_size=100, strategy="ordinal"
+        )
+        assert scored[0].candidate.parts == ("c", "d")
+        assert scored[0].r_dist == 0.0
+        assert scored[-1].r_dist == 1.0
+
+    def test_ties_share_rank(self):
+        measured = [
+            entry(["a", "b"], 50, 0.1),
+            entry(["c", "d"], 70, 0.1),
+            entry(["e", "f"], 90, 0.5),
+        ]
+        scored = score_candidates(
+            measured, 1.0, 0.0, original_size=100, strategy="ordinal"
+        )
+        tied = [s for s in scored if s.distance.normalized == 0.1]
+        assert tied[0].r_dist == tied[1].r_dist == 0.0
+
+
+class TestTieBreaking:
+    def test_taxonomy_cost_breaks_ties(self):
+        measured = [
+            entry(["x", "y"], 50, 0.1, taxonomy_cost=0.8),
+            entry(["a", "b"], 50, 0.1, taxonomy_cost=0.2),
+        ]
+        scored = score_candidates(measured, 1.0, 0.0, original_size=100)
+        assert scored[0].candidate.parts == ("a", "b")
+
+    def test_lexicographic_fallback(self):
+        measured = [entry(["z", "w"], 50, 0.1), entry(["a", "b"], 50, 0.1)]
+        scored = score_candidates(measured, 1.0, 0.0, original_size=100)
+        assert scored[0].candidate.parts == ("a", "b")
+
+
+def test_validation_and_empty():
+    assert score_candidates([], 1.0, 0.0, 100) == []
+    with pytest.raises(ValueError, match="unknown scoring strategy"):
+        score_candidates([entry(["a", "b"], 1, 0.0)], 1.0, 0.0, 100, strategy="x")

@@ -1,0 +1,47 @@
+"""Step-by-step replay of a summarization run (the UI arrows)."""
+
+import pytest
+
+from repro.core import SummarizationConfig, Summarizer
+from repro.datasets import MovieLensConfig, generate_movielens
+
+
+@pytest.fixture
+def result():
+    instance = generate_movielens(MovieLensConfig(n_users=10, n_movies=5, seed=4))
+    return Summarizer(
+        instance.problem(), SummarizationConfig(w_dist=0.5, max_steps=4, seed=0)
+    ).run()
+
+
+def test_step_zero_is_post_equivalence(result):
+    step0 = result.at_step(0)
+    if result.equivalence_mapping:
+        assert step0.size() < result.original_size
+    else:
+        assert str(step0) == str(result.original_expression)
+
+
+def test_final_step_equals_summary(result):
+    final = result.at_step(result.n_steps)
+    assert str(final) == str(result.summary_expression)
+    assert final.size() == result.final_size
+
+
+def test_intermediate_sizes_match_records(result):
+    for record in result.steps:
+        assert result.at_step(record.step).size() == record.size_after
+
+
+def test_bounds(result):
+    with pytest.raises(IndexError):
+        result.at_step(-1)
+    with pytest.raises(IndexError):
+        result.at_step(result.n_steps + 1)
+
+
+def test_step_mapping_property(result):
+    if result.steps:
+        record = result.steps[0]
+        assert set(record.step_mapping) == set(record.merged)
+        assert set(record.step_mapping.values()) == {record.new_annotation}

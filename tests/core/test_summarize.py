@@ -1,0 +1,157 @@
+"""Algorithm 1: stop conditions, monotonicity, worked examples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SummarizationConfig, Summarizer, summarize
+from repro.datasets import MovieLensConfig, generate_movielens
+
+
+class TestExample423:
+    """The full algorithm flow of Example 4.2.3: with wDist = 1 the
+    algorithm prefers mapping U1, U3 → Audience (distance 0) over
+    U1, U2 → Female (distance > 0)."""
+
+    def test_first_merge_is_audience(self, thesis_problem):
+        config = SummarizationConfig(
+            w_dist=1.0, max_steps=1, group_equivalent_first=False, seed=0
+        )
+        result = Summarizer(thesis_problem, config).run()
+        assert result.n_steps == 1
+        assert set(result.steps[0].merged) == {"U1", "U3"}
+        assert result.steps[0].label == "role=audience"
+        assert result.final_distance.value == 0.0
+
+    def test_summary_groups(self, thesis_problem):
+        config = SummarizationConfig(
+            w_dist=1.0, max_steps=1, group_equivalent_first=False, seed=0
+        )
+        result = Summarizer(thesis_problem, config).run()
+        groups = result.summary_groups()
+        assert list(groups.values()) == [("U1", "U3")]
+
+
+class TestStopConditions:
+    def test_target_size(self, thesis_problem):
+        config = SummarizationConfig(w_dist=1.0, target_size=3, max_steps=10)
+        result = Summarizer(thesis_problem, config).run()
+        assert result.stop_reason == "target_size"
+        assert result.final_size <= 3
+
+    def test_max_steps(self, thesis_problem):
+        config = SummarizationConfig(
+            w_dist=1.0, max_steps=1, group_equivalent_first=False
+        )
+        result = Summarizer(thesis_problem, config).run()
+        assert result.stop_reason == "max_steps"
+        assert result.n_steps == 1
+
+    def test_target_dist_reverts_to_previous(self, thesis_problem):
+        # A tiny positive bound: the first distance-increasing merge
+        # overshoots, so the result must stay within the bound.
+        config = SummarizationConfig(
+            w_dist=0.0, target_dist=0.01, max_steps=10, seed=0
+        )
+        result = Summarizer(thesis_problem, config).run()
+        assert result.stop_reason in ("target_dist", "exhausted")
+        assert result.final_distance.normalized < 0.01
+
+    def test_exhausted_when_no_candidates(self, thesis_problem):
+        config = SummarizationConfig(w_dist=0.5, max_steps=50)
+        result = Summarizer(thesis_problem, config).run()
+        assert result.stop_reason in ("exhausted", "target_size")
+
+    def test_zero_steps(self, thesis_problem):
+        config = SummarizationConfig(max_steps=0, group_equivalent_first=False)
+        result = Summarizer(thesis_problem, config).run()
+        assert result.n_steps == 0
+        assert result.summary_expression is result.original_expression
+
+
+class TestTrajectories:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        w_dist=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+    )
+    def test_size_never_increases_and_distance_never_decreases(self, seed, w_dist):
+        """Proposition 4.2.2 along the algorithm's own merge chain."""
+        instance = generate_movielens(
+            MovieLensConfig(n_users=10, n_movies=5, seed=seed)
+        )
+        result = summarize(
+            instance.problem(),
+            SummarizationConfig(w_dist=w_dist, max_steps=6, seed=seed),
+        )
+        sizes = result.size_trajectory()
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+        distances = [
+            record.distance_after.normalized
+            for record in result.steps
+            if record.distance_after is not None
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(distances, distances[1:]))
+
+    def test_mapping_covers_all_base_annotations(self, thesis_problem):
+        result = summarize(thesis_problem, SummarizationConfig(max_steps=3))
+        base = set(result.original_expression.annotation_names())
+        assert set(result.mapping) == base
+        current = set(result.summary_expression.annotation_names())
+        assert {result.mapping[name] for name in base} == current
+
+
+class TestInstrumentation:
+    def test_step_records(self, thesis_problem):
+        result = summarize(
+            thesis_problem,
+            SummarizationConfig(
+                w_dist=1.0, max_steps=2, group_equivalent_first=False
+            ),
+        )
+        for index, record in enumerate(result.steps, start=1):
+            assert record.step == index
+            assert record.n_candidates >= 1
+            assert record.candidate_seconds >= 0.0
+            assert record.step_seconds >= record.candidate_seconds
+        assert result.total_seconds > 0
+
+
+class TestKWayMerges:
+    def test_arity_three_merges_three_at_once(self):
+        instance = generate_movielens(
+            MovieLensConfig(n_users=12, n_movies=5, seed=4)
+        )
+        result = summarize(
+            instance.problem(),
+            SummarizationConfig(
+                w_dist=0.0, max_steps=3, merge_arity=3, seed=0,
+                group_equivalent_first=False,
+            ),
+        )
+        assert result.n_steps >= 1
+        assert any(len(record.merged) == 3 for record in result.steps)
+
+    def test_fewer_steps_needed_than_pairwise(self):
+        """The future-work tradeoff: higher arity reaches a size target
+        in fewer steps."""
+        def run(arity):
+            instance = generate_movielens(
+                MovieLensConfig(n_users=12, n_movies=5, seed=4)
+            )
+            original = instance.expression.size()
+            return summarize(
+                instance.problem(),
+                SummarizationConfig(
+                    w_dist=0.0,
+                    target_size=int(original * 0.7),
+                    max_steps=100,
+                    merge_arity=arity,
+                    seed=0,
+                ),
+            )
+
+        pairwise = run(2)
+        three_way = run(3)
+        assert pairwise.stop_reason == three_way.stop_reason == "target_size"
+        assert three_way.n_steps <= pairwise.n_steps

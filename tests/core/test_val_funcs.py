@@ -1,0 +1,136 @@
+"""VAL-FUNC implementations and vector alignment."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AbsoluteDifference,
+    DDPCostDifference,
+    Disagreement,
+    EuclideanDistance,
+    align_vector,
+)
+from repro.provenance import (
+    MAX,
+    SUM,
+    CountedAggregate,
+    DDPResult,
+    TensorSum,
+    Term,
+)
+
+
+class TestAlignVector:
+    def test_folds_merged_groups(self):
+        original = {
+            "Adele": CountedAggregate(0.0, 1),
+            "CelineDion": CountedAggregate(1.0, 1),
+            "LoriBlack": CountedAggregate(1.0, 1),
+        }
+        alignment = {
+            "Adele": "singer",
+            "CelineDion": "singer",
+            "LoriBlack": "guitarist",
+        }
+        aligned = align_vector(original, alignment, SUM)
+        assert aligned["singer"].value == 1.0
+        assert aligned["singer"].count == 2
+        assert aligned["guitarist"].value == 1.0
+
+    def test_unmapped_keys_pass_through(self):
+        aligned = align_vector({"g": CountedAggregate(2.0, 1)}, {}, MAX)
+        assert aligned == {"g": CountedAggregate(2.0, 1)}
+
+
+class TestEuclidean:
+    def test_example_5_2_1(self):
+        """The worked Wikipedia distance computation of §5.2."""
+        val_func = EuclideanDistance(SUM)
+        original = {
+            "Adele": CountedAggregate(0.0, 1),
+            "CelineDion": CountedAggregate(0.0, 0),
+            "LoriBlack": CountedAggregate(1.0, 1),
+            "AlecBaillie": CountedAggregate(1.0, 1),
+        }
+        summary = {
+            "guitarist": CountedAggregate(2.0, 2),
+            "singer": CountedAggregate(1.0, 2),
+        }
+        alignment = {
+            "Adele": "singer",
+            "CelineDion": "singer",
+            "LoriBlack": "guitarist",
+            "AlecBaillie": "guitarist",
+        }
+        # Transformed original: (guitarist: 2, singer: 0); summary
+        # (guitarist: 2, singer: 1) -> distance 1.
+        assert val_func(original, summary, alignment) == pytest.approx(1.0)
+
+    def test_missing_coordinates_are_zero(self):
+        val_func = EuclideanDistance(MAX)
+        assert val_func(
+            {"a": CountedAggregate(3.0, 1)}, {}, {}
+        ) == pytest.approx(3.0)
+
+    def test_max_error_from_full_vector(self):
+        expression = TensorSum(
+            [Term(("u",), 3.0, group="a"), Term(("v",), 4.0, group="b")], MAX
+        )
+        assert EuclideanDistance(MAX).max_error(expression) == pytest.approx(5.0)
+
+
+class TestAbsoluteDifference:
+    def test_l1_semantics(self):
+        val_func = AbsoluteDifference(MAX)
+        original = {"a": CountedAggregate(3.0, 1), "b": CountedAggregate(1.0, 1)}
+        summary = {"a": CountedAggregate(5.0, 2), "b": CountedAggregate(1.0, 1)}
+        assert val_func(original, summary, {}) == pytest.approx(2.0)
+
+    def test_scalar_case(self):
+        val_func = AbsoluteDifference(MAX)
+        assert val_func(
+            {None: CountedAggregate(3.0, 1)}, {None: CountedAggregate(5.0, 2)}, {}
+        ) == pytest.approx(2.0)
+
+
+class TestDisagreement:
+    def test_zero_when_equal(self):
+        val_func = Disagreement(MAX)
+        vector = {"a": CountedAggregate(3.0, 1)}
+        assert val_func(vector, dict(vector), {}) == 0.0
+
+    def test_one_when_any_coordinate_differs(self):
+        val_func = Disagreement(MAX)
+        assert val_func(
+            {"a": CountedAggregate(3.0, 1)},
+            {"a": CountedAggregate(4.0, 1)},
+            {},
+        ) == 1.0
+
+    def test_max_error_is_one(self):
+        expression = TensorSum([Term(("u",), 9.0, group="a")], MAX)
+        assert Disagreement(MAX).max_error(expression) == 1.0
+
+
+class TestDDPCostDifference:
+    def setup_method(self):
+        self.val_func = DDPCostDifference(10.0, 5)
+
+    def test_both_feasible(self):
+        assert self.val_func(DDPResult(4.0, True), DDPResult(6.5, True), {}) == 2.5
+
+    def test_both_infeasible(self):
+        assert (
+            self.val_func(
+                DDPResult(math.inf, False), DDPResult(math.inf, False), {}
+            )
+            == 0.0
+        )
+
+    def test_feasibility_mismatch_pays_maximum(self):
+        assert self.val_func(DDPResult(4.0, True), DDPResult(math.inf, False), {}) == 50.0
+        assert self.val_func(DDPResult(math.inf, False), DDPResult(0.0, True), {}) == 50.0
+
+    def test_max_error(self):
+        assert self.val_func.max_error(None) == 50.0

@@ -1,0 +1,107 @@
+"""Proposition 4.2.1: the minimal distance-0 summary, in PTIME."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    MappingState,
+    minimal_zero_distance_summary,
+)
+from repro.provenance import (
+    MAX,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAttribute,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    cancel,
+)
+
+
+def build(n_users=6, n_groups=2, seed_attrs=("x", "y", "x", "y", "x", "x")):
+    universe = AnnotationUniverse()
+    terms = []
+    for index in range(n_users):
+        universe.register(
+            Annotation(f"u{index}", "user", {"g": seed_attrs[index % len(seed_attrs)]})
+        )
+        terms.append(
+            Term((f"u{index}",), float(index % 4 + 1), group=f"m{index % n_groups}")
+        )
+    return universe, TensorSum(terms, MAX)
+
+
+def test_merges_equivalence_classes_to_representatives():
+    universe, expression = build()
+    valuations = CancelSingleAttribute(universe, attributes=("g",))
+    summary, step = minimal_zero_distance_summary(expression, valuations)
+    # Class {u0,u2,u4,u5} (g=x) and {u1,u3} (g=y): representatives u0, u1.
+    assert step == {"u2": "u0", "u4": "u0", "u5": "u0", "u3": "u1"}
+    assert summary.annotation_names() == frozenset({"u0", "u1"})
+    assert summary.size() < expression.size()
+
+
+def test_distance_is_exactly_zero():
+    universe, expression = build()
+    valuations = CancelSingleAttribute(universe, attributes=("g",))
+    summary, step = minimal_zero_distance_summary(expression, valuations)
+    mapping = MappingState(sorted(expression.annotation_names())).compose(step)
+    computer = DistanceComputer(
+        expression, valuations, EuclideanDistance(MAX), DomainCombiners(), universe
+    )
+    assert computer.exact(summary, mapping).value == 0.0
+
+
+def test_minimality():
+    """No two annotations of the result are equivalent (the proof's
+    injectivity argument): merging any further pair changes some
+    valuation's outcome signature."""
+    universe, expression = build()
+    valuations = CancelSingleAttribute(universe, attributes=("g",))
+    summary, _ = minimal_zero_distance_summary(expression, valuations)
+    remaining = sorted(summary.annotation_names())
+    valuation_list = list(valuations)
+    signatures = {
+        name: tuple(v.truth(name) for v in valuation_list) for name in remaining
+    }
+    assert len(set(signatures.values())) == len(remaining)
+
+
+def test_noop_for_distinguishing_classes():
+    universe, expression = build()
+    valuations = ExplicitValuations(
+        [cancel([f"u{i}"]) for i in range(6)]
+    )
+    summary, step = minimal_zero_distance_summary(expression, valuations)
+    assert step == {}
+    assert summary is expression
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_property_distance_zero_on_random_instances(seed):
+    import random
+
+    rng = random.Random(seed)
+    universe = AnnotationUniverse()
+    terms = []
+    for index in range(8):
+        universe.register(
+            Annotation(f"u{index}", "user", {"g": rng.choice("pqr")})
+        )
+        terms.append(
+            Term((f"u{index}",), float(rng.randint(1, 5)), group=rng.choice("mn"))
+        )
+    expression = TensorSum(terms, MAX)
+    valuations = CancelSingleAttribute(universe, attributes=("g",))
+    summary, step = minimal_zero_distance_summary(expression, valuations)
+    mapping = MappingState(sorted(expression.annotation_names())).compose(step)
+    computer = DistanceComputer(
+        expression, valuations, EuclideanDistance(MAX), DomainCombiners(), universe
+    )
+    assert computer.exact(summary, mapping).value == pytest.approx(0.0)

@@ -1,0 +1,42 @@
+"""DatasetInstance plumbing and Table 5.1 rendering."""
+
+from repro.datasets import (
+    DDPConfig,
+    MovieLensConfig,
+    WikipediaConfig,
+    format_table_5_1,
+    generate_ddp,
+    generate_movielens,
+    generate_wikipedia,
+)
+from repro.provenance import CancelSingleAnnotation
+
+
+def test_problem_override_valuations():
+    instance = generate_movielens(MovieLensConfig(seed=1))
+    override = CancelSingleAnnotation(instance.universe, domains=("user",))
+    problem = instance.problem(valuations=override)
+    assert problem.valuations is override
+    default = instance.problem()
+    assert default.valuations is instance.valuations
+
+
+def test_table_5_1_has_all_rows():
+    rows = [
+        generate_movielens(MovieLensConfig(seed=0)).describe_row(),
+        generate_wikipedia(WikipediaConfig(seed=0)).describe_row(),
+        generate_ddp(DDPConfig(seed=0)).describe_row(),
+    ]
+    table = format_table_5_1(rows)
+    assert "Movies" in table
+    assert "Wikipedia" in table
+    assert "DDP" in table
+    for header in (
+        "Type", "Structure", "Mapping Constraints", "Aggregation",
+        "Valuations Classes", "φ Functions", "VAL-FUNC",
+    ):
+        assert header in table
+
+
+def test_format_empty():
+    assert format_table_5_1([]) == "(no datasets)"

@@ -1,0 +1,96 @@
+"""DDP generator: structure of Table 5.1 row 3 / Example 5.2.2."""
+
+import pytest
+
+from repro.datasets import (
+    DDPConfig,
+    MAX_COST_PER_TRANSITION,
+    MAX_TRANSITIONS_PER_EXECUTION,
+    generate_ddp,
+)
+from repro.provenance import CostTransition, DBTransition
+
+
+@pytest.fixture
+def instance():
+    return generate_ddp(DDPConfig(seed=5))
+
+
+def test_determinism():
+    assert str(generate_ddp(DDPConfig(seed=5)).expression) == str(
+        generate_ddp(DDPConfig(seed=5)).expression
+    )
+
+
+def test_execution_bounds(instance):
+    for execution in instance.expression.executions:
+        assert 1 <= len(execution.transitions) <= MAX_TRANSITIONS_PER_EXECUTION
+        for transition in execution.transitions:
+            if isinstance(transition, CostTransition):
+                assert 0 < transition.cost <= MAX_COST_PER_TRANSITION
+            else:
+                assert isinstance(transition, DBTransition)
+                assert transition.op in ("!=", "==")
+
+
+def test_template_structure_enables_dedup(instance):
+    """Executions instantiate shared templates, so merging same-bucket
+    variables can collapse executions (size decreases)."""
+    from repro.core import SummarizationConfig, summarize
+
+    result = summarize(
+        instance.problem(), SummarizationConfig(w_dist=0.0, max_steps=15, seed=0)
+    )
+    assert result.final_size < result.original_size
+
+
+def test_variable_attributes(instance):
+    universe = instance.universe
+    for cost_var in universe.in_domain("cost"):
+        assert cost_var.attributes["cost_bucket"].startswith("B")
+        assert 0 < cost_var.attributes["cost"] <= MAX_COST_PER_TRANSITION
+    for db_var in universe.in_domain("db"):
+        assert db_var.attributes["relation"].startswith("R")
+        assert db_var.attributes["key_range"].startswith("K")
+
+
+def test_constraints_by_bucket_and_relation(instance):
+    universe = instance.universe
+    costs = universe.in_domain("cost")
+    same_bucket = [
+        c for c in costs if c.attributes["cost_bucket"] == costs[0].attributes["cost_bucket"]
+    ]
+    assert instance.constraint.propose(same_bucket[0], same_bucket[1])
+    other_bucket = next(
+        c for c in costs
+        if c.attributes["cost_bucket"] != costs[0].attributes["cost_bucket"]
+    )
+    assert instance.constraint.propose(costs[0], other_bucket) is None
+
+
+def test_combiners(instance):
+    from repro.core import MaxCombiner, OrCombiner
+
+    assert isinstance(instance.combiners.for_domain("cost"), MaxCombiner)
+    assert isinstance(instance.combiners.for_domain("db"), OrCombiner)
+
+
+def test_no_cluster_specs(instance):
+    assert instance.cluster_specs == ()
+
+
+def test_val_func_penalty(instance):
+    assert instance.val_func.max_error(instance.expression) == pytest.approx(
+        MAX_COST_PER_TRANSITION * MAX_TRANSITIONS_PER_EXECUTION
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DDPConfig(n_templates=0)
+    with pytest.raises(ValueError):
+        DDPConfig(min_transitions=4, max_transitions=2)
+    with pytest.raises(ValueError, match="at most"):
+        DDPConfig(max_transitions=9)
+    with pytest.raises(ValueError):
+        DDPConfig(valuation_class="weird")

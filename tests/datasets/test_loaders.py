@@ -1,0 +1,130 @@
+"""Loaders for real dataset dumps (tested on written fixtures)."""
+
+import pytest
+
+from repro.core import SummarizationConfig, summarize
+from repro.datasets.loaders import (
+    ML_GENRES,
+    load_movielens_100k,
+    load_wikipedia_edits,
+)
+from repro.taxonomy import wordnet_person_fragment
+
+
+@pytest.fixture
+def ml_dir(tmp_path):
+    """A tiny MovieLens-100k-format dump."""
+    (tmp_path / "u.user").write_text(
+        "1|24|M|technician|85711\n"
+        "2|53|F|other|94043\n"
+        "3|23|M|writer|32067\n"
+    )
+    flags = ["0"] * len(ML_GENRES)
+    flags[ML_GENRES.index("Drama")] = "1"
+    drama = "|".join(flags)
+    flags = ["0"] * len(ML_GENRES)
+    flags[ML_GENRES.index("Comedy")] = "1"
+    comedy = "|".join(flags)
+    (tmp_path / "u.item").write_text(
+        f"1|Toy Story (1995)|01-Jan-1995||url|{comedy}\n"
+        f"2|GoldenEye (1995)|01-Jan-1995||url|{drama}\n"
+        f"3|Four Rooms (1995)|01-Jan-1995||url|{drama}\n"
+    )
+    (tmp_path / "u.data").write_text(
+        "1\t1\t5\t874965758\n"
+        "1\t2\t3\t876893171\n"
+        "2\t1\t4\t878542960\n"
+        "2\t3\t1\t876893119\n"
+        "3\t2\t2\t889751712\n"
+    )
+    return tmp_path
+
+
+class TestMovieLensLoader:
+    def test_structure(self, ml_dir):
+        instance = load_movielens_100k(ml_dir)
+        assert instance.expression.size() == 15  # 5 ratings × 3 annotations
+        assert len(instance.universe.in_domain("user")) == 3
+        assert len(instance.universe.in_domain("movie")) == 3
+        user = instance.universe["UID1"]
+        assert user.attributes["gender"] == "M"
+        assert user.attributes["age_range"] == "18-24"
+        movie = instance.universe["Toy Story (1995)"]
+        assert movie.attributes["genre"] == "Comedy"
+        assert movie.attributes["decade"] == "1990s"
+
+    def test_ratings_flow_into_groups(self, ml_dir):
+        instance = load_movielens_100k(ml_dir)
+        vector = instance.expression.full_vector()
+        assert vector["Toy Story (1995)"].finalized_value() == 5.0
+        assert vector["GoldenEye (1995)"].finalized_value() == 3.0
+
+    def test_max_ratings_truncation(self, ml_dir):
+        instance = load_movielens_100k(ml_dir, max_ratings=2)
+        assert len(instance.expression) == 2
+
+    def test_summarizable(self, ml_dir):
+        instance = load_movielens_100k(ml_dir)
+        result = summarize(
+            instance.problem(), SummarizationConfig(w_dist=0.5, max_steps=2)
+        )
+        assert result.final_size <= instance.expression.size()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="u.user"):
+            load_movielens_100k(tmp_path)
+
+    def test_valuation_class_options(self, ml_dir):
+        annotation = load_movielens_100k(ml_dir, valuation_class="annotation")
+        assert len(annotation.valuations) == 3
+
+
+class TestWikipediaLoader:
+    @pytest.fixture
+    def edits_file(self, tmp_path):
+        path = tmp_path / "edits.tsv"
+        path.write_text(
+            "username\tpage_title\tconcept\tedit_type\n"
+            "Dubulge\tAdele\twordnet_singer\t1\n"
+            "Dubulge\tCeline Dion\twordnet_singer\t1\n"
+            "Dubulge\tLori Black\twordnet_guitarist\t0\n"
+            "SalubriousToxin\tAdele\twordnet_singer\t0\n"
+            "Jasper\tLori Black\twordnet_guitarist\t1\n"
+        )
+        return path
+
+    def test_structure(self, edits_file):
+        taxonomy = wordnet_person_fragment()
+        instance = load_wikipedia_edits(edits_file, taxonomy)
+        assert len(instance.universe.in_domain("user")) == 3
+        assert len(instance.universe.in_domain("page")) == 3
+        assert instance.universe["Adele"].concept == "wordnet_singer"
+        # Dubulge (3 edits) outranks the single-edit users.
+        assert (
+            instance.universe["Dubulge"].attributes["contribution_level"]
+            == "Top-Contributor"
+        )
+        vector = instance.expression.full_vector()
+        assert vector["Adele"].finalized_value() == 1.0  # one major, one minor
+
+    def test_unknown_concept_rejected(self, tmp_path):
+        path = tmp_path / "edits.tsv"
+        path.write_text("A\tPage\twordnet_dragon\t1\n")
+        with pytest.raises(ValueError, match="unknown taxonomy concept"):
+            load_wikipedia_edits(path, wordnet_person_fragment())
+
+    def test_malformed_and_empty(self, tmp_path):
+        path = tmp_path / "edits.tsv"
+        path.write_text("A\tPage\n")
+        with pytest.raises(ValueError, match="4 tab-separated"):
+            load_wikipedia_edits(path, wordnet_person_fragment())
+        path.write_text("")
+        with pytest.raises(ValueError, match="no edits"):
+            load_wikipedia_edits(path, wordnet_person_fragment())
+
+    def test_summarizable(self, edits_file):
+        instance = load_wikipedia_edits(edits_file, wordnet_person_fragment())
+        result = summarize(
+            instance.problem(), SummarizationConfig(w_dist=1.0, max_steps=2)
+        )
+        assert result.n_steps >= 1

@@ -1,0 +1,91 @@
+"""MovieLens generator: structure of Table 5.1 row 1."""
+
+import pytest
+
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.provenance import CancelSingleAnnotation, CancelSingleAttribute
+
+
+@pytest.fixture
+def instance():
+    return generate_movielens(MovieLensConfig(seed=5))
+
+
+def test_determinism():
+    first = generate_movielens(MovieLensConfig(seed=5))
+    second = generate_movielens(MovieLensConfig(seed=5))
+    assert str(first.expression) == str(second.expression)
+    assert first.universe.names() == second.universe.names()
+
+
+def test_seed_changes_data():
+    first = generate_movielens(MovieLensConfig(seed=5))
+    second = generate_movielens(MovieLensConfig(seed=6))
+    assert str(first.expression) != str(second.expression)
+
+
+def test_term_structure(instance):
+    """(UserID · MovieTitle · MovieYear) ⊗ (Rating, 1)."""
+    universe = instance.universe
+    for term in instance.expression.terms:
+        domains = sorted(universe[name].domain for name in term.annotations)
+        assert domains == ["movie", "user", "year"]
+        assert 1.0 <= term.value <= 5.0
+        assert universe[term.group].domain == "movie"
+        assert not term.guards
+
+
+def test_user_attributes(instance):
+    users = instance.universe.in_domain("user")
+    assert len(users) == 30
+    for user in users:
+        assert user.attributes["gender"] in ("M", "F")
+        assert set(user.attributes) == {
+            "gender", "age_range", "occupation", "zip_region",
+        }
+
+
+def test_valuation_classes():
+    attribute = generate_movielens(MovieLensConfig(seed=1))
+    assert isinstance(attribute.valuations, CancelSingleAttribute)
+    annotation = generate_movielens(
+        MovieLensConfig(seed=1, valuation_class="annotation")
+    )
+    assert isinstance(annotation.valuations, CancelSingleAnnotation)
+    assert len(annotation.valuations) == 30  # one per user
+
+
+def test_experiment_constraints_merge_users_only(instance):
+    universe = instance.universe
+    movie = universe.in_domain("movie")[0]
+    other = universe.in_domain("movie")[1]
+    assert instance.constraint.propose(movie, other) is None
+
+
+def test_movie_merges_option():
+    instance = generate_movielens(MovieLensConfig(seed=5, include_movie_merges=True))
+    movies = instance.universe.in_domain("movie")
+    same_decade = [
+        movie
+        for movie in movies
+        if movie.attributes["decade"] == movies[0].attributes["decade"]
+    ]
+    if len(same_decade) >= 2:
+        assert instance.constraint.propose(same_decade[0], same_decade[1])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MovieLensConfig(n_users=1)
+    with pytest.raises(ValueError):
+        MovieLensConfig(min_ratings_per_user=5, max_ratings_per_user=3)
+    with pytest.raises(ValueError):
+        MovieLensConfig(valuation_class="weird")
+
+
+def test_describe_row(instance):
+    row = instance.describe_row()
+    assert row["Type"] == "Movies"
+    assert "UserID·MovieTitle·MovieYear" in row["Structure"]
+    assert row["Aggregation"] == "MAX"
+    assert "Euclidean" in row["VAL-FUNC"]

@@ -1,0 +1,77 @@
+"""Wikipedia generator: structure of Table 5.1 row 2."""
+
+import pytest
+
+from repro.datasets import WikipediaConfig, generate_wikipedia
+from repro.provenance import TaxonomyConsistent
+
+
+@pytest.fixture
+def instance():
+    return generate_wikipedia(WikipediaConfig(seed=5))
+
+
+def test_determinism():
+    first = generate_wikipedia(WikipediaConfig(seed=5))
+    second = generate_wikipedia(WikipediaConfig(seed=5))
+    assert str(first.expression) == str(second.expression)
+
+
+def test_term_structure(instance):
+    """(Username · PageTitle) ⊗ (EditType, 1) with EditType ∈ {0, 1}."""
+    universe = instance.universe
+    for term in instance.expression.terms:
+        domains = sorted(universe[name].domain for name in term.annotations)
+        assert domains == ["page", "user"]
+        assert term.value in (0.0, 1.0) or term.value >= 0  # congruent merges sum
+        assert universe[term.group].domain == "page"
+
+
+def test_pages_carry_taxonomy_concepts(instance):
+    taxonomy = instance.taxonomy
+    for page in instance.universe.in_domain("page"):
+        assert page.concept is not None
+        assert page.concept in taxonomy
+
+
+def test_user_attributes(instance):
+    for user in instance.universe.in_domain("user"):
+        assert user.attributes["contribution_level"] in (
+            "Top-Contributor", "Reviewer", "Novice",
+        )
+        assert isinstance(user.attributes["is_registered"], bool)
+
+
+def test_valuations_are_taxonomy_consistent(instance):
+    assert isinstance(instance.valuations, TaxonomyConsistent)
+    assert len(instance.valuations) > 0
+    for valuation in instance.valuations:
+        assert instance.valuations.is_consistent(valuation)
+
+
+def test_page_merges_need_shared_ancestor(instance):
+    universe = instance.universe
+    pages = universe.in_domain("page")
+    # Any two pages under the person fragment share some ancestor, but
+    # the max_distance bound rejects distant ones.
+    singer_pages = [p for p in pages if p.concept == "wordnet_singer"]
+    if len(singer_pages) >= 2:
+        proposal = instance.constraint.propose(singer_pages[0], singer_pages[1])
+        assert proposal is not None
+        assert proposal.concept == "wordnet_singer"
+
+
+def test_cluster_specs_cover_both_domains(instance):
+    domains = {spec.domain for spec in instance.cluster_specs}
+    assert domains == {"user", "page"}
+    page_spec = next(s for s in instance.cluster_specs if s.domain == "page")
+    assert page_spec.key_domain == "user"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WikipediaConfig(n_users=1)
+    with pytest.raises(ValueError):
+        WikipediaConfig(major_edit_probability=1.5)
+    with pytest.raises(ValueError):
+        WikipediaConfig(valuation_class="weird")

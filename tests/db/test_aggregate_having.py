@@ -1,0 +1,45 @@
+"""HAVING-guarded aggregation: aggregates used in later selections."""
+
+import pytest
+
+from repro.db import Relation, aggregate_having
+from repro.provenance import Comparison, MAX, SUM
+
+
+@pytest.fixture
+def reviews():
+    relation = Relation("Reviews", ("user", "movie", "rating"))
+    relation.add({"user": "u1", "movie": "MP", "rating": 3}, annotation="R1")
+    relation.add({"user": "u2", "movie": "MP", "rating": 5}, annotation="R2")
+    relation.add({"user": "u2", "movie": "BJ", "rating": 4}, annotation="R3")
+    return relation
+
+
+def test_guard_tokens_attached(reviews):
+    popular = aggregate_having(reviews, ["movie"], "rating", SUM, ">", 4)
+    by_movie = {t["movie"]: t for t in popular}
+    # MP: sum 8 > 4 holds while both reviews are present; the token
+    # keeps the condition abstract.
+    token = by_movie["MP"].prov
+    assert isinstance(token, Comparison)
+    assert token.value == 8.0
+    assert token.truth({})
+    assert not token.truth({"R1": False})  # guard provenance cancelled
+
+
+def test_statically_failing_groups_dropped(reviews):
+    popular = aggregate_having(reviews, ["movie"], "rating", SUM, ">", 100)
+    assert len(popular) == 0
+
+
+def test_statically_true_guard_folds_to_one(reviews):
+    # agg >= 0 holds whether or not the provenance survives: the token
+    # simplifies away entirely.
+    always = aggregate_having(reviews, ["movie"], "rating", MAX, ">=", 0)
+    assert all(str(t.prov) == "1" for t in always)
+
+
+def test_aggregate_value_exposed(reviews):
+    popular = aggregate_having(reviews, ["movie"], "rating", MAX, ">", 3)
+    by_movie = {t["movie"]: t["agg"] for t in popular}
+    assert by_movie == {"MP": 5.0, "BJ": 4.0}

@@ -1,0 +1,116 @@
+"""Provenance-tracking relational algebra."""
+
+import pytest
+
+from repro.db import (
+    Relation,
+    aggregate,
+    combined_aggregate,
+    guard,
+    join,
+    project,
+    select,
+    union,
+)
+from repro.provenance import MAX, SUM, Comparison, Product, Sum, Var
+
+
+@pytest.fixture
+def reviews():
+    relation = Relation("Reviews", ("user", "movie", "rating"))
+    relation.add({"user": "u1", "movie": "MP", "rating": 3}, annotation="R1")
+    relation.add({"user": "u2", "movie": "MP", "rating": 5}, annotation="R2")
+    relation.add({"user": "u2", "movie": "BJ", "rating": 4}, annotation="R3")
+    return relation
+
+
+@pytest.fixture
+def users():
+    relation = Relation("Users", ("user", "role"))
+    relation.add({"user": "u1", "role": "audience"}, annotation="U1")
+    relation.add({"user": "u2", "role": "critic"}, annotation="U2")
+    return relation
+
+
+def test_select_keeps_annotations(reviews):
+    high = select(reviews, lambda values: values["rating"] >= 4)
+    assert len(high) == 2
+    assert all(isinstance(t.prov, Var) for t in high)
+
+
+def test_project_adds_alternatives(reviews):
+    movies = project(reviews, ["movie"])
+    by_movie = {t["movie"]: t.prov for t in movies}
+    # MP is derivable from R1 or R2: annotations add.
+    assert by_movie["MP"] == Sum([Var("R1"), Var("R2")])
+    assert by_movie["BJ"] == Var("R3")
+
+
+def test_join_multiplies(reviews, users):
+    joined = join(reviews, users, on=("user",))
+    assert len(joined) == 3
+    first = next(t for t in joined if t["user"] == "u1")
+    assert first.prov == Product([Var("R1"), Var("U1")])
+    assert first["role"] == "audience"
+
+
+def test_join_infers_shared_columns(reviews, users):
+    assert len(join(reviews, users)) == 3
+
+
+def test_union_requires_same_schema(reviews, users):
+    with pytest.raises(ValueError, match="identical schemas"):
+        union(reviews, users)
+
+
+def test_union_adds_duplicate_annotations():
+    left = Relation("L", ("x",))
+    left.add({"x": 1}, annotation="a")
+    right = Relation("R", ("x",))
+    right.add({"x": 1}, annotation="b")
+    right.add({"x": 2}, annotation="c")
+    merged = union(left, right)
+    by_x = {t["x"]: t.prov for t in merged}
+    assert by_x[1] == Sum([Var("a"), Var("b")])
+    assert by_x[2] == Var("c")
+
+
+def test_guard_attaches_comparisons(reviews):
+    def activity(values):
+        return Comparison(Var(f"S_{values['user']}"), 3, ">", 2)
+
+    guarded = guard(reviews, activity)
+    first = next(iter(guarded))
+    assert isinstance(first.prov, Product)
+    assert any(isinstance(child, Comparison) for child in first.prov.children)
+
+
+def test_guard_drops_statically_false(reviews):
+    def impossible(values):
+        return Comparison(Var("s"), 1, ">", 2).simplify()  # ZERO
+
+    assert len(guard(reviews, impossible)) == 0
+
+
+def test_aggregate_produces_tensor_sums(reviews):
+    movies = aggregate(reviews, ["movie"], "rating", MAX)
+    by_movie = {t["movie"]: t.values["agg"] for t in movies}
+    mp = by_movie["MP"]
+    assert {tensor.value for tensor in mp.tensors} == {3.0, 5.0}
+    assert all(tensor.group == "MP" for tensor in mp.tensors)
+
+
+def test_combined_aggregate_round_trip(reviews):
+    movies = aggregate(reviews, ["movie"], "rating", MAX)
+    fused = combined_aggregate(movies)
+    vector = fused.to_tensor_sum().full_vector()
+    assert vector["MP"].finalized_value() == 5.0
+    assert vector["BJ"].finalized_value() == 4.0
+
+
+def test_combined_aggregate_type_errors(reviews):
+    with pytest.raises(TypeError, match="AggSum"):
+        combined_aggregate(reviews, output_column="rating")
+    empty = Relation("E", ("agg",))
+    with pytest.raises(ValueError, match="empty relation"):
+        combined_aggregate(empty)

@@ -1,0 +1,55 @@
+"""K-relation storage layer."""
+
+import pytest
+
+from repro.db import AnnotatedTuple, Database, Relation
+from repro.provenance import ONE, Var
+
+
+class TestRelation:
+    def test_add_with_annotation(self):
+        relation = Relation("Users", ("user_id", "role"))
+        relation.add({"user_id": "1", "role": "critic"}, annotation="U_1")
+        (tuple_,) = list(relation)
+        assert tuple_["role"] == "critic"
+        assert tuple_.prov == Var("U_1")
+
+    def test_add_defaults_to_one(self):
+        relation = Relation("R", ("x",))
+        added = relation.add({"x": 1})
+        assert added.prov == ONE
+
+    def test_add_rejects_both_prov_and_annotation(self):
+        relation = Relation("R", ("x",))
+        with pytest.raises(ValueError, match="either prov or annotation"):
+            relation.add({"x": 1}, prov=Var("a"), annotation="a")
+
+    def test_missing_column_rejected(self):
+        relation = Relation("R", ("x", "y"))
+        with pytest.raises(ValueError, match="missing columns"):
+            relation.add({"x": 1})
+
+    def test_annotations_listing(self):
+        relation = Relation("R", ("x",))
+        relation.add({"x": 1}, annotation="b")
+        relation.add({"x": 2}, annotation="a")
+        assert relation.annotations() == ("a", "b")
+
+    def test_project_tuple(self):
+        annotated = AnnotatedTuple({"x": 1, "y": 2})
+        assert annotated.project(["y", "x"]) == (2, 1)
+
+
+class TestDatabase:
+    def test_lookup(self):
+        database = Database([Relation("Users", ("user_id",))])
+        assert "Users" in database
+        assert database["Users"].name == "Users"
+        with pytest.raises(KeyError, match="unknown relation"):
+            database["Movies"]
+
+    def test_put_and_names(self):
+        database = Database()
+        database.put(Relation("B", ("x",)))
+        database.put(Relation("A", ("x",)))
+        assert database.names() == ("A", "B")

@@ -1,0 +1,53 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.ascii_chart import chart_from_rows, render_chart
+
+
+def test_marks_and_labels():
+    chart = render_chart(
+        {
+            "prov": [(0.0, 0.02), (1.0, 0.0)],
+            "random": [(0.0, 0.03), (1.0, 0.03)],
+        },
+        width=20,
+        height=6,
+        x_label="wDist",
+    )
+    assert "p" in chart
+    assert "r" in chart
+    assert "0.03" in chart  # y-axis top label
+    assert "(wDist)" in chart
+    assert "p=prov" in chart and "r=random" in chart
+
+
+def test_collisions_marked_with_star():
+    chart = render_chart(
+        {"aaa": [(0.0, 1.0)], "bbb": [(0.0, 1.0)]}, width=10, height=4
+    )
+    assert "*" in chart
+
+
+def test_flat_series_visible():
+    chart = render_chart({"flat": [(0.0, 5.0), (1.0, 5.0)]}, width=10, height=4)
+    grid_lines = chart.splitlines()[:-2]  # drop axis and footer
+    assert sum(line.count("f") for line in grid_lines) == 2
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError, match="nothing to plot"):
+        render_chart({})
+
+
+def test_chart_from_rows():
+    rows = [
+        {"algorithm": "prov", "w_dist": 0.0, "avg_distance": 0.02},
+        {"algorithm": "prov", "w_dist": 1.0, "avg_distance": 0.0},
+        {"algorithm": "random", "w_dist": 0.5, "avg_distance": 0.05},
+    ]
+    chart = chart_from_rows(
+        rows, x="w_dist", y="avg_distance", split_by="algorithm", width=16, height=5
+    )
+    assert "p=prov" in chart
+    assert "r=random" in chart

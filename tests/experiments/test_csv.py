@@ -1,0 +1,34 @@
+"""CSV export of experiment rows."""
+
+import csv
+
+import pytest
+
+from repro.experiments import write_csv
+
+ROWS = [
+    {"algorithm": "a", "w_dist": 0.5, "avg_distance": 0.01},
+    {"algorithm": "b", "w_dist": 0.5, "avg_distance": 0.02, "extra": "x"},
+]
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "rows.csv"
+    write_csv(ROWS, path)
+    with open(path, newline="") as handle:
+        restored = list(csv.DictReader(handle))
+    assert restored[0]["algorithm"] == "a"
+    assert float(restored[1]["avg_distance"]) == 0.02
+
+
+def test_column_selection(tmp_path):
+    path = tmp_path / "rows.csv"
+    write_csv(ROWS, path, columns=("algorithm",))
+    with open(path, newline="") as handle:
+        restored = list(csv.DictReader(handle))
+    assert list(restored[0]) == ["algorithm"]
+
+
+def test_empty_rejected(tmp_path):
+    with pytest.raises(ValueError, match="empty"):
+        write_csv([], tmp_path / "rows.csv")

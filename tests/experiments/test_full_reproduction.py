@@ -1,0 +1,38 @@
+"""The one-call Chapter 6 reproduction entry point."""
+
+import pytest
+
+from repro.experiments import reproduce_all
+
+
+def test_quick_profile_single_figure(tmp_path):
+    messages = []
+    results = reproduce_all(
+        tmp_path, profile="quick", figures=["fig_6_8a"], log=messages.append
+    )
+    assert set(results) == {"fig_6_8a"}
+    assert (tmp_path / "fig_6_8a.txt").exists()
+    assert (tmp_path / "fig_6_8a.csv").exists()
+    summary = (tmp_path / "SUMMARY.md").read_text()
+    assert "fig_6_8a" in summary
+    assert messages and "fig_6_8a" in messages[0]
+
+
+def test_all_figures_planned(tmp_path):
+    """Every Chapter 6 figure id appears in the plan (run none)."""
+    results = reproduce_all(tmp_path, profile="quick", figures=[])
+    assert results == {}
+    from repro.experiments.full_reproduction import _plan
+
+    ids = [figure for figure, *_ in _plan((0.5,), (1,))]
+    expected = {
+        "fig_6_1a", "fig_6_1b", "fig_6_2a", "fig_6_2b", "fig_6_3",
+        "fig_6_4", "fig_6_5", "fig_6_6a", "fig_6_6b", "fig_6_7a",
+        "fig_6_7b", "fig_6_8a", "fig_6_8b", "fig_6_9a", "fig_6_9b",
+    }
+    assert set(ids) == expected
+
+
+def test_invalid_profile(tmp_path):
+    with pytest.raises(ValueError, match="'quick' or 'full'"):
+        reproduce_all(tmp_path, profile="gigantic")

@@ -1,0 +1,65 @@
+"""Reporting helpers and shape checks."""
+
+import pytest
+
+from repro.experiments import (
+    all_passed,
+    check_shapes,
+    format_rows,
+    mean_of,
+    series,
+    trend,
+    weakly_monotone,
+)
+
+ROWS = [
+    {"algorithm": "a", "x": 0.0, "y": 1.0},
+    {"algorithm": "a", "x": 1.0, "y": 0.5},
+    {"algorithm": "b", "x": 0.0, "y": 2.0},
+    {"algorithm": "b", "x": 1.0, "y": 2.5},
+]
+
+
+def test_format_rows_alignment():
+    text = format_rows(ROWS)
+    lines = text.splitlines()
+    assert lines[0].startswith("algorithm")
+    assert len(lines) == 2 + len(ROWS)
+    assert format_rows([]) == "(no rows)"
+    assert "1.0000" in text
+
+
+def test_series_filters_and_sorts():
+    extracted = series(ROWS, "x", "y", where={"algorithm": "a"})
+    assert extracted == [(0.0, 1.0), (1.0, 0.5)]
+    assert series(ROWS, "x", "y", where={"algorithm": "missing"}) == []
+
+
+def test_mean_of():
+    assert mean_of(ROWS, "y", where={"algorithm": "b"}) == pytest.approx(2.25)
+    with pytest.raises(ValueError, match="no rows match"):
+        mean_of(ROWS, "y", where={"algorithm": "zzz"})
+
+
+def test_weakly_monotone():
+    assert weakly_monotone([1.0, 2.0, 3.0], "increasing")
+    assert weakly_monotone([3.0, 2.0, 2.0], "decreasing")
+    assert not weakly_monotone([1.0, 0.5, 2.0], "increasing")
+    # Tolerance forgives small wiggles.
+    assert weakly_monotone([1.0, 0.95, 2.0], "increasing", tolerance=0.1)
+    with pytest.raises(ValueError):
+        weakly_monotone([1.0], "sideways")
+
+
+def test_trend():
+    assert trend([1.0, 5.0, 3.0]) == 2.0
+    assert trend([2.0]) == 0.0
+
+
+def test_check_shapes_rendering():
+    checks = [("distance decreases", True), ("size grows", False)]
+    text = check_shapes(checks)
+    assert "[OK  ] distance decreases" in text
+    assert "[FAIL] size grows" in text
+    assert not all_passed(checks)
+    assert all_passed([("fine", True)])

@@ -1,0 +1,133 @@
+"""Experiment runner: row shapes and algorithm dispatch."""
+
+import pytest
+
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.experiments import (
+    DatasetSpec,
+    ddp_spec,
+    execute,
+    movielens_spec,
+    steps_experiment,
+    target_dist_experiment,
+    target_size_experiment,
+    timing_experiment,
+    usage_ratio,
+    usage_time_experiment,
+    wdist_experiment,
+)
+from repro.core import SummarizationConfig
+
+
+@pytest.fixture
+def tiny_spec():
+    return DatasetSpec(
+        name="tiny-movielens",
+        factory=lambda seed: generate_movielens(
+            MovieLensConfig(n_users=8, n_movies=5, seed=seed)
+        ),
+    )
+
+
+def test_execute_dispatch(tiny_spec):
+    config = SummarizationConfig(max_steps=2, seed=0)
+    for algorithm in ("prov-approx", "clustering", "random"):
+        result = execute(tiny_spec, algorithm, config, seed=1)
+        assert result.final_size <= result.original_size
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        execute(tiny_spec, "greedy", config, seed=1)
+
+
+def test_clustering_rejected_for_ddp():
+    spec = ddp_spec()
+    with pytest.raises(ValueError, match="no clustering feature specs"):
+        execute(spec, "clustering", SummarizationConfig(max_steps=1), seed=0)
+
+
+def test_wdist_rows(tiny_spec):
+    rows = wdist_experiment(
+        tiny_spec, seeds=(1,), wdist_grid=(0.0, 1.0), max_steps=3
+    )
+    algorithms = {row["algorithm"] for row in rows}
+    assert algorithms == {"prov-approx", "clustering", "random"}
+    for row in rows:
+        assert 0.0 <= row["avg_distance"] <= 1.0
+        assert row["avg_size"] > 0
+        assert row["runs"] == 1
+    # Baselines replicate flat across the grid.
+    clustering_rows = [r for r in rows if r["algorithm"] == "clustering"]
+    assert len(clustering_rows) == 2
+    assert clustering_rows[0]["avg_distance"] == clustering_rows[1]["avg_distance"]
+
+
+def test_wdist_excludes_clustering_without_specs():
+    rows = wdist_experiment(
+        ddp_spec(), seeds=(1,), wdist_grid=(0.5,), max_steps=2
+    )
+    assert {row["algorithm"] for row in rows} == {"prov-approx", "random"}
+
+
+def test_target_size_rows(tiny_spec):
+    rows = target_size_experiment(
+        tiny_spec, seeds=(1,), size_fractions=(0.7, 0.9),
+        algorithms=("prov-approx",),
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["target_size_fraction"] in (0.7, 0.9)
+
+
+def test_target_dist_rows(tiny_spec):
+    rows = target_dist_experiment(
+        tiny_spec, seeds=(1,), target_dists=(0.05,), algorithms=("prov-approx",)
+    )
+    (row,) = rows
+    assert row["target_dist"] == 0.05
+    assert row["avg_distance"] < 0.05 or row["avg_steps"] == 0
+
+
+def test_steps_rows(tiny_spec):
+    rows = steps_experiment(
+        tiny_spec, seeds=(1,), wdist_grid=(0.5,), steps_grid=(2, 4)
+    )
+    assert {row["max_steps"] for row in rows} == {2, 4}
+
+
+def test_usage_ratio(tiny_spec):
+    result = execute(
+        tiny_spec, "prov-approx", SummarizationConfig(max_steps=4, seed=1), seed=1
+    )
+    instance = tiny_spec.factory(1)
+    ratio = usage_ratio(result, instance, n_valuations=4, repeats=3, seed=0)
+    assert ratio > 0
+
+
+def test_usage_time_rows(tiny_spec):
+    rows = usage_time_experiment(
+        tiny_spec,
+        seeds=(1,),
+        wdist_grid=(0.0, 1.0),
+        steps_grid=(2,),
+        n_valuations=3,
+        algorithms=("prov-approx", "random"),
+    )
+    prov = [r for r in rows if r["algorithm"] == "prov-approx"]
+    rand = [r for r in rows if r["algorithm"] == "random"]
+    assert len(prov) == 2  # one per wDist
+    assert len(rand) == 2  # replicated flat
+    assert all(row["avg_usage_ratio"] > 0 for row in rows)
+
+
+def test_timing_rows(tiny_spec):
+    rows = timing_experiment(tiny_spec, seeds=(1,), max_steps=4)
+    assert rows
+    for row in rows:
+        assert row["size_before"] >= row["size_after"]
+        assert row["candidate_ms"] >= 0
+        assert row["n_candidates"] >= 1
+
+
+def test_spec_names():
+    assert movielens_spec().name == "movielens"
+    instance = movielens_spec().factory(3)
+    assert instance.expression.size() > 0

@@ -1,0 +1,118 @@
+"""End-to-end pipelines: workflow → provenance → summary → provisioning."""
+
+import pytest
+
+from repro.core import (
+    DomainCombiners,
+    DomainConstraints,
+    EuclideanDistance,
+    SharedAttribute,
+    SummarizationConfig,
+    SummarizationProblem,
+    Summarizer,
+)
+from repro.db import combined_aggregate
+from repro.provenance import (
+    MAX,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAttribute,
+)
+from repro.workflow import Review, run_movie_workflow
+
+
+def test_workflow_to_summary_pipeline():
+    """The full Chapter 2 → Chapter 4 story: run the application
+    workflow, take the aggregator's provenance, summarize it, and
+    check that approximate provisioning stays close."""
+    users = {
+        "1": {"role": "audience", "gender": "F"},
+        "2": {"role": "audience", "gender": "F"},
+        "3": {"role": "audience", "gender": "M"},
+        "4": {"role": "critic", "gender": "M"},
+    }
+    reviews = {
+        "imdb": [
+            Review("1", "MatchPoint", 3),
+            Review("1", "BlueJasmine", 4),
+            Review("1", "MatchPoint", 4),
+            Review("2", "MatchPoint", 5),
+            Review("2", "BlueJasmine", 4),
+            Review("2", "BlueJasmine", 2),
+            Review("3", "MatchPoint", 3),
+            Review("3", "BlueJasmine", 2),
+            Review("3", "MatchPoint", 4),
+        ],
+        "times": [
+            Review("4", "MatchPoint", 2),
+            Review("4", "BlueJasmine", 1),
+            Review("4", "MatchPoint", 4),
+        ],
+    }
+    run, _ = run_movie_workflow(users, reviews, threshold=2)
+    expression = combined_aggregate(run["aggregator"]).to_tensor_sum()
+
+    universe = AnnotationUniverse()
+    for user_id, attributes in users.items():
+        universe.register(Annotation(f"U_{user_id}", "user", attributes))
+        universe.register(Annotation(f"S_{user_id}", "stats", {}))
+
+    problem = SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=CancelSingleAttribute(
+            universe, attributes=("gender", "role"), domains=("user",)
+        ),
+        val_func=EuclideanDistance(MAX),
+        combiners=DomainCombiners(),
+        constraint=DomainConstraints(
+            {"user": SharedAttribute(("gender", "role"))}
+        ),
+    )
+    result = Summarizer(
+        problem, SummarizationConfig(w_dist=1.0, max_steps=2, seed=0)
+    ).run()
+
+    # Merging users shrinks the annotation vocabulary; the size only
+    # drops once guards merge too (each guard still names its S_i), so
+    # assert on both dimensions separately.
+    assert result.n_steps >= 1
+    assert result.final_size <= expression.size()
+    assert len(result.summary_expression.annotation_names()) < len(
+        expression.annotation_names()
+    )
+    assert result.final_distance.normalized <= 0.25
+
+    # Provisioning through the summary approximates the original.
+    from repro.provenance import cancel
+
+    scenario = cancel(["U_1", "U_2"])  # ignore female reviewers
+    original_vector = {
+        key: value.finalized_value()
+        for key, value in expression.evaluate(scenario.false_set()).items()
+    }
+    lifted = problem.combiners.lift_valuation(scenario, result.mapping, universe)
+    summary_vector = result.summary_expression.evaluate(lifted.false_set())
+    assert set(original_vector) == {"MatchPoint", "BlueJasmine"}
+    assert summary_vector  # non-empty approximate answer
+
+
+def test_thesis_example_4_2_3_flow(thesis_problem):
+    """With wDist = 1 the algorithm chooses P''_0 (Audience) over P'_0
+    (Female) because the latter errs when U2 is cancelled."""
+    result = Summarizer(
+        thesis_problem,
+        SummarizationConfig(
+            w_dist=1.0, max_steps=1, group_equivalent_first=False, seed=0
+        ),
+    ).run()
+    (step,) = result.steps
+    assert set(step.merged) == {"U1", "U3"}
+    summary_terms = {
+        term.annotations[0]: (term.value, term.count)
+        for term in result.summary_expression.terms
+        if term.group == "MatchPoint"
+    }
+    merged_name = step.new_annotation
+    assert summary_terms[merged_name] == (3.0, 2)
+    assert summary_terms["U2"] == (5.0, 1)

@@ -1,0 +1,226 @@
+"""Faithful reconstructions of the thesis's worked examples."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    MappingState,
+    MAXC,
+    OR,
+)
+from repro.core.val_funcs import DDPCostDifference, align_vector
+from repro.provenance import (
+    MAX,
+    SUM,
+    Annotation,
+    AnnotationUniverse,
+    CostTransition,
+    CountedAggregate,
+    DBTransition,
+    DDPExpression,
+    DDPResult,
+    Execution,
+    ExplicitValuations,
+    TensorSum,
+    Term,
+    Valuation,
+    cancel,
+)
+
+
+class TestExample521Wikipedia:
+    """Example 5.2.1: four user edits of four celebrity pages."""
+
+    def setup_method(self):
+        self.universe = AnnotationUniverse()
+        # Roles follow the worked summary: the two guitarist-page
+        # editors are the Top-Contributors, the two singer-page editors
+        # the Reviewers.
+        users = {
+            "SalubriousToxin": "Reviewer",
+            "Dubulge": "Reviewer",
+            "DrBackInTheStreet": "Top-Contributor",
+            "JasperTheFriendlyPunk": "Top-Contributor",
+        }
+        for name, level in users.items():
+            self.universe.register(
+                Annotation(name, "user", {"contribution_level": level})
+            )
+        pages = {
+            "Adele": "wordnet_singer",
+            "CelineDion": "wordnet_singer",
+            "LoriBlack": "wordnet_guitarist",
+            "AlecBaillie": "wordnet_guitarist",
+        }
+        for name, concept in pages.items():
+            self.universe.register(
+                Annotation(name, "page", {"concept": concept}, concept=concept)
+            )
+        # P_0 of Example 5.2.1: one minor (0) and three major (1) edits.
+        self.expression = TensorSum(
+            [
+                Term(("Adele", "SalubriousToxin"), 0.0, group="Adele"),
+                Term(("CelineDion", "Dubulge"), 1.0, group="CelineDion"),
+                Term(("DrBackInTheStreet", "LoriBlack"), 1.0, group="LoriBlack"),
+                Term(("AlecBaillie", "JasperTheFriendlyPunk"), 1.0, group="AlecBaillie"),
+            ],
+            SUM,
+        )
+
+    def _summary(self):
+        """The thesis's output summary P'."""
+        top = self.universe.new_summary(
+            [
+                self.universe["DrBackInTheStreet"],
+                self.universe["JasperTheFriendlyPunk"],
+            ],
+            label="Top-Contributor",
+        )
+        reviewer = self.universe.new_summary(
+            [self.universe["SalubriousToxin"], self.universe["Dubulge"]],
+            label="Reviewer",
+        )
+        guitarist = self.universe.new_summary(
+            [self.universe["LoriBlack"], self.universe["AlecBaillie"]],
+            label="wordnet_guitarist",
+            concept="wordnet_guitarist",
+        )
+        singer = self.universe.new_summary(
+            [self.universe["Adele"], self.universe["CelineDion"]],
+            label="wordnet_singer",
+            concept="wordnet_singer",
+        )
+        step = {
+            "DrBackInTheStreet": top.name,
+            "JasperTheFriendlyPunk": top.name,
+            "SalubriousToxin": reviewer.name,
+            "Dubulge": reviewer.name,
+            "LoriBlack": guitarist.name,
+            "AlecBaillie": guitarist.name,
+            "Adele": singer.name,
+            "CelineDion": singer.name,
+        }
+        mapping = MappingState(sorted(self.expression.annotation_names())).compose(step)
+        return self.expression.apply_mapping(step), mapping, {
+            "top": top, "reviewer": reviewer,
+            "guitarist": guitarist, "singer": singer,
+        }
+
+    def test_original_vector_under_cancel_dubulge(self):
+        """v(p) = (Adele: 0, CelineDion: 0, LoriBlack: 1, AlecBaillie: 1)."""
+        vector = self.expression.evaluate(frozenset({"Dubulge"}))
+        finalized = {key: agg.finalized_value() for key, agg in vector.items()}
+        assert finalized == {
+            "Adele": 0.0, "CelineDion": 0.0, "LoriBlack": 1.0, "AlecBaillie": 1.0,
+        }
+
+    def test_transformed_vector_matches_thesis(self):
+        """The original vector transforms to (guitarist: 2, singer: 0)."""
+        summary, mapping, names = self._summary()
+        original = self.expression.evaluate(frozenset({"Dubulge"}))
+        aligned = align_vector(original, mapping, SUM)
+        finalized = {key: agg.finalized_value() for key, agg in aligned.items()}
+        assert finalized == {
+            names["guitarist"].name: 2.0,
+            names["singer"].name: 0.0,
+        }
+
+    def test_summary_vector_and_distance(self):
+        """v'(p') = (guitarist: 2, singer: 1): Euclidean distance 1."""
+        summary, mapping, names = self._summary()
+        combiners = DomainCombiners()
+        scenario = cancel(["Dubulge"])
+        lifted = combiners.lifted_false_set(scenario, mapping, self.universe)
+        assert lifted == frozenset()  # Top-Contributor survives (OR)
+        vector = summary.evaluate(lifted)
+        finalized = {key: agg.finalized_value() for key, agg in vector.items()}
+        assert finalized == {
+            names["guitarist"].name: 2.0,
+            names["singer"].name: 1.0,
+        }
+        val_func = EuclideanDistance(SUM)
+        original = self.expression.evaluate(scenario.false_set())
+        assert val_func(original, vector, mapping) == pytest.approx(1.0)
+
+    def test_summary_reads_as_thesis_expression(self):
+        summary, _, names = self._summary()
+        text = str(summary)
+        assert f"({names['reviewer'].name} · {names['singer'].name}) ⊗ (1, 2)" in text
+        assert f"({names['top'].name} · {names['guitarist'].name}) ⊗ (2, 2)" in text
+
+
+class TestExample522DDP:
+    """Example 5.2.2's valuation and VAL-FUNC computation."""
+
+    def setup_method(self):
+        self.expression = DDPExpression(
+            [
+                Execution(
+                    [CostTransition("c1", 4.0), DBTransition(("d1", "d2"), "!=")]
+                ),
+                Execution(
+                    [DBTransition(("d2", "d3"), "=="), CostTransition("c2", 6.0)]
+                ),
+            ]
+        )
+        self.universe = AnnotationUniverse()
+        for name in ("c1", "c2"):
+            self.universe.register(Annotation(name, "cost", {"cost_bucket": "B"}))
+        for name in ("d1", "d2", "d3"):
+            self.universe.register(Annotation(name, "db", {"relation": "R"}))
+
+    def test_thesis_valuation_flow(self):
+        """v: c1,c2 → 0, d* → True gives ⟨0, True⟩ on both expressions,
+        so the cost-difference VAL-FUNC reports no error."""
+        combiners = DomainCombiners(default=OR, per_domain={"cost": MAXC})
+        c_summary = self.universe.new_summary(
+            [self.universe["c1"], self.universe["c2"]], label="C1"
+        )
+        d_summary = self.universe.new_summary(
+            [self.universe["d1"], self.universe["d3"]], label="D1"
+        )
+        step = {
+            "c1": c_summary.name, "c2": c_summary.name,
+            "d1": d_summary.name, "d3": d_summary.name,
+        }
+        mapping = MappingState(["c1", "c2", "d1", "d2", "d3"]).compose(step)
+        summary = self.expression.apply_mapping(step)
+
+        scenario = Valuation({"c1": 0.0, "c2": 0.0}, label="cancel cost C1")
+        original = self.expression.evaluate_valuation(scenario)
+        assert original == DDPResult(0.0, True)
+
+        lifted = combiners.lift_valuation(scenario, mapping, self.universe)
+        assert lifted.value(c_summary.name) == 0.0  # MAX(0, 0)
+        assert lifted.truth(d_summary.name)         # OR(True, True)
+        approx = summary.evaluate_valuation(lifted)
+        assert approx == DDPResult(0.0, True)
+
+        val_func = DDPCostDifference(10.0, 5)
+        assert val_func(original, approx, mapping) == 0.0
+
+    def test_feasibility_mismatch_pays_50(self):
+        val_func = DDPCostDifference(10.0, 5)
+        assert (
+            val_func(DDPResult(3.0, True), DDPResult(math.inf, False), {}) == 50.0
+        )
+
+
+class TestExample231Valuation:
+    """Example 2.3.1: guard semantics under partial valuations."""
+
+    def test_guarded_review(self):
+        from repro.provenance import Guard
+
+        term = Term(
+            ("U1",), 3.0, group="MP", guards=(Guard(("S1", "U1"), 5, ">", 2),)
+        )
+        expression = TensorSum([term], MAX)
+        # S1 → 0: the inequality fails, the review is discarded.
+        assert expression.evaluate(frozenset({"S1"}))["MP"].count == 0
+        # S1 → 1: the condition holds and the review counts: value 3.
+        assert expression.evaluate(frozenset())["MP"] == CountedAggregate(3.0, 1)

@@ -1,0 +1,106 @@
+"""Annotations, attribute maps and the universe registry."""
+
+import pytest
+
+from repro.provenance import Annotation, AnnotationUniverse
+
+
+def make(name="U1", domain="user", **attributes):
+    return Annotation(name, domain, attributes)
+
+
+class TestAnnotation:
+    def test_base_members_is_self(self):
+        annotation = make()
+        assert not annotation.is_summary
+        assert annotation.base_members() == frozenset({"U1"})
+
+    def test_attributes_frozen_and_hashable(self):
+        annotation = make(gender="F", age="25-34")
+        assert annotation.attributes["gender"] == "F"
+        assert hash(annotation) == hash(make(gender="F", age="25-34"))
+        with pytest.raises(TypeError):
+            annotation.attributes["gender"] = "M"  # type: ignore[index]
+
+    def test_shared_attributes(self):
+        first = make(gender="F", age="25-34", zip="10001")
+        second = Annotation("U2", "user", {"gender": "F", "age": "18-24", "zip": "10001"})
+        assert first.shared_attributes(second) == {"gender": "F", "zip": "10001"}
+
+    def test_equality_includes_attributes(self):
+        assert make(gender="F") != make(gender="M")
+        assert make(gender="F") == make(gender="F")
+
+
+class TestUniverse:
+    def test_register_and_lookup(self):
+        universe = AnnotationUniverse([make()])
+        assert "U1" in universe
+        assert universe["U1"].domain == "user"
+        assert universe.get("missing") is None
+        with pytest.raises(KeyError, match="unknown annotation"):
+            universe["missing"]
+
+    def test_idempotent_reregistration(self):
+        universe = AnnotationUniverse()
+        universe.register(make(gender="F"))
+        universe.register(make(gender="F"))
+        assert len(universe) == 1
+
+    def test_collision_rejected(self):
+        universe = AnnotationUniverse([make(gender="F")])
+        with pytest.raises(ValueError, match="collision"):
+            universe.register(make(gender="M"))
+
+    def test_in_domain(self):
+        universe = AnnotationUniverse(
+            [make(), Annotation("M1", "movie"), Annotation("U2", "user")]
+        )
+        assert [a.name for a in universe.in_domain("user")] == ["U1", "U2"]
+
+    def test_new_summary(self):
+        universe = AnnotationUniverse(
+            [
+                make("U1", gender="F", age="25-34"),
+                make("U2", gender="F", age="18-24"),
+            ]
+        )
+        summary = universe.new_summary(
+            [universe["U1"], universe["U2"]], label="Gender=F"
+        )
+        assert summary.is_summary
+        assert summary.base_members() == frozenset({"U1", "U2"})
+        # Attributes intersect: only the shared gender survives.
+        assert dict(summary.attributes) == {"gender": "F"}
+        assert summary.name.startswith("Gender=F#")
+        assert summary.name in universe
+
+    def test_summary_of_summary_accumulates_members(self):
+        universe = AnnotationUniverse(
+            [make("U1", g="x"), make("U2", g="x"), make("U3", g="x")]
+        )
+        first = universe.new_summary([universe["U1"], universe["U2"]], label="g")
+        second = universe.new_summary([first, universe["U3"]], label="g")
+        assert second.base_members() == frozenset({"U1", "U2", "U3"})
+
+    def test_summary_rejects_cross_domain_and_singletons(self):
+        universe = AnnotationUniverse([make("U1"), Annotation("M1", "movie")])
+        with pytest.raises(ValueError, match="different domains"):
+            universe.new_summary([universe["U1"], universe["M1"]])
+        with pytest.raises(ValueError, match="at least 2"):
+            universe.new_summary([universe["U1"]])
+
+    def test_attribute_queries(self):
+        universe = AnnotationUniverse(
+            [
+                make("U1", gender="F"),
+                make("U2", gender="M"),
+                make("U3", gender="F"),
+            ]
+        )
+        assert universe.attribute_values("gender") == ("F", "M")
+        assert [a.name for a in universe.with_attribute("gender", "F")] == ["U1", "U3"]
+        assert universe.attribute_names() == ("gender",)
+        # Summaries are excluded from attribute queries.
+        universe.new_summary([universe["U1"], universe["U3"]], label="Gender=F")
+        assert len(universe.with_attribute("gender", "F")) == 2

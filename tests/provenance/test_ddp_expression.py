@@ -1,0 +1,121 @@
+"""DDP provenance over the tropical semiring (Example 5.2.2)."""
+
+import math
+
+import pytest
+
+from repro.provenance import (
+    CostTransition,
+    DBTransition,
+    DDPExpression,
+    DDPResult,
+    Execution,
+    Valuation,
+)
+
+
+@pytest.fixture
+def thesis_ddp():
+    """⟨c1,1⟩·⟨0,[d1·d2]≠0⟩ + ⟨0,[d2·d3]=0⟩·⟨c2,1⟩ (Example 5.2.2)."""
+    return DDPExpression(
+        [
+            Execution(
+                [CostTransition("c1", 4.0), DBTransition(("d1", "d2"), "!=")]
+            ),
+            Execution(
+                [DBTransition(("d2", "d3"), "=="), CostTransition("c2", 6.0)]
+            ),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_all_true(self, thesis_ddp):
+        # d2·d3 ≠ 0 so the == guard fails; only execution 1 is feasible.
+        result = thesis_ddp.evaluate(frozenset())
+        assert result == DDPResult(4.0, True)
+
+    def test_thesis_valuation(self, thesis_ddp):
+        # Example 5.2.2's valuation: c1,c2 → 0, all db vars true.
+        valuation = Valuation({"c1": 0.0, "c2": 0.0})
+        result = thesis_ddp.evaluate_valuation(valuation)
+        assert result == DDPResult(0.0, True)
+
+    def test_guard_failure_infeasible(self, thesis_ddp):
+        # d1 false kills execution 1; d2·d3 still non-zero kills 2.
+        result = thesis_ddp.evaluate(frozenset({"d1"}))
+        assert not result.feasible
+        assert math.isinf(result.cost)
+
+    def test_equality_guard_enables_execution(self, thesis_ddp):
+        # Cancelling d3 makes [d2·d3] == 0 hold: execution 2 is feasible.
+        result = thesis_ddp.evaluate(frozenset({"d1", "d3"}))
+        assert result == DDPResult(6.0, True)
+
+    def test_min_over_feasible_executions(self):
+        expression = DDPExpression(
+            [
+                Execution([CostTransition("c1", 7.0)]),
+                Execution([CostTransition("c2", 3.0)]),
+            ]
+        )
+        assert expression.evaluate(frozenset()) == DDPResult(3.0, True)
+        # Cancelling c2's effort gives a free execution.
+        assert expression.evaluate(frozenset({"c2"})) == DDPResult(0.0, True)
+
+    def test_scan_matches_masked(self, thesis_ddp):
+        names = sorted(thesis_ddp.annotation_names())
+        for mask in range(2 ** len(names)):
+            cancelled = frozenset(
+                name for bit, name in enumerate(names) if mask >> bit & 1
+            )
+            truth = {name: name not in cancelled for name in names}
+            assert thesis_ddp.evaluate(cancelled) == thesis_ddp.evaluate_scan(truth)
+
+
+class TestStructure:
+    def test_size_counts_variable_occurrences(self, thesis_ddp):
+        assert thesis_ddp.size() == 6  # c1, d1, d2 + d2, d3, c2
+
+    def test_annotation_names(self, thesis_ddp):
+        assert thesis_ddp.annotation_names() == frozenset(
+            {"c1", "c2", "d1", "d2", "d3"}
+        )
+
+    def test_mapping_and_dedup(self):
+        """Mapping equal-structure executions onto each other collapses
+        them, shrinking the provenance (the worked summary of §5.2)."""
+        expression = DDPExpression(
+            [
+                Execution(
+                    [CostTransition("c1", 4.0), DBTransition(("d1", "d2"), "!=")]
+                ),
+                Execution(
+                    [DBTransition(("d2", "d3"), "!="), CostTransition("c2", 4.0)]
+                ),
+            ]
+        )
+        summary = expression.apply_mapping(
+            {"d1": "D1", "d3": "D1", "c1": "C1", "c2": "C1"}
+        )
+        assert len(summary) == 1
+        assert summary.size() == 3
+        assert summary.annotation_names() == frozenset({"C1", "D1", "d2"})
+
+    def test_dedup_requires_equal_ops(self):
+        expression = DDPExpression(
+            [
+                Execution([DBTransition(("d1", "d2"), "!=")]),
+                Execution([DBTransition(("d1", "d2"), "==")]),
+            ]
+        )
+        assert len(expression) == 2
+
+    def test_invalid_guard_op(self):
+        with pytest.raises(ValueError, match="'!=' or '=='"):
+            DBTransition(("d1",), ">")
+
+    def test_str(self, thesis_ddp):
+        text = str(thesis_ddp)
+        assert "⟨c1:4, 1⟩" in text
+        assert "[d2 · d3] == 0" in text

@@ -1,0 +1,83 @@
+"""Witnesses, counterfactuals and textual explanations."""
+
+import pytest
+
+from repro.provenance import MAX, MIN, SUM, TensorSum, Term
+from repro.provenance.explanations import (
+    counterfactual_annotations,
+    explain,
+    witnesses,
+)
+
+
+class TestWitnesses:
+    def test_max_witnesses_are_argmax(self, match_point):
+        terms = witnesses(match_point, "MatchPoint")
+        assert [term.annotations for term in terms] == [("U2",)]
+
+    def test_ties_all_witness(self):
+        expression = TensorSum(
+            [Term(("a",), 5.0, group="g"), Term(("b",), 5.0, group="g")], MAX
+        )
+        assert len(witnesses(expression, "g")) == 2
+
+    def test_sum_witnesses_everything_alive(self):
+        expression = TensorSum(
+            [Term(("a",), 1.0, group="g"), Term(("b",), 2.0, group="g")], SUM
+        )
+        assert len(witnesses(expression, "g")) == 2
+
+    def test_min_witnesses(self):
+        expression = TensorSum(
+            [Term(("a",), 1.0, group="g"), Term(("b",), 2.0, group="g")], MIN
+        )
+        assert [t.annotations for t in witnesses(expression, "g")] == [("a",)]
+
+    def test_cancellation_shifts_witnesses(self, match_point):
+        terms = witnesses(match_point, "MatchPoint", frozenset({"U2"}))
+        assert {term.annotations[0] for term in terms} == {"U1", "U3"}
+
+    def test_empty_group(self, match_point):
+        assert witnesses(match_point, "Nonexistent") == []
+
+
+class TestCounterfactuals:
+    def test_unique_witness_is_pivotal(self, match_point):
+        assert counterfactual_annotations(match_point, "MatchPoint") == frozenset(
+            {"U2"}
+        )
+
+    def test_tied_witnesses_have_no_pivot(self):
+        expression = TensorSum(
+            [Term(("a",), 5.0, group="g"), Term(("b",), 5.0, group="g")], MAX
+        )
+        assert counterfactual_annotations(expression, "g") == frozenset()
+
+    def test_shared_annotation_stays_pivotal(self):
+        expression = TensorSum(
+            [
+                Term(("a", "x"), 5.0, group="g"),
+                Term(("b", "x"), 5.0, group="g"),
+            ],
+            MAX,
+        )
+        assert counterfactual_annotations(expression, "g") == frozenset({"x"})
+
+
+class TestExplain:
+    def test_text_contains_the_story(self, thesis_universe, match_point):
+        text = explain(match_point, "MatchPoint", thesis_universe)
+        assert "MAX = 5" in text
+        assert "U2" in text
+        assert "gender=F" in text
+        assert "would change this answer" in text
+
+    def test_cancelled_group(self, match_point):
+        text = explain(
+            match_point, "MatchPoint", false_annotations=frozenset({"U1", "U2", "U3"})
+        )
+        assert "no surviving contributions" in text
+
+    def test_without_universe(self, match_point):
+        text = explain(match_point, "MatchPoint")
+        assert "U2 ⊗ (5, 1)" in text

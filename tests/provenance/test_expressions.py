@@ -1,0 +1,149 @@
+"""The general N[Ann] AST: simplification, truth, flattening."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    MAX,
+    ONE,
+    SUM,
+    ZERO,
+    AggSum,
+    Comparison,
+    CountedAggregate,
+    Product,
+    Sum,
+    Tensor,
+    Var,
+)
+
+
+class TestSimplify:
+    def test_zero_one_laws(self):
+        x = Var("x")
+        assert (x + ZERO) == x
+        assert (x * ONE) == x
+        assert (x * ZERO) == ZERO
+        assert Sum([ZERO, ZERO]).simplify() == ZERO
+        assert Product([ONE, ONE]).simplify() == ONE
+
+    def test_flattening(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        nested = Sum([Sum([x, y]), z]).simplify()
+        assert nested == Sum([x, y, z])
+        nested = Product([Product([x, y]), z]).simplify()
+        assert nested == Product([x, y, z])
+
+    def test_comparison_constant_folding(self):
+        # [1 ⊗ 5 > 2] ≡ 1 and [0 ⊗ 5 > 2] ≡ 0 (Example 3.1.1's setup).
+        assert Comparison(ONE, 5, ">", 2).simplify() == ONE
+        assert Comparison(ZERO, 5, ">", 2).simplify() == ZERO
+        assert Comparison(ONE, 1, ">", 2).simplify() == ZERO
+        live = Comparison(Var("s"), 5, ">", 2)
+        assert live.simplify() == live
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError, match="unsupported comparison"):
+            Comparison(Var("s"), 5, "~", 2)
+
+
+class TestTruth:
+    def test_sum_is_disjunction_product_is_conjunction(self):
+        expr = Var("a") * Var("b") + Var("c")
+        assert expr.truth({"a": True, "b": True, "c": False})
+        assert not expr.truth({"a": True, "b": False, "c": False})
+        assert expr.truth({"a": False, "b": False, "c": True})
+
+    def test_unmapped_annotations_default_true(self):
+        assert Var("a").truth({})
+
+    def test_comparison_truth(self):
+        guard = Comparison(Var("s") * Var("u"), 5, ">", 2)
+        assert guard.truth({})
+        assert not guard.truth({"s": False})
+        equality = Comparison(Var("d"), 1, "==", 0)
+        assert not equality.truth({})
+        assert equality.truth({"d": False})
+
+    @given(st.dictionaries(st.sampled_from("abc"), st.booleans()))
+    def test_simplify_preserves_truth(self, assignment):
+        expr = Sum(
+            [
+                Product([Var("a"), Var("b"), ONE]),
+                Product([Var("c"), ZERO]),
+                Var("c"),
+            ]
+        )
+        assert expr.truth(assignment) == expr.simplify().truth(assignment)
+
+
+class TestStructure:
+    def test_size_counts_occurrences(self):
+        expr = Var("a") * Var("b") + Var("a")
+        assert expr.size() == 3
+        guard = Comparison(Var("s") * Var("u"), 5, ">", 2)
+        assert (Var("u") * guard).size() == 3
+
+    def test_rename(self):
+        expr = (Var("a") * Var("b")).rename({"a": "c"})
+        assert expr.annotation_names() == frozenset({"b", "c"})
+
+    def test_str_round_trip_shapes(self):
+        expr = Var("U1") * Comparison(Var("S1") * Var("U1"), 5, ">", 2)
+        assert str(expr) == "U1 · [S1 · U1 ⊗ 5 > 2]"
+
+
+class TestAggSum:
+    def test_simplify_merges_congruent_tensors(self):
+        # k ⊗ m1 ⊕ k ⊗ m2 ≡ k ⊗ (m1 ⊕ m2)
+        agg = AggSum(
+            [Tensor(Var("F"), 3, 1, "MP"), Tensor(Var("F"), 5, 1, "MP")], MAX
+        ).simplify()
+        assert len(agg.tensors) == 1
+        assert agg.tensors[0].value == 5
+        assert agg.tensors[0].count == 2
+
+    def test_simplify_drops_zero_tensors(self):
+        agg = AggSum([Tensor(ZERO, 3, 1, "MP"), Tensor(Var("a"), 4, 1, "MP")], MAX)
+        assert len(agg.simplify().tensors) == 1
+
+    def test_groups_stay_separate(self):
+        agg = AggSum(
+            [Tensor(Var("F"), 3, 1, "MP"), Tensor(Var("F"), 4, 1, "BJ")], MAX
+        ).simplify()
+        assert len(agg.tensors) == 2
+
+    def test_evaluate(self):
+        agg = AggSum(
+            [
+                Tensor(Var("U1"), 3, 1, "MP"),
+                Tensor(Var("U2"), 5, 1, "MP"),
+                Tensor(Var("U2"), 4, 1, "BJ"),
+            ],
+            MAX,
+        )
+        result = agg.evaluate({"U2": False})
+        assert result["MP"] == CountedAggregate(3, 1)
+        assert "BJ" not in result
+
+    def test_to_tensor_sum_flattens_products_and_guards(self):
+        guard = Comparison(Var("S1") * Var("U1"), 5, ">", 2)
+        agg = AggSum([Tensor(Var("U1") * guard, 3, 1, "MP")], MAX)
+        flat = agg.to_tensor_sum()
+        assert flat.size() == 3  # U1 + guard's S1·U1
+        term = flat.terms[0]
+        assert term.annotations == ("U1",)
+        assert term.guards[0].annotations == ("S1", "U1")
+
+    def test_to_tensor_sum_distributes_sums(self):
+        agg = AggSum([Tensor(Var("a") + Var("b"), 2, 1, "g")], SUM)
+        flat = agg.to_tensor_sum()
+        assert len(flat.terms) == 2
+        assert {term.annotations for term in flat.terms} == {("a",), ("b",)}
+
+    def test_rename_and_size(self):
+        agg = AggSum([Tensor(Var("a") * Var("b"), 2, 1, "g")], SUM)
+        assert agg.size() == 2
+        renamed = agg.rename({"a": "c"})
+        assert renamed.annotation_names() == frozenset({"b", "c"})

@@ -1,0 +1,71 @@
+"""Aggregation monoids and counted aggregates."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    CountedAggregate,
+    fold_counted,
+    monoid_by_name,
+)
+
+values = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.mark.parametrize("monoid", [SUM, MAX, MIN, COUNT])
+@given(a=values, b=values, c=values)
+def test_monoid_axioms(monoid, a, b, c):
+    assert monoid.combine(a, b) == monoid.combine(b, a)
+    assert monoid.combine(monoid.combine(a, b), c) == pytest.approx(
+        monoid.combine(a, monoid.combine(b, c))
+    )
+    assert monoid.combine(a, monoid.identity) == a
+
+
+def test_fold():
+    assert SUM.fold([1, 2, 3]) == 6
+    assert MAX.fold([3, 5, 3]) == 5
+    assert MIN.fold([3, 5, 3]) == 3
+    assert SUM.fold([]) == 0.0
+    assert MAX.fold([]) == -math.inf
+
+
+def test_lookup_by_name():
+    assert monoid_by_name("max") is MAX
+    assert monoid_by_name("SUM") is SUM
+    with pytest.raises(KeyError, match="unknown aggregation monoid"):
+        monoid_by_name("median")
+
+
+class TestCountedAggregate:
+    def test_combine_max(self):
+        # Example 3.1.1: (3,1) and (5,1) combine to (5,2) under MAX.
+        merged = CountedAggregate(3, 1).combine(CountedAggregate(5, 1), MAX)
+        assert merged == CountedAggregate(5, 2)
+
+    def test_combine_sum(self):
+        merged = CountedAggregate(3, 2).combine(CountedAggregate(4, 1), SUM)
+        assert merged == CountedAggregate(7, 3)
+
+    def test_finalized_value(self):
+        assert CountedAggregate(4.0, 2).finalized_value() == 4.0
+        # Empty MAX aggregation displays as 0 (Figure 7.10's cancelled movie).
+        assert CountedAggregate(MAX.identity, 0).finalized_value() == 0.0
+        assert CountedAggregate(MIN.identity, 0).finalized_value() == 0.0
+        assert CountedAggregate(-math.inf, 3).finalized_value(empty_value=-1) == -1
+
+    def test_fold_counted(self):
+        pairs = [CountedAggregate(3, 1), CountedAggregate(5, 1), CountedAggregate(3, 1)]
+        assert fold_counted(pairs, MAX) == CountedAggregate(5, 3)
+        assert fold_counted([], SUM) == CountedAggregate(0.0, 0)
+        custom_empty = CountedAggregate(-1.0, 0)
+        assert fold_counted([], MAX, empty=custom_empty) == custom_empty

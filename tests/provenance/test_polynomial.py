@@ -1,0 +1,142 @@
+"""Canonical N[Ann] polynomials: ring laws and the universal property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    BOOLEAN,
+    NATURALS,
+    ONE,
+    TROPICAL,
+    ZERO,
+    Comparison,
+    Polynomial,
+    Var,
+    from_expression,
+)
+
+
+@st.composite
+def polynomials(draw):
+    names = ("a", "b", "c")
+    n_terms = draw(st.integers(min_value=0, max_value=4))
+    terms = {}
+    for _ in range(n_terms):
+        monomial_names = draw(
+            st.lists(st.sampled_from(names), min_size=0, max_size=3)
+        )
+        key = Polynomial.variable("_").terms()  # unused; build via helper
+        poly_term = tuple(
+            sorted(
+                {name: monomial_names.count(name) for name in set(monomial_names)}.items()
+            )
+        )
+        terms[poly_term] = terms.get(poly_term, 0) + draw(
+            st.integers(min_value=1, max_value=3)
+        )
+    return Polynomial(terms)
+
+
+class TestConstruction:
+    def test_basic_identities(self):
+        a = Polynomial.variable("a")
+        assert a + Polynomial.zero() == a
+        assert a * Polynomial.one() == a
+        assert a * Polynomial.zero() == Polynomial.zero()
+        assert Polynomial.constant(0) == Polynomial.zero()
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial({(): -1})
+        with pytest.raises(ValueError):
+            Polynomial.constant(-2)
+
+    def test_canonical_equality(self):
+        a, b, c = (Polynomial.variable(name) for name in "abc")
+        assert a * (b + c) == a * b + a * c
+        assert a + a == Polynomial.constant(2) * a
+        assert (a + b) * (a + b) == a * a + Polynomial.constant(2) * a * b + b * b
+
+    def test_structure_queries(self):
+        a, b = Polynomial.variable("a"), Polynomial.variable("b")
+        poly = Polynomial.constant(2) * a * b * b + a
+        assert poly.coefficient(["a", "b", "b"]) == 2
+        assert poly.coefficient(["a"]) == 1
+        assert poly.coefficient(["b"]) == 0
+        assert poly.degree() == 3
+        assert poly.size() == 2 * 3 + 1
+        assert poly.annotation_names() == frozenset({"a", "b"})
+        assert str(poly) == "a + 2·a·b^2"
+
+
+class TestHomomorphisms:
+    def test_rename_merges_monomials(self):
+        a, b = Polynomial.variable("a"), Polynomial.variable("b")
+        renamed = (a + b).rename({"a": "x", "b": "x"})
+        assert renamed == Polynomial.constant(2) * Polynomial.variable("x")
+        squared = (a * b).rename({"a": "x", "b": "x"})
+        assert squared.coefficient(["x", "x"]) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(first=polynomials(), second=polynomials())
+    def test_rename_is_a_semiring_hom(self, first, second):
+        mapping = {"a": "x", "b": "x"}
+        assert (first + second).rename(mapping) == first.rename(mapping) + second.rename(
+            mapping
+        )
+        assert (first * second).rename(mapping) == first.rename(mapping) * second.rename(
+            mapping
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        first=polynomials(),
+        second=polynomials(),
+        bits=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+    )
+    def test_universal_property_boolean(self, first, second, bits):
+        """Evaluation into any semiring is a hom (the freeness of N[Ann])."""
+        valuation = dict(zip("abc", bits))
+        evaluate = lambda poly: poly.evaluate_in(BOOLEAN, valuation)
+        assert evaluate(first + second) == BOOLEAN.plus(evaluate(first), evaluate(second))
+        assert evaluate(first * second) == BOOLEAN.times(
+            evaluate(first), evaluate(second)
+        )
+
+    def test_evaluate_in_naturals_and_tropical(self):
+        a, b = Polynomial.variable("a"), Polynomial.variable("b")
+        poly = Polynomial.constant(2) * a + a * b
+        assert poly.evaluate_in(NATURALS, {"a": 3, "b": 4}) == 2 * 3 + 12
+        # Tropical: + is min, · is +; 2·a is a ⊕ a = min(a, a) = a.
+        assert poly.evaluate_in(TROPICAL, {"a": 3.0, "b": 4.0}) == min(3.0, 7.0)
+
+    def test_missing_annotation(self):
+        with pytest.raises(KeyError, match="valuation missing"):
+            Polynomial.variable("a").evaluate_in(NATURALS, {})
+
+
+class TestFromExpression:
+    def test_distributes(self):
+        expr = Var("a") * (Var("b") + Var("c"))
+        poly = from_expression(expr)
+        assert poly == from_expression(Var("a") * Var("b") + Var("a") * Var("c"))
+
+    def test_constants(self):
+        assert from_expression(ZERO) == Polynomial.zero()
+        assert from_expression(ONE) == Polynomial.one()
+        assert from_expression(Var("a") + ZERO) == Polynomial.variable("a")
+
+    def test_truth_agrees_with_boolean_evaluation(self):
+        expr = Var("a") * Var("b") + Var("c")
+        poly = from_expression(expr)
+        for mask in range(8):
+            assignment = {
+                name: bool(mask >> bit & 1) for bit, name in enumerate("abc")
+            }
+            assert expr.truth(assignment) == poly.evaluate_in(BOOLEAN, assignment)
+
+    def test_comparisons_rejected(self):
+        guarded = Comparison(Var("s"), 5, ">", 2)
+        with pytest.raises(TypeError, match="abstract guards"):
+            from_expression(guarded)

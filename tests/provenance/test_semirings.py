@@ -1,0 +1,82 @@
+"""Semiring axioms and folds, including property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.provenance import BOOLEAN, NATURALS, REALS, TROPICAL
+
+booleans = st.booleans()
+naturals = st.integers(min_value=0, max_value=1000)
+tropicals = st.one_of(
+    st.just(math.inf), st.integers(min_value=0, max_value=100).map(float)
+)
+
+
+@pytest.mark.parametrize(
+    "semiring,elements",
+    [
+        (BOOLEAN, (False, True)),
+        (NATURALS, (0, 1, 2, 7)),
+        (TROPICAL, (0.0, 3.0, math.inf)),
+        (REALS, (0.0, 1.0, -2.5)),
+    ],
+)
+def test_identities(semiring, elements):
+    for element in elements:
+        assert semiring.satisfies_identity(element)
+
+
+@given(a=booleans, b=booleans, c=booleans)
+def test_boolean_axioms(a, b, c):
+    assert BOOLEAN.satisfies_commutativity(a, b)
+    assert BOOLEAN.satisfies_associativity(a, b, c)
+    assert BOOLEAN.satisfies_distributivity(a, b, c)
+
+
+@given(a=naturals, b=naturals, c=naturals)
+def test_naturals_axioms(a, b, c):
+    assert NATURALS.satisfies_commutativity(a, b)
+    assert NATURALS.satisfies_associativity(a, b, c)
+    assert NATURALS.satisfies_distributivity(a, b, c)
+
+
+@given(a=tropicals, b=tropicals, c=tropicals)
+def test_tropical_axioms(a, b, c):
+    assert TROPICAL.satisfies_commutativity(a, b)
+    assert TROPICAL.satisfies_associativity(a, b, c)
+    assert TROPICAL.satisfies_distributivity(a, b, c)
+
+
+def test_tropical_interpretation():
+    # min chooses the cheapest execution, + accumulates costs.
+    assert TROPICAL.plus(3.0, 5.0) == 3.0
+    assert TROPICAL.times(3.0, 5.0) == 8.0
+    assert TROPICAL.zero == math.inf
+    assert TROPICAL.one == 0.0
+    assert TROPICAL.times(4.0, TROPICAL.zero) == math.inf
+
+
+def test_folds():
+    assert NATURALS.sum([1, 2, 3]) == 6
+    assert NATURALS.product([2, 3, 4]) == 24
+    assert NATURALS.sum([]) == 0
+    assert NATURALS.product([]) == 1
+    assert BOOLEAN.sum([False, False, True]) is True
+    assert BOOLEAN.product([True, False]) is False
+    assert TROPICAL.sum([5.0, 2.0, 9.0]) == 2.0
+    assert TROPICAL.product([5.0, 2.0]) == 7.0
+
+
+def test_membership():
+    assert NATURALS.is_member(3)
+    assert not NATURALS.is_member(-1)
+    assert not NATURALS.is_member(True)  # bools are not naturals here
+    assert BOOLEAN.is_member(True)
+    assert not BOOLEAN.is_member(1)
+    assert TROPICAL.is_member(math.inf)
+    assert not TROPICAL.is_member(-3)
+    assert REALS.is_member(2.5)
+    assert not REALS.is_member(math.inf)

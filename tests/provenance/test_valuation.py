@@ -1,0 +1,44 @@
+"""Truth valuations (§2.3)."""
+
+from repro.provenance import ALL_TRUE, Valuation, cancel
+
+
+def test_defaults_to_true():
+    valuation = Valuation()
+    assert valuation.truth("anything")
+    assert valuation.value("anything") == 1.0
+    assert valuation.false_set() == frozenset()
+
+
+def test_cancel_constructor():
+    valuation = cancel(["U1", "U2"])
+    assert not valuation.truth("U1")
+    assert valuation.truth("U3")
+    assert valuation.false_set() == frozenset({"U1", "U2"})
+    assert "U1" in str(valuation)
+
+
+def test_cancelling_copies():
+    base = cancel(["U1"], weight=2.0, label="spammer")
+    extended = base.cancelling(["U2"])
+    assert not extended.truth("U2")
+    assert base.truth("U2")  # original unchanged
+    assert extended.weight == 2.0
+
+
+def test_truth_map():
+    valuation = cancel(["a"])
+    assert valuation.truth_map(["a", "b"]) == {"a": False, "b": True}
+
+
+def test_fractional_values():
+    valuation = Valuation({"c1": 0.5})
+    assert valuation.value("c1") == 0.5
+    assert valuation.truth("c1")  # non-zero is true
+    assert valuation.false_set() == frozenset()
+
+
+def test_all_true_singleton_and_labels():
+    assert str(ALL_TRUE) == "all-true"
+    assert str(Valuation({"x": 0.0})) == "cancel {x}"
+    assert str(cancel(["y"], label="custom")) == "custom"

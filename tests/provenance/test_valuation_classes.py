@@ -1,0 +1,151 @@
+"""Valuation classes of Table 5.1."""
+
+import random
+
+import pytest
+
+from repro.provenance import (
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    CancelSingleAttribute,
+    ExplicitValuations,
+    TaxonomyConsistent,
+    cancel,
+)
+
+
+@pytest.fixture
+def universe():
+    universe = AnnotationUniverse()
+    universe.register(Annotation("U1", "user", {"gender": "F"}))
+    universe.register(Annotation("U2", "user", {"gender": "M"}))
+    universe.register(Annotation("U3", "user", {"gender": "F"}))
+    universe.register(Annotation("M1", "movie", {"genre": "drama"}))
+    return universe
+
+
+class TestCancelSingleAnnotation:
+    def test_one_valuation_per_annotation(self, universe):
+        valuations = CancelSingleAnnotation(universe)
+        assert len(valuations) == 4
+        cancelled = [valuation.false_set() for valuation in valuations]
+        assert frozenset({"U1"}) in cancelled
+        assert frozenset({"M1"}) in cancelled
+
+    def test_domain_restriction(self, universe):
+        valuations = CancelSingleAnnotation(universe, domains=("user",))
+        assert len(valuations) == 3
+
+    def test_summaries_excluded(self, universe):
+        universe.new_summary([universe["U1"], universe["U3"]], label="Gender=F")
+        valuations = CancelSingleAnnotation(universe, domains=("user",))
+        assert len(valuations) == 3
+
+
+class TestCancelSingleAttribute:
+    def test_cancels_value_groups(self, universe):
+        valuations = CancelSingleAttribute(universe, attributes=("gender",))
+        by_label = {valuation.label: valuation.false_set() for valuation in valuations}
+        assert by_label["cancel gender=F"] == frozenset({"U1", "U3"})
+        assert by_label["cancel gender=M"] == frozenset({"U2"})
+
+    def test_all_attributes_by_default(self, universe):
+        valuations = CancelSingleAttribute(universe)
+        labels = {valuation.label for valuation in valuations}
+        assert "cancel genre=drama" in labels
+        assert "cancel gender=F" in labels
+
+    def test_domain_filter(self, universe):
+        valuations = CancelSingleAttribute(
+            universe, attributes=("gender", "genre"), domains=("user",)
+        )
+        labels = {valuation.label for valuation in valuations}
+        assert "cancel genre=drama" not in labels
+
+
+class TestExplicit:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one valuation"):
+            ExplicitValuations([])
+
+    def test_sample_deterministic(self):
+        valuations = ExplicitValuations([cancel(["a"]), cancel(["b"]), cancel(["c"])])
+        rng = random.Random(5)
+        first = [valuations.sample(rng).label for _ in range(4)]
+        rng = random.Random(5)
+        second = [valuations.sample(rng).label for _ in range(4)]
+        assert first == second
+
+    def test_total_weight(self):
+        valuations = ExplicitValuations(
+            [cancel(["a"], weight=2.0), cancel(["b"], weight=3.0)]
+        )
+        assert valuations.total_weight() == 5.0
+
+
+class TestTaxonomyConsistent:
+    def setup_method(self):
+        # singer, guitarist ⊑ musician.  Pages: A (singer), B (guitarist).
+        self.parent = {"musician": None, "singer": "musician", "guitarist": "musician"}
+        self.concepts = {
+            "A": ("singer", "musician"),
+            "B": ("guitarist", "musician"),
+        }
+
+    def test_inconsistent_valuation_dropped(self):
+        # Cancelling every page under "musician"'s child "singer" while
+        # keeping B true is fine; cancelling all "musician" carriers but
+        # keeping a singer carrier true is impossible here, so build an
+        # explicitly inconsistent one: cancel all carriers of the parent
+        # concept (A and B are both carriers of musician) minus a child.
+        inconsistent = cancel(["A"])  # A is the only singer carrier:
+        # singer becomes false, musician stays true -> consistent.
+        consistent_class = TaxonomyConsistent(
+            ExplicitValuations([inconsistent]), self.concepts, self.parent
+        )
+        assert len(consistent_class) == 1
+
+        # Make "musician" false (cancel A and B) while "singer" would
+        # need A cancelled too -- it is, so still consistent:
+        both = cancel(["A", "B"])
+        assert TaxonomyConsistent(
+            ExplicitValuations([both]), self.concepts, self.parent
+        ).is_consistent(both)
+
+    def test_child_true_parent_false_is_inconsistent(self):
+        concepts = {
+            "A": ("singer", "musician"),
+            "B": ("musician",),
+        }
+        # Cancelling B makes "musician" false?  No: A also carries
+        # musician.  Cancel nothing -> consistent.  To get inconsistency
+        # we need all musician carriers cancelled but a singer carrier
+        # alive -- impossible since singer carriers carry musician.
+        # Inconsistency therefore arises with disjoint carrier sets:
+        concepts = {"A": ("singer",), "B": ("musician",)}
+        parent = {"musician": None, "singer": "musician"}
+        bad = cancel(["B"])  # musician false, singer (child) still true
+        valuations = ExplicitValuations([bad, cancel(["A"])])
+        filtered = TaxonomyConsistent(valuations, concepts, parent)
+        assert len(filtered) == 1
+        assert not filtered.is_consistent(bad)
+
+    def test_all_filtered_raises(self):
+        concepts = {"A": ("singer",), "B": ("musician",)}
+        parent = {"musician": None, "singer": "musician"}
+        with pytest.raises(ValueError, match="no taxonomy-consistent"):
+            TaxonomyConsistent(
+                ExplicitValuations([cancel(["B"])]), concepts, parent
+            )
+
+    def test_sampling(self):
+        valuations = TaxonomyConsistent(
+            ExplicitValuations([cancel(["A"]), cancel(["B"])]),
+            self.concepts,
+            self.parent,
+        )
+        assert valuations.sample(random.Random(0)).label in {
+            "cancel {A}",
+            "cancel {B}",
+        }

@@ -1,0 +1,68 @@
+"""CancelSubsets and probability-weighted valuation classes."""
+
+import math
+
+import pytest
+
+from repro.provenance import (
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    CancelSubsets,
+    bernoulli_weighted,
+)
+
+
+@pytest.fixture
+def universe():
+    universe = AnnotationUniverse()
+    for index in range(4):
+        universe.register(Annotation(f"u{index}", "user", {}))
+    universe.register(Annotation("m", "movie", {}))
+    return universe
+
+
+class TestCancelSubsets:
+    def test_counts(self, universe):
+        singles = CancelSubsets(universe, max_cancelled=1, domains=("user",))
+        assert len(singles) == 4
+        pairs = CancelSubsets(universe, max_cancelled=2, domains=("user",))
+        assert len(pairs) == 4 + 6
+        triples = CancelSubsets(universe, max_cancelled=3, domains=("user",))
+        assert len(triples) == 4 + 6 + 4
+
+    def test_max_one_equals_cancel_single(self, universe):
+        subsets = {v.false_set() for v in CancelSubsets(universe, 1, ("user",))}
+        singles = {
+            v.false_set() for v in CancelSingleAnnotation(universe, ("user",))
+        }
+        assert subsets == singles
+
+    def test_domain_filter_and_validation(self, universe):
+        all_domains = CancelSubsets(universe, max_cancelled=1)
+        assert len(all_domains) == 5
+        with pytest.raises(ValueError):
+            CancelSubsets(universe, max_cancelled=0)
+
+
+class TestBernoulliWeights:
+    def test_weights_scale_with_cancellation_count(self, universe):
+        weighted = bernoulli_weighted(
+            CancelSubsets(universe, max_cancelled=2, domains=("user",)), 0.1
+        )
+        for valuation in weighted:
+            cancelled = len(valuation.false_set())
+            assert valuation.weight == pytest.approx(0.1 ** cancelled)
+
+    def test_total_weight(self, universe):
+        weighted = bernoulli_weighted(
+            CancelSubsets(universe, max_cancelled=1, domains=("user",)), 0.5
+        )
+        assert weighted.total_weight() == pytest.approx(4 * 0.5)
+
+    def test_validation(self, universe):
+        valuations = CancelSubsets(universe, 1, ("user",))
+        with pytest.raises(ValueError):
+            bernoulli_weighted(valuations, 0.0)
+        with pytest.raises(ValueError):
+            bernoulli_weighted(valuations, 1.5)

@@ -1,0 +1,98 @@
+"""Taxonomy structure: ancestry, depth, LCA."""
+
+import pytest
+
+from repro.taxonomy import Taxonomy, wordnet_person_fragment
+
+
+@pytest.fixture
+def taxonomy():
+    return wordnet_person_fragment()
+
+
+class TestStructure:
+    def test_roots_and_parents(self, taxonomy):
+        assert taxonomy.roots() == ("wordnet_entity",)
+        assert taxonomy.parent("wordnet_singer") == "wordnet_musician"
+        assert taxonomy.parent("wordnet_entity") is None
+
+    def test_children(self, taxonomy):
+        assert set(taxonomy.children("wordnet_musician")) == {
+            "wordnet_singer",
+            "wordnet_instrumentalist",
+        }
+
+    def test_contains_len_iter(self, taxonomy):
+        assert "wordnet_guitarist" in taxonomy
+        assert "wordnet_drummer" not in taxonomy
+        assert len(taxonomy) == len(list(taxonomy)) == 28
+
+    def test_unknown_concept(self, taxonomy):
+        with pytest.raises(KeyError, match="unknown concept"):
+            taxonomy.parent("wordnet_drummer")
+
+    def test_single_parent_enforced(self):
+        taxonomy = Taxonomy()
+        taxonomy.add("b", "a")
+        with pytest.raises(ValueError, match="one parent"):
+            taxonomy.add("b", "c")
+
+    def test_frozen_after_query(self, taxonomy):
+        taxonomy.depth("wordnet_singer")
+        with pytest.raises(RuntimeError, match="frozen"):
+            taxonomy.add("new", "wordnet_singer")
+
+    def test_cycle_detection(self):
+        taxonomy = Taxonomy.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(ValueError, match="cycle"):
+            taxonomy.ancestors("a")
+
+
+class TestAncestry:
+    def test_ancestors_path(self, taxonomy):
+        # The hypernym path displayed in §6.2's feature-vector example.
+        assert taxonomy.ancestors("wordnet_singer") == (
+            "wordnet_singer",
+            "wordnet_musician",
+            "wordnet_performer",
+            "wordnet_entertainer",
+            "wordnet_person",
+            "wordnet_causal_agent",
+            "wordnet_physical_entity",
+            "wordnet_entity",
+        )
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth("wordnet_entity") == 0
+        assert taxonomy.depth("wordnet_singer") == 7
+        assert taxonomy.depth("wordnet_guitarist") == 8
+
+    def test_is_ancestor(self, taxonomy):
+        assert taxonomy.is_ancestor("wordnet_person", "wordnet_guitarist")
+        assert taxonomy.is_ancestor("wordnet_singer", "wordnet_singer")
+        assert not taxonomy.is_ancestor("wordnet_singer", "wordnet_guitarist")
+
+    def test_lca(self, taxonomy):
+        assert taxonomy.lca("wordnet_singer", "wordnet_guitarist") == "wordnet_musician"
+        assert taxonomy.lca("wordnet_singer", "wordnet_physicist") == "wordnet_person"
+        assert taxonomy.lca("wordnet_singer", "wordnet_singer") == "wordnet_singer"
+
+    def test_lca_disjoint(self):
+        taxonomy = Taxonomy()
+        taxonomy.add("a")
+        taxonomy.add("b")
+        assert taxonomy.lca("a", "b") is None
+
+    def test_lca_of_many(self, taxonomy):
+        assert (
+            taxonomy.lca_of(
+                ["wordnet_singer", "wordnet_guitarist", "wordnet_pianist"]
+            )
+            == "wordnet_musician"
+        )
+        assert taxonomy.lca_of([]) is None
+
+    def test_parent_map(self, taxonomy):
+        mapping = taxonomy.parent_map()
+        assert mapping["wordnet_singer"] == "wordnet_musician"
+        assert mapping["wordnet_entity"] is None

@@ -1,0 +1,99 @@
+"""Wu-Palmer relatedness and the merge tie-break distances."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.taxonomy import (
+    Taxonomy,
+    group_distance,
+    leaf_concepts,
+    most_specific_common_ancestor,
+    synthetic_taxonomy,
+    wordnet_person_fragment,
+    wu_palmer_distance,
+    wu_palmer_similarity,
+)
+
+
+@pytest.fixture
+def taxonomy():
+    return wordnet_person_fragment()
+
+
+def test_identity_similarity_is_one(taxonomy):
+    assert wu_palmer_similarity(taxonomy, "wordnet_singer", "wordnet_singer") == 1.0
+    assert wu_palmer_distance(taxonomy, "wordnet_singer", "wordnet_singer") == 0.0
+
+
+def test_known_value(taxonomy):
+    # singer depth 7, guitarist depth 8, LCA musician depth 6
+    # (node-counted: 8, 9, 7): sim = 2*7 / (8+9) = 14/17.
+    assert wu_palmer_similarity(
+        taxonomy, "wordnet_singer", "wordnet_guitarist"
+    ) == pytest.approx(14 / 17)
+
+
+def test_closer_concepts_more_similar(taxonomy):
+    close = wu_palmer_similarity(taxonomy, "wordnet_singer", "wordnet_guitarist")
+    far = wu_palmer_similarity(taxonomy, "wordnet_singer", "wordnet_physicist")
+    assert close > far
+    # The thesis's preference: mapping to 'Guitarist' beats 'Person'.
+    assert wu_palmer_distance(
+        taxonomy, "wordnet_guitarist", "wordnet_instrumentalist"
+    ) < wu_palmer_distance(taxonomy, "wordnet_guitarist", "wordnet_person")
+
+
+def test_disjoint_concepts():
+    taxonomy = Taxonomy()
+    taxonomy.add("a")
+    taxonomy.add("b")
+    assert wu_palmer_similarity(taxonomy, "a", "b") == 0.0
+    assert wu_palmer_distance(taxonomy, "a", "b") == 1.0
+
+
+def test_symmetry(taxonomy):
+    concepts = ["wordnet_singer", "wordnet_actor", "wordnet_poet"]
+    for first in concepts:
+        for second in concepts:
+            assert wu_palmer_similarity(taxonomy, first, second) == pytest.approx(
+                wu_palmer_similarity(taxonomy, second, first)
+            )
+
+
+def test_group_distance_modes(taxonomy):
+    members = ("wordnet_singer", "wordnet_guitarist")
+    target = "wordnet_musician"
+    maximum = group_distance(taxonomy, members, target, mode="max")
+    total = group_distance(taxonomy, members, target, mode="sum")
+    assert 0 < maximum < 1
+    assert total >= maximum
+    assert group_distance(taxonomy, (), target) == 0.0
+    with pytest.raises(ValueError, match="'max' or 'sum'"):
+        group_distance(taxonomy, members, target, mode="avg")
+
+
+def test_most_specific_common_ancestor(taxonomy):
+    assert (
+        most_specific_common_ancestor(
+            taxonomy, ["wordnet_singer", "wordnet_pianist"]
+        )
+        == "wordnet_musician"
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_synthetic_taxonomy_bounds(seed):
+    taxonomy = synthetic_taxonomy(depth=3, branching=3, seed=seed)
+    leaves = leaf_concepts(taxonomy)
+    assert leaves
+    for leaf in leaves:
+        similarity = wu_palmer_similarity(taxonomy, leaf, leaves[0])
+        assert 0.0 <= similarity <= 1.0
+
+
+def test_synthetic_taxonomy_validation():
+    with pytest.raises(ValueError):
+        synthetic_taxonomy(depth=0)
+    with pytest.raises(ValueError):
+        synthetic_taxonomy(branching=1)

@@ -1,0 +1,127 @@
+"""JSON round-trips for expressions, universes and summaries."""
+
+import io
+import json
+
+import pytest
+
+from repro import serialization as ser
+from repro.core import SummarizationConfig, Summarizer
+from repro.datasets import (
+    DDPConfig,
+    MovieLensConfig,
+    generate_ddp,
+    generate_movielens,
+)
+from repro.provenance import MAX, Guard, TensorSum, Term
+
+
+class TestAnnotations:
+    def test_universe_round_trip(self, thesis_universe):
+        thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        data = ser.universe_to_dict(thesis_universe)
+        restored = ser.universe_from_dict(json.loads(ser.dumps(data)))
+        assert restored.names() == thesis_universe.names()
+        for name in thesis_universe.names():
+            assert restored[name] == thesis_universe[name]
+
+    def test_missing_field(self):
+        with pytest.raises(ser.SerializationError, match="missing"):
+            ser.annotation_from_dict({"name": "a"})
+
+
+class TestTensorSum:
+    def test_round_trip_with_guards(self):
+        expression = TensorSum(
+            [
+                Term(
+                    ("U1",),
+                    3.0,
+                    count=2,
+                    group="MP",
+                    guards=(Guard(("S1", "U1"), 5, ">", 2),),
+                ),
+                Term(("U2",), 5.0, group=None),
+            ],
+            MAX,
+        )
+        restored = ser.tensor_sum_from_dict(
+            json.loads(ser.dumps(ser.tensor_sum_to_dict(expression)))
+        )
+        assert str(restored) == str(expression)
+        assert restored.size() == expression.size()
+        assert restored.monoid.name == "MAX"
+
+    def test_generated_instance_round_trip(self):
+        expression = generate_movielens(MovieLensConfig(seed=3)).expression
+        restored = ser.expression_from_dict(ser.expression_to_dict(expression))
+        assert str(restored) == str(expression)
+        cancelled = frozenset(list(expression.annotation_names())[:3])
+        assert restored.evaluate(cancelled) == expression.evaluate(cancelled)
+
+
+class TestDDP:
+    def test_round_trip(self):
+        expression = generate_ddp(DDPConfig(seed=3)).expression
+        restored = ser.expression_from_dict(ser.expression_to_dict(expression))
+        assert str(restored) == str(expression)
+        assert restored.evaluate(frozenset({"c1"})) == expression.evaluate(
+            frozenset({"c1"})
+        )
+
+    def test_unknown_transition_kind(self):
+        payload = {
+            "version": 1,
+            "kind": "ddp",
+            "executions": [[{"kind": "quantum", "var": "x"}]],
+        }
+        with pytest.raises(ser.SerializationError):
+            ser.ddp_from_dict(payload)
+
+
+class TestSummary:
+    def test_summary_round_trip_preserves_provisioning(self):
+        instance = generate_movielens(MovieLensConfig(n_users=10, n_movies=5, seed=2))
+        result = Summarizer(
+            instance.problem(), SummarizationConfig(w_dist=0.5, max_steps=4, seed=0)
+        ).run()
+        payload = json.loads(ser.dumps(ser.summary_to_dict(result)))
+        expression, mapping, annotations = ser.summary_from_dict(payload)
+        assert expression.size() == result.final_size
+        assert mapping == result.mapping.as_dict()
+        # Re-registering the summary annotations restores lift ability.
+        restored_members = {
+            annotation.name: annotation.base_members() for annotation in annotations
+        }
+        for name, members in result.summary_groups().items():
+            assert restored_members[name] == frozenset(members)
+
+    def test_dump_to_stream(self):
+        instance = generate_movielens(MovieLensConfig(n_users=8, n_movies=4, seed=1))
+        buffer = io.StringIO()
+        ser.dump(ser.expression_to_dict(instance.expression), buffer)
+        buffer.seek(0)
+        restored = ser.load_expression(buffer)
+        assert str(restored) == str(instance.expression)
+
+
+class TestErrors:
+    def test_kind_mismatch(self):
+        with pytest.raises(ser.SerializationError, match="expected kind"):
+            ser.tensor_sum_from_dict({"kind": "ddp", "version": 1})
+
+    def test_future_version(self):
+        with pytest.raises(ser.SerializationError, match="newer"):
+            ser.universe_from_dict(
+                {"kind": "universe", "version": 999, "annotations": []}
+            )
+
+    def test_unknown_expression_kind(self):
+        with pytest.raises(ser.SerializationError, match="unknown expression kind"):
+            ser.expression_from_dict({"kind": "matrix"})
+
+    def test_unserializable_expression(self):
+        with pytest.raises(ser.SerializationError, match="cannot serialize"):
+            ser.expression_to_dict(42)

@@ -1,0 +1,89 @@
+"""The Example 2.1.1 workflow end to end: provenance shape and provisioning."""
+
+import pytest
+
+from repro.db import combined_aggregate
+from repro.provenance import SUM, Comparison
+from repro.workflow import Review, run_movie_workflow
+
+
+@pytest.fixture
+def run_and_db():
+    users = {
+        "1": {"role": "audience"},
+        "2": {"role": "audience"},
+        "3": {"role": "critic"},
+    }
+    reviews = {
+        "imdb": [
+            Review("1", "MatchPoint", 3),
+            Review("1", "MatchPoint", 4),
+            Review("1", "MatchPoint", 3),
+            Review("2", "MatchPoint", 5),
+            Review("2", "BlueJasmine", 4),
+            Review("2", "BlueJasmine", 2),
+        ],
+        "times": [
+            Review("3", "MatchPoint", 3),
+            Review("3", "BlueJasmine", 1),
+            Review("3", "MatchPoint", 2),
+        ],
+    }
+    return run_movie_workflow(users, reviews, threshold=2)
+
+
+def test_example_2_2_1_shape(run_and_db):
+    """Sanitized reviews carry ``U_i · [S_i · U_i ⊗ n > 2]``."""
+    run, _ = run_and_db
+    movies = run["aggregator"]
+    by_movie = {t["movie"]: t.values["agg"] for t in movies}
+    text = str(by_movie["MatchPoint"])
+    assert "U_2 · [S_2 · U_2 ⊗ 3 > 2] ⊗ (5, 1)" in text
+
+
+def test_stats_updated(run_and_db):
+    _, database = run_and_db
+    stats = {str(t["user_id"]): t["num_rate"] for t in database["Stats"]}
+    assert stats == {"1": 3, "2": 3, "3": 3}
+
+
+def test_threshold_guards_filter_inactive_users():
+    users = {"1": {"role": "audience"}, "2": {"role": "audience"}}
+    reviews = {
+        "imdb": [
+            Review("1", "MP", 5),  # only one review: guard 1 > 2 fails
+            Review("2", "MP", 3),
+            Review("2", "MP", 4),
+            Review("2", "BJ", 4),
+        ]
+    }
+    run, _ = run_and_db = run_movie_workflow(users, reviews, threshold=2)
+    expression = combined_aggregate(run["aggregator"]).to_tensor_sum()
+    vector = expression.full_vector()
+    # User 1's 5-star review is filtered; MP's max comes from user 2.
+    assert vector["MP"].finalized_value() == 4.0
+
+
+def test_provisioning_cancel_stats(run_and_db):
+    """Mapping S_i to false discards the user's reviews (Example 2.3.1)."""
+    run, _ = run_and_db
+    expression = combined_aggregate(run["aggregator"]).to_tensor_sum()
+    full = expression.full_vector()
+    assert full["MatchPoint"].finalized_value() == 5.0
+    without_user_2 = expression.evaluate(frozenset({"S_2"}))
+    assert without_user_2["MatchPoint"].finalized_value() == 4.0
+    assert without_user_2["BlueJasmine"].finalized_value() == 1.0
+
+
+def test_movies_table_written_back(run_and_db):
+    _, database = run_and_db
+    assert "Movies" in database
+    assert {t["movie"] for t in database["Movies"]} == {"MatchPoint", "BlueJasmine"}
+
+
+def test_sum_aggregation():
+    users = {"1": {"role": "audience"}}
+    reviews = {"imdb": [Review("1", "MP", 3), Review("1", "MP", 4), Review("1", "BJ", 2)]}
+    run, _ = run_movie_workflow(users, reviews, threshold=2, monoid=SUM)
+    expression = combined_aggregate(run["aggregator"]).to_tensor_sum()
+    assert expression.full_vector()["MP"].finalized_value() == 7.0

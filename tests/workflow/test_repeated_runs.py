@@ -1,0 +1,52 @@
+"""Repeated workflow application over persistent state (§2.1).
+
+"A workflow execution (or 'run') is a repeated application of modules"
+operating over a global persistent database: running the same
+specification again must observe -- and further update -- the state the
+previous run left behind."""
+
+from repro.workflow import Review, WorkflowEngine, build_movie_workflow
+
+
+def test_second_run_accumulates_statistics():
+    users = {"1": {"role": "audience"}}
+    reviews = {"imdb": [Review("1", "MP", 4), Review("1", "MP", 5)]}
+    spec, database = build_movie_workflow(users, reviews, threshold=2)
+    engine = WorkflowEngine(spec, database)
+
+    engine.run()
+    first = {str(t["user_id"]): t["num_rate"] for t in database["Stats"]}
+    assert first == {"1": 2}
+
+    engine.run()
+    second = {str(t["user_id"]): t["num_rate"] for t in database["Stats"]}
+    assert second == {"1": 4}
+
+
+def test_guards_reflect_updated_state():
+    """User 1 is inactive (1 review) on the first run; after the second
+    run their statistics cross the threshold and the guard passes."""
+    users = {"1": {"role": "audience"}}
+    reviews = {"imdb": [Review("1", "MP", 5)]}
+    spec, database = build_movie_workflow(users, reviews, threshold=1)
+    engine = WorkflowEngine(spec, database)
+
+    run1 = engine.run()
+    from repro.db import combined_aggregate
+
+    # [.. ⊗ 1 > 1] is statically false: 0 ⊗ m ≡ 0 drops the review
+    # before aggregation, so MP has no provenance at all yet.
+    assert len(run1["aggregator"]) == 0
+
+    run2 = engine.run()
+    vector2 = combined_aggregate(run2["aggregator"]).to_tensor_sum().full_vector()
+    assert vector2["MP"].finalized_value() == 5.0  # [.. ⊗ 2 > 1] holds
+
+
+def test_run_output_names():
+    users = {"1": {"role": "audience"}}
+    reviews = {"imdb": [Review("1", "MP", 4)]}
+    spec, database = build_movie_workflow(users, reviews)
+    run = WorkflowEngine(spec, database).run()
+    assert "aggregator" in run.output_names()
+    assert "source_imdb" in run.output_names()

@@ -1,0 +1,55 @@
+"""Workflow specifications: DAG structure and ordering."""
+
+import pytest
+
+from repro.workflow import WorkflowSpec
+
+
+def noop(database, inputs):
+    return None
+
+
+def test_topological_order_respects_edges():
+    spec = WorkflowSpec()
+    for name in ("aggregator", "source", "reviewer"):
+        spec.add_module(name, noop)
+    spec.add_edge("source", "reviewer")
+    spec.add_edge("reviewer", "aggregator")
+    order = spec.topological_order()
+    assert order.index("source") < order.index("reviewer") < order.index("aggregator")
+
+
+def test_cycle_rejected():
+    spec = WorkflowSpec()
+    spec.add_module("a", noop)
+    spec.add_module("b", noop)
+    spec.add_edge("a", "b")
+    spec.add_edge("b", "a")
+    with pytest.raises(ValueError, match="cycle"):
+        spec.topological_order()
+
+
+def test_duplicate_module_rejected():
+    spec = WorkflowSpec()
+    spec.add_module("a", noop)
+    with pytest.raises(ValueError, match="already exists"):
+        spec.add_module("a", noop)
+
+
+def test_edge_validation():
+    spec = WorkflowSpec()
+    spec.add_module("a", noop)
+    with pytest.raises(KeyError):
+        spec.add_edge("a", "missing")
+    with pytest.raises(ValueError, match="self-loops"):
+        spec.add_edge("a", "a")
+
+
+def test_predecessors():
+    spec = WorkflowSpec()
+    for name in ("a", "b", "c"):
+        spec.add_module(name, noop)
+    spec.add_edge("a", "c")
+    spec.add_edge("b", "c")
+    assert set(spec.predecessors("c")) == {"a", "b"}
+    assert spec.predecessors("a") == ()
