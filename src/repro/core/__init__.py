@@ -13,6 +13,9 @@ Public entry points:
   competitors.
 * :class:`~repro.core.distance.DistanceComputer` -- exact/sampled
   summary-quality distances (Propositions 4.1.1-4.1.2).
+* :class:`~repro.core.engine.ScoringEngine` -- parallel/incremental
+  per-step candidate scoring behind the ``parallelism=`` /
+  ``incremental=`` config knobs.
 """
 
 from .baselines import ClusterDomainSpec, ClusteringSummarizer, RandomSummarizer
@@ -45,6 +48,7 @@ from .distance import (
     chebyshev_sample_size,
     exhaustive_distance,
 )
+from .engine import ScoringEngine, resolve_workers
 from .equivalence import (
     constrained_groups,
     equivalence_classes,
@@ -99,6 +103,7 @@ __all__ = [
     "RandomSummarizer",
     "SCORING_STRATEGIES",
     "ScoredCandidate",
+    "ScoringEngine",
     "SharedAttribute",
     "StepRecord",
     "SummarizationConfig",
@@ -120,6 +125,7 @@ __all__ = [
     "group_influence",
     "minimal_zero_distance_summary",
     "rank_influential",
+    "resolve_workers",
     "score_candidates",
     "summarize",
     "virtual_summary",

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
-from .fast_distance import FastStepScorer
+from .engine import ScoringEngine
 from .equivalence import group_equivalent
 from .mapping import MappingState
 from .problem import SummarizationConfig, SummarizationProblem
@@ -74,6 +74,10 @@ class BeamSummarizer:
             delta=config.delta,
             rng=self._rng,
         )
+        # Each beam member has its own expression, so the engine's
+        # cross-step carry never matches -- it simply rebuilds a fresh
+        # step scorer (or falls back to the naive path) per member.
+        engine = ScoringEngine(problem, config, computer)
 
         current = original
         mapping = MappingState(sorted(original.annotation_names()))
@@ -104,28 +108,12 @@ class BeamSummarizer:
                 )
                 if not candidates:
                     continue
-                scorer = (
-                    FastStepScorer(
-                        computer, beam.expression, beam.mapping, problem.universe
-                    )
-                    if FastStepScorer.applicable(
-                        beam.expression,
-                        problem.val_func,
-                        problem.combiners,
-                        problem.valuations,
-                        problem.universe,
-                        config.max_enumerate,
-                    )
-                    else None
+                measured, _ = engine.measure(
+                    candidates, beam.expression, beam.mapping
                 )
-                if scorer is None:
-                    raise NotImplementedError(
-                        "BeamSummarizer currently requires the batch-scorer "
-                        "preconditions (tensor-sum expression, vector "
-                        "VAL-FUNC, OR combiners, enumerable valuations)"
-                    )
-                for candidate in candidates:
-                    size, distance = scorer.score(candidate.parts)
+                for scored in measured:
+                    candidate = scored.candidate
+                    size, distance = scored.size, scored.distance
                     r_size = size / original.size() if original.size() else 0.0
                     score = config.w_dist * distance.normalized + config.w_size * r_size
                     expansions.append(
@@ -172,6 +160,7 @@ class BeamSummarizer:
                     n_candidates=n_candidates,
                     candidate_seconds=candidate_seconds,
                     step_seconds=time.perf_counter() - step_started,
+                    scoring_path=engine.last_path,
                 )
                 next_beams.append(
                     _Beam(expression, new_mapping, score, beam.steps + [record], distance)

@@ -1,0 +1,307 @@
+"""The candidate scoring engine: parallel fan-out + incremental carry.
+
+One Algorithm-1 step measures every candidate merge's size and
+distance -- the dominant cost of the whole algorithm.  The
+:class:`ScoringEngine` owns that measurement and picks, per step, the
+cheapest path that preserves the reference semantics:
+
+* **fast** -- the batch :class:`~repro.core.fast_distance.FastStepScorer`
+  when its preconditions hold;
+* **fast + incremental** -- an
+  :class:`~repro.core.fast_distance.IncrementalStepScorer` carried
+  across steps (:meth:`ScoringEngine.advance` invalidates only the
+  merged neighborhood) with sparse per-candidate metrics;
+* **naive** -- the reference :class:`~repro.core.distance
+  .DistanceComputer` applied to each materialized candidate expression.
+
+The fast paths additionally shard the candidate set across worker
+*processes*.  Workers are pre-forked: the step's scorer (packed
+valuation bitmasks, per-group baselines, aligned originals) lives in a
+module-level global set *before* the pool forks, so the state ships to
+every worker via copy-on-write pages -- no pickling of the step state,
+only the small per-candidate results travel back.  Chunks are
+concatenated in candidate order, so the parallel path is deterministic
+and bit-identical to running the same scorer serially.
+
+Robustness contract: if any fast path raises mid-run -- a latent
+applicability gap, a fork failure, a broken pool -- the engine rescores
+the *entire* step through the naive path rather than crashing or
+returning a partial candidate list.  ``path_counts`` records which path
+every step actually took.
+
+Knob resolution (``SummarizationConfig``):
+
+* ``parallelism``: ``None`` ("auto") engages ``os.cpu_count()`` workers
+  when the machine has ≥ 2 cores and the step has at least
+  ``parallel_threshold`` candidates; ``0``/``1`` ("off") restores the
+  serial seed behavior; any other int forces that many workers.
+* ``incremental``: ``None`` ("auto") and ``True`` ("on") carry the step
+  scorer; ``False`` ("off") rebuilds a dense scorer every step (seed
+  behavior).
+
+Parallel fan-out requires the ``fork`` start method (Linux/macOS
+CPython); platforms without it silently run serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from .candidates import Candidate, virtual_summary
+from .distance import DistanceComputer, DistanceEstimate
+from .fast_distance import FastStepScorer, IncrementalStepScorer
+from .mapping import MappingState
+from .scoring import ScoredCandidate
+
+
+class _OverlayUniverse:
+    """Read-only view of a universe plus a few virtual annotations.
+
+    Candidate scoring evaluates merges that are mostly discarded; the
+    overlay lets the distance machinery resolve a candidate's virtual
+    summary annotation without registering it.
+    """
+
+    __slots__ = ("_base", "_extra")
+
+    def __init__(self, base: AnnotationUniverse, extra: Mapping[str, Annotation]):
+        self._base = base
+        self._extra = dict(extra)
+
+    def __getitem__(self, name: str) -> Annotation:
+        extra = self._extra.get(name)
+        if extra is not None:
+            return extra
+        return self._base[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extra or name in self._base
+
+
+#: Step state inherited by forked workers (set only around a pool's
+#: lifetime).  Fork copies the parent's address space, so workers read
+#: the scorer without any serialization.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _score_span(span: Tuple[int, int]) -> List[Tuple[int, DistanceEstimate]]:
+    """Score a contiguous slice of the step's candidates (worker side)."""
+    scorer = _WORKER_STATE["scorer"]
+    parts = _WORKER_STATE["parts"]
+    low, high = span
+    return [scorer.score(parts[index]) for index in range(low, high)]
+
+
+def fork_available() -> bool:
+    """Whether pre-forked worker pools are supported on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(
+    parallelism: Optional[int], n_candidates: int, threshold: int
+) -> int:
+    """Workers to use for a step of ``n_candidates`` candidates."""
+    if parallelism is None:
+        cpus = os.cpu_count() or 1
+        if cpus < 2 or n_candidates < threshold:
+            return 1
+        workers = cpus
+    else:
+        workers = parallelism
+    if workers <= 1 or not fork_available():
+        return 1
+    return max(1, min(workers, n_candidates))
+
+
+class ScoringEngine:
+    """Measures one step's candidates; carries state between steps."""
+
+    PATH_FAST = "fast"
+    PATH_FAST_INCREMENTAL = "fast+incremental"
+    PATH_NAIVE = "naive"
+
+    def __init__(self, problem, config, computer: DistanceComputer):
+        self.problem = problem
+        self.config = config
+        self.computer = computer
+        self._incremental = config.incremental is not False
+        self._scorer: Optional[IncrementalStepScorer] = None
+        #: Path taken by the most recent :meth:`measure` call.
+        self.last_path: str = ""
+        #: Workers used by the most recent :meth:`measure` call.
+        self.last_workers: int = 1
+        #: How often each path was taken over the engine's lifetime.
+        self.path_counts: Dict[str, int] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def measure(
+        self,
+        candidates: Sequence[Candidate],
+        current,
+        mapping: MappingState,
+    ) -> Tuple[List[ScoredCandidate], float]:
+        """Size and distance of every candidate against ``current``.
+
+        Returns the measured candidates (in input order) and the pure
+        scoring wall-clock time, excluding the step's shared
+        precomputation -- the quantity Fig. 6.5a plots.
+        """
+        problem = self.problem
+        if FastStepScorer.applicable(
+            current,
+            problem.val_func,
+            problem.combiners,
+            problem.valuations,
+            problem.universe,
+            self.config.max_enumerate,
+        ):
+            try:
+                scorer = self._obtain_scorer(current, mapping)
+            except Exception:
+                self._scorer = None
+                scorer = None
+            if scorer is not None:
+                started = time.perf_counter()
+                try:
+                    results = self._score_all(scorer, candidates)
+                except Exception:
+                    # The fast path bailed mid-run: never crash or skip
+                    # candidates -- rescore the whole step naively.
+                    self._scorer = None
+                else:
+                    measured = [
+                        ScoredCandidate(
+                            candidate=candidate,
+                            expression=None,
+                            step_mapping={},
+                            size=size,
+                            distance=distance,
+                        )
+                        for candidate, (size, distance) in zip(candidates, results)
+                    ]
+                    path = (
+                        self.PATH_FAST_INCREMENTAL
+                        if isinstance(scorer, IncrementalStepScorer)
+                        else self.PATH_FAST
+                    )
+                    self._record(path)
+                    return measured, time.perf_counter() - started
+        return self._measure_naive(candidates, current, mapping)
+
+    def advance(
+        self,
+        parts: Sequence[str],
+        new_name: str,
+        new_expression,
+        new_mapping: MappingState,
+    ) -> None:
+        """Carry the step scorer past the applied merge ``parts → new_name``.
+
+        A failed carry is never fatal: the scorer is dropped and the
+        next :meth:`measure` rebuilds from scratch.
+        """
+        scorer = self._scorer
+        if scorer is None:
+            return
+        try:
+            scorer.advance(parts, new_name, new_expression, new_mapping)
+        except Exception:
+            self._scorer = None
+
+    def reset(self) -> None:
+        """Drop any carried state (e.g. after reverting a step)."""
+        self._scorer = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(self, path: str) -> None:
+        self.last_path = path
+        self.path_counts[path] = self.path_counts.get(path, 0) + 1
+
+    def _obtain_scorer(self, current, mapping: MappingState) -> FastStepScorer:
+        if not self._incremental:
+            return FastStepScorer(
+                self.computer, current, mapping, self.problem.universe
+            )
+        carried = self._scorer
+        if carried is not None and carried.current is current:
+            return carried
+        self._scorer = IncrementalStepScorer(
+            self.computer, current, mapping, self.problem.universe
+        )
+        return self._scorer
+
+    def _score_all(
+        self, scorer: FastStepScorer, candidates: Sequence[Candidate]
+    ) -> List[Tuple[int, DistanceEstimate]]:
+        parts = [candidate.parts for candidate in candidates]
+        workers = resolve_workers(
+            self.config.parallelism, len(parts), self.config.parallel_threshold
+        )
+        self.last_workers = workers
+        if workers <= 1:
+            return [scorer.score(candidate_parts) for candidate_parts in parts]
+
+        # A few spans per worker smooths out uneven candidate costs.
+        spans: List[Tuple[int, int]] = []
+        n_spans = min(len(parts), workers * 4)
+        base, extra = divmod(len(parts), n_spans)
+        low = 0
+        for index in range(n_spans):
+            high = low + base + (1 if index < extra else 0)
+            spans.append((low, high))
+            low = high
+
+        context = multiprocessing.get_context("fork")
+        _WORKER_STATE["scorer"] = scorer
+        _WORKER_STATE["parts"] = parts
+        try:
+            with context.Pool(processes=workers) as pool:
+                chunked = pool.map(_score_span, spans)
+        finally:
+            _WORKER_STATE.clear()
+        results: List[Tuple[int, DistanceEstimate]] = []
+        for chunk in chunked:
+            results.extend(chunk)
+        return results
+
+    def _measure_naive(
+        self,
+        candidates: Sequence[Candidate],
+        current,
+        mapping: MappingState,
+    ) -> Tuple[List[ScoredCandidate], float]:
+        """Reference path: materialize and measure each candidate.
+
+        Kept serial: sampled distances draw from the computer's shared
+        RNG, whose sequence parallel sharding would change.
+        """
+        problem = self.problem
+        measured: List[ScoredCandidate] = []
+        started = time.perf_counter()
+        for candidate in candidates:
+            parts = [problem.universe[name] for name in candidate.parts]
+            virtual = virtual_summary(parts, candidate.proposal)
+            overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
+            step_mapping = {name: virtual.name for name in candidate.parts}
+            expression = current.apply_mapping(step_mapping)
+            candidate_mapping = mapping.compose(step_mapping)
+            distance = self.computer.distance(
+                expression, candidate_mapping, universe=overlay
+            )
+            measured.append(
+                ScoredCandidate(
+                    candidate=candidate,
+                    expression=expression,
+                    step_mapping=step_mapping,
+                    size=expression.size(),
+                    distance=distance,
+                )
+            )
+        self._record(self.PATH_NAIVE)
+        return measured, time.perf_counter() - started

@@ -28,10 +28,20 @@ semantics exactly -- the equivalence is asserted by
 Applicability (checked by :func:`FastStepScorer.applicable`): the
 expression is a :class:`~repro.provenance.tensor_sum.TensorSum` with
 non-negative values, the VAL-FUNC is a
-:class:`~repro.core.val_funcs.VectorValFunc` whose monoid is MAX or
-SUM, every domain lifts with the OR combiner, and the valuation class
-is small enough to enumerate.  Everything else falls back to the
+:class:`~repro.core.val_funcs.VectorValFunc` whose monoid is MAX, SUM
+or COUNT, every domain lifts with the OR combiner, and the valuation
+class is small enough to enumerate.  Everything else falls back to the
 reference path.
+
+:class:`IncrementalStepScorer` extends the step scorer across steps:
+after a merge ``{a, b} → c`` is applied, :meth:`~IncrementalStepScorer
+.advance` invalidates only the state touching ``a``, ``b`` or ``c``
+(annotation masks, term dead-masks, group baselines, aligned original
+vectors and per-valuation metric contributions) and carries everything
+else.  For decomposable VAL-FUNCs it also scores candidates sparsely:
+per valuation it sums only the *nonzero* metric contributions (keys
+touched by past merges) plus the candidate's recomputed neighborhood,
+instead of walking every group.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..provenance.annotations import AnnotationUniverse
-from ..provenance.monoids import MaxMonoid, SumMonoid
+from ..provenance.monoids import CountMonoid, MaxMonoid, SumMonoid
 from ..provenance.tensor_sum import Guard, TensorSum, Term
 from ..provenance.valuation_classes import ValuationClass
 from .combiners import DomainCombiners, OrCombiner
@@ -69,7 +79,7 @@ class FastStepScorer:
             return False
         if not isinstance(val_func, VectorValFunc):
             return False
-        if not isinstance(val_func.monoid, (MaxMonoid, SumMonoid)):
+        if not isinstance(val_func.monoid, (MaxMonoid, SumMonoid, CountMonoid)):
             return False
         if len(valuations) > max_enumerate:
             return False
@@ -222,17 +232,26 @@ class FastStepScorer:
 
     # -- candidate scoring ---------------------------------------------------------
 
-    def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
-        """Size and distance of the merge ``parts → c``."""
+    #: Placeholder key for the candidate's merged annotation / group.
+    _MARKER = "\x00merged"
+
+    def _candidate_state(
+        self, parts: Sequence[str]
+    ) -> Tuple[FrozenSet[str], List[int], Dict[int, int], bool]:
+        """Shared per-candidate precomputation: the merge's neighborhood.
+
+        Returns the part set, the indexes of the terms the merge
+        touches, their substituted dead masks, and whether any part is
+        itself a group key (group-merge case).
+        """
         part_set = frozenset(parts)
         merged_mask = self._full_mask
         for name in parts:
             merged_mask &= self._mask[name]
         substituted = dict(self._mask)
-        marker = "\x00merged"
         for name in parts:
             substituted[name] = merged_mask
-        substituted[marker] = merged_mask
+        substituted[self._MARKER] = merged_mask
 
         affected: List[int] = []
         seen: set = set()
@@ -246,10 +265,25 @@ class FastStepScorer:
             index: self._term_mask(self._terms[index], substituted)
             for index in affected
         }
+        group_merge = any(part in self._group_terms for part in parts)
+        return part_set, affected, override, group_merge
 
-        group_merge = any(
-            part in self._group_terms for part in parts
+    def _estimate(self, distance_value: float) -> DistanceEstimate:
+        max_error = self.computer.max_error
+        normalized = (
+            min(1.0, distance_value / max_error) if max_error > 0 else 0.0
         )
+        return DistanceEstimate(
+            value=distance_value,
+            normalized=normalized,
+            n_valuations=self.n_vals,
+            exact=True,
+        )
+
+    def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
+        """Size and distance of the merge ``parts → c``."""
+        marker = self._MARKER
+        part_set, affected, override, group_merge = self._candidate_state(parts)
         summary = self._candidate_vectors(part_set, marker, override, group_merge)
         orig = self._orig_for(part_set, marker, group_merge)
 
@@ -266,26 +300,18 @@ class FastStepScorer:
             total += valuation.weight * value
             total_weight += valuation.weight
         distance_value = total / total_weight if total_weight else 0.0
-        max_error = self.computer.max_error
-        normalized = (
-            min(1.0, distance_value / max_error) if max_error > 0 else 0.0
-        )
-        estimate = DistanceEstimate(
-            value=distance_value,
-            normalized=normalized,
-            n_valuations=self.n_vals,
-            exact=True,
-        )
+        estimate = self._estimate(distance_value)
         return self._candidate_size(part_set, marker, affected), estimate
 
-    def _candidate_vectors(
+    def _affected_group_indexes(
         self,
         parts: FrozenSet[str],
         marker: str,
         override: Mapping[int, int],
         group_merge: bool,
-    ) -> List[Dict[Optional[str], float]]:
-        affected_groups: Dict[Optional[str], List[int]] = {}
+    ) -> Dict[Optional[str], Sequence[int]]:
+        """Term indexes per group whose aggregate the merge disturbs."""
+        affected_groups: Dict[Optional[str], Sequence[int]] = {}
         for index in override:
             group = self._terms[index].group
             image = marker if group in parts else group
@@ -300,10 +326,20 @@ class FastStepScorer:
             if group == marker:
                 continue
             affected_groups[group] = self._group_terms[group]
+        return affected_groups
 
+    def _candidate_vectors(
+        self,
+        parts: FrozenSet[str],
+        marker: str,
+        override: Mapping[int, int],
+        group_merge: bool,
+    ) -> List[Dict[Optional[str], float]]:
         recomputed = {
             group: self._group_values(indexes, override)
-            for group, indexes in affected_groups.items()
+            for group, indexes in self._affected_group_indexes(
+                parts, marker, override, group_merge
+            ).items()
         }
         vectors: List[Dict[Optional[str], float]] = []
         for index in range(self.n_vals):
@@ -340,10 +376,24 @@ class FastStepScorer:
     def _candidate_size(
         self, parts: FrozenSet[str], marker: str, affected: Sequence[int]
     ) -> int:
-        """Size after the merge: only affected terms can newly collide."""
+        """Size after the merge: only terms touching the merge can collide.
+
+        A term is touched when the merge renames one of its (guard)
+        annotations *or* its group -- a group-only rename can make two
+        terms congruent even though neither mentions the merged
+        annotations, so group members must be examined too.
+        """
         size = self.current.size()
+        touched = list(affected)
+        touched_set = set(affected)
+        for part in parts:
+            for index in self._group_terms.get(part, ()):
+                if index not in touched_set:
+                    touched_set.add(index)
+                    touched.append(index)
+        touched.sort()
         seen: Dict[Tuple, int] = {}
-        for index in affected:
+        for index in touched:
             term = self._terms[index]
             monomial = tuple(
                 sorted(marker if name in parts else name for name in term.annotations)
@@ -369,3 +419,220 @@ class FastStepScorer:
             else:
                 seen[key] = index
         return size
+
+
+class IncrementalStepScorer(FastStepScorer):
+    """A step scorer that carries its state from one step to the next.
+
+    Two independent optimizations over :class:`FastStepScorer`:
+
+    * **Incremental carry** (:meth:`advance`): after the winning merge
+      ``{a, b} → c`` is applied, only the state touching ``a``, ``b``
+      or ``c`` is recomputed -- the merged annotation's bitmask is
+      ``mask(a) AND mask(b)`` (OR combiner over 0/1 valuations), group
+      baselines are recomputed only for groups whose terms mention the
+      new annotation, and the aligned original vectors refold only the
+      keys whose image changed.  Carried entries are bit-identical to a
+      fresh scorer's because they would be recomputed from identical
+      inputs in identical order.
+    * **Sparse scoring**: for decomposable VAL-FUNCs
+      (``val_func.decomposable``) a candidate's per-valuation metric is
+      assembled from the step's *nonzero* baseline contributions (keys
+      already disturbed by past merges -- typically few) plus the
+      candidate's recomputed neighborhood, instead of walking every
+      group.  Contribution sums may associate differently from the
+      dense path, so sparse scores match the reference within ordinary
+      float rounding rather than bit-for-bit; the differential suite
+      (``tests/core/test_parallel_scoring.py``) bounds the drift.
+    """
+
+    def __init__(
+        self,
+        computer: DistanceComputer,
+        current: TensorSum,
+        mapping: MappingState,
+        universe: AnnotationUniverse,
+        sparse: Optional[bool] = None,
+    ):
+        super().__init__(computer, current, mapping, universe)
+        decomposable = bool(getattr(self.val_func, "decomposable", False))
+        self._sparse = decomposable if sparse is None else (sparse and decomposable)
+        #: Number of advance() carries since construction (telemetry).
+        self.steps_carried = 0
+
+        # Original results in evaluation-encounter order, shared across
+        # steps: refolds after a merge must walk keys in the same order
+        # a fresh _align_originals would.
+        self._image: Dict[Optional[str], Optional[str]] = {}
+        self._orig_lists: List[List[Tuple[Optional[str], float]]] = []
+        for index, valuation in enumerate(self.valuations):
+            original = self.computer._original_result(index, valuation)
+            entries: List[Tuple[Optional[str], float]] = []
+            for key, aggregate in original.items():
+                entries.append((key, aggregate.finalized_value()))
+                if key not in self._image:
+                    self._image[key] = (
+                        self.mapping.get(key, key) if key is not None else None
+                    )
+            self._orig_lists.append(entries)
+
+        self._nonzero: List[Dict[Optional[str], float]] = []
+        if self._sparse:
+            self._build_nonzero()
+
+    # -- sparse state ------------------------------------------------------------
+
+    def _build_nonzero(self) -> None:
+        """Per-valuation nonzero metric contributions of the baseline."""
+        contrib = self.val_func.metric_contrib
+        self._nonzero = []
+        for index in range(self.n_vals):
+            orig_vec = self._orig_aligned[index]
+            entries: Dict[Optional[str], float] = {}
+            for key in orig_vec.keys() | self._baseline.keys():
+                values = self._baseline.get(key)
+                value = contrib(
+                    orig_vec.get(key, 0.0),
+                    values[index] if values is not None else 0.0,
+                )
+                if value != 0.0:
+                    entries[key] = value
+            self._nonzero.append(entries)
+
+    def _refresh_contributions(
+        self, part_set: FrozenSet[str], refresh: set
+    ) -> None:
+        contrib = self.val_func.metric_contrib
+        for index in range(self.n_vals):
+            nonzero = self._nonzero[index]
+            for part in part_set:
+                nonzero.pop(part, None)
+            orig_vec = self._orig_aligned[index]
+            for key in refresh:
+                values = self._baseline.get(key)
+                value = contrib(
+                    orig_vec.get(key, 0.0),
+                    values[index] if values is not None else 0.0,
+                )
+                if value != 0.0:
+                    nonzero[key] = value
+                else:
+                    nonzero.pop(key, None)
+
+    # -- candidate scoring -------------------------------------------------------
+
+    def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
+        if not self._sparse:
+            return super().score(parts)
+        marker = self._MARKER
+        part_set, affected, override, group_merge = self._candidate_state(parts)
+        recomputed = {
+            group: self._group_values(indexes, override)
+            for group, indexes in self._affected_group_indexes(
+                part_set, marker, override, group_merge
+            ).items()
+        }
+        contrib = self.val_func.metric_contrib
+        finish = self.val_func.metric_finish
+        total = 0.0
+        total_weight = 0.0
+        for index, valuation in enumerate(self.valuations):
+            orig_vec = self._orig_aligned[index]
+            acc = 0.0
+            for key, carried in self._nonzero[index].items():
+                if key in part_set or key in recomputed:
+                    continue
+                acc += carried
+            for group, values in recomputed.items():
+                if group == marker:
+                    original = (
+                        self._fold_orig(index, part_set) if group_merge else 0.0
+                    )
+                else:
+                    original = orig_vec.get(group, 0.0)
+                acc += contrib(original, values[index])
+            total += valuation.weight * finish(acc)
+            total_weight += valuation.weight
+        distance_value = total / total_weight if total_weight else 0.0
+        estimate = self._estimate(distance_value)
+        return self._candidate_size(part_set, marker, affected), estimate
+
+    def _fold_orig(self, index: int, keys: FrozenSet[str]) -> float:
+        """Fold the aligned original values of ``keys`` (group merge).
+
+        Mirrors :meth:`FastStepScorer._orig_for`: values combine in the
+        aligned vector's iteration order.
+        """
+        acc: Optional[float] = None
+        for key, value in self._orig_aligned[index].items():
+            if key in keys:
+                acc = value if acc is None else self.monoid.combine(acc, value)
+        return 0.0 if acc is None else acc
+
+    # -- step transition ---------------------------------------------------------
+
+    def advance(
+        self,
+        parts: Sequence[str],
+        new_name: str,
+        new_expression: TensorSum,
+        new_mapping: MappingState,
+    ) -> None:
+        """Carry the scorer past the applied merge ``parts → new_name``.
+
+        ``new_expression`` / ``new_mapping`` must be the result of
+        applying exactly that single-step homomorphism to the scorer's
+        current expression and mapping.
+        """
+        part_set = frozenset(parts)
+        merged_mask = self._full_mask
+        for name in parts:
+            merged_mask &= self._mask[name]
+        for name in parts:
+            del self._mask[name]
+        self._mask[new_name] = merged_mask
+        self.current = new_expression
+        self.mapping = new_mapping
+
+        # Terms, dead masks and indexes: O(#terms) integer work.
+        self._build_terms()
+
+        # Group baselines: recompute the neighborhood, carry the rest.
+        touched_groups = {
+            self._terms[index].group
+            for index in self._ann_terms.get(new_name, ())
+        }
+        if new_name in self._group_terms:
+            touched_groups.add(new_name)
+        baseline: Dict[Optional[str], List[float]] = {}
+        for group, indexes in self._group_terms.items():
+            carried = self._baseline.get(group)
+            if carried is None or group in touched_groups:
+                baseline[group] = self._group_values(indexes)
+            else:
+                baseline[group] = carried
+        self._baseline = baseline
+
+        # Aligned originals: refold only the keys whose image changed.
+        changed = {
+            key for key, image in self._image.items() if image in part_set
+        }
+        for key in changed:
+            self._image[key] = new_name
+        if changed:
+            for index in range(self.n_vals):
+                vector = self._orig_aligned[index]
+                for part in part_set:
+                    vector.pop(part, None)
+                acc: Optional[float] = None
+                for key, value in self._orig_lists[index]:
+                    if key in changed:
+                        acc = value if acc is None else self.monoid.combine(acc, value)
+                if acc is not None:
+                    vector[new_name] = acc
+
+        if self._sparse:
+            refresh = set(touched_groups)
+            refresh.add(new_name)
+            self._refresh_contributions(part_set, refresh)
+        self.steps_carried += 1

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..provenance.annotations import AnnotationUniverse
 from ..provenance.valuation_classes import ValuationClass
@@ -60,7 +60,26 @@ class SummarizationConfig:
        desired ``target_size``;
     3. *TARGET-DIST*: set ``w_dist=0``, ``target_size=1``, and the
        desired ``target_dist``.
+
+    Scoring-engine knobs (see :mod:`repro.core.engine`):
+
+    * ``parallelism`` -- worker processes for candidate scoring.
+      ``None``/``"auto"`` engages ``os.cpu_count()`` workers on
+      multi-core machines once a step has at least
+      ``parallel_threshold`` candidates; ``0``/``1``/``"off"`` keeps
+      scoring serial (the seed behavior); any larger int forces that
+      worker count.
+    * ``incremental`` -- carry scoring state across greedy steps,
+      invalidating only the merged neighborhood.  ``None``/``"auto"``
+      and ``True``/``"on"`` enable the carry whenever the fast path
+      applies; ``False``/``"off"`` rebuilds from scratch every step
+      (the seed behavior).
+    * ``parallel_threshold`` -- minimum candidates per step before the
+      auto heuristic considers forking workers worthwhile.
     """
+
+    _PARALLELISM_WORDS = {"auto": None, "off": 0}
+    _INCREMENTAL_WORDS = {"auto": None, "on": True, "true": True, "off": False, "false": False}
 
     w_dist: float = 0.5
     w_size: Optional[float] = None
@@ -76,8 +95,35 @@ class SummarizationConfig:
     delta: float = 0.9
     candidate_cap: Optional[int] = None
     seed: int = 0
+    parallelism: Union[int, str, None] = None
+    incremental: Union[bool, str, None] = None
+    parallel_threshold: int = 64
 
     def __post_init__(self) -> None:
+        if isinstance(self.parallelism, str):
+            word = self.parallelism.strip().lower()
+            if word in self._PARALLELISM_WORDS:
+                self.parallelism = self._PARALLELISM_WORDS[word]
+            else:
+                try:
+                    self.parallelism = int(word)
+                except ValueError:
+                    raise ValueError(
+                        "parallelism must be 'auto', 'off' or an integer, "
+                        f"got {self.parallelism!r}"
+                    ) from None
+        if self.parallelism is not None and self.parallelism < 0:
+            raise ValueError("parallelism must be non-negative")
+        if isinstance(self.incremental, str):
+            word = self.incremental.strip().lower()
+            if word not in self._INCREMENTAL_WORDS:
+                raise ValueError(
+                    "incremental must be 'auto', 'on' or 'off', "
+                    f"got {self.incremental!r}"
+                )
+            self.incremental = self._INCREMENTAL_WORDS[word]
+        if self.parallel_threshold < 1:
+            raise ValueError("parallel_threshold must be at least 1")
         if not 0.0 <= self.w_dist <= 1.0:
             raise ValueError("w_dist must be in [0, 1]")
         if self.w_size is None:

@@ -36,40 +36,16 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..provenance.annotations import Annotation, AnnotationUniverse
-from .candidates import Candidate, enumerate_candidates, virtual_summary
+from ..provenance.annotations import AnnotationUniverse
+from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
+from .engine import ScoringEngine, _OverlayUniverse  # noqa: F401  (re-export)
 from .equivalence import group_equivalent
-from .fast_distance import FastStepScorer
 from .mapping import MappingState
 from .problem import SummarizationConfig, SummarizationProblem
-from .scoring import ScoredCandidate, score_candidates
-
-
-class _OverlayUniverse:
-    """Read-only view of a universe plus a few virtual annotations.
-
-    Candidate scoring evaluates merges that are mostly discarded; the
-    overlay lets the distance machinery resolve a candidate's virtual
-    summary annotation without registering it.
-    """
-
-    __slots__ = ("_base", "_extra")
-
-    def __init__(self, base: AnnotationUniverse, extra: Mapping[str, Annotation]):
-        self._base = base
-        self._extra = dict(extra)
-
-    def __getitem__(self, name: str) -> Annotation:
-        extra = self._extra.get(name)
-        if extra is not None:
-            return extra
-        return self._base[name]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._extra or name in self._base
+from .scoring import score_candidates
 
 
 @dataclass
@@ -90,6 +66,9 @@ class StepRecord:
     n_candidates: int
     candidate_seconds: float
     step_seconds: float
+    #: Which engine path measured this step's candidates ("fast",
+    #: "fast+incremental" or "naive"); "" in records predating the engine.
+    scoring_path: str = ""
 
     @property
     def step_mapping(self) -> Dict[str, str]:
@@ -180,6 +159,7 @@ class Summarizer:
             delta=config.delta,
             rng=self._rng,
         )
+        engine = ScoringEngine(problem, config, computer)
 
         current = original
         equivalence_merges = 0
@@ -232,9 +212,7 @@ class Summarizer:
                 stop_reason = "exhausted"
                 break
 
-            measured, scoring_seconds = self._measure_candidates(
-                candidates, current, mapping, computer
-            )
+            measured, scoring_seconds = engine.measure(candidates, current, mapping)
             candidate_seconds = scoring_seconds / len(candidates)
             scored = score_candidates(
                 measured,
@@ -255,6 +233,7 @@ class Summarizer:
             previous = (current, mapping)
             current = current.apply_mapping(step_mapping)
             mapping = mapping.compose(step_mapping)
+            engine.advance(best.candidate.parts, summary.name, current, mapping)
             last_distance = best.distance
             steps.append(
                 StepRecord(
@@ -267,6 +246,7 @@ class Summarizer:
                     n_candidates=len(candidates),
                     candidate_seconds=candidate_seconds,
                     step_seconds=time.perf_counter() - step_started,
+                    scoring_path=engine.last_path,
                 )
             )
 
@@ -285,69 +265,6 @@ class Summarizer:
             config=config,
             equivalence_mapping=equivalence_mapping,
         )
-
-    def _measure_candidates(
-        self,
-        candidates: List[Candidate],
-        current,
-        mapping: MappingState,
-        computer: DistanceComputer,
-    ) -> Tuple[List[ScoredCandidate], float]:
-        """Apply each candidate and measure its size and distance.
-
-        Uses the batch scorer of :mod:`repro.core.fast_distance` when
-        its preconditions hold (identical results, far cheaper);
-        otherwise each candidate expression is materialized and scored
-        through the reference :class:`DistanceComputer`.
-
-        Returns the scored candidates and the pure per-candidate
-        scoring time (excluding the step's shared precomputation) --
-        the quantity Fig. 6.5a plots.
-        """
-        problem = self.problem
-        if FastStepScorer.applicable(
-            current,
-            problem.val_func,
-            problem.combiners,
-            problem.valuations,
-            problem.universe,
-            self.config.max_enumerate,
-        ):
-            scorer = FastStepScorer(computer, current, mapping, problem.universe)
-            measured = []
-            scoring_started = time.perf_counter()
-            for candidate in candidates:
-                size, distance = scorer.score(candidate.parts)
-                measured.append(
-                    ScoredCandidate(
-                        candidate=candidate,
-                        expression=None,
-                        step_mapping={},
-                        size=size,
-                        distance=distance,
-                    )
-                )
-            return measured, time.perf_counter() - scoring_started
-        measured = []
-        scoring_started = time.perf_counter()
-        for candidate in candidates:
-            parts = [problem.universe[name] for name in candidate.parts]
-            virtual = virtual_summary(parts, candidate.proposal)
-            overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
-            step_mapping = {name: virtual.name for name in candidate.parts}
-            expression = current.apply_mapping(step_mapping)
-            candidate_mapping = mapping.compose(step_mapping)
-            distance = computer.distance(expression, candidate_mapping, universe=overlay)
-            measured.append(
-                ScoredCandidate(
-                    candidate=candidate,
-                    expression=expression,
-                    step_mapping=step_mapping,
-                    size=expression.size(),
-                    distance=distance,
-                )
-            )
-        return measured, time.perf_counter() - scoring_started
 
 
 def summarize(

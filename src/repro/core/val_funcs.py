@@ -70,6 +70,13 @@ class VectorValFunc(ABC):
     #: Table 5.1 name.
     name: str = "VAL-FUNC"
 
+    #: Whether :meth:`metric` decomposes coordinate-wise as
+    #: ``metric_finish(Σ_k metric_contrib(orig[k], summ[k]))``.  The
+    #: incremental step scorer exploits decomposability to rescore only
+    #: a candidate's neighborhood; non-decomposable VAL-FUNCs fall back
+    #: to the dense per-candidate metric.
+    decomposable: bool = False
+
     def __init__(self, monoid: AggregationMonoid):
         self.monoid = monoid
 
@@ -92,6 +99,19 @@ class VectorValFunc(ABC):
     ) -> float:
         """Distance between two same-keyed real vectors."""
 
+    def metric_contrib(self, original: float, summary: float) -> float:
+        """One coordinate's contribution to the decomposed metric.
+
+        Must satisfy ``metric_contrib(x, x) == 0.0`` exactly and
+        ``metric_contrib(o, s) >= 0`` so absent coordinates (both sides
+        0) contribute nothing.
+        """
+        raise NotImplementedError(f"{self.name} is not decomposable")
+
+    def metric_finish(self, total: float) -> float:
+        """Map the summed contributions back to the metric's value."""
+        raise NotImplementedError(f"{self.name} is not decomposable")
+
     def max_error(self, expression: TensorSum) -> float:
         """Normalization bound computed from the *original* expression.
 
@@ -111,11 +131,18 @@ class EuclideanDistance(VectorValFunc):
     """Euclidean distance between aggregation vectors (§3.2 item 3)."""
 
     name = "Euclidean Distance"
+    decomposable = True
 
     def metric(self, original, summary) -> float:
         return math.sqrt(
             sum((original[key] - summary[key]) ** 2 for key in original)
         )
+
+    def metric_contrib(self, original: float, summary: float) -> float:
+        return (original - summary) ** 2
+
+    def metric_finish(self, total: float) -> float:
+        return math.sqrt(total) if total > 0.0 else 0.0
 
 
 class AbsoluteDifference(VectorValFunc):
@@ -126,9 +153,16 @@ class AbsoluteDifference(VectorValFunc):
     """
 
     name = "Absolute Difference"
+    decomposable = True
 
     def metric(self, original, summary) -> float:
         return sum(abs(original[key] - summary[key]) for key in original)
+
+    def metric_contrib(self, original: float, summary: float) -> float:
+        return abs(original - summary)
+
+    def metric_finish(self, total: float) -> float:
+        return total if total > 0.0 else 0.0
 
 
 class Disagreement(VectorValFunc):
@@ -140,11 +174,18 @@ class Disagreement(VectorValFunc):
     """
 
     name = "Disagreement"
+    decomposable = True
 
     def metric(self, original, summary) -> float:
         return 0.0 if all(
             math.isclose(original[key], summary[key]) for key in original
         ) else 1.0
+
+    def metric_contrib(self, original: float, summary: float) -> float:
+        return 0.0 if math.isclose(original, summary) else 1.0
+
+    def metric_finish(self, total: float) -> float:
+        return 0.0 if total == 0.0 else 1.0
 
     def max_error(self, expression: TensorSum) -> float:
         return 1.0

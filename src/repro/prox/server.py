@@ -14,7 +14,10 @@ POST     /summarize             the Figure 7.4 form fields (all optional):
                                 ``distance_weight``, ``size_weight``,
                                 ``distance_bound``, ``size_bound``,
                                 ``number_of_steps``, ``aggregation``,
-                                ``valuation_class``, ``val_func``
+                                ``valuation_class``, ``val_func``, plus the
+                                scoring-engine knobs ``parallelism``
+                                ("auto"/"off"/int) and ``incremental``
+                                ("auto"/"on"/"off")
 GET      /summary/expression    the polynomial-form view (Figure 7.8)
 GET      /summary/groups        the groups view (Figures 7.5-7.7)
 POST     /evaluate              ``{"false_annotations": [...],
@@ -150,6 +153,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             "aggregation",
             "valuation_class",
             "val_func",
+            "parallelism",
+            "incremental",
         }
         unknown = set(body) - allowed - {"seed"}
         if unknown:

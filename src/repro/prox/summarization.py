@@ -45,6 +45,11 @@ class SummarizationRequest:
     aggregation: str = "MAX"
     valuation_class: str = "Cancel Single Annotation"
     val_func: str = "Euclidean Distance"
+    #: Scoring-engine knobs (see :mod:`repro.core.engine`): worker
+    #: processes per step ("auto"/"off"/int) and cross-step carry
+    #: ("auto"/"on"/"off"/bool).
+    parallelism: object = None
+    incremental: object = None
 
     def to_config(self, seed: int = 0) -> SummarizationConfig:
         return SummarizationConfig(
@@ -54,6 +59,8 @@ class SummarizationRequest:
             target_size=self.size_bound,
             max_steps=self.number_of_steps,
             seed=seed,
+            parallelism=self.parallelism,
+            incremental=self.incremental,
         )
 
 

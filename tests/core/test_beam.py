@@ -55,11 +55,14 @@ class TestValidation:
         with pytest.raises(ValueError, match="at least 1"):
             BeamSummarizer(movielens_problem(1), SummarizationConfig(), beam_width=0)
 
-    def test_requires_batch_scorer_preconditions(self):
+    def test_naive_fallback_when_batch_scorer_inapplicable(self):
+        # DDP problems fail the batch-scorer preconditions; the engine
+        # must score them through the naive path instead of raising.
         instance = generate_ddp(DDPConfig(seed=1))
-        with pytest.raises(NotImplementedError, match="batch-scorer"):
-            BeamSummarizer(
-                instance.problem(),
-                SummarizationConfig(max_steps=2),
-                beam_width=2,
-            ).run()
+        result = BeamSummarizer(
+            instance.problem(),
+            SummarizationConfig(max_steps=2),
+            beam_width=2,
+        ).run()
+        assert result.n_steps >= 1
+        assert all(record.scoring_path == "naive" for record in result.steps)

@@ -1,0 +1,488 @@
+"""Differential proof obligations for the scoring engine.
+
+Four implementations must agree on every candidate of a step: the
+naive reference (:class:`DistanceComputer` on each materialized
+candidate), the serial :class:`FastStepScorer`, the process-pool
+parallel path, and the sparse :class:`IncrementalStepScorer` -- over
+randomized instances (explicit RNG grid), SUM/MAX/COUNT aggregations,
+the OR combiner, and the degenerate corners (one candidate, one
+valuation, all-false annotations, empty groups).
+
+Sizes must match as exact integers; distances to within 1e-12 (the
+tolerance the seed's fast-path suite already uses -- dense and sparse
+summation differ only in fold order).  Serial and parallel runs of the
+*same* scorer must agree bit-for-bit.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AbsoluteDifference,
+    AllowAll,
+    Disagreement,
+    DistanceComputer,
+    DomainCombiners,
+    EuclideanDistance,
+    MappingState,
+    ScoringEngine,
+    SummarizationConfig,
+    SummarizationProblem,
+    Summarizer,
+    enumerate_candidates,
+    virtual_summary,
+)
+from repro.core.engine import _OverlayUniverse
+from repro.core.fast_distance import FastStepScorer, IncrementalStepScorer
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.provenance import (
+    COUNT,
+    MAX,
+    SUM,
+    Annotation,
+    AnnotationUniverse,
+    CancelSingleAnnotation,
+    ExplicitValuations,
+    Guard,
+    TensorSum,
+    Term,
+    Valuation,
+)
+
+MONOIDS = {"MAX": MAX, "SUM": SUM, "COUNT": COUNT}
+
+
+# -- instance generation -----------------------------------------------------------
+
+
+def random_problem(
+    seed,
+    monoid,
+    val_func_cls=EuclideanDistance,
+    n_users=6,
+    n_terms=14,
+    with_guards=False,
+    group_merges=False,
+    valuations=None,
+):
+    """A randomized TensorSum summarization problem over one domain.
+
+    With ``group_merges=True`` the group keys are the annotation names
+    themselves, so merging a candidate pair also merges groups -- the
+    Wikipedia-style path through the scorers.
+    """
+    rng = random.Random(seed)
+    universe = AnnotationUniverse()
+    names = [f"U{i}" for i in range(n_users)]
+    for name in names:
+        universe.register(
+            Annotation(name, "user", {"g": rng.choice("AB"), "r": rng.choice("XY")})
+        )
+    groups = list(names) if group_merges else ["g0", "g1", "g2", None]
+    terms = []
+    for _ in range(n_terms):
+        annotations = tuple(rng.sample(names, rng.choice([1, 1, 2])))
+        guards = ()
+        if with_guards and rng.random() < 0.4:
+            guards = (
+                Guard(
+                    (rng.choice(names),),
+                    rng.choice([1, 5]),
+                    rng.choice([">", ">=", "=="]),
+                    rng.choice([0, 2]),
+                ),
+            )
+        terms.append(
+            Term(
+                annotations,
+                float(rng.randint(0, 5)),
+                group=rng.choice(groups),
+                guards=guards,
+            )
+        )
+    expression = TensorSum(terms, monoid)
+    if valuations is None:
+        valuations = CancelSingleAnnotation(universe, domains=("user",))
+    return SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=valuations,
+        val_func=val_func_cls(monoid),
+        combiners=DomainCombiners(),
+        constraint=AllowAll(),
+        description=f"random seed={seed}",
+    )
+
+
+# -- the four scoring paths --------------------------------------------------------
+
+
+def make_computer(problem):
+    return DistanceComputer(
+        problem.expression,
+        problem.valuations,
+        problem.val_func,
+        problem.combiners,
+        problem.universe,
+    )
+
+
+def naive_scores(problem, computer, current, mapping, candidates):
+    out = []
+    for candidate in candidates:
+        parts = [problem.universe[name] for name in candidate.parts]
+        virtual = virtual_summary(parts, candidate.proposal)
+        overlay = _OverlayUniverse(problem.universe, {virtual.name: virtual})
+        step = {name: virtual.name for name in candidate.parts}
+        expression = current.apply_mapping(step)
+        distance = computer.distance(
+            expression, mapping.compose(step), universe=overlay
+        )
+        out.append((expression.size(), distance))
+    return out
+
+
+def engine_scores(problem, computer, current, mapping, candidates, **knobs):
+    engine = ScoringEngine(problem, SummarizationConfig(**knobs), computer)
+    measured, _ = engine.measure(candidates, current, mapping)
+    return engine, [(scored.size, scored.distance) for scored in measured]
+
+
+def assert_distances_match(actual, reference, context=""):
+    assert len(actual) == len(reference)
+    for (size, distance), (ref_size, ref_distance) in zip(actual, reference):
+        assert size == ref_size, context
+        assert distance.value == pytest.approx(ref_distance.value, abs=1e-12), context
+        assert distance.normalized == pytest.approx(
+            ref_distance.normalized, abs=1e-12
+        ), context
+
+
+def assert_all_paths_agree(problem):
+    """naive ≡ serial fast ≡ parallel fast ≡ incremental, one step."""
+    computer = make_computer(problem)
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    candidates = enumerate_candidates(current, problem.universe, problem.constraint)
+    assert candidates, "instance must produce candidates"
+    assert FastStepScorer.applicable(
+        current,
+        problem.val_func,
+        problem.combiners,
+        problem.valuations,
+        problem.universe,
+        512,
+    )
+    reference = naive_scores(problem, computer, current, mapping, candidates)
+
+    serial_scorer = FastStepScorer(computer, current, mapping, problem.universe)
+    serial = [serial_scorer.score(candidate.parts) for candidate in candidates]
+    assert_distances_match(serial, reference, "serial fast vs naive")
+
+    incremental_scorer = IncrementalStepScorer(
+        computer, current, mapping, problem.universe
+    )
+    incremental = [
+        incremental_scorer.score(candidate.parts) for candidate in candidates
+    ]
+    assert_distances_match(incremental, reference, "incremental vs naive")
+
+    engine, parallel = engine_scores(
+        problem,
+        computer,
+        current,
+        mapping,
+        candidates,
+        parallelism=2,
+        incremental=False,
+        parallel_threshold=1,
+    )
+    assert engine.last_path == ScoringEngine.PATH_FAST
+    assert engine.last_workers == 2 or len(candidates) < 2
+    # The parallel path runs the very same scorer in forked workers, so
+    # it must be *bit*-identical to the serial run, not just close.
+    assert parallel == serial
+
+    engine, parallel_inc = engine_scores(
+        problem,
+        computer,
+        current,
+        mapping,
+        candidates,
+        parallelism=2,
+        incremental=True,
+        parallel_threshold=1,
+    )
+    assert engine.last_path == ScoringEngine.PATH_FAST_INCREMENTAL
+    assert parallel_inc == incremental
+
+
+# -- the RNG grid ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_differential_over_rng_grid(monoid_name, seed):
+    assert_all_paths_agree(random_problem(seed, MONOIDS[monoid_name]))
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+def test_differential_with_guards(monoid_name):
+    assert_all_paths_agree(
+        random_problem(11, MONOIDS[monoid_name], with_guards=True)
+    )
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+def test_differential_with_group_merges(monoid_name):
+    assert_all_paths_agree(
+        random_problem(23, MONOIDS[monoid_name], group_merges=True)
+    )
+
+
+@pytest.mark.parametrize("val_func_cls", [AbsoluteDifference, Disagreement])
+def test_differential_other_val_funcs(val_func_cls):
+    assert_all_paths_agree(random_problem(5, MAX, val_func_cls=val_func_cls))
+    assert_all_paths_agree(random_problem(5, SUM, val_func_cls=val_func_cls))
+
+
+# -- degenerate corners ------------------------------------------------------------
+
+
+def test_single_candidate():
+    assert_all_paths_agree(random_problem(3, SUM, n_users=2, n_terms=5))
+
+
+def test_single_valuation():
+    problem = random_problem(
+        9,
+        MAX,
+        valuations=ExplicitValuations(
+            [Valuation({"U0": 0.0}, label="cancel U0")]
+        ),
+    )
+    assert_all_paths_agree(problem)
+
+
+def test_all_false_annotations():
+    """A valuation cancelling every annotation empties both vectors."""
+    names = {f"U{i}": 0.0 for i in range(6)}
+    problem = random_problem(
+        13,
+        SUM,
+        valuations=ExplicitValuations(
+            [
+                Valuation(dict(names), label="cancel everything"),
+                Valuation({}, label="keep everything"),
+            ]
+        ),
+    )
+    assert_all_paths_agree(problem)
+
+
+def test_empty_groups():
+    """Groups whose terms all die under a valuation, plus ungrouped terms."""
+    universe = AnnotationUniverse()
+    for name in ("U0", "U1", "U2"):
+        universe.register(Annotation(name, "user", {"g": "A"}))
+    expression = TensorSum(
+        [
+            Term(("U0",), 2.0, group="g0"),
+            Term(("U1",), 3.0, group=None),
+            Term(("U0", "U1"), 1.0, group="g1"),
+        ],
+        SUM,
+    )
+    problem = SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=CancelSingleAnnotation(universe, domains=("user",)),
+        val_func=EuclideanDistance(SUM),
+        combiners=DomainCombiners(),
+        constraint=AllowAll(),
+    )
+    assert_all_paths_agree(problem)
+
+
+def test_group_only_rename_congruence_size_regression():
+    """Terms in different groups whose annotations already coincide
+    become congruent when their *groups* merge; the fast size used to
+    miss this collision because neither term mentions the merged
+    annotations (latent seed bug found by the differential grid)."""
+    universe = AnnotationUniverse()
+    for name in ("U0", "U1", "U2"):
+        universe.register(Annotation(name, "user", {"g": "A"}))
+    expression = TensorSum(
+        [
+            Term(("U2",), 2.0, group="U0"),
+            Term(("U2",), 3.0, group="U1"),
+            Term(("U0",), 1.0, group=None),
+            Term(("U1",), 4.0, group=None),
+        ],
+        SUM,
+    )
+    problem = SummarizationProblem(
+        expression=expression,
+        universe=universe,
+        valuations=CancelSingleAnnotation(universe, domains=("user",)),
+        val_func=EuclideanDistance(SUM),
+        combiners=DomainCombiners(),
+        constraint=AllowAll(),
+    )
+    assert_all_paths_agree(problem)
+
+
+# -- incremental carry across steps ------------------------------------------------
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+def test_incremental_across_steps_matches_fresh(monoid_name):
+    """After each applied merge the carried scorer must equal a fresh
+    scorer and the naive reference on the *next* step's candidates."""
+    problem = random_problem(17, MONOIDS[monoid_name], n_users=6, n_terms=16)
+    computer = make_computer(problem)
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    carried = IncrementalStepScorer(computer, current, mapping, problem.universe)
+
+    for step in range(3):
+        candidates = enumerate_candidates(
+            current, problem.universe, problem.constraint
+        )
+        if not candidates:
+            break
+        reference = naive_scores(problem, computer, current, mapping, candidates)
+        scores = [carried.score(candidate.parts) for candidate in candidates]
+        assert_distances_match(scores, reference, f"step {step}")
+        fresh = FastStepScorer(computer, current, mapping, problem.universe)
+        fresh_scores = [fresh.score(candidate.parts) for candidate in candidates]
+        assert_distances_match(scores, fresh_scores, f"step {step} vs fresh")
+
+        chosen = candidates[step % len(candidates)]
+        summary_parts = [problem.universe[name] for name in chosen.parts]
+        summary = problem.universe.new_summary(
+            summary_parts,
+            label=chosen.proposal.label,
+            concept=chosen.proposal.concept,
+        )
+        step_mapping = {name: summary.name for name in chosen.parts}
+        current = current.apply_mapping(step_mapping)
+        mapping = mapping.compose(step_mapping)
+        carried.advance(chosen.parts, summary.name, current, mapping)
+        assert carried.steps_carried == step + 1
+
+
+def test_incremental_group_merges_across_steps():
+    problem = random_problem(29, SUM, group_merges=True, n_terms=18)
+    computer = make_computer(problem)
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    carried = IncrementalStepScorer(computer, current, mapping, problem.universe)
+    for step in range(2):
+        candidates = enumerate_candidates(
+            current, problem.universe, problem.constraint
+        )
+        if not candidates:
+            break
+        reference = naive_scores(problem, computer, current, mapping, candidates)
+        scores = [carried.score(candidate.parts) for candidate in candidates]
+        assert_distances_match(scores, reference, f"group-merge step {step}")
+        chosen = candidates[0]
+        summary_parts = [problem.universe[name] for name in chosen.parts]
+        summary = problem.universe.new_summary(
+            summary_parts, label=chosen.proposal.label
+        )
+        step_mapping = {name: summary.name for name in chosen.parts}
+        current = current.apply_mapping(step_mapping)
+        mapping = mapping.compose(step_mapping)
+        carried.advance(chosen.parts, summary.name, current, mapping)
+
+
+# -- end-to-end determinism --------------------------------------------------------
+
+
+def movielens_problem(seed):
+    return generate_movielens(
+        MovieLensConfig(n_users=12, n_movies=6, seed=seed)
+    ).problem()
+
+
+@pytest.mark.parametrize("seed", [3, 9])
+def test_e2e_determinism_parallel_incremental_vs_seed_default(seed):
+    """parallelism=4, incremental=on must replay the seed-default run
+    merge for merge on the bundled MovieLens sample."""
+    config_kwargs = dict(w_dist=0.7, max_steps=6, seed=0)
+    baseline = Summarizer(
+        movielens_problem(seed),
+        SummarizationConfig(parallelism=0, incremental="off", **config_kwargs),
+    ).run()
+    tuned = Summarizer(
+        movielens_problem(seed),
+        SummarizationConfig(
+            parallelism=4, incremental="on", parallel_threshold=1, **config_kwargs
+        ),
+    ).run()
+    assert [r.merged for r in tuned.steps] == [r.merged for r in baseline.steps]
+    assert [r.new_annotation for r in tuned.steps] == [
+        r.new_annotation for r in baseline.steps
+    ]
+    assert tuned.final_size == baseline.final_size
+    assert tuned.final_distance.value == baseline.final_distance.value
+    assert tuned.summary_groups() == baseline.summary_groups()
+    assert {r.scoring_path for r in baseline.steps} == {"fast"}
+    assert {r.scoring_path for r in tuned.steps} == {"fast+incremental"}
+
+
+# -- fallback regression -----------------------------------------------------------
+
+
+def test_fast_path_bailing_mid_run_falls_back_to_naive(monkeypatch):
+    """If the scorer dies partway through a step the engine must score
+    the whole step naively -- no crash, no skipped candidates."""
+    problem = random_problem(31, MAX)
+    computer = make_computer(problem)
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    candidates = enumerate_candidates(current, problem.universe, problem.constraint)
+    reference = naive_scores(problem, computer, current, mapping, candidates)
+
+    calls = {"n": 0}
+    original_score = FastStepScorer.score
+
+    def flaky_score(self, parts):
+        calls["n"] += 1
+        if calls["n"] > 3:
+            raise RuntimeError("fast path bailed mid-run")
+        return original_score(self, parts)
+
+    monkeypatch.setattr(FastStepScorer, "score", flaky_score)
+    engine, scores = engine_scores(
+        problem, computer, current, mapping, candidates,
+        parallelism=0, incremental=False,
+    )
+    assert engine.last_path == ScoringEngine.PATH_NAIVE
+    assert calls["n"] == 4, "the fast path was attempted and bailed"
+    assert_distances_match(scores, reference, "fallback")
+
+
+def test_summarizer_survives_broken_fast_path(monkeypatch):
+    """A full greedy run with a permanently broken fast path completes
+    on the naive path and reproduces the unbroken merge sequence."""
+    expected = Summarizer(
+        movielens_problem(3), SummarizationConfig(w_dist=0.7, max_steps=4, seed=0)
+    ).run()
+
+    def broken_score(self, parts):
+        raise RuntimeError("broken scorer")
+
+    monkeypatch.setattr(FastStepScorer, "score", broken_score)
+    monkeypatch.setattr(IncrementalStepScorer, "score", broken_score)
+    result = Summarizer(
+        movielens_problem(3), SummarizationConfig(w_dist=0.7, max_steps=4, seed=0)
+    ).run()
+    assert [r.merged for r in result.steps] == [r.merged for r in expected.steps]
+    assert {r.scoring_path for r in result.steps} == {"naive"}
+    assert result.final_distance.value == pytest.approx(
+        expected.final_distance.value, abs=1e-12
+    )

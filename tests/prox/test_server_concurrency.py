@@ -1,0 +1,176 @@
+"""Hammer the PROX server from many threads.
+
+The server is a ``ThreadingHTTPServer`` over a single mutable
+:class:`ProxSession`; every handler must serialize on the session lock
+so concurrent requests can interleave freely without corrupting state.
+Errors must stay conventional: 409 for out-of-order workflow calls,
+400 for bad input -- never a 500 or a torn response.
+"""
+
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.prox import ProxSession
+from repro.prox.server import ProxServer
+
+N_THREADS = 8
+ROUNDS = 3
+
+
+@pytest.fixture()
+def server():
+    instance = generate_movielens(
+        MovieLensConfig(n_users=10, n_movies=6, include_movie_merges=True, seed=7)
+    )
+    with ProxServer(ProxSession(instance)) as running:
+        yield running
+
+
+def request(server, method, path, body=None):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    payload = json.dumps(body) if body is not None else None
+    headers = {"Content-Type": "application/json"} if payload else {}
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    data = json.loads(response.read())
+    connection.close()
+    return response.status, data
+
+
+SUMMARIZE_BODY = {"distance_weight": 0.7, "number_of_steps": 3}
+
+
+def hammer(server, titles, barrier, worker):
+    """One worker's request mix; returns (op, status, data) triples."""
+    out = []
+    barrier.wait(timeout=30)
+    for round_index in range(ROUNDS):
+        op = (worker + round_index) % 4
+        if op == 0:
+            out.append(
+                ("select", *request(server, "POST", "/select", {"titles": titles}))
+            )
+        elif op == 1:
+            out.append(
+                ("summarize", *request(server, "POST", "/summarize", SUMMARIZE_BODY))
+            )
+        elif op == 2:
+            out.append(
+                (
+                    "evaluate",
+                    *request(
+                        server,
+                        "POST",
+                        "/evaluate",
+                        {"false_attributes": {"gender": "M"}},
+                    ),
+                )
+            )
+        else:
+            out.append(("groups", *request(server, "GET", "/summary/groups")))
+    return out
+
+
+def test_concurrent_mixed_requests_keep_state_consistent(server):
+    _, data = request(server, "GET", "/titles")
+    titles = data["titles"][:4]
+    # Fixed selection: every /select re-selects the same provenance, so
+    # every successful /summarize must report the same result.
+    status, _ = request(server, "POST", "/select", {"titles": titles})
+    assert status == 200
+
+    barrier = threading.Barrier(N_THREADS)
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        futures = [
+            pool.submit(hammer, server, titles, barrier, worker)
+            for worker in range(N_THREADS)
+        ]
+        results = [entry for future in futures for entry in future.result()]
+
+    assert len(results) == N_THREADS * ROUNDS
+    summaries = []
+    for op, status, data in results:
+        assert status in (200, 409), (op, status, data)
+        if status == 409:
+            # Workflow-order conflict: a /select reset the session
+            # between another thread's request pair.
+            assert "error" in data, (op, data)
+            assert op in ("evaluate", "groups"), (op, data)
+            continue
+        if op == "select":
+            assert data["selected_size"] > 0
+        elif op == "summarize":
+            assert 0.0 <= data["distance"] <= 1.0
+            assert data["steps"] <= SUMMARIZE_BODY["number_of_steps"]
+            summaries.append(
+                (data["size"], data["distance"], data["steps"], data["stop_reason"])
+            )
+        elif op == "evaluate":
+            assert data["original"]["evaluation_time_ns"] > 0
+            assert data["summary"]["evaluation_time_ns"] > 0
+        elif op == "groups":
+            for group in data["groups"]:
+                assert group["size"] == len(group["members"])
+
+    # Interleaving must not perturb the (deterministic) algorithm: all
+    # successful summarize calls saw the identical selection and must
+    # agree exactly.
+    assert summaries, "at least one summarize must have succeeded"
+    assert len(set(summaries)) == 1, summaries
+
+    # The session still works normally after the storm.
+    status, data = request(server, "POST", "/summarize", SUMMARIZE_BODY)
+    assert status == 200
+    assert (data["size"], data["distance"], data["steps"], data["stop_reason"]) in set(
+        summaries
+    )
+    status, data = request(
+        server, "POST", "/evaluate", {"false_attributes": {"gender": "M"}}
+    )
+    assert status == 200
+
+
+def test_concurrent_summarize_identical_results(server):
+    """Pure write contention: N simultaneous summarize calls on one
+    selection all succeed and agree bit-for-bit."""
+    _, data = request(server, "GET", "/titles")
+    status, _ = request(server, "POST", "/select", {"titles": data["titles"][:4]})
+    assert status == 200
+
+    barrier = threading.Barrier(N_THREADS)
+
+    def one(_):
+        barrier.wait(timeout=30)
+        return request(server, "POST", "/summarize", SUMMARIZE_BODY)
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        responses = list(pool.map(one, range(N_THREADS)))
+    assert all(status == 200 for status, _ in responses)
+    payloads = {
+        (data["size"], data["distance"], data["steps"], data["stop_reason"])
+        for _, data in responses
+    }
+    assert len(payloads) == 1, payloads
+
+
+def test_evaluate_before_summarize_conflicts_under_load():
+    """Unsatisfiable requests fail with 409 even when racing a writer."""
+    instance = generate_movielens(MovieLensConfig(n_users=8, n_movies=5, seed=1))
+    with ProxServer(ProxSession(instance)) as fresh:
+        barrier = threading.Barrier(4)
+
+        def evaluate(_):
+            barrier.wait(timeout=30)
+            return request(fresh, "POST", "/evaluate", {"false_annotations": []})
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            responses = list(pool.map(evaluate, range(4)))
+        for status, data in responses:
+            assert status == 409
+            assert "summarize first" in data["error"]
