@@ -15,20 +15,25 @@ with hundreds of candidates) under several engine configurations:
 All modes must produce the identical merge sequence (asserted); the
 table reports pure candidate-scoring seconds (the Fig. 6.5a quantity)
 and the speedup over ``seed``.  Results are written to
-``benchmarks/results/parallel_scoring.txt``.
+``benchmarks/results/parallel_scoring.txt`` and, machine-readably, to
+``benchmarks/results/parallel_scoring.json`` (the file CI uploads as
+a workflow artifact).
 
 ``--quick`` runs a small instance (CI smoke): it exercises every mode,
-asserts equivalence, and skips the speedup expectations.
+asserts equivalence, and skips the speedup expectations.  ``--seed``
+varies the generated instance (and the summarizer RNG) so regressions
+can be checked across instances, not just one.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_scoring.py [--quick]
-        [--users N] [--movies N] [--steps N] [--workers 2,4]
+        [--seed N] [--users N] [--movies N] [--steps N] [--workers 2,4]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -39,6 +44,7 @@ from repro.core import SummarizationConfig, Summarizer  # noqa: E402
 from repro.datasets import MovieLensConfig, generate_movielens  # noqa: E402
 
 RESULTS_PATH = Path(__file__).parent / "results" / "parallel_scoring.txt"
+RESULTS_JSON_PATH = Path(__file__).parent / "results" / "parallel_scoring.json"
 
 
 def build_problem(n_users: int, n_movies: int, seed: int = 0):
@@ -60,9 +66,9 @@ def build_problem(n_users: int, n_movies: int, seed: int = 0):
     ).problem()
 
 
-def run_mode(n_users, n_movies, steps, **knobs):
-    problem = build_problem(n_users, n_movies)
-    config = SummarizationConfig(w_dist=0.7, max_steps=steps, seed=0, **knobs)
+def run_mode(n_users, n_movies, steps, seed=0, **knobs):
+    problem = build_problem(n_users, n_movies, seed=seed)
+    config = SummarizationConfig(w_dist=0.7, max_steps=steps, seed=seed, **knobs)
     result = Summarizer(problem, config).run()
     scoring_seconds = sum(
         record.candidate_seconds * record.n_candidates for record in result.steps
@@ -73,6 +79,10 @@ def run_mode(n_users, n_movies, steps, **knobs):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke: small instance")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="instance-generation and summarizer RNG seed",
+    )
     parser.add_argument("--users", type=int, default=48)
     parser.add_argument("--movies", type=int, default=60)
     parser.add_argument("--steps", type=int, default=5)
@@ -102,7 +112,7 @@ def main(argv=None) -> int:
     rows = []
     reference = None
     for label, knobs in modes:
-        result, seconds = run_mode(n_users, n_movies, steps, **knobs)
+        result, seconds = run_mode(n_users, n_movies, steps, seed=args.seed, **knobs)
         merges = [record.merged for record in result.steps]
         if reference is None:
             reference = merges
@@ -115,7 +125,7 @@ def main(argv=None) -> int:
     base = rows[0][1]
     lines = [
         f"instance: movielens n_users={n_users} n_movies={n_movies} "
-        f"steps={steps} cores={os.cpu_count()}",
+        f"steps={steps} seed={args.seed} cores={os.cpu_count()}",
         f"widest step: {rows[0][3]} candidates",
         "",
         f"{'mode':<14} {'scoring-s':>10} {'speedup':>9}",
@@ -131,6 +141,32 @@ def main(argv=None) -> int:
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(body + "\n")
     print(f"\nwritten to {RESULTS_PATH}")
+
+    payload = {
+        "benchmark": "parallel_scoring",
+        "quick": args.quick,
+        "instance": {
+            "dataset": "movielens",
+            "n_users": n_users,
+            "n_movies": n_movies,
+            "steps": steps,
+            "seed": args.seed,
+            "cores": os.cpu_count(),
+        },
+        "widest_step_candidates": rows[0][3],
+        "modes": [
+            {
+                "mode": label,
+                "scoring_seconds": seconds,
+                "speedup_vs_seed": (base / seconds) if seconds > 0 else None,
+                "steps": n_steps,
+            }
+            for label, seconds, n_steps, _ in rows
+        ],
+        "identical_merge_sequence": True,
+    }
+    RESULTS_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {RESULTS_JSON_PATH}")
 
     if not args.quick:
         incremental_speedup = base / rows[1][1] if rows[1][1] > 0 else float("inf")

@@ -17,6 +17,8 @@ The package implements the full PROX stack:
 * :mod:`repro.experiments` -- harness regenerating every figure of
   Chapter 6.
 * :mod:`repro.prox` -- the PROX system services (Chapter 7).
+* :mod:`repro.observability` -- metrics (``/metrics``), hierarchical
+  tracing spans and structured logging across the whole pipeline.
 
 Quickstart::
 

@@ -15,13 +15,21 @@ Commands
     A scripted tour of the PROX system session.
 
 All commands are deterministic given ``--seed``.
+
+Observability: ``summarize --trace FILE`` records the hierarchical
+span tree (``summarize > step[k] > score_candidates``) and writes it
+as JSON; ``REPRO_LOG_LEVEL`` / ``REPRO_TRACE`` / ``REPRO_METRICS``
+control the structured-logging/tracing/metrics knobs everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
+
+from .observability import tracing
 
 from . import serialization
 from .core import (
@@ -110,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--log", action="store_true", help="print the per-step merge log"
     )
+    summarize.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record hierarchical tracing spans and write them as JSON",
+    )
 
     experiment = commands.add_parser("experiment", help="run a Chapter 6 experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -180,6 +193,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.trace:
+        tracing.set_enabled(True)
+        tracing.take_trace()  # drop any stale tree from this thread
     instance = _GENERATORS[args.dataset](args.seed)
     config = SummarizationConfig(
         w_dist=args.wdist,
@@ -212,6 +228,15 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
           f" (+{result.equivalence_merges} equivalence merges),"
           f" stop: {result.stop_reason},"
           f" {result.total_seconds:.2f}s")
+    paths: dict = {}
+    for record in result.steps:
+        if record.scoring_path:
+            paths[record.scoring_path] = paths.get(record.scoring_path, 0) + 1
+    if paths:
+        rendered = ", ".join(
+            f"{path}×{count}" for path, count in sorted(paths.items())
+        )
+        print(f"  scoring paths: {rendered}")
     if args.log:
         for record in result.steps:
             distance = (
@@ -219,12 +244,24 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
                 if record.distance_after is not None
                 else "-"
             )
+            timing = (
+                f", {record.step_seconds * 1e3:.1f}ms"
+                f" [{record.scoring_path}]" if record.scoring_path else ""
+            )
             print(f"    step {record.step}: {{{', '.join(record.merged)}}} -> "
-                  f"{record.label} (size {record.size_after}, distance {distance})")
+                  f"{record.label} (size {record.size_after}, "
+                  f"distance {distance}{timing})")
     if args.save:
         with open(args.save, "w", encoding="utf-8") as handle:
             serialization.dump(serialization.summary_to_dict(result), handle)
         print(f"  summary written to {args.save}")
+    if args.trace:
+        trace = tracing.take_trace()
+        payload = trace.to_dict() if trace is not None else {}
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"  trace written to {args.trace}")
     return 0
 
 
@@ -274,6 +311,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - interacti
     server = ProxServer(ProxSession(seed=args.seed), host=args.host, port=args.port)
     host, port = server.address
     print(f"PROX HTTP API on http://{host}:{port} (Ctrl-C to stop)")
+    print(f"  liveness: http://{host}:{port}/healthz")
+    print(f"  metrics:  http://{host}:{port}/metrics (Prometheus text format)")
     server.start()
     try:
         import time

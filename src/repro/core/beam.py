@@ -22,13 +22,21 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
 from .engine import ScoringEngine
 from .equivalence import group_equivalent
 from .mapping import MappingState
 from .problem import SummarizationConfig, SummarizationProblem
-from .summarize import StepRecord, SummarizationResult
+from .summarize import (
+    StepRecord,
+    SummarizationResult,
+    _SUMMARIZE_RUNS,
+    _SUMMARIZE_SECONDS,
+    _SUMMARIZE_STEPS,
+)
 
 
 @dataclass
@@ -59,6 +67,16 @@ class BeamSummarizer:
         self._rng = random.Random(config.seed)
 
     def run(self) -> SummarizationResult:
+        span = _tracing.span("beam_summarize", beam_width=self.beam_width)
+        with span:
+            result = self._run(span)
+        if _metrics.ENABLED:
+            _SUMMARIZE_RUNS.inc(algorithm="beam")
+            _SUMMARIZE_STEPS.inc(result.n_steps)
+            _SUMMARIZE_SECONDS.observe(result.total_seconds)
+        return result
+
+    def _run(self, run_span) -> SummarizationResult:
         problem, config = self.problem, self.config
         started = time.perf_counter()
         original = problem.expression
@@ -97,36 +115,27 @@ class BeamSummarizer:
                 Tuple[float, DistanceEstimate, int, _Beam, Tuple[str, ...], str, int]
             ] = []
             step_started = time.perf_counter()
-            for beam in beams:
-                candidates = enumerate_candidates(
-                    beam.expression,
-                    problem.universe,
-                    problem.constraint,
-                    arity=config.merge_arity,
-                    cap=config.candidate_cap,
-                    rng=self._rng,
-                )
-                if not candidates:
-                    continue
-                measured, _ = engine.measure(
-                    candidates, beam.expression, beam.mapping
-                )
-                for scored in measured:
-                    candidate = scored.candidate
-                    size, distance = scored.size, scored.distance
-                    r_size = size / original.size() if original.size() else 0.0
-                    score = config.w_dist * distance.normalized + config.w_size * r_size
-                    expansions.append(
-                        (
-                            score,
-                            distance,
-                            size,
-                            beam,
-                            candidate.parts,
-                            candidate.proposal.label,
-                            len(candidates),
-                        )
+            step_span = _tracing.span("beam_step[%d]", step_index + 1)
+            step_span.set("n_beams", len(beams))
+            with step_span:
+                for beam in beams:
+                    candidates = enumerate_candidates(
+                        beam.expression,
+                        problem.universe,
+                        problem.constraint,
+                        arity=config.merge_arity,
+                        cap=config.candidate_cap,
+                        rng=self._rng,
                     )
+                    if not candidates:
+                        continue
+                    measured, _ = engine.measure(
+                        candidates, beam.expression, beam.mapping
+                    )
+                    expansions.extend(
+                        self._expand(beam, measured, len(candidates), original, config)
+                    )
+                step_span.set("n_expansions", len(expansions))
             if not expansions:
                 stop_reason = "exhausted"
                 break
@@ -176,6 +185,13 @@ class BeamSummarizer:
 
         best = min(beams, key=lambda beam: beam.score)
         final_distance = computer.distance(best.expression, best.mapping)
+        if run_span is not _tracing.NULL_SPAN:
+            run_span.set("steps", len(best.steps))
+            run_span.set("stop_reason", stop_reason)
+            run_span.set("final_size", best.expression.size())
+            run_span.set("final_distance", final_distance.normalized)
+            run_span.set("scoring_path_counts", dict(engine.path_counts))
+            run_span.set("scoring_fallbacks", engine.fallback_count)
         return SummarizationResult(
             original_expression=original,
             summary_expression=best.expression,
@@ -190,3 +206,26 @@ class BeamSummarizer:
             config=config,
             equivalence_mapping=equivalence_mapping,
         )
+
+    @staticmethod
+    def _expand(beam, measured, n_candidates, original, config):
+        """Score one beam member's measured candidates (same math as before)."""
+        original_size = original.size()
+        expansions = []
+        for scored in measured:
+            candidate = scored.candidate
+            size, distance = scored.size, scored.distance
+            r_size = size / original_size if original_size else 0.0
+            score = config.w_dist * distance.normalized + config.w_size * r_size
+            expansions.append(
+                (
+                    score,
+                    distance,
+                    size,
+                    beam,
+                    candidate.parts,
+                    candidate.proposal.label,
+                    n_candidates,
+                )
+            )
+        return expansions

@@ -21,11 +21,26 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..observability import metrics as _metrics
 from ..provenance.annotations import AnnotationUniverse
 from ..provenance.valuation import Valuation
 from ..provenance.valuation_classes import ValuationClass
 from .combiners import DomainCombiners
 from .mapping import MappingState
+
+_DISTANCE_CALLS = _metrics.counter(
+    "prox_distance_calls_total",
+    "Distance computations, by evaluation mode.",
+    labelnames=("mode",),
+)
+_DISTANCE_SAMPLES = _metrics.counter(
+    "prox_distance_samples_total",
+    "Valuations drawn for sampled distance approximations.",
+)
+_DISTANCE_VARIANCE = _metrics.gauge(
+    "prox_distance_sample_variance",
+    "Sample variance of the most recent sampled distance estimate.",
+)
 
 
 def chebyshev_sample_size(epsilon: float, delta: float, spread: float = 1.0) -> int:
@@ -61,6 +76,31 @@ class DistanceEstimate:
 
     def __float__(self) -> float:
         return self.normalized
+
+
+@dataclass
+class DistanceStats:
+    """Telemetry of one computer's lifetime (§6.3's sampling effort).
+
+    ``last_sample_variance`` is the *achieved* spread of the most
+    recent sampled estimate -- compare against the Chebyshev worst case
+    ``spread²/4`` the (ε, δ) budget assumed.
+    """
+
+    exact_calls: int = 0
+    sampled_calls: int = 0
+    samples_drawn: int = 0
+    last_sample_size: int = 0
+    last_sample_variance: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "exact_calls": self.exact_calls,
+            "sampled_calls": self.sampled_calls,
+            "samples_drawn": self.samples_drawn,
+            "last_sample_size": self.last_sample_size,
+            "last_sample_variance": self.last_sample_variance,
+        }
 
 
 class DistanceComputer:
@@ -116,6 +156,8 @@ class DistanceComputer:
         self.rng = rng if rng is not None else random.Random(0)
         self._original_cache: Dict[int, object] = {}
         self._max_error = float(val_func.max_error(original))
+        #: Lifetime telemetry (exact/sampled calls, samples, variance).
+        self.stats = DistanceStats()
 
     @property
     def max_error(self) -> float:
@@ -172,6 +214,9 @@ class DistanceComputer:
             )
             total_weight += valuation.weight
         value = total / total_weight if total_weight else 0.0
+        self.stats.exact_calls += 1
+        if _metrics.ENABLED:
+            _DISTANCE_CALLS.inc(mode="exact")
         return DistanceEstimate(
             value=value,
             normalized=self._normalize(value),
@@ -193,15 +238,29 @@ class DistanceComputer:
         samples = max(1, min(samples, 16 * max(1, len(self.valuations))))
         succ = 0.0
         weight_sum = 0.0
+        value_sum = 0.0
+        value_sumsq = 0.0
         for _ in range(samples):
             valuation = self.valuations.sample(self.rng)
             original_result = self.original.evaluate(valuation.false_set())
             summary_result = self._summary_result(summary, valuation, mapping, universe)
-            succ += valuation.weight * self.val_func(
-                original_result, summary_result, mapping
-            )
+            sampled_value = self.val_func(original_result, summary_result, mapping)
+            succ += valuation.weight * sampled_value
             weight_sum += valuation.weight
+            value_sum += sampled_value
+            value_sumsq += sampled_value * sampled_value
         value = succ / weight_sum if weight_sum else 0.0
+        mean = value_sum / samples
+        variance = max(0.0, value_sumsq / samples - mean * mean)
+        stats = self.stats
+        stats.sampled_calls += 1
+        stats.samples_drawn += samples
+        stats.last_sample_size = samples
+        stats.last_sample_variance = variance
+        if _metrics.ENABLED:
+            _DISTANCE_CALLS.inc(mode="sampled")
+            _DISTANCE_SAMPLES.inc(samples)
+            _DISTANCE_VARIANCE.set(variance)
         return DistanceEstimate(
             value=value,
             normalized=self._normalize(value),

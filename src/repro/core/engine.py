@@ -50,12 +50,36 @@ import os
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from ..provenance.annotations import Annotation, AnnotationUniverse
 from .candidates import Candidate, virtual_summary
 from .distance import DistanceComputer, DistanceEstimate
 from .fast_distance import FastStepScorer, IncrementalStepScorer
 from .mapping import MappingState
 from .scoring import ScoredCandidate
+
+_SCORING_STEPS = _metrics.counter(
+    "prox_scoring_steps_total",
+    "Candidate-scoring steps measured, by engine path.",
+    labelnames=("path",),
+)
+_SCORING_SECONDS = _metrics.histogram(
+    "prox_scoring_seconds",
+    "Pure candidate-scoring wall-clock seconds per step.",
+)
+_SCORING_CANDIDATES = _metrics.counter(
+    "prox_scoring_candidates_total",
+    "Candidates measured across all scoring steps.",
+)
+_SCORING_FALLBACKS = _metrics.counter(
+    "prox_scoring_fallbacks_total",
+    "Fast-path failures rescored through the naive path.",
+)
+_SCORING_WORKERS = _metrics.gauge(
+    "prox_scoring_workers",
+    "Worker processes used by the most recent scoring step.",
+)
 
 
 class _OverlayUniverse:
@@ -136,6 +160,8 @@ class ScoringEngine:
         self.last_workers: int = 1
         #: How often each path was taken over the engine's lifetime.
         self.path_counts: Dict[str, int] = {}
+        #: Fast-path failures that fell back to naive rescoring.
+        self.fallback_count: int = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -151,6 +177,26 @@ class ScoringEngine:
         scoring wall-clock time, excluding the step's shared
         precomputation -- the quantity Fig. 6.5a plots.
         """
+        span = _tracing.span("score_candidates")
+        with span:
+            measured, seconds = self._measure(candidates, current, mapping)
+            span.set("path", self.last_path)
+            span.set("workers", self.last_workers)
+            span.set("n_candidates", len(candidates))
+            span.set("seconds", seconds)
+        if _metrics.ENABLED:
+            _SCORING_STEPS.inc(path=self.last_path)
+            _SCORING_SECONDS.observe(seconds)
+            _SCORING_CANDIDATES.inc(len(candidates))
+            _SCORING_WORKERS.set(self.last_workers)
+        return measured, seconds
+
+    def _measure(
+        self,
+        candidates: Sequence[Candidate],
+        current,
+        mapping: MappingState,
+    ) -> Tuple[List[ScoredCandidate], float]:
         problem = self.problem
         if FastStepScorer.applicable(
             current,
@@ -165,6 +211,7 @@ class ScoringEngine:
             except Exception:
                 self._scorer = None
                 scorer = None
+                self._note_fallback()
             if scorer is not None:
                 started = time.perf_counter()
                 try:
@@ -173,6 +220,7 @@ class ScoringEngine:
                     # The fast path bailed mid-run: never crash or skip
                     # candidates -- rescore the whole step naively.
                     self._scorer = None
+                    self._note_fallback()
                 else:
                     measured = [
                         ScoredCandidate(
@@ -222,6 +270,11 @@ class ScoringEngine:
     def _record(self, path: str) -> None:
         self.last_path = path
         self.path_counts[path] = self.path_counts.get(path, 0) + 1
+
+    def _note_fallback(self) -> None:
+        self.fallback_count += 1
+        if _metrics.ENABLED:
+            _SCORING_FALLBACKS.inc()
 
     def _obtain_scorer(self, current, mapping: MappingState) -> FastStepScorer:
         if not self._incremental:
@@ -281,6 +334,7 @@ class ScoringEngine:
         Kept serial: sampled distances draw from the computer's shared
         RNG, whose sequence parallel sharding would change.
         """
+        self.last_workers = 1
         problem = self.problem
         measured: List[ScoredCandidate] = []
         started = time.perf_counter()

@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from ..provenance.annotations import AnnotationUniverse
 from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
@@ -46,6 +48,20 @@ from .equivalence import group_equivalent
 from .mapping import MappingState
 from .problem import SummarizationConfig, SummarizationProblem
 from .scoring import score_candidates
+
+_SUMMARIZE_RUNS = _metrics.counter(
+    "prox_summarize_runs_total",
+    "Completed summarization runs, by algorithm.",
+    labelnames=("algorithm",),
+)
+_SUMMARIZE_STEPS = _metrics.counter(
+    "prox_summarize_steps_total",
+    "Greedy merge steps applied across all summarization runs.",
+)
+_SUMMARIZE_SECONDS = _metrics.histogram(
+    "prox_summarize_seconds",
+    "End-to-end summarization wall-clock seconds per run.",
+)
 
 
 @dataclass
@@ -143,6 +159,16 @@ class Summarizer:
         self._rng = random.Random(config.seed)
 
     def run(self) -> SummarizationResult:
+        span = _tracing.span("summarize")
+        with span:
+            result = self._run(span)
+        if _metrics.ENABLED:
+            _SUMMARIZE_RUNS.inc(algorithm="prov-approx")
+            _SUMMARIZE_STEPS.inc(result.n_steps)
+            _SUMMARIZE_SECONDS.observe(result.total_seconds)
+        return result
+
+    def _run(self, run_span) -> SummarizationResult:
         problem, config = self.problem, self.config
         started = time.perf_counter()
         original = problem.expression
@@ -199,58 +225,77 @@ class Summarizer:
                 stop_reason = "max_steps"
                 break
 
-            step_started = time.perf_counter()
-            candidates = enumerate_candidates(
-                current,
-                problem.universe,
-                problem.constraint,
-                arity=config.merge_arity,
-                cap=config.candidate_cap,
-                rng=self._rng,
-            )
-            if not candidates:
-                stop_reason = "exhausted"
-                break
-
-            measured, scoring_seconds = engine.measure(candidates, current, mapping)
-            candidate_seconds = scoring_seconds / len(candidates)
-            scored = score_candidates(
-                measured,
-                w_dist=config.w_dist,
-                w_size=config.w_size,
-                original_size=original.size(),
-                strategy=config.scoring,
-            )
-            best = scored[0]
-
-            summary_parts = [problem.universe[name] for name in best.candidate.parts]
-            summary = problem.universe.new_summary(
-                summary_parts,
-                label=best.candidate.proposal.label,
-                concept=best.candidate.proposal.concept,
-            )
-            step_mapping = {name: summary.name for name in best.candidate.parts}
-            previous = (current, mapping)
-            current = current.apply_mapping(step_mapping)
-            mapping = mapping.compose(step_mapping)
-            engine.advance(best.candidate.parts, summary.name, current, mapping)
-            last_distance = best.distance
-            steps.append(
-                StepRecord(
-                    step=len(steps) + 1,
-                    merged=best.candidate.parts,
-                    new_annotation=summary.name,
-                    label=best.candidate.proposal.label,
-                    size_after=current.size(),
-                    distance_after=best.distance,
-                    n_candidates=len(candidates),
-                    candidate_seconds=candidate_seconds,
-                    step_seconds=time.perf_counter() - step_started,
-                    scoring_path=engine.last_path,
+            step_span = _tracing.span("step[%d]", len(steps) + 1)
+            with step_span:
+                step_started = time.perf_counter()
+                candidates = enumerate_candidates(
+                    current,
+                    problem.universe,
+                    problem.constraint,
+                    arity=config.merge_arity,
+                    cap=config.candidate_cap,
+                    rng=self._rng,
                 )
-            )
+                if not candidates:
+                    stop_reason = "exhausted"
+                    break
+
+                measured, scoring_seconds = engine.measure(candidates, current, mapping)
+                candidate_seconds = scoring_seconds / len(candidates)
+                scored = score_candidates(
+                    measured,
+                    w_dist=config.w_dist,
+                    w_size=config.w_size,
+                    original_size=original.size(),
+                    strategy=config.scoring,
+                )
+                best = scored[0]
+
+                summary_parts = [problem.universe[name] for name in best.candidate.parts]
+                summary = problem.universe.new_summary(
+                    summary_parts,
+                    label=best.candidate.proposal.label,
+                    concept=best.candidate.proposal.concept,
+                )
+                step_mapping = {name: summary.name for name in best.candidate.parts}
+                previous = (current, mapping)
+                current = current.apply_mapping(step_mapping)
+                mapping = mapping.compose(step_mapping)
+                engine.advance(best.candidate.parts, summary.name, current, mapping)
+                last_distance = best.distance
+                steps.append(
+                    StepRecord(
+                        step=len(steps) + 1,
+                        merged=best.candidate.parts,
+                        new_annotation=summary.name,
+                        label=best.candidate.proposal.label,
+                        size_after=current.size(),
+                        distance_after=best.distance,
+                        n_candidates=len(candidates),
+                        candidate_seconds=candidate_seconds,
+                        step_seconds=time.perf_counter() - step_started,
+                        scoring_path=engine.last_path,
+                    )
+                )
+                step_span.set("step", len(steps))
+                step_span.set("merged", best.candidate.parts)
+                step_span.set("new_annotation", summary.name)
+                step_span.set("size_after", steps[-1].size_after)
+                step_span.set("n_candidates", len(candidates))
+                step_span.set("scoring_path", engine.last_path)
 
         final_distance = computer.distance(current, mapping)
+        if run_span is not _tracing.NULL_SPAN:
+            run_span.set("steps", len(steps))
+            run_span.set("stop_reason", stop_reason)
+            run_span.set("final_size", current.size())
+            run_span.set("final_distance", final_distance.normalized)
+            run_span.set("equivalence_merges", equivalence_merges)
+            run_span.set("scoring_path_counts", dict(engine.path_counts))
+            run_span.set("scoring_fallbacks", engine.fallback_count)
+            run_span.set("distance_stats", computer.stats.as_dict())
+            run_span.set("epsilon", config.epsilon)
+            run_span.set("delta", config.delta)
         return SummarizationResult(
             original_expression=original,
             summary_expression=current,

@@ -21,6 +21,9 @@ import csv
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..observability import log as _log
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from ..core.baselines import ClusterDomainSpec
 from ..core.combiners import DomainCombiners
 from ..core.constraints import DomainConstraints, SharedAttribute, TaxonomyAncestor
@@ -35,6 +38,13 @@ from ..provenance.valuation_classes import (
 )
 from ..taxonomy.dag import Taxonomy
 from .base import DatasetInstance
+
+_LOG = _log.get_logger("datasets.loaders")
+_DATASET_LOADS = _metrics.counter(
+    "prox_dataset_loads_total",
+    "Dataset instances built from real dumps, by loader.",
+    labelnames=("loader",),
+)
 
 #: The 19 MovieLens-100k genre flag names, in file order.
 ML_GENRES: Tuple[str, ...] = (
@@ -69,6 +79,31 @@ def load_movielens_100k(
     real attribute values.  ``max_ratings`` truncates ``u.data`` (the
     full dump yields a 300k-size expression; summarize a selection).
     """
+    span = _tracing.span("load_movielens_100k")
+    with span:
+        instance = _load_movielens_100k(
+            directory, max_ratings, aggregation, valuation_class
+        )
+        span.set("source", str(directory))
+        span.set("n_terms", len(instance.expression))
+        span.set("size", instance.expression.size())
+    if _metrics.ENABLED:
+        _DATASET_LOADS.inc(loader="movielens_100k")
+    _LOG.info(
+        "dataset_loaded loader=movielens_100k source=%s n_terms=%d size=%d",
+        directory,
+        len(instance.expression),
+        instance.expression.size(),
+    )
+    return instance
+
+
+def _load_movielens_100k(
+    directory: Union[str, Path],
+    max_ratings: Optional[int],
+    aggregation: str,
+    valuation_class: str,
+) -> DatasetInstance:
     directory = Path(directory)
     for required in ("u.user", "u.item", "u.data"):
         if not (directory / required).exists():
@@ -197,6 +232,28 @@ def load_wikipedia_edits(
     User contribution levels are derived from edit counts, as the
     thesis derives them from the MediaWiki statistics.
     """
+    span = _tracing.span("load_wikipedia_edits")
+    with span:
+        instance = _load_wikipedia_edits(path, taxonomy, max_taxonomy_distance)
+        span.set("source", str(path))
+        span.set("n_terms", len(instance.expression))
+        span.set("size", instance.expression.size())
+    if _metrics.ENABLED:
+        _DATASET_LOADS.inc(loader="wikipedia_edits")
+    _LOG.info(
+        "dataset_loaded loader=wikipedia_edits source=%s n_terms=%d size=%d",
+        path,
+        len(instance.expression),
+        instance.expression.size(),
+    )
+    return instance
+
+
+def _load_wikipedia_edits(
+    path: Union[str, Path],
+    taxonomy: Taxonomy,
+    max_taxonomy_distance: float,
+) -> DatasetInstance:
     path = Path(path)
     rows: List[Tuple[str, str, str, float]] = []
     with open(path, encoding="utf-8", newline="") as handle:

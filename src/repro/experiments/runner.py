@@ -31,7 +31,17 @@ from ..core.baselines import ClusteringSummarizer, RandomSummarizer
 from ..core.problem import SummarizationConfig
 from ..core.summarize import SummarizationResult, Summarizer
 from ..datasets.base import DatasetInstance
+from ..observability import log as _log
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from ..provenance.ddp_expression import DDPExpression
+
+_LOG = _log.get_logger("experiments.runner")
+_EXPERIMENT_RUNS = _metrics.counter(
+    "prox_experiment_runs_total",
+    "Single algorithm executions inside experiment loops, by algorithm.",
+    labelnames=("algorithm",),
+)
 
 #: The three §6.1 algorithms.
 ALGORITHMS = ("prov-approx", "clustering", "random")
@@ -56,6 +66,35 @@ def execute(
     linkage: str = "single",
 ) -> SummarizationResult:
     """Run ``algorithm`` on a fresh instance generated from ``seed``."""
+    span = _tracing.span("execute")
+    with span:
+        result = _execute(spec, algorithm, config, seed, linkage)
+        span.set("dataset", spec.name)
+        span.set("algorithm", algorithm)
+        span.set("seed", seed)
+        span.set("final_size", result.final_size)
+    if _metrics.ENABLED:
+        _EXPERIMENT_RUNS.inc(algorithm=algorithm)
+    _LOG.debug(
+        "experiment_run dataset=%s algorithm=%s seed=%d steps=%d "
+        "final_size=%d seconds=%.3f",
+        spec.name,
+        algorithm,
+        seed,
+        result.n_steps,
+        result.final_size,
+        result.total_seconds,
+    )
+    return result
+
+
+def _execute(
+    spec: DatasetSpec,
+    algorithm: str,
+    config: SummarizationConfig,
+    seed: int,
+    linkage: str,
+) -> SummarizationResult:
     instance = spec.factory(seed)
     problem = instance.problem()
     if algorithm == "prov-approx":
@@ -80,6 +119,10 @@ def _algorithms_for(spec: DatasetSpec, requested: Optional[Sequence[str]]) -> Li
     if not probe.cluster_specs and "clustering" in algorithms:
         algorithms.remove("clustering")
     return algorithms
+
+
+def _log_experiment(name: str, spec: DatasetSpec, rows) -> None:
+    _LOG.info("experiment_done name=%s dataset=%s rows=%d", name, spec.name, len(rows))
 
 
 def wdist_experiment(
@@ -122,6 +165,7 @@ def wdist_experiment(
             ]
             for w_dist in wdist_grid:
                 rows.append(_mean_row(spec, algorithm, results, w_dist=w_dist))
+    _log_experiment("wdist", spec, rows)
     return rows
 
 
@@ -162,6 +206,7 @@ def target_size_experiment(
             rows.append(
                 _mean_row(spec, algorithm, results, target_size_fraction=fraction)
             )
+    _log_experiment("target-size", spec, rows)
     return rows
 
 
@@ -195,6 +240,7 @@ def target_dist_experiment(
                 for seed in seeds
             ]
             rows.append(_mean_row(spec, algorithm, results, target_dist=target_dist))
+    _log_experiment("target-dist", spec, rows)
     return rows
 
 
@@ -222,6 +268,7 @@ def steps_experiment(
                     spec, "prov-approx", results, w_dist=w_dist, max_steps=max_steps
                 )
             )
+    _log_experiment("steps", spec, rows)
     return rows
 
 
@@ -310,6 +357,7 @@ def usage_time_experiment(
                         rows.append({**row, "w_dist": w})
                 else:
                     rows.append(row)
+    _log_experiment("usage", spec, rows)
     return rows
 
 
@@ -349,6 +397,7 @@ def timing_experiment(
                     "step_seconds": record.step_seconds,
                 }
             )
+    _log_experiment("timing", spec, rows)
     return rows
 
 

@@ -1,0 +1,68 @@
+"""End-to-end observability for the PROX pipeline.
+
+Three independent, dependency-free facilities (DESIGN.md
+"Observability"):
+
+* :mod:`repro.observability.metrics` -- counters, gauges and
+  fixed-bucket histograms in a process-wide registry, rendered in
+  Prometheus text format by ``GET /metrics`` on the PROX server.
+  On by default; ``REPRO_METRICS=off`` disables.
+* :mod:`repro.observability.tracing` -- hierarchical spans with
+  monotonic timings (``summarize > step[k] > score_candidates``),
+  dumped as JSON via ``repro summarize --trace``.  Off by default;
+  ``REPRO_TRACE=on`` enables.
+* :mod:`repro.observability.log` -- structured key=value logging on
+  the stdlib ``logging`` hierarchy under ``repro.*``;
+  ``REPRO_LOG_LEVEL`` sets the level (default ``warning``).
+
+All instrumentation is zero-cost when disabled: call sites guard on
+module-level flags and never pre-format strings for a switched-off
+sink.  :mod:`repro.observability.health` builds the lock-free
+``GET /healthz`` payload.
+"""
+
+from . import health, log, metrics, tracing
+from .health import health_payload, uptime_seconds
+from .log import KeyValueFormatter, configure as configure_logging, fields, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from .tracing import NULL_SPAN, Span, current, is_enabled, last_trace, set_enabled, span, take_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REGISTRY",
+    "Span",
+    "configure_logging",
+    "counter",
+    "current",
+    "fields",
+    "gauge",
+    "get_logger",
+    "health",
+    "health_payload",
+    "histogram",
+    "is_enabled",
+    "last_trace",
+    "log",
+    "metrics",
+    "set_enabled",
+    "span",
+    "take_trace",
+    "tracing",
+    "uptime_seconds",
+]

@@ -1,0 +1,40 @@
+"""Liveness payload for ``GET /healthz`` (and anything else that asks).
+
+Deliberately cheap and lock-free: a health probe must answer even when
+a long summarization holds the session lock, so the payload reads only
+process-global state (uptime, pid, observability switches) plus
+whatever harmless extras the caller passes in.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, Mapping, Optional
+
+from . import metrics, tracing
+
+#: Process start reference (monotonic, set at first import).
+_STARTED = time.monotonic()
+
+
+def uptime_seconds() -> float:
+    """Seconds since this module was first imported."""
+    return time.monotonic() - _STARTED
+
+
+def health_payload(extra: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+    """The ``/healthz`` body: static process facts plus caller extras."""
+    payload: Dict[str, object] = {
+        "status": "ok",
+        "uptime_seconds": round(uptime_seconds(), 3),
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+        "metrics_enabled": metrics.ENABLED,
+        "tracing_enabled": tracing.is_enabled(),
+        "metric_families": len(metrics.REGISTRY.names()),
+    }
+    if extra:
+        payload.update(extra)
+    return payload

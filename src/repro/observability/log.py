@@ -1,0 +1,108 @@
+"""Structured logging for the pipeline (stdlib ``logging``, key=value).
+
+Every module logs through a child of the ``repro`` logger, configured
+once with a ``key=value`` line formatter::
+
+    ts=2026-08-06T12:00:00 level=INFO logger=repro.prox.server \
+        http_request method=GET path=/metrics status=200 seconds=0.0012
+
+Call sites embed their fields in the *message* with lazy ``%``
+placeholders (``logger.info("http_request method=%s status=%d", m,
+s)``) so a silenced level never pays for string formatting -- the
+stdlib defers ``getMessage()`` until a handler accepts the record.
+
+Knobs:
+
+* ``REPRO_LOG_LEVEL`` -- ``debug`` / ``info`` / ``warning`` (default) /
+  ``error`` / ``critical``; resolved once at first use.
+* :func:`configure` -- explicit (re)configuration, e.g. for tests or
+  the ``repro serve`` command.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+#: Root of the package's logger hierarchy.
+ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_configured = False
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... <message>`` one-line records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        line = (
+            f"ts={self.formatTime(record, '%Y-%m-%dT%H:%M:%S')} "
+            f"level={record.levelname} logger={record.name} {message}"
+        )
+        if record.exc_info:
+            exception = self.formatException(record.exc_info)
+            line = f"{line} exception={json.dumps(exception)}"
+        return line
+
+
+def quote(value: object) -> str:
+    """Render one field value; JSON-quotes anything with spaces/quotes."""
+    text = str(value)
+    if not text or any(ch in text for ch in ' "=\n\t'):
+        return json.dumps(text, ensure_ascii=False)
+    return text
+
+
+def fields(**kw: object) -> str:
+    """Render trailing ``key=value`` fields (non-hot-path convenience)."""
+    return " ".join(f"{key}={quote(value)}" for key, value in kw.items())
+
+
+def resolve_level(name: Optional[str] = None) -> int:
+    """Numeric level for a name (falls back to ``REPRO_LOG_LEVEL``)."""
+    if name is None:
+        name = os.environ.get("REPRO_LOG_LEVEL", "warning")
+    return _LEVELS.get(str(name).strip().lower(), logging.WARNING)
+
+
+def configure(
+    level: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach the key=value handler to the ``repro`` root logger.
+
+    Idempotent: later calls only adjust the level unless ``force`` is
+    given (which replaces the handler -- used by tests to capture a
+    stream).
+    """
+    global _configured
+    root = logging.getLogger(ROOT_NAME)
+    if not _configured or force:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        root.handlers[:] = [handler]
+        root.propagate = False
+        _configured = True
+        root.setLevel(resolve_level(level))
+    elif level is not None:
+        root.setLevel(resolve_level(level))
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A configured logger under the ``repro`` hierarchy."""
+    configure()
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)

@@ -1,0 +1,337 @@
+"""Dependency-free metrics registry with Prometheus text exposition.
+
+The reproduction's north star is a production service, and a service
+that cannot be scraped cannot be operated.  This module provides the
+three Prometheus metric kinds the pipeline needs -- :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` (fixed buckets) -- behind a
+thread-safe :class:`MetricsRegistry`, rendered in the Prometheus text
+exposition format (version 0.0.4) by :meth:`MetricsRegistry.render`.
+No third-party client library is required (or allowed -- the container
+ships only the stdlib toolchain).
+
+Hot-path contract: instrumented call sites guard with the module-level
+:data:`ENABLED` flag (``if _metrics.ENABLED: counter.inc()``), so a
+disabled build pays one attribute read per site and nothing else.  The
+flag defaults to on (metric updates are dict operations, far cheaper
+than the expression evaluations they count) and can be switched off
+with ``REPRO_METRICS=off`` or :func:`set_enabled`.
+
+Module-level convenience constructors (:func:`counter`, :func:`gauge`,
+:func:`histogram`) register into the process-wide :data:`REGISTRY`
+that ``GET /metrics`` on the PROX server exposes; they are idempotent
+so instrumented modules can be re-imported freely.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets, in seconds -- sized for the pipeline's
+#: step/scoring/request latencies (sub-millisecond to tens of seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_OFF_WORDS = frozenset({"0", "off", "false", "no", "disabled"})
+
+#: Read by instrumented call sites as ``_metrics.ENABLED`` (always via
+#: the module attribute, never ``from ... import ENABLED`` -- the flag
+#: is mutable).  Controlled by ``REPRO_METRICS`` and :func:`set_enabled`.
+ENABLED: bool = os.environ.get("REPRO_METRICS", "on").strip().lower() not in _OFF_WORDS
+
+
+def set_enabled(flag: bool) -> None:
+    """Switch metric collection on or off process-wide."""
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    if value == as_int and abs(value) < 1e15:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _label_suffix(labelnames: Sequence[str], labelvalues: Tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared machinery: name validation, label keys, locking."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if not self.labelnames:
+            if labels:
+                raise ValueError(f"{self.name} takes no labels, got {sorted(labels)}")
+            return ()
+        try:
+            return tuple(str(labels[name]) for name in self.labelnames)
+        except KeyError as missing:
+            raise ValueError(
+                f"{self.name} requires labels {self.labelnames}, missing {missing}"
+            ) from None
+
+    def samples(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def expose(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines.extend(self.samples())
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (renders 0 when never touched)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_label_suffix(self.labelnames, key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (workers in flight, last variance)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_label_suffix(self.labelnames, key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative ``_bucket`` / ``_sum`` / ``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b for b in bounds):  # NaN guard
+            raise ValueError("histogram bounds must be finite numbers")
+        self.buckets = bounds
+        #: key -> (per-bucket counts ..., +Inf count, sum)
+        self._values: Dict[Tuple[str, ...], List[float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            cells = self._values.get(key)
+            if cells is None:
+                cells = self._values[key] = [0.0] * (len(self.buckets) + 2)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    cells[index] += 1.0
+                    break
+            else:
+                cells[len(self.buckets)] += 1.0
+            cells[-1] += value
+
+    def count(self, **labels: object) -> int:
+        cells = self._values.get(self._key(labels))
+        return int(sum(cells[:-1])) if cells else 0
+
+    def sum(self, **labels: object) -> float:
+        cells = self._values.get(self._key(labels))
+        return cells[-1] if cells else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted((key, list(cells)) for key, cells in self._values.items())
+        if not items and not self.labelnames:
+            items = [((), [0.0] * (len(self.buckets) + 2))]
+        lines: List[str] = []
+        bucket_names = self.labelnames + ("le",)
+        for key, cells in items:
+            cumulative = 0.0
+            for bound, count in zip(self.buckets, cells):
+                cumulative += count
+                suffix = _label_suffix(bucket_names, key + (_format_value(bound),))
+                lines.append(f"{self.name}_bucket{suffix} {_format_value(cumulative)}")
+            cumulative += cells[len(self.buckets)]
+            suffix = _label_suffix(bucket_names, key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{suffix} {_format_value(cumulative)}")
+            plain = _label_suffix(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(cells[-1])}")
+            lines.append(f"{self.name}_count{plain} {_format_value(cumulative)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families, rendered together for one scrape."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _obtain(self, cls, name: str, help: str, labelnames: Sequence[str], **extra):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"type or label set"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._obtain(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._obtain(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._obtain(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every family (test isolation; families stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def render(self) -> str:
+        """One scrape: every family in registration order, trailing newline."""
+        lines: List[str] = []
+        with self._lock:
+            families = list(self._metrics.values())
+        for metric in families:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+#: The process-wide registry that ``GET /metrics`` exposes.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+    return REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+    return REGISTRY.gauge(name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str,
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    return REGISTRY.histogram(name, help, labelnames, buckets=buckets)

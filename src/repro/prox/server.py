@@ -23,23 +23,62 @@ GET      /summary/groups        the groups view (Figures 7.5-7.7)
 POST     /evaluate              ``{"false_annotations": [...],
                                 "false_attributes": {...}}`` → original and
                                 summary answers with evaluation times
+GET      /healthz               liveness probe (lock-free, always answers)
+GET      /metrics               Prometheus text exposition of the process
+                                registry (lock-free)
 =======  =====================  ==========================================
 
-Responses are JSON; errors use conventional status codes with a
-``{"error": ...}`` body.  One server hosts one
-:class:`~repro.prox.session.ProxSession` (like the demo deployment).
+Responses are JSON (``/metrics`` is ``text/plain``); errors use
+conventional status codes with a ``{"error": ...}`` body.  One server
+hosts one :class:`~repro.prox.session.ProxSession` (like the demo
+deployment).  Every request is counted in
+``prox_http_requests_total{method,path,status}`` / timed in
+``prox_http_request_seconds`` and logged at INFO through
+``repro.prox.server`` (key=value lines; ``REPRO_LOG_LEVEL`` gates
+them, so tests stay silent at the default ``warning``).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..observability import health as _health
+from ..observability import log as _log
+from ..observability import metrics as _metrics
 from .session import ProxSession
 from .summarization import SummarizationRequest
+
+_LOG = _log.get_logger("prox.server")
+_HTTP_REQUESTS = _metrics.counter(
+    "prox_http_requests_total",
+    "HTTP requests served, by method, route and status.",
+    labelnames=("method", "path", "status"),
+)
+_HTTP_SECONDS = _metrics.histogram(
+    "prox_http_request_seconds",
+    "HTTP request handling seconds, by route.",
+    labelnames=("path",),
+)
+
+#: Routes used as metric label values; anything else becomes "other"
+#: so scrape cardinality stays bounded under hostile paths.
+_KNOWN_PATHS = frozenset(
+    {
+        "/titles",
+        "/select",
+        "/summarize",
+        "/evaluate",
+        "/summary/expression",
+        "/summary/groups",
+        "/healthz",
+        "/metrics",
+    }
+)
 
 
 class ProxRequestHandler(BaseHTTPRequestHandler):
@@ -52,16 +91,30 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -----------------------------------------------------------
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Silence default stderr logging (tests and CLI use)."""
+    #: Status of the response most recently written by this handler.
+    _last_status: int = 0
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route ``http.server``'s raw stderr lines through the
+        structured logger at DEBUG (silent at the default level, so
+        tests and the CLI stay quiet; ``REPRO_LOG_LEVEL=debug`` shows
+        them)."""
+        _LOG.debug("http_server message=%s", format % args)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self._send_bytes(status, body, "application/json; charset=utf-8")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
 
     def _error(self, status: int, message: str) -> None:
         self._send(status, {"error": message})
@@ -81,8 +134,51 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
 
     # -- routing --------------------------------------------------------------
 
+    def _observe(self, method: str, path: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        label_path = path if path in _KNOWN_PATHS else "other"
+        if _metrics.ENABLED:
+            _HTTP_REQUESTS.inc(
+                method=method, path=label_path, status=str(self._last_status)
+            )
+            _HTTP_SECONDS.observe(elapsed, path=label_path)
+        _LOG.info(
+            "http_request method=%s path=%s status=%d seconds=%.4f",
+            method,
+            path,
+            self._last_status,
+            elapsed,
+        )
+
     def do_GET(self) -> None:  # noqa: N802
+        started = time.perf_counter()
         parsed = urlparse(self.path)
+        try:
+            self._route_get(parsed)
+        finally:
+            self._observe("GET", parsed.path, started)
+
+    def do_POST(self) -> None:  # noqa: N802
+        started = time.perf_counter()
+        parsed = urlparse(self.path)
+        try:
+            self._route_post(parsed)
+        finally:
+            self._observe("POST", parsed.path, started)
+
+    def _route_get(self, parsed) -> None:
+        # Observability endpoints answer without the session lock: a
+        # probe must succeed even while a long summarization holds it.
+        if parsed.path == "/healthz":
+            self._send(200, _health.health_payload(self._health_extra()))
+            return
+        if parsed.path == "/metrics":
+            self._send_text(
+                200,
+                _metrics.REGISTRY.render(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         try:
             with self.lock:
                 if parsed.path == "/titles":
@@ -110,8 +206,14 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - defensive
             self._error(500, str(error))
 
-    def do_POST(self) -> None:  # noqa: N802
-        parsed = urlparse(self.path)
+    def _health_extra(self) -> Dict[str, Any]:
+        # Benign unlocked reads: both are single attribute loads.
+        return {
+            "selected": self.session.selected is not None,
+            "summarized": self.session.result is not None,
+        }
+
+    def _route_post(self, parsed) -> None:
         try:
             body = self._body()
             with self.lock:
@@ -163,6 +265,10 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             **{key: value for key, value in body.items() if key in allowed}
         )
         result = self.session.summarize(request, seed=int(body.get("seed", 0)))
+        scoring_paths: Dict[str, int] = {}
+        for record in result.steps:
+            path = record.scoring_path or "unknown"
+            scoring_paths[path] = scoring_paths.get(path, 0) + 1
         self._send(
             200,
             {
@@ -170,6 +276,26 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                 "distance": result.final_distance.normalized,
                 "steps": result.n_steps,
                 "stop_reason": result.stop_reason,
+                "total_seconds": result.total_seconds,
+                "scoring_paths": scoring_paths,
+                "steps_detail": [
+                    {
+                        "step": record.step,
+                        "merged": list(record.merged),
+                        "label": record.label,
+                        "size_after": record.size_after,
+                        "distance_after": (
+                            record.distance_after.normalized
+                            if record.distance_after is not None
+                            else None
+                        ),
+                        "n_candidates": record.n_candidates,
+                        "scoring_path": record.scoring_path,
+                        "candidate_seconds": record.candidate_seconds,
+                        "step_seconds": record.step_seconds,
+                    }
+                    for record in result.steps
+                ],
             },
         )
 
@@ -230,6 +356,8 @@ class ProxServer:
             target=self._httpd.serve_forever, name="prox-http", daemon=True
         )
         self._thread.start()
+        host, port = self.address
+        _LOG.info("server_started host=%s port=%d", host, port)
 
     def stop(self) -> None:
         if self._thread is None:
@@ -238,6 +366,7 @@ class ProxServer:
         self._thread.join(timeout=5)
         self._httpd.server_close()
         self._thread = None
+        _LOG.info("server_stopped")
 
     def __enter__(self) -> "ProxServer":
         self.start()

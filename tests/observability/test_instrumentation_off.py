@@ -1,0 +1,103 @@
+"""Instrumentation must not change what the pipeline computes.
+
+The PR 1 differential harness proves serial ≡ parallel ≡ incremental;
+this module proves the observability layer preserves that: the summary
+a run produces is byte-identical whether tracing/metrics are on or
+off, and the differential invariant still holds with tracing recording
+every span.
+"""
+
+import pytest
+
+from repro import serialization
+from repro.core import SummarizationConfig, Summarizer
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.observability import metrics, tracing
+
+
+@pytest.fixture
+def instrumentation_guard():
+    """Restore both switches and drop any recorded trace afterwards."""
+    metrics_on = metrics.ENABLED
+    tracing_on = tracing.is_enabled()
+    yield
+    metrics.set_enabled(metrics_on)
+    tracing.set_enabled(tracing_on)
+    tracing.take_trace()
+
+
+def _summarize(**knobs):
+    problem = generate_movielens(
+        MovieLensConfig(n_users=12, n_movies=10, seed=3)
+    ).problem()
+    config = SummarizationConfig(w_dist=0.7, max_steps=4, seed=3, **knobs)
+    return Summarizer(problem, config).run()
+
+
+def _portable(result):
+    return serialization.dumps(serialization.summary_to_dict(result))
+
+
+def test_output_is_byte_identical_with_instrumentation_off_and_on(
+    instrumentation_guard,
+):
+    metrics.set_enabled(False)
+    tracing.set_enabled(False)
+    baseline = _summarize()
+
+    metrics.set_enabled(True)
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    instrumented = _summarize()
+
+    assert _portable(instrumented) == _portable(baseline)
+    assert [r.merged for r in instrumented.steps] == [
+        r.merged for r in baseline.steps
+    ]
+    assert [r.scoring_path for r in instrumented.steps] == [
+        r.scoring_path for r in baseline.steps
+    ]
+
+
+def test_differential_invariant_holds_with_tracing_on(instrumentation_guard):
+    """Serial ≡ incremental merge sequences, spans recording throughout."""
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    serial = _summarize(parallelism=0, incremental="off")
+    incremental = _summarize(parallelism=0, incremental="on")
+    assert [r.merged for r in serial.steps] == [r.merged for r in incremental.steps]
+    assert _portable(serial) == _portable(incremental)
+
+
+def test_trace_tree_matches_the_documented_hierarchy(instrumentation_guard):
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    result = _summarize()
+
+    root = tracing.take_trace()
+    assert root is not None and root.name == "summarize"
+    steps = [child for child in root.children if child.name.startswith("step[")]
+    assert [child.name for child in steps] == [
+        f"step[{k}]" for k in range(1, len(steps) + 1)
+    ]
+    assert len(steps) >= result.n_steps
+    for child in steps[: result.n_steps]:
+        scoring = child.find("score_candidates")
+        assert scoring is not None
+        assert scoring.attributes["path"] in {"fast", "fast+incremental", "naive"}
+        assert scoring.attributes["n_candidates"] >= 0
+    assert root.attributes["stop_reason"] == result.stop_reason
+    assert root.attributes["final_size"] == result.final_size
+
+
+def test_metrics_advance_during_a_run(instrumentation_guard):
+    metrics.set_enabled(True)
+    steps_total = metrics.REGISTRY.get("prox_summarize_steps_total")
+    scoring_seconds = metrics.REGISTRY.get("prox_scoring_seconds")
+    before_steps = steps_total.value()
+    before_count = scoring_seconds.count()
+
+    result = _summarize()
+
+    assert steps_total.value() == before_steps + result.n_steps
+    assert scoring_seconds.count() >= before_count + result.n_steps

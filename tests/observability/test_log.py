@@ -1,0 +1,87 @@
+"""Structured key=value logging."""
+
+import io
+import logging
+
+from repro.observability import log
+
+
+def _record(message, *args, level=logging.INFO, exc_info=None):
+    return logging.LogRecord(
+        name="repro.test",
+        level=level,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=args,
+        exc_info=exc_info,
+    )
+
+
+def test_formatter_renders_one_keyvalue_line():
+    line = log.KeyValueFormatter().format(
+        _record("http_request method=%s status=%d", "GET", 200)
+    )
+    assert line.startswith("ts=")
+    assert " level=INFO logger=repro.test " in line
+    assert line.endswith("http_request method=GET status=200")
+    assert "\n" not in line
+
+
+def test_formatter_appends_exception_as_json():
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        import sys
+
+        record = _record("failed", level=logging.ERROR, exc_info=sys.exc_info())
+    line = log.KeyValueFormatter().format(record)
+    assert "exception=" in line
+    assert "\n" not in line  # traceback is JSON-quoted onto the line
+
+
+def test_quote_passes_plain_values_and_quotes_awkward_ones():
+    assert log.quote("fast") == "fast"
+    assert log.quote(42) == "42"
+    assert log.quote("two words") == '"two words"'
+    assert log.quote('say "hi"') == '"say \\"hi\\""'
+    assert log.quote("") == '""'
+
+
+def test_fields_renders_pairs_in_order():
+    assert log.fields(path="/metrics", status=200) == "path=/metrics status=200"
+
+
+def test_resolve_level_names_and_fallback(monkeypatch):
+    assert log.resolve_level("debug") == logging.DEBUG
+    assert log.resolve_level("WARN") == logging.WARNING
+    assert log.resolve_level("nonsense") == logging.WARNING
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+    assert log.resolve_level() == logging.ERROR
+    monkeypatch.delenv("REPRO_LOG_LEVEL")
+    assert log.resolve_level() == logging.WARNING
+
+
+def test_configure_captures_stream_and_gates_levels():
+    stream = io.StringIO()
+    try:
+        log.configure(level="info", stream=stream, force=True)
+        logger = log.get_logger("test")
+        logger.debug("hidden message=%s", "no")
+        logger.info("shown message=%s", "yes")
+        output = stream.getvalue()
+        assert "shown message=yes" in output
+        assert "hidden" not in output
+    finally:
+        log.configure(force=True)  # restore the stderr handler
+
+
+def test_get_logger_lives_under_the_repro_hierarchy():
+    assert log.get_logger("prox.server").name == "repro.prox.server"
+    assert log.get_logger().name == "repro"
+    root = logging.getLogger(log.ROOT_NAME)
+    assert root.propagate is False
+    assert any(
+        isinstance(handler.formatter, log.KeyValueFormatter)
+        for handler in root.handlers
+    )

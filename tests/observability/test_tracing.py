@@ -1,0 +1,102 @@
+"""Hierarchical span recording and the zero-cost disabled path."""
+
+import pytest
+
+from repro.observability import tracing
+
+
+@pytest.fixture
+def enabled_tracing():
+    """Enable tracing for one test, restoring the flag and dropping any
+    recorded tree afterwards so tests stay independent."""
+    original = tracing.is_enabled()
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    yield
+    tracing.set_enabled(original)
+    tracing.take_trace()
+
+
+def test_disabled_span_is_the_shared_null_span():
+    assert not tracing.is_enabled()
+    assert tracing.span("anything") is tracing.NULL_SPAN
+    assert tracing.span("step[%d]", 3) is tracing.NULL_SPAN
+    with tracing.span("anything") as span:
+        span.set("key", "value")  # must be a silent no-op
+    assert tracing.take_trace() is None
+
+
+def test_span_nesting(enabled_tracing):
+    with tracing.span("summarize"):
+        with tracing.span("step[%d]", 1):
+            with tracing.span("score_candidates") as scoring:
+                scoring.set("path", "fast")
+        with tracing.span("step[%d]", 2):
+            pass
+
+    root = tracing.take_trace()
+    assert root is not None
+    assert root.name == "summarize"
+    assert [child.name for child in root.children] == ["step[1]", "step[2]"]
+    scoring = root.find("score_candidates")
+    assert scoring is not None
+    assert scoring.attributes == {"path": "fast"}
+    assert root.find("no_such_span") is None
+
+
+def test_current_tracks_the_open_span(enabled_tracing):
+    assert tracing.current() is None
+    with tracing.span("outer") as outer:
+        assert tracing.current() is outer
+        with tracing.span("inner") as inner:
+            assert tracing.current() is inner
+        assert tracing.current() is outer
+    assert tracing.current() is None
+
+
+def test_durations_are_monotonic(enabled_tracing):
+    with tracing.span("outer"):
+        with tracing.span("inner"):
+            pass
+    root = tracing.take_trace()
+    inner = root.children[0]
+    assert root.duration >= inner.duration >= 0.0
+
+
+def test_take_trace_clears_last_trace(enabled_tracing):
+    with tracing.span("run"):
+        pass
+    assert tracing.last_trace() is not None
+    assert tracing.take_trace().name == "run"
+    assert tracing.last_trace() is None
+    assert tracing.take_trace() is None
+
+
+def test_span_constructor_attributes(enabled_tracing):
+    with tracing.span("run", beam_width=4):
+        pass
+    assert tracing.take_trace().attributes == {"beam_width": 4}
+
+
+def test_exception_marks_the_span_and_propagates(enabled_tracing):
+    with pytest.raises(RuntimeError):
+        with tracing.span("run"):
+            raise RuntimeError("boom")
+    root = tracing.take_trace()
+    assert root.attributes["error"] == "RuntimeError"
+
+
+def test_to_dict_shape(enabled_tracing):
+    with tracing.span("summarize"):
+        with tracing.span("step[%d]", 1) as step:
+            step.set("merged", ["U1", "U2"])
+
+    payload = tracing.take_trace().to_dict()
+    assert payload["name"] == "summarize"
+    assert payload["offset_seconds"] == 0.0
+    assert payload["duration_seconds"] >= 0.0
+    (child,) = payload["children"]
+    assert child["name"] == "step[1]"
+    assert child["offset_seconds"] >= 0.0
+    assert child["attributes"] == {"merged": ["U1", "U2"]}
+    assert "children" not in child  # leaves omit the key
