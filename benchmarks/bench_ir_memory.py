@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Memory and rename throughput of the interned IR vs. the legacy dicts.
+
+Runs the same MovieLens-scale polynomial workload twice, each in its
+own subprocess with ``REPRO_IR`` pinned (the representation is chosen
+at construction time, so the comparison needs process isolation):
+
+* **build** -- construct a few hundred ``N[Ann]`` polynomials whose
+  monomials overlap heavily (the provenance regime: many terms share
+  the same user/movie annotations), then measure the *retained*
+  polynomial storage with ``tracemalloc`` plus the process peak RSS;
+* **rename** -- replay a sequence of summarization merges
+  (``h : Ann → Ann'``) over every polynomial, the hot loop of
+  Algorithm 1, and report renames/second.
+
+Both workers emit a checksum over the final renamed polynomials
+(sizes and term counts), and the driver asserts the two modes agree --
+a bench run is also a differential test.  Results go to
+``benchmarks/results/bench_ir_memory.txt`` and, machine-readably, to
+``benchmarks/results/bench_ir_memory.json`` (uploaded by CI as a
+workflow artifact).  Acceptance: >= 2x retained-memory reduction and a
+rename speedup > 1x at the default scale.
+
+``--quick`` shrinks the workload for CI smoke (ratios are reported but
+not enforced).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ir_memory.py [--quick]
+        [--names N] [--polys N] [--terms N] [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_ir_memory.txt"
+RESULTS_JSON_PATH = Path(__file__).parent / "results" / "bench_ir_memory.json"
+
+
+def monomial_pool(rng, names, size):
+    """The distinct monomials of the workload, as plain spec lists.
+
+    Provenance polynomials repeat monomials heavily across groups (the
+    same user/movie co-occurrences annotate many answers), so each
+    polynomial samples from this pool.
+    """
+    pool = []
+    for _ in range(size):
+        pool.append(
+            sorted(
+                (name, rng.choice((1, 1, 2)))
+                for name in rng.sample(names, rng.choice((1, 2, 2, 3)))
+            )
+        )
+    return pool
+
+
+def build_terms(rng, pool, n_terms):
+    """One polynomial's terms, materializing *fresh* monomial tuples.
+
+    Every real construction site (``from_expression``, products,
+    renames) builds its own tuples; the legacy representation retains
+    each copy as a dict key while the IR interns the content once.
+    """
+    terms = {}
+    for _ in range(n_terms):
+        monomial = tuple(tuple(pair) for pair in rng.choice(pool))
+        terms[monomial] = terms.get(monomial, 0) + rng.randint(1, 3)
+    return terms
+
+
+def merge_plan(names, rounds):
+    """Pairwise merge mappings, the shape Algorithm 1 produces."""
+    plan = []
+    alive = list(names)
+    for step in range(rounds):
+        first, second = alive[0], alive[1]
+        merged = f"M{step}"
+        plan.append({first: merged, second: merged})
+        alive = [merged] + alive[2:]
+    return plan
+
+
+def run_worker(args) -> int:
+    """Measure one mode in-process; print a JSON report to stdout."""
+    import tracemalloc
+
+    from repro.provenance import ir
+    from repro.provenance.polynomial import Polynomial
+
+    rng = random.Random(args.seed)
+    names = [f"U{i}" for i in range(args.names)]
+    pool = monomial_pool(rng, names, 3 * args.names)
+    plan = merge_plan(names, args.rounds)
+
+    # Terms are generated *inside* the traced region: the legacy
+    # representation retains the monomial tuples as dict keys while the
+    # IR interns and releases them, and that difference is the point.
+    gc.collect()
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    build_started = time.perf_counter()
+    polynomials = [
+        Polynomial(build_terms(rng, pool, args.terms))
+        for _ in range(args.polys)
+    ]
+    build_seconds = time.perf_counter() - build_started
+    gc.collect()
+    retained, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    retained_bytes = retained - baseline
+
+    rename_started = time.perf_counter()
+    renamed = polynomials
+    for mapping in plan:
+        renamed = [polynomial.rename(mapping) for polynomial in renamed]
+    rename_seconds = time.perf_counter() - rename_started
+    renames = len(plan) * len(polynomials)
+
+    checksum = sum(polynomial.size() for polynomial in renamed) * 1000003 + sum(
+        len(polynomial.terms()) for polynomial in renamed
+    )
+    try:
+        import resource
+
+        ru_maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # pragma: no cover - non-POSIX
+        ru_maxrss_kb = None
+    print(
+        json.dumps(
+            {
+                "mode": ir.active_mode(),
+                "build_seconds": build_seconds,
+                "builds_per_second": len(polynomials) / build_seconds,
+                "retained_bytes": retained_bytes,
+                "ru_maxrss_kb": ru_maxrss_kb,
+                "rename_seconds": rename_seconds,
+                "renames_per_second": renames / rename_seconds,
+                "checksum": checksum,
+            }
+        )
+    )
+    return 0
+
+
+def measure_mode(mode: str, args) -> dict:
+    env = dict(os.environ, REPRO_IR=mode)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    command = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        "--worker",
+        "--seed", str(args.seed),
+        "--names", str(args.names),
+        "--polys", str(args.polys),
+        "--terms", str(args.terms),
+        "--rounds", str(args.rounds),
+    ]
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke: small workload")
+    parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--names", type=int, default=240, help="annotation pool size")
+    parser.add_argument("--polys", type=int, default=300, help="polynomials built")
+    parser.add_argument("--terms", type=int, default=60, help="monomials per polynomial")
+    parser.add_argument("--rounds", type=int, default=25, help="merge rounds replayed")
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        return run_worker(args)
+    if args.quick:
+        args.names, args.polys, args.terms, args.rounds = 60, 60, 20, 8
+
+    reports = {mode: measure_mode(mode, args) for mode in ("legacy", "ir")}
+    legacy, interned = reports["legacy"], reports["ir"]
+    if legacy["checksum"] != interned["checksum"]:
+        print("FAIL: the two representations disagree on the renamed workload")
+        return 1
+
+    memory_reduction = legacy["retained_bytes"] / max(interned["retained_bytes"], 1)
+    rename_speedup = legacy["rename_seconds"] / interned["rename_seconds"]
+    build_ratio = legacy["build_seconds"] / interned["build_seconds"]
+
+    lines = [
+        f"workload: names={args.names} polys={args.polys} "
+        f"terms={args.terms} rounds={args.rounds} seed={args.seed} "
+        f"quick={args.quick}",
+        "",
+        f"{'mode':<8} {'retained-MB':>12} {'peak-RSS-MB':>12} "
+        f"{'build-s':>9} {'rename-s':>10} {'renames/s':>11}",
+    ]
+    for mode in ("legacy", "ir"):
+        report = reports[mode]
+        rss = (
+            f"{report['ru_maxrss_kb'] / 1024:.1f}"
+            if report["ru_maxrss_kb"] is not None
+            else "n/a"
+        )
+        lines.append(
+            f"{mode:<8} {report['retained_bytes'] / 1e6:>12.2f} {rss:>12} "
+            f"{report['build_seconds']:>9.3f} {report['rename_seconds']:>10.3f} "
+            f"{report['renames_per_second']:>11.0f}"
+        )
+    lines += [
+        "",
+        f"polynomial memory reduction: {memory_reduction:.2f}x",
+        f"rename speedup:              {rename_speedup:.2f}x",
+        f"build speedup:               {build_ratio:.2f}x",
+        "both modes produced the identical renamed workload",
+    ]
+    body = "\n".join(lines)
+    print(body)
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(body + "\n")
+    payload = {
+        "benchmark": "ir_memory",
+        "quick": args.quick,
+        "workload": {
+            "names": args.names,
+            "polys": args.polys,
+            "terms": args.terms,
+            "rounds": args.rounds,
+            "seed": args.seed,
+        },
+        "modes": reports,
+        "memory_reduction": memory_reduction,
+        "rename_speedup": rename_speedup,
+        "build_speedup": build_ratio,
+        "identical_workload": True,
+    }
+    RESULTS_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwritten to {RESULTS_PATH}")
+    print(f"written to {RESULTS_JSON_PATH}")
+
+    if not args.quick and memory_reduction < 2.0:
+        print("FAIL: expected >= 2x polynomial memory reduction")
+        return 1
+    if not args.quick and rename_speedup <= 1.0:
+        print("FAIL: expected a rename speedup over the legacy dicts")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

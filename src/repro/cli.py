@@ -30,6 +30,7 @@ import sys
 from typing import Optional, Sequence
 
 from .observability import tracing
+from .provenance import ir as _ir
 
 from . import serialization
 from .core import (
@@ -122,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="record hierarchical tracing spans and write them as JSON",
+    )
+    summarize.add_argument(
+        "--ir-stats",
+        action="store_true",
+        help="print interner cardinality and term-arena storage after the run",
     )
 
     experiment = commands.add_parser("experiment", help="run a Chapter 6 experiment")
@@ -251,6 +257,13 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             print(f"    step {record.step}: {{{', '.join(record.merged)}}} -> "
                   f"{record.label} (size {record.size_after}, "
                   f"distance {distance}{timing})")
+    if args.ir_stats:
+        interned = len(problem.interner) if problem.interner is not None else 0
+        arena = _ir.GLOBAL_STORE.stats()
+        print(f"  ir mode {_ir.active_mode()}: "
+              f"{interned} interned annotations, "
+              f"{arena['monomials']} arena monomials, "
+              f"{arena['arena_bytes']} arena bytes")
     if args.save:
         with open(args.save, "w", encoding="utf-8") as handle:
             serialization.dump(serialization.summary_to_dict(result), handle)

@@ -20,6 +20,7 @@ from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.ir import AnnotationInterner
 from .constraints import MergeConstraint, MergeProposal
 
 
@@ -66,6 +67,7 @@ def enumerate_candidates(
     arity: int = 2,
     cap: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    interner: Optional[AnnotationInterner] = None,
 ) -> List[Candidate]:
     """All constraint-satisfying single-step merges of ``expression``.
 
@@ -75,7 +77,9 @@ def enumerate_candidates(
     returned candidate is internally consistent.  ``cap`` optionally
     subsamples the candidate list deterministically via ``rng`` (an
     escape hatch for very large expressions; the thesis enumerates all
-    pairs).
+    pairs).  ``interner`` keys deduplication identity on dense interned
+    ids (the output order stays name-sorted either way, so all scoring
+    modes see identical candidate lists).
     """
     if arity < 2:
         raise ValueError("merge arity must be at least 2")
@@ -101,7 +105,7 @@ def enumerate_candidates(
             )
 
     if arity > 2:
-        candidates = _dedupe(candidates)
+        candidates = _dedupe(candidates, interner)
     if cap is not None and len(candidates) > cap:
         sampler = rng if rng is not None else random.Random(0)
         candidates = sampler.sample(candidates, cap)
@@ -134,9 +138,29 @@ def _extend_group(
     return parts, proposal
 
 
-def _dedupe(candidates: List[Candidate]) -> List[Candidate]:
-    seen: Dict[Tuple[str, ...], Candidate] = {}
+def _dedupe(
+    candidates: List[Candidate], interner: Optional[AnnotationInterner] = None
+) -> List[Candidate]:
+    """Drop duplicate part sets; emit survivors in name-sorted order.
+
+    With an interner, identity is keyed on sorted interned-id tuples
+    (int hashing instead of re-hashing the name strings) while the
+    output is still ordered by the name-space key -- candidate order
+    must not depend on interning order, or the scoring modes of the
+    differential suite would disagree.
+    """
+    if interner is None:
+        seen: Dict[Tuple[str, ...], Candidate] = {}
+        for candidate in candidates:
+            key = tuple(sorted(candidate.parts))
+            seen.setdefault(key, candidate)
+        return [seen[key] for key in sorted(seen)]
+    by_ids: Dict[Tuple[int, ...], Tuple[Tuple[str, ...], Candidate]] = {}
     for candidate in candidates:
-        key = tuple(sorted(candidate.parts))
-        seen.setdefault(key, candidate)
-    return [seen[key] for key in sorted(seen)]
+        id_key = tuple(sorted(interner.intern(name) for name in candidate.parts))
+        if id_key not in by_ids:
+            by_ids[id_key] = (tuple(sorted(candidate.parts)), candidate)
+    return [
+        candidate
+        for _, candidate in sorted(by_ids.values(), key=lambda entry: entry[0])
+    ]

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 from ..observability import metrics as _metrics
 from ..provenance.annotations import AnnotationUniverse
+from ..provenance.ir import AnnotationInterner
 from ..provenance.valuation import Valuation
 from ..provenance.valuation_classes import ValuationClass
 from .combiners import DomainCombiners
@@ -129,6 +130,12 @@ class DistanceComputer:
         ``(ε, δ)`` when ``n_samples`` is None.
     rng:
         Source of randomness for sampling (deterministic by default).
+    interner:
+        Optional :class:`~repro.provenance.ir.AnnotationInterner`; when
+        set, the fast scorers key their per-annotation state (valuation
+        bitmasks, term indexes) on dense interned ids instead of
+        re-hashing name strings, and a session-held interner keeps those
+        ids stable across repeated ``/summarize`` calls.
     """
 
     def __init__(
@@ -143,8 +150,10 @@ class DistanceComputer:
         epsilon: float = 0.05,
         delta: float = 0.9,
         rng: Optional[random.Random] = None,
+        interner: Optional[AnnotationInterner] = None,
     ):
         self.original = original
+        self.interner = interner
         self.valuations = valuations
         self.val_func = val_func
         self.combiners = combiners

@@ -48,6 +48,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from array import array
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..observability import metrics as _metrics
@@ -108,16 +109,24 @@ class _OverlayUniverse:
 
 #: Step state inherited by forked workers (set only around a pool's
 #: lifetime).  Fork copies the parent's address space, so workers read
-#: the scorer without any serialization.
+#: the scorer without any serialization.  Candidate parts ship as two
+#: flat columns -- one list of part names and an ``array('q')`` of
+#: candidate offsets -- instead of thousands of per-candidate tuples:
+#: the compact arrays occupy far fewer copy-on-write pages and dirty
+#: none of them with per-object refcount writes in the workers.
 _WORKER_STATE: Dict[str, object] = {}
 
 
 def _score_span(span: Tuple[int, int]) -> List[Tuple[int, DistanceEstimate]]:
     """Score a contiguous slice of the step's candidates (worker side)."""
     scorer = _WORKER_STATE["scorer"]
-    parts = _WORKER_STATE["parts"]
+    names = _WORKER_STATE["part_names"]
+    offsets = _WORKER_STATE["part_offsets"]
     low, high = span
-    return [scorer.score(parts[index]) for index in range(low, high)]
+    return [
+        scorer.score(names[offsets[index] : offsets[index + 1]])
+        for index in range(low, high)
+    ]
 
 
 def fork_available() -> bool:
@@ -310,9 +319,16 @@ class ScoringEngine:
             spans.append((low, high))
             low = high
 
+        flat_names: List[str] = []
+        offsets = array("q", (0,))
+        for candidate_parts in parts:
+            flat_names.extend(candidate_parts)
+            offsets.append(len(flat_names))
+
         context = multiprocessing.get_context("fork")
         _WORKER_STATE["scorer"] = scorer
-        _WORKER_STATE["parts"] = parts
+        _WORKER_STATE["part_names"] = flat_names
+        _WORKER_STATE["part_offsets"] = offsets
         try:
             with context.Pool(processes=workers) as pool:
                 chunked = pool.map(_score_span, spans)

@@ -57,6 +57,15 @@ from .distance import DistanceComputer, DistanceEstimate
 from .mapping import MappingState
 from .val_funcs import VectorValFunc
 
+
+def _identity(name: str) -> str:
+    return name
+
+
+#: Annotation-key-space stand-in for the candidate's merged annotation
+#: when keys are interned ids (no valid id is negative).
+_ID_MARKER = -1
+
 _COMPARE = {
     ">": lambda left, threshold: left > threshold,
     ">=": lambda left, threshold: left >= threshold,
@@ -99,6 +108,19 @@ class FastStepScorer:
         self.current = current
         self.mapping = mapping
         self.universe = universe
+        # Annotation-key space: with an interner (IR mode) all
+        # per-annotation state -- valuation bitmasks and term indexes --
+        # is keyed on dense interned ids; without one (REPRO_IR=legacy)
+        # it is keyed on the name strings, the seed behavior.  The mask
+        # arithmetic is identical either way, so both key spaces yield
+        # bit-identical scores (asserted by the differential suite).
+        self._interner = getattr(computer, "interner", None)
+        if self._interner is not None:
+            self._key = self._interner.intern
+            self._ann_marker: object = _ID_MARKER
+        else:
+            self._key = _identity
+            self._ann_marker = self._MARKER
         self.val_func: VectorValFunc = computer.val_func
         self.monoid = self.val_func.monoid
         self._is_max = isinstance(self.monoid, MaxMonoid)
@@ -117,35 +139,43 @@ class FastStepScorer:
     # -- precomputation ---------------------------------------------------------
 
     def _build_masks(self) -> None:
-        """Lifted false bitmask per current annotation."""
-        self._mask: Dict[str, int] = {
-            name: 0 for name in self.current.annotation_names()
+        """Lifted false bitmask per current annotation (key space)."""
+        key = self._key
+        self._mask: Dict[object, int] = {
+            key(name): 0 for name in self.current.annotation_names()
         }
         combiners = self.computer.combiners
+        interner = self._interner
         for index, valuation in enumerate(self.valuations):
             bit = 1 << index
             for name in combiners.lifted_false_set(
                 valuation, self.mapping, self.universe
             ):
-                if name in self._mask:
-                    self._mask[name] |= bit
+                # Non-inserting lookup: lifted sets may mention names
+                # outside the expression, which must not grow the
+                # interner.
+                mask_key = interner.lookup(name) if interner is not None else name
+                if mask_key is not None and mask_key in self._mask:
+                    self._mask[mask_key] |= bit
 
-    def _term_mask(self, term: Term, mask_of: Mapping[str, int]) -> int:
+    def _term_mask(self, term: Term, mask_of: Mapping[object, int]) -> int:
         """Valuations under which ``term`` contributes nothing."""
+        key = self._key
         dead = 0
         for name in term.annotations:
-            dead |= mask_of[name]
+            dead |= mask_of[key(name)]
         for guard_token in term.guards:
             dead |= self._guard_mask(guard_token, mask_of)
         return dead
 
-    def _guard_mask(self, guard_token: Guard, mask_of: Mapping[str, int]) -> int:
+    def _guard_mask(self, guard_token: Guard, mask_of: Mapping[object, int]) -> int:
         compare = _COMPARE[guard_token.op]
         sat_alive = compare(guard_token.value, guard_token.threshold)
         sat_dead = compare(0.0, guard_token.threshold)
+        key = self._key
         union = 0
         for name in guard_token.annotations:
-            union |= mask_of.get(name, 0)
+            union |= mask_of.get(key(name), 0)
         if sat_alive and sat_dead:
             return 0
         if sat_alive and not sat_dead:
@@ -160,11 +190,12 @@ class FastStepScorer:
             self._term_mask(term, self._mask) for term in self._terms
         ]
         self._group_terms: Dict[Optional[str], List[int]] = {}
-        self._ann_terms: Dict[str, List[int]] = {}
+        self._ann_terms: Dict[object, List[int]] = {}
+        key = self._key
         for index, term in enumerate(self._terms):
             self._group_terms.setdefault(term.group, []).append(index)
             for name in set(term.all_annotation_names()):
-                self._ann_terms.setdefault(name, []).append(index)
+                self._ann_terms.setdefault(key(name), []).append(index)
 
     def _group_values(
         self,
@@ -245,18 +276,20 @@ class FastStepScorer:
         itself a group key (group-merge case).
         """
         part_set = frozenset(parts)
+        key = self._key
+        part_keys = [key(name) for name in parts]
         merged_mask = self._full_mask
-        for name in parts:
-            merged_mask &= self._mask[name]
+        for part_key in part_keys:
+            merged_mask &= self._mask[part_key]
         substituted = dict(self._mask)
-        for name in parts:
-            substituted[name] = merged_mask
-        substituted[self._MARKER] = merged_mask
+        for part_key in part_keys:
+            substituted[part_key] = merged_mask
+        substituted[self._ann_marker] = merged_mask
 
         affected: List[int] = []
         seen: set = set()
-        for name in parts:
-            for index in self._ann_terms.get(name, ()):
+        for part_key in part_keys:
+            for index in self._ann_terms.get(part_key, ()):
                 if index not in seen:
                     seen.add(index)
                     affected.append(index)
@@ -585,12 +618,13 @@ class IncrementalStepScorer(FastStepScorer):
         current expression and mapping.
         """
         part_set = frozenset(parts)
+        key = self._key
         merged_mask = self._full_mask
         for name in parts:
-            merged_mask &= self._mask[name]
+            merged_mask &= self._mask[key(name)]
         for name in parts:
-            del self._mask[name]
-        self._mask[new_name] = merged_mask
+            del self._mask[key(name)]
+        self._mask[key(new_name)] = merged_mask
         self.current = new_expression
         self.mapping = new_mapping
 
@@ -600,7 +634,7 @@ class IncrementalStepScorer(FastStepScorer):
         # Group baselines: recompute the neighborhood, carry the rest.
         touched_groups = {
             self._terms[index].group
-            for index in self._ann_terms.get(new_name, ())
+            for index in self._ann_terms.get(key(new_name), ())
         }
         if new_name in self._group_terms:
             touched_groups.add(new_name)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..provenance.annotations import AnnotationUniverse
+from ..provenance.ir import AnnotationInterner, ir_enabled
 from ..provenance.valuation_classes import ValuationClass
 from ..taxonomy.dag import Taxonomy
 from .combiners import DomainCombiners
@@ -31,6 +32,23 @@ class SummarizationProblem:
     constraint: MergeConstraint
     taxonomy: Optional[Taxonomy] = None
     description: str = ""
+    #: Annotation interner shared across runs on this problem (one per
+    #: PROX session); ``None`` allocates a fresh one per run in IR mode.
+    interner: Optional[AnnotationInterner] = None
+
+    def resolve_interner(self) -> Optional[AnnotationInterner]:
+        """The interner runs on this problem should key scoring state on.
+
+        Returns the session-provided interner when set, a fresh one in
+        IR mode, and ``None`` under ``REPRO_IR=legacy`` (string-keyed
+        scoring state, the seed behavior).
+        """
+        if self.interner is not None:
+            return self.interner
+        if ir_enabled():
+            self.interner = AnnotationInterner()
+            return self.interner
+        return None
 
     def describe(self) -> str:
         """One-paragraph Table 5.1-style description."""

@@ -173,6 +173,7 @@ class Summarizer:
         started = time.perf_counter()
         original = problem.expression
         mapping = MappingState(sorted(original.annotation_names()))
+        interner = problem.resolve_interner()
         computer = DistanceComputer(
             original,
             problem.valuations,
@@ -184,6 +185,7 @@ class Summarizer:
             epsilon=config.epsilon,
             delta=config.delta,
             rng=self._rng,
+            interner=interner,
         )
         engine = ScoringEngine(problem, config, computer)
 
@@ -235,6 +237,7 @@ class Summarizer:
                     arity=config.merge_arity,
                     cap=config.candidate_cap,
                     rng=self._rng,
+                    interner=interner,
                 )
                 if not candidates:
                     stop_reason = "exhausted"

@@ -48,6 +48,14 @@ from .monoids import (
     fold_counted,
     monoid_by_name,
 )
+from .ir import (
+    GLOBAL_STORE,
+    AnnotationInterner,
+    PolyData,
+    RenameTable,
+    TermStore,
+    ir_enabled,
+)
 from .polynomial import Monomial, Polynomial, from_expression
 from .semirings import (
     BOOLEAN,
@@ -77,6 +85,7 @@ __all__ = [
     "AggSum",
     "AggregationMonoid",
     "Annotation",
+    "AnnotationInterner",
     "AnnotationUniverse",
     "BOOLEAN",
     "BooleanSemiring",
@@ -93,6 +102,7 @@ __all__ = [
     "Execution",
     "ExplicitValuations",
     "FloatSemiring",
+    "GLOBAL_STORE",
     "Guard",
     "GroupVector",
     "MAX",
@@ -101,10 +111,12 @@ __all__ = [
     "NATURALS",
     "NaturalsSemiring",
     "ONE",
+    "PolyData",
     "Polynomial",
     "Product",
     "ProvExpr",
     "REALS",
+    "RenameTable",
     "SUM",
     "Semiring",
     "Sum",
@@ -113,6 +125,7 @@ __all__ = [
     "Tensor",
     "TensorSum",
     "Term",
+    "TermStore",
     "TropicalSemiring",
     "Valuation",
     "ValuationClass",
@@ -124,6 +137,7 @@ __all__ = [
     "explain",
     "fold_counted",
     "from_expression",
+    "ir_enabled",
     "monoid_by_name",
     "witnesses",
 ]

@@ -42,6 +42,7 @@ from typing import (
     Tuple,
 )
 
+from ..observability import tracing as _tracing
 from .monoids import AggregationMonoid, CountedAggregate, fold_counted
 
 _COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
@@ -234,7 +235,13 @@ class TensorSum:
 
     def apply_mapping(self, mapping: Mapping[str, str]) -> "TensorSum":
         """Apply a homomorphism ``h`` (annotation renaming) and simplify."""
-        return TensorSum((term.rename(mapping) for term in self.terms), self.monoid)
+        with _tracing.span("rename") as opened:
+            renamed = TensorSum(
+                (term.rename(mapping) for term in self.terms), self.monoid
+            )
+            opened.set("n_terms", len(self.terms))
+            opened.set("n_renamed", len(mapping))
+            return renamed
 
     # -- evaluation -----------------------------------------------------------
 

@@ -50,6 +50,7 @@ from urllib.parse import parse_qs, urlparse
 from ..observability import health as _health
 from ..observability import log as _log
 from ..observability import metrics as _metrics
+from ..provenance import ir as _ir
 from .session import ProxSession
 from .summarization import SummarizationRequest
 
@@ -207,10 +208,14 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             self._error(500, str(error))
 
     def _health_extra(self) -> Dict[str, Any]:
-        # Benign unlocked reads: both are single attribute loads.
+        # Benign unlocked reads: attribute loads and int-sized counters.
+        interner = self.session.interner
         return {
             "selected": self.session.selected is not None,
             "summarized": self.session.result is not None,
+            "ir_mode": _ir.active_mode(),
+            "ir_interned_annotations": len(interner) if interner is not None else 0,
+            "ir_arena_bytes": _ir.GLOBAL_STORE.arena_bytes(),
         }
 
     def _route_post(self, parsed) -> None:

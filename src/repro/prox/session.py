@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.summarize import SummarizationResult
 from ..datasets.base import DatasetInstance
 from ..datasets.movielens import MovieLensConfig, generate_movielens
+from ..provenance import ir as _ir
 from ..provenance.tensor_sum import TensorSum
 from .evaluator import EvaluationOutcome, EvaluatorService
 from .selection import SelectionService
@@ -49,8 +50,16 @@ class ProxSession:
                 MovieLensConfig(include_movie_merges=True, seed=seed)
             )
         self.instance = instance
+        # One interner per session: annotation ids assigned during the
+        # first /summarize stay stable for every later call, so repeated
+        # summarizations key their scoring state on already-dense ids
+        # instead of re-parsing annotation strings (None under
+        # REPRO_IR=legacy).
+        self.interner: Optional[_ir.AnnotationInterner] = (
+            _ir.AnnotationInterner() if _ir.ir_enabled() else None
+        )
         self.selection = SelectionService(instance)
-        self.summarization = SummarizationService(instance)
+        self.summarization = SummarizationService(instance, interner=self.interner)
         self.evaluator = EvaluatorService(instance)
         self.selected: Optional[TensorSum] = None
         self.result: Optional[SummarizationResult] = None
@@ -87,7 +96,24 @@ class ProxSession:
         if self.selected is None:
             raise RuntimeError("select provenance first (selection view)")
         self.result = self.summarization.summarize(self.selected, request, seed)
+        if self.interner is not None:
+            _ir.publish_metrics(interner=self.interner)
         return self.result
+
+    def ir_stats(self) -> Dict[str, object]:
+        """Interner cardinality and arena storage of this session.
+
+        ``interned_annotations`` counts the session interner's ids
+        (0 under ``REPRO_IR=legacy``); ``arena`` reports the process
+        store backing :class:`~repro.provenance.polynomial.Polynomial`.
+        """
+        return {
+            "mode": _ir.active_mode(),
+            "interned_annotations": (
+                len(self.interner) if self.interner is not None else 0
+            ),
+            "arena": _ir.GLOBAL_STORE.stats(),
+        }
 
     # -- summary view ---------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from ..core.problem import SummarizationConfig, SummarizationProblem
 from ..core.summarize import SummarizationResult, Summarizer
 from ..core.val_funcs import AbsoluteDifference, Disagreement, EuclideanDistance
 from ..datasets.base import DatasetInstance
+from ..provenance.ir import AnnotationInterner
 from ..provenance.monoids import monoid_by_name
 from ..provenance.tensor_sum import TensorSum
 from ..provenance.valuation_classes import (
@@ -67,8 +68,15 @@ class SummarizationRequest:
 class SummarizationService:
     """Summarizes selected provenance with UI-style parameters."""
 
-    def __init__(self, instance: DatasetInstance):
+    def __init__(
+        self,
+        instance: DatasetInstance,
+        interner: Optional[AnnotationInterner] = None,
+    ):
         self.instance = instance
+        #: Session-held interner threaded into every problem, so
+        #: annotation ids stay stable across repeated summarize calls.
+        self.interner = interner
 
     def summarize(
         self,
@@ -112,5 +120,6 @@ class SummarizationService:
             constraint=self.instance.constraint,
             taxonomy=self.instance.taxonomy,
             description=f"PROX selection of {len(expression.groups())} movies",
+            interner=self.interner,
         )
         return Summarizer(problem, request.to_config(seed)).run()

@@ -14,12 +14,24 @@ the summaries computed from them.  This module round-trips:
 
 The format is a versioned plain-JSON object; ``load_expression``
 dispatches on the recorded ``kind``.
+
+Format version 2 adds the compact columnar encodings of the interned
+IR (:mod:`repro.provenance.ir`): a ``term_store`` payload persists an
+arena -- interned annotation names in id order plus the flat
+``(annotation-id, exponent)`` pair array and its monomial bounds --
+as either JSON columns or a packed little-endian binary blob, and a
+``polynomial`` payload persists one polynomial against a *local*
+mini-arena (ids re-densified to the monomials it actually uses), so
+polynomials round-trip independently of any process-wide store.
+Version-1 payloads still load.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Mapping, Union
+import struct
+from array import array
+from typing import Any, Dict, IO, List, Mapping, Union
 
 from .core.summarize import SummarizationResult
 from .provenance.annotations import Annotation, AnnotationUniverse
@@ -29,10 +41,12 @@ from .provenance.ddp_expression import (
     DDPExpression,
     Execution,
 )
+from .provenance.ir import AnnotationInterner, TermStore
 from .provenance.monoids import monoid_by_name
+from .provenance.polynomial import Polynomial
 from .provenance.tensor_sum import Guard, TensorSum, Term
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 Expression = Union[TensorSum, DDPExpression]
 
@@ -251,6 +265,183 @@ def summary_from_dict(data: Mapping[str, Any]):
         annotation_from_dict(entry) for entry in data.get("summary_annotations", ())
     ]
     return expression, mapping, annotations
+
+
+# -- interned IR: term stores and polynomials (format version 2) ---------------
+
+#: Magic prefix of the packed binary arena encoding.
+_ARENA_MAGIC = b"PROXIR"
+
+
+def term_store_to_dict(store: TermStore) -> Dict[str, Any]:
+    """Columnar JSON encoding of an arena: names + flat pair columns."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "term_store",
+        "annotations": list(store.interner),
+        "pair_data": list(store._pair_data),
+        "bounds": list(store._bounds),
+    }
+
+
+def term_store_from_dict(data: Mapping[str, Any]) -> TermStore:
+    _check(data, "term_store")
+    try:
+        names = list(data["annotations"])
+        pair_data = [int(value) for value in data["pair_data"]]
+        bounds = [int(value) for value in data["bounds"]]
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed term_store payload: {error}") from None
+    return _rebuild_store(names, pair_data, bounds)
+
+
+def term_store_to_bytes(store: TermStore) -> bytes:
+    """Packed little-endian binary encoding of an arena.
+
+    Layout: ``PROXIR`` magic, u16 version, u32 name-block length, the
+    NUL-separated UTF-8 name block, u64 pair count, u64 bound count,
+    then the two int64 columns.  Dense and endian-stable -- the compact
+    on-disk form for session snapshots.
+    """
+    names_blob = b"\x00".join(
+        name.encode("utf-8") for name in store.interner
+    )
+    pair_data = store._pair_data
+    bounds = store._bounds
+    header = _ARENA_MAGIC + struct.pack(
+        "<HIQQ", FORMAT_VERSION, len(names_blob), len(pair_data), len(bounds)
+    )
+    return (
+        header
+        + names_blob
+        + struct.pack(f"<{len(pair_data)}q", *pair_data)
+        + struct.pack(f"<{len(bounds)}q", *bounds)
+    )
+
+
+def term_store_from_bytes(blob: bytes) -> TermStore:
+    if not blob.startswith(_ARENA_MAGIC):
+        raise SerializationError("not a packed arena payload (bad magic)")
+    offset = len(_ARENA_MAGIC)
+    try:
+        version, names_len, n_pairs, n_bounds = struct.unpack_from(
+            "<HIQQ", blob, offset
+        )
+        offset += struct.calcsize("<HIQQ")
+        if version > FORMAT_VERSION:
+            raise SerializationError(
+                f"payload version {version} is newer than supported {FORMAT_VERSION}"
+            )
+        names_blob = blob[offset : offset + names_len]
+        offset += names_len
+        names = (
+            [part.decode("utf-8") for part in names_blob.split(b"\x00")]
+            if names_blob
+            else []
+        )
+        pair_data = list(struct.unpack_from(f"<{n_pairs}q", blob, offset))
+        offset += 8 * n_pairs
+        bounds = list(struct.unpack_from(f"<{n_bounds}q", blob, offset))
+    except struct.error as error:
+        raise SerializationError(f"truncated arena payload: {error}") from None
+    return _rebuild_store(names, pair_data, bounds)
+
+
+def _rebuild_store(
+    names: List[str], pair_data: List[int], bounds: List[int]
+) -> TermStore:
+    """Re-intern a persisted arena (monomial ids are preserved)."""
+    if not bounds or bounds[0] != 0:
+        raise SerializationError("arena bounds must start at 0")
+    if bounds[-1] != len(pair_data):
+        raise SerializationError("arena bounds do not cover the pair data")
+    store = TermStore(AnnotationInterner(names))
+    n_names = len(names)
+    for mono in range(1, len(bounds) - 1):
+        start, end = bounds[mono], bounds[mono + 1]
+        if end < start or (end - start) % 2:
+            raise SerializationError(f"malformed monomial slice at id {mono}")
+        flat = tuple(pair_data[start:end])
+        for ann_id, exponent in zip(flat[0::2], flat[1::2]):
+            if not 0 <= ann_id < n_names:
+                raise SerializationError(
+                    f"monomial {mono} references unknown annotation id {ann_id}"
+                )
+            if exponent <= 0:
+                raise SerializationError(
+                    f"monomial {mono} has non-positive exponent {exponent}"
+                )
+        if store.intern_monomial(flat) != mono:
+            raise SerializationError(
+                f"arena monomials are not canonical/deduplicated at id {mono}"
+            )
+    return store
+
+
+def polynomial_to_dict(polynomial: Polynomial) -> Dict[str, Any]:
+    """Columnar encoding of one polynomial against a local mini-arena.
+
+    Annotation and monomial ids are re-densified to the polynomial's
+    own support, so the payload is independent of whatever process-wide
+    store produced it (and of ``REPRO_IR`` mode entirely).
+    """
+    local_names: List[str] = []
+    name_ids: Dict[str, int] = {}
+    pair_data: List[int] = []
+    bounds = [0]
+    mono_ids: List[int] = []
+    coefficients: List[int] = []
+    for monomial, coefficient in sorted(polynomial.terms().items()):
+        id_pairs = []
+        for name, exponent in monomial:
+            local = name_ids.get(name)
+            if local is None:
+                local = name_ids[name] = len(local_names)
+                local_names.append(name)
+            id_pairs.append((local, exponent))
+        for local, exponent in sorted(id_pairs):
+            pair_data.append(local)
+            pair_data.append(exponent)
+        bounds.append(len(pair_data))
+        mono_ids.append(len(mono_ids))
+        coefficients.append(coefficient)
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "polynomial",
+        "annotations": local_names,
+        "pair_data": pair_data,
+        "bounds": bounds,
+        "monomials": mono_ids,
+        "coefficients": coefficients,
+    }
+
+
+def polynomial_from_dict(data: Mapping[str, Any]) -> Polynomial:
+    _check(data, "polynomial")
+    try:
+        names = list(data["annotations"])
+        pair_data = list(data["pair_data"])
+        bounds = list(data["bounds"])
+        mono_ids = list(data["monomials"])
+        coefficients = list(data["coefficients"])
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed polynomial payload: {error}") from None
+    if len(mono_ids) != len(coefficients):
+        raise SerializationError("monomial and coefficient columns differ in length")
+    terms: Dict[Any, int] = {}
+    try:
+        for mono, coefficient in zip(mono_ids, coefficients):
+            start, end = bounds[mono], bounds[mono + 1]
+            monomial = tuple(
+                sorted(
+                    (names[pair_data[i]], pair_data[i + 1])
+                    for i in range(start, end, 2)
+                )
+            )
+            terms[monomial] = terms.get(monomial, 0) + int(coefficient)
+    except IndexError as error:
+        raise SerializationError(f"malformed polynomial payload: {error}") from None
+    return Polynomial(terms)
 
 
 # -- file helpers ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ import pytest
 from repro.core import (
     AbsoluteDifference,
     AllowAll,
+    BeamSummarizer,
     Disagreement,
     DistanceComputer,
     DomainCombiners,
@@ -33,6 +34,7 @@ from repro.core import (
     enumerate_candidates,
     virtual_summary,
 )
+from repro.provenance import ir as _ir
 from repro.core.engine import _OverlayUniverse
 from repro.core.fast_distance import FastStepScorer, IncrementalStepScorer
 from repro.datasets import MovieLensConfig, generate_movielens
@@ -432,6 +434,122 @@ def test_e2e_determinism_parallel_incremental_vs_seed_default(seed):
     assert tuned.summary_groups() == baseline.summary_groups()
     assert {r.scoring_path for r in baseline.steps} == {"fast"}
     assert {r.scoring_path for r in tuned.steps} == {"fast+incremental"}
+
+
+# -- the representation axis: legacy ≡ IR ------------------------------------------
+
+
+def _steps_fingerprint(result):
+    """Everything a mode switch could perturb, captured bit-exactly."""
+    return {
+        "merged": [r.merged for r in result.steps],
+        "new_annotations": [r.new_annotation for r in result.steps],
+        "sizes": [r.size_after for r in result.steps],
+        "final_size": result.final_size,
+        "final_distance": result.final_distance.value,
+        "final_normalized": result.final_distance.normalized,
+        "stop_reason": result.stop_reason,
+        "groups": result.summary_groups(),
+    }
+
+
+def _run_in_mode(temporary_mode, runner):
+    with _ir.mode(temporary_mode):
+        return _steps_fingerprint(runner())
+
+
+@pytest.mark.parametrize("seed", [3, 9])
+@pytest.mark.parametrize(
+    "knobs",
+    [
+        dict(parallelism=0, incremental="off"),
+        dict(parallelism=0, incremental="on"),
+        dict(parallelism=2, incremental="off", parallel_threshold=1),
+        dict(parallelism=2, incremental="on", parallel_threshold=1),
+    ],
+    ids=("serial", "incremental", "parallel", "parallel+incremental"),
+)
+def test_greedy_ir_vs_legacy_bit_identical(seed, knobs):
+    """The IR axis of the differential grid: under every engine knob
+    combination a greedy run must be *bit*-identical between the
+    interned and the legacy representation -- same merges, same sizes,
+    same exact distance floats."""
+
+    def runner():
+        return Summarizer(
+            movielens_problem(seed),
+            SummarizationConfig(w_dist=0.7, max_steps=5, seed=0, **knobs),
+        ).run()
+
+    assert _run_in_mode(_ir.MODE_IR, runner) == _run_in_mode(
+        _ir.MODE_LEGACY, runner
+    )
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+def test_random_problems_ir_vs_legacy_bit_identical(monoid_name):
+    def runner():
+        return Summarizer(
+            random_problem(19, MONOIDS[monoid_name], n_terms=16),
+            SummarizationConfig(w_dist=0.6, max_steps=4, seed=0),
+        ).run()
+
+    assert _run_in_mode(_ir.MODE_IR, runner) == _run_in_mode(
+        _ir.MODE_LEGACY, runner
+    )
+
+
+def test_beam_ir_vs_legacy_bit_identical():
+    def runner():
+        return BeamSummarizer(
+            movielens_problem(3),
+            SummarizationConfig(w_dist=0.7, max_steps=4, seed=0),
+            beam_width=2,
+        ).run()
+
+    assert _run_in_mode(_ir.MODE_IR, runner) == _run_in_mode(
+        _ir.MODE_LEGACY, runner
+    )
+
+
+def test_one_step_scores_ir_vs_legacy_bit_identical():
+    """Candidate-level differential: every path's per-candidate scores
+    must match exactly across the representation switch."""
+
+    def one_step():
+        problem = random_problem(37, SUM, n_terms=16)
+        computer = make_computer(problem)
+        current = problem.expression
+        mapping = MappingState(sorted(current.annotation_names()))
+        candidates = enumerate_candidates(
+            current, problem.universe, problem.constraint
+        )
+        serial = FastStepScorer(computer, current, mapping, problem.universe)
+        incremental = IncrementalStepScorer(
+            computer, current, mapping, problem.universe
+        )
+        return [
+            (
+                candidate.parts,
+                serial.score(candidate.parts),
+                incremental.score(candidate.parts),
+            )
+            for candidate in candidates
+        ]
+
+    with _ir.mode(_ir.MODE_IR):
+        interned = one_step()
+    with _ir.mode(_ir.MODE_LEGACY):
+        legacy = one_step()
+    assert len(interned) == len(legacy)
+    for (parts_a, serial_a, inc_a), (parts_b, serial_b, inc_b) in zip(
+        interned, legacy
+    ):
+        assert parts_a == parts_b
+        assert serial_a[0] == serial_b[0]
+        assert serial_a[1].value == serial_b[1].value
+        assert inc_a[0] == inc_b[0]
+        assert inc_a[1].value == inc_b[1].value
 
 
 # -- fallback regression -----------------------------------------------------------

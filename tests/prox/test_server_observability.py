@@ -78,6 +78,45 @@ def test_metrics_scrape_includes_the_required_families(server):
     assert re.search(r"^prox_scoring_seconds_count \d+$", text, re.M)
 
 
+def test_metrics_scrape_includes_the_ir_gauges(server):
+    """The interned-IR gauges are present (0-valued is fine) even on an
+    idle server -- the CI probe greps for exactly these lines."""
+    _, _, raw = fetch(server, "GET", "/metrics")
+    text = raw.decode("utf-8")
+    assert "# TYPE repro_ir_interned_annotations gauge" in text
+    assert "# TYPE repro_ir_arena_bytes gauge" in text
+    assert re.search(r"^repro_ir_interned_annotations \d+$", text, re.M)
+    assert re.search(r"^repro_ir_arena_bytes \d+$", text, re.M)
+
+
+def test_healthz_reports_ir_state(server):
+    _, _, raw = fetch(server, "GET", "/healthz")
+    payload = json.loads(raw)
+    assert payload["ir_mode"] in ("ir", "legacy")
+    assert payload["ir_interned_annotations"] >= 0
+    assert payload["ir_arena_bytes"] >= 0
+
+
+@pytest.mark.skipif(not metrics.ENABLED, reason="metrics disabled via REPRO_METRICS")
+def test_ir_gauges_advance_after_a_summarization(server):
+    from repro.provenance import ir
+
+    _, _, raw = fetch(server, "GET", "/titles")
+    titles = json.loads(raw)["titles"][:4]
+    fetch(server, "POST", "/select", {"titles": titles})
+    status, _, _ = fetch(
+        server, "POST", "/summarize", {"distance_weight": 0.7, "number_of_steps": 2}
+    )
+    assert status == 200
+    _, _, raw = fetch(server, "GET", "/metrics")
+    text = raw.decode("utf-8")
+    match = re.search(r"^repro_ir_interned_annotations (\d+)$", text, re.M)
+    assert match is not None
+    if ir.ir_enabled():
+        # The session interner saw the selection's annotations.
+        assert int(match.group(1)) > 0
+
+
 @pytest.mark.skipif(not metrics.ENABLED, reason="metrics disabled via REPRO_METRICS")
 def test_counters_advance_across_a_session(server):
     steps_total = metrics.REGISTRY.get("prox_summarize_steps_total")
