@@ -115,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--target-size", type=int, default=1)
     summarize.add_argument("--target-dist", type=float, default=1.0)
     summarize.add_argument("--arity", type=int, default=2, help="merge arity (k-way)")
+    summarize.add_argument(
+        "--carry",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="cross-step candidate carry: maintain the candidate pool "
+        "and delta-rescore across greedy steps (default: auto)",
+    )
+    summarize.add_argument(
+        "--lazy",
+        action="store_true",
+        help="lazy-greedy selection: re-score only queue heads "
+        "(requires carry; sound by Prop 4.2.2 monotonicity)",
+    )
     summarize.add_argument("--save", help="write the summary as JSON to this file")
     summarize.add_argument(
         "--log", action="store_true", help="print the per-step merge log"
@@ -210,6 +223,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         max_steps=args.steps,
         merge_arity=args.arity,
         seed=args.seed,
+        carry=args.carry,
+        lazy=args.lazy,
     )
     problem = instance.problem()
     if args.algorithm == "prov-approx":
@@ -243,6 +258,15 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             f"{path}×{count}" for path, count in sorted(paths.items())
         )
         print(f"  scoring paths: {rendered}")
+    rescored = sum(r.n_rescored for r in result.steps if r.n_rescored >= 0)
+    measured = sum(
+        r.n_candidates for r in result.steps if r.n_rescored >= 0
+    )
+    if measured:
+        print(
+            f"  candidate carry: {measured - rescored}/{measured} "
+            f"measurements carried across steps"
+        )
     if args.log:
         for record in result.steps:
             distance = (

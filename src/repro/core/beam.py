@@ -29,6 +29,7 @@ from .distance import DistanceComputer, DistanceEstimate
 from .engine import ScoringEngine
 from .equivalence import group_equivalent
 from .mapping import MappingState
+from .pool import CandidatePool
 from .problem import SummarizationConfig, SummarizationProblem
 from .summarize import (
     StepRecord,
@@ -48,6 +49,9 @@ class _Beam:
     score: float
     steps: List[StepRecord]
     last_distance: Optional[DistanceEstimate]
+    #: Per-member candidate pool, maintained along this member's own
+    #: merge chain (children branch it via :meth:`CandidatePool.child`).
+    pool: Optional[CandidatePool] = None
 
 
 class BeamSummarizer:
@@ -97,7 +101,22 @@ class BeamSummarizer:
         # Each beam member has its own expression, so the engine's
         # cross-step carry never matches -- it simply rebuilds a fresh
         # step scorer (or falls back to the naive path) per member.
+        # The candidate *pool* carry does apply: every member owns a
+        # pool branched from its parent's (CandidatePool.child), so
+        # only the member's own last merge is re-enumerated.
         engine = ScoringEngine(problem, config, computer)
+        root_pool: Optional[CandidatePool] = (
+            CandidatePool(
+                problem.universe,
+                problem.constraint,
+                arity=config.merge_arity,
+                cap=config.candidate_cap,
+                rng=self._rng,
+                interner=interner,
+            )
+            if config.carry is not False
+            else None
+        )
 
         current = original
         mapping = MappingState(sorted(original.annotation_names()))
@@ -110,7 +129,7 @@ class BeamSummarizer:
             if equivalence_mapping:
                 mapping = mapping.compose(equivalence_mapping)
 
-        beams = [_Beam(current, mapping, 0.0, [], None)]
+        beams = [_Beam(current, mapping, 0.0, [], None, pool=root_pool)]
         stop_reason = "exhausted"
         for step_index in range(config.max_steps or 0):
             expansions: List[
@@ -121,15 +140,18 @@ class BeamSummarizer:
             step_span.set("n_beams", len(beams))
             with step_span:
                 for beam in beams:
-                    candidates = enumerate_candidates(
-                        beam.expression,
-                        problem.universe,
-                        problem.constraint,
-                        arity=config.merge_arity,
-                        cap=config.candidate_cap,
-                        rng=self._rng,
-                        interner=interner,
-                    )
+                    if beam.pool is not None:
+                        candidates = beam.pool.candidates(beam.expression)
+                    else:
+                        candidates = enumerate_candidates(
+                            beam.expression,
+                            problem.universe,
+                            problem.constraint,
+                            arity=config.merge_arity,
+                            cap=config.candidate_cap,
+                            rng=self._rng,
+                            interner=interner,
+                        )
                     if not candidates:
                         continue
                     measured, _ = engine.measure(
@@ -175,7 +197,18 @@ class BeamSummarizer:
                     scoring_path=engine.last_path,
                 )
                 next_beams.append(
-                    _Beam(expression, new_mapping, score, beam.steps + [record], distance)
+                    _Beam(
+                        expression,
+                        new_mapping,
+                        score,
+                        beam.steps + [record],
+                        distance,
+                        pool=(
+                            beam.pool.child(parts, summary.name, expression)
+                            if beam.pool is not None
+                            else None
+                        ),
+                    )
                 )
             beams = next_beams
             stop_reason = "max_steps"

@@ -83,27 +83,87 @@ def enumerate_candidates(
     """
     if arity < 2:
         raise ValueError("merge arity must be at least 2")
+    candidates = generate_candidates(expression, universe, constraint, arity)
+    return finalize_candidates(candidates, arity, cap, rng, interner)
+
+
+def annotations_by_domain(
+    expression, universe: AnnotationUniverse
+) -> Dict[str, List[Annotation]]:
+    """The expression's annotations grouped per domain, name-sorted.
+
+    Domains appear in order of their smallest member name -- the same
+    order :func:`generate_candidates` (and therefore the candidate
+    list) walks them in.
+    """
     present = sorted(expression.annotation_names())
     by_domain: Dict[str, List[Annotation]] = {}
     for name in present:
         annotation = universe[name]
         by_domain.setdefault(annotation.domain, []).append(annotation)
+    return by_domain
 
+
+def generate_candidates(
+    expression,
+    universe: AnnotationUniverse,
+    constraint: MergeConstraint,
+    arity: int,
+) -> List[Candidate]:
+    """The raw candidate list before dedupe/cap (generation order).
+
+    Shared by :func:`enumerate_candidates` and the cross-step
+    :class:`~repro.core.pool.CandidatePool`, whose maintained list must
+    replay exactly this order.
+    """
     candidates: List[Candidate] = []
-    for domain_annotations in by_domain.values():
+    for domain_annotations in annotations_by_domain(expression, universe).values():
         for first, second in combinations(domain_annotations, 2):
-            proposal = constraint.propose(first, second)
-            if proposal is None:
-                continue
-            parts = [first, second]
-            if arity > 2:
-                parts, proposal = _extend_group(
-                    parts, proposal, domain_annotations, constraint, arity
-                )
-            candidates.append(
-                Candidate(tuple(part.name for part in parts), proposal)
+            candidate = propose_candidate(
+                first, second, domain_annotations, constraint, arity
             )
+            if candidate is not None:
+                candidates.append(candidate)
+    return candidates
 
+
+def propose_candidate(
+    first: Annotation,
+    second: Annotation,
+    domain_annotations: Sequence[Annotation],
+    constraint: MergeConstraint,
+    arity: int,
+) -> Optional[Candidate]:
+    """The candidate seeded by ``(first, second)``, or ``None`` if rejected.
+
+    ``first``/``second`` must be passed in name order: some constraints
+    (``AllowAll``'s label) are order-sensitive, and candidate identity
+    must not depend on who proposes the pair.
+    """
+    proposal = constraint.propose(first, second)
+    if proposal is None:
+        return None
+    parts = [first, second]
+    if arity > 2:
+        parts, proposal = _extend_group(
+            parts, proposal, domain_annotations, constraint, arity
+        )
+    return Candidate(tuple(part.name for part in parts), proposal)
+
+
+def finalize_candidates(
+    candidates: List[Candidate],
+    arity: int,
+    cap: Optional[int],
+    rng: Optional[random.Random],
+    interner: Optional[AnnotationInterner],
+) -> List[Candidate]:
+    """Dedupe (``arity > 2``) and cap-subsample a raw candidate list.
+
+    Consumes ``rng`` exactly as the seed ``enumerate_candidates`` did,
+    so a maintained pool finalizing per step leaves the shared RNG in
+    the same state as fresh enumeration would.
+    """
     if arity > 2:
         candidates = _dedupe(candidates, interner)
     if cap is not None and len(candidates) > cap:

@@ -247,8 +247,7 @@ class DistanceComputer:
         samples = max(1, min(samples, 16 * max(1, len(self.valuations))))
         succ = 0.0
         weight_sum = 0.0
-        value_sum = 0.0
-        value_sumsq = 0.0
+        weighted_sumsq = 0.0
         for _ in range(samples):
             valuation = self.valuations.sample(self.rng)
             original_result = self.original.evaluate(valuation.false_set())
@@ -256,11 +255,17 @@ class DistanceComputer:
             sampled_value = self.val_func(original_result, summary_result, mapping)
             succ += valuation.weight * sampled_value
             weight_sum += valuation.weight
-            value_sum += sampled_value
-            value_sumsq += sampled_value * sampled_value
+            weighted_sumsq += valuation.weight * sampled_value * sampled_value
         value = succ / weight_sum if weight_sum else 0.0
-        mean = value_sum / samples
-        variance = max(0.0, value_sumsq / samples - mean * mean)
+        # Weight-normalized second moment around the weighted mean: the
+        # estimator is SuccCounter / SampleCounter (both weighted), so
+        # its spread must track the same weighting -- an unweighted
+        # variance understates heavy valuations' contribution.
+        variance = (
+            max(0.0, weighted_sumsq / weight_sum - value * value)
+            if weight_sum
+            else 0.0
+        )
         stats = self.stats
         stats.sampled_calls += 1
         stats.samples_drawn += samples

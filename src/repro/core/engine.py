@@ -38,6 +38,21 @@ Knob resolution (``SummarizationConfig``):
 * ``incremental``: ``None`` ("auto") and ``True`` ("on") carry the step
   scorer; ``False`` ("off") rebuilds a dense scorer every step (seed
   behavior).
+* ``carry``: ``None`` ("auto") and ``True`` ("on") keep candidate
+  *measurements* across steps as well: disjoint candidates are
+  delta-corrected (exact size shift, shared per-valuation distance
+  delta) and only the merge-affected neighborhood is re-scored, then a
+  ``refresh_near`` confirmation pass re-scores everything within 1e-9
+  of the head so selection stays bit-identical to a full re-score.
+  ``False`` ("off") restores the full per-step re-score.  The carry
+  engages only with ``scoring="normalized"`` (ordinal ranks compare
+  floats exactly) and a sparse incremental scorer; otherwise the pool
+  still maintains the candidate list but every candidate is re-scored.
+* ``lazy``: ``True`` ("on") selects the winner through a lazy-greedy
+  priority queue -- stale distance scores are lower bounds by Prop
+  4.2.2 monotonicity, so only popped queue heads are re-scored until
+  the head is fresh.  Requires ``scoring="normalized"`` and ``carry``
+  not off (validated by ``SummarizationConfig``).
 
 Parallel fan-out requires the ``fork`` start method (Linux/macOS
 CPython); platforms without it silently run serially.
@@ -45,6 +60,7 @@ CPython); platforms without it silently run serially.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import time
@@ -58,7 +74,7 @@ from .candidates import Candidate, virtual_summary
 from .distance import DistanceComputer, DistanceEstimate
 from .fast_distance import FastStepScorer, IncrementalStepScorer
 from .mapping import MappingState
-from .scoring import ScoredCandidate
+from .scoring import ScoredCandidate, score_candidates
 
 _SCORING_STEPS = _metrics.counter(
     "prox_scoring_steps_total",
@@ -80,6 +96,16 @@ _SCORING_FALLBACKS = _metrics.counter(
 _SCORING_WORKERS = _metrics.gauge(
     "prox_scoring_workers",
     "Worker processes used by the most recent scoring step.",
+)
+_SCORING_CARRIED = _metrics.counter(
+    "prox_scoring_candidates_carried_total",
+    "Candidates whose measurement was carried across a step "
+    "(delta-corrected or served stale from the lazy queue).",
+)
+_SCORING_RESCORED = _metrics.counter(
+    "prox_scoring_candidates_rescored_total",
+    "Candidates freshly re-scored under cross-step carry "
+    "(intersecting, new, or confirmation re-scores).",
 )
 
 
@@ -129,6 +155,21 @@ def _score_span(span: Tuple[int, int]) -> List[Tuple[int, DistanceEstimate]]:
     ]
 
 
+def _score_span_detail(
+    span: Tuple[int, int]
+) -> List[Tuple[int, DistanceEstimate, List[float]]]:
+    """Like :func:`_score_span`, also returning the per-valuation
+    accumulators the cross-step carry stores (sparse scorers only)."""
+    scorer = _WORKER_STATE["scorer"]
+    names = _WORKER_STATE["part_names"]
+    offsets = _WORKER_STATE["part_offsets"]
+    low, high = span
+    return [
+        scorer.score_detail(names[offsets[index] : offsets[index + 1]])
+        for index in range(low, high)
+    ]
+
+
 def fork_available() -> bool:
     """Whether pre-forked worker pools are supported on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -162,15 +203,47 @@ class ScoringEngine:
         self.config = config
         self.computer = computer
         self._incremental = config.incremental is not False
+        # Cross-step candidate carry (delta re-scoring) only serves
+        # "normalized" scoring: ordinal ranks compare raw floats for
+        # exact tie equality, which carried-sum association dust would
+        # perturb.  The candidate *pool* carry is scorer-independent
+        # and stays available either way (see core.pool).
+        self._carry = (
+            getattr(config, "carry", None) is not False
+            and config.scoring == "normalized"
+        )
+        self._lazy = bool(getattr(config, "lazy", False))
         self._scorer: Optional[IncrementalStepScorer] = None
+        #: Carried per-candidate measurements keyed by parts tuple:
+        #: ``(size, accumulators)`` in delta-carry mode, ``(size,
+        #: estimate)`` in lazy mode.  Valid only while ``_carry_expr``
+        #: tracks the scorer's current expression through advance().
+        self._carry_store: Dict[Tuple[str, ...], tuple] = {}
+        self._carry_expr: object = None
+        self._carry_ready: bool = False
+        #: Parts whose current measurement is delta-carried (stale);
+        #: ``refresh_near`` re-scores these exactly on demand.
+        self._stale: set = set()
         #: Path taken by the most recent :meth:`measure` call.
         self.last_path: str = ""
         #: Workers used by the most recent :meth:`measure` call.
         self.last_workers: int = 1
+        #: Carried / freshly re-scored candidate counts of the most
+        #: recent step (refresh_near moves entries carried → rescored).
+        self.last_carried: int = 0
+        self.last_rescored: int = 0
+        #: Lifetime totals of the two counts above.
+        self.total_carried: int = 0
+        self.total_rescored: int = 0
         #: How often each path was taken over the engine's lifetime.
         self.path_counts: Dict[str, int] = {}
         #: Fast-path failures that fell back to naive rescoring.
         self.fallback_count: int = 0
+
+    @property
+    def lazy(self) -> bool:
+        """Whether :meth:`measure_lazy` drives candidate selection."""
+        return self._lazy
 
     # -- public API --------------------------------------------------------------
 
@@ -193,11 +266,17 @@ class ScoringEngine:
             span.set("workers", self.last_workers)
             span.set("n_candidates", len(candidates))
             span.set("seconds", seconds)
+            span.set("carried", self.last_carried)
+            span.set("rescored", self.last_rescored)
         if _metrics.ENABLED:
             _SCORING_STEPS.inc(path=self.last_path)
             _SCORING_SECONDS.observe(seconds)
             _SCORING_CANDIDATES.inc(len(candidates))
             _SCORING_WORKERS.set(self.last_workers)
+            if self.last_carried:
+                _SCORING_CARRIED.inc(self.last_carried)
+            if self.last_rescored:
+                _SCORING_RESCORED.inc(self.last_rescored)
         return measured, seconds
 
     def _measure(
@@ -207,6 +286,10 @@ class ScoringEngine:
         mapping: MappingState,
     ) -> Tuple[List[ScoredCandidate], float]:
         problem = self.problem
+        # Default partition: everything freshly scored.  The carry
+        # branch of _score_step overwrites both counts.
+        self.last_carried = 0
+        self.last_rescored = len(candidates)
         if FastStepScorer.applicable(
             current,
             problem.val_func,
@@ -224,11 +307,12 @@ class ScoringEngine:
             if scorer is not None:
                 started = time.perf_counter()
                 try:
-                    results = self._score_all(scorer, candidates)
+                    results = self._score_step(scorer, candidates)
                 except Exception:
                     # The fast path bailed mid-run: never crash or skip
                     # candidates -- rescore the whole step naively.
                     self._scorer = None
+                    self._invalidate_carry()
                     self._note_fallback()
                 else:
                     measured = [
@@ -264,15 +348,127 @@ class ScoringEngine:
         """
         scorer = self._scorer
         if scorer is None:
+            self._invalidate_carry()
             return
+        measured_expr = scorer.current
         try:
             scorer.advance(parts, new_name, new_expression, new_mapping)
         except Exception:
             self._scorer = None
+            self._invalidate_carry()
+            return
+        # Re-link the carried candidate measurements to the new
+        # expression; delta carry additionally needs the merge's
+        # per-valuation baseline delta (sparse scorers only).
+        linked = self._carry_ready and self._carry_expr is measured_expr
+        if linked and not self._lazy:
+            linked = getattr(scorer, "last_delta", None) is not None
+        if linked:
+            self._carry_expr = new_expression
+        else:
+            self._invalidate_carry()
+
+    def refresh_near(
+        self, scored: Sequence[ScoredCandidate], tolerance: float = 1e-9
+    ) -> int:
+        """Freshly re-score carried entries near the provisional winner.
+
+        ``scored`` must be sorted best-first.  Every stale (carried)
+        entry whose score is within ``tolerance`` of the head is
+        re-scored exactly and its store entry replaced; the caller
+        re-ranks and calls again until this returns 0.  Delta-carried
+        sums can drift from a fresh walk by float-association dust
+        (≪ ``tolerance``), so once every entry that could contend with
+        the winner is fresh, the selected winner -- and its recorded
+        size/distance -- is bit-identical to a carry-off run.
+        """
+        if not self._stale or not scored:
+            return 0
+        scorer = self._scorer
+        if scorer is None:
+            self._stale.clear()
+            return 0
+        bound = scored[0].score + tolerance
+        refreshed = 0
+        try:
+            for entry in scored:
+                if entry.score > bound:
+                    break
+                parts = entry.candidate.parts
+                if parts not in self._stale:
+                    continue
+                size, estimate, accs = scorer.score_detail(parts)
+                entry.size = size
+                entry.distance = estimate
+                self._carry_store[parts] = (size, accs)
+                self._stale.discard(parts)
+                refreshed += 1
+        except Exception:
+            # Confirmation is hardening on top of already-valid carried
+            # measurements; on failure keep them and drop the carry so
+            # the next step re-scores everything from scratch.
+            self._scorer = None
+            self._invalidate_carry()
+            self._stale.clear()
+            self._note_fallback()
+            return 0
+        if refreshed:
+            self.last_carried -= refreshed
+            self.last_rescored += refreshed
+            self.total_carried -= refreshed
+            self.total_rescored += refreshed
+            if _metrics.ENABLED:
+                _SCORING_RESCORED.inc(refreshed)
+        return refreshed
+
+    def measure_lazy(
+        self,
+        candidates: Sequence[Candidate],
+        current,
+        mapping: MappingState,
+        w_dist: float,
+        w_size: float,
+        original_size: int,
+    ) -> Tuple[ScoredCandidate, float]:
+        """Select the step's best candidate via the lazy-greedy queue.
+
+        Candidates sit in a priority queue keyed by ``CandidateScore``.
+        Sizes are kept exact (cheap), while a carried entry's distance
+        may be *stale* -- measured against an earlier expression in the
+        merge chain.  By Prop 4.2.2 the distance from the original is
+        non-decreasing along merge chains, so a stale distance (and
+        with exact sizes, a stale score) is a lower bound on the fresh
+        one: popping the minimum, re-scoring it if stale and pushing it
+        back terminates with the true fresh argmin when the top entry
+        is fresh.  Candidates far from the top are never re-scored and
+        their staleness deepens harmlessly.
+        """
+        span = _tracing.span("score_candidates")
+        with span:
+            best, seconds = self._measure_lazy(
+                candidates, current, mapping, w_dist, w_size, original_size
+            )
+            span.set("path", self.last_path)
+            span.set("workers", self.last_workers)
+            span.set("n_candidates", len(candidates))
+            span.set("seconds", seconds)
+            span.set("carried", self.last_carried)
+            span.set("rescored", self.last_rescored)
+        if _metrics.ENABLED:
+            _SCORING_STEPS.inc(path=self.last_path)
+            _SCORING_SECONDS.observe(seconds)
+            _SCORING_CANDIDATES.inc(len(candidates))
+            _SCORING_WORKERS.set(self.last_workers)
+            if self.last_carried:
+                _SCORING_CARRIED.inc(self.last_carried)
+            if self.last_rescored:
+                _SCORING_RESCORED.inc(self.last_rescored)
+        return best, seconds
 
     def reset(self) -> None:
         """Drop any carried state (e.g. after reverting a step)."""
         self._scorer = None
+        self._invalidate_carry()
 
     # -- internals ---------------------------------------------------------------
 
@@ -285,6 +481,12 @@ class ScoringEngine:
         if _metrics.ENABLED:
             _SCORING_FALLBACKS.inc()
 
+    def _invalidate_carry(self) -> None:
+        self._carry_store = {}
+        self._carry_expr = None
+        self._carry_ready = False
+        self._stale = set()
+
     def _obtain_scorer(self, current, mapping: MappingState) -> FastStepScorer:
         if not self._incremental:
             return FastStepScorer(
@@ -296,18 +498,262 @@ class ScoringEngine:
         self._scorer = IncrementalStepScorer(
             self.computer, current, mapping, self.problem.universe
         )
+        self._invalidate_carry()
         return self._scorer
 
-    def _score_all(
+    def _score_step(
         self, scorer: FastStepScorer, candidates: Sequence[Candidate]
     ) -> List[Tuple[int, DistanceEstimate]]:
-        parts = [candidate.parts for candidate in candidates]
+        """One step's measurements, carrying disjoint candidates.
+
+        When the carry is live (the store was measured against the
+        expression the scorer just advanced from), candidates disjoint
+        from the applied merge's neighborhood get their carried size
+        plus the merge's exact size shift and their carried accumulator
+        plus the per-valuation baseline delta; only the intersecting /
+        new candidates are freshly scored (and sharded across the fork
+        pool).  Carried entries are marked stale for
+        :meth:`refresh_near`.
+        """
+        self._stale = set()
+        capture = (
+            self._carry
+            and not self._lazy
+            and isinstance(scorer, IncrementalStepScorer)
+            and scorer._sparse
+        )
+        if not capture:
+            self._invalidate_carry()
+            return self._score_all(
+                scorer, [candidate.parts for candidate in candidates]
+            )
+        live = (
+            self._carry_ready
+            and self._carry_expr is scorer.current
+            and scorer.last_delta is not None
+        )
+        if not live:
+            detail = self._score_all(
+                scorer,
+                [candidate.parts for candidate in candidates],
+                detail=True,
+            )
+            self._carry_store = {
+                candidate.parts: (size, accs)
+                for candidate, (size, _, accs) in zip(candidates, detail)
+            }
+            self._carry_expr = scorer.current
+            self._carry_ready = True
+            return [(size, estimate) for size, estimate, _ in detail]
+
+        store = self._carry_store
+        deltas = scorer.last_delta
+        shift = scorer.last_size_shift
+        results: List[Optional[Tuple[int, DistanceEstimate]]] = [None] * len(
+            candidates
+        )
+        new_store: Dict[Tuple[str, ...], tuple] = {}
+        rescore: List[int] = []
+        stale: set = set()
+        for index, candidate in enumerate(candidates):
+            entry = store.get(candidate.parts)
+            if entry is None or scorer.candidate_intersects(candidate.parts):
+                rescore.append(index)
+                continue
+            size = entry[0] + shift
+            estimate, accs = scorer.carried_score(entry[1], deltas)
+            results[index] = (size, estimate)
+            new_store[candidate.parts] = (size, accs)
+            stale.add(candidate.parts)
+        fresh = self._score_all(
+            scorer, [candidates[index].parts for index in rescore], detail=True
+        )
+        for index, (size, estimate, accs) in zip(rescore, fresh):
+            results[index] = (size, estimate)
+            new_store[candidates[index].parts] = (size, accs)
+        self._carry_store = new_store
+        self._carry_expr = scorer.current
+        self._stale = stale
+        self.last_carried = len(candidates) - len(rescore)
+        self.last_rescored = len(rescore)
+        self.total_carried += self.last_carried
+        self.total_rescored += self.last_rescored
+        return results
+
+    def _measure_lazy(
+        self,
+        candidates: Sequence[Candidate],
+        current,
+        mapping: MappingState,
+        w_dist: float,
+        w_size: float,
+        original_size: int,
+    ) -> Tuple[ScoredCandidate, float]:
+        problem = self.problem
+        self.last_carried = 0
+        self.last_rescored = len(candidates)
+        scorer: Optional[FastStepScorer] = None
+        if FastStepScorer.applicable(
+            current,
+            problem.val_func,
+            problem.combiners,
+            problem.valuations,
+            problem.universe,
+            self.config.max_enumerate,
+        ):
+            try:
+                scorer = self._obtain_scorer(current, mapping)
+            except Exception:
+                self._scorer = None
+                scorer = None
+                self._note_fallback()
+        if scorer is None or not isinstance(scorer, IncrementalStepScorer):
+            return self._lazy_fallback(
+                candidates, current, mapping, w_dist, w_size, original_size
+            )
+        started = time.perf_counter()
+        try:
+            best, carried, rescored = self._lazy_select(
+                scorer, candidates, w_dist, w_size, original_size
+            )
+        except Exception:
+            self._scorer = None
+            self._invalidate_carry()
+            self._note_fallback()
+            return self._lazy_fallback(
+                candidates, current, mapping, w_dist, w_size, original_size
+            )
+        self.last_carried = carried
+        self.last_rescored = rescored
+        self.total_carried += carried
+        self.total_rescored += rescored
+        self._record(self.PATH_FAST_INCREMENTAL)
+        return best, time.perf_counter() - started
+
+    def _lazy_fallback(
+        self, candidates, current, mapping, w_dist, w_size, original_size
+    ) -> Tuple[ScoredCandidate, float]:
+        """Full measurement + full ranking when the queue cannot run."""
+        measured, seconds = self._measure(candidates, current, mapping)
+        ranked = score_candidates(
+            measured,
+            w_dist=w_dist,
+            w_size=w_size,
+            original_size=original_size,
+            strategy="normalized",
+        )
+        return ranked[0], seconds
+
+    def _lazy_select(
+        self,
+        scorer: IncrementalStepScorer,
+        candidates: Sequence[Candidate],
+        w_dist: float,
+        w_size: float,
+        original_size: int,
+    ) -> Tuple[ScoredCandidate, int, int]:
+        """Pop-rescore-reinsert until the queue's top entry is fresh.
+
+        Entries hold ``[size, estimate, fresh]``.  Sizes are always
+        exact -- a stale size could *overstate* the bound (sizes only
+        shrink along chains) and break the lower-bound invariant, so
+        disjoint candidates get the exact carried-size shift and the
+        rest a direct size recomputation.  New pairs (no carried entry)
+        enter with the global distance floor 0.0.
+        """
+        store = self._carry_store
+        live = (
+            self._carry_ready
+            and self._carry_expr is scorer.current
+            and scorer.last_affected_terms is not None
+        )
+        entries: List[list] = []
+        rescored = 0
+        if not live:
+            results = self._score_all(
+                scorer, [candidate.parts for candidate in candidates]
+            )
+            entries = [[size, estimate, True] for size, estimate in results]
+            rescored = len(candidates)
+        else:
+            self.last_workers = 1
+            shift = scorer.last_size_shift
+            for candidate in candidates:
+                entry = store.get(candidate.parts)
+                if entry is None:
+                    entries.append(
+                        [scorer.candidate_size(candidate.parts), None, False]
+                    )
+                elif scorer.candidate_intersects(candidate.parts):
+                    entries.append(
+                        [scorer.candidate_size(candidate.parts), entry[1], False]
+                    )
+                else:
+                    entries.append([entry[0] + shift, entry[1], False])
+
+        def entry_key(index: int) -> Tuple[float, float, Tuple[str, ...]]:
+            size, estimate, _ = entries[index]
+            r_dist = estimate.normalized if estimate is not None else 0.0
+            r_size = size / original_size if original_size else 0.0
+            return (
+                w_dist * r_dist + w_size * r_size,
+                candidates[index].proposal.taxonomy_cost,
+                candidates[index].parts,
+            )
+
+        heap = [(entry_key(index), index) for index in range(len(candidates))]
+        heapq.heapify(heap)
+        while True:
+            _, index = heapq.heappop(heap)
+            if entries[index][2]:
+                best_index = index
+                break
+            size, estimate = scorer.score(candidates[index].parts)
+            entries[index] = [size, estimate, True]
+            rescored += 1
+            heapq.heappush(heap, (entry_key(index), index))
+
+        self._carry_store = {
+            candidate.parts: (entry[0], entry[1])
+            for candidate, entry in zip(candidates, entries)
+            if entry[1] is not None
+        }
+        self._carry_expr = scorer.current
+        self._carry_ready = True
+        self._stale = set()
+
+        size, estimate, _ = entries[best_index]
+        r_dist = estimate.normalized
+        r_size = size / original_size if original_size else 0.0
+        best = ScoredCandidate(
+            candidate=candidates[best_index],
+            expression=None,
+            step_mapping={},
+            size=size,
+            distance=estimate,
+            r_dist=r_dist,
+            r_size=r_size,
+            score=w_dist * r_dist + w_size * r_size,
+        )
+        return best, len(candidates) - rescored, rescored
+
+    def _score_all(
+        self,
+        scorer: FastStepScorer,
+        parts: Sequence[Tuple[str, ...]],
+        detail: bool = False,
+    ) -> List[tuple]:
+        if not parts:
+            self.last_workers = 1
+            return []
         workers = resolve_workers(
             self.config.parallelism, len(parts), self.config.parallel_threshold
         )
         self.last_workers = workers
         if workers <= 1:
-            return [scorer.score(candidate_parts) for candidate_parts in parts]
+            if detail:
+                return [scorer.score_detail(entry) for entry in parts]
+            return [scorer.score(entry) for entry in parts]
 
         # A few spans per worker smooths out uneven candidate costs.
         spans: List[Tuple[int, int]] = []
@@ -331,10 +777,12 @@ class ScoringEngine:
         _WORKER_STATE["part_offsets"] = offsets
         try:
             with context.Pool(processes=workers) as pool:
-                chunked = pool.map(_score_span, spans)
+                chunked = pool.map(
+                    _score_span_detail if detail else _score_span, spans
+                )
         finally:
             _WORKER_STATE.clear()
-        results: List[Tuple[int, DistanceEstimate]] = []
+        results: List[tuple] = []
         for chunk in chunked:
             results.extend(chunk)
         return results
@@ -351,6 +799,7 @@ class ScoringEngine:
         RNG, whose sequence parallel sharding would change.
         """
         self.last_workers = 1
+        self._invalidate_carry()
         problem = self.problem
         measured: List[ScoredCandidate] = []
         started = time.perf_counter()

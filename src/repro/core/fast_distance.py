@@ -132,7 +132,7 @@ class FastStepScorer:
         self._build_terms()
         self._baseline = {
             group: self._group_values(indexes)
-            for group, indexes in self._group_terms.items()
+            for group, indexes in self._group_order.items()
         }
         self._orig_aligned = self._align_originals()
 
@@ -196,6 +196,19 @@ class FastStepScorer:
             self._group_terms.setdefault(term.group, []).append(index)
             for name in set(term.all_annotation_names()):
                 self._ann_terms.setdefault(key(name), []).append(index)
+        # Per-group term indexes in the order the fold consumes them:
+        # descending value for MAX, so ``_fold_max`` never re-sorts the
+        # same baseline group inside every candidate score; term order
+        # for SUM/COUNT, whose subtraction fold must keep the original
+        # association order to stay bit-identical.
+        if self._is_max:
+            terms = self._terms
+            self._group_order: Dict[Optional[str], List[int]] = {
+                group: sorted(indexes, key=lambda index: -terms[index].value)
+                for group, indexes in self._group_terms.items()
+            }
+        else:
+            self._group_order = self._group_terms
 
     def _group_values(
         self,
@@ -220,9 +233,12 @@ class FastStepScorer:
         return self._fold_sum(masks)
 
     def _fold_max(self, masks: List[Tuple[float, int]]) -> List[float]:
+        """Per-valuation MAX; ``masks`` must arrive in descending value
+        order (``_group_order`` keeps every group presorted), so each
+        valuation is assigned the first alive value it sees."""
         out = [0.0] * self.n_vals
         remaining = self._full_mask
-        for value, dead in sorted(masks, key=lambda pair: -pair[0]):
+        for value, dead in masks:
             alive = ~dead & remaining
             while alive:
                 bit = alive & -alive
@@ -354,11 +370,14 @@ class FastStepScorer:
             for part in parts:
                 merged_indexes.extend(self._group_terms.get(part, ()))
             if merged_indexes:
+                if self._is_max:
+                    terms = self._terms
+                    merged_indexes.sort(key=lambda index: -terms[index].value)
                 affected_groups[marker] = merged_indexes
         for group in list(affected_groups):
             if group == marker:
                 continue
-            affected_groups[group] = self._group_terms[group]
+            affected_groups[group] = self._group_order[group]
         return affected_groups
 
     def _candidate_vectors(
@@ -493,6 +512,22 @@ class IncrementalStepScorer(FastStepScorer):
         #: Number of advance() carries since construction (telemetry).
         self.steps_carried = 0
 
+        # What the most recent advance() perturbed -- the engine's
+        # cross-step candidate carry uses these to decide which
+        # candidates must be re-scored (None until the first advance):
+        #: Term indexes (new state) whose aliveness the merge changed.
+        self.last_affected_terms: Optional[set] = None
+        #: Group keys whose aggregate/contribution the merge changed
+        #: (``touched_groups`` plus the merged annotation itself).
+        self.last_affected_groups: Optional[set] = None
+        #: Per-valuation baseline-contribution delta of the merge
+        #: (sparse mode only): adding ``last_delta[v]`` to a disjoint
+        #: candidate's carried accumulator re-bases it on this step.
+        self.last_delta: Optional[List[float]] = None
+        #: Expression-size change of the applied merge; a disjoint
+        #: candidate's post-merge size is its carried size plus this.
+        self.last_size_shift: int = 0
+
         # Original results in evaluation-encounter order, shared across
         # steps: refolds after a merge must walk keys in the same order
         # a fresh _align_originals would.
@@ -534,12 +569,26 @@ class IncrementalStepScorer(FastStepScorer):
 
     def _refresh_contributions(
         self, part_set: FrozenSet[str], refresh: set
-    ) -> None:
+    ) -> List[float]:
+        """Re-base the nonzero contributions past a merge.
+
+        Returns the merge's per-valuation contribution delta: what the
+        pops (the merged annotations' old group contributions) and
+        refreshes (the disturbed groups' new contributions) changed in
+        the baseline sum.  A candidate disjoint from the merge's
+        neighborhood sums exactly the same keys as before plus this
+        delta, so its carried accumulator is corrected in O(1) per
+        valuation instead of a full re-walk.
+        """
         contrib = self.val_func.metric_contrib
+        deltas: List[float] = []
         for index in range(self.n_vals):
             nonzero = self._nonzero[index]
+            delta = 0.0
             for part in part_set:
-                nonzero.pop(part, None)
+                removed = nonzero.pop(part, None)
+                if removed is not None:
+                    delta -= removed
             orig_vec = self._orig_aligned[index]
             for key in refresh:
                 values = self._baseline.get(key)
@@ -547,16 +596,39 @@ class IncrementalStepScorer(FastStepScorer):
                     orig_vec.get(key, 0.0),
                     values[index] if values is not None else 0.0,
                 )
+                delta += value - nonzero.get(key, 0.0)
                 if value != 0.0:
                     nonzero[key] = value
                 else:
                     nonzero.pop(key, None)
+            deltas.append(delta)
+        return deltas
 
     # -- candidate scoring -------------------------------------------------------
 
     def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
         if not self._sparse:
             return super().score(parts)
+        size, estimate, _ = self._score_sparse(parts)
+        return size, estimate
+
+    def score_detail(
+        self, parts: Sequence[str]
+    ) -> Tuple[int, DistanceEstimate, List[float]]:
+        """Sparse score plus the per-valuation metric accumulators.
+
+        The engine's cross-step carry stores the accumulators: after
+        the winning merge is applied, a disjoint candidate's next-step
+        score is ``finish(acc + last_delta)`` -- no re-walk.  Only
+        valid in sparse mode (the engine gates on ``_sparse``).
+        """
+        if not self._sparse:
+            raise RuntimeError("score_detail requires sparse (decomposable) mode")
+        return self._score_sparse(parts)
+
+    def _score_sparse(
+        self, parts: Sequence[str]
+    ) -> Tuple[int, DistanceEstimate, List[float]]:
         marker = self._MARKER
         part_set, affected, override, group_merge = self._candidate_state(parts)
         recomputed = {
@@ -569,6 +641,7 @@ class IncrementalStepScorer(FastStepScorer):
         finish = self.val_func.metric_finish
         total = 0.0
         total_weight = 0.0
+        accs: List[float] = []
         for index, valuation in enumerate(self.valuations):
             orig_vec = self._orig_aligned[index]
             acc = 0.0
@@ -584,11 +657,65 @@ class IncrementalStepScorer(FastStepScorer):
                 else:
                     original = orig_vec.get(group, 0.0)
                 acc += contrib(original, values[index])
+            accs.append(acc)
             total += valuation.weight * finish(acc)
             total_weight += valuation.weight
         distance_value = total / total_weight if total_weight else 0.0
         estimate = self._estimate(distance_value)
-        return self._candidate_size(part_set, marker, affected), estimate
+        return self._candidate_size(part_set, marker, affected), estimate, accs
+
+    def carried_score(
+        self, accs: Sequence[float], deltas: Sequence[float]
+    ) -> Tuple[DistanceEstimate, List[float]]:
+        """Distance from carried accumulators plus the step's delta.
+
+        Exact up to float association: the corrected accumulator sums
+        the same contributions a fresh sparse walk would, added in a
+        different order.  The loop above the engine re-scores the
+        provisional winner freshly, so the dust never reaches the
+        recorded output (see ``ScoringEngine.refresh_near``).
+        """
+        finish = self.val_func.metric_finish
+        total = 0.0
+        total_weight = 0.0
+        new_accs: List[float] = []
+        for index, valuation in enumerate(self.valuations):
+            acc = accs[index] + deltas[index]
+            new_accs.append(acc)
+            total += valuation.weight * finish(acc)
+            total_weight += valuation.weight
+        distance_value = total / total_weight if total_weight else 0.0
+        return self._estimate(distance_value), new_accs
+
+    def candidate_size(self, parts: Sequence[str]) -> int:
+        """Exact post-merge size of one candidate (no distance walk)."""
+        part_set, affected, _, _ = self._candidate_state(parts)
+        return self._candidate_size(part_set, self._MARKER, affected)
+
+    def candidate_intersects(self, parts: Sequence[str]) -> bool:
+        """Whether the last applied merge perturbs this candidate's score.
+
+        A candidate's measurement reads (a) the dead masks and values
+        of the terms mentioning its parts (or grouped under them) and
+        (b) the aggregates/contributions of those terms' groups.  It is
+        disturbed exactly when that neighborhood meets the applied
+        merge's ``last_affected_terms`` / ``last_affected_groups``;
+        everything else is carried with the O(n_vals) delta correction.
+        """
+        affected_terms = self.last_affected_terms
+        affected_groups = self.last_affected_groups
+        key = self._key
+        terms = self._terms
+        for name in parts:
+            if name in affected_groups:
+                return True
+            for index in self._ann_terms.get(key(name), ()):
+                if index in affected_terms or terms[index].group in affected_groups:
+                    return True
+            for index in self._group_terms.get(name, ()):
+                if index in affected_terms:
+                    return True
+        return False
 
     def _fold_orig(self, index: int, keys: FrozenSet[str]) -> float:
         """Fold the aligned original values of ``keys`` (group merge).
@@ -619,12 +746,14 @@ class IncrementalStepScorer(FastStepScorer):
         """
         part_set = frozenset(parts)
         key = self._key
+        new_key = key(new_name)
+        self.last_size_shift = new_expression.size() - self.current.size()
         merged_mask = self._full_mask
         for name in parts:
             merged_mask &= self._mask[key(name)]
         for name in parts:
             del self._mask[key(name)]
-        self._mask[key(new_name)] = merged_mask
+        self._mask[new_key] = merged_mask
         self.current = new_expression
         self.mapping = new_mapping
 
@@ -634,18 +763,26 @@ class IncrementalStepScorer(FastStepScorer):
         # Group baselines: recompute the neighborhood, carry the rest.
         touched_groups = {
             self._terms[index].group
-            for index in self._ann_terms.get(key(new_name), ())
+            for index in self._ann_terms.get(new_key, ())
         }
         if new_name in self._group_terms:
             touched_groups.add(new_name)
         baseline: Dict[Optional[str], List[float]] = {}
-        for group, indexes in self._group_terms.items():
+        for group, indexes in self._group_order.items():
             carried = self._baseline.get(group)
             if carried is None or group in touched_groups:
                 baseline[group] = self._group_values(indexes)
             else:
                 baseline[group] = carried
         self._baseline = baseline
+
+        # The merge's neighborhood (for the engine's candidate carry).
+        affected_terms = set(self._ann_terms.get(new_key, ()))
+        affected_terms.update(self._group_terms.get(new_name, ()))
+        self.last_affected_terms = affected_terms
+        self.last_affected_groups = set(touched_groups)
+        self.last_affected_groups.add(new_name)
+        self.last_delta = None
 
         # Aligned originals: refold only the keys whose image changed.
         changed = {
@@ -668,5 +805,5 @@ class IncrementalStepScorer(FastStepScorer):
         if self._sparse:
             refresh = set(touched_groups)
             refresh.add(new_name)
-            self._refresh_contributions(part_set, refresh)
+            self.last_delta = self._refresh_contributions(part_set, refresh)
         self.steps_carried += 1

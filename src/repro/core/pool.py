@@ -1,0 +1,243 @@
+"""Cross-step candidate pool maintenance for the Algorithm-1 loop.
+
+Re-running ``enumerate_candidates`` every greedy step re-proposes all
+O(n²) same-domain pairs even though one applied merge ``{a, b} → c``
+only (1) removes the candidates mentioning ``a``/``b`` and (2) adds
+the pairs seeded by ``c``.  :class:`CandidatePool` persists the raw
+candidate list across steps and edits exactly that delta:
+
+* candidates whose *seed pair* mentions a merged annotation are
+  dropped (the fresh enumeration could not produce them);
+* candidates whose seed survives but whose ``arity > 2`` greedy
+  extension mentioned a merged annotation are re-extended against the
+  new annotation pool;
+* surviving ``arity > 2`` candidates in the merged domain are
+  re-extended only when ``c`` would have been accepted into their
+  greedy chain (checked by replaying the chain prefix below ``c``'s
+  position -- the decisions for surviving members are unchanged
+  because :meth:`~repro.core.constraints.MergeConstraint.propose` is
+  deterministic and rejected annotations never alter the chain state);
+* the new pairs ``{c, x}`` are proposed against the surviving
+  same-domain annotations, reusing
+  :func:`~repro.core.candidates.propose_candidate` (and with it the
+  greedy extension).
+
+The maintained list is then re-sorted into the exact generation order
+of a fresh :func:`~repro.core.candidates.enumerate_candidates` call --
+domains by smallest member name, pairs by seed names -- and finalized
+through the *same* dedupe / cap-subsampling code, so the result is
+identical candidate for candidate, in identical order, with identical
+shared-RNG consumption (asserted by ``tests/core/test_candidate_pool``
+over an RNG grid).
+
+Robustness: any maintenance failure invalidates the pool, and the next
+:meth:`candidates` call falls back to a full fresh enumeration -- the
+same contract the scoring engine's fast paths follow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..provenance.annotations import Annotation, AnnotationUniverse
+from ..provenance.ir import AnnotationInterner
+from .candidates import (
+    Candidate,
+    annotations_by_domain,
+    finalize_candidates,
+    generate_candidates,
+    propose_candidate,
+    virtual_summary,
+)
+from .constraints import MergeConstraint
+
+
+class CandidatePool:
+    """A candidate list maintained incrementally across greedy steps."""
+
+    def __init__(
+        self,
+        universe: AnnotationUniverse,
+        constraint: MergeConstraint,
+        arity: int = 2,
+        cap: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        interner: Optional[AnnotationInterner] = None,
+    ):
+        if arity < 2:
+            raise ValueError("merge arity must be at least 2")
+        self.universe = universe
+        self.constraint = constraint
+        self.arity = arity
+        self.cap = cap
+        self.rng = rng
+        self.interner = interner
+        #: Raw candidates in fresh-generation order (before dedupe/cap);
+        #: ``None`` means the next :meth:`candidates` call re-enumerates.
+        self._raw: Optional[List[Candidate]] = None
+        self._expression: object = None
+        #: Telemetry: steps whose list was maintained vs. re-enumerated.
+        self.maintained_steps = 0
+        self.rebuilt_steps = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def candidates(self, expression) -> List[Candidate]:
+        """The step's candidate list for ``expression``.
+
+        Identical (candidates and order) to ``enumerate_candidates``;
+        re-enumerates from scratch when the pool was invalidated or
+        ``expression`` is not the one the pool was advanced to.
+        """
+        if self._raw is None or self._expression is not expression:
+            self._raw = generate_candidates(
+                expression, self.universe, self.constraint, self.arity
+            )
+            self._expression = expression
+            self.rebuilt_steps += 1
+        else:
+            self.maintained_steps += 1
+        # Finalize per call: dedupe and cap subsampling must consume the
+        # shared RNG exactly as a fresh enumeration would.
+        return finalize_candidates(
+            list(self._raw), self.arity, self.cap, self.rng, self.interner
+        )
+
+    def advance(self, parts: Sequence[str], new_name: str, new_expression) -> None:
+        """Maintain the pool past the applied merge ``parts → new_name``.
+
+        A failed maintenance is never fatal: the pool is invalidated
+        and the next step re-enumerates.
+        """
+        if self._raw is None:
+            return
+        try:
+            self._raw = self._maintain(tuple(parts), new_name, new_expression)
+            self._expression = new_expression
+        except Exception:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the carried list (e.g. after reverting a step)."""
+        self._raw = None
+        self._expression = None
+
+    def child(self, parts: Sequence[str], new_name: str, new_expression) -> "CandidatePool":
+        """An advanced copy, leaving this pool untouched (beam search)."""
+        twin = CandidatePool(
+            self.universe,
+            self.constraint,
+            arity=self.arity,
+            cap=self.cap,
+            rng=self.rng,
+            interner=self.interner,
+        )
+        if self._raw is not None:
+            twin._raw = list(self._raw)
+            twin._expression = self._expression
+        twin.advance(parts, new_name, new_expression)
+        return twin
+
+    # -- maintenance -------------------------------------------------------------
+
+    def _maintain(
+        self, merged: Tuple[str, ...], new_name: str, new_expression
+    ) -> List[Candidate]:
+        universe = self.universe
+        merged_set = frozenset(merged)
+        by_domain = annotations_by_domain(new_expression, universe)
+        new_annotation = universe[new_name]
+        merged_domain = by_domain.get(new_annotation.domain, [])
+
+        entries: List[Candidate] = []
+        for candidate in self._raw:
+            seed = candidate.parts[:2]
+            if merged_set.intersection(candidate.parts):
+                if merged_set.intersection(seed):
+                    continue
+                # Only extension members merged away: the seed pair is
+                # still proposed fresh, with a new greedy extension.
+                entries.append(self._repropose(seed, by_domain))
+            elif (
+                self.arity > 2
+                and universe[seed[0]].domain == new_annotation.domain
+                and self._joins_extension(candidate, new_annotation)
+            ):
+                entries.append(self._repropose(seed, by_domain))
+            else:
+                entries.append(candidate)
+
+        for annotation in merged_domain:
+            if annotation.name == new_name:
+                continue
+            first, second = (
+                (annotation, new_annotation)
+                if annotation.name < new_name
+                else (new_annotation, annotation)
+            )
+            candidate = propose_candidate(
+                first, second, merged_domain, self.constraint, self.arity
+            )
+            if candidate is not None:
+                entries.append(candidate)
+
+        # Restore fresh-generation order: domains by smallest member
+        # name, then pairs in seed-name order (``combinations`` over
+        # the name-sorted domain).
+        domain_min = {
+            domain: annotations[0].name for domain, annotations in by_domain.items()
+        }
+        entries.sort(
+            key=lambda candidate: (
+                domain_min[universe[candidate.parts[0]].domain],
+                candidate.parts[0],
+                candidate.parts[1],
+            )
+        )
+        return entries
+
+    def _repropose(self, seed: Tuple[str, str], by_domain) -> Candidate:
+        universe = self.universe
+        first, second = universe[seed[0]], universe[seed[1]]
+        candidate = propose_candidate(
+            first, second, by_domain[first.domain], self.constraint, self.arity
+        )
+        if candidate is None:
+            # The constraint rejected a previously accepted seed -- it
+            # is not deterministic; the maintained list cannot be
+            # trusted.  Raising invalidates the pool (see advance()).
+            raise RuntimeError(
+                f"constraint no longer accepts carried seed pair {seed}"
+            )
+        return candidate
+
+    def _joins_extension(self, candidate: Candidate, new_annotation: Annotation) -> bool:
+        """Would ``new_annotation`` join this candidate's greedy chain?
+
+        Replays the chain's accepted members below ``new_annotation``'s
+        name position (the walk visits the domain in name order, so
+        exactly those precede it) and asks the constraint once.  The
+        replay cannot diverge from the recorded candidate: rejected
+        annotations never change the chain state, and the removed
+        merged annotations were never accepted by this candidate.
+        """
+        universe = self.universe
+        prefix = [
+            name for name in candidate.parts[2:] if name < new_annotation.name
+        ]
+        if 2 + len(prefix) >= self.arity:
+            return False
+        members = [universe[candidate.parts[0]], universe[candidate.parts[1]]]
+        proposal = self.constraint.propose(members[0], members[1])
+        if proposal is None:
+            return True  # disagreement with the carried list: force rebuild
+        representative = virtual_summary(members, proposal)
+        for name in prefix:
+            extended = self.constraint.propose(representative, universe[name])
+            if extended is None:
+                return True
+            members.append(universe[name])
+            proposal = extended
+            representative = virtual_summary(members, proposal)
+        return self.constraint.propose(representative, new_annotation) is not None

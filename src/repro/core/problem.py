@@ -94,10 +94,23 @@ class SummarizationConfig:
       (the seed behavior).
     * ``parallel_threshold`` -- minimum candidates per step before the
       auto heuristic considers forking workers worthwhile.
+    * ``carry`` -- cross-step candidate carry (see :mod:`repro.core
+      .pool` and the engine's delta re-scoring).  ``None``/``"auto"``
+      and ``True``/``"on"`` maintain the candidate pool incrementally
+      across steps and re-score only the candidates the applied merge
+      affects; ``False``/``"off"`` re-enumerates and re-scores
+      everything every step (the seed behavior).  Output is identical
+      either way.
+    * ``lazy`` -- lazy-greedy candidate selection (``"on"``/``True``):
+      candidates sit in a priority queue of possibly-stale scores;
+      only entries popped from the head are re-scored (sound because
+      stale scores are lower bounds, Prop 4.2.2).  Requires
+      ``scoring="normalized"`` and ``carry`` not ``"off"``.
     """
 
     _PARALLELISM_WORDS = {"auto": None, "off": 0}
     _INCREMENTAL_WORDS = {"auto": None, "on": True, "true": True, "off": False, "false": False}
+    _LAZY_WORDS = {"on": True, "true": True, "off": False, "false": False}
 
     w_dist: float = 0.5
     w_size: Optional[float] = None
@@ -116,6 +129,8 @@ class SummarizationConfig:
     parallelism: Union[int, str, None] = None
     incremental: Union[bool, str, None] = None
     parallel_threshold: int = 64
+    carry: Union[bool, str, None] = None
+    lazy: Union[bool, str] = False
 
     def __post_init__(self) -> None:
         if isinstance(self.parallelism, str):
@@ -140,6 +155,20 @@ class SummarizationConfig:
                     f"got {self.incremental!r}"
                 )
             self.incremental = self._INCREMENTAL_WORDS[word]
+        if isinstance(self.carry, str):
+            word = self.carry.strip().lower()
+            if word not in self._INCREMENTAL_WORDS:
+                raise ValueError(
+                    f"carry must be 'auto', 'on' or 'off', got {self.carry!r}"
+                )
+            self.carry = self._INCREMENTAL_WORDS[word]
+        if isinstance(self.lazy, str):
+            word = self.lazy.strip().lower()
+            if word not in self._LAZY_WORDS:
+                raise ValueError(
+                    f"lazy must be 'on' or 'off', got {self.lazy!r}"
+                )
+            self.lazy = self._LAZY_WORDS[word]
         if self.parallel_threshold < 1:
             raise ValueError("parallel_threshold must be at least 1")
         if not 0.0 <= self.w_dist <= 1.0:
@@ -160,3 +189,15 @@ class SummarizationConfig:
             raise ValueError(
                 f"scoring must be one of {SCORING_STRATEGIES}, got {self.scoring!r}"
             )
+        if self.lazy:
+            if self.scoring != "normalized":
+                raise ValueError(
+                    "lazy candidate selection requires the 'normalized' "
+                    "scoring strategy (stale lower bounds only order "
+                    "absolute scores, not per-step ordinal ranks)"
+                )
+            if self.carry is False:
+                raise ValueError(
+                    "lazy candidate selection requires carry; pass "
+                    "carry='auto'/'on' or drop lazy='on'"
+                )

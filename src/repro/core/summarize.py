@@ -46,6 +46,7 @@ from .distance import DistanceComputer, DistanceEstimate
 from .engine import ScoringEngine, _OverlayUniverse  # noqa: F401  (re-export)
 from .equivalence import group_equivalent
 from .mapping import MappingState
+from .pool import CandidatePool
 from .problem import SummarizationConfig, SummarizationProblem
 from .scoring import score_candidates
 
@@ -85,6 +86,10 @@ class StepRecord:
     #: Which engine path measured this step's candidates ("fast",
     #: "fast+incremental" or "naive"); "" in records predating the engine.
     scoring_path: str = ""
+    #: Candidates freshly scored this step (all of them without
+    #: cross-step carry; only the merge-affected set plus confirmation
+    #: re-scores under carry); -1 in records predating the carry.
+    n_rescored: int = -1
 
     @property
     def step_mapping(self) -> Dict[str, str]:
@@ -188,6 +193,23 @@ class Summarizer:
             interner=interner,
         )
         engine = ScoringEngine(problem, config, computer)
+        # Cross-step candidate pool: after a merge {a, b} → c only the
+        # candidates mentioning a/b/c change, so the pool maintains
+        # the list in place of a fresh O(n²) re-enumeration.  The
+        # maintained list (and its RNG consumption under candidate_cap)
+        # is identical to enumerate_candidates' -- see core.pool.
+        pool: Optional[CandidatePool] = (
+            CandidatePool(
+                problem.universe,
+                problem.constraint,
+                arity=config.merge_arity,
+                cap=config.candidate_cap,
+                rng=self._rng,
+                interner=interner,
+            )
+            if config.carry is not False
+            else None
+        )
 
         current = original
         equivalence_merges = 0
@@ -230,29 +252,57 @@ class Summarizer:
             step_span = _tracing.span("step[%d]", len(steps) + 1)
             with step_span:
                 step_started = time.perf_counter()
-                candidates = enumerate_candidates(
-                    current,
-                    problem.universe,
-                    problem.constraint,
-                    arity=config.merge_arity,
-                    cap=config.candidate_cap,
-                    rng=self._rng,
-                    interner=interner,
-                )
+                if pool is not None:
+                    candidates = pool.candidates(current)
+                else:
+                    candidates = enumerate_candidates(
+                        current,
+                        problem.universe,
+                        problem.constraint,
+                        arity=config.merge_arity,
+                        cap=config.candidate_cap,
+                        rng=self._rng,
+                        interner=interner,
+                    )
                 if not candidates:
                     stop_reason = "exhausted"
                     break
 
-                measured, scoring_seconds = engine.measure(candidates, current, mapping)
-                candidate_seconds = scoring_seconds / len(candidates)
-                scored = score_candidates(
-                    measured,
-                    w_dist=config.w_dist,
-                    w_size=config.w_size,
-                    original_size=original.size(),
-                    strategy=config.scoring,
-                )
-                best = scored[0]
+                if engine.lazy:
+                    best, scoring_seconds = engine.measure_lazy(
+                        candidates,
+                        current,
+                        mapping,
+                        config.w_dist,
+                        config.w_size,
+                        original.size(),
+                    )
+                    candidate_seconds = scoring_seconds / len(candidates)
+                else:
+                    measured, scoring_seconds = engine.measure(
+                        candidates, current, mapping
+                    )
+                    candidate_seconds = scoring_seconds / len(candidates)
+                    scored = score_candidates(
+                        measured,
+                        w_dist=config.w_dist,
+                        w_size=config.w_size,
+                        original_size=original.size(),
+                        strategy=config.scoring,
+                    )
+                    # Winner confirmation: any delta-carried entry that
+                    # could contend with the head is re-scored exactly,
+                    # then the step re-ranks -- the recorded winner is
+                    # bit-identical to a carry-off run.
+                    while engine.refresh_near(scored):
+                        scored = score_candidates(
+                            measured,
+                            w_dist=config.w_dist,
+                            w_size=config.w_size,
+                            original_size=original.size(),
+                            strategy=config.scoring,
+                        )
+                    best = scored[0]
 
                 summary_parts = [problem.universe[name] for name in best.candidate.parts]
                 summary = problem.universe.new_summary(
@@ -265,6 +315,8 @@ class Summarizer:
                 current = current.apply_mapping(step_mapping)
                 mapping = mapping.compose(step_mapping)
                 engine.advance(best.candidate.parts, summary.name, current, mapping)
+                if pool is not None:
+                    pool.advance(best.candidate.parts, summary.name, current)
                 last_distance = best.distance
                 steps.append(
                     StepRecord(
@@ -278,6 +330,7 @@ class Summarizer:
                         candidate_seconds=candidate_seconds,
                         step_seconds=time.perf_counter() - step_started,
                         scoring_path=engine.last_path,
+                        n_rescored=engine.last_rescored,
                     )
                 )
                 step_span.set("step", len(steps))

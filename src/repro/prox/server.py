@@ -16,8 +16,10 @@ POST     /summarize             the Figure 7.4 form fields (all optional):
                                 ``number_of_steps``, ``aggregation``,
                                 ``valuation_class``, ``val_func``, plus the
                                 scoring-engine knobs ``parallelism``
-                                ("auto"/"off"/int) and ``incremental``
-                                ("auto"/"on"/"off")
+                                ("auto"/"off"/int), ``incremental``
+                                ("auto"/"on"/"off"), ``carry``
+                                ("auto"/"on"/"off") and ``lazy``
+                                ("on"/"off")
 GET      /summary/expression    the polynomial-form view (Figure 7.8)
 GET      /summary/groups        the groups view (Figures 7.5-7.7)
 POST     /evaluate              ``{"false_annotations": [...],
@@ -262,6 +264,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             "val_func",
             "parallelism",
             "incremental",
+            "carry",
+            "lazy",
         }
         unknown = set(body) - allowed - {"seed"}
         if unknown:
@@ -295,6 +299,7 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                             else None
                         ),
                         "n_candidates": record.n_candidates,
+                        "n_rescored": record.n_rescored,
                         "scoring_path": record.scoring_path,
                         "candidate_seconds": record.candidate_seconds,
                         "step_seconds": record.step_seconds,

@@ -47,10 +47,13 @@ class SummarizationRequest:
     valuation_class: str = "Cancel Single Annotation"
     val_func: str = "Euclidean Distance"
     #: Scoring-engine knobs (see :mod:`repro.core.engine`): worker
-    #: processes per step ("auto"/"off"/int) and cross-step carry
-    #: ("auto"/"on"/"off"/bool).
+    #: processes per step ("auto"/"off"/int), incremental scorer carry
+    #: ("auto"/"on"/"off"/bool), cross-step candidate carry
+    #: ("auto"/"on"/"off"/bool) and lazy-greedy selection ("on"/"off").
     parallelism: object = None
     incremental: object = None
+    carry: object = None
+    lazy: object = False
 
     def to_config(self, seed: int = 0) -> SummarizationConfig:
         return SummarizationConfig(
@@ -62,6 +65,8 @@ class SummarizationRequest:
             seed=seed,
             parallelism=self.parallelism,
             incremental=self.incremental,
+            carry=self.carry,
+            lazy=self.lazy,
         )
 
 

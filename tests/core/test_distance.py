@@ -217,3 +217,72 @@ def test_property_sampling_concentrates(seed):
     )
     sampled = sampled_computer.distance(summary, mapping).normalized
     assert abs(sampled - exact) < 0.3
+
+
+class TestSampleVariance:
+    """``last_sample_variance`` must be the weight-normalized second
+    moment of the draws -- the spread of the actual estimator
+    ``SuccCounter / SampleCounter`` (both weighted), not the unweighted
+    sample variance."""
+
+    #: VAL-FUNC value of each valuation for the Female summary: only
+    #: cancelling U2 disagrees (value 2.0, see Example 3.2.3 tests).
+    _VALUES = {"U1": 0.0, "U2": 2.0, "U3": 0.0}
+
+    def _sampled_run(self, thesis_universe, match_point, weights, seed=13):
+        female = thesis_universe.new_summary(
+            [thesis_universe["U1"], thesis_universe["U2"]], label="Female"
+        )
+        step = {"U1": female.name, "U2": female.name}
+        mapping = MappingState(["U1", "U2", "U3"]).compose(step)
+        summary = match_point.apply_mapping(step)
+        valuations = ExplicitValuations(
+            [cancel([name], weight=weights[name]) for name in ("U1", "U2", "U3")]
+        )
+        computer = make_computer(
+            thesis_universe,
+            match_point,
+            valuations,
+            max_enumerate=0,
+            n_samples=40,
+            rng=random.Random(seed),
+        )
+        estimate = computer.sampled(summary, mapping)
+        # Replay the identical draw sequence (ExplicitValuations.sample
+        # is rng.choice and evaluation never touches the RNG).
+        replay = random.Random(seed)
+        pool = list(valuations)
+        draws = [replay.choice(pool) for _ in range(computer.stats.last_sample_size)]
+        weight_sum = sum(draw.weight for draw in draws)
+        values = [self._VALUES[next(iter(draw.assignment))] for draw in draws]
+        mean = (
+            sum(draw.weight * value for draw, value in zip(draws, values))
+            / weight_sum
+        )
+        second = (
+            sum(draw.weight * value * value for draw, value in zip(draws, values))
+            / weight_sum
+        )
+        return computer, estimate, mean, max(0.0, second - mean * mean)
+
+    def test_weighted_variance_matches_estimator(
+        self, thesis_universe, match_point
+    ):
+        computer, estimate, mean, expected_variance = self._sampled_run(
+            thesis_universe, match_point, {"U1": 0.2, "U2": 5.0, "U3": 1.0}
+        )
+        assert estimate.value == pytest.approx(mean, rel=1e-12)
+        assert computer.stats.last_sample_variance == pytest.approx(
+            expected_variance, rel=1e-12
+        )
+
+    def test_uniform_weights_reduce_to_unweighted_variance(
+        self, thesis_universe, match_point
+    ):
+        computer, estimate, mean, expected_variance = self._sampled_run(
+            thesis_universe, match_point, {"U1": 1.0, "U2": 1.0, "U3": 1.0}
+        )
+        # With unit weights the weighted estimator *is* the unweighted
+        # one -- same mean, same variance, bit for bit.
+        assert estimate.value == mean
+        assert computer.stats.last_sample_variance == expected_variance

@@ -596,6 +596,7 @@ def test_summarizer_survives_broken_fast_path(monkeypatch):
 
     monkeypatch.setattr(FastStepScorer, "score", broken_score)
     monkeypatch.setattr(IncrementalStepScorer, "score", broken_score)
+    monkeypatch.setattr(IncrementalStepScorer, "score_detail", broken_score)
     result = Summarizer(
         movielens_problem(3), SummarizationConfig(w_dist=0.7, max_steps=4, seed=0)
     ).run()
@@ -604,3 +605,203 @@ def test_summarizer_survives_broken_fast_path(monkeypatch):
     assert result.final_distance.value == pytest.approx(
         expected.final_distance.value, abs=1e-12
     )
+
+
+# -- the carry axis: cross-step candidate carry ≡ fresh per-step runs --------------
+
+
+def _full_fingerprint(result):
+    """The steps fingerprint plus every per-step recorded float."""
+    fingerprint = _steps_fingerprint(result)
+    fingerprint["step_distances"] = [
+        r.distance_after.value if r.distance_after is not None else None
+        for r in result.steps
+    ]
+    fingerprint["n_candidates"] = [r.n_candidates for r in result.steps]
+    return fingerprint
+
+
+_ENGINE_KNOBS = [
+    dict(parallelism=0, incremental="off"),
+    dict(parallelism=0, incremental="on"),
+    dict(parallelism=2, incremental="off", parallel_threshold=1),
+    dict(parallelism=2, incremental="on", parallel_threshold=1),
+]
+_ENGINE_KNOB_IDS = ("serial", "incremental", "parallel", "parallel+incremental")
+
+
+@pytest.mark.parametrize("ir_mode", [_ir.MODE_LEGACY, _ir.MODE_IR])
+@pytest.mark.parametrize("knobs", _ENGINE_KNOBS, ids=_ENGINE_KNOB_IDS)
+@pytest.mark.parametrize("seed", [3, 9])
+def test_greedy_carry_bit_identical(seed, knobs, ir_mode):
+    """The carry axis of the differential grid: with cross-step
+    candidate carry on, a greedy run must be *bit*-identical to the
+    carry-off (seed) run -- same merges, sizes and exact distance
+    floats -- under every engine knob and representation mode."""
+
+    def runner(carry):
+        return Summarizer(
+            movielens_problem(seed),
+            SummarizationConfig(w_dist=0.7, max_steps=6, seed=0, carry=carry, **knobs),
+        ).run()
+
+    with _ir.mode(ir_mode):
+        off = _full_fingerprint(runner("off"))
+        on = _full_fingerprint(runner("on"))
+    assert on == off
+
+
+@pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
+def test_random_problems_carry_bit_identical(monoid_name):
+    def runner(carry):
+        return Summarizer(
+            random_problem(19, MONOIDS[monoid_name], n_terms=16),
+            SummarizationConfig(w_dist=0.6, max_steps=4, seed=0, carry=carry),
+        ).run()
+
+    assert _full_fingerprint(runner("on")) == _full_fingerprint(runner("off"))
+
+
+@pytest.mark.parametrize("scoring", ["normalized", "ordinal"])
+def test_carry_respects_scoring_strategy(scoring):
+    """Ordinal scoring disables the delta score carry (rank ties
+    compare raw floats) but keeps the pool carry -- output must match
+    the carry-off run either way."""
+
+    def runner(carry):
+        return Summarizer(
+            movielens_problem(3),
+            SummarizationConfig(
+                w_dist=0.7, max_steps=5, seed=0, scoring=scoring, carry=carry
+            ),
+        ).run()
+
+    assert _full_fingerprint(runner("on")) == _full_fingerprint(runner("off"))
+
+
+@pytest.mark.parametrize("ir_mode", [_ir.MODE_LEGACY, _ir.MODE_IR])
+@pytest.mark.parametrize("seed", [3, 9])
+def test_beam_carry_bit_identical(seed, ir_mode):
+    def runner(carry):
+        return BeamSummarizer(
+            movielens_problem(seed),
+            SummarizationConfig(
+                w_dist=0.7, max_steps=5, seed=0, carry=carry, candidate_cap=24
+            ),
+            beam_width=2,
+        ).run()
+
+    with _ir.mode(ir_mode):
+        off = _full_fingerprint(runner("off"))
+        on = _full_fingerprint(runner("on"))
+    assert on == off
+
+
+@pytest.mark.parametrize("seed", [3, 9])
+def test_lazy_matches_eager_selection(seed):
+    """Lazy-greedy selection must pick the exact same merge sequence
+    (and record the same fresh winner measurements) as the eager run,
+    while re-scoring only a fraction of the candidates."""
+
+    def runner(**knobs):
+        return Summarizer(
+            movielens_problem(seed),
+            SummarizationConfig(w_dist=0.7, max_steps=6, seed=0, **knobs),
+        ).run()
+
+    eager = runner(carry="off")
+    lazy = runner(carry="on", lazy="on")
+    assert _full_fingerprint(lazy) == _full_fingerprint(eager)
+    rescored = sum(r.n_rescored for r in lazy.steps[1:])
+    total = sum(r.n_candidates for r in lazy.steps[1:])
+    assert rescored < total, "lazy selection never skipped a re-score"
+
+
+def test_lazy_stale_scores_are_lower_bounds():
+    """The soundness invariant behind the lazy queue (Prop 4.2.2):
+    after applying a merge, every surviving candidate's *stale*
+    distance estimate is a lower bound on its fresh re-score, and the
+    exact-size carry keeps the size component exact -- so the stale
+    queue key never exceeds the fresh one."""
+    for monoid_name in sorted(MONOIDS):
+        problem = random_problem(11, MONOIDS[monoid_name], n_terms=16)
+        computer = make_computer(problem)
+        current = problem.expression
+        mapping = MappingState(sorted(current.annotation_names()))
+        for _ in range(3):
+            candidates = enumerate_candidates(
+                current, problem.universe, problem.constraint
+            )
+            if len(candidates) < 2:
+                break
+            scorer = IncrementalStepScorer(
+                computer, current, mapping, problem.universe
+            )
+            stale = {c.parts: scorer.score(c.parts) for c in candidates}
+            chosen = candidates[0]
+            summary = problem.universe.new_summary(
+                [problem.universe[name] for name in chosen.parts],
+                label=chosen.proposal.label,
+            )
+            step_mapping = {name: summary.name for name in chosen.parts}
+            current = current.apply_mapping(step_mapping)
+            mapping = mapping.compose(step_mapping)
+            scorer.advance(chosen.parts, summary.name, current, mapping)
+            merged = set(chosen.parts)
+            for candidate in candidates:
+                if merged.intersection(candidate.parts):
+                    continue
+                old_size, old_estimate = stale[candidate.parts]
+                new_size, new_estimate = scorer.score(candidate.parts)
+                assert old_estimate.value <= new_estimate.value + 1e-12, (
+                    monoid_name,
+                    candidate.parts,
+                )
+                # The exact-shift size carry only claims candidates the
+                # engine's neighborhood predicate marks disjoint (a
+                # merge can enable joint term collapses otherwise).
+                if not scorer.candidate_intersects(candidate.parts):
+                    assert new_size == old_size + scorer.last_size_shift
+
+
+def test_lazy_requires_normalized_scoring_and_carry():
+    with pytest.raises(ValueError):
+        SummarizationConfig(lazy="on", scoring="ordinal")
+    with pytest.raises(ValueError):
+        SummarizationConfig(lazy="on", carry="off")
+
+
+def test_carry_counters_partition_each_step():
+    """last_carried + last_rescored must partition every step's
+    candidate set, and the per-step record must expose the re-score
+    count."""
+    result = Summarizer(
+        movielens_problem(3),
+        SummarizationConfig(w_dist=0.7, max_steps=5, seed=0, carry="on"),
+    ).run()
+    for record in result.steps:
+        assert 0 <= record.n_rescored <= record.n_candidates
+    assert result.steps[0].n_rescored == result.steps[0].n_candidates
+
+
+def test_pool_invalidation_falls_back_to_fresh_enumeration(monkeypatch):
+    """A poisoned pool maintenance step must not change the output:
+    the pool invalidates itself and the next step re-enumerates."""
+    from repro.core.pool import CandidatePool
+
+    expected = _full_fingerprint(
+        Summarizer(
+            movielens_problem(3),
+            SummarizationConfig(w_dist=0.7, max_steps=5, seed=0, carry="off"),
+        ).run()
+    )
+
+    def broken_maintain(self, merged, new_name, new_expression):
+        raise RuntimeError("maintenance poisoned")
+
+    monkeypatch.setattr(CandidatePool, "_maintain", broken_maintain)
+    result = Summarizer(
+        movielens_problem(3),
+        SummarizationConfig(w_dist=0.7, max_steps=5, seed=0, carry="on"),
+    ).run()
+    assert _full_fingerprint(result) == expected

@@ -101,3 +101,88 @@ def test_metrics_advance_during_a_run(instrumentation_guard):
 
     assert steps_total.value() == before_steps + result.n_steps
     assert scoring_seconds.count() >= before_count + result.n_steps
+
+
+# -- cross-step candidate carry --------------------------------------------------
+
+
+def test_output_is_byte_identical_with_carry_and_instrumentation(
+    instrumentation_guard,
+):
+    """The carry counters/span attributes must not perturb a carry-on
+    run: byte-identical output with instrumentation off and on, eager
+    and lazy."""
+    for knobs in (dict(carry="on"), dict(carry="on", lazy="on")):
+        metrics.set_enabled(False)
+        tracing.set_enabled(False)
+        baseline = _summarize(**knobs)
+
+        metrics.set_enabled(True)
+        tracing.set_enabled(True)
+        tracing.take_trace()
+        instrumented = _summarize(**knobs)
+        tracing.take_trace()
+
+        assert _portable(instrumented) == _portable(baseline), knobs
+
+
+def test_carry_counters_advance_during_a_run(instrumentation_guard):
+    metrics.set_enabled(True)
+    carried_total = metrics.REGISTRY.get("prox_scoring_candidates_carried_total")
+    rescored_total = metrics.REGISTRY.get("prox_scoring_candidates_rescored_total")
+    before_carried = carried_total.value()
+    before_rescored = rescored_total.value()
+
+    result = _summarize(carry="on", lazy="on")
+
+    carried = sum(
+        r.n_candidates - r.n_rescored for r in result.steps if r.n_rescored >= 0
+    )
+    rescored = sum(r.n_rescored for r in result.steps if r.n_rescored >= 0)
+    assert carried > 0, "the carry never engaged on the sample instance"
+    assert carried_total.value() == before_carried + carried
+    assert rescored_total.value() >= before_rescored + rescored
+
+
+def test_carry_counters_golden_scrape(instrumentation_guard):
+    """The two carry families render in exposition format with their
+    registered HELP text."""
+    metrics.set_enabled(True)
+    _summarize(carry="on")
+    scrape = metrics.REGISTRY.render()
+    assert (
+        "# HELP prox_scoring_candidates_carried_total Candidates whose "
+        "measurement was carried across a step (delta-corrected or served "
+        "stale from the lazy queue).\n"
+        "# TYPE prox_scoring_candidates_carried_total counter\n"
+    ) in scrape
+    assert (
+        "# HELP prox_scoring_candidates_rescored_total Candidates freshly "
+        "re-scored under cross-step carry (intersecting, new, or "
+        "confirmation re-scores).\n"
+        "# TYPE prox_scoring_candidates_rescored_total counter\n"
+    ) in scrape
+    assert "prox_scoring_candidates_carried_total " in scrape
+    assert "prox_scoring_candidates_rescored_total " in scrape
+
+
+def test_score_candidates_spans_report_carry_partition(instrumentation_guard):
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    result = _summarize(carry="on", lazy="on")
+
+    root = tracing.take_trace()
+    steps = [child for child in root.children if child.name.startswith("step[")]
+    assert len(steps) >= result.n_steps
+    partitions = []
+    for child in steps[: result.n_steps]:
+        scoring = child.find("score_candidates")
+        assert scoring is not None
+        carried = scoring.attributes["carried"]
+        rescored = scoring.attributes["rescored"]
+        assert carried >= 0 and rescored >= 0
+        partitions.append((carried, rescored))
+    for (carried, rescored), record in zip(partitions, result.steps):
+        assert carried + rescored == record.n_candidates
+        assert rescored == record.n_rescored
+    assert any(carried > 0 for carried, _ in partitions[1:])
