@@ -128,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="lazy-greedy selection: re-score only queue heads "
         "(requires carry; sound by Prop 4.2.2 monotonicity)",
     )
+    summarize.add_argument(
+        "--sample-sharing",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="bit-packed sampled scoring for classes too large to "
+        "enumerate: one shared Monte-Carlo batch per step instead of "
+        "per-candidate redraws (default: auto)",
+    )
+    summarize.add_argument(
+        "--sample-block",
+        type=int,
+        default=64,
+        help="round Chebyshev sampling budgets up to a multiple of "
+        "this so 64-bit mask words pack fully (default: 64)",
+    )
     summarize.add_argument("--save", help="write the summary as JSON to this file")
     summarize.add_argument(
         "--log", action="store_true", help="print the per-step merge log"
@@ -225,6 +240,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         seed=args.seed,
         carry=args.carry,
         lazy=args.lazy,
+        sample_sharing=args.sample_sharing,
+        sample_block=args.sample_block,
     )
     problem = instance.problem()
     if args.algorithm == "prov-approx":

@@ -16,6 +16,9 @@ Public entry points:
 * :class:`~repro.core.engine.ScoringEngine` -- parallel/incremental
   per-step candidate scoring behind the ``parallelism=`` /
   ``incremental=`` config knobs.
+* :class:`~repro.core.sampled_scoring.SampledStepScorer` -- the
+  bit-packed Monte-Carlo kernel for classes too large to enumerate
+  (``sample_sharing=`` / ``sample_block=`` config knobs).
 """
 
 from .baselines import ClusterDomainSpec, ClusteringSummarizer, RandomSummarizer
@@ -63,6 +66,7 @@ from .hardness import (
 from .influence import annotation_influence, group_influence, rank_influential
 from .mapping import MappingState
 from .problem import SummarizationConfig, SummarizationProblem
+from .sampled_scoring import SampledStepScorer
 from .scoring import SCORING_STRATEGIES, ScoredCandidate, score_candidates
 from .summarize import StepRecord, SummarizationResult, Summarizer, summarize
 from .val_funcs import (
@@ -102,6 +106,7 @@ __all__ = [
     "OrCombiner",
     "RandomSummarizer",
     "SCORING_STRATEGIES",
+    "SampledStepScorer",
     "ScoredCandidate",
     "ScoringEngine",
     "SharedAttribute",

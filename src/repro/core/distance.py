@@ -128,6 +128,10 @@ class DistanceComputer:
     n_samples / epsilon / delta:
         Sampling budget: explicit count, or the Chebyshev bound for
         ``(ε, δ)`` when ``n_samples`` is None.
+    sample_block:
+        Chebyshev-derived budgets are rounded up to a multiple of this
+        (explicit ``n_samples`` is used verbatim), so the bit-packed
+        sampled scorer's 64-bit word blocks are fully populated.
     rng:
         Source of randomness for sampling (deterministic by default).
     interner:
@@ -151,6 +155,7 @@ class DistanceComputer:
         delta: float = 0.9,
         rng: Optional[random.Random] = None,
         interner: Optional[AnnotationInterner] = None,
+        sample_block: int = 64,
     ):
         self.original = original
         self.interner = interner
@@ -163,7 +168,9 @@ class DistanceComputer:
         self.epsilon = epsilon
         self.delta = delta
         self.rng = rng if rng is not None else random.Random(0)
+        self.sample_block = max(1, int(sample_block))
         self._original_cache: Dict[int, object] = {}
+        self._sample_cache: Dict[object, object] = {}
         self._max_error = float(val_func.max_error(original))
         #: Lifetime telemetry (exact/sampled calls, samples, variance).
         self.stats = DistanceStats()
@@ -182,6 +189,23 @@ class DistanceComputer:
             self._original_cache[index] = cached
         return cached
 
+    def _original_for(self, valuation: Valuation):
+        """Original's evaluation under a *drawn* valuation.
+
+        Sampling has no stable enumeration index to key on, so the
+        cache keys on the valuation's false set instead.  Drawn
+        valuations repeat -- within a batch (sampling with replacement)
+        and across candidates (the class yields the same members) -- so
+        this persists for the computer's lifetime, exactly like the
+        index-keyed cache the exact path uses.
+        """
+        false_set = valuation.false_set()
+        cached = self._sample_cache.get(false_set)
+        if cached is None:
+            cached = self.original.evaluate(false_set)
+            self._sample_cache[false_set] = cached
+        return cached
+
     def _summary_result(
         self, summary, valuation: Valuation, mapping: MappingState, universe=None
     ):
@@ -194,6 +218,32 @@ class DistanceComputer:
         if self._max_error <= 0:
             return 0.0
         return min(1.0, value / self._max_error)
+
+    def sample_budget(self) -> int:
+        """Valuations one sampled estimate draws (Prop. 4.1.2 budget).
+
+        An explicit ``n_samples`` wins verbatim.  Otherwise the
+        Chebyshev ``(ε, δ)`` bound is computed with the VAL-FUNC's
+        actual spread: per-sample values are bounded by ``max_error``,
+        so when that bound is tighter than the worst-case 1.0 the
+        budget shrinks quadratically (spreads above 1.0 are capped --
+        ``ε`` and every consumer of the estimate live on the normalized
+        scale, where per-sample values are bounded by 1).  The derived
+        budget is then rounded up to a ``sample_block`` multiple so the
+        bit-packed scorer's 64-bit words are fully populated.  Both
+        paths clamp at ``16 × |V_Ann|``, past which enumeration is
+        cheaper than sampling.
+        """
+        if self.n_samples is not None:
+            samples = self.n_samples
+        else:
+            spread = (
+                self._max_error if 0.0 < self._max_error < 1.0 else 1.0
+            )
+            samples = chebyshev_sample_size(self.epsilon, self.delta, spread=spread)
+            block = self.sample_block
+            samples = -(-samples // block) * block
+        return max(1, min(samples, 16 * max(1, len(self.valuations))))
 
     # -- public API -----------------------------------------------------------------
 
@@ -240,17 +290,13 @@ class DistanceComputer:
         accumulates weighted VAL-FUNC values and the estimate is
         ``SuccCounter / SampleCounter``.
         """
-        if self.n_samples is not None:
-            samples = self.n_samples
-        else:
-            samples = chebyshev_sample_size(self.epsilon, self.delta)
-        samples = max(1, min(samples, 16 * max(1, len(self.valuations))))
+        samples = self.sample_budget()
         succ = 0.0
         weight_sum = 0.0
         weighted_sumsq = 0.0
         for _ in range(samples):
             valuation = self.valuations.sample(self.rng)
-            original_result = self.original.evaluate(valuation.false_set())
+            original_result = self._original_for(valuation)
             summary_result = self._summary_result(summary, valuation, mapping, universe)
             sampled_value = self.val_func(original_result, summary_result, mapping)
             succ += valuation.weight * sampled_value

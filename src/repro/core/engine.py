@@ -11,8 +11,17 @@ cheapest path that preserves the reference semantics:
   :class:`~repro.core.fast_distance.IncrementalStepScorer` carried
   across steps (:meth:`ScoringEngine.advance` invalidates only the
   merged neighborhood) with sparse per-candidate metrics;
+* **sampled** / **sampled + incremental** -- the
+  :class:`~repro.core.sampled_scoring.SampledStepScorer` when the
+  class is too large to enumerate: the same bitmask kernel over one
+  shared Monte-Carlo batch per step (common random numbers), carried
+  across steps with its batch pinned so the candidate carry and the
+  lazy queue stay sound;
 * **naive** -- the reference :class:`~repro.core.distance
-  .DistanceComputer` applied to each materialized candidate expression.
+  .DistanceComputer` applied to each materialized candidate expression
+  (for large classes this is the per-candidate reference sampler --
+  also the fallback when ``sample_sharing`` is off or the kernel's
+  preconditions fail).
 
 The fast paths additionally shard the candidate set across worker
 *processes*.  Workers are pre-forked: the step's scorer (packed
@@ -74,6 +83,7 @@ from .candidates import Candidate, virtual_summary
 from .distance import DistanceComputer, DistanceEstimate
 from .fast_distance import FastStepScorer, IncrementalStepScorer
 from .mapping import MappingState
+from .sampled_scoring import SampledStepScorer
 from .scoring import ScoredCandidate, score_candidates
 
 _SCORING_STEPS = _metrics.counter(
@@ -106,6 +116,16 @@ _SCORING_RESCORED = _metrics.counter(
     "prox_scoring_candidates_rescored_total",
     "Candidates freshly re-scored under cross-step carry "
     "(intersecting, new, or confirmation re-scores).",
+)
+_SCORING_SAMPLED_FAST = _metrics.counter(
+    "prox_scoring_sampled_fast_total",
+    "Scoring steps served by the bit-packed sampled (shared "
+    "Monte-Carlo batch) kernel.",
+)
+_SAMPLE_BATCH_REUSE = _metrics.counter(
+    "prox_scoring_sample_batch_reuse_total",
+    "Sampled steps that reused the carried scorer's valuation batch "
+    "instead of redrawing it.",
 )
 
 
@@ -196,6 +216,8 @@ class ScoringEngine:
 
     PATH_FAST = "fast"
     PATH_FAST_INCREMENTAL = "fast+incremental"
+    PATH_SAMPLED = "sampled"
+    PATH_SAMPLED_INCREMENTAL = "sampled+incremental"
     PATH_NAIVE = "naive"
 
     def __init__(self, problem, config, computer: DistanceComputer):
@@ -213,6 +235,14 @@ class ScoringEngine:
             and config.scoring == "normalized"
         )
         self._lazy = bool(getattr(config, "lazy", False))
+        # Bit-packed sampled scoring for classes too large to
+        # enumerate: one shared Monte-Carlo batch per step instead of
+        # per-candidate redraws through the naive path.  "auto"/"on"
+        # engage it whenever the kernel's preconditions hold; "off"
+        # restores the reference per-candidate sampler.
+        self._sample_sharing = (
+            getattr(config, "sample_sharing", None) is not False
+        )
         self._scorer: Optional[IncrementalStepScorer] = None
         #: Carried per-candidate measurements keyed by parts tuple:
         #: ``(size, accumulators)`` in delta-carry mode, ``(size,
@@ -228,6 +258,12 @@ class ScoringEngine:
         self.last_path: str = ""
         #: Workers used by the most recent :meth:`measure` call.
         self.last_workers: int = 1
+        #: Shared-batch telemetry of the most recent sampled step:
+        #: batch size, achieved baseline variance, and whether the
+        #: carried scorer's batch was reused rather than redrawn.
+        self.last_sample_batch: int = 0
+        self.last_sample_variance: float = 0.0
+        self.last_batch_reused: bool = False
         #: Carried / freshly re-scored candidate counts of the most
         #: recent step (refresh_near moves entries carried → rescored).
         self.last_carried: int = 0
@@ -268,15 +304,8 @@ class ScoringEngine:
             span.set("seconds", seconds)
             span.set("carried", self.last_carried)
             span.set("rescored", self.last_rescored)
-        if _metrics.ENABLED:
-            _SCORING_STEPS.inc(path=self.last_path)
-            _SCORING_SECONDS.observe(seconds)
-            _SCORING_CANDIDATES.inc(len(candidates))
-            _SCORING_WORKERS.set(self.last_workers)
-            if self.last_carried:
-                _SCORING_CARRIED.inc(self.last_carried)
-            if self.last_rescored:
-                _SCORING_RESCORED.inc(self.last_rescored)
+            self._set_sample_attrs(span)
+        self._emit_step_metrics(len(candidates), seconds)
         return measured, seconds
 
     def _measure(
@@ -285,21 +314,17 @@ class ScoringEngine:
         current,
         mapping: MappingState,
     ) -> Tuple[List[ScoredCandidate], float]:
-        problem = self.problem
         # Default partition: everything freshly scored.  The carry
         # branch of _score_step overwrites both counts.
         self.last_carried = 0
         self.last_rescored = len(candidates)
-        if FastStepScorer.applicable(
-            current,
-            problem.val_func,
-            problem.combiners,
-            problem.valuations,
-            problem.universe,
-            self.config.max_enumerate,
-        ):
+        self.last_sample_batch = 0
+        self.last_sample_variance = 0.0
+        self.last_batch_reused = False
+        mode = self._step_mode(current)
+        if mode is not None:
             try:
-                scorer = self._obtain_scorer(current, mapping)
+                scorer = self._obtain_scorer(current, mapping, mode)
             except Exception:
                 self._scorer = None
                 scorer = None
@@ -325,14 +350,57 @@ class ScoringEngine:
                         )
                         for candidate, (size, distance) in zip(candidates, results)
                     ]
-                    path = (
-                        self.PATH_FAST_INCREMENTAL
-                        if isinstance(scorer, IncrementalStepScorer)
-                        else self.PATH_FAST
-                    )
-                    self._record(path)
+                    self._record(self._scorer_path(scorer))
+                    self._note_sample_step(scorer)
                     return measured, time.perf_counter() - started
         return self._measure_naive(candidates, current, mapping)
+
+    def _step_mode(self, current) -> Optional[str]:
+        """Which fast kernel (if any) can serve this step.
+
+        ``"exact"`` enumerates the whole class (small classes);
+        ``"sampled"`` scores against one shared Monte-Carlo batch
+        (classes too large to enumerate, when ``sample_sharing`` is not
+        off).  ``None`` falls through to the naive reference path.
+        """
+        problem = self.problem
+        if FastStepScorer.applicable(
+            current,
+            problem.val_func,
+            problem.combiners,
+            problem.valuations,
+            problem.universe,
+            self.config.max_enumerate,
+        ):
+            return "exact"
+        if self._sample_sharing and SampledStepScorer.applicable(
+            current,
+            problem.val_func,
+            problem.combiners,
+            problem.valuations,
+            problem.universe,
+            self.config.max_enumerate,
+        ):
+            return "sampled"
+        return None
+
+    def _scorer_path(self, scorer: FastStepScorer) -> str:
+        # SampledStepScorer subclasses IncrementalStepScorer: test the
+        # most specific flavor first.
+        if isinstance(scorer, SampledStepScorer):
+            return (
+                self.PATH_SAMPLED_INCREMENTAL
+                if self._incremental
+                else self.PATH_SAMPLED
+            )
+        if isinstance(scorer, IncrementalStepScorer):
+            return self.PATH_FAST_INCREMENTAL
+        return self.PATH_FAST
+
+    def _note_sample_step(self, scorer: FastStepScorer) -> None:
+        if isinstance(scorer, SampledStepScorer):
+            self.last_sample_batch = scorer.batch_size
+            self.last_sample_variance = scorer.batch_variance
 
     def advance(
         self,
@@ -454,15 +522,8 @@ class ScoringEngine:
             span.set("seconds", seconds)
             span.set("carried", self.last_carried)
             span.set("rescored", self.last_rescored)
-        if _metrics.ENABLED:
-            _SCORING_STEPS.inc(path=self.last_path)
-            _SCORING_SECONDS.observe(seconds)
-            _SCORING_CANDIDATES.inc(len(candidates))
-            _SCORING_WORKERS.set(self.last_workers)
-            if self.last_carried:
-                _SCORING_CARRIED.inc(self.last_carried)
-            if self.last_rescored:
-                _SCORING_RESCORED.inc(self.last_rescored)
+            self._set_sample_attrs(span)
+        self._emit_step_metrics(len(candidates), seconds)
         return best, seconds
 
     def reset(self) -> None:
@@ -476,6 +537,38 @@ class ScoringEngine:
         self.last_path = path
         self.path_counts[path] = self.path_counts.get(path, 0) + 1
 
+    def _sampled_step(self) -> bool:
+        """Whether the most recent step ran the sampled kernel."""
+        return self.last_path in (
+            self.PATH_SAMPLED,
+            self.PATH_SAMPLED_INCREMENTAL,
+        )
+
+    def _set_sample_attrs(self, span) -> None:
+        # Only when the sampled kernel actually engaged: enumerated
+        # steps keep their span shape unchanged.
+        if not self._sampled_step():
+            return
+        span.set("sample_batch", self.last_sample_batch)
+        span.set("sample_variance", self.last_sample_variance)
+        span.set("batch_reused", self.last_batch_reused)
+
+    def _emit_step_metrics(self, n_candidates: int, seconds: float) -> None:
+        if not _metrics.ENABLED:
+            return
+        _SCORING_STEPS.inc(path=self.last_path)
+        _SCORING_SECONDS.observe(seconds)
+        _SCORING_CANDIDATES.inc(n_candidates)
+        _SCORING_WORKERS.set(self.last_workers)
+        if self.last_carried:
+            _SCORING_CARRIED.inc(self.last_carried)
+        if self.last_rescored:
+            _SCORING_RESCORED.inc(self.last_rescored)
+        if self._sampled_step():
+            _SCORING_SAMPLED_FAST.inc()
+            if self.last_batch_reused:
+                _SAMPLE_BATCH_REUSE.inc()
+
     def _note_fallback(self) -> None:
         self.fallback_count += 1
         if _metrics.ENABLED:
@@ -487,13 +580,38 @@ class ScoringEngine:
         self._carry_ready = False
         self._stale = set()
 
-    def _obtain_scorer(self, current, mapping: MappingState) -> FastStepScorer:
+    def _obtain_scorer(
+        self, current, mapping: MappingState, mode: str = "exact"
+    ) -> FastStepScorer:
+        if mode == "sampled":
+            if not self._incremental:
+                # Fresh scorer, fresh batch every step (the in-step
+                # batch sharing across candidates still applies).
+                return SampledStepScorer(
+                    self.computer, current, mapping, self.problem.universe
+                )
+            carried = self._scorer
+            if isinstance(carried, SampledStepScorer) and carried.current is current:
+                # The carried scorer keeps its pinned batch: stale
+                # carried measurements stay lower bounds (Prop 4.2.2
+                # holds pointwise only over a fixed valuation set).
+                self.last_batch_reused = True
+                return carried
+            self._scorer = SampledStepScorer(
+                self.computer, current, mapping, self.problem.universe
+            )
+            self._invalidate_carry()
+            return self._scorer
         if not self._incremental:
             return FastStepScorer(
                 self.computer, current, mapping, self.problem.universe
             )
         carried = self._scorer
-        if carried is not None and carried.current is current:
+        if (
+            carried is not None
+            and not isinstance(carried, SampledStepScorer)
+            and carried.current is current
+        ):
             return carried
         self._scorer = IncrementalStepScorer(
             self.computer, current, mapping, self.problem.universe
@@ -589,25 +707,28 @@ class ScoringEngine:
         w_size: float,
         original_size: int,
     ) -> Tuple[ScoredCandidate, float]:
-        problem = self.problem
         self.last_carried = 0
         self.last_rescored = len(candidates)
+        self.last_sample_batch = 0
+        self.last_sample_variance = 0.0
+        self.last_batch_reused = False
         scorer: Optional[FastStepScorer] = None
-        if FastStepScorer.applicable(
-            current,
-            problem.val_func,
-            problem.combiners,
-            problem.valuations,
-            problem.universe,
-            self.config.max_enumerate,
-        ):
+        mode = self._step_mode(current)
+        if mode is not None:
             try:
-                scorer = self._obtain_scorer(current, mapping)
+                scorer = self._obtain_scorer(current, mapping, mode)
             except Exception:
                 self._scorer = None
                 scorer = None
                 self._note_fallback()
-        if scorer is None or not isinstance(scorer, IncrementalStepScorer):
+        # The lazy queue needs a *carried* incremental scorer (advance
+        # continuity keeps stale entries lower bounds); a fresh
+        # per-step scorer -- incremental off -- falls back either way.
+        if (
+            scorer is None
+            or scorer is not self._scorer
+            or not isinstance(scorer, IncrementalStepScorer)
+        ):
             return self._lazy_fallback(
                 candidates, current, mapping, w_dist, w_size, original_size
             )
@@ -627,7 +748,8 @@ class ScoringEngine:
         self.last_rescored = rescored
         self.total_carried += carried
         self.total_rescored += rescored
-        self._record(self.PATH_FAST_INCREMENTAL)
+        self._record(self._scorer_path(scorer))
+        self._note_sample_step(scorer)
         return best, time.perf_counter() - started
 
     def _lazy_fallback(

@@ -124,7 +124,7 @@ class FastStepScorer:
         self.val_func: VectorValFunc = computer.val_func
         self.monoid = self.val_func.monoid
         self._is_max = isinstance(self.monoid, MaxMonoid)
-        self.valuations = list(computer.valuations)
+        self.valuations = self._step_valuations()
         self.n_vals = len(self.valuations)
         self._full_mask = (1 << self.n_vals) - 1
 
@@ -137,6 +137,23 @@ class FastStepScorer:
         self._orig_aligned = self._align_originals()
 
     # -- precomputation ---------------------------------------------------------
+
+    def _step_valuations(self) -> List:
+        """The valuations this step scores against.
+
+        The enumerating scorers walk the whole class; the sampled
+        subclass overrides this with its Monte-Carlo batch.
+        """
+        return list(self.computer.valuations)
+
+    def _original_result(self, index: int, valuation):
+        """Original's evaluation under ``self.valuations[index]``.
+
+        Enumerating scorers share the computer's index-keyed cache; the
+        sampled subclass redirects to the false-set-keyed sample cache
+        (batch positions are not stable enumeration indexes).
+        """
+        return self.computer._original_result(index, valuation)
 
     def _build_masks(self) -> None:
         """Lifted false bitmask per current annotation (key space)."""
@@ -265,7 +282,7 @@ class FastStepScorer:
         aligned: List[Dict[Optional[str], float]] = []
         mapping = self.mapping
         for index, valuation in enumerate(self.valuations):
-            original = self.computer._original_result(index, valuation)
+            original = self._original_result(index, valuation)
             vector: Dict[Optional[str], float] = {}
             for key, aggregate in original.items():
                 image = mapping.get(key, key) if key is not None else None
@@ -534,7 +551,7 @@ class IncrementalStepScorer(FastStepScorer):
         self._image: Dict[Optional[str], Optional[str]] = {}
         self._orig_lists: List[List[Tuple[Optional[str], float]]] = []
         for index, valuation in enumerate(self.valuations):
-            original = self.computer._original_result(index, valuation)
+            original = self._original_result(index, valuation)
             entries: List[Tuple[Optional[str], float]] = []
             for key, aggregate in original.items():
                 entries.append((key, aggregate.finalized_value()))

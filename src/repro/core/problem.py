@@ -106,6 +106,17 @@ class SummarizationConfig:
       only entries popped from the head are re-scored (sound because
       stale scores are lower bounds, Prop 4.2.2).  Requires
       ``scoring="normalized"`` and ``carry`` not ``"off"``.
+    * ``sample_sharing`` -- bit-packed sampled scoring for valuation
+      classes too large to enumerate (see :mod:`repro.core
+      .sampled_scoring`).  ``None``/``"auto"`` and ``True``/``"on"``
+      score every candidate of a step against one shared Monte-Carlo
+      batch (common random numbers) through the bitmask kernel;
+      ``False``/``"off"`` restores the reference per-candidate sampler
+      (``DistanceComputer.sampled``).
+    * ``sample_block`` -- Chebyshev-derived sampling budgets are
+      rounded up to a multiple of this (default 64), so the packed
+      kernel's 64-bit words are fully populated; explicit
+      ``distance_samples`` is always used verbatim.
     """
 
     _PARALLELISM_WORDS = {"auto": None, "off": 0}
@@ -131,6 +142,8 @@ class SummarizationConfig:
     parallel_threshold: int = 64
     carry: Union[bool, str, None] = None
     lazy: Union[bool, str] = False
+    sample_sharing: Union[bool, str, None] = None
+    sample_block: int = 64
 
     def __post_init__(self) -> None:
         if isinstance(self.parallelism, str):
@@ -169,6 +182,16 @@ class SummarizationConfig:
                     f"lazy must be 'on' or 'off', got {self.lazy!r}"
                 )
             self.lazy = self._LAZY_WORDS[word]
+        if isinstance(self.sample_sharing, str):
+            word = self.sample_sharing.strip().lower()
+            if word not in self._INCREMENTAL_WORDS:
+                raise ValueError(
+                    "sample_sharing must be 'auto', 'on' or 'off', "
+                    f"got {self.sample_sharing!r}"
+                )
+            self.sample_sharing = self._INCREMENTAL_WORDS[word]
+        if self.sample_block < 1:
+            raise ValueError("sample_block must be at least 1")
         if self.parallel_threshold < 1:
             raise ValueError("parallel_threshold must be at least 1")
         if not 0.0 <= self.w_dist <= 1.0:

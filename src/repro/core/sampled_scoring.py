@@ -1,0 +1,256 @@
+"""Bit-packed Monte-Carlo candidate scoring (Prop. 4.1.2 at speed).
+
+Large valuation classes cannot be enumerated, so the thesis samples:
+draw valuations, evaluate both expressions, average the VAL-FUNC
+values (Proposition 4.1.2, Chebyshev-bounded).  The reference
+implementation (:meth:`~repro.core.distance.DistanceComputer.sampled`)
+redraws a fresh batch *per candidate* and evaluates both expressions
+from scratch per draw -- the paper's intended scalability path was the
+slowest code in the repo.
+
+:class:`SampledStepScorer` lifts the enumerating bitmask kernel
+(:class:`~repro.core.fast_distance.FastStepScorer`) to one shared
+Monte-Carlo batch per step:
+
+* **One batch, every candidate.**  At construction the scorer draws
+  ``N = DistanceComputer.sample_budget()`` valuations from the class
+  (seeded, weight-aware: the weighted-average estimator is unchanged)
+  and scores *all* of the step's candidates against that single batch.
+  Draw and original-evaluation cost amortize over the whole candidate
+  set, and the shared draws are *common random numbers*: every
+  candidate's estimate shares the batch's noise, so ranking candidates
+  is a paired comparison whose selection variance is far below
+  independent per-candidate batches.
+* **The same packed kernel.**  Batch positions take the enumerated
+  valuations' place: each current annotation's dead bits across the
+  batch pack into one unbounded integer -- internally a little-endian
+  vector of 64-bit words, i.e. ``array('Q')`` blocks with C-speed
+  bitwise kernels -- with the lifted false set computed once per
+  *distinct* drawn member (sampling with replacement repeats members;
+  their position bits OR in wholesale).  Per-term dead masks, per-group
+  baseline aggregates and the aligned original vectors are computed
+  once per step, and a candidate touches only the terms containing its
+  merged parts, exactly like the enumerating scorer.
+  :meth:`packed_masks` materializes the canonical ``array('Q')`` word
+  layout; the per-batch statistics fold in the same 64-draw blocks.
+* **Deterministic batches make carried measurements valid.**  The
+  batch is drawn once per scorer and *never* redrawn by
+  :meth:`advance`: Prop 4.2.2's monotonicity (the engine's carry/lazy
+  machinery treats stale distances as lower bounds) holds pointwise
+  per valuation, so it survives sampling only while the valuation set
+  is fixed.  With the batch pinned, the cross-step candidate carry and
+  the lazy-greedy queue treat sampled distances exactly like
+  enumerated ones.
+
+Estimates report ``exact=False`` with ``n_valuations`` equal to the
+batch size, mirroring the reference sampled estimator; under a shared
+seed the two paths are bit-identical (asserted by
+``tests/core/test_sampled_scoring.py``), because both accumulate
+``weight x VAL-FUNC`` in flat draw order over the same drawn sequence.
+The reference path remains the fallback whenever the kernel's
+preconditions fail.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from typing import Dict, List, Optional
+
+from ..provenance.annotations import AnnotationUniverse
+from ..provenance.tensor_sum import TensorSum
+from ..provenance.valuation_classes import ValuationClass
+from .combiners import DomainCombiners
+from .distance import DistanceComputer, DistanceEstimate
+from .fast_distance import FastStepScorer, IncrementalStepScorer
+from .mapping import MappingState
+
+
+class SampledStepScorer(IncrementalStepScorer):
+    """Scores one step's candidates against a shared sampled batch."""
+
+    @staticmethod
+    def applicable(expression, val_func, combiners: DomainCombiners,
+                   valuations: ValuationClass, universe: AnnotationUniverse,
+                   max_enumerate: int) -> bool:
+        """Whether the sampled kernel replaces the reference sampler.
+
+        The class must be *too large* to enumerate (otherwise the exact
+        kernel applies) while the expression/VAL-FUNC/combiner
+        preconditions of the bitmask kernel hold.
+        """
+        if len(valuations) <= max_enumerate:
+            return False
+        return FastStepScorer.applicable(
+            expression, val_func, combiners, valuations, universe,
+            len(valuations),
+        )
+
+    def __init__(
+        self,
+        computer: DistanceComputer,
+        current: TensorSum,
+        mapping: MappingState,
+        universe: AnnotationUniverse,
+        sparse: Optional[bool] = None,
+        batch_size: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        draw_rng = computer.rng if rng is None else rng
+        if batch_size is None:
+            batch_size = computer.sample_budget()
+        # The batch is drawn up front, before any kernel state exists:
+        # the draws consume the computer's RNG in exactly the order the
+        # reference sampler would, which is what makes seed-paired
+        # differential comparison (and replay in tests) possible.
+        sample = computer.valuations.sample
+        self._batch = [sample(draw_rng) for _ in range(max(1, batch_size))]
+        super().__init__(computer, current, mapping, universe, sparse=sparse)
+        self._compute_batch_stats()
+
+    # -- batch plumbing (hooks overridden from the enumerating kernel) -------
+
+    def _step_valuations(self) -> List:
+        return list(self._batch)
+
+    def _original_result(self, index: int, valuation):
+        # Batch positions are not stable enumeration indexes; key the
+        # original's evaluation on the valuation's false set instead
+        # (shared with the reference sampler's memo, so a differential
+        # run pays the evaluation once).
+        return self.computer._original_for(valuation)
+
+    def _build_masks(self) -> None:
+        """Dead-bit masks across the batch, one lift per distinct member.
+
+        Identical output to the enumerating ``_build_masks`` (bit ``i``
+        set ⇔ the annotation is false under batch position ``i``), but
+        the lifted false set -- the expensive part -- is computed once
+        per distinct drawn valuation and its position mask ORed in
+        wholesale: sampling with replacement from a stored class
+        repeats member objects freely.
+        """
+        key = self._key
+        self._mask: Dict[object, int] = {
+            key(name): 0 for name in self.current.annotation_names()
+        }
+        combiners = self.computer.combiners
+        interner = self._interner
+        positions: Dict[int, int] = {}
+        members: Dict[int, object] = {}
+        for index, valuation in enumerate(self.valuations):
+            ident = id(valuation)
+            positions[ident] = positions.get(ident, 0) | (1 << index)
+            members[ident] = valuation
+        for ident, valuation in members.items():
+            bits = positions[ident]
+            for name in combiners.lifted_false_set(
+                valuation, self.mapping, self.universe
+            ):
+                mask_key = interner.lookup(name) if interner is not None else name
+                if mask_key is not None and mask_key in self._mask:
+                    self._mask[mask_key] |= bits
+        self._n_words = (self.n_vals + 63) // 64
+
+    def _estimate(self, distance_value: float) -> DistanceEstimate:
+        max_error = self.computer.max_error
+        normalized = (
+            min(1.0, distance_value / max_error) if max_error > 0 else 0.0
+        )
+        return DistanceEstimate(
+            value=distance_value,
+            normalized=normalized,
+            n_valuations=self.n_vals,
+            exact=False,
+        )
+
+    # -- packed views & batch statistics -------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        """Number of drawn valuations shared by every candidate."""
+        return self.n_vals
+
+    def _pack(self, mask: int) -> array:
+        """One dead-bit mask as little-endian 64-bit word blocks."""
+        return array("Q", mask.to_bytes(self._n_words * 8, "little"))
+
+    def packed_masks(self) -> Dict[object, array]:
+        """Per-annotation dead bits in the ``array('Q')`` word layout.
+
+        Word ``w`` bit ``b`` covers batch position ``64*w + b`` -- the
+        same blocking :meth:`_compute_batch_stats` folds over.
+        """
+        return {key: self._pack(mask) for key, mask in self._mask.items()}
+
+    def packed_term_dead(self) -> List[array]:
+        """Per-term dead bits in the ``array('Q')`` word layout."""
+        return [self._pack(mask) for mask in self._term_dead]
+
+    def _compute_batch_stats(self) -> None:
+        """Weighted mean/variance of the baseline's per-draw values.
+
+        Folds in 64-draw blocks matching the packed word layout: each
+        block accumulates its weighted sums locally before the
+        cross-block combine.  The variance is the achieved spread of
+        this step's shared batch -- the engine exports it as a span
+        attribute to compare against the Chebyshev worst case the
+        ``(ε, δ)`` budget assumed.
+        """
+        metric = self.val_func.metric
+        baseline = self._baseline
+        aligned = self._orig_aligned
+        succ = 0.0
+        weight_sum = 0.0
+        sumsq = 0.0
+        for start in range(0, self.n_vals, 64):
+            block_succ = 0.0
+            block_weight = 0.0
+            block_sumsq = 0.0
+            for index in range(start, min(start + 64, self.n_vals)):
+                orig_vec = aligned[index]
+                keys = orig_vec.keys() | baseline.keys()
+                value = metric(
+                    {key: orig_vec.get(key, 0.0) for key in keys},
+                    {
+                        key: (
+                            baseline[key][index] if key in baseline else 0.0
+                        )
+                        for key in keys
+                    },
+                )
+                weight = self.valuations[index].weight
+                block_succ += weight * value
+                block_weight += weight
+                block_sumsq += weight * value * value
+            succ += block_succ
+            weight_sum += block_weight
+            sumsq += block_sumsq
+        mean = succ / weight_sum if weight_sum else 0.0
+        #: Weighted mean baseline distance over the batch (raw value).
+        self.batch_mean = mean
+        #: Weighted variance of the batch's baseline VAL-FUNC values.
+        self.batch_variance = (
+            max(0.0, sumsq / weight_sum - mean * mean) if weight_sum else 0.0
+        )
+
+    # -- step transition ------------------------------------------------------
+
+    def advance(
+        self,
+        parts,
+        new_name: str,
+        new_expression: TensorSum,
+        new_mapping: MappingState,
+    ) -> None:
+        """Carry past the applied merge *without* redrawing the batch.
+
+        Prop 4.2.2's lower-bound property -- what lets the engine carry
+        stale measurements and run the lazy queue -- holds pointwise
+        per valuation, so it survives sampling only while the batch is
+        fixed.  Redrawing here would also invalidate every carried
+        accumulator.  A fresh batch is drawn exactly when the engine
+        constructs a fresh scorer.
+        """
+        super().advance(parts, new_name, new_expression, new_mapping)
+        self._compute_batch_stats()

@@ -266,6 +266,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             "incremental",
             "carry",
             "lazy",
+            "sample_sharing",
+            "sample_block",
         }
         unknown = set(body) - allowed - {"seed"}
         if unknown:

@@ -49,11 +49,15 @@ class SummarizationRequest:
     #: Scoring-engine knobs (see :mod:`repro.core.engine`): worker
     #: processes per step ("auto"/"off"/int), incremental scorer carry
     #: ("auto"/"on"/"off"/bool), cross-step candidate carry
-    #: ("auto"/"on"/"off"/bool) and lazy-greedy selection ("on"/"off").
+    #: ("auto"/"on"/"off"/bool), lazy-greedy selection ("on"/"off"),
+    #: shared-batch sampled scoring ("auto"/"on"/"off"/bool) and the
+    #: sampling-budget block size.
     parallelism: object = None
     incremental: object = None
     carry: object = None
     lazy: object = False
+    sample_sharing: object = None
+    sample_block: int = 64
 
     def to_config(self, seed: int = 0) -> SummarizationConfig:
         return SummarizationConfig(
@@ -67,6 +71,8 @@ class SummarizationRequest:
             incremental=self.incremental,
             carry=self.carry,
             lazy=self.lazy,
+            sample_sharing=self.sample_sharing,
+            sample_block=self.sample_block,
         )
 
 

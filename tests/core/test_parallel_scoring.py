@@ -466,8 +466,9 @@ def _run_in_mode(temporary_mode, runner):
         dict(parallelism=0, incremental="on"),
         dict(parallelism=2, incremental="off", parallel_threshold=1),
         dict(parallelism=2, incremental="on", parallel_threshold=1),
+        dict(parallelism=0, incremental="on", max_enumerate=0, distance_samples=64),
     ],
-    ids=("serial", "incremental", "parallel", "parallel+incremental"),
+    ids=("serial", "incremental", "parallel", "parallel+incremental", "sampled"),
 )
 def test_greedy_ir_vs_legacy_bit_identical(seed, knobs):
     """The IR axis of the differential grid: under every engine knob
@@ -626,8 +627,15 @@ _ENGINE_KNOBS = [
     dict(parallelism=0, incremental="on"),
     dict(parallelism=2, incremental="off", parallel_threshold=1),
     dict(parallelism=2, incremental="on", parallel_threshold=1),
+    dict(parallelism=0, incremental="on", max_enumerate=0, distance_samples=64),
 ]
-_ENGINE_KNOB_IDS = ("serial", "incremental", "parallel", "parallel+incremental")
+_ENGINE_KNOB_IDS = (
+    "serial",
+    "incremental",
+    "parallel",
+    "parallel+incremental",
+    "sampled",
+)
 
 
 @pytest.mark.parametrize("ir_mode", [_ir.MODE_LEGACY, _ir.MODE_IR])

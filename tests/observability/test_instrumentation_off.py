@@ -166,6 +166,98 @@ def test_carry_counters_golden_scrape(instrumentation_guard):
     assert "prox_scoring_candidates_rescored_total " in scrape
 
 
+# -- bit-packed sampled scoring ---------------------------------------------------
+
+
+def test_output_is_byte_identical_with_sampled_kernel_and_instrumentation(
+    instrumentation_guard,
+):
+    """The sampled-step counters/span attributes must not perturb a
+    shared-batch run: byte-identical output with instrumentation off
+    and on."""
+    knobs = dict(max_enumerate=0, distance_samples=64)
+    metrics.set_enabled(False)
+    tracing.set_enabled(False)
+    baseline = _summarize(**knobs)
+
+    metrics.set_enabled(True)
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    instrumented = _summarize(**knobs)
+    tracing.take_trace()
+
+    assert {r.scoring_path for r in baseline.steps} == {"sampled+incremental"}
+    assert _portable(instrumented) == _portable(baseline)
+
+
+def test_sampled_counters_advance_during_a_run(instrumentation_guard):
+    metrics.set_enabled(True)
+    sampled_total = metrics.REGISTRY.get("prox_scoring_sampled_fast_total")
+    reuse_total = metrics.REGISTRY.get("prox_scoring_sample_batch_reuse_total")
+    before_sampled = sampled_total.value()
+    before_reuse = reuse_total.value()
+
+    result = _summarize(max_enumerate=0, distance_samples=64)
+
+    assert result.n_steps > 1
+    # Every step ran the sampled kernel; the carried scorer's pinned
+    # batch served every step after the first.
+    assert sampled_total.value() == before_sampled + result.n_steps
+    assert reuse_total.value() == before_reuse + result.n_steps - 1
+
+
+def test_sampled_counters_golden_scrape(instrumentation_guard):
+    """The two sampled families render in exposition format with their
+    registered HELP text."""
+    metrics.set_enabled(True)
+    _summarize(max_enumerate=0, distance_samples=64)
+    scrape = metrics.REGISTRY.render()
+    assert (
+        "# HELP prox_scoring_sampled_fast_total Scoring steps served by "
+        "the bit-packed sampled (shared Monte-Carlo batch) kernel.\n"
+        "# TYPE prox_scoring_sampled_fast_total counter\n"
+    ) in scrape
+    assert (
+        "# HELP prox_scoring_sample_batch_reuse_total Sampled steps that "
+        "reused the carried scorer's valuation batch instead of "
+        "redrawing it.\n"
+        "# TYPE prox_scoring_sample_batch_reuse_total counter\n"
+    ) in scrape
+    assert "prox_scoring_sampled_fast_total " in scrape
+    assert "prox_scoring_sample_batch_reuse_total " in scrape
+
+
+def test_score_candidates_spans_report_batch_attributes(instrumentation_guard):
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    result = _summarize(max_enumerate=0, distance_samples=64)
+
+    root = tracing.take_trace()
+    steps = [child for child in root.children if child.name.startswith("step[")]
+    assert len(steps) >= result.n_steps
+    reused = []
+    for child in steps[: result.n_steps]:
+        scoring = child.find("score_candidates")
+        assert scoring is not None
+        assert scoring.attributes["path"] == "sampled+incremental"
+        assert scoring.attributes["sample_batch"] == 64
+        assert scoring.attributes["sample_variance"] >= 0.0
+        reused.append(scoring.attributes["batch_reused"])
+    assert reused[0] is False
+    assert all(reused[1:]), "carried steps must reuse the pinned batch"
+
+    # Enumerated steps keep their span shape: no sample attributes.
+    tracing.take_trace()
+    _summarize()
+    root = tracing.take_trace()
+    steps = [child for child in root.children if child.name.startswith("step[")]
+    assert steps
+    for child in steps:
+        scoring = child.find("score_candidates")
+        assert "sample_batch" not in scoring.attributes
+        assert "batch_reused" not in scoring.attributes
+
+
 def test_score_candidates_spans_report_carry_partition(instrumentation_guard):
     tracing.set_enabled(True)
     tracing.take_trace()
