@@ -13,6 +13,9 @@ Commands
     Run one of the Chapter 6 experiments and print its rows.
 ``prox``
     A scripted tour of the PROX system session.
+``ingest``
+    Stream provenance deltas into a PROX session: summarize, ingest,
+    then *repair* the summary and compare against recomputing it.
 
 All commands are deterministic given ``--seed``.
 
@@ -169,6 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
     prox = commands.add_parser("prox", help="scripted PROX session tour")
     prox.add_argument("--seed", type=int, default=7)
 
+    ingest = commands.add_parser(
+        "ingest", help="stream provenance deltas and repair the summary"
+    )
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--users", type=int, default=40)
+    ingest.add_argument("--movies", type=int, default=60)
+    ingest.add_argument("--deltas", type=int, default=5,
+                        help="number of streamed deltas (default: 5)")
+    ingest.add_argument("--delta-seed", type=int, default=1)
+    ingest.add_argument("--spam-every", type=int, default=0,
+                        help="every k-th delta spam-flags a user pair "
+                        "(extends cancel-valuations; default: never)")
+    ingest.add_argument("--steps", type=int, default=8)
+    ingest.add_argument("--repair", choices=("auto", "on", "off"),
+                        default="auto")
+    ingest.add_argument("--from", dest="from_file", metavar="FILE",
+                        help="read deltas from a JSON list of delta "
+                        "payloads instead of generating them")
+
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the Chapter 6 evaluation"
     )
@@ -198,6 +220,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "summarize": _cmd_summarize,
         "experiment": _cmd_experiment,
         "prox": _cmd_prox,
+        "ingest": _cmd_ingest,
         "reproduce": _cmd_reproduce,
         "serve": _cmd_serve,
     }[args.command]
@@ -348,6 +371,63 @@ def _cmd_prox(args: argparse.Namespace) -> int:
     print(f"provisioning 'cancel all Male users':")
     print(f"  original: {dict(original.rows())} ({original.evaluation_time_ns} ns)")
     print(f"  summary : {dict(summary.rows())} ({summary.evaluation_time_ns} ns)")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from .datasets.movielens import (
+        MovieLensDeltaConfig,
+        generate_movielens_deltas,
+    )
+
+    instance = generate_movielens(
+        MovieLensConfig(n_users=args.users, n_movies=args.movies, seed=args.seed)
+    )
+    session = ProxSession(instance)
+    session.select_titles(session.titles())
+    request = SummarizationRequest(
+        number_of_steps=args.steps, repair=args.repair
+    )
+    if args.from_file:
+        with open(args.from_file, "r", encoding="utf-8") as handle:
+            payloads = json.load(handle)
+        deltas = [
+            serialization.delta_from_dict({"kind": "delta", **payload})
+            for payload in payloads
+        ]
+    else:
+        deltas = generate_movielens_deltas(
+            instance,
+            MovieLensDeltaConfig(
+                n_deltas=args.deltas,
+                seed=args.delta_seed,
+                spam_flag_every=args.spam_every,
+            ),
+        )
+
+    result = session.summarize(request)
+    print(f"initial summary: size {result.original_size} -> {result.final_size}, "
+          f"{result.n_steps} steps")
+    repair_seconds = 0.0
+    for index, delta in enumerate(deltas, start=1):
+        stats = session.ingest(delta)
+        started = time.perf_counter()
+        result = session.summarize(request)
+        elapsed = time.perf_counter() - started
+        repair_seconds += elapsed
+        print(f"delta {index}: {delta.describe()} -> "
+              f"selected size {stats['selected_size']}; "
+              f"{'repaired' if result.repaired else 'recomputed'} summary "
+              f"size {result.final_size} "
+              f"(seeded {result.repair_seeded}, "
+              f"invalidated {result.repair_invalidated}, "
+              f"{elapsed * 1e3:.1f}ms)")
+    print(f"ingested {session.ingested_deltas} deltas; "
+          f"final summary size {result.final_size}, "
+          f"distance {result.final_distance.normalized:.4f}; "
+          f"re-summarization total {repair_seconds * 1e3:.1f}ms")
     return 0
 
 

@@ -215,9 +215,21 @@ def _dedupe(
             key = tuple(sorted(candidate.parts))
             seen.setdefault(key, candidate)
         return [seen[key] for key in sorted(seen)]
-    by_ids: Dict[Tuple[int, ...], Tuple[Tuple[str, ...], Candidate]] = {}
+    # Non-inserting lookups only: this also runs on the pool's
+    # invalidate-on-failure fallback, and a failure path must not grow
+    # the session interner (the annotation universe is no longer static
+    # once streaming ingest lands mid-run).  Names the interner has not
+    # seen yet key on themselves; the (tag, key) pairs keep int ids and
+    # name strings sortable together.
+    by_ids: Dict[Tuple, Tuple[Tuple[str, ...], Candidate]] = {}
     for candidate in candidates:
-        id_key = tuple(sorted(interner.intern(name) for name in candidate.parts))
+        id_key = tuple(
+            sorted(
+                (0, interned) if interned is not None else (1, name)
+                for name in candidate.parts
+                for interned in (interner.lookup(name),)
+            )
+        )
         if id_key not in by_ids:
             by_ids[id_key] = (tuple(sorted(candidate.parts)), candidate)
     return [

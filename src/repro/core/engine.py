@@ -74,7 +74,8 @@ import multiprocessing
 import os
 import time
 from array import array
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections import Counter
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..observability import metrics as _metrics
 from ..observability import tracing as _tracing
@@ -177,7 +178,7 @@ def _score_span(span: Tuple[int, int]) -> List[Tuple[int, DistanceEstimate]]:
 
 def _score_span_detail(
     span: Tuple[int, int]
-) -> List[Tuple[int, DistanceEstimate, List[float]]]:
+) -> List[Tuple[int, DistanceEstimate, List[float], List[float]]]:
     """Like :func:`_score_span`, also returning the per-valuation
     accumulators the cross-step carry stores (sparse scorers only)."""
     scorer = _WORKER_STATE["scorer"]
@@ -245,12 +246,21 @@ class ScoringEngine:
         )
         self._scorer: Optional[IncrementalStepScorer] = None
         #: Carried per-candidate measurements keyed by parts tuple:
-        #: ``(size, accumulators)`` in delta-carry mode, ``(size,
-        #: estimate)`` in lazy mode.  Valid only while ``_carry_expr``
-        #: tracks the scorer's current expression through advance().
+        #: ``(size, accumulators, weighted_finished)`` in delta-carry
+        #: mode, ``(size, estimate)`` in lazy mode.  Valid only while
+        #: ``_carry_expr`` tracks the scorer's current expression
+        #: through advance().
         self._carry_store: Dict[Tuple[str, ...], tuple] = {}
         self._carry_expr: object = None
         self._carry_ready: bool = False
+        #: Cross-run repair seed (a previous run's step-0 checkpoint
+        #: plus the delta's flipped labels / affected names), consumed
+        #: by the first :meth:`measure` and then cleared.
+        self._repair_seed: Optional[tuple] = None
+        #: Step-0 measurements served from the repair seed vs. freshly
+        #: re-scored (telemetry for the streaming-repair harness).
+        self.last_repair_seeded: int = 0
+        self.last_repair_rescored: int = 0
         #: Parts whose current measurement is delta-carried (stale);
         #: ``refresh_near`` re-scores these exactly on demand.
         self._stale: set = set()
@@ -465,10 +475,10 @@ class ScoringEngine:
                 parts = entry.candidate.parts
                 if parts not in self._stale:
                     continue
-                size, estimate, accs = scorer.score_detail(parts)
+                size, estimate, accs, wf = scorer.score_detail(parts)
                 entry.size = size
                 entry.distance = estimate
-                self._carry_store[parts] = (size, accs)
+                self._carry_store[parts] = (size, accs, wf)
                 self._stale.discard(parts)
                 refreshed += 1
         except Exception:
@@ -488,6 +498,76 @@ class ScoringEngine:
             if _metrics.ENABLED:
                 _SCORING_RESCORED.inc(refreshed)
         return refreshed
+
+    def capture_repair_checkpoint(self) -> Optional[dict]:
+        """Snapshot the current step's measurement state for repair.
+
+        Called by the summarizer right after the *first* greedy step's
+        measurement (before any merge is applied): a later run over a
+        delta-extended problem can :meth:`seed_repair` from this
+        snapshot and skip re-measuring every candidate untouched by
+        the delta.  Returns ``None`` when the step's path cannot seed
+        a repair -- lazy mode stores estimates instead of
+        accumulators, and the sampled kernel's Monte-Carlo batch is
+        not reproducible across runs -- in which case the repaired run
+        simply re-scores from scratch (correct, just not accelerated).
+        """
+        scorer = self._scorer
+        if (
+            self._lazy
+            or not self._carry_ready
+            or scorer is None
+            or isinstance(scorer, SampledStepScorer)
+            or not isinstance(scorer, IncrementalStepScorer)
+            or not scorer._sparse
+            or self._carry_expr is not scorer.current
+        ):
+            return None
+        labels = tuple(str(valuation) for valuation in scorer.valuations)
+        if len(set(labels)) != len(labels):
+            return None
+        return {
+            # Copy the carried lists, not just the dict: later steps
+            # mutate store entries in place (carried_score_fast with
+            # mutate=True), and the checkpoint must keep step 0's
+            # accumulators intact for the next run's seed.
+            "store": {
+                parts: (entry[0], list(entry[1]), list(entry[2]))
+                for parts, entry in self._carry_store.items()
+            },
+            "labels": labels,
+            "weights": tuple(valuation.weight for valuation in scorer.valuations),
+            "expr_size": scorer.current.size(),
+            "terms": tuple(scorer._terms),
+            "nonzero_empty": all(not entries for entries in scorer._nonzero),
+        }
+
+    def seed_repair(
+        self,
+        checkpoint: Optional[dict],
+        flipped_labels: Sequence[str] = (),
+        affected_names: Sequence[str] = (),
+    ) -> None:
+        """Arm the next measurement with a prior run's step-0 checkpoint.
+
+        ``flipped_labels`` are the valuation labels whose truth
+        assignments the delta extended (their positions must be
+        re-measured); ``affected_names`` the annotations the delta
+        added or removed (candidates touching them are re-scored
+        fresh).  The seed is consumed by the first :meth:`measure` and
+        discarded on any applicability miss -- seeding can only skip
+        work, never change a result.
+        """
+        self.last_repair_seeded = 0
+        self.last_repair_rescored = 0
+        if checkpoint is None:
+            self._repair_seed = None
+            return
+        self._repair_seed = (
+            checkpoint,
+            frozenset(flipped_labels),
+            frozenset(affected_names),
+        )
 
     def measure_lazy(
         self,
@@ -634,6 +714,8 @@ class ScoringEngine:
         :meth:`refresh_near`.
         """
         self._stale = set()
+        seed = self._repair_seed
+        self._repair_seed = None
         capture = (
             self._carry
             and not self._lazy
@@ -651,21 +733,32 @@ class ScoringEngine:
             and scorer.last_delta is not None
         )
         if not live:
+            if seed is not None:
+                try:
+                    seeded = self._score_from_seed(scorer, candidates, *seed)
+                except Exception:
+                    seeded = None
+                if seeded is not None:
+                    return seeded
             detail = self._score_all(
                 scorer,
                 [candidate.parts for candidate in candidates],
                 detail=True,
             )
             self._carry_store = {
-                candidate.parts: (size, accs)
-                for candidate, (size, _, accs) in zip(candidates, detail)
+                candidate.parts: (size, accs, wf)
+                for candidate, (size, _, accs, wf) in zip(candidates, detail)
             }
             self._carry_expr = scorer.current
             self._carry_ready = True
-            return [(size, estimate) for size, estimate, _ in detail]
+            return [(size, estimate) for size, estimate, _, _ in detail]
 
         store = self._carry_store
         deltas = scorer.last_delta
+        # The merge's baseline delta is nonzero at a handful of
+        # positions; the carried fast path touches only those and
+        # re-sums the stored weighted contributions in C.
+        touched = [index for index, delta in enumerate(deltas) if delta != 0.0]
         shift = scorer.last_size_shift
         results: List[Optional[Tuple[int, DistanceEstimate]]] = [None] * len(
             candidates
@@ -679,16 +772,18 @@ class ScoringEngine:
                 rescore.append(index)
                 continue
             size = entry[0] + shift
-            estimate, accs = scorer.carried_score(entry[1], deltas)
+            estimate, accs, wf = scorer.carried_score_fast(
+                entry[1], entry[2], deltas, touched, mutate=True
+            )
             results[index] = (size, estimate)
-            new_store[candidate.parts] = (size, accs)
+            new_store[candidate.parts] = (size, accs, wf)
             stale.add(candidate.parts)
         fresh = self._score_all(
             scorer, [candidates[index].parts for index in rescore], detail=True
         )
-        for index, (size, estimate, accs) in zip(rescore, fresh):
+        for index, (size, estimate, accs, wf) in zip(rescore, fresh):
             results[index] = (size, estimate)
-            new_store[candidates[index].parts] = (size, accs)
+            new_store[candidates[index].parts] = (size, accs, wf)
         self._carry_store = new_store
         self._carry_expr = scorer.current
         self._stale = stale
@@ -697,6 +792,179 @@ class ScoringEngine:
         self.total_carried += self.last_carried
         self.total_rescored += self.last_rescored
         return results
+
+    def _score_from_seed(
+        self,
+        scorer: IncrementalStepScorer,
+        candidates: Sequence[Candidate],
+        checkpoint: dict,
+        flipped_labels: FrozenSet[str],
+        affected_names: FrozenSet[str],
+    ) -> Optional[List[Tuple[int, DistanceEstimate]]]:
+        """Step-0 measurements re-based on a prior run's checkpoint.
+
+        A carried candidate's accumulator at a valuation position is
+        exactly the sum of its recomputed-neighborhood contributions
+        (the step-0 baseline contributions are all zero -- gated).  For
+        a candidate whose neighborhood the delta does not touch, those
+        contributions are unchanged at every surviving valuation
+        position, so the old accumulator is permuted by label and only
+        the appended / flipped positions are recomputed
+        (:meth:`~repro.core.fast_distance.IncrementalStepScorer
+        .score_positions`); the finish walk then reproduces the fresh
+        estimate bit for bit.  Sizes shift by the expression-size
+        delta (the candidate's collision structure is untouched).
+        Returns ``None`` when any applicability gate fails.
+        """
+        if isinstance(scorer, SampledStepScorer):
+            return None
+        if not checkpoint.get("nonzero_empty") or any(scorer._nonzero):
+            return None
+        new_labels = tuple(str(valuation) for valuation in scorer.valuations)
+        if len(set(new_labels)) != len(new_labels):
+            return None
+        old_index = {
+            label: index for index, label in enumerate(checkpoint["labels"])
+        }
+        old_weights = checkpoint["weights"]
+        pi: List[Optional[int]] = []
+        recompute: List[int] = []
+        for position, label in enumerate(new_labels):
+            carried = old_index.get(label)
+            if carried is None or label in flipped_labels:
+                pi.append(None)
+                recompute.append(position)
+                continue
+            if scorer.valuations[position].weight != old_weights[carried]:
+                return None
+            pi.append(carried)
+
+        # Dirty state: terms not carried verbatim from the checkpoint
+        # expression (multiset diff -- renames, congruent-merge count
+        # changes and fresh delta terms all change the Term value), the
+        # groups containing them, and the delta's added/removed names.
+        old_counts = Counter(checkpoint["terms"])
+        affected_terms: set = set()
+        affected_groups: set = set(affected_names)
+        for index, term in enumerate(scorer._terms):
+            if old_counts.get(term, 0) > 0:
+                old_counts[term] -= 1
+            else:
+                affected_terms.add(index)
+                affected_groups.add(term.group)
+        for term, remaining in old_counts.items():
+            if remaining > 0:
+                affected_groups.add(term.group)
+        key = scorer._key
+        for name in affected_names:
+            affected_terms.update(scorer._ann_terms.get(key(name), ()))
+            affected_terms.update(scorer._group_terms.get(name, ()))
+
+        store = checkpoint["store"]
+        shift = scorer.current.size() - checkpoint["expr_size"]
+        n_vals = scorer.n_vals
+        zeros = [0.0] * n_vals
+        # Append-only streams almost always keep the old valuations as a
+        # positional prefix of the new ones (π = identity on the prefix,
+        # recompute = the appended tail).  Detect that once and replace
+        # the per-candidate permutation listcomps with one C-level list
+        # concat -- the values are identical, only the copy is cheaper.
+        n_old = len(checkpoint["labels"])
+        prefix_carry = (
+            len(pi) >= n_old
+            and all(
+                carried == position
+                for position, carried in enumerate(pi[:n_old])
+            )
+            and all(carried is None for carried in pi[n_old:])
+        )
+        tail = [0.0] * (n_vals - n_old)
+        results: List[Optional[Tuple[int, DistanceEstimate]]] = [None] * len(
+            candidates
+        )
+        new_store: Dict[Tuple[str, ...], tuple] = {}
+        stale: set = set()
+        rescore: List[int] = []
+        for index, candidate in enumerate(candidates):
+            parts = candidate.parts
+            entry = store.get(parts)
+            if entry is None or self._seed_intersects(
+                scorer, parts, affected_terms, affected_groups
+            ):
+                rescore.append(index)
+                continue
+            old_accs = entry[1]
+            old_wf = entry[2]
+            if prefix_carry:
+                accs = old_accs + tail
+                wf = old_wf + tail
+            else:
+                accs = [
+                    old_accs[carried] if carried is not None else 0.0
+                    for carried in pi
+                ]
+                wf = [
+                    old_wf[carried] if carried is not None else 0.0
+                    for carried in pi
+                ]
+            if recompute:
+                for position, value in scorer.score_positions(
+                    parts, recompute
+                ).items():
+                    accs[position] = value
+            # Re-finish exactly the recomputed positions and re-sum the
+            # carried weighted contributions (valid verbatim: the label
+            # permutation gate pinned weights, and finish is a pure
+            # function of the unchanged accumulator).
+            estimate, accs, wf = scorer.carried_score_fast(
+                accs, wf, zeros, recompute, mutate=True
+            )
+            size = entry[0] + shift
+            results[index] = (size, estimate)
+            new_store[parts] = (size, accs, wf)
+            stale.add(parts)
+        fresh = self._score_all(
+            scorer, [candidates[index].parts for index in rescore], detail=True
+        )
+        for index, (size, estimate, accs, wf) in zip(rescore, fresh):
+            results[index] = (size, estimate)
+            new_store[candidates[index].parts] = (size, accs, wf)
+        self._carry_store = new_store
+        self._carry_expr = scorer.current
+        self._carry_ready = True
+        self._stale = stale
+        self.last_carried = len(candidates) - len(rescore)
+        self.last_rescored = len(rescore)
+        self.total_carried += self.last_carried
+        self.total_rescored += self.last_rescored
+        self.last_repair_seeded = self.last_carried
+        self.last_repair_rescored = self.last_rescored
+        return results
+
+    @staticmethod
+    def _seed_intersects(
+        scorer: IncrementalStepScorer,
+        parts: Tuple[str, ...],
+        affected_terms: set,
+        affected_groups: set,
+    ) -> bool:
+        """Whether the delta perturbs this candidate's measurement.
+
+        Mirrors :meth:`IncrementalStepScorer.candidate_intersects`
+        against the delta's dirty sets instead of a single applied
+        merge's."""
+        key = scorer._key
+        terms = scorer._terms
+        for name in parts:
+            if name in affected_groups:
+                return True
+            for index in scorer._ann_terms.get(key(name), ()):
+                if index in affected_terms or terms[index].group in affected_groups:
+                    return True
+            for index in scorer._group_terms.get(name, ()):
+                if index in affected_terms:
+                    return True
+        return False
 
     def _measure_lazy(
         self,

@@ -175,24 +175,51 @@ class FastStepScorer:
                 if mask_key is not None and mask_key in self._mask:
                     self._mask[mask_key] |= bit
 
-    def _term_mask(self, term: Term, mask_of: Mapping[object, int]) -> int:
-        """Valuations under which ``term`` contributes nothing."""
-        key = self._key
+    def _term_mask(
+        self,
+        index: int,
+        mask_of: Mapping[object, int],
+        override_of: Optional[Mapping[object, int]] = None,
+    ) -> int:
+        """Valuations under which term ``index`` contributes nothing.
+
+        ``override_of`` layers a handful of substituted masks over
+        ``mask_of`` without copying it (candidate scoring substitutes
+        only the merged annotations' masks).  Annotation and guard keys
+        come pre-interned from ``_build_terms`` -- re-interning the same
+        names for every scored candidate was a measurable slice of the
+        seed path.
+        """
         dead = 0
-        for name in term.annotations:
-            dead |= mask_of[key(name)]
-        for guard_token in term.guards:
-            dead |= self._guard_mask(guard_token, mask_of)
+        if override_of is None:
+            for mask_key in self._term_ann_keys[index]:
+                dead |= mask_of[mask_key]
+        else:
+            for mask_key in self._term_ann_keys[index]:
+                mask = override_of.get(mask_key)
+                dead |= mask_of[mask_key] if mask is None else mask
+        for guard_token, guard_keys in self._term_guard_keys[index]:
+            dead |= self._guard_mask(
+                guard_token, guard_keys, mask_of, override_of
+            )
         return dead
 
-    def _guard_mask(self, guard_token: Guard, mask_of: Mapping[object, int]) -> int:
+    def _guard_mask(
+        self,
+        guard_token: Guard,
+        guard_keys: Sequence[object],
+        mask_of: Mapping[object, int],
+        override_of: Optional[Mapping[object, int]] = None,
+    ) -> int:
         compare = _COMPARE[guard_token.op]
         sat_alive = compare(guard_token.value, guard_token.threshold)
         sat_dead = compare(0.0, guard_token.threshold)
-        key = self._key
         union = 0
-        for name in guard_token.annotations:
-            union |= mask_of.get(key(name), 0)
+        for mask_key in guard_keys:
+            mask = (
+                override_of.get(mask_key) if override_of is not None else None
+            )
+            union |= mask_of.get(mask_key, 0) if mask is None else mask
         if sat_alive and sat_dead:
             return 0
         if sat_alive and not sat_dead:
@@ -203,8 +230,20 @@ class FastStepScorer:
 
     def _build_terms(self) -> None:
         self._terms: List[Term] = list(self.current.terms)
+        key = self._key
+        self._term_ann_keys: List[List[object]] = [
+            [key(name) for name in term.annotations] for term in self._terms
+        ]
+        self._term_guard_keys: List[List[Tuple[Guard, List[object]]]] = [
+            [
+                (guard, [key(name) for name in guard.annotations])
+                for guard in term.guards
+            ]
+            for term in self._terms
+        ]
         self._term_dead: List[int] = [
-            self._term_mask(term, self._mask) for term in self._terms
+            self._term_mask(index, self._mask)
+            for index in range(len(self._terms))
         ]
         self._group_terms: Dict[Optional[str], List[int]] = {}
         self._ann_terms: Dict[object, List[int]] = {}
@@ -231,11 +270,16 @@ class FastStepScorer:
         self,
         indexes: Sequence[int],
         override: Optional[Mapping[int, int]] = None,
+        wanted: Optional[int] = None,
     ) -> List[float]:
         """Aggregate value of one group under every valuation.
 
         ``override`` substitutes dead masks for (candidate-affected)
-        term indexes.
+        term indexes.  ``wanted`` restricts the fold to the valuation
+        positions in the bitmask: each position's value is independent
+        of every other position's, so the entries filled in are
+        bit-identical to a full fold's -- the rest stay 0.0 (MAX) or
+        hold the unfinished group total (SUM) and must not be read.
         """
         dead_of = self._term_dead
         if override is None:
@@ -246,15 +290,17 @@ class FastStepScorer:
                 for i in indexes
             ]
         if self._is_max:
-            return self._fold_max(masks)
-        return self._fold_sum(masks)
+            return self._fold_max(masks, wanted)
+        return self._fold_sum(masks, wanted)
 
-    def _fold_max(self, masks: List[Tuple[float, int]]) -> List[float]:
+    def _fold_max(
+        self, masks: List[Tuple[float, int]], wanted: Optional[int] = None
+    ) -> List[float]:
         """Per-valuation MAX; ``masks`` must arrive in descending value
         order (``_group_order`` keeps every group presorted), so each
         valuation is assigned the first alive value it sees."""
         out = [0.0] * self.n_vals
-        remaining = self._full_mask
+        remaining = self._full_mask if wanted is None else wanted & self._full_mask
         for value, dead in masks:
             alive = ~dead & remaining
             while alive:
@@ -266,15 +312,62 @@ class FastStepScorer:
                 break
         return out
 
-    def _fold_sum(self, masks: List[Tuple[float, int]]) -> List[float]:
+    def _fold_sum(
+        self, masks: List[Tuple[float, int]], wanted: Optional[int] = None
+    ) -> List[float]:
         total = sum(value for value, _ in masks)
         out = [total] * self.n_vals
+        limit = self._full_mask if wanted is None else wanted & self._full_mask
         for value, dead in masks:
-            dead &= self._full_mask
+            dead &= limit
             while dead:
                 bit = dead & -dead
                 out[bit.bit_length() - 1] -= value
                 dead ^= bit
+        return out
+
+    def _group_values_at(
+        self,
+        indexes: Sequence[int],
+        override: Mapping[int, int],
+        positions: Sequence[int],
+    ) -> List[float]:
+        """Group aggregate at the requested positions only.
+
+        Same bits as reading ``_group_values(...)[p]`` for each ``p``:
+        every position's fold is independent, MAX takes the first alive
+        value in the presorted order and SUM subtracts dead values from
+        the same C-summed total in the same index order.  Skipping the
+        ``n_vals``-long output allocation per group is what makes the
+        streaming-repair tail recomputation cheap.
+        """
+        dead_of = self._term_dead
+        terms = self._terms
+        out: List[float] = []
+        if self._is_max:
+            for position in positions:
+                bit = 1 << position
+                value = 0.0
+                for index in indexes:
+                    mask = override.get(index)
+                    if mask is None:
+                        mask = dead_of[index]
+                    if not mask & bit:
+                        value = terms[index].value
+                        break
+                out.append(value)
+            return out
+        total = sum(terms[index].value for index in indexes)
+        for position in positions:
+            bit = 1 << position
+            acc = total
+            for index in indexes:
+                mask = override.get(index)
+                if mask is None:
+                    mask = dead_of[index]
+                if mask & bit:
+                    acc -= terms[index].value
+            out.append(acc)
         return out
 
     def _align_originals(self) -> List[Dict[Optional[str], float]]:
@@ -314,10 +407,11 @@ class FastStepScorer:
         merged_mask = self._full_mask
         for part_key in part_keys:
             merged_mask &= self._mask[part_key]
-        substituted = dict(self._mask)
-        for part_key in part_keys:
-            substituted[part_key] = merged_mask
-        substituted[self._ann_marker] = merged_mask
+        # Overlay instead of copying the whole mask dict: the handful
+        # of affected-term lookups below never justify an
+        # O(annotations) copy per candidate.
+        overrides = {part_key: merged_mask for part_key in part_keys}
+        overrides[self._ann_marker] = merged_mask
 
         affected: List[int] = []
         seen: set = set()
@@ -328,7 +422,7 @@ class FastStepScorer:
                     affected.append(index)
 
         override = {
-            index: self._term_mask(self._terms[index], substituted)
+            index: self._term_mask(index, self._mask, overrides)
             for index in affected
         }
         group_merge = any(part in self._group_terms for part in parts)
@@ -339,12 +433,18 @@ class FastStepScorer:
         normalized = (
             min(1.0, distance_value / max_error) if max_error > 0 else 0.0
         )
-        return DistanceEstimate(
+        # Hottest allocation of a step: built once per scored candidate.
+        # The frozen dataclass ``__init__`` pays object.__setattr__ per
+        # field; writing the dict wholesale keeps eq/hash semantics and
+        # drops most of that cost.
+        estimate = DistanceEstimate.__new__(DistanceEstimate)
+        estimate.__dict__.update(
             value=distance_value,
             normalized=normalized,
             n_valuations=self.n_vals,
             exact=True,
         )
+        return estimate
 
     def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
         """Size and distance of the merge ``parts → c``."""
@@ -562,6 +662,24 @@ class IncrementalStepScorer(FastStepScorer):
             self._orig_lists.append(entries)
 
         self._nonzero: List[Dict[Optional[str], float]] = []
+        #: Per-position running sum of ``_nonzero`` values (insertion
+        #: order at build, then corrected by each merge's delta).  The
+        #: sparse walk starts from this and subtracts the few excluded
+        #: keys instead of re-walking the whole dict; the association
+        #: dust this introduces is the same class ``refresh_near``
+        #: already absorbs before anything is recorded.
+        self._nonzero_sum: List[float] = []
+        # Position-indexed weights and their running sum, accumulated in
+        # the same left-to-right order every scoring walk uses, so a
+        # cached ``_weight_sum`` is the bit-identical float a fresh
+        # ``total_weight`` accumulation would produce.
+        self._weights: List[float] = [
+            valuation.weight for valuation in self.valuations
+        ]
+        weight_sum = 0.0
+        for weight in self._weights:
+            weight_sum += weight
+        self._weight_sum: float = weight_sum
         if self._sparse:
             self._build_nonzero()
 
@@ -571,9 +689,11 @@ class IncrementalStepScorer(FastStepScorer):
         """Per-valuation nonzero metric contributions of the baseline."""
         contrib = self.val_func.metric_contrib
         self._nonzero = []
+        self._nonzero_sum = []
         for index in range(self.n_vals):
             orig_vec = self._orig_aligned[index]
             entries: Dict[Optional[str], float] = {}
+            total = 0.0
             for key in orig_vec.keys() | self._baseline.keys():
                 values = self._baseline.get(key)
                 value = contrib(
@@ -582,7 +702,9 @@ class IncrementalStepScorer(FastStepScorer):
                 )
                 if value != 0.0:
                     entries[key] = value
+                    total += value
             self._nonzero.append(entries)
+            self._nonzero_sum.append(total)
 
     def _refresh_contributions(
         self, part_set: FrozenSet[str], refresh: set
@@ -618,6 +740,7 @@ class IncrementalStepScorer(FastStepScorer):
                     nonzero[key] = value
                 else:
                     nonzero.pop(key, None)
+            self._nonzero_sum[index] += delta
             deltas.append(delta)
         return deltas
 
@@ -626,18 +749,22 @@ class IncrementalStepScorer(FastStepScorer):
     def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
         if not self._sparse:
             return super().score(parts)
-        size, estimate, _ = self._score_sparse(parts)
+        size, estimate, _, _ = self._score_sparse(parts)
         return size, estimate
 
     def score_detail(
         self, parts: Sequence[str]
-    ) -> Tuple[int, DistanceEstimate, List[float]]:
-        """Sparse score plus the per-valuation metric accumulators.
+    ) -> Tuple[int, DistanceEstimate, List[float], List[float]]:
+        """Sparse score plus the per-valuation carry state.
 
-        The engine's cross-step carry stores the accumulators: after
-        the winning merge is applied, a disjoint candidate's next-step
-        score is ``finish(acc + last_delta)`` -- no re-walk.  Only
-        valid in sparse mode (the engine gates on ``_sparse``).
+        Returns ``(size, estimate, accs, wf)`` where ``accs`` are the
+        metric accumulators and ``wf`` the weighted finished
+        contributions ``weight * finish(acc)`` per position.  The
+        engine's cross-step carry stores both: after the winning merge
+        is applied, a disjoint candidate re-finishes only the positions
+        the merge's delta touches and re-sums ``wf``
+        (:meth:`carried_score_fast`) -- no O(n_vals) Python re-walk.
+        Only valid in sparse mode (the engine gates on ``_sparse``).
         """
         if not self._sparse:
             raise RuntimeError("score_detail requires sparse (decomposable) mode")
@@ -645,7 +772,7 @@ class IncrementalStepScorer(FastStepScorer):
 
     def _score_sparse(
         self, parts: Sequence[str]
-    ) -> Tuple[int, DistanceEstimate, List[float]]:
+    ) -> Tuple[int, DistanceEstimate, List[float], List[float]]:
         marker = self._MARKER
         part_set, affected, override, group_merge = self._candidate_state(parts)
         recomputed = {
@@ -656,16 +783,24 @@ class IncrementalStepScorer(FastStepScorer):
         }
         contrib = self.val_func.metric_contrib
         finish = self.val_func.metric_finish
+        weights = self._weights
+        nonzero_sum = self._nonzero_sum
+        nonzero_of = self._nonzero
+        excluded = list(part_set)
+        excluded.extend(
+            group for group in recomputed if group not in part_set
+        )
         total = 0.0
-        total_weight = 0.0
         accs: List[float] = []
-        for index, valuation in enumerate(self.valuations):
+        wf: List[float] = []
+        for index in range(self.n_vals):
             orig_vec = self._orig_aligned[index]
-            acc = 0.0
-            for key, carried in self._nonzero[index].items():
-                if key in part_set or key in recomputed:
-                    continue
-                acc += carried
+            nonzero = nonzero_of[index]
+            acc = nonzero_sum[index]
+            for key in excluded:
+                carried = nonzero.get(key)
+                if carried is not None:
+                    acc -= carried
             for group, values in recomputed.items():
                 if group == marker:
                     original = (
@@ -675,15 +810,17 @@ class IncrementalStepScorer(FastStepScorer):
                     original = orig_vec.get(group, 0.0)
                 acc += contrib(original, values[index])
             accs.append(acc)
-            total += valuation.weight * finish(acc)
-            total_weight += valuation.weight
+            finished = weights[index] * finish(acc)
+            wf.append(finished)
+            total += finished
+        total_weight = self._weight_sum
         distance_value = total / total_weight if total_weight else 0.0
         estimate = self._estimate(distance_value)
-        return self._candidate_size(part_set, marker, affected), estimate, accs
+        return self._candidate_size(part_set, marker, affected), estimate, accs, wf
 
     def carried_score(
         self, accs: Sequence[float], deltas: Sequence[float]
-    ) -> Tuple[DistanceEstimate, List[float]]:
+    ) -> Tuple[DistanceEstimate, List[float], List[float]]:
         """Distance from carried accumulators plus the step's delta.
 
         Exact up to float association: the corrected accumulator sums
@@ -693,21 +830,190 @@ class IncrementalStepScorer(FastStepScorer):
         recorded output (see ``ScoringEngine.refresh_near``).
         """
         finish = self.val_func.metric_finish
+        weights = self._weights
         total = 0.0
-        total_weight = 0.0
         new_accs: List[float] = []
-        for index, valuation in enumerate(self.valuations):
+        new_wf: List[float] = []
+        for index in range(self.n_vals):
             acc = accs[index] + deltas[index]
             new_accs.append(acc)
-            total += valuation.weight * finish(acc)
-            total_weight += valuation.weight
+            finished = weights[index] * finish(acc)
+            new_wf.append(finished)
+            total += finished
+        total_weight = self._weight_sum
         distance_value = total / total_weight if total_weight else 0.0
-        return self._estimate(distance_value), new_accs
+        return self._estimate(distance_value), new_accs, new_wf
+
+    def carried_score_fast(
+        self,
+        accs: List[float],
+        wf: List[float],
+        deltas: Sequence[float],
+        positions: Sequence[int],
+        mutate: bool = False,
+    ) -> Tuple[DistanceEstimate, List[float], List[float]]:
+        """Like :meth:`carried_score`, touching only ``positions``.
+
+        ``positions`` must cover every position where ``deltas`` is
+        nonzero (the engine precomputes that set once per step).  Only
+        those coordinates are re-accumulated and re-finished; the rest
+        keep their stored ``acc``/``wf`` verbatim.  The total is then
+        re-summed left-to-right over the full ``wf`` list with the
+        C-level ``sum`` -- the identical sequence of IEEE additions a
+        fresh Python accumulation performs, so the estimate stays bit
+        for bit what :meth:`carried_score` (and, once
+        ``refresh_near``'s tolerance logic has run, a fresh
+        :meth:`_score_sparse`) would produce.
+
+        ``mutate=True`` updates ``accs``/``wf`` in place instead of
+        copying -- only valid when the caller owns the lists (the
+        engine's step loop discards the previous store wholesale; the
+        repair checkpoint deep-copies before any step mutates).
+        """
+        finish = self.val_func.metric_finish
+        weights = self._weights
+        if mutate:
+            new_accs = accs
+            new_wf = wf
+        else:
+            new_accs = list(accs)
+            new_wf = list(wf)
+        for index in positions:
+            acc = new_accs[index] + deltas[index]
+            new_accs[index] = acc
+            new_wf[index] = weights[index] * finish(acc)
+        total = sum(new_wf)
+        total_weight = self._weight_sum
+        distance_value = total / total_weight if total_weight else 0.0
+        return self._estimate(distance_value), new_accs, new_wf
 
     def candidate_size(self, parts: Sequence[str]) -> int:
         """Exact post-merge size of one candidate (no distance walk)."""
         part_set, affected, _, _ = self._candidate_state(parts)
         return self._candidate_size(part_set, self._MARKER, affected)
+
+    def score_positions(
+        self, parts: Sequence[str], positions: Sequence[int]
+    ) -> Dict[int, float]:
+        """Sparse metric accumulators at the given valuation positions only.
+
+        Streaming repair re-bases a carried candidate measurement on the
+        post-delta step: positions whose valuation is untouched keep the
+        recorded accumulator, while appended and flipped positions are
+        recomputed here.  Per requested position the arithmetic is the
+        exact inner loop of :meth:`_score_sparse` -- same key order,
+        same association -- so a recomputed coordinate is bit-identical
+        to what a full fresh walk would produce there.
+        """
+        if not self._sparse:
+            raise RuntimeError("score_positions requires sparse (decomposable) mode")
+        marker = self._MARKER
+        # Fast path: when no requested position falsifies any merged
+        # part, the merged mask (AND of the part masks) is zero at every
+        # requested bit, so every overridden term's dead bit -- and with
+        # it every affected group's fold -- equals the baseline's there.
+        # The expensive per-candidate override construction is skipped
+        # and the baseline aggregates are read directly; the arithmetic
+        # sequence is unchanged, so the result stays bit-identical.
+        key = self._key
+        part_keys = [key(name) for name in parts]
+        wanted = 0
+        for index in positions:
+            wanted |= 1 << index
+        combined = 0
+        for part_key in part_keys:
+            combined |= self._mask[part_key]
+        if not combined & wanted and not any(
+            part in self._group_terms for part in parts
+        ):
+            return self._score_positions_baseline(parts, part_keys, positions)
+        part_set, _, override, group_merge = self._candidate_state(parts)
+        recomputed = {
+            group: self._group_values_at(indexes, override, positions)
+            for group, indexes in self._affected_group_indexes(
+                part_set, marker, override, group_merge
+            ).items()
+        }
+        contrib = self.val_func.metric_contrib
+        nonzero_sum = self._nonzero_sum
+        nonzero_of = self._nonzero
+        excluded = list(part_set)
+        excluded.extend(
+            group for group in recomputed if group not in part_set
+        )
+        out: Dict[int, float] = {}
+        for offset, index in enumerate(positions):
+            orig_vec = self._orig_aligned[index]
+            nonzero = nonzero_of[index]
+            acc = nonzero_sum[index]
+            for key in excluded:
+                carried = nonzero.get(key)
+                if carried is not None:
+                    acc -= carried
+            for group, values in recomputed.items():
+                if group == marker:
+                    original = (
+                        self._fold_orig(index, part_set) if group_merge else 0.0
+                    )
+                else:
+                    original = orig_vec.get(group, 0.0)
+                acc += contrib(original, values[offset])
+            out[index] = acc
+        return out
+
+    def _score_positions_baseline(
+        self,
+        parts: Sequence[str],
+        part_keys: Sequence[object],
+        positions: Sequence[int],
+    ) -> Dict[int, float]:
+        """:meth:`score_positions` when the merge is invisible there.
+
+        Preconditions (checked by the caller): no merged part is a
+        group key, and no requested position falsifies any part.  The
+        affected groups and the exclusion list are derived exactly as
+        :meth:`_candidate_state` / :meth:`_affected_group_indexes`
+        would order them, and each affected group's value at a
+        requested position is read from the baseline fold -- the same
+        float the overridden fold would produce there -- so every
+        addition happens in the generic path's order.
+        """
+        part_set = frozenset(parts)
+        seen: set = set()
+        group_seen: set = set()
+        groups_order: List[Optional[str]] = []
+        terms = self._terms
+        for part_key in part_keys:
+            for index in self._ann_terms.get(part_key, ()):
+                if index not in seen:
+                    seen.add(index)
+                    group = terms[index].group
+                    if group not in group_seen:
+                        group_seen.add(group)
+                        groups_order.append(group)
+        excluded = list(part_set)
+        excluded.extend(
+            group for group in groups_order if group not in part_set
+        )
+        contrib = self.val_func.metric_contrib
+        nonzero_sum = self._nonzero_sum
+        nonzero_of = self._nonzero
+        baseline = self._baseline
+        out: Dict[int, float] = {}
+        for index in positions:
+            orig_vec = self._orig_aligned[index]
+            nonzero = nonzero_of[index]
+            acc = nonzero_sum[index]
+            for key in excluded:
+                carried = nonzero.get(key)
+                if carried is not None:
+                    acc -= carried
+            for group in groups_order:
+                acc += contrib(
+                    orig_vec.get(group, 0.0), baseline[group][index]
+                )
+            out[index] = acc
+        return out
 
     def candidate_intersects(self, parts: Sequence[str]) -> bool:
         """Whether the last applied merge perturbs this candidate's score.

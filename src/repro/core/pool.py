@@ -123,6 +123,116 @@ class CandidatePool:
         self._raw = None
         self._expression = None
 
+    def seed(self, raw: Sequence[Candidate], expression) -> None:
+        """Adopt a carried raw list (cross-run repair checkpoint)."""
+        self._raw = list(raw)
+        self._expression = expression
+
+    def raw_snapshot(self, expression) -> Optional[List[Candidate]]:
+        """Copy of the raw list, if it was maintained for ``expression``."""
+        if self._raw is None or self._expression is not expression:
+            return None
+        return list(self._raw)
+
+    def ingest(self, new_expression) -> int:
+        """Maintain the carried list across a streaming provenance delta.
+
+        Unlike :meth:`advance` (one applied merge), an ingest may add
+        *and* remove several annotations at once: delta annotations
+        arrive, and equivalence summaries whose class gained a member
+        are replaced by new ones.  The carried list is edited to match
+        a fresh enumeration of ``new_expression`` exactly:
+
+        * candidates whose seed pair mentions a removed annotation are
+          dropped (every surviving pair is already in the list, so no
+          replacement pair is lost);
+        * candidates whose ``arity > 2`` extension mentions a removed
+          annotation, or whose greedy chain an added annotation would
+          join, are re-proposed from their seed;
+        * the pairs involving added annotations are proposed fresh;
+        * everything is re-sorted into fresh-generation order.
+
+        Returns the number of carried entries invalidated (dropped or
+        re-proposed) -- the ``prox_repair_invalidated_total`` count.
+        On any failure the pool is invalidated and the next
+        :meth:`candidates` call re-enumerates (the usual contract).
+        """
+        if self._raw is None or self._expression is None:
+            self.invalidate()
+            return 0
+        try:
+            invalidated, entries = self._ingest_maintain(new_expression)
+        except Exception:
+            invalidated = len(self._raw)
+            self.invalidate()
+            return invalidated
+        self._raw = entries
+        self._expression = new_expression
+        return invalidated
+
+    def _ingest_maintain(self, new_expression) -> Tuple[int, List[Candidate]]:
+        universe = self.universe
+        old_names = frozenset(self._expression.annotation_names())
+        new_names = frozenset(new_expression.annotation_names())
+        added = new_names - old_names
+        removed = old_names - new_names
+        by_domain = annotations_by_domain(new_expression, universe)
+        added_by_domain: dict = {}
+        for name in added:
+            annotation = universe[name]
+            added_by_domain.setdefault(annotation.domain, []).append(annotation)
+
+        invalidated = 0
+        entries: List[Candidate] = []
+        for candidate in self._raw:
+            seed = candidate.parts[:2]
+            if removed.intersection(candidate.parts):
+                invalidated += 1
+                if removed.intersection(seed):
+                    continue
+                entries.append(self._repropose(seed, by_domain))
+                continue
+            domain = universe[seed[0]].domain
+            if self.arity > 2 and any(
+                self._joins_extension(candidate, annotation)
+                for annotation in added_by_domain.get(domain, ())
+            ):
+                invalidated += 1
+                entries.append(self._repropose(seed, by_domain))
+            else:
+                entries.append(candidate)
+
+        for domain, fresh in added_by_domain.items():
+            domain_annotations = by_domain.get(domain, [])
+            pairs = {
+                tuple(sorted((annotation.name, other.name)))
+                for annotation in fresh
+                for other in domain_annotations
+                if other.name != annotation.name
+            }
+            for first_name, second_name in sorted(pairs):
+                candidate = propose_candidate(
+                    universe[first_name],
+                    universe[second_name],
+                    domain_annotations,
+                    self.constraint,
+                    self.arity,
+                )
+                if candidate is not None:
+                    entries.append(candidate)
+
+        domain_min = {
+            domain: annotations[0].name for domain, annotations in by_domain.items()
+        }
+        entries.sort(
+            key=lambda candidate: (
+                domain_min[universe[candidate.parts[0]].domain],
+                candidate.parts[0],
+                candidate.parts[1],
+            )
+        )
+        return invalidated, entries
+
     def child(self, parts: Sequence[str], new_name: str, new_expression) -> "CandidatePool":
         """An advanced copy, leaving this pool untouched (beam search)."""
         twin = CandidatePool(

@@ -117,6 +117,15 @@ class SummarizationConfig:
       rounded up to a multiple of this (default 64), so the packed
       kernel's 64-bit words are fully populated; explicit
       ``distance_samples`` is always used verbatim.
+    * ``repair`` -- streaming summary repair (see :mod:`repro.core
+      .streaming`).  ``None``/``"auto"`` and ``True``/``"on"`` make
+      every run capture a repair state (equivalence partition,
+      candidate pool, step-0 measurement checkpoint) and consume one
+      passed via ``Summarizer(..., repair_from=...)``, so a re-run
+      after an append-only provenance delta repairs the previous
+      summary instead of recomputing it; ``False``/``"off"`` disables
+      both.  Repaired output is bit-identical to a from-scratch run
+      (asserted by ``tests/core/test_streaming_repair.py``).
     """
 
     _PARALLELISM_WORDS = {"auto": None, "off": 0}
@@ -144,6 +153,7 @@ class SummarizationConfig:
     lazy: Union[bool, str] = False
     sample_sharing: Union[bool, str, None] = None
     sample_block: int = 64
+    repair: Union[bool, str, None] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.parallelism, str):
@@ -190,6 +200,13 @@ class SummarizationConfig:
                     f"got {self.sample_sharing!r}"
                 )
             self.sample_sharing = self._INCREMENTAL_WORDS[word]
+        if isinstance(self.repair, str):
+            word = self.repair.strip().lower()
+            if word not in self._INCREMENTAL_WORDS:
+                raise ValueError(
+                    f"repair must be 'auto', 'on' or 'off', got {self.repair!r}"
+                )
+            self.repair = self._INCREMENTAL_WORDS[word]
         if self.sample_block < 1:
             raise ValueError("sample_block must be at least 1")
         if self.parallel_threshold < 1:

@@ -157,12 +157,14 @@ class SampledStepScorer(IncrementalStepScorer):
         normalized = (
             min(1.0, distance_value / max_error) if max_error > 0 else 0.0
         )
-        return DistanceEstimate(
+        estimate = DistanceEstimate.__new__(DistanceEstimate)
+        estimate.__dict__.update(
             value=distance_value,
             normalized=normalized,
             n_valuations=self.n_vals,
             exact=False,
         )
+        return estimate
 
     # -- packed views & batch statistics -------------------------------------
 

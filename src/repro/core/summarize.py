@@ -44,11 +44,12 @@ from ..provenance.annotations import AnnotationUniverse
 from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
 from .engine import ScoringEngine, _OverlayUniverse  # noqa: F401  (re-export)
-from .equivalence import group_equivalent
+from .equivalence import EquivalencePartition, compute_partition, group_equivalent
 from .mapping import MappingState
 from .pool import CandidatePool
 from .problem import SummarizationConfig, SummarizationProblem
 from .scoring import score_candidates
+from .streaming import SummaryRepairState
 
 _SUMMARIZE_RUNS = _metrics.counter(
     "prox_summarize_runs_total",
@@ -62,6 +63,11 @@ _SUMMARIZE_STEPS = _metrics.counter(
 _SUMMARIZE_SECONDS = _metrics.histogram(
     "prox_summarize_seconds",
     "End-to-end summarization wall-clock seconds per run.",
+)
+_REPAIR_INVALIDATED = _metrics.counter(
+    "prox_repair_invalidated_total",
+    "Carried candidate-pool entries invalidated by streaming-repair "
+    "runs (dropped or re-proposed because a delta touched them).",
 )
 
 
@@ -113,6 +119,18 @@ class SummarizationResult:
     total_seconds: float
     config: SummarizationConfig
     equivalence_mapping: Dict[str, str] = field(default_factory=dict)
+    #: Whether this run repaired a previous run's summary (streaming
+    #: ingest) rather than computing from scratch.
+    repaired: bool = False
+    #: Carried pool entries the delta invalidated (repaired runs only).
+    repair_invalidated: int = 0
+    #: Step-0 measurements served from the repair seed (repaired runs
+    #: with a usable engine checkpoint only).
+    repair_seeded: int = 0
+    #: State a later run can repair from (:class:`~repro.core.streaming
+    #: .SummaryRepairState`); ``None`` when ``config.repair`` is off.
+    #: Holds live objects -- intentionally not serialized.
+    repair_state: Optional[SummaryRepairState] = None
 
     @property
     def n_steps(self) -> int:
@@ -158,9 +176,23 @@ class SummarizationResult:
 class Summarizer:
     """Runs Algorithm 1 on a :class:`SummarizationProblem`."""
 
-    def __init__(self, problem: SummarizationProblem, config: SummarizationConfig):
+    def __init__(
+        self,
+        problem: SummarizationProblem,
+        config: SummarizationConfig,
+        repair_from: Optional[SummaryRepairState] = None,
+        flipped: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ):
+        """``repair_from`` seeds this run from a previous run's state
+        (the problem must be the previous one extended by an
+        append-only delta); ``flipped`` maps a valuation label to the
+        annotations whose truth that delta flipped (valuation
+        extensions).  Both are ignored when ``config.repair`` is off.
+        """
         self.problem = problem
         self.config = config
+        self.repair_from = repair_from
+        self.flipped = dict(flipped) if flipped else {}
         self._rng = random.Random(config.seed)
 
     def run(self) -> SummarizationResult:
@@ -212,16 +244,57 @@ class Summarizer:
             else None
         )
 
+        # Streaming repair: a state captured by a previous run over the
+        # pre-delta problem lets this run repair -- partition, pool and
+        # step-0 measurements are delta-updated instead of recomputed.
+        # Every repaired artifact is bit-identical to its from-scratch
+        # counterpart (differential-tested), so the rest of the run is
+        # oblivious to how step 0 came to be.
+        repair_on = config.repair is not False
+        state = self.repair_from if repair_on else None
+        flipped = self.flipped
+
         current = original
         equivalence_merges = 0
         equivalence_mapping: Dict[str, str] = {}
+        partition: Optional[EquivalencePartition] = None
         if config.group_equivalent_first:
+            if repair_on:
+                names = sorted(original.annotation_names())
+                if state is not None and state.partition is not None:
+                    partition = state.partition.repair(
+                        names, problem.valuations, flipped
+                    )
+                else:
+                    partition = compute_partition(names, problem.valuations)
             current, equivalence_mapping, equivalence_merges = group_equivalent(
-                original, problem.universe, problem.valuations, problem.constraint
+                original,
+                problem.universe,
+                problem.valuations,
+                problem.constraint,
+                partition=partition,
             )
             if equivalence_mapping:
                 mapping = mapping.compose(equivalence_mapping)
 
+        repaired = state is not None
+        repair_invalidated = 0
+        if state is not None and state.expression is not None:
+            if pool is not None and state.pool_raw is not None:
+                pool.seed(state.pool_raw, state.expression)
+                repair_invalidated = pool.ingest(current)
+                if _metrics.ENABLED and repair_invalidated:
+                    _REPAIR_INVALIDATED.inc(repair_invalidated)
+            if state.checkpoint is not None:
+                old_names = frozenset(state.expression.annotation_names())
+                new_names = frozenset(current.annotation_names())
+                engine.seed_repair(
+                    state.checkpoint,
+                    flipped_labels=tuple(flipped),
+                    affected_names=tuple(old_names ^ new_names),
+                )
+
+        new_state: Optional[SummaryRepairState] = None
         steps: List[StepRecord] = []
         previous: Optional[Tuple[object, MappingState]] = None
         last_distance: Optional[DistanceEstimate] = None
@@ -265,6 +338,18 @@ class Summarizer:
                         rng=self._rng,
                         interner=interner,
                     )
+                if repair_on and new_state is None:
+                    # Step-0 capture (pool half): the raw candidate
+                    # list a future repaired run seeds its pool from.
+                    new_state = SummaryRepairState(
+                        partition=partition,
+                        expression=current,
+                        pool_raw=(
+                            pool.raw_snapshot(current)
+                            if pool is not None
+                            else None
+                        ),
+                    )
                 if not candidates:
                     stop_reason = "exhausted"
                     break
@@ -305,6 +390,16 @@ class Summarizer:
                         )
                     best = scored[0]
 
+                if (
+                    new_state is not None
+                    and not steps
+                    and new_state.checkpoint is None
+                ):
+                    # Step-0 capture (engine half): the measurement
+                    # store, after winner confirmation made every
+                    # near-head entry exact.
+                    new_state.checkpoint = engine.capture_repair_checkpoint()
+
                 summary_parts = [problem.universe[name] for name in best.candidate.parts]
                 summary = problem.universe.new_summary(
                     summary_parts,
@@ -341,6 +436,12 @@ class Summarizer:
                 step_span.set("n_candidates", len(candidates))
                 step_span.set("scoring_path", engine.last_path)
 
+        if repair_on and new_state is None:
+            # The greedy loop never ran (bound already met / nothing to
+            # merge): carry the partition so later deltas still repair
+            # the equivalence grouping.
+            new_state = SummaryRepairState(partition=partition, expression=current)
+
         final_distance = computer.distance(current, mapping)
         if run_span is not _tracing.NULL_SPAN:
             run_span.set("steps", len(steps))
@@ -353,6 +454,10 @@ class Summarizer:
             run_span.set("distance_stats", computer.stats.as_dict())
             run_span.set("epsilon", config.epsilon)
             run_span.set("delta", config.delta)
+            if repaired:
+                run_span.set("repaired", True)
+                run_span.set("repair_invalidated", repair_invalidated)
+                run_span.set("repair_seeded", engine.last_repair_seeded)
         return SummarizationResult(
             original_expression=original,
             summary_expression=current,
@@ -366,6 +471,10 @@ class Summarizer:
             total_seconds=time.perf_counter() - started,
             config=config,
             equivalence_mapping=equivalence_mapping,
+            repaired=repaired,
+            repair_invalidated=repair_invalidated,
+            repair_seeded=engine.last_repair_seeded,
+            repair_state=new_state,
         )
 
 

@@ -8,7 +8,12 @@ from .ddp import (
     generate_ddp,
 )
 from .loaders import load_movielens_100k, load_wikipedia_edits
-from .movielens import MovieLensConfig, generate_movielens
+from .movielens import (
+    MovieLensConfig,
+    MovieLensDeltaConfig,
+    generate_movielens,
+    generate_movielens_deltas,
+)
 from .wikipedia import WikipediaConfig, generate_wikipedia
 
 __all__ = [
@@ -17,10 +22,12 @@ __all__ = [
     "MAX_COST_PER_TRANSITION",
     "MAX_TRANSITIONS_PER_EXECUTION",
     "MovieLensConfig",
+    "MovieLensDeltaConfig",
     "WikipediaConfig",
     "format_table_5_1",
     "generate_ddp",
     "generate_movielens",
+    "generate_movielens_deltas",
     "generate_wikipedia",
     "load_movielens_100k",
     "load_wikipedia_edits",

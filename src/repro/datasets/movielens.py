@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 from ..core.baselines import ClusterDomainSpec
 from ..core.combiners import DomainCombiners
 from ..core.constraints import DomainConstraints, SharedAttribute
+from ..core.streaming import ProvenanceDelta
 from ..core.val_funcs import EuclideanDistance
 from ..provenance.annotations import Annotation, AnnotationUniverse
 from ..provenance.monoids import monoid_by_name
@@ -212,6 +213,149 @@ def generate_movielens(config: MovieLensConfig = MovieLensConfig()) -> DatasetIn
             "n_terms": len(expression),
         },
     )
+
+
+@dataclass(frozen=True)
+class MovieLensDeltaConfig:
+    """Knobs of the synthetic streaming-delta generator."""
+
+    n_deltas: int = 10
+    min_ratings_per_delta: int = 1
+    max_ratings_per_delta: int = 3
+    #: Every k-th delta also introduces a new movie (0 = never).
+    new_movie_every: int = 4
+    #: Every k-th delta spam-flags a pair of existing users instead of
+    #: adding a user: both users' cancel-valuations are extended with
+    #: the other, so their truth signatures -- previously distinct --
+    #: can fall into one equivalence class (0 = never).
+    spam_flag_every: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_deltas < 1:
+            raise ValueError("need at least one delta")
+        if self.min_ratings_per_delta < 1:
+            raise ValueError("deltas must add at least one rating")
+        if self.max_ratings_per_delta < self.min_ratings_per_delta:
+            raise ValueError("max_ratings_per_delta < min_ratings_per_delta")
+
+
+def generate_movielens_deltas(
+    instance: DatasetInstance,
+    config: MovieLensDeltaConfig = MovieLensDeltaConfig(),
+) -> List[ProvenanceDelta]:
+    """A stream of append-only deltas extending ``instance``.
+
+    Each delta registers one new user with a handful of ratings over
+    the existing movie catalogue; every ``new_movie_every``-th delta
+    also premieres a new movie (reusing the year annotation when the
+    year is already known); every ``spam_flag_every``-th delta instead
+    flags two existing users as mutually-suspect spammers by extending
+    each one's cancel-valuation with the other.  Deterministic in
+    ``config.seed`` and consistent with the instance: names never
+    collide with the generated universe or with each other.
+    """
+    rng = random.Random(config.seed)
+    universe = instance.universe
+    users = [a.name for a in universe if a.domain == "user" and not a.is_summary]
+    movies = {
+        a.name: a for a in universe if a.domain == "movie" and not a.is_summary
+    }
+    years = {
+        int(a.name[1:]): a.name
+        for a in universe
+        if a.domain == "year" and not a.is_summary
+    }
+    next_user = 100 + len(users)
+    next_movie = 0
+
+    deltas: List[ProvenanceDelta] = []
+    for index in range(config.n_deltas):
+        if (
+            config.spam_flag_every
+            and (index + 1) % config.spam_flag_every == 0
+            and len(users) >= 2
+        ):
+            first, second = rng.sample(users, 2)
+            deltas.append(
+                ProvenanceDelta(
+                    extend_valuations={
+                        f"cancel {first}": (second,),
+                        f"cancel {second}": (first,),
+                    }
+                )
+            )
+            continue
+
+        annotations: List[Annotation] = []
+        terms: List[Term] = []
+        user = Annotation(
+            name=f"UID{next_user}",
+            domain="user",
+            attributes={
+                "gender": _weighted_choice(rng, _GENDERS),
+                "age_range": rng.choice(_AGE_RANGES),
+                "occupation": rng.choice(_OCCUPATIONS),
+                "zip_region": f"Z{rng.randrange(6)}",
+            },
+        )
+        next_user += 1
+        annotations.append(user)
+        users.append(user.name)
+
+        if config.new_movie_every and (index + 1) % config.new_movie_every == 0:
+            title = f"Premiere {next_movie + 1}"
+            next_movie += 1
+            year = rng.randrange(1970, 2010)
+            year_name = years.get(year)
+            if year_name is None:
+                year_name = f"Y{year}"
+                if year_name not in universe:
+                    annotations.append(
+                        Annotation(
+                            name=year_name,
+                            domain="year",
+                            attributes={"decade": f"{year // 10 * 10}s"},
+                        )
+                    )
+                years[year] = year_name
+            movie = Annotation(
+                name=title,
+                domain="movie",
+                attributes={
+                    "genre": rng.choice(_GENRES),
+                    "year": year,
+                    "decade": f"{year // 10 * 10}s",
+                },
+            )
+            annotations.append(movie)
+            movies[movie.name] = movie
+            terms.append(
+                Term(
+                    annotations=tuple(sorted((user.name, movie.name, year_name))),
+                    value=float(rng.randint(1, 5)),
+                    count=1,
+                    group=movie.name,
+                )
+            )
+
+        count = rng.randint(
+            config.min_ratings_per_delta, config.max_ratings_per_delta
+        )
+        catalogue = sorted(movies)
+        for title in rng.sample(catalogue, min(count, len(catalogue))):
+            movie = movies[title]
+            year_name = years[movie.attributes["year"]]
+            term = Term(
+                annotations=tuple(sorted((user.name, title, year_name))),
+                value=float(rng.randint(1, 5)),
+                count=1,
+                group=title,
+            )
+            if term not in terms:
+                terms.append(term)
+        deltas.append(ProvenanceDelta(annotations=annotations, terms=terms))
+    return deltas
 
 
 def _valuation_class(

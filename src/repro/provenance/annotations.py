@@ -21,8 +21,9 @@ attribute/domain queries the constraint checkers ask.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -174,20 +175,27 @@ class AnnotationUniverse:
 
     # -- summary annotations ----------------------------------------------
 
-    def new_summary(
+    @property
+    def summary_counter(self) -> int:
+        """How many counter-named summaries have been minted.
+
+        Exposed (with the setter) so session snapshots can round-trip
+        the minting state and differential harnesses can align a fresh
+        reference universe with a long-lived session one -- summary
+        *names* feed candidate ordering and tie-breaks, so bit-identical
+        comparisons need bit-identical names.
+        """
+        return self._summary_counter
+
+    @summary_counter.setter
+    def summary_counter(self, value: int) -> None:
+        self._summary_counter = int(value)
+
+    def _summary_parts(
         self,
         parts: Iterable[Annotation],
-        label: Optional[str] = None,
-        concept: Optional[str] = None,
-    ) -> Annotation:
-        """Mint and register a summary annotation for ``parts``.
-
-        The new annotation's members are the union of the parts' base
-        members and its attributes the intersection of the parts'
-        attributes, so constraint checks keep working on summaries.
-        ``label`` seeds the name (e.g. the shared attribute
-        ``"Gender=F"``); a counter suffix keeps names unique.
-        """
+        label: Optional[str],
+    ) -> Tuple[List[Annotation], FrozenSet[str], Dict[str, object], str]:
         parts = list(parts)
         if len(parts) < 2:
             raise ValueError("a summary annotation must merge at least 2 parts")
@@ -206,8 +214,25 @@ class AnnotationUniverse:
                 for key, value in shared.items()
                 if key in part.attributes and part.attributes[key] == value
             }
-        self._summary_counter += 1
         base_label = label if label else "+".join(sorted(p.name for p in parts)[:2])
+        return parts, members, shared, base_label
+
+    def new_summary(
+        self,
+        parts: Iterable[Annotation],
+        label: Optional[str] = None,
+        concept: Optional[str] = None,
+    ) -> Annotation:
+        """Mint and register a summary annotation for ``parts``.
+
+        The new annotation's members are the union of the parts' base
+        members and its attributes the intersection of the parts'
+        attributes, so constraint checks keep working on summaries.
+        ``label`` seeds the name (e.g. the shared attribute
+        ``"Gender=F"``); a counter suffix keeps names unique.
+        """
+        parts, members, shared, base_label = self._summary_parts(parts, label)
+        self._summary_counter += 1
         name = f"{base_label}#{self._summary_counter}"
         summary = Annotation(
             name=name,
@@ -217,6 +242,44 @@ class AnnotationUniverse:
             members=members,
         )
         return self.register(summary)
+
+    def equivalence_summary(
+        self,
+        parts: Iterable[Annotation],
+        label: Optional[str] = None,
+        concept: Optional[str] = None,
+    ) -> Annotation:
+        """A *content-addressed* summary annotation for ``parts``.
+
+        Unlike :meth:`new_summary`, the name is derived from the merged
+        content (domain, base members, label, concept), not a counter:
+        minting the same group twice -- in particular re-running
+        ``GroupEquivalent`` after a streaming delta that left the class
+        intact -- resolves to the *same* annotation.  That stability is
+        what lets candidate pools and scorer measurements carry across
+        ingests, and what keeps a repaired run's names identical to a
+        from-scratch run's.  The ``~`` separator keeps the namespace
+        disjoint from counter-minted ``label#k`` names; in the
+        (astronomically unlikely) event of a digest collision with
+        different content we fall back to counter minting.
+        """
+        parts, members, shared, base_label = self._summary_parts(parts, label)
+        payload = "\x1f".join(
+            (parts[0].domain, base_label, concept or "", *sorted(members))
+        )
+        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=5).hexdigest()
+        name = f"{base_label}~{digest}"
+        summary = Annotation(
+            name=name,
+            domain=parts[0].domain,
+            attributes=shared,
+            concept=concept,
+            members=members,
+        )
+        try:
+            return self.register(summary)
+        except ValueError:
+            return self.new_summary(parts, label=label, concept=concept)
 
     # -- attribute queries --------------------------------------------------
 

@@ -319,6 +319,41 @@ class TermStore:
         """The id of an already-interned monomial, without allocating."""
         return self._mono_index.get(flat_key)
 
+    def append_delta(
+        self,
+        names: Iterable[str] = (),
+        monomials: Iterable[Iterable[Tuple[str, int]]] = (),
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Grow the arena in place for one streaming provenance delta.
+
+        Batch-interns new annotation ``names`` and name-space
+        ``monomials`` (iterables of ``(name, exponent)`` pairs) without
+        touching anything already interned: existing ids, bounds and
+        pair runs are stable, so polynomials, rename tables and scorer
+        masks built against the store stay valid mid-stream.  Returns
+        ``(name ids, monomial ids)`` for the appended entries (ids of
+        already-known names/monomials are simply reused).
+
+        Raises :class:`RuntimeError` if the append-only invariant is
+        ever violated (pre-existing slices moved) -- that would silently
+        corrupt every live polynomial, so it is checked, not assumed.
+        """
+        monos_before = self.n_monomials()
+        pairs_before = len(self._pair_data)
+        name_ids = tuple(self.interner.intern(name) for name in names)
+        mono_ids = tuple(self.mono_from_name_pairs(pairs) for pairs in monomials)
+        if (
+            self._bounds[monos_before] != pairs_before
+            or self.n_monomials() < monos_before
+        ):  # pragma: no cover - structural invariant
+            raise RuntimeError(
+                "append_delta violated the term-store append-only invariant"
+            )
+        if self.publish and _metrics.ENABLED:
+            _IR_INTERNED.set(len(self.interner))
+            _IR_ARENA_BYTES.set(self.arena_bytes())
+        return name_ids, mono_ids
+
     def mono_pairs(self, mono: int) -> List[Tuple[int, int]]:
         """The ``(annotation-id, exponent)`` pairs of one monomial."""
         data = self._pair_data

@@ -22,6 +22,12 @@ POST     /summarize             the Figure 7.4 form fields (all optional):
                                 ("on"/"off")
 GET      /summary/expression    the polynomial-form view (Figure 7.8)
 GET      /summary/groups        the groups view (Figures 7.5-7.7)
+POST     /ingest                a streaming provenance delta (see
+                                ``repro.serialization.delta_from_dict``):
+                                ``annotations``, ``terms``, ``valuations``,
+                                ``extend_valuations`` -- applied append-only
+                                to the live session so the next /summarize
+                                with ``"repair"`` repairs the summary
 POST     /evaluate              ``{"false_annotations": [...],
                                 "false_attributes": {...}}`` → original and
                                 summary answers with evaluation times
@@ -75,6 +81,7 @@ _KNOWN_PATHS = frozenset(
         "/titles",
         "/select",
         "/summarize",
+        "/ingest",
         "/evaluate",
         "/summary/expression",
         "/summary/groups",
@@ -228,6 +235,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                     self._handle_select(body)
                 elif parsed.path == "/summarize":
                     self._handle_summarize(body)
+                elif parsed.path == "/ingest":
+                    self._handle_ingest(body)
                 elif parsed.path == "/evaluate":
                     self._handle_evaluate(body)
                 else:
@@ -268,6 +277,7 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             "lazy",
             "sample_sharing",
             "sample_block",
+            "repair",
         }
         unknown = set(body) - allowed - {"seed"}
         if unknown:
@@ -289,6 +299,9 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                 "stop_reason": result.stop_reason,
                 "total_seconds": result.total_seconds,
                 "scoring_paths": scoring_paths,
+                "repaired": result.repaired,
+                "repair_invalidated": result.repair_invalidated,
+                "repair_seeded": result.repair_seeded,
                 "steps_detail": [
                     {
                         "step": record.step,
@@ -310,6 +323,13 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                 ],
             },
         )
+
+    def _handle_ingest(self, body: Dict[str, Any]) -> None:
+        from ..serialization import delta_from_dict
+
+        delta = delta_from_dict({"kind": "delta", **body})
+        stats = self.session.ingest(delta)
+        self._send(200, dict(stats))
 
     def _handle_evaluate(self, body: Dict[str, Any]) -> None:
         original, summary = self.session.evaluate(

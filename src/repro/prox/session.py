@@ -17,17 +17,26 @@ value is the workflow it exposes, not the HTTP plumbing (DESIGN.md).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.streaming import ProvenanceDelta, apply_delta
 from ..core.summarize import SummarizationResult
 from ..datasets.base import DatasetInstance
 from ..datasets.movielens import MovieLensConfig, generate_movielens
+from ..observability import metrics as _metrics
+from ..observability import tracing as _tracing
 from ..provenance import ir as _ir
 from ..provenance.tensor_sum import TensorSum
 from .evaluator import EvaluationOutcome, EvaluatorService
 from .selection import SelectionService
 from .summarization import SummarizationRequest, SummarizationService
+
+_INGEST_DELTAS = _metrics.counter(
+    "prox_ingest_deltas_total",
+    "Streaming provenance deltas ingested into PROX sessions.",
+)
 
 
 @dataclass
@@ -63,6 +72,8 @@ class ProxSession:
         self.evaluator = EvaluatorService(instance)
         self.selected: Optional[TensorSum] = None
         self.result: Optional[SummarizationResult] = None
+        #: Streaming deltas applied so far (mirrors the metric counter).
+        self.ingested_deltas = 0
 
     # -- selection view -------------------------------------------------------
 
@@ -75,6 +86,7 @@ class ProxSession:
         """Select provenance by movie titles; returns its size."""
         self.selected = self.selection.by_titles(titles)
         self.result = None
+        self.summarization.reset_repair()
         return self.selected.size()
 
     def select_by(
@@ -86,7 +98,70 @@ class ProxSession:
         """Select provenance by genre/year; returns its size."""
         self.selected = self.selection.by_attributes(genre, year, decade)
         self.result = None
+        self.summarization.reset_repair()
         return self.selected.size()
+
+    # -- streaming ingest ------------------------------------------------------
+
+    def ingest(self, delta: ProvenanceDelta) -> Dict[str, object]:
+        """Apply one append-only provenance delta to the live session.
+
+        New annotations are registered into the instance universe (and
+        batch-interned into the session interner and the process arena,
+        which both grow strictly in place -- existing ids stay valid
+        mid-stream), new terms extend the current selection, and
+        valuation changes are recorded so the next :meth:`summarize`
+        *repairs* the previous summary instead of recomputing it
+        (``repair="off"`` opts out).  Raises if no provenance is
+        selected, on annotation name collisions, or when a term or
+        valuation extension references an unknown annotation.
+        """
+        if self.selected is None:
+            raise RuntimeError("select provenance first (selection view)")
+        with _tracing.span("ingest") as span:
+            universe = self.instance.universe
+            for annotation in delta.annotations:
+                universe.register(annotation)
+            for term in delta.terms:
+                for name in term.annotations:
+                    if name not in universe:
+                        raise KeyError(
+                            f"delta term references unknown annotation {name!r}"
+                        )
+            for label, names in delta.extend_valuations.items():
+                for name in names:
+                    if name not in universe:
+                        raise KeyError(
+                            f"valuation extension {label!r} references "
+                            f"unknown annotation {name!r}"
+                        )
+            names = [annotation.name for annotation in delta.annotations]
+            monomials = [
+                sorted(Counter(term.annotations).items()) for term in delta.terms
+            ]
+            if _ir.ir_enabled():
+                _ir.GLOBAL_STORE.append_delta(names, monomials)
+                if self.interner is not None:
+                    self.interner.intern_all(names)
+            self.selected = apply_delta(self.selected, delta)
+            self.summarization.record_delta(delta)
+            self.result = None
+            self.ingested_deltas += 1
+            if _metrics.ENABLED:
+                _INGEST_DELTAS.inc()
+            if span is not _tracing.NULL_SPAN:
+                span.set("annotations", len(delta.annotations))
+                span.set("terms", len(delta.terms))
+                span.set("extended_valuations", len(delta.extend_valuations))
+                span.set("selected_size", self.selected.size())
+        return {
+            "annotations": len(delta.annotations),
+            "terms": len(delta.terms),
+            "valuations": len(delta.valuations),
+            "extended_valuations": len(delta.extend_valuations),
+            "selected_size": self.selected.size(),
+            "ingested_deltas": self.ingested_deltas,
+        }
 
     # -- summarization view ------------------------------------------------------
 

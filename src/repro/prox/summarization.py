@@ -8,19 +8,23 @@ number of steps, aggregation function, valuation class and VAL-FUNC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Set
 
 from ..core.combiners import DomainCombiners
 from ..core.problem import SummarizationConfig, SummarizationProblem
+from ..core.streaming import ProvenanceDelta, SummaryRepairState
 from ..core.summarize import SummarizationResult, Summarizer
 from ..core.val_funcs import AbsoluteDifference, Disagreement, EuclideanDistance
 from ..datasets.base import DatasetInstance
 from ..provenance.ir import AnnotationInterner
 from ..provenance.monoids import monoid_by_name
 from ..provenance.tensor_sum import TensorSum
+from ..provenance.valuation import Valuation
 from ..provenance.valuation_classes import (
     CancelSingleAnnotation,
     CancelSingleAttribute,
+    ExplicitValuations,
+    ValuationClass,
 )
 
 #: The VAL-FUNC choices offered by the summarization view.
@@ -58,6 +62,10 @@ class SummarizationRequest:
     lazy: object = False
     sample_sharing: object = None
     sample_block: int = 64
+    #: Streaming summary repair ("auto"/"on"/"off"): consume the repair
+    #: state left by the previous run of this session (if any) and
+    #: leave one behind for the next (see :mod:`repro.core.streaming`).
+    repair: object = None
 
     def to_config(self, seed: int = 0) -> SummarizationConfig:
         return SummarizationConfig(
@@ -73,11 +81,22 @@ class SummarizationRequest:
             lazy=self.lazy,
             sample_sharing=self.sample_sharing,
             sample_block=self.sample_block,
+            repair=self.repair,
         )
 
 
 class SummarizationService:
-    """Summarizes selected provenance with UI-style parameters."""
+    """Summarizes selected provenance with UI-style parameters.
+
+    The service is the session's streaming-repair anchor: every run
+    (unless ``repair="off"``) leaves a :class:`~repro.core.streaming
+    .SummaryRepairState` behind, and the next run over the *same*
+    request shape consumes it -- so after :meth:`record_delta` the
+    summary is repaired, not recomputed.  Valuation *extensions*
+    (spam flags on already-known users) accumulate here too: the
+    universe-derived class is rebuilt each call and the cumulative
+    extensions re-applied in place, keeping labels/positions stable.
+    """
 
     def __init__(
         self,
@@ -88,6 +107,62 @@ class SummarizationService:
         #: Session-held interner threaded into every problem, so
         #: annotation ids stay stable across repeated summarize calls.
         self.interner = interner
+        #: Repair state left by the previous run, plus the request
+        #: shape it was captured under (monoid / class / VAL-FUNC).
+        self.repair_state: Optional[SummaryRepairState] = None
+        self._repair_key: Optional[tuple] = None
+        #: Cumulative valuation-false-set extensions (label → names)
+        #: applied to every rebuilt class, and the subset flipped since
+        #: the current repair state was captured.
+        self._extensions: Dict[str, Set[str]] = {}
+        self._pending_flips: Dict[str, Set[str]] = {}
+        #: Explicit delta valuations appended after the derived class.
+        self._extra_valuations: List[Valuation] = []
+
+    # -- streaming ingest --------------------------------------------------------
+
+    def record_delta(self, delta: ProvenanceDelta) -> None:
+        """Fold one ingested delta into the repair bookkeeping."""
+        for label, names in delta.extend_valuations.items():
+            fresh = set(names)
+            known = self._extensions.setdefault(label, set())
+            flipped = fresh - known
+            known.update(fresh)
+            if flipped:
+                self._pending_flips.setdefault(label, set()).update(flipped)
+        self._extra_valuations.extend(delta.valuations)
+
+    def reset_repair(self) -> None:
+        """Drop the carried repair state (e.g. the selection changed)."""
+        self.repair_state = None
+        self._repair_key = None
+        self._pending_flips = {}
+
+    def _apply_extensions(self, valuations: ValuationClass) -> ValuationClass:
+        """The class with cumulative extensions and extra valuations.
+
+        Extended valuations are replaced *in place* (same position,
+        label and weight), extra valuations appended -- so the previous
+        run's labels stay a prefix of this run's, the invariant the
+        equivalence-partition repair keys on.
+        """
+        if not self._extensions and not self._extra_valuations:
+            return valuations
+        missing = dict(self._extensions)
+        rebuilt: List[Valuation] = []
+        for valuation in valuations:
+            extra = missing.pop(str(valuation), None)
+            rebuilt.append(
+                valuation.cancelling(sorted(extra)) if extra else valuation
+            )
+        if missing:
+            raise KeyError(
+                f"deltas extended unknown valuation labels: {sorted(missing)}"
+            )
+        rebuilt.extend(self._extra_valuations)
+        extended = ExplicitValuations(rebuilt)
+        extended.name = valuations.name
+        return extended
 
     def summarize(
         self,
@@ -115,6 +190,7 @@ class SummarizationService:
                 f"unknown valuation class {request.valuation_class!r}; "
                 f"expected one of {VALUATION_CLASSES}"
             )
+        valuations = self._apply_extensions(valuations)
         try:
             val_func = VAL_FUNCS[request.val_func](monoid)
         except KeyError:
@@ -133,4 +209,31 @@ class SummarizationService:
             description=f"PROX selection of {len(expression.groups())} movies",
             interner=self.interner,
         )
-        return Summarizer(problem, request.to_config(seed)).run()
+        # A carried repair state is only sound for the request shape it
+        # was captured under -- a different monoid / class / VAL-FUNC
+        # (or seed: RNG streams must replay) recomputes from scratch.
+        key = (
+            request.aggregation,
+            request.valuation_class,
+            request.val_func,
+            seed,
+        )
+        repair_from = self.repair_state if key == self._repair_key else None
+        flipped = {
+            label: tuple(sorted(names))
+            for label, names in self._pending_flips.items()
+        }
+        summarizer = Summarizer(
+            problem,
+            request.to_config(seed),
+            repair_from=repair_from,
+            flipped=flipped if repair_from is not None else None,
+        )
+        result = summarizer.run()
+        if result.repair_state is not None:
+            self.repair_state = result.repair_state
+            self._repair_key = key
+            self._pending_flips = {}
+        else:
+            self.reset_repair()
+        return result

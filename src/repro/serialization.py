@@ -33,6 +33,7 @@ import struct
 from array import array
 from typing import Any, Dict, IO, List, Mapping, Union
 
+from .core.streaming import ProvenanceDelta
 from .core.summarize import SummarizationResult
 from .provenance.annotations import Annotation, AnnotationUniverse
 from .provenance.ddp_expression import (
@@ -45,6 +46,7 @@ from .provenance.ir import AnnotationInterner, TermStore
 from .provenance.monoids import monoid_by_name
 from .provenance.polynomial import Polynomial
 from .provenance.tensor_sum import Guard, TensorSum, Term
+from .provenance.valuation import Valuation
 
 FORMAT_VERSION = 2
 
@@ -114,21 +116,34 @@ def _guard_from_dict(data: Mapping[str, Any]) -> Guard:
     )
 
 
+def _term_to_dict(term: Term) -> Dict[str, Any]:
+    return {
+        "annotations": list(term.annotations),
+        "value": term.value,
+        "count": term.count,
+        "group": term.group,
+        "guards": [_guard_to_dict(guard) for guard in term.guards],
+    }
+
+
+def _term_from_dict(entry: Mapping[str, Any]) -> Term:
+    return Term(
+        annotations=tuple(entry["annotations"]),
+        value=float(entry["value"]),
+        count=int(entry.get("count", 1)),
+        group=entry.get("group"),
+        guards=tuple(
+            _guard_from_dict(guard) for guard in entry.get("guards", ())
+        ),
+    )
+
+
 def tensor_sum_to_dict(expression: TensorSum) -> Dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "kind": "tensor_sum",
         "monoid": expression.monoid.name,
-        "terms": [
-            {
-                "annotations": list(term.annotations),
-                "value": term.value,
-                "count": term.count,
-                "group": term.group,
-                "guards": [_guard_to_dict(guard) for guard in term.guards],
-            }
-            for term in expression.terms
-        ],
+        "terms": [_term_to_dict(term) for term in expression.terms],
     }
 
 
@@ -136,21 +151,82 @@ def tensor_sum_from_dict(data: Mapping[str, Any]) -> TensorSum:
     _check(data, "tensor_sum")
     try:
         monoid = monoid_by_name(data["monoid"])
-        terms = [
-            Term(
-                annotations=tuple(entry["annotations"]),
-                value=float(entry["value"]),
-                count=int(entry.get("count", 1)),
-                group=entry.get("group"),
-                guards=tuple(
-                    _guard_from_dict(guard) for guard in entry.get("guards", ())
-                ),
-            )
-            for entry in data["terms"]
-        ]
+        terms = [_term_from_dict(entry) for entry in data["terms"]]
     except (KeyError, TypeError) as error:
         raise SerializationError(f"malformed tensor_sum payload: {error}") from None
     return TensorSum(terms, monoid)
+
+
+# -- streaming deltas -----------------------------------------------------------
+
+
+def valuation_to_dict(valuation: Valuation) -> Dict[str, Any]:
+    return {
+        "assignment": dict(valuation.assignment),
+        "default": valuation.default,
+        "weight": valuation.weight,
+        "label": valuation.label,
+    }
+
+
+def valuation_from_dict(data: Mapping[str, Any]) -> Valuation:
+    try:
+        return Valuation(
+            assignment={
+                name: float(value)
+                for name, value in dict(data.get("assignment", {})).items()
+            },
+            default=float(data.get("default", 1.0)),
+            weight=float(data.get("weight", 1.0)),
+            label=str(data.get("label", "")),
+        )
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"malformed valuation payload: {error}") from None
+
+
+def delta_to_dict(delta: ProvenanceDelta) -> Dict[str, Any]:
+    """Wire encoding of one append-only streaming delta."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "delta",
+        "annotations": [
+            annotation_to_dict(annotation) for annotation in delta.annotations
+        ],
+        "terms": [_term_to_dict(term) for term in delta.terms],
+        "valuations": [
+            valuation_to_dict(valuation) for valuation in delta.valuations
+        ],
+        "extend_valuations": {
+            label: list(names)
+            for label, names in delta.extend_valuations.items()
+        },
+    }
+
+
+def delta_from_dict(data: Mapping[str, Any]) -> ProvenanceDelta:
+    _check(data, "delta")
+    try:
+        return ProvenanceDelta(
+            annotations=tuple(
+                annotation_from_dict(entry)
+                for entry in data.get("annotations", ())
+            ),
+            terms=tuple(
+                _term_from_dict(entry) for entry in data.get("terms", ())
+            ),
+            valuations=tuple(
+                valuation_from_dict(entry)
+                for entry in data.get("valuations", ())
+            ),
+            extend_valuations={
+                label: tuple(names)
+                for label, names in dict(
+                    data.get("extend_valuations", {})
+                ).items()
+            },
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed delta payload: {error}") from None
 
 
 # -- DDP expressions ---------------------------------------------------------------

@@ -207,6 +207,61 @@ def test_pool_rebuilds_on_foreign_expression():
     assert pool.rebuilt_steps == 2
 
 
+# -- growing interner vs. dedupe ---------------------------------------------------
+
+
+def test_dedupe_never_grows_the_interner():
+    """Regression: ``_dedupe`` used to key on ``interner.intern``, which
+    allocated ids for every candidate part -- including on the pool's
+    invalidate-on-failure fallback.  With streaming ingest the universe
+    is no longer static, so dedupe must use non-inserting lookups and
+    key unknown names on themselves."""
+    from repro.core.candidates import finalize_candidates
+    from repro.provenance.ir import AnnotationInterner
+
+    problem = pool_problem(21)
+    raw = enumerate_candidates(
+        problem.expression, problem.universe, AllowAll(), arity=3
+    )
+    assert raw, "instance produced no candidates"
+
+    # Interner knows only a strict subset of the names in play.
+    known = sorted({name for c in raw for name in c.parts})[: len(raw) // 2 or 1]
+    interner = AnnotationInterner(known)
+    size_before = len(interner)
+
+    with_interner = finalize_candidates(list(raw), 3, None, None, interner)
+    without = finalize_candidates(list(raw), 3, None, None, None)
+
+    assert len(interner) == size_before, "dedupe allocated interner ids"
+    assert candidate_keys(with_interner) == candidate_keys(without)
+
+
+def test_dedupe_mixed_known_unknown_names_still_exact():
+    """Duplicates must collapse even when one copy's parts are interned
+    and another's are not known to the interner at all."""
+    from repro.core.candidates import finalize_candidates
+    from repro.provenance.ir import AnnotationInterner
+
+    problem = pool_problem(22)
+    raw = enumerate_candidates(
+        problem.expression, problem.universe, AllowAll(), arity=4
+    )
+    doubled = list(raw) + list(raw)
+    empty = AnnotationInterner()
+    full = AnnotationInterner(
+        sorted({name for c in raw for name in c.parts})
+    )
+    plain = finalize_candidates(list(doubled), 4, None, None, None)
+    assert candidate_keys(
+        finalize_candidates(list(doubled), 4, None, None, empty)
+    ) == candidate_keys(plain)
+    assert candidate_keys(
+        finalize_candidates(list(doubled), 4, None, None, full)
+    ) == candidate_keys(plain)
+    assert len(empty) == 0
+
+
 # -- carried measurements ≡ fresh re-scores ----------------------------------------
 
 

@@ -278,3 +278,111 @@ def test_score_candidates_spans_report_carry_partition(instrumentation_guard):
         assert carried + rescored == record.n_candidates
         assert rescored == record.n_rescored
     assert any(carried > 0 for carried, _ in partitions[1:])
+
+
+# -- streaming ingest & summary repair ---------------------------------------------
+
+
+def _streaming_session():
+    from repro.datasets.movielens import (
+        MovieLensDeltaConfig,
+        generate_movielens_deltas,
+    )
+    from repro.prox import ProxSession, SummarizationRequest
+
+    instance = generate_movielens(
+        MovieLensConfig(n_users=14, n_movies=10, seed=3)
+    )
+    deltas = generate_movielens_deltas(
+        instance, MovieLensDeltaConfig(n_deltas=3, spam_flag_every=2, seed=5)
+    )
+    session = ProxSession(instance)
+    session.select_titles(session.titles())
+    return session, deltas, SummarizationRequest(number_of_steps=4)
+
+
+def _drive_stream():
+    session, deltas, request = _streaming_session()
+    session.summarize(request)
+    results = []
+    for delta in deltas:
+        session.ingest(delta)
+        results.append(session.summarize(request))
+    return results
+
+
+def test_streaming_repair_is_byte_identical_with_instrumentation_off_and_on(
+    instrumentation_guard,
+):
+    """The ingest/repair counters and span attributes must not perturb
+    the streamed loop: every repaired summary byte-identical with
+    instrumentation off and on."""
+    metrics.set_enabled(False)
+    tracing.set_enabled(False)
+    baseline = _drive_stream()
+
+    metrics.set_enabled(True)
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    instrumented = _drive_stream()
+    tracing.take_trace()
+
+    assert [_portable(r) for r in instrumented] == [
+        _portable(r) for r in baseline
+    ]
+
+
+def test_ingest_and_repair_counters_advance_during_a_stream(
+    instrumentation_guard,
+):
+    metrics.set_enabled(True)
+    ingested_total = metrics.REGISTRY.get("prox_ingest_deltas_total")
+    invalidated_total = metrics.REGISTRY.get("prox_repair_invalidated_total")
+    before_ingested = ingested_total.value()
+    before_invalidated = invalidated_total.value()
+
+    results = _drive_stream()
+
+    assert ingested_total.value() == before_ingested + len(results)
+    invalidated = sum(r.repair_invalidated for r in results)
+    assert invalidated > 0, "the spam-flag delta never invalidated pool entries"
+    assert invalidated_total.value() == before_invalidated + invalidated
+    assert any(r.repair_seeded > 0 for r in results), "repair never seeded"
+
+
+def test_ingest_and_repair_counters_golden_scrape(instrumentation_guard):
+    """The two streaming families render in exposition format with
+    their registered HELP text."""
+    metrics.set_enabled(True)
+    _drive_stream()
+    scrape = metrics.REGISTRY.render()
+    assert (
+        "# HELP prox_ingest_deltas_total Streaming provenance deltas "
+        "ingested into PROX sessions.\n"
+        "# TYPE prox_ingest_deltas_total counter\n"
+    ) in scrape
+    assert (
+        "# HELP prox_repair_invalidated_total Carried candidate-pool "
+        "entries invalidated by streaming-repair runs (dropped or "
+        "re-proposed because a delta touched them).\n"
+        "# TYPE prox_repair_invalidated_total counter\n"
+    ) in scrape
+    assert "prox_ingest_deltas_total " in scrape
+    assert "prox_repair_invalidated_total " in scrape
+
+
+def test_ingest_spans_record_delta_shape(instrumentation_guard):
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    session, deltas, request = _streaming_session()
+    session.summarize(request)
+    tracing.take_trace()
+    session.ingest(deltas[0])
+    span = tracing.take_trace()
+    assert span is not None and span.name == "ingest"
+    assert span.attributes["annotations"] == len(deltas[0].annotations)
+    assert span.attributes["terms"] == len(deltas[0].terms)
+    assert span.attributes["extended_valuations"] == len(
+        deltas[0].extend_valuations
+    )
+    assert span.attributes["selected_size"] == session.selected.size()

@@ -146,3 +146,66 @@ class TestExplain:
         session.select_titles(titles[:2])
         with pytest.raises(KeyError, match="not in the current selection"):
             session.explain(titles[-1])
+
+
+class TestIngest:
+    def _delta(self, instance, n=1):
+        from repro.datasets.movielens import (
+            MovieLensDeltaConfig,
+            generate_movielens_deltas,
+        )
+
+        return generate_movielens_deltas(
+            instance, MovieLensDeltaConfig(n_deltas=n, seed=4)
+        )
+
+    def test_ingest_requires_selection(self, instance):
+        from repro.core.streaming import ProvenanceDelta
+
+        session = ProxSession(instance)
+        with pytest.raises(RuntimeError, match="select provenance first"):
+            session.ingest(ProvenanceDelta())
+
+    def test_ingest_grows_selection_and_counts(self, instance):
+        session = ProxSession(instance)
+        session.select_titles(session.titles())
+        size_before = session.selected.size()
+        (delta,) = self._delta(instance)
+        stats = session.ingest(delta)
+        assert stats["ingested_deltas"] == 1
+        assert stats["terms"] == len(delta.terms)
+        assert stats["selected_size"] == session.selected.size() > size_before
+        # The stale summary is dropped: a repaired one replaces it.
+        assert session.result is None
+
+    def test_ingest_rejects_unknown_term_annotation(self, instance):
+        from repro.core.streaming import ProvenanceDelta
+        from repro.provenance import Term
+
+        session = ProxSession(instance)
+        session.select_titles(session.titles())
+        bad = ProvenanceDelta(terms=(Term(("no-such-annotation",), 1.0),))
+        with pytest.raises(KeyError, match="unknown annotation"):
+            session.ingest(bad)
+
+    def test_ingest_rejects_unknown_extension_target(self, instance):
+        from repro.core.streaming import ProvenanceDelta
+
+        session = ProxSession(instance)
+        session.select_titles(session.titles())
+        bad = ProvenanceDelta(
+            extend_valuations={"cancel UID100": ("no-such-annotation",)}
+        )
+        with pytest.raises(KeyError, match="unknown annotation"):
+            session.ingest(bad)
+
+    def test_ingest_then_repair_summarize(self, instance):
+        session = ProxSession(instance)
+        session.select_titles(session.titles())
+        request = SummarizationRequest(number_of_steps=3)
+        session.summarize(request)
+        for delta in self._delta(instance, n=2):
+            session.ingest(delta)
+        result = session.summarize(request)
+        assert result is session.result
+        assert session.ingested_deltas == 2

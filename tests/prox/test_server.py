@@ -106,3 +106,51 @@ def test_double_start_rejected():
     finally:
         server.stop()
     server.stop()  # idempotent
+
+
+def test_ingest_endpoint_streams_and_repairs():
+    from repro.datasets.movielens import (
+        MovieLensDeltaConfig,
+        generate_movielens_deltas,
+    )
+    from repro.serialization import delta_to_dict
+
+    instance = generate_movielens(MovieLensConfig(n_users=10, n_movies=6, seed=2))
+    deltas = generate_movielens_deltas(
+        instance, MovieLensDeltaConfig(n_deltas=2, spam_flag_every=2, seed=6)
+    )
+    with ProxServer(ProxSession(instance)) as fresh:
+        status, data = request(fresh, "GET", "/titles")
+        request(fresh, "POST", "/select", {"titles": data["titles"]})
+        status, before = request(
+            fresh, "POST", "/summarize", {"number_of_steps": 3}
+        )
+        assert status == 200
+        for index, delta in enumerate(deltas):
+            status, stats = request(fresh, "POST", "/ingest", delta_to_dict(delta))
+            assert status == 200
+            assert stats["ingested_deltas"] == index + 1
+        status, after = request(
+            fresh, "POST", "/summarize", {"number_of_steps": 3}
+        )
+        assert status == 200
+        assert after["steps"] <= 3
+
+
+def test_ingest_endpoint_errors():
+    instance = generate_movielens(MovieLensConfig(n_users=8, n_movies=5, seed=1))
+    with ProxServer(ProxSession(instance)) as fresh:
+        # Before any selection the session refuses deltas.
+        status, data = request(fresh, "POST", "/ingest", {})
+        assert status == 409
+        assert "select provenance first" in data["error"]
+        status, data = request(fresh, "GET", "/titles")
+        request(fresh, "POST", "/select", {"titles": data["titles"]})
+        status, data = request(
+            fresh,
+            "POST",
+            "/ingest",
+            {"terms": [{"annotations": ["nope"], "value": 1.0}]},
+        )
+        assert status == 400
+        assert "unknown annotation" in data["error"]

@@ -24,6 +24,27 @@ def test_quickstart_block():
     assert vector  # the provisioning answer exists
 
 
+def test_streaming_ingest_block():
+    """README § Streaming ingest & summary repair, verbatim-ish."""
+    from repro.datasets import MovieLensDeltaConfig, generate_movielens_deltas
+    from repro.prox import ProxSession, SummarizationRequest
+
+    instance = generate_movielens(MovieLensConfig(seed=7))
+    session = ProxSession(instance)
+    session.select_titles(session.titles())
+    request = SummarizationRequest(number_of_steps=8)
+    session.summarize(request)
+
+    for delta in generate_movielens_deltas(
+        instance, MovieLensDeltaConfig(n_deltas=3)
+    ):
+        session.ingest(delta)
+        result = session.summarize(request)
+        assert result.final_size <= session.selected.size()
+    assert session.ingested_deltas == 3
+    assert result.repaired or result.repair_seeded >= 0
+
+
 def test_package_version():
     import repro
 

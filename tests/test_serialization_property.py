@@ -6,7 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import serialization as ser
+from repro.core.streaming import ProvenanceDelta
 from repro.provenance import (
+    Annotation,
     MAX,
     SUM,
     CostTransition,
@@ -17,6 +19,8 @@ from repro.provenance import (
     TensorSum,
     Term,
 )
+from repro.provenance.ir import TermStore
+from repro.provenance.valuation import cancel
 
 names = st.sampled_from([f"a{i}" for i in range(6)])
 
@@ -90,6 +94,106 @@ def test_tensor_sum_round_trip_preserves_semantics(expression, data):
         else []
     )
     assert restored.evaluate(cancelled) == expression.evaluate(cancelled)
+
+
+# -- streaming deltas and mid-stream arena snapshots ---------------------------
+
+
+@st.composite
+def provenance_deltas(draw):
+    annotations = tuple(
+        Annotation(f"d{i}", "user", {"g": draw(st.sampled_from("AB"))})
+        for i in range(draw(st.integers(min_value=0, max_value=3)))
+    )
+    terms = tuple(
+        Term(
+            tuple(sorted(draw(st.lists(names, min_size=1, max_size=3, unique=True)))),
+            float(draw(st.integers(min_value=0, max_value=9))),
+            count=draw(st.integers(min_value=1, max_value=3)),
+            group=draw(st.one_of(st.none(), st.sampled_from(["g1", "g2"]))),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=4)))
+    )
+    valuations = tuple(
+        cancel(
+            draw(st.lists(names, unique=True, max_size=3)),
+            weight=float(draw(st.integers(min_value=1, max_value=3))),
+            label=f"fresh{i}",
+        )
+        for i in range(draw(st.integers(min_value=0, max_value=2)))
+    )
+    extend = {
+        f"cancel a{i}": tuple(
+            sorted(draw(st.lists(names, min_size=1, max_size=2, unique=True)))
+        )
+        for i in range(draw(st.integers(min_value=0, max_value=2)))
+    }
+    return ProvenanceDelta(
+        annotations=annotations,
+        terms=terms,
+        valuations=valuations,
+        extend_valuations=extend,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(delta=provenance_deltas())
+def test_delta_round_trip_is_exact(delta):
+    restored = ser.delta_from_dict(json.loads(ser.dumps(ser.delta_to_dict(delta))))
+    assert restored == delta
+
+
+@st.composite
+def arena_histories(draw):
+    """A sequence of (names, monomials) append batches."""
+    history = []
+    for batch in range(draw(st.integers(min_value=1, max_value=4))):
+        batch_names = [
+            f"n{batch}_{i}"
+            for i in range(draw(st.integers(min_value=0, max_value=3)))
+        ]
+        monomials = [
+            [
+                (draw(names), draw(st.integers(min_value=1, max_value=2)))
+                for _ in range(draw(st.integers(min_value=1, max_value=3)))
+            ]
+            for _ in range(draw(st.integers(min_value=0, max_value=3)))
+        ]
+        history.append((batch_names, monomials))
+    return history
+
+
+@settings(max_examples=40, deadline=None)
+@given(history=arena_histories(), split=st.integers(min_value=0, max_value=4))
+def test_mid_stream_arena_snapshot_round_trip(history, split):
+    """Snapshot after k deltas, reload, apply the rest: the final arena
+    must be byte-identical to an uninterrupted ingest of every delta."""
+    split = min(split, len(history))
+
+    uninterrupted = TermStore()
+    for batch_names, monomials in history:
+        uninterrupted.append_delta(batch_names, monomials)
+
+    streamed = TermStore()
+    ids_before = []
+    for batch_names, monomials in history[:split]:
+        ids_before.append(streamed.append_delta(batch_names, monomials))
+    blob = ser.term_store_to_bytes(streamed)
+    reloaded = ser.term_store_from_bytes(blob)
+    ids_after = []
+    for index, (batch_names, monomials) in enumerate(history[:split]):
+        ids_after.append(reloaded.append_delta(batch_names, monomials))
+        # Re-appending known entries reuses ids: the reload kept them.
+        assert ids_after[index] == ids_before[index]
+    for batch_names, monomials in history[split:]:
+        reloaded.append_delta(batch_names, monomials)
+
+    assert ser.term_store_to_bytes(reloaded) == ser.term_store_to_bytes(
+        uninterrupted
+    )
+    assert ser.term_store_to_dict(reloaded) == ser.term_store_to_dict(
+        uninterrupted
+    )
 
 
 @settings(max_examples=40, deadline=None)
