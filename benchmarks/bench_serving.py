@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Serving-tier latency and throughput under concurrent sessions.
+
+Stands up a real :class:`~repro.prox.server.ProxServer` (loopback,
+free port) and drives it with worker threads issuing the PROX request
+mix a live deployment sees:
+
+* ``summarize``  (~30%) -- re-run Algorithm 1 (2 steps, streaming
+  repair on), the expensive call that holds the session lock;
+* ``views``      (~40%) -- ``/summary/groups`` and
+  ``/summary/expression`` reads (409 when an ingest just invalidated
+  the summary -- counted as conflicts, not failures);
+* ``titles``     (~10%) -- the selection view's title list;
+* ``ingest``     (~20%) -- one pre-generated MovieLens delta from a
+  shared FIFO.  Pop+POST happen under one ingest mutex so deltas land
+  in generation order (later deltas may rate movies an earlier delta
+  premiered), the same discipline a real upstream stream imposes.
+
+Each concurrency level reports client-observed p50/p99 latency per
+operation and overall, plus wall-clock throughput.  Workers draw ops
+from per-worker ``random.Random(seed + worker)`` streams, so the
+request mix is deterministic; only timings vary run to run.
+
+The JSON mirror lands in ``benchmarks/results/serving.json`` and is
+the committed baseline ``benchmarks/check_regression.py`` diffs fresh
+runs against (>25% p99 regression fails CI).
+
+Acceptance: every request completes with 2xx (or an expected 409
+view conflict), at least two concurrency levels are measured, and
+overall p99 stays under 10s per level -- a gross sanity bound (the
+session lock serializes summarize, so tail latency grows with
+concurrency), not an SLO; the real regression tolerance lives in
+``check_regression.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+        [--requests N] [--users N] [--movies N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import math
+import os
+import queue
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.movielens import (  # noqa: E402
+    MovieLensConfig,
+    MovieLensDeltaConfig,
+    generate_movielens,
+    generate_movielens_deltas,
+)
+from repro.prox.server import ProxServer  # noqa: E402
+from repro.prox.session import ProxSession  # noqa: E402
+from repro.serialization import delta_to_dict  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "serving.txt"
+RESULTS_JSON_PATH = Path(__file__).parent / "results" / "serving.json"
+
+#: The request mix: cumulative op weights drawn per worker request.
+MIX = (
+    ("summarize", 0.30),
+    ("groups", 0.25),
+    ("expression", 0.15),
+    ("titles", 0.10),
+    ("ingest", 0.20),
+)
+
+
+def _pick_op(rng: random.Random) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for op, weight in MIX:
+        acc += weight
+        if roll < acc:
+            return op
+    return MIX[-1][0]
+
+
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list (ms)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class _Client:
+    """Thin urllib client against the benchmark server."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def get(self, path: str) -> int:
+        with urllib.request.urlopen(self.base + path, timeout=60) as resp:
+            resp.read()
+            return resp.status
+
+    def post(self, path: str, payload: dict) -> int:
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            resp.read()
+            return resp.status
+
+
+def _worker(
+    client, deltas, ingest_lock, requests, seed, latencies, counters, errors, lock
+):
+    rng = random.Random(seed)
+    summarize_body = {"number_of_steps": 2, "repair": "auto"}
+    for _ in range(requests):
+        op = _pick_op(rng)
+        started = time.perf_counter()
+        conflict = False
+        try:
+            if op == "summarize":
+                client.post("/summarize", summarize_body)
+            elif op == "groups":
+                client.get("/summary/groups")
+            elif op == "expression":
+                client.get("/summary/expression")
+            elif op == "titles":
+                client.get("/titles")
+            else:  # ingest
+                posted = False
+                with ingest_lock:
+                    try:
+                        delta = deltas.get_nowait()
+                    except queue.Empty:
+                        pass
+                    else:
+                        client.post("/ingest", delta)
+                        posted = True
+                if not posted:
+                    op = "titles"  # stream drained: fall back to a read
+                    client.get("/titles")
+        except urllib.error.HTTPError as error:
+            if error.code == 409 and op in ("groups", "expression"):
+                conflict = True  # ingest invalidated the summary: expected
+            else:
+                with lock:
+                    errors.append(f"{op}: HTTP {error.code}: {error.reason}")
+                continue
+        except Exception as error:  # pragma: no cover - network trouble
+            with lock:
+                errors.append(f"{op}: {type(error).__name__}: {error}")
+            continue
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        with lock:
+            latencies[op].append(elapsed_ms)
+            counters["conflicts" if conflict else "ok"] += 1
+
+
+def _build_server(users, movies, deltas):
+    instance = generate_movielens(
+        MovieLensConfig(
+            n_users=users,
+            n_movies=movies,
+            min_ratings_per_user=2,
+            max_ratings_per_user=3,
+            seed=5,
+        )
+    )
+    schedule = generate_movielens_deltas(
+        instance,
+        MovieLensDeltaConfig(
+            n_deltas=deltas,
+            min_ratings_per_delta=1,
+            max_ratings_per_delta=1,
+            new_movie_every=4,
+            seed=13,
+        ),
+    )
+    session = ProxSession(instance)
+    server = ProxServer(session)
+    server.start()
+    host, port = server.address
+    client = _Client(f"http://{host}:{port}")
+    client.post("/select", {"titles": list(session.titles())})
+    client.post("/summarize", {"number_of_steps": 2, "repair": "auto"})
+    return server, client, [delta_to_dict(delta) for delta in schedule]
+
+
+def run_level(concurrency, requests_per_worker, users, movies, seed=0):
+    """One concurrency level against a fresh server; returns its row."""
+    total_requests = concurrency * requests_per_worker
+    # Enough deltas that the drain fallback stays rare at the expected
+    # ingest share of the mix.
+    server, client, encoded = _build_server(
+        users, movies, deltas=max(4, int(total_requests * 0.3))
+    )
+    deltas: "queue.Queue[dict]" = queue.Queue()
+    for delta in encoded:
+        deltas.put(delta)
+
+    latencies = collections.defaultdict(list)
+    counters = collections.Counter()
+    errors: list = []
+    lock = threading.Lock()
+    ingest_lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(
+                client,
+                deltas,
+                ingest_lock,
+                requests_per_worker,
+                seed + worker,
+                latencies,
+                counters,
+                errors,
+                lock,
+            ),
+            name=f"bench-worker-{worker}",
+        )
+        for worker in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    server.stop()
+
+    all_ms = sorted(ms for values in latencies.values() for ms in values)
+    ops = {}
+    for op in sorted(latencies):
+        values = sorted(latencies[op])
+        ops[op] = {
+            "count": len(values),
+            "p50_ms": round(_percentile(values, 0.50), 3),
+            "p99_ms": round(_percentile(values, 0.99), 3),
+        }
+    completed = len(all_ms)
+    return {
+        "concurrency": concurrency,
+        "requests": total_requests,
+        "completed": completed,
+        "conflicts": counters["conflicts"],
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(completed / wall, 2) if wall else None,
+        "overall": {
+            "p50_ms": round(_percentile(all_ms, 0.50), 3),
+            "p99_ms": round(_percentile(all_ms, 0.99), 3),
+        },
+        "ops": ops,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI smoke: small instance, fewer requests"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=0, help="requests per worker (0 = default)"
+    )
+    parser.add_argument("--users", type=int, default=80)
+    parser.add_argument("--movies", type=int, default=300)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        users, movies = 40, 120
+        levels = (2, 4)
+        requests_per_worker = args.requests or 8
+    else:
+        users, movies = args.users, args.movies
+        levels = (2, 8)
+        requests_per_worker = args.requests or 25
+
+    rows = [
+        run_level(concurrency, requests_per_worker, users, movies)
+        for concurrency in levels
+    ]
+
+    lines = [
+        f"instance: movielens n_users={users} n_movies={movies} "
+        f"requests_per_worker={requests_per_worker} cores={os.cpu_count()}",
+        f"mix: {' '.join(f'{op}={weight:.0%}' for op, weight in MIX)}",
+        "",
+        f"{'conc':>4} {'reqs':>5} {'rps':>7} {'p50':>9} {'p99':>9} "
+        f"{'summ p99':>10} {'ingest p99':>11} {'conflicts':>9}",
+    ]
+    for row in rows:
+        summarize_p99 = row["ops"].get("summarize", {}).get("p99_ms")
+        ingest_p99 = row["ops"].get("ingest", {}).get("p99_ms")
+        lines.append(
+            f"{row['concurrency']:>4} {row['requests']:>5} "
+            f"{row['throughput_rps']:>7.1f} "
+            f"{row['overall']['p50_ms']:>7.1f}ms {row['overall']['p99_ms']:>7.1f}ms "
+            f"{(summarize_p99 or 0):>8.1f}ms {(ingest_p99 or 0):>9.1f}ms "
+            f"{row['conflicts']:>9}"
+        )
+    body = "\n".join(lines)
+    print(body)
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(body + "\n")
+    print(f"\nwritten to {RESULTS_PATH}")
+
+    payload = {
+        "benchmark": "serving",
+        "quick": args.smoke,
+        "instance": {
+            "dataset": "movielens",
+            "n_users": users,
+            "n_movies": movies,
+            "requests_per_worker": requests_per_worker,
+            "levels": list(levels),
+            "cores": os.cpu_count(),
+        },
+        "levels": rows,
+    }
+    RESULTS_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {RESULTS_JSON_PATH}")
+
+    failed = False
+    if len(rows) < 2:
+        print("FAIL: need at least two concurrency levels")
+        failed = True
+    for row in rows:
+        if row["errors"]:
+            print(
+                f"FAIL: concurrency {row['concurrency']} saw "
+                f"{row['errors']} failed requests: {row['error_samples']}"
+            )
+            failed = True
+        if row["completed"] != row["requests"]:
+            print(
+                f"FAIL: concurrency {row['concurrency']} completed "
+                f"{row['completed']}/{row['requests']} requests"
+            )
+            failed = True
+        if row["overall"]["p99_ms"] > 10000:
+            print(
+                f"FAIL: concurrency {row['concurrency']} overall p99 "
+                f"{row['overall']['p99_ms']:.0f}ms exceeds the 10s sanity bound"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,8 +21,12 @@ All commands are deterministic given ``--seed``.
 
 Observability: ``summarize --trace FILE`` records the hierarchical
 span tree (``summarize > step[k] > score_candidates``) and writes it
-as JSON; ``REPRO_LOG_LEVEL`` / ``REPRO_TRACE`` / ``REPRO_METRICS``
-control the structured-logging/tracing/metrics knobs everywhere.
+as JSON; ``summarize --profile FILE`` runs the stdlib sampling
+profiler over the run and writes collapsed stacks + flamegraph JSON
+(``REPRO_PROFILE=<hz>`` overrides the sampling rate);
+``REPRO_LOG_LEVEL`` / ``REPRO_TRACE`` / ``REPRO_METRICS`` control the
+structured-logging/tracing/metrics knobs everywhere.  See
+docs/OPERATIONS.md for the full runbook.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from .observability import profiling
 from .observability import tracing
 from .provenance import ir as _ir
 
@@ -156,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record hierarchical tracing spans and write them as JSON",
     )
     summarize.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="sample-profile the run (collapsed stacks + flamegraph "
+        "JSON; REPRO_PROFILE=<hz> overrides the sampling rate)",
+    )
+    summarize.add_argument(
         "--ir-stats",
         action="store_true",
         help="print interner cardinality and term-arena storage after the run",
@@ -253,6 +264,12 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     if args.trace:
         tracing.set_enabled(True)
         tracing.take_trace()  # drop any stale tree from this thread
+    profiler: Optional[profiling.Profiler] = None
+    if args.profile:
+        profiler = profiling.Profiler(
+            hz=profiling.configured_hz() or profiling.DEFAULT_HZ
+        )
+        profiler.start()
     instance = _GENERATORS[args.dataset](args.seed)
     config = SummarizationConfig(
         w_dist=args.wdist,
@@ -273,6 +290,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         result = RandomSummarizer(problem, config).run()
     else:
         if not instance.cluster_specs:
+            if profiler is not None:
+                profiler.stop()
             print(
                 f"error: the clustering baseline is undefined for "
                 f"{args.dataset} (no feature vectors, §6.1)",
@@ -280,6 +299,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             )
             return 2
         result = ClusteringSummarizer(problem, config, instance.cluster_specs).run()
+    if profiler is not None:
+        profiler.stop()
 
     print(f"{args.algorithm} on {instance.name} (seed {args.seed}):")
     print(f"  size {result.original_size} -> {result.final_size}")
@@ -339,6 +360,15 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, default=str)
             handle.write("\n")
         print(f"  trace written to {args.trace}")
+    if profiler is not None:
+        snapshot = profiler.snapshot()
+        with open(args.profile, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+            handle.write("\n")
+        print(
+            f"  profile written to {args.profile} "
+            f"({snapshot['samples']} samples at {snapshot['hz']:g} Hz)"
+        )
     return 0
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..observability import metrics as _metrics
+from ..observability import slo as _slo
 from ..observability import tracing as _tracing
 from .candidates import enumerate_candidates
 from .distance import DistanceComputer, DistanceEstimate
@@ -74,6 +75,12 @@ class BeamSummarizer:
         span = _tracing.span("beam_summarize", beam_width=self.beam_width)
         with span:
             result = self._run(span)
+        slo = self.config.slo_seconds
+        if slo is not None and result.total_seconds > slo:
+            _slo.record_breach("summarize_run")
+            if span is not _tracing.NULL_SPAN:
+                span.set("slo_seconds", slo)
+                span.set("slo_breached", True)
         if _metrics.ENABLED:
             _SUMMARIZE_RUNS.inc(algorithm="beam")
             _SUMMARIZE_STEPS.inc(result.n_steps)

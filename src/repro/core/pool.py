@@ -83,6 +83,11 @@ class CandidatePool:
 
     # -- public API --------------------------------------------------------------
 
+    def size(self) -> int:
+        """Carried raw candidates (0 when invalidated) -- the resource
+        accountant's per-session pool footprint."""
+        return len(self._raw) if self._raw is not None else 0
+
     def candidates(self, expression) -> List[Candidate]:
         """The step's candidate list for ``expression``.
 

@@ -117,6 +117,11 @@ class SummarizationConfig:
       rounded up to a multiple of this (default 64), so the packed
       kernel's 64-bit words are fully populated; explicit
       ``distance_samples`` is always used verbatim.
+    * ``slo_seconds`` -- declared latency SLO for one whole run.  A run
+      whose wall-clock ``total_seconds`` exceeds the target counts one
+      ``prox_slo_breaches_total{scope="summarize_run"}`` breach (and
+      marks the run span) -- observation only, never an abort.  ``None``
+      declares no target.
     * ``repair`` -- streaming summary repair (see :mod:`repro.core
       .streaming`).  ``None``/``"auto"`` and ``True``/``"on"`` make
       every run capture a repair state (equivalence partition,
@@ -154,6 +159,7 @@ class SummarizationConfig:
     sample_sharing: Union[bool, str, None] = None
     sample_block: int = 64
     repair: Union[bool, str, None] = None
+    slo_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.parallelism, str):
@@ -207,6 +213,10 @@ class SummarizationConfig:
                     f"repair must be 'auto', 'on' or 'off', got {self.repair!r}"
                 )
             self.repair = self._INCREMENTAL_WORDS[word]
+        if self.slo_seconds is not None:
+            self.slo_seconds = float(self.slo_seconds)
+            if self.slo_seconds <= 0:
+                raise ValueError("slo_seconds must be positive")
         if self.sample_block < 1:
             raise ValueError("sample_block must be at least 1")
         if self.parallel_threshold < 1:

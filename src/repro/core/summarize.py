@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..observability import metrics as _metrics
+from ..observability import slo as _slo
 from ..observability import tracing as _tracing
 from ..provenance.annotations import AnnotationUniverse
 from .candidates import enumerate_candidates
@@ -199,6 +200,13 @@ class Summarizer:
         span = _tracing.span("summarize")
         with span:
             result = self._run(span)
+        slo = self.config.slo_seconds
+        breached = slo is not None and result.total_seconds > slo
+        if breached:
+            _slo.record_breach("summarize_run")
+            if span is not _tracing.NULL_SPAN:
+                span.set("slo_seconds", slo)
+                span.set("slo_breached", True)
         if _metrics.ENABLED:
             _SUMMARIZE_RUNS.inc(algorithm="prov-approx")
             _SUMMARIZE_STEPS.inc(result.n_steps)

@@ -15,14 +15,31 @@ Three independent, dependency-free facilities (DESIGN.md
   the stdlib ``logging`` hierarchy under ``repro.*``;
   ``REPRO_LOG_LEVEL`` sets the level (default ``warning``).
 
+Serving-tier SLO observability layers on top (docs/OPERATIONS.md):
+
+* :mod:`repro.observability.profiling` -- stdlib sampling profiler
+  (``REPRO_PROFILE``) producing collapsed stacks / flamegraph JSON,
+  with samples attributed to the active tracing span; exposed by
+  ``repro summarize --profile`` and ``GET /debug/profile``.
+* :mod:`repro.observability.resources` -- per-session resource
+  accounting (arena bytes, interned annotations, pool size, work
+  counters) behind ``GET /sessions/<id>/stats``, labeled session
+  gauges and the eviction advisor.
+* :mod:`repro.observability.slo` -- declared per-endpoint latency
+  targets, the ``prox_slo_breaches_total`` counter and the bounded
+  tail-sampled slow-request ring behind ``GET /debug/slow_requests``.
+
 All instrumentation is zero-cost when disabled: call sites guard on
 module-level flags and never pre-format strings for a switched-off
 sink.  :mod:`repro.observability.health` builds the lock-free
 ``GET /healthz`` payload.
 """
 
-from . import health, log, metrics, tracing
+from . import health, log, metrics, profiling, resources, slo, tracing
 from .health import health_payload, uptime_seconds
+from .profiling import Profiler
+from .resources import ResourceRegistry, SessionAccount
+from .slo import SloPolicy, SlowRequestLog
 from .log import KeyValueFormatter, configure as configure_logging, fields, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -60,7 +77,15 @@ __all__ = [
     "last_trace",
     "log",
     "metrics",
+    "profiling",
+    "Profiler",
+    "resources",
+    "ResourceRegistry",
+    "SessionAccount",
     "set_enabled",
+    "slo",
+    "SloPolicy",
+    "SlowRequestLog",
     "span",
     "take_trace",
     "tracing",

@@ -13,7 +13,7 @@ import sys
 import time
 from typing import Dict, Mapping, Optional
 
-from . import metrics, tracing
+from . import metrics, resources, tracing
 
 #: Process start reference (monotonic, set at first import).
 _STARTED = time.monotonic()
@@ -34,6 +34,10 @@ def health_payload(extra: Optional[Mapping[str, object]] = None) -> Dict[str, ob
         "metrics_enabled": metrics.ENABLED,
         "tracing_enabled": tracing.is_enabled(),
         "metric_families": len(metrics.REGISTRY.names()),
+        # Serving-tier aggregates: how many sessions this process holds
+        # and how much arena growth they are (jointly) responsible for.
+        "active_sessions": resources.REGISTRY.count(),
+        "sessions_arena_bytes": resources.REGISTRY.total_arena_bytes(),
     }
     if extra:
         payload.update(extra)

@@ -25,8 +25,16 @@ so instrumented modules can be re-imported freely.
 from __future__ import annotations
 
 import os
+import re
 import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Prometheus exposition-spec grammars.  The former check
+#: (``name.isalnum()`` modulo ``_``/``:``) accepted Unicode letters and
+#: names starting with a digit, and label names were never validated at
+#: all -- both render scrapes the Prometheus text parser rejects.
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Default histogram buckets, in seconds -- sized for the pipeline's
 #: step/scoring/request latencies (sub-millisecond to tens of seconds).
@@ -83,12 +91,24 @@ class _Metric:
 
     kind = ""
 
+    #: Label names the exposition format claims for itself on this kind.
+    reserved_labels: frozenset = frozenset()
+
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
-        if not name or not name.replace("_", "").replace(":", "").isalnum():
+        if not _METRIC_NAME.match(name or ""):
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+            if label in self.reserved_labels:
+                raise ValueError(
+                    f"label name {label!r} is reserved on {self.kind} metrics"
+                )
         self._lock = threading.Lock()
 
     def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
@@ -105,6 +125,16 @@ class _Metric:
 
     def samples(self) -> List[str]:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def remove(self, **labels: object) -> None:
+        """Drop one labeled series (e.g. an evicted session's gauges).
+
+        Removing an absent series is a no-op; the family itself stays
+        registered.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values.pop(key, None)
 
     def expose(self) -> List[str]:
         lines = [
@@ -193,6 +223,9 @@ class Histogram(_Metric):
     """Fixed-bucket histogram (cumulative ``_bucket`` / ``_sum`` / ``_count``)."""
 
     kind = "histogram"
+    #: ``le`` is the bucket-bound label; a user label of the same name
+    #: would emit two ``le=`` pairs on every ``_bucket`` sample.
+    reserved_labels = frozenset({"le"})
 
     def __init__(
         self,

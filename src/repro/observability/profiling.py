@@ -1,0 +1,310 @@
+"""Continuous sampling profiler (stdlib-only, ``REPRO_PROFILE``).
+
+A production serving tier needs to answer "*where* is the latency
+budget going" without redeploying instrumented code.  This module
+provides a wall-clock sampling profiler in the same zero-cost-when-
+disabled style as the rest of :mod:`repro.observability`: a background
+daemon thread wakes ``hz`` times per second, walks every live thread's
+frame stack via :func:`sys._current_frames`, and aggregates the stacks
+into a collapsed-stack table (the input format of Brendan Gregg's
+``flamegraph.pl``) plus a nested flamegraph JSON tree.
+
+Span attribution: each sample also records the innermost open tracing
+span of the sampled thread (:func:`repro.observability.tracing
+.active_span_name`), so a profile taken while tracing is enabled says
+not just "``fast_distance`` burned 40% of wall clock" but "…and 90% of
+that was under ``score_candidates``".  With tracing disabled, samples
+are simply unattributed -- the profiler never turns tracing on.
+
+Surfaces:
+
+* ``repro summarize --profile FILE`` profiles one run and writes the
+  JSON payload;
+* ``GET /debug/profile`` on the PROX server returns the continuous
+  profiler's snapshot when ``REPRO_PROFILE=on`` (or ``=<hz>``), and
+  otherwise takes a bounded on-demand burst sample
+  (``?seconds=0.5&hz=97``) so operators can profile a live process
+  that was started without the flag.
+
+Zero-cost contract: nothing here runs unless a profiler is explicitly
+started.  ``REPRO_PROFILE`` is **off by default**; when off, no thread
+is spawned and no call site pays anything.  Sampling itself never
+mutates program state, so summarizer output is byte-identical with the
+profiler running (asserted by ``tests/observability
+/test_instrumentation_off.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from . import tracing as _tracing
+
+_OFF_WORDS = frozenset({"", "0", "off", "false", "no", "disabled"})
+_ON_WORDS = frozenset({"1", "on", "true", "yes", "enabled"})
+
+#: Default sampling rate.  A prime frequency avoids phase-locking with
+#: periodic work (timers, GC cycles) that round rates alias against.
+DEFAULT_HZ = 97.0
+
+#: Hard bounds for on-demand burst sampling via ``GET /debug/profile``.
+MAX_BURST_SECONDS = 5.0
+MAX_HZ = 1000.0
+
+
+def configured_hz(env: Optional[str] = None) -> Optional[float]:
+    """The sampling rate ``REPRO_PROFILE`` asks for, or ``None`` if off.
+
+    ``off``/``0``/unset disable; ``on``/``true`` select
+    :data:`DEFAULT_HZ`; a number selects that rate (clamped to
+    ``(0, MAX_HZ]``).
+    """
+    if env is None:
+        env = os.environ.get("REPRO_PROFILE", "")
+    word = env.strip().lower()
+    if word in _OFF_WORDS:
+        return None
+    if word in _ON_WORDS:
+        return DEFAULT_HZ
+    try:
+        hz = float(word)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PROFILE must be 'on', 'off' or a sampling rate in Hz, "
+            f"got {env!r}"
+        ) from None
+    if hz <= 0:
+        return None
+    return min(hz, MAX_HZ)
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for continuous profiling."""
+    return configured_hz() is not None
+
+
+def _frame_label(frame) -> str:
+    """One collapsed-stack frame: ``module:function``."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+class Profiler:
+    """A wall-clock sampling profiler over every thread of the process.
+
+    Start/stop it around a region (or leave it running for the life of
+    a server); :meth:`snapshot` is safe to call at any time, including
+    while sampling continues.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        max_stack_depth: int = 64,
+        max_unique_stacks: int = 4096,
+    ):
+        if hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        self.hz = min(float(hz), MAX_HZ)
+        self.max_stack_depth = int(max_stack_depth)
+        self.max_unique_stacks = int(max_unique_stacks)
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._span_counts: Dict[str, int] = {}
+        self._samples = 0
+        self._truncated = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._active_seconds = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "Profiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "Profiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5)
+        self._thread = None
+        if self._started_at is not None:
+            self._active_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            self.sample_once()
+
+    def sample_once(self) -> None:
+        """Take one sample of every live thread (exposed for tests)."""
+        my_ident = threading.get_ident()
+        frames = sys._current_frames()
+        _tracing.prune_active_stacks(frames.keys())
+        rows: List[Tuple[Tuple[str, ...], Optional[str]]] = []
+        for thread_id, frame in frames.items():
+            if thread_id == my_ident:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_stack_depth:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            rows.append((tuple(stack), _tracing.active_span_name(thread_id)))
+        del frames  # drop frame references promptly
+        with self._lock:
+            for stack, span_name in rows:
+                if (
+                    stack not in self._counts
+                    and len(self._counts) >= self.max_unique_stacks
+                ):
+                    self._truncated += 1
+                    stack = ("<overflow>",)
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                if span_name is not None:
+                    self._span_counts[span_name] = (
+                        self._span_counts.get(span_name, 0) + 1
+                    )
+                self._samples += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def _duration(self) -> float:
+        active = self._active_seconds
+        if self._started_at is not None:
+            active += time.perf_counter() - self._started_at
+        return active
+
+    def collapsed(self) -> Dict[str, int]:
+        """``"frame;frame;frame" -> samples`` (flamegraph.pl input)."""
+        with self._lock:
+            return {
+                ";".join(stack): count
+                for stack, count in sorted(self._counts.items())
+            }
+
+    def collapsed_text(self) -> str:
+        """The collapsed table as newline-separated ``stack count`` rows."""
+        return "\n".join(
+            f"{stack} {count}" for stack, count in self.collapsed().items()
+        )
+
+    def flamegraph(self) -> Dict[str, object]:
+        """A nested ``{name, value, children}`` tree (d3-flamegraph form).
+
+        Every node's ``value`` is the total samples at or below it, so
+        the tree renders directly as icicle/flame charts.
+        """
+        with self._lock:
+            items = sorted(self._counts.items())
+        root: Dict[str, object] = {"name": "root", "value": 0, "children": []}
+        for stack, count in items:
+            root["value"] += count
+            node = root
+            for frame in stack:
+                children: List[Dict[str, object]] = node["children"]
+                for child in children:
+                    if child["name"] == frame:
+                        node = child
+                        break
+                else:
+                    child = {"name": frame, "value": 0, "children": []}
+                    children.append(child)
+                    node = child
+                node["value"] += count
+        return root
+
+    def span_attribution(self) -> Dict[str, int]:
+        """Samples per innermost open tracing span (may be empty)."""
+        with self._lock:
+            return dict(sorted(self._span_counts.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON payload of ``--profile`` / ``GET /debug/profile``."""
+        with self._lock:
+            samples = self._samples
+            truncated = self._truncated
+            unique = len(self._counts)
+        return {
+            "hz": self.hz,
+            "running": self.running,
+            "duration_seconds": round(self._duration(), 6),
+            "samples": samples,
+            "unique_stacks": unique,
+            "truncated_stacks": truncated,
+            "collapsed": self.collapsed(),
+            "flamegraph": self.flamegraph(),
+            "spans": self.span_attribution(),
+        }
+
+
+#: The process-wide continuous profiler (``REPRO_PROFILE=on``); started
+#: lazily by the first caller of :func:`ensure_global`.
+_GLOBAL: Optional[Profiler] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def ensure_global() -> Optional[Profiler]:
+    """Start (once) and return the env-configured continuous profiler.
+
+    Returns ``None`` -- and starts nothing -- when ``REPRO_PROFILE`` is
+    off, preserving the zero-cost-when-disabled contract.
+    """
+    hz = configured_hz()
+    if hz is None:
+        return None
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = Profiler(hz=hz).start()
+        return _GLOBAL
+
+
+def global_profiler() -> Optional[Profiler]:
+    """The running continuous profiler, if any (no side effects)."""
+    return _GLOBAL
+
+
+def burst_sample(seconds: float = 0.5, hz: float = DEFAULT_HZ) -> Dict[str, object]:
+    """A bounded on-demand profile (the ``REPRO_PROFILE=off`` fallback).
+
+    Samples every thread for ``seconds`` (clamped to
+    :data:`MAX_BURST_SECONDS`) at ``hz`` and returns the snapshot.
+    """
+    seconds = max(0.0, min(float(seconds), MAX_BURST_SECONDS))
+    profiler = Profiler(hz=hz)
+    with profiler:
+        time.sleep(seconds)
+    payload = profiler.snapshot()
+    payload["burst"] = True
+    return payload

@@ -1,0 +1,145 @@
+"""Latency SLO targets and tail-sampled slow-request retention.
+
+The PROX premise is trading accuracy for *interactive* latency, so the
+serving tier declares its latency budget explicitly and observes it
+end to end:
+
+* :class:`SloPolicy` -- per-endpoint latency targets (seconds) with a
+  default for unlisted routes.  The PROX server checks every request
+  against its target and counts violations in
+  ``prox_slo_breaches_total{scope=...}``; the summarizer does the same
+  for whole runs when ``SummarizationConfig.slo_seconds`` is set
+  (``scope="summarize_run"``).
+* :class:`SlowRequestLog` -- a bounded ring buffer that retains detail
+  only for requests that breached their target (tail sampling: the
+  interesting traces are the slow ones, and the ring bounds memory no
+  matter how many there are).  When tracing is enabled each entry
+  carries the request's full span tree, so ``GET /debug/slow_requests``
+  answers "*why* was this request slow" -- including, via the tracing
+  layer's error attributes, "because it raised".
+
+Zero-cost contract: breach *counting* rides the existing
+``REPRO_METRICS`` guard; span *retention* only happens when
+``REPRO_TRACE`` is on.  The ring itself stores plain dicts and is
+bounded by ``ring_size``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional
+
+from . import metrics as _metrics
+
+#: Default per-endpoint latency targets, in seconds.  Summarization is
+#: the expensive interactive operation (§4-5 trade accuracy to keep it
+#: tolerable); views and probes must stay snappy.
+DEFAULT_TARGETS: Dict[str, float] = {
+    "/summarize": 2.0,
+    "/ingest": 0.5,
+    "/evaluate": 1.0,
+    "/select": 0.5,
+    "/titles": 0.25,
+    "/summary/expression": 0.25,
+    "/summary/groups": 0.5,
+    "/healthz": 0.1,
+    "/metrics": 0.25,
+}
+
+SLO_BREACHES = _metrics.counter(
+    "prox_slo_breaches_total",
+    "Requests (or summarization runs) that exceeded their latency SLO.",
+    labelnames=("scope",),
+)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Declared latency targets for the serving tier.
+
+    ``targets`` maps route -> seconds; ``default_seconds`` covers
+    unlisted routes.  A request slower than its target is a breach; a
+    breach is retained in the slow-request ring (with its span tree if
+    tracing is on).
+    """
+
+    targets: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_TARGETS)
+    )
+    default_seconds: float = 1.0
+    ring_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.default_seconds <= 0:
+            raise ValueError("default_seconds must be positive")
+        for path, seconds in self.targets.items():
+            if seconds <= 0:
+                raise ValueError(f"SLO target for {path!r} must be positive")
+        if self.ring_size < 1:
+            raise ValueError("ring_size must be at least 1")
+
+    def target(self, path: str) -> float:
+        return self.targets.get(path, self.default_seconds)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "targets_seconds": dict(sorted(self.targets.items())),
+            "default_seconds": self.default_seconds,
+            "ring_size": self.ring_size,
+        }
+
+
+def record_breach(scope: str) -> None:
+    """Count one SLO breach (``REPRO_METRICS``-guarded)."""
+    if _metrics.ENABLED:
+        SLO_BREACHES.inc(scope=scope)
+
+
+class SlowRequestLog:
+    """Bounded, thread-safe ring of tail-sampled slow requests."""
+
+    def __init__(self, ring_size: int = 64):
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def record(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        target_seconds: float,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> None:
+        entry: Dict[str, object] = {
+            "method": method,
+            "path": path,
+            "status": status,
+            "seconds": round(seconds, 6),
+            "target_seconds": target_seconds,
+            "recorded_at": time.time(),
+        }
+        if trace is not None:
+            entry["trace"] = trace
+        with self._lock:
+            self._ring.append(entry)
+            self._total += 1
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Retained entries, most recent last."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Breaches seen over the process lifetime (ring may have fewer)."""
+        with self._lock:
+            return self._total
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

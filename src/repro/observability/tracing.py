@@ -50,11 +50,44 @@ def set_enabled(flag: bool) -> None:
     _enabled = bool(flag)
 
 
+#: Per-thread span stacks, keyed by thread ident, registered the first
+#: time a thread opens a span.  The sampling profiler reads a *foreign*
+#: thread's innermost span name here to attribute wall-clock samples to
+#: spans (:func:`active_span_name`); the lists are mutated in place by
+#: their owning threads, so readers only ever see a consistent snapshot
+#: under the GIL.  One dict write per thread lifetime -- negligible.
+_ACTIVE_STACKS: Dict[int, List["Span"]] = {}
+
+
 def _stack() -> List["Span"]:
     stack = getattr(_local, "stack", None)
     if stack is None:
         stack = _local.stack = []
+        _ACTIVE_STACKS[threading.get_ident()] = stack
     return stack
+
+
+def active_span_name(thread_id: int) -> Optional[str]:
+    """The innermost open span name of *any* thread (profiler hook).
+
+    Best-effort and lock-free: the owning thread may pop concurrently,
+    in which case the sample is simply unattributed.
+    """
+    stack = _ACTIVE_STACKS.get(thread_id)
+    if not stack:
+        return None
+    try:
+        return stack[-1].name
+    except IndexError:  # pragma: no cover - owner popped mid-read
+        return None
+
+
+def prune_active_stacks(live_thread_ids) -> None:
+    """Drop stack registrations for threads no longer alive."""
+    live = set(live_thread_ids)
+    for thread_id in list(_ACTIVE_STACKS):
+        if thread_id not in live:
+            _ACTIVE_STACKS.pop(thread_id, None)
 
 
 class Span:
@@ -81,7 +114,11 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.duration = time.perf_counter() - self._start
         if exc_type is not None:
-            self.attributes["error"] = exc_type.__name__
+            # Errored spans carry the exception so slow-request dumps
+            # distinguish "slow because it failed" from plain latency.
+            self.attributes["error"] = True
+            self.attributes["error_type"] = exc_type.__name__
+            self.attributes["error_message"] = str(exc)
         stack = _stack()
         # Tolerate enable/disable mid-span: only pop if we are on top.
         if stack and stack[-1] is self:

@@ -34,7 +34,25 @@ POST     /evaluate              ``{"false_annotations": [...],
 GET      /healthz               liveness probe (lock-free, always answers)
 GET      /metrics               Prometheus text exposition of the process
                                 registry (lock-free)
+GET      /sessions              per-session resource accounts plus the
+                                eviction-advisor ranking (lock-free)
+GET      /sessions/<id>/stats   one session's resource account (lock-free)
+GET      /debug/profile         the continuous profiler's snapshot when
+                                ``REPRO_PROFILE`` is on; otherwise a
+                                bounded on-demand burst sample
+                                (``?seconds=0.5&hz=97``)
+GET      /debug/slow_requests   the tail-sampled ring of requests that
+                                breached their latency SLO (with span
+                                trees when ``REPRO_TRACE`` is on)
 =======  =====================  ==========================================
+
+Latency SLOs: every route has a declared target
+(:class:`~repro.observability.slo.SloPolicy`; override via
+``ProxServer(slo=...)``).  A request slower than its target counts one
+``prox_slo_breaches_total{scope=<route>}`` and is retained in the
+slow-request ring -- with its full span tree when tracing is enabled
+(tail sampling: only the interesting traces are kept, and the ring is
+bounded).
 
 Responses are JSON (``/metrics`` is ``text/plain``); errors use
 conventional status codes with a ``{"error": ...}`` body.  One server
@@ -49,6 +67,7 @@ them, so tests stay silent at the default ``warning``).
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -58,6 +77,10 @@ from urllib.parse import parse_qs, urlparse
 from ..observability import health as _health
 from ..observability import log as _log
 from ..observability import metrics as _metrics
+from ..observability import profiling as _profiling
+from ..observability import resources as _resources
+from ..observability import slo as _slo
+from ..observability import tracing as _tracing
 from ..provenance import ir as _ir
 from .session import ProxSession
 from .summarization import SummarizationRequest
@@ -87,17 +110,34 @@ _KNOWN_PATHS = frozenset(
         "/summary/groups",
         "/healthz",
         "/metrics",
+        "/sessions",
+        "/debug/profile",
+        "/debug/slow_requests",
     }
 )
+
+_SESSION_STATS_PATH = re.compile(r"^/sessions/([^/]+)/stats$")
+
+
+def _metric_path(path: str) -> str:
+    """The bounded-cardinality route label for ``path``."""
+    if path in _KNOWN_PATHS:
+        return path
+    if _SESSION_STATS_PATH.match(path):
+        return "/sessions/<id>/stats"
+    return "other"
 
 
 class ProxRequestHandler(BaseHTTPRequestHandler):
     """Dispatches the PROX REST API onto the server's session."""
 
     server_version = "PROX/1.0"
-    #: Set by ProxServer; the shared session plus its lock.
+    #: Set by ProxServer; the shared session plus its lock, the latency
+    #: SLO policy and the tail-sampled slow-request ring.
     session: ProxSession
     lock: threading.Lock
+    slo_policy: _slo.SloPolicy
+    slow_log: _slo.SlowRequestLog
 
     # -- plumbing -----------------------------------------------------------
 
@@ -146,12 +186,32 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
 
     def _observe(self, method: str, path: str, started: float) -> None:
         elapsed = time.perf_counter() - started
-        label_path = path if path in _KNOWN_PATHS else "other"
+        label_path = _metric_path(path)
         if _metrics.ENABLED:
             _HTTP_REQUESTS.inc(
                 method=method, path=label_path, status=str(self._last_status)
             )
             _HTTP_SECONDS.observe(elapsed, path=label_path)
+        # Latency SLO: count the breach, and tail-sample -- the request
+        # span tree (complete by now: _observe runs after the span
+        # closed) is retained only for requests over their target.
+        target = self.slo_policy.target(label_path)
+        breached = elapsed > target
+        trace: Optional[Dict[str, Any]] = None
+        if _tracing.is_enabled():
+            root = _tracing.take_trace()
+            if breached and root is not None:
+                trace = root.to_dict()
+        if breached:
+            _slo.record_breach(label_path)
+            self.slow_log.record(
+                method=method,
+                path=path,
+                status=self._last_status,
+                seconds=elapsed,
+                target_seconds=target,
+                trace=trace,
+            )
         _LOG.info(
             "http_request method=%s path=%s status=%d seconds=%.4f",
             method,
@@ -164,7 +224,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         parsed = urlparse(self.path)
         try:
-            self._route_get(parsed)
+            with _tracing.span("http[GET %s]", parsed.path):
+                self._route_get(parsed)
         finally:
             self._observe("GET", parsed.path, started)
 
@@ -172,7 +233,8 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         parsed = urlparse(self.path)
         try:
-            self._route_post(parsed)
+            with _tracing.span("http[POST %s]", parsed.path):
+                self._route_post(parsed)
         finally:
             self._observe("POST", parsed.path, started)
 
@@ -187,6 +249,40 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
                 200,
                 _metrics.REGISTRY.render(),
                 "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if parsed.path == "/sessions":
+            self._send(
+                200,
+                {
+                    "count": _resources.REGISTRY.count(),
+                    "sessions": _resources.REGISTRY.snapshot(),
+                    "eviction_ranking": _resources.REGISTRY.eviction_ranking(),
+                },
+            )
+            return
+        session_stats = _SESSION_STATS_PATH.match(parsed.path)
+        if session_stats:
+            account = _resources.REGISTRY.get(session_stats.group(1))
+            if account is None:
+                self._error(
+                    404, f"unknown session {session_stats.group(1)!r}"
+                )
+            else:
+                self._send(200, account.to_dict())
+            return
+        if parsed.path == "/debug/profile":
+            self._handle_profile(parsed)
+            return
+        if parsed.path == "/debug/slow_requests":
+            self._send(
+                200,
+                {
+                    "slow_requests": self.slow_log.snapshot(),
+                    "total_recorded": self.slow_log.total_recorded,
+                    "slo": self.slo_policy.describe(),
+                    "tracing_enabled": _tracing.is_enabled(),
+                },
             )
             return
         try:
@@ -216,12 +312,41 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - defensive
             self._error(500, str(error))
 
+    def _handle_profile(self, parsed) -> None:
+        """The continuous profiler's snapshot, or an on-demand burst.
+
+        Lock-free with respect to the session: the sampler observes the
+        summarizing thread from outside, which is exactly the point.
+        """
+        profiler = _profiling.ensure_global()
+        if profiler is not None:
+            self._send(200, profiler.snapshot())
+            return
+        query = parse_qs(parsed.query)
+        try:
+            seconds = float(query.get("seconds", ["0.5"])[0])
+            hz = float(query.get("hz", [str(_profiling.DEFAULT_HZ)])[0])
+            if hz <= 0 or hz > _profiling.MAX_HZ:
+                raise ValueError(
+                    f"hz must be in (0, {_profiling.MAX_HZ:g}]"
+                )
+            if seconds <= 0 or seconds > _profiling.MAX_BURST_SECONDS:
+                raise ValueError(
+                    f"seconds must be in (0, {_profiling.MAX_BURST_SECONDS:g}]"
+                )
+        except ValueError as error:
+            self._error(400, f"invalid profile parameters: {error}")
+            return
+        self._send(200, _profiling.burst_sample(seconds=seconds, hz=hz))
+
     def _health_extra(self) -> Dict[str, Any]:
         # Benign unlocked reads: attribute loads and int-sized counters.
         interner = self.session.interner
         return {
             "selected": self.session.selected is not None,
             "summarized": self.session.result is not None,
+            "session_id": self.session.session_id,
+            "slo_breaches_total": self.slow_log.total_recorded,
             "ir_mode": _ir.active_mode(),
             "ir_interned_annotations": len(interner) if interner is not None else 0,
             "ir_arena_bytes": _ir.GLOBAL_STORE.arena_bytes(),
@@ -278,6 +403,7 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             "sample_sharing",
             "sample_block",
             "repair",
+            "slo_seconds",
         }
         unknown = set(body) - allowed - {"seed"}
         if unknown:
@@ -367,12 +493,20 @@ class ProxServer:
         session: Optional[ProxSession] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        slo: Optional[_slo.SloPolicy] = None,
     ):
         self.session = session if session is not None else ProxSession()
+        self.slo = slo if slo is not None else _slo.SloPolicy()
+        self.slow_log = _slo.SlowRequestLog(ring_size=self.slo.ring_size)
         handler = type(
             "BoundProxHandler",
             (ProxRequestHandler,),
-            {"session": self.session, "lock": threading.Lock()},
+            {
+                "session": self.session,
+                "lock": threading.Lock(),
+                "slo_policy": self.slo,
+                "slow_log": self.slow_log,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -384,6 +518,9 @@ class ProxServer:
     def start(self) -> None:
         if self._thread is not None:
             raise RuntimeError("server already started")
+        # REPRO_PROFILE=on: the continuous profiler covers the server's
+        # whole lifetime (no-op and zero-cost when the flag is off).
+        _profiling.ensure_global()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="prox-http", daemon=True
         )

@@ -17,6 +17,7 @@ value is the workflow it exposes, not the HTTP plumbing (DESIGN.md).
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -26,6 +27,7 @@ from ..core.summarize import SummarizationResult
 from ..datasets.base import DatasetInstance
 from ..datasets.movielens import MovieLensConfig, generate_movielens
 from ..observability import metrics as _metrics
+from ..observability import resources as _resources
 from ..observability import tracing as _tracing
 from ..provenance import ir as _ir
 from ..provenance.tensor_sum import TensorSum
@@ -74,6 +76,21 @@ class ProxSession:
         self.result: Optional[SummarizationResult] = None
         #: Streaming deltas applied so far (mirrors the metric counter).
         self.ingested_deltas = 0
+        #: Per-session resource account (``GET /sessions/<id>/stats``,
+        #: ``prox_session_*`` gauges, eviction advisor).  Automatically
+        #: unregistered when the session is garbage collected.
+        self.account = _resources.REGISTRY.register()
+        self._finalizer = weakref.finalize(
+            self, _resources.REGISTRY.unregister, self.account.session_id
+        )
+
+    @property
+    def session_id(self) -> str:
+        return self.account.session_id
+
+    def close(self) -> None:
+        """Unregister the session's resource account (idempotent)."""
+        self._finalizer()
 
     # -- selection view -------------------------------------------------------
 
@@ -87,6 +104,7 @@ class ProxSession:
         self.selected = self.selection.by_titles(titles)
         self.result = None
         self.summarization.reset_repair()
+        self.account.record_select(self.selected.size())
         return self.selected.size()
 
     def select_by(
@@ -99,6 +117,7 @@ class ProxSession:
         self.selected = self.selection.by_attributes(genre, year, decade)
         self.result = None
         self.summarization.reset_repair()
+        self.account.record_select(self.selected.size())
         return self.selected.size()
 
     # -- streaming ingest ------------------------------------------------------
@@ -118,6 +137,7 @@ class ProxSession:
         """
         if self.selected is None:
             raise RuntimeError("select provenance first (selection view)")
+        arena_before = _ir.GLOBAL_STORE.arena_bytes()
         with _tracing.span("ingest") as span:
             universe = self.instance.universe
             for annotation in delta.annotations:
@@ -154,6 +174,10 @@ class ProxSession:
                 span.set("terms", len(delta.terms))
                 span.set("extended_valuations", len(delta.extend_valuations))
                 span.set("selected_size", self.selected.size())
+        self.account.record_ingest(
+            arena_growth=_ir.GLOBAL_STORE.arena_bytes() - arena_before,
+            selected_size=self.selected.size(),
+        )
         return {
             "annotations": len(delta.annotations),
             "terms": len(delta.terms),
@@ -170,9 +194,22 @@ class ProxSession:
     ) -> SummarizationResult:
         if self.selected is None:
             raise RuntimeError("select provenance first (selection view)")
+        arena_before = _ir.GLOBAL_STORE.arena_bytes()
         self.result = self.summarization.summarize(self.selected, request, seed)
         if self.interner is not None:
             _ir.publish_metrics(interner=self.interner)
+        self.account.record_summarize(
+            seconds=self.result.total_seconds,
+            arena_growth=_ir.GLOBAL_STORE.arena_bytes() - arena_before,
+            interned_annotations=(
+                len(self.interner) if self.interner is not None else 0
+            ),
+            pool_candidates=self.summarization.pool_size(),
+            summary_size=self.result.final_size,
+            repaired=self.result.repaired,
+            repair_seeded=self.result.repair_seeded,
+            repair_invalidated=self.result.repair_invalidated,
+        )
         return self.result
 
     def ir_stats(self) -> Dict[str, object]:

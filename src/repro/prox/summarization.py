@@ -66,6 +66,9 @@ class SummarizationRequest:
     #: state left by the previous run of this session (if any) and
     #: leave one behind for the next (see :mod:`repro.core.streaming`).
     repair: object = None
+    #: Declared latency SLO for the whole run, in seconds; breaches
+    #: count in ``prox_slo_breaches_total{scope="summarize_run"}``.
+    slo_seconds: Optional[float] = None
 
     def to_config(self, seed: int = 0) -> SummarizationConfig:
         return SummarizationConfig(
@@ -82,6 +85,7 @@ class SummarizationRequest:
             sample_sharing=self.sample_sharing,
             sample_block=self.sample_block,
             repair=self.repair,
+            slo_seconds=self.slo_seconds,
         )
 
 
@@ -137,6 +141,13 @@ class SummarizationService:
         self.repair_state = None
         self._repair_key = None
         self._pending_flips = {}
+
+    def pool_size(self) -> int:
+        """Carried step-0 candidate-pool entries (resource accounting)."""
+        state = self.repair_state
+        if state is None or state.pool_raw is None:
+            return 0
+        return len(state.pool_raw)
 
     def _apply_extensions(self, valuations: ValuationClass) -> ValuationClass:
         """The class with cumulative extensions and extra valuations.

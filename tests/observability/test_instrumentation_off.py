@@ -12,7 +12,7 @@ import pytest
 from repro import serialization
 from repro.core import SummarizationConfig, Summarizer
 from repro.datasets import MovieLensConfig, generate_movielens
-from repro.observability import metrics, tracing
+from repro.observability import metrics, profiling, tracing
 
 
 @pytest.fixture
@@ -57,6 +57,30 @@ def test_output_is_byte_identical_with_instrumentation_off_and_on(
     assert [r.scoring_path for r in instrumented.steps] == [
         r.scoring_path for r in baseline.steps
     ]
+
+
+def test_output_is_byte_identical_with_the_profiler_sampling(
+    instrumentation_guard,
+):
+    """The sampling profiler observes frames from outside and must not
+    perturb the run: byte-identical output with a profiler running at
+    full rate, with and without tracing (span attribution on/off)."""
+    metrics.set_enabled(False)
+    tracing.set_enabled(False)
+    baseline = _summarize()
+
+    with profiling.Profiler(hz=500):
+        profiled = _summarize()
+    assert _portable(profiled) == _portable(baseline)
+
+    metrics.set_enabled(True)
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    with profiling.Profiler(hz=500) as profiler:
+        attributed = _summarize()
+    tracing.take_trace()
+    assert _portable(attributed) == _portable(baseline)
+    assert profiler.snapshot()["samples"] >= 0  # sampling ran without harm
 
 
 def test_differential_invariant_holds_with_tracing_on(instrumentation_guard):

@@ -51,6 +51,61 @@ def test_invalid_metric_name_raises():
         Counter("demo-total", "hyphens are not allowed")
 
 
+@pytest.mark.parametrize(
+    "name",
+    [
+        "",  # empty
+        "9starts_with_digit",  # leading digit
+        "demo total",  # space
+        "démo_total",  # Unicode letter: isalnum() accepted this
+        "demo١_total",  # Unicode digit: isalnum() accepted this
+    ],
+)
+def test_metric_name_grammar_is_the_prometheus_one(name):
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter(name, "demo")
+
+
+def test_metric_name_allows_colons_and_underscores():
+    Counter("ns:demo_total", "recording-rule style names are legal")
+    Counter("_private_total", "leading underscore is legal")
+
+
+@pytest.mark.parametrize(
+    "label",
+    [
+        "",  # empty
+        "9digit",  # leading digit
+        "bad-label",  # hyphen
+        "bad label",  # space
+        "étiquette",  # Unicode letter
+        "__reserved",  # double-underscore prefix is Prometheus-internal
+    ],
+)
+def test_invalid_label_names_raise(label):
+    with pytest.raises(ValueError, match="invalid label name"):
+        Counter("demo_total", "demo", labelnames=(label,))
+
+
+def test_histogram_rejects_the_reserved_le_label():
+    with pytest.raises(ValueError, match="reserved"):
+        Histogram("demo_seconds", "demo", labelnames=("le",))
+    # counters and gauges may use it freely -- only histograms emit le=
+    Counter("demo_le_total", "demo", labelnames=("le",))
+
+
+def test_remove_drops_one_series_and_is_idempotent():
+    gauge = Gauge("demo_gauge", "demo", labelnames=("session",))
+    gauge.set(7, session="s1")
+    gauge.set(9, session="s2")
+    gauge.remove(session="s1")
+    gauge.remove(session="s1")  # absent: no-op
+    assert gauge.value(session="s1") == 0.0  # unseen series read as 0
+    assert gauge.value(session="s2") == 9.0
+    lines = gauge.samples()
+    assert lines == ['demo_gauge{session="s2"} 9']
+
+
 # -- gauge ---------------------------------------------------------------------
 
 
@@ -160,6 +215,40 @@ def test_label_values_are_escaped():
     assert 'demo_total{path="a\\"b\\\\c\\nd"} 1' in rendered
 
 
+def test_golden_scrape_with_hostile_label_values():
+    """Exact exposition output when label *values* carry every character
+    the text format escapes (backslash, quote, newline) plus unicode and
+    braces, across all three metric kinds.  Values are arbitrary UTF-8
+    by spec -- only ``\\``, ``\"`` and newline are escaped."""
+    registry = MetricsRegistry()
+    counter = registry.counter("hostile_total", "Hostile demo.", labelnames=("q",))
+    gauge = registry.gauge("hostile_gauge", "Hostile demo.", labelnames=("q",))
+    seconds = registry.histogram(
+        "hostile_seconds", "Hostile demo.", labelnames=("q",), buckets=(1.0,)
+    )
+    hostile = 'back\\slash "quoted"\nnewline {braces} é'
+    counter.inc(q=hostile)
+    gauge.set(2, q=hostile)
+    seconds.observe(0.5, q=hostile)
+    escaped = 'back\\\\slash \\"quoted\\"\\nnewline {braces} é'
+    assert registry.render() == (
+        "# HELP hostile_total Hostile demo.\n"
+        "# TYPE hostile_total counter\n"
+        f'hostile_total{{q="{escaped}"}} 1\n'
+        "# HELP hostile_gauge Hostile demo.\n"
+        "# TYPE hostile_gauge gauge\n"
+        f'hostile_gauge{{q="{escaped}"}} 2\n'
+        "# HELP hostile_seconds Hostile demo.\n"
+        "# TYPE hostile_seconds histogram\n"
+        f'hostile_seconds_bucket{{q="{escaped}",le="1"}} 1\n'
+        f'hostile_seconds_bucket{{q="{escaped}",le="+Inf"}} 1\n'
+        f'hostile_seconds_sum{{q="{escaped}"}} 0.5\n'
+        f'hostile_seconds_count{{q="{escaped}"}} 1\n'
+    )
+    # the raw newline never leaks: every sample stays one physical line
+    assert "\nnewline" not in registry.render().replace("\\nnewline", "")
+
+
 def test_help_text_is_escaped():
     registry = MetricsRegistry()
     registry.counter("demo_total", "multi\nline")
@@ -168,6 +257,86 @@ def test_help_text_is_escaped():
 
 def test_empty_registry_renders_empty():
     assert MetricsRegistry().render() == ""
+
+
+# -- thread safety -------------------------------------------------------------
+
+
+def test_parallel_updates_lose_no_increments_and_scrapes_stay_valid():
+    """N threads hammer one counter/gauge/histogram family (disjoint and
+    shared label values) while a scraper renders concurrently: no
+    increment is lost, no scrape line is ever malformed."""
+    import re as _re
+    import threading
+
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total", "demo", labelnames=("worker",))
+    gauge = registry.gauge("hammer_gauge", "demo", labelnames=("worker",))
+    seconds = registry.histogram(
+        "hammer_seconds", "demo", labelnames=("worker",), buckets=(0.5, 1.0)
+    )
+    n_workers, n_iterations = 8, 500
+    sample_line = _re.compile(
+        r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+        r"-?(\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN))$"
+    )
+    malformed: list = []
+    start = threading.Barrier(n_workers + 2)
+
+    def worker(index: int) -> None:
+        start.wait()
+        mine = f"w{index}"
+        for iteration in range(n_iterations):
+            counter.inc(worker=mine)
+            counter.inc(worker="shared")
+            gauge.inc(worker=mine)
+            seconds.observe(0.25 + (iteration % 3) * 0.5, worker=mine)
+
+    def scraper() -> None:
+        start.wait()
+        for _ in range(50):
+            for line in registry.render().splitlines():
+                if not sample_line.match(line):
+                    malformed.append(line)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(n_workers)
+    ] + [threading.Thread(target=scraper)]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    for thread in threads:
+        thread.join(30)
+
+    assert not malformed, f"malformed scrape lines: {malformed[:3]}"
+    assert counter.value(worker="shared") == n_workers * n_iterations
+    for index in range(n_workers):
+        mine = f"w{index}"
+        assert counter.value(worker=mine) == n_iterations
+        assert gauge.value(worker=mine) == n_iterations
+        assert seconds.count(worker=mine) == n_iterations
+
+
+def test_parallel_registration_yields_one_family():
+    """Concurrent idempotent registration returns one shared metric."""
+    import threading
+
+    registry = MetricsRegistry()
+    results: list = []
+    start = threading.Barrier(8)
+
+    def register() -> None:
+        start.wait()
+        results.append(registry.counter("race_total", "demo"))
+
+    threads = [threading.Thread(target=register) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+    assert len(results) == 8
+    assert all(metric is results[0] for metric in results)
 
 
 # -- process-wide switch -------------------------------------------------------

@@ -1,0 +1,254 @@
+"""The stdlib sampling profiler: env knob, sampling, reports, bursts."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observability import profiling, tracing
+from repro.observability.profiling import Profiler
+
+
+# -- REPRO_PROFILE parsing -----------------------------------------------------
+
+
+@pytest.mark.parametrize("word", ["", "0", "off", "false", "no", "disabled"])
+def test_configured_hz_off_words(word):
+    assert profiling.configured_hz(word) is None
+
+
+@pytest.mark.parametrize("word", ["1", "on", "true", "yes", "enabled", "ON "])
+def test_configured_hz_on_words(word):
+    assert profiling.configured_hz(word) == profiling.DEFAULT_HZ
+
+
+def test_configured_hz_numeric():
+    assert profiling.configured_hz("250") == 250.0
+    assert profiling.configured_hz("12.5") == 12.5
+    assert profiling.configured_hz("-3") is None  # non-positive: off
+    assert profiling.configured_hz("1e9") == profiling.MAX_HZ  # clamped
+
+
+def test_configured_hz_rejects_garbage():
+    with pytest.raises(ValueError, match="REPRO_PROFILE"):
+        profiling.configured_hz("sometimes")
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert not profiling.enabled()
+    assert profiling.ensure_global() is None
+    assert profiling.global_profiler() is None
+
+
+# -- sampling ------------------------------------------------------------------
+
+
+def _busy_wait(stop: threading.Event) -> None:
+    while not stop.wait(0.001):
+        sum(range(100))
+
+
+@pytest.fixture
+def busy_thread():
+    """A worker to observe: inline sample_once skips its own thread, so
+    meaningful samples need at least one other live thread."""
+    stop = threading.Event()
+    worker = threading.Thread(target=_busy_wait, args=(stop,), name="busy")
+    worker.start()
+    yield worker
+    stop.set()
+    worker.join(5)
+
+
+def test_sample_once_observes_other_threads_not_its_own():
+    stop = threading.Event()
+    worker = threading.Thread(target=_busy_wait, args=(stop,), name="busy")
+    worker.start()
+    try:
+        profiler = Profiler(hz=50)
+        profiler.sample_once()
+    finally:
+        stop.set()
+        worker.join(5)
+    collapsed = profiler.collapsed()
+    assert collapsed, "no stacks sampled"
+    workers = [stack for stack in collapsed if "_busy_wait" in stack]
+    assert workers, f"worker thread not sampled: {list(collapsed)}"
+    # collapsed stacks are root-first, ;-joined module:function frames
+    frames = workers[0].split(";")
+    assert all(":" in frame for frame in frames)
+    assert frames[0].startswith("threading:")  # root (thread bootstrap) first
+    # the sampling thread never records itself
+    assert not any("sample_once" in stack for stack in collapsed)
+
+
+def test_background_sampling_profiles_worker_threads():
+    stop = threading.Event()
+    worker = threading.Thread(target=_busy_wait, args=(stop,), name="busy")
+    worker.start()
+    profiler = Profiler(hz=200)
+    with profiler:
+        time.sleep(0.25)
+    stop.set()
+    worker.join(5)
+    snapshot = profiler.snapshot()
+    assert snapshot["samples"] > 0
+    assert not snapshot["running"]
+    assert snapshot["duration_seconds"] >= 0.2
+    assert any("_busy_wait" in stack for stack in snapshot["collapsed"])
+
+
+def test_profiler_rejects_bad_rates_and_double_start():
+    with pytest.raises(ValueError, match="positive"):
+        Profiler(hz=0)
+    profiler = Profiler(hz=2000)
+    assert profiler.hz == profiling.MAX_HZ  # clamped
+    profiler.start()
+    try:
+        with pytest.raises(RuntimeError, match="already running"):
+            profiler.start()
+    finally:
+        profiler.stop()
+    profiler.stop()  # idempotent
+
+
+def test_flamegraph_tree_is_consistent(busy_thread):
+    profiler = Profiler(hz=50)
+    for _ in range(5):
+        profiler.sample_once()
+    tree = profiler.flamegraph()
+    assert tree["name"] == "root"
+    assert tree["value"] == profiler.snapshot()["samples"]
+    assert tree["value"] >= 5  # the busy worker appears in every sample
+
+    def check(node):
+        if node["children"]:
+            assert node["value"] >= sum(c["value"] for c in node["children"])
+        for child in node["children"]:
+            check(child)
+
+    check(tree)
+
+
+def test_collapsed_text_is_flamegraph_pl_input(busy_thread):
+    profiler = Profiler(hz=50)
+    profiler.sample_once()
+    lines = profiler.collapsed_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack and count.isdigit()
+
+
+def test_unique_stack_overflow_buckets():
+    """Past max_unique_stacks, fresh stacks fold into <overflow>."""
+    profiler = Profiler(hz=50, max_unique_stacks=1)
+    stop = threading.Event()
+
+    # distinct function names -> distinct collapsed stacks
+    def wait_a(event):
+        _busy_wait(event)
+
+    def wait_b(event):
+        _busy_wait(event)
+
+    def wait_c(event):
+        _busy_wait(event)
+
+    workers = [
+        threading.Thread(target=target, args=(stop,))
+        for target in (wait_a, wait_b, wait_c)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        time.sleep(0.05)  # let every worker reach its wait_X frame
+        for _ in range(5):
+            profiler.sample_once()
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join(5)
+    snapshot = profiler.snapshot()
+    assert snapshot["samples"] > 0
+    # at most the cap plus the shared overflow bucket
+    assert snapshot["unique_stacks"] <= 2
+    assert snapshot["truncated_stacks"] > 0
+    assert "<overflow>" in snapshot["collapsed"]
+
+
+def test_snapshot_is_json_serializable(busy_thread):
+    profiler = Profiler(hz=50)
+    profiler.sample_once()
+    payload = json.loads(json.dumps(profiler.snapshot()))
+    assert set(payload) >= {
+        "hz",
+        "running",
+        "duration_seconds",
+        "samples",
+        "unique_stacks",
+        "truncated_stacks",
+        "collapsed",
+        "flamegraph",
+        "spans",
+    }
+
+
+# -- span attribution ----------------------------------------------------------
+
+
+def test_samples_attribute_to_the_innermost_open_span():
+    """The sampler observes *other* threads, so attribution is checked
+    from a worker holding a span open while this thread samples."""
+    original = tracing.is_enabled()
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    in_span = threading.Event()
+    release = threading.Event()
+
+    def worker():
+        with tracing.span("outer_work"):
+            with tracing.span("attributed_work"):
+                in_span.set()
+                release.wait(5)
+
+    thread = threading.Thread(target=worker)
+    try:
+        profiler = Profiler(hz=50)
+        thread.start()
+        assert in_span.wait(5)
+        profiler.sample_once()
+        profiler.sample_once()
+        release.set()
+        thread.join(5)
+        profiler.sample_once()  # span closed: no further attribution
+        spans = profiler.span_attribution()
+        # innermost wins: samples land on attributed_work, not outer_work
+        assert spans.get("attributed_work") == 2
+        assert "outer_work" not in spans
+    finally:
+        release.set()
+        thread.join(5)
+        tracing.set_enabled(original)
+        tracing.take_trace()
+
+
+def test_no_attribution_when_tracing_disabled(busy_thread):
+    assert not tracing.is_enabled()
+    profiler = Profiler(hz=50)
+    profiler.sample_once()
+    assert profiler.snapshot()["samples"] > 0
+    assert profiler.span_attribution() == {}
+
+
+# -- burst sampling ------------------------------------------------------------
+
+
+def test_burst_sample_is_bounded_and_tagged():
+    payload = profiling.burst_sample(seconds=0.1, hz=100)
+    assert payload["burst"] is True
+    assert not payload["running"]
+    assert payload["duration_seconds"] < profiling.MAX_BURST_SECONDS
+    assert payload["samples"] >= 1

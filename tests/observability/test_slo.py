@@ -1,0 +1,141 @@
+"""SLO policy, breach counting and the tail-sampled slow-request ring."""
+
+import pytest
+
+from repro.observability import metrics, slo
+from repro.observability.slo import SloPolicy, SlowRequestLog
+
+
+# -- policy --------------------------------------------------------------------
+
+
+def test_default_policy_covers_the_served_routes():
+    policy = SloPolicy()
+    assert policy.target("/summarize") == 2.0
+    assert policy.target("/healthz") == 0.1
+    assert policy.target("/made/up/route") == policy.default_seconds
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="default_seconds"):
+        SloPolicy(default_seconds=0)
+    with pytest.raises(ValueError, match="must be positive"):
+        SloPolicy(targets={"/x": -1.0})
+    with pytest.raises(ValueError, match="ring_size"):
+        SloPolicy(ring_size=0)
+
+
+def test_describe_is_json_shaped():
+    import json
+
+    payload = json.loads(json.dumps(SloPolicy().describe()))
+    assert payload["default_seconds"] == 1.0
+    assert payload["ring_size"] == 64
+    assert payload["targets_seconds"]["/summarize"] == 2.0
+
+
+# -- breach counter ------------------------------------------------------------
+
+
+def test_record_breach_increments_the_scoped_counter():
+    if not metrics.ENABLED:
+        pytest.skip("metrics disabled via REPRO_METRICS")
+    before = slo.SLO_BREACHES.value(scope="test_scope")
+    slo.record_breach("test_scope")
+    slo.record_breach("test_scope")
+    assert slo.SLO_BREACHES.value(scope="test_scope") == before + 2
+
+
+def test_record_breach_respects_the_metrics_switch():
+    original = metrics.ENABLED
+    try:
+        metrics.set_enabled(False)
+        before = slo.SLO_BREACHES.value(scope="switched_off")
+        slo.record_breach("switched_off")
+        assert slo.SLO_BREACHES.value(scope="switched_off") == before
+    finally:
+        metrics.set_enabled(original)
+
+
+def test_summarize_run_breach_via_config():
+    """slo_seconds on the config counts a summarize_run breach when the
+    run overshoots (any real run overshoots a 1ns budget)."""
+    if not metrics.ENABLED:
+        pytest.skip("metrics disabled via REPRO_METRICS")
+    from repro.core import SummarizationConfig, Summarizer
+    from repro.datasets import MovieLensConfig, generate_movielens
+
+    problem = generate_movielens(
+        MovieLensConfig(n_users=8, n_movies=6, seed=3)
+    ).problem()
+    before = slo.SLO_BREACHES.value(scope="summarize_run")
+    config = SummarizationConfig(max_steps=1, seed=3, slo_seconds=1e-9)
+    Summarizer(problem, config).run()
+    assert slo.SLO_BREACHES.value(scope="summarize_run") == before + 1
+
+    # a generous budget records nothing
+    config = SummarizationConfig(max_steps=1, seed=3, slo_seconds=3600.0)
+    Summarizer(problem, config).run()
+    assert slo.SLO_BREACHES.value(scope="summarize_run") == before + 1
+
+
+def test_slo_seconds_config_validation():
+    from repro.core import SummarizationConfig
+
+    with pytest.raises(ValueError, match="slo_seconds"):
+        SummarizationConfig(slo_seconds=0)
+    with pytest.raises(ValueError, match="slo_seconds"):
+        SummarizationConfig(slo_seconds=-1.5)
+    assert SummarizationConfig(slo_seconds="2.5").slo_seconds == 2.5
+    assert SummarizationConfig().slo_seconds is None
+
+
+# -- slow-request ring ---------------------------------------------------------
+
+
+def test_ring_is_bounded_but_total_keeps_counting():
+    log = SlowRequestLog(ring_size=3)
+    for index in range(10):
+        log.record(
+            method="GET",
+            path=f"/r{index}",
+            status=200,
+            seconds=1.5,
+            target_seconds=1.0,
+        )
+    entries = log.snapshot()
+    assert len(entries) == 3
+    assert [entry["path"] for entry in entries] == ["/r7", "/r8", "/r9"]
+    assert log.total_recorded == 10
+
+
+def test_record_retains_trace_only_when_given():
+    log = SlowRequestLog(ring_size=4)
+    log.record(
+        method="POST",
+        path="/summarize",
+        status=200,
+        seconds=2.5,
+        target_seconds=2.0,
+    )
+    log.record(
+        method="POST",
+        path="/summarize",
+        status=200,
+        seconds=3.0,
+        target_seconds=2.0,
+        trace={"name": "http[POST /summarize]", "children": []},
+    )
+    plain, traced = log.snapshot()
+    assert "trace" not in plain
+    assert traced["trace"]["name"] == "http[POST /summarize]"
+    assert traced["seconds"] == 3.0
+    assert plain["recorded_at"] > 0
+
+
+def test_clear_empties_the_ring_not_the_total():
+    log = SlowRequestLog(ring_size=4)
+    log.record(method="GET", path="/x", status=200, seconds=2, target_seconds=1)
+    log.clear()
+    assert log.snapshot() == []
+    assert log.total_recorded == 1

@@ -79,11 +79,76 @@ def test_span_constructor_attributes(enabled_tracing):
 
 
 def test_exception_marks_the_span_and_propagates(enabled_tracing):
-    with pytest.raises(RuntimeError):
+    with pytest.raises(RuntimeError, match="boom"):
         with tracing.span("run"):
             raise RuntimeError("boom")
     root = tracing.take_trace()
-    assert root.attributes["error"] == "RuntimeError"
+    assert root.attributes["error"] is True
+    assert root.attributes["error_type"] == "RuntimeError"
+    assert root.attributes["error_message"] == "boom"
+
+
+def test_exception_closes_the_span_and_unwinds_the_stack(enabled_tracing):
+    """A raising span must still close (finite duration, stack popped)
+    and re-raise the original exception, so a failed request's tail
+    sample carries the error without corrupting later requests."""
+    with pytest.raises(ValueError, match="inner boom"):
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                raise ValueError("inner boom")
+    root = tracing.take_trace()
+    assert root.name == "outer"
+    assert root.duration >= 0.0  # closed despite the raise
+    (inner,) = root.children
+    assert inner.attributes["error"] is True
+    assert inner.attributes["error_type"] == "ValueError"
+    assert inner.attributes["error_message"] == "inner boom"
+    # the outer span saw the exception propagate through it too
+    assert root.attributes["error"] is True
+    # the per-thread stack fully unwound: new spans start a fresh tree
+    assert tracing.current() is None
+    with tracing.span("fresh"):
+        pass
+    assert tracing.take_trace().name == "fresh"
+
+
+def test_active_span_name_tracks_this_thread(enabled_tracing):
+    import threading
+
+    ident = threading.get_ident()
+    assert tracing.active_span_name(ident) is None
+    with tracing.span("outer"):
+        assert tracing.active_span_name(ident) == "outer"
+        with tracing.span("inner"):
+            assert tracing.active_span_name(ident) == "inner"
+        assert tracing.active_span_name(ident) == "outer"
+    assert tracing.active_span_name(ident) is None
+    assert tracing.active_span_name(ident + 999983) is None  # unknown thread
+
+
+def test_prune_active_stacks_drops_dead_threads(enabled_tracing):
+    import threading
+
+    ready = threading.Event()
+    release = threading.Event()
+    idents = []
+
+    def worker():
+        with tracing.span("worker_span"):
+            idents.append(threading.get_ident())
+            ready.set()
+            release.wait(5)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert ready.wait(5)
+    (ident,) = idents
+    assert tracing.active_span_name(ident) == "worker_span"
+    release.set()
+    thread.join(5)
+    # the dead thread's registry entry survives until a sampler prunes
+    tracing.prune_active_stacks([threading.get_ident()])
+    assert tracing.active_span_name(ident) is None
 
 
 def test_to_dict_shape(enabled_tracing):

@@ -3,11 +3,13 @@
 import http.client
 import json
 import re
+import time
 
 import pytest
 
 from repro.datasets import MovieLensConfig, generate_movielens
-from repro.observability import metrics
+from repro.observability import metrics, tracing
+from repro.observability.slo import SloPolicy
 from repro.prox import ProxSession
 from repro.prox.server import ProxServer
 
@@ -24,6 +26,18 @@ def server():
     )
     with ProxServer(ProxSession(instance)) as running:
         yield running
+
+
+def wait_until(predicate, timeout=5.0):
+    """Poll for server-side bookkeeping: request accounting runs after
+    the response body is written, so the client can observe the reply
+    before the handler thread books it."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
 
 
 def fetch(server, method, path, body=None):
@@ -50,6 +64,17 @@ def test_healthz(server):
     assert payload["metric_families"] > 0
     assert payload["selected"] in (True, False)
     assert payload["summarized"] in (True, False)
+
+
+def test_healthz_reports_serving_tier_state(server):
+    """The serving-tier golden keys: session identity, aggregate
+    retention across sessions and the process breach count."""
+    _, _, raw = fetch(server, "GET", "/healthz")
+    payload = json.loads(raw)
+    assert payload["session_id"] == server.session.session_id
+    assert payload["active_sessions"] >= 1
+    assert payload["sessions_arena_bytes"] >= 0
+    assert payload["slo_breaches_total"] >= 0
 
 
 def test_metrics_scrape_is_valid_exposition_text(server):
@@ -168,3 +193,148 @@ def test_unknown_paths_fold_into_the_other_label(server):
     if metrics.ENABLED:
         http_requests = metrics.REGISTRY.get("prox_http_requests_total")
         assert http_requests.value(method="GET", path="other", status="404") >= 1
+
+
+# -- session accounting endpoints ----------------------------------------------
+
+
+def test_sessions_lists_accounts_and_the_eviction_ranking(server):
+    status, _, raw = fetch(server, "GET", "/sessions")
+    assert status == 200
+    payload = json.loads(raw)
+    assert payload["count"] >= 1
+    ids = [row["session_id"] for row in payload["sessions"]]
+    assert server.session.session_id in ids
+    ranked = [row["session_id"] for row in payload["eviction_ranking"]]
+    assert sorted(ranked) == sorted(ids)
+    for row in payload["eviction_ranking"]:
+        assert row["reasons"]
+
+
+def test_session_stats_answers_for_the_live_session(server):
+    session_id = server.session.session_id
+    status, _, raw = fetch(server, "GET", f"/sessions/{session_id}/stats")
+    assert status == 200
+    payload = json.loads(raw)
+    assert payload["session_id"] == session_id
+    assert payload["retained_bytes"] >= 0
+    assert payload["eviction_score"] >= 0.0
+
+
+def test_session_stats_404_for_unknown_sessions(server):
+    status, _, raw = fetch(server, "GET", "/sessions/no-such/stats")
+    assert status == 404
+    assert "unknown session" in json.loads(raw)["error"]
+    if metrics.ENABLED:
+        # the parameterized route folds into one bounded label
+        http_requests = metrics.REGISTRY.get("prox_http_requests_total")
+        assert wait_until(
+            lambda: http_requests.value(
+                method="GET", path="/sessions/<id>/stats", status="404"
+            )
+            >= 1
+        )
+
+
+# -- debug endpoints -----------------------------------------------------------
+
+
+def test_debug_profile_burst_samples_when_the_env_knob_is_off(server):
+    """Without REPRO_PROFILE the endpoint serves a bounded on-demand
+    burst (the continuous profiler is absent under the test env)."""
+    status, _, raw = fetch(server, "GET", "/debug/profile?seconds=0.05&hz=100")
+    assert status == 200
+    payload = json.loads(raw)
+    assert payload["burst"] is True
+    assert payload["samples"] >= 1
+    assert payload["hz"] == 100.0
+    assert not payload["running"]
+
+
+@pytest.mark.parametrize(
+    "query",
+    ["seconds=99", "seconds=0", "seconds=nope", "hz=0", "hz=1e9", "hz=-5"],
+)
+def test_debug_profile_rejects_out_of_range_bursts(server, query):
+    status, _, raw = fetch(server, "GET", f"/debug/profile?{query}")
+    assert status == 400
+    assert "invalid profile parameters" in json.loads(raw)["error"]
+
+
+def test_debug_slow_requests_shape(server):
+    status, _, raw = fetch(server, "GET", "/debug/slow_requests")
+    assert status == 200
+    payload = json.loads(raw)
+    assert isinstance(payload["slow_requests"], list)
+    assert payload["total_recorded"] >= len(payload["slow_requests"])
+    assert payload["slo"]["targets_seconds"]["/summarize"] == 2.0
+    assert payload["tracing_enabled"] in (True, False)
+
+
+# -- SLO breach tail sampling --------------------------------------------------
+
+
+@pytest.fixture()
+def strict_server():
+    """A server whose /titles target is impossibly tight, so any real
+    request breaches and lands in the slow-request ring."""
+    instance = generate_movielens(MovieLensConfig(n_users=8, n_movies=6, seed=11))
+    policy = SloPolicy(targets={"/titles": 1e-6}, ring_size=8)
+    with ProxServer(ProxSession(instance), slo=policy) as running:
+        yield running
+
+
+def test_breaching_requests_are_counted_and_retained(strict_server):
+    if metrics.ENABLED:
+        from repro.observability import slo
+
+        breaches_before = slo.SLO_BREACHES.value(scope="/titles")
+    status, _, _ = fetch(strict_server, "GET", "/titles")
+    assert status == 200
+
+    assert wait_until(lambda: strict_server.slow_log.total_recorded >= 1)
+    _, _, raw = fetch(strict_server, "GET", "/debug/slow_requests")
+    payload = json.loads(raw)
+    (entry,) = [
+        row for row in payload["slow_requests"] if row["path"] == "/titles"
+    ]
+    assert entry["method"] == "GET"
+    assert entry["status"] == 200
+    assert entry["seconds"] > entry["target_seconds"]
+    assert "trace" not in entry  # tracing off: tail sampling retains no tree
+    if metrics.ENABLED:
+        assert wait_until(
+            lambda: slo.SLO_BREACHES.value(scope="/titles") == breaches_before + 1
+        )
+    # healthz mirrors the process breach count, lock-free
+    _, _, raw = fetch(strict_server, "GET", "/healthz")
+    assert json.loads(raw)["slo_breaches_total"] >= 1
+
+
+def test_breaching_requests_retain_their_span_tree_when_tracing_is_on(
+    strict_server,
+):
+    original = tracing.is_enabled()
+    tracing.set_enabled(True)
+    try:
+        status, _, _ = fetch(strict_server, "GET", "/titles")
+        assert status == 200
+        assert wait_until(
+            lambda: any(
+                "trace" in row
+                for row in strict_server.slow_log.snapshot()
+                if row["path"] == "/titles"
+            )
+        )
+        _, _, raw = fetch(strict_server, "GET", "/debug/slow_requests")
+        payload = json.loads(raw)
+        traced = [
+            row
+            for row in payload["slow_requests"]
+            if row["path"] == "/titles" and "trace" in row
+        ]
+        assert traced, "breach under tracing should retain its span tree"
+        assert traced[-1]["trace"]["name"] == "http[GET /titles]"
+    finally:
+        tracing.set_enabled(original)
+        tracing.take_trace()
