@@ -219,6 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="shard sessions across N worker processes (0 = in-process)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=16, metavar="M",
+        help="capacity limit; POST /sessions past it returns 429",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="where evicted-session snapshots live (default: a tempdir)",
+    )
+    serve.add_argument(
+        "--evict-idle", type=float, default=300.0, metavar="SECONDS",
+        help="idle threshold before a session is snapshot-evicted",
+    )
 
     return parser
 
@@ -470,22 +486,68 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+    import signal
+    import threading
+
+    from .prox.manager import SessionManager
     from .prox.server import ProxServer
 
-    server = ProxServer(ProxSession(seed=args.seed), host=args.host, port=args.port)
+    if args.workers > 0:
+        # Sharded: fork the workers before building any session so each
+        # worker's arena is pristine and snapshot restores are zero-copy.
+        from .prox.workers import WorkerFront
+
+        front = WorkerFront(
+            n_workers=args.workers,
+            max_sessions=args.max_sessions,
+            snapshot_dir=args.snapshot_dir,
+            evict_idle_seconds=args.evict_idle,
+        )
+        front.start()
+        server = ProxServer(backend=front, host=args.host, port=args.port)
+    else:
+        manager = SessionManager(
+            factory=lambda sid: ProxSession(seed=args.seed, session_id=sid),
+            max_sessions=args.max_sessions,
+            snapshot_dir=args.snapshot_dir,
+            evict_idle_seconds=args.evict_idle,
+        )
+        manager.adopt(ProxSession(seed=args.seed))
+        manager.start_eviction_loop()
+        server = ProxServer(
+            session=None, host=args.host, port=args.port, manager=manager
+        )
+        # Single-session back-compat: unscoped routes hit the default.
+        server.app.default_session_id = manager.session_ids()[0]
     host, port = server.address
-    print(f"PROX HTTP API on http://{host}:{port} (Ctrl-C to stop)")
+    mode = f"{args.workers} workers" if args.workers > 0 else "in-process"
+    print(f"PROX HTTP API on http://{host}:{port} ({mode}; "
+          f"max {args.max_sessions} sessions; Ctrl-C or SIGTERM to drain)")
     print(f"  liveness: http://{host}:{port}/healthz")
     print(f"  metrics:  http://{host}:{port}/metrics (Prometheus text format)")
     server.start()
-    try:
-        import time
 
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        print("shutting down")
+    # Graceful shutdown: first SIGTERM/SIGINT drains in-flight requests
+    # and snapshots live sessions, then the process exits 0.
+    shutdown = threading.Event()
+
+    def _on_signal(signum, frame):
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    shutdown.wait()
+    print("draining: waiting for in-flight requests, snapshotting sessions")
+    try:
+        drained = server.drain()
+        snapshotted = drained.get("sessions")
+        if snapshotted:
+            print(f"drained: {snapshotted}")
+    finally:
+        if args.workers == 0:
+            manager.stop_eviction_loop()
         server.stop()
+    print("shutdown complete")
     return 0
 
 

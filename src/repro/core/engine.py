@@ -439,6 +439,13 @@ class ScoringEngine:
         # expression; delta carry additionally needs the merge's
         # per-valuation baseline delta (sparse scorers only).
         linked = self._carry_ready and self._carry_expr is measured_expr
+        if linked:
+            # A merge whose global term-canonicalization collapsed
+            # duplicates *outside* its own neighborhood breaks the
+            # carried-size identity for every candidate (the candidate's
+            # own merge would collapse the same pair), not just for
+            # intersecting ones -- drop the whole carry and re-measure.
+            linked = getattr(scorer, "last_shift_local", True)
         if linked and not self._lazy:
             linked = getattr(scorer, "last_delta", None) is not None
         if linked:

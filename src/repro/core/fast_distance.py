@@ -644,6 +644,16 @@ class IncrementalStepScorer(FastStepScorer):
         #: Expression-size change of the applied merge; a disjoint
         #: candidate's post-merge size is its carried size plus this.
         self.last_size_shift: int = 0
+        #: Whether ``last_size_shift`` is accounted for entirely by the
+        #: merge's own neighborhood.  ``apply_mapping`` canonicalizes
+        #: *every* monomial and merges equal terms globally, so a merge
+        #: can collapse duplicate terms that never mention the merged
+        #: annotations (possible only when the pre-merge expression was
+        #: not already canonical).  Such a collapse is not disjoint from
+        #: anything: a carried candidate's own merge would collapse the
+        #: same pair, so ``old_size + last_size_shift`` double-counts
+        #: it.  False ⇒ the engine must not carry sizes across this step.
+        self.last_shift_local: bool = True
 
         # Original results in evaluation-encounter order, shared across
         # steps: refolds after a merge must walk keys in the same order
@@ -1071,6 +1081,19 @@ class IncrementalStepScorer(FastStepScorer):
         key = self._key
         new_key = key(new_name)
         self.last_size_shift = new_expression.size() - self.current.size()
+        # Size held by terms the merge cannot rewrite (no part appears in
+        # them).  Mapped terms all contain ``new_key`` afterwards and
+        # unaffected terms never do, so equal terms collapsed by
+        # ``apply_mapping`` pair up strictly within one side; if the
+        # unaffected side's total size survives unchanged, every collapse
+        # was local to the merge's neighborhood and the carried-size
+        # identity ``old + last_size_shift`` is exact.
+        old_affected = set()
+        for name in parts:
+            old_affected.update(self._ann_terms.get(key(name), ()))
+        old_unaffected_size = self.current.size() - sum(
+            self._terms[index].size() for index in old_affected
+        )
         merged_mask = self._full_mask
         for name in parts:
             merged_mask &= self._mask[key(name)]
@@ -1082,6 +1105,12 @@ class IncrementalStepScorer(FastStepScorer):
 
         # Terms, dead masks and indexes: O(#terms) integer work.
         self._build_terms()
+
+        new_unaffected_size = new_expression.size() - sum(
+            self._terms[index].size()
+            for index in self._ann_terms.get(new_key, ())
+        )
+        self.last_shift_local = old_unaffected_size == new_unaffected_size
 
         # Group baselines: recompute the neighborhood, carry the rest.
         touched_groups = {

@@ -1,6 +1,8 @@
 """The PROX system (Chapter 7): selection, summarization, provisioning."""
 
+from .app import ProxApp
 from .evaluator import EvaluationOutcome, EvaluatorService
+from .manager import CapacityError, SessionManager
 from .selection import SelectionService
 from .server import ProxServer
 from .session import GroupView, ProxSession
@@ -12,10 +14,13 @@ from .summarization import (
 )
 
 __all__ = [
+    "CapacityError",
     "EvaluationOutcome",
     "EvaluatorService",
     "GroupView",
+    "ProxApp",
     "ProxServer",
+    "SessionManager",
     "ProxSession",
     "SelectionService",
     "SummarizationRequest",

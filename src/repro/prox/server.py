@@ -2,88 +2,76 @@
 
 The original PROX exposes its selection, summarization and evaluation
 services as REST endpoints behind a Java/Spring server.  This module
-provides the same API surface on ``http.server``:
+is the *HTTP adapter* only: socket plumbing, request metrics and
+latency-SLO accounting.  Routing and handler logic live in
+:class:`~repro.prox.app.ProxApp`, so the exact same handlers serve the
+single-process server here and the sharded multi-worker front
+(:mod:`repro.prox.workers`).
 
-=======  =====================  ==========================================
-method   path                   body / query
-=======  =====================  ==========================================
-GET      /titles                optional ``?search=substring``
-POST     /select                ``{"titles": [...]}`` or
-                                ``{"genre": ..., "year": ..., "decade": ...}``
-POST     /summarize             the Figure 7.4 form fields (all optional):
-                                ``distance_weight``, ``size_weight``,
-                                ``distance_bound``, ``size_bound``,
-                                ``number_of_steps``, ``aggregation``,
-                                ``valuation_class``, ``val_func``, plus the
-                                scoring-engine knobs ``parallelism``
-                                ("auto"/"off"/int), ``incremental``
-                                ("auto"/"on"/"off"), ``carry``
-                                ("auto"/"on"/"off") and ``lazy``
-                                ("on"/"off")
-GET      /summary/expression    the polynomial-form view (Figure 7.8)
-GET      /summary/groups        the groups view (Figures 7.5-7.7)
-POST     /ingest                a streaming provenance delta (see
-                                ``repro.serialization.delta_from_dict``):
-                                ``annotations``, ``terms``, ``valuations``,
-                                ``extend_valuations`` -- applied append-only
-                                to the live session so the next /summarize
-                                with ``"repair"`` repairs the summary
-POST     /evaluate              ``{"false_annotations": [...],
-                                "false_attributes": {...}}`` → original and
-                                summary answers with evaluation times
-GET      /healthz               liveness probe (lock-free, always answers)
-GET      /metrics               Prometheus text exposition of the process
-                                registry (lock-free)
-GET      /sessions              per-session resource accounts plus the
-                                eviction-advisor ranking (lock-free)
-GET      /sessions/<id>/stats   one session's resource account (lock-free)
-GET      /debug/profile         the continuous profiler's snapshot when
-                                ``REPRO_PROFILE`` is on; otherwise a
-                                bounded on-demand burst sample
-                                (``?seconds=0.5&hz=97``)
-GET      /debug/slow_requests   the tail-sampled ring of requests that
-                                breached their latency SLO (with span
-                                trees when ``REPRO_TRACE`` is on)
-=======  =====================  ==========================================
+=======  =========================  ======================================
+method   path                       body / query
+=======  =========================  ======================================
+GET      /titles                    optional ``?search=substring``
+POST     /select                    ``{"titles": [...]}`` or
+                                    ``{"genre": ..., "year": ...,
+                                    "decade": ...}``
+POST     /summarize                 the Figure 7.4 form fields plus the
+                                    scoring-engine knobs (see
+                                    :class:`SummarizationRequest`)
+GET      /summary/expression        the polynomial-form view (Figure 7.8)
+GET      /summary/groups            the groups view (Figures 7.5-7.7)
+POST     /ingest                    a streaming provenance delta
+POST     /evaluate                  ``{"false_annotations": [...],
+                                    "false_attributes": {...}}``
+POST     /sessions                  create a session -> 201; at the
+                                    capacity limit -> 429 + Retry-After
+DELETE   /sessions/<id>             close a session
+POST     /sessions/<id>/evict       snapshot-evict to disk now
+POST     /sessions/<id>/restore     rehydrate an evicted session now
+GET      /sessions                  per-session resource accounts,
+                                    manager stats, eviction ranking
+GET      /sessions/<id>/stats       one session's account (lock-free)
+GET      /healthz                   liveness probe (lock-free)
+GET      /metrics                   Prometheus text exposition
+GET      /debug/profile             profiler snapshot / bounded burst
+GET      /debug/slow_requests       tail-sampled SLO-breach ring
+=======  =========================  ======================================
+
+Every data route also accepts the session-scoped forms
+``/sessions/<id>/summarize`` and ``?session=<id>``; without either, the
+server's default session answers (single-session back-compat).  Each
+request locks only its own session -- ``/healthz``, ``/metrics``,
+``/sessions`` and a ``/summarize`` on another session never contend.
 
 Latency SLOs: every route has a declared target
 (:class:`~repro.observability.slo.SloPolicy`; override via
 ``ProxServer(slo=...)``).  A request slower than its target counts one
 ``prox_slo_breaches_total{scope=<route>}`` and is retained in the
-slow-request ring -- with its full span tree when tracing is enabled
-(tail sampling: only the interesting traces are kept, and the ring is
-bounded).
+slow-request ring -- with its full span tree when tracing is enabled.
 
 Responses are JSON (``/metrics`` is ``text/plain``); errors use
-conventional status codes with a ``{"error": ...}`` body.  One server
-hosts one :class:`~repro.prox.session.ProxSession` (like the demo
-deployment).  Every request is counted in
-``prox_http_requests_total{method,path,status}`` / timed in
-``prox_http_request_seconds`` and logged at INFO through
-``repro.prox.server`` (key=value lines; ``REPRO_LOG_LEVEL`` gates
-them, so tests stay silent at the default ``warning``).
+conventional status codes with a ``{"error": ...}`` body.  Every
+request is counted in ``prox_http_requests_total{method,path,status}``
+/ timed in ``prox_http_request_seconds`` and logged at INFO through
+``repro.prox.server``.
 """
 
 from __future__ import annotations
 
 import json
-import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlparse
 
-from ..observability import health as _health
 from ..observability import log as _log
 from ..observability import metrics as _metrics
 from ..observability import profiling as _profiling
-from ..observability import resources as _resources
 from ..observability import slo as _slo
 from ..observability import tracing as _tracing
-from ..provenance import ir as _ir
+from .app import ProxApp, metric_path as _metric_path
+from .manager import SessionManager
 from .session import ProxSession
-from .summarization import SummarizationRequest
 
 _LOG = _log.get_logger("prox.server")
 _HTTP_REQUESTS = _metrics.counter(
@@ -97,49 +85,18 @@ _HTTP_SECONDS = _metrics.histogram(
     labelnames=("path",),
 )
 
-#: Routes used as metric label values; anything else becomes "other"
-#: so scrape cardinality stays bounded under hostile paths.
-_KNOWN_PATHS = frozenset(
-    {
-        "/titles",
-        "/select",
-        "/summarize",
-        "/ingest",
-        "/evaluate",
-        "/summary/expression",
-        "/summary/groups",
-        "/healthz",
-        "/metrics",
-        "/sessions",
-        "/debug/profile",
-        "/debug/slow_requests",
-    }
-)
-
-_SESSION_STATS_PATH = re.compile(r"^/sessions/([^/]+)/stats$")
-
-
-def _metric_path(path: str) -> str:
-    """The bounded-cardinality route label for ``path``."""
-    if path in _KNOWN_PATHS:
-        return path
-    if _SESSION_STATS_PATH.match(path):
-        return "/sessions/<id>/stats"
-    return "other"
-
 
 class ProxRequestHandler(BaseHTTPRequestHandler):
-    """Dispatches the PROX REST API onto the server's session."""
+    """Thin HTTP adapter: parse, dispatch to the backend, write."""
 
     server_version = "PROX/1.0"
-    #: Set by ProxServer; the shared session plus its lock, the latency
-    #: SLO policy and the tail-sampled slow-request ring.
-    session: ProxSession
-    lock: threading.Lock
+    #: Set by ProxServer: the dispatch backend (a ProxApp or a sharded
+    #: front), the latency SLO policy, the tail-sampled slow-request
+    #: ring, and the owning server (in-flight accounting for drain).
+    backend: Any
     slo_policy: _slo.SloPolicy
     slow_log: _slo.SlowRequestLog
-
-    # -- plumbing -----------------------------------------------------------
+    prox_server: "ProxServer"
 
     #: Status of the response most recently written by this handler.
     _last_status: int = 0
@@ -151,23 +108,24 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
         them)."""
         _LOG.debug("http_server message=%s", format % args)
 
-    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_bytes(self, status: int, body: bytes, content_type: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
         self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
-        self._send_bytes(status, body, "application/json; charset=utf-8")
-
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        self._send_bytes(status, text.encode("utf-8"), content_type)
-
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _send_response(self, response: Tuple[int, Any, str, Dict[str, str]]) -> None:
+        status, payload, content_type, headers = response
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self._send_bytes(status, body, content_type, headers)
 
     def _body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0))
@@ -182,7 +140,7 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return data
 
-    # -- routing --------------------------------------------------------------
+    # -- plumbing -----------------------------------------------------------
 
     def _observe(self, method: str, path: str, started: float) -> None:
         elapsed = time.perf_counter() - started
@@ -220,272 +178,61 @@ class ProxRequestHandler(BaseHTTPRequestHandler):
             elapsed,
         )
 
-    def do_GET(self) -> None:  # noqa: N802
+    def _handle(self, method: str) -> None:
         started = time.perf_counter()
+        from urllib.parse import parse_qs, urlparse
+
         parsed = urlparse(self.path)
+        self.prox_server._request_started()
         try:
-            with _tracing.span("http[GET %s]", parsed.path):
-                self._route_get(parsed)
+            with _tracing.span("http[%s %s]", method, parsed.path):
+                try:
+                    body = self._body() if method in ("POST", "DELETE") else {}
+                except ValueError as error:
+                    self._send_response(
+                        (400, {"error": str(error)},
+                         "application/json; charset=utf-8", {})
+                    )
+                    return
+                query = {
+                    key: values[0]
+                    for key, values in parse_qs(parsed.query).items()
+                }
+                response = self.backend.dispatch(
+                    method, parsed.path, query, body
+                )
+                self._send_response(response)
         finally:
-            self._observe("GET", parsed.path, started)
+            self.prox_server._request_finished()
+            self._observe(method, parsed.path, started)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        started = time.perf_counter()
-        parsed = urlparse(self.path)
-        try:
-            with _tracing.span("http[POST %s]", parsed.path):
-                self._route_post(parsed)
-        finally:
-            self._observe("POST", parsed.path, started)
+        self._handle("POST")
 
-    def _route_get(self, parsed) -> None:
-        # Observability endpoints answer without the session lock: a
-        # probe must succeed even while a long summarization holds it.
-        if parsed.path == "/healthz":
-            self._send(200, _health.health_payload(self._health_extra()))
-            return
-        if parsed.path == "/metrics":
-            self._send_text(
-                200,
-                _metrics.REGISTRY.render(),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-            return
-        if parsed.path == "/sessions":
-            self._send(
-                200,
-                {
-                    "count": _resources.REGISTRY.count(),
-                    "sessions": _resources.REGISTRY.snapshot(),
-                    "eviction_ranking": _resources.REGISTRY.eviction_ranking(),
-                },
-            )
-            return
-        session_stats = _SESSION_STATS_PATH.match(parsed.path)
-        if session_stats:
-            account = _resources.REGISTRY.get(session_stats.group(1))
-            if account is None:
-                self._error(
-                    404, f"unknown session {session_stats.group(1)!r}"
-                )
-            else:
-                self._send(200, account.to_dict())
-            return
-        if parsed.path == "/debug/profile":
-            self._handle_profile(parsed)
-            return
-        if parsed.path == "/debug/slow_requests":
-            self._send(
-                200,
-                {
-                    "slow_requests": self.slow_log.snapshot(),
-                    "total_recorded": self.slow_log.total_recorded,
-                    "slo": self.slo_policy.describe(),
-                    "tracing_enabled": _tracing.is_enabled(),
-                },
-            )
-            return
-        try:
-            with self.lock:
-                if parsed.path == "/titles":
-                    query = parse_qs(parsed.query)
-                    search = query.get("search", [None])[0]
-                    self._send(200, {"titles": list(self.session.titles(search))})
-                elif parsed.path == "/summary/expression":
-                    self._send(200, {"expression": self.session.expression_view()})
-                elif parsed.path == "/summary/groups":
-                    groups = [
-                        {
-                            "annotation": group.annotation,
-                            "size": group.size,
-                            "members": list(group.members),
-                            "shared_attributes": dict(group.shared_attributes),
-                            "aggregated": dict(group.aggregated),
-                        }
-                        for group in self.session.groups_view()
-                    ]
-                    self._send(200, {"groups": groups})
-                else:
-                    self._error(404, f"unknown path {parsed.path}")
-        except RuntimeError as error:
-            self._error(409, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, str(error))
-
-    def _handle_profile(self, parsed) -> None:
-        """The continuous profiler's snapshot, or an on-demand burst.
-
-        Lock-free with respect to the session: the sampler observes the
-        summarizing thread from outside, which is exactly the point.
-        """
-        profiler = _profiling.ensure_global()
-        if profiler is not None:
-            self._send(200, profiler.snapshot())
-            return
-        query = parse_qs(parsed.query)
-        try:
-            seconds = float(query.get("seconds", ["0.5"])[0])
-            hz = float(query.get("hz", [str(_profiling.DEFAULT_HZ)])[0])
-            if hz <= 0 or hz > _profiling.MAX_HZ:
-                raise ValueError(
-                    f"hz must be in (0, {_profiling.MAX_HZ:g}]"
-                )
-            if seconds <= 0 or seconds > _profiling.MAX_BURST_SECONDS:
-                raise ValueError(
-                    f"seconds must be in (0, {_profiling.MAX_BURST_SECONDS:g}]"
-                )
-        except ValueError as error:
-            self._error(400, f"invalid profile parameters: {error}")
-            return
-        self._send(200, _profiling.burst_sample(seconds=seconds, hz=hz))
-
-    def _health_extra(self) -> Dict[str, Any]:
-        # Benign unlocked reads: attribute loads and int-sized counters.
-        interner = self.session.interner
-        return {
-            "selected": self.session.selected is not None,
-            "summarized": self.session.result is not None,
-            "session_id": self.session.session_id,
-            "slo_breaches_total": self.slow_log.total_recorded,
-            "ir_mode": _ir.active_mode(),
-            "ir_interned_annotations": len(interner) if interner is not None else 0,
-            "ir_arena_bytes": _ir.GLOBAL_STORE.arena_bytes(),
-        }
-
-    def _route_post(self, parsed) -> None:
-        try:
-            body = self._body()
-            with self.lock:
-                if parsed.path == "/select":
-                    self._handle_select(body)
-                elif parsed.path == "/summarize":
-                    self._handle_summarize(body)
-                elif parsed.path == "/ingest":
-                    self._handle_ingest(body)
-                elif parsed.path == "/evaluate":
-                    self._handle_evaluate(body)
-                else:
-                    self._error(404, f"unknown path {parsed.path}")
-        except (ValueError, KeyError, LookupError) as error:
-            self._error(400, str(error))
-        except RuntimeError as error:
-            self._error(409, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, str(error))
-
-    # -- handlers ----------------------------------------------------------------
-
-    def _handle_select(self, body: Dict[str, Any]) -> None:
-        if "titles" in body:
-            size = self.session.select_titles(list(body["titles"]))
-        else:
-            size = self.session.select_by(
-                genre=body.get("genre"),
-                year=body.get("year"),
-                decade=body.get("decade"),
-            )
-        self._send(200, {"selected_size": size})
-
-    def _handle_summarize(self, body: Dict[str, Any]) -> None:
-        allowed = {
-            "distance_weight",
-            "size_weight",
-            "distance_bound",
-            "size_bound",
-            "number_of_steps",
-            "aggregation",
-            "valuation_class",
-            "val_func",
-            "parallelism",
-            "incremental",
-            "carry",
-            "lazy",
-            "sample_sharing",
-            "sample_block",
-            "repair",
-            "slo_seconds",
-        }
-        unknown = set(body) - allowed - {"seed"}
-        if unknown:
-            raise ValueError(f"unknown summarization parameters: {sorted(unknown)}")
-        request = SummarizationRequest(
-            **{key: value for key, value in body.items() if key in allowed}
-        )
-        result = self.session.summarize(request, seed=int(body.get("seed", 0)))
-        scoring_paths: Dict[str, int] = {}
-        for record in result.steps:
-            path = record.scoring_path or "unknown"
-            scoring_paths[path] = scoring_paths.get(path, 0) + 1
-        self._send(
-            200,
-            {
-                "size": result.final_size,
-                "distance": result.final_distance.normalized,
-                "steps": result.n_steps,
-                "stop_reason": result.stop_reason,
-                "total_seconds": result.total_seconds,
-                "scoring_paths": scoring_paths,
-                "repaired": result.repaired,
-                "repair_invalidated": result.repair_invalidated,
-                "repair_seeded": result.repair_seeded,
-                "steps_detail": [
-                    {
-                        "step": record.step,
-                        "merged": list(record.merged),
-                        "label": record.label,
-                        "size_after": record.size_after,
-                        "distance_after": (
-                            record.distance_after.normalized
-                            if record.distance_after is not None
-                            else None
-                        ),
-                        "n_candidates": record.n_candidates,
-                        "n_rescored": record.n_rescored,
-                        "scoring_path": record.scoring_path,
-                        "candidate_seconds": record.candidate_seconds,
-                        "step_seconds": record.step_seconds,
-                    }
-                    for record in result.steps
-                ],
-            },
-        )
-
-    def _handle_ingest(self, body: Dict[str, Any]) -> None:
-        from ..serialization import delta_from_dict
-
-        delta = delta_from_dict({"kind": "delta", **body})
-        stats = self.session.ingest(delta)
-        self._send(200, dict(stats))
-
-    def _handle_evaluate(self, body: Dict[str, Any]) -> None:
-        original, summary = self.session.evaluate(
-            false_annotations=list(body.get("false_annotations", ())),
-            false_attributes=body.get("false_attributes"),
-        )
-        self._send(
-            200,
-            {
-                "original": {
-                    "ratings": dict(original.ratings),
-                    "evaluation_time_ns": original.evaluation_time_ns,
-                },
-                "summary": {
-                    "ratings": dict(summary.ratings),
-                    "evaluation_time_ns": summary.evaluation_time_ns,
-                },
-            },
-        )
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
 
 
 class ProxServer:
-    """A threaded PROX HTTP server around one session.
+    """A threaded PROX HTTP server over a dispatch backend.
 
-    Usage::
+    Single-session back-compat (the demo deployment)::
 
         server = ProxServer(session)          # port 0: pick a free port
         server.start()
         ... http requests against server.address ...
         server.stop()
+
+    Multi-session::
+
+        server = ProxServer(manager=SessionManager(max_sessions=32))
+
+    Sharded (see :mod:`repro.prox.workers`)::
+
+        server = ProxServer(backend=WorkerFront(workers=2))
     """
 
     def __init__(
@@ -494,22 +241,67 @@ class ProxServer:
         host: str = "127.0.0.1",
         port: int = 0,
         slo: Optional[_slo.SloPolicy] = None,
+        manager: Optional[SessionManager] = None,
+        backend: Optional[Any] = None,
     ):
-        self.session = session if session is not None else ProxSession()
         self.slo = slo if slo is not None else _slo.SloPolicy()
         self.slow_log = _slo.SlowRequestLog(ring_size=self.slo.ring_size)
+        self.manager: Optional[SessionManager] = None
+        self.app: Optional[ProxApp] = None
+        self.session: Optional[ProxSession] = None
+        if backend is not None:
+            if session is not None or manager is not None:
+                raise ValueError("backend= excludes session=/manager=")
+            self.backend = backend
+        else:
+            self.manager = manager if manager is not None else SessionManager()
+            default_session_id: Optional[str] = None
+            if session is None and manager is None:
+                session = ProxSession()
+            if session is not None:
+                self.manager.adopt(session)
+                default_session_id = session.session_id
+                self.session = session
+            self.app = ProxApp(
+                manager=self.manager,
+                slo=self.slo,
+                slow_log=self.slow_log,
+                default_session_id=default_session_id,
+            )
+            self.backend = self.app
         handler = type(
             "BoundProxHandler",
             (ProxRequestHandler,),
             {
-                "session": self.session,
-                "lock": threading.Lock(),
+                "backend": self.backend,
                 "slo_policy": self.slo,
                 "slow_log": self.slow_log,
+                "prox_server": self,
             },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    # -- in-flight accounting (drain) --------------------------------------
+
+    def _request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+
+    def _request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.set()
+
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -528,13 +320,50 @@ class ProxServer:
         host, port = self.address
         _LOG.info("server_started host=%s port=%d", host, port)
 
+    def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Graceful shutdown, phase 1: quiesce and snapshot.
+
+        Stops accepting new connections, waits for in-flight requests
+        to finish (``ThreadingHTTPServer`` handler threads are daemons,
+        so nothing else would), then snapshots live sessions via the
+        backend.  Call :meth:`stop` afterwards to release the socket.
+        """
+        self._httpd.shutdown()
+        drained_in_time = self._idle.wait(timeout)
+        result: Dict[str, Any] = {"inflight_drained": drained_in_time}
+        if not drained_in_time:  # pragma: no cover - pathological hang
+            result["inflight_remaining"] = self.inflight()
+            _LOG.warning(
+                "drain_timeout inflight=%d timeout=%.1f",
+                self.inflight(),
+                timeout,
+            )
+        if hasattr(self.backend, "drain"):
+            result["sessions"] = self.backend.drain()
+        elif self.manager is not None:
+            result["sessions"] = self.manager.drain()
+        _LOG.info("server_drained result=%s", result)
+        return result
+
     def stop(self) -> None:
+        """Stop the accept loop and release the socket.
+
+        Raises :class:`RuntimeError` if the server thread fails to exit
+        within the join timeout -- a silently leaked thread would keep
+        the port bound and hide the hang.
+        """
         if self._thread is None:
             return
         self._httpd.shutdown()
-        self._thread.join(timeout=5)
+        thread = self._thread
+        thread.join(timeout=5)
         self._httpd.server_close()
         self._thread = None
+        if thread.is_alive():
+            raise RuntimeError(
+                "server thread failed to stop within 5s; socket closed "
+                "but the serve loop is still running"
+            )
         _LOG.info("server_stopped")
 
     def __enter__(self) -> "ProxServer":

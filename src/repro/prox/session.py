@@ -17,10 +17,11 @@ value is the workflow it exposes, not the HTTP plumbing (DESIGN.md).
 
 from __future__ import annotations
 
+import os
 import weakref
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.streaming import ProvenanceDelta, apply_delta
 from ..core.summarize import SummarizationResult
@@ -41,6 +42,36 @@ _INGEST_DELTAS = _metrics.counter(
 )
 
 
+def _recipe_for(instance: Optional[DatasetInstance], seed: int) -> Optional[Dict]:
+    """A JSON-able regeneration recipe for the session's instance.
+
+    The dataset generators are fully seeded (regenerating is exact --
+    see :mod:`repro.datasets.base`), so a snapshot stores the recipe
+    plus the session's event log instead of the object graph.  Returns
+    ``None`` for instances without a recoverable config: such sessions
+    still serve, but cannot be snapshot-evicted.
+    """
+    if instance is None:
+        return {
+            "kind": "movielens",
+            "config": asdict(MovieLensConfig(include_movie_merges=True, seed=seed)),
+        }
+    config = instance.metadata.get("config")
+    if isinstance(config, MovieLensConfig):
+        return {"kind": "movielens", "config": asdict(config)}
+    return None
+
+
+def _instance_from_recipe(recipe: Mapping[str, Any]) -> DatasetInstance:
+    """Regenerate a dataset instance from its snapshot recipe."""
+    if recipe.get("kind") != "movielens":
+        raise ValueError(f"unknown snapshot recipe kind {recipe.get('kind')!r}")
+    config = dict(recipe["config"])
+    if "constraint_attributes" in config:
+        config["constraint_attributes"] = tuple(config["constraint_attributes"])
+    return generate_movielens(MovieLensConfig(**config))
+
+
 @dataclass
 class GroupView:
     """One card of the groups view (Figures 7.5-7.7)."""
@@ -55,7 +86,14 @@ class GroupView:
 class ProxSession:
     """One user's PROX session over a provenance instance."""
 
-    def __init__(self, instance: Optional[DatasetInstance] = None, seed: int = 0):
+    def __init__(
+        self,
+        instance: Optional[DatasetInstance] = None,
+        seed: int = 0,
+        session_id: Optional[str] = None,
+        interner: Optional[_ir.AnnotationInterner] = None,
+    ):
+        recipe = _recipe_for(instance, seed)
         if instance is None:
             instance = generate_movielens(
                 MovieLensConfig(include_movie_merges=True, seed=seed)
@@ -65,10 +103,11 @@ class ProxSession:
         # first /summarize stay stable for every later call, so repeated
         # summarizations key their scoring state on already-dense ids
         # instead of re-parsing annotation strings (None under
-        # REPRO_IR=legacy).
-        self.interner: Optional[_ir.AnnotationInterner] = (
-            _ir.AnnotationInterner() if _ir.ir_enabled() else None
-        )
+        # REPRO_IR=legacy).  ``restore`` passes a snapshot-backed
+        # interner so the restored session keeps its original id layout.
+        if interner is None and _ir.ir_enabled():
+            interner = _ir.AnnotationInterner()
+        self.interner: Optional[_ir.AnnotationInterner] = interner
         self.selection = SelectionService(instance)
         self.summarization = SummarizationService(instance, interner=self.interner)
         self.evaluator = EvaluatorService(instance)
@@ -76,10 +115,17 @@ class ProxSession:
         self.result: Optional[SummarizationResult] = None
         #: Streaming deltas applied so far (mirrors the metric counter).
         self.ingested_deltas = 0
+        #: Regeneration recipe + replayable event log: together they
+        #: make the session snapshotable (``snapshot``/``restore``).
+        self._recipe = recipe
+        self._events: List[Tuple[str, object]] = []
+        self._replaying = False
+        self._pending_summarize: Optional[Tuple[Dict[str, object], int]] = None
+        self._last_summarize: Optional[Tuple[Dict[str, object], int]] = None
         #: Per-session resource account (``GET /sessions/<id>/stats``,
         #: ``prox_session_*`` gauges, eviction advisor).  Automatically
         #: unregistered when the session is garbage collected.
-        self.account = _resources.REGISTRY.register()
+        self.account = _resources.REGISTRY.register(session_id)
         self._finalizer = weakref.finalize(
             self, _resources.REGISTRY.unregister, self.account.session_id
         )
@@ -104,6 +150,7 @@ class ProxSession:
         self.selected = self.selection.by_titles(titles)
         self.result = None
         self.summarization.reset_repair()
+        self._record_event("select_titles", list(titles))
         self.account.record_select(self.selected.size())
         return self.selected.size()
 
@@ -117,6 +164,9 @@ class ProxSession:
         self.selected = self.selection.by_attributes(genre, year, decade)
         self.result = None
         self.summarization.reset_repair()
+        self._record_event(
+            "select_by", {"genre": genre, "year": year, "decade": decade}
+        )
         self.account.record_select(self.selected.size())
         return self.selected.size()
 
@@ -174,6 +224,10 @@ class ProxSession:
                 span.set("terms", len(delta.terms))
                 span.set("extended_valuations", len(delta.extend_valuations))
                 span.set("selected_size", self.selected.size())
+        if not self._replaying:
+            from .. import serialization as _serialization
+
+            self._record_event("ingest", _serialization.delta_to_dict(delta))
         self.account.record_ingest(
             arena_growth=_ir.GLOBAL_STORE.arena_bytes() - arena_before,
             selected_size=self.selected.size(),
@@ -196,6 +250,8 @@ class ProxSession:
             raise RuntimeError("select provenance first (selection view)")
         arena_before = _ir.GLOBAL_STORE.arena_bytes()
         self.result = self.summarization.summarize(self.selected, request, seed)
+        self._last_summarize = (asdict(request), seed)
+        self._pending_summarize = None
         if self.interner is not None:
             _ir.publish_metrics(interner=self.interner)
         self.account.record_summarize(
@@ -298,6 +354,114 @@ class ProxSession:
         return original, summary
 
     def _require_result(self) -> SummarizationResult:
+        if self.result is None and self._pending_summarize is not None:
+            request_dict, seed = self._pending_summarize
+            self.summarize(SummarizationRequest(**request_dict), seed)
         if self.result is None:
             raise RuntimeError("summarize first (summarization view)")
         return self.result
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def _record_event(self, kind: str, payload: object) -> None:
+        if not self._replaying:
+            self._events.append((kind, payload))
+
+    def can_snapshot(self) -> bool:
+        """Whether this session can be snapshot-evicted.
+
+        Requires a regeneration recipe for the instance (ad-hoc
+        instances passed in without a generator config cannot be
+        rebuilt from disk).
+        """
+        return self._recipe is not None
+
+    def snapshot(self, path: str) -> Dict[str, object]:
+        """Write the session to ``path`` as a PROXSN01 snapshot.
+
+        The snapshot stores the dataset recipe, the replayable event
+        log (selections + ingested deltas), the last summarize request,
+        the session interner's name table, and — under the IR — a
+        zero-copy PROXAR03 image of the process arena.  Summarization
+        results and repair state are deliberately dropped: PR 6's
+        differential suite proves repaired ≡ from-scratch bit-identical,
+        so the restored session recomputes them deterministically.
+        """
+        if not self.can_snapshot():
+            raise RuntimeError(
+                "session instance has no regeneration recipe; cannot snapshot"
+            )
+        from .. import serialization as _serialization
+
+        last = self._last_summarize or self._pending_summarize
+        meta = {
+            "version": 1,
+            "session_id": self.session_id,
+            "recipe": self._recipe,
+            "events": [[kind, payload] for kind, payload in self._events],
+            "last_summarize": (
+                [last[0], last[1]] if last is not None else None
+            ),
+            "ingested_deltas": self.ingested_deltas,
+        }
+        store = _ir.GLOBAL_STORE if _ir.ir_enabled() else None
+        names = list(self.interner) if self.interner is not None else None
+        _serialization.write_session_snapshot(
+            path, meta, interner_names=names, store=store
+        )
+        return {"path": path, "bytes": os.path.getsize(path)}
+
+    @classmethod
+    def restore(cls, path: str, session_id: Optional[str] = None) -> "ProxSession":
+        """Rehydrate a session from a snapshot written by :meth:`snapshot`.
+
+        When the process arena is still pristine (e.g. a freshly forked
+        worker), the snapshot's arena block is installed as the global
+        store *zero-copy* — monomial columns stay memory-mapped views
+        into the snapshot file and later ingests promote to a private
+        writable tail.  Otherwise the event replay re-interns terms into
+        the existing arena; PR 3's differential guarantees make results
+        independent of monomial-id layout either way.
+        """
+        from .. import serialization as _serialization
+
+        meta, names_blob, store = _serialization.load_session_snapshot(path)
+        if (
+            store is not None
+            and _ir.ir_enabled()
+            and _ir.store_is_pristine()
+        ):
+            _ir.install_store(store)
+        interner = None
+        if _ir.ir_enabled():
+            interner = (
+                _ir.AnnotationInterner.from_snapshot(names_blob)
+                if names_blob
+                else _ir.AnnotationInterner()
+            )
+        instance = _instance_from_recipe(meta["recipe"])
+        session = cls(
+            instance,
+            session_id=session_id or meta.get("session_id"),
+            interner=interner,
+        )
+        session._replaying = True
+        try:
+            for kind, payload in meta.get("events", []):
+                if kind == "select_titles":
+                    session.select_titles(payload)
+                elif kind == "select_by":
+                    session.select_by(**payload)
+                elif kind == "ingest":
+                    session.ingest(_serialization.delta_from_dict(payload))
+                else:
+                    raise ValueError(f"unknown snapshot event {kind!r}")
+        finally:
+            session._replaying = False
+        session._events = [(kind, payload) for kind, payload in meta.get("events", [])]
+        last = meta.get("last_summarize")
+        if last is not None:
+            # Re-run lazily on the next touch that needs a result, so
+            # rehydration stays cheap for sessions only being listed.
+            session._pending_summarize = (dict(last[0]), int(last[1]))
+        return session

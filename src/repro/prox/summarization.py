@@ -175,16 +175,17 @@ class SummarizationService:
         extended.name = valuations.name
         return extended
 
-    def summarize(
+    def build_problem(
         self,
         selected: TensorSum,
         request: SummarizationRequest = SummarizationRequest(),
-        seed: int = 0,
-    ) -> SummarizationResult:
-        """Run Algorithm 1 on ``selected`` provenance.
+    ) -> SummarizationProblem:
+        """The :class:`SummarizationProblem` a request resolves to.
 
-        The aggregation / valuation class / VAL-FUNC dropdowns override
-        the instance defaults.
+        Factored out of :meth:`summarize` so callers can drive other
+        summarizers (e.g. :class:`~repro.core.beam.BeamSummarizer`)
+        over exactly the session's problem -- the snapshot/restore
+        differential suite relies on this.
         """
         monoid = monoid_by_name(request.aggregation)
         expression = TensorSum(selected.terms, monoid)
@@ -209,7 +210,7 @@ class SummarizationService:
                 f"unknown VAL-FUNC {request.val_func!r}; expected one of "
                 f"{sorted(VAL_FUNCS)}"
             ) from None
-        problem = SummarizationProblem(
+        return SummarizationProblem(
             expression=expression,
             universe=self.instance.universe,
             valuations=valuations,
@@ -220,6 +221,19 @@ class SummarizationService:
             description=f"PROX selection of {len(expression.groups())} movies",
             interner=self.interner,
         )
+
+    def summarize(
+        self,
+        selected: TensorSum,
+        request: SummarizationRequest = SummarizationRequest(),
+        seed: int = 0,
+    ) -> SummarizationResult:
+        """Run Algorithm 1 on ``selected`` provenance.
+
+        The aggregation / valuation class / VAL-FUNC dropdowns override
+        the instance defaults.
+        """
+        problem = self.build_problem(selected, request)
         # A carried repair state is only sound for the request shape it
         # was captured under -- a different monoid / class / VAL-FUNC
         # (or seed: RNG streams must replay) recomputes from scratch.

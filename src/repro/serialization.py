@@ -29,9 +29,12 @@ Version-1 payloads still load.
 from __future__ import annotations
 
 import json
+import mmap
+import os
 import struct
+import sys
 from array import array
-from typing import Any, Dict, IO, List, Mapping, Union
+from typing import Any, Dict, IO, List, Mapping, Optional, Tuple, Union
 
 from .core.streaming import ProvenanceDelta
 from .core.summarize import SummarizationResult
@@ -452,6 +455,235 @@ def _rebuild_store(
                 f"arena monomials are not canonical/deduplicated at id {mono}"
             )
     return store
+
+
+# -- mmap-able arena snapshots (format version 3) -------------------------------
+#
+# The v2 ``PROXIR`` blob above is compact but *parse-on-load*: every
+# int64 is unpacked into Python objects.  The arena *snapshot* layout
+# below is the zero-copy extension the serving tier evicts and
+# rehydrates sessions through: every block sits at an 8-byte-aligned
+# offset, so a loader can ``mmap`` the file and hand the pair/bounds/
+# sizes blocks to :meth:`repro.provenance.ir.TermStore.from_buffers`
+# as ``memoryview('q')``s -- restore touches no monomial bytes at all.
+#
+# Layout (all offsets 8-aligned)::
+#
+#     0   magic  b"PROXAR03"
+#     8   <QQQQQ> names_len, n_pairs, n_bounds, n_sizes, flags
+#     48  name block   names_len bytes of NUL-separated UTF-8, padded to 8
+#     .   pair block   n_pairs  * int64 (native order; flags bit 0 = LE)
+#     .   bounds block n_bounds * int64
+#     .   sizes block  n_sizes  * int64
+#
+# ``flags`` bit 0 records the writer's endianness; a reader on the
+# other endianness falls back to an eager (copying) decode.
+
+_ARENA_SNAPSHOT_MAGIC = b"PROXAR03"
+_ARENA_SNAPSHOT_HEADER = "<QQQQQ"
+_FLAG_LITTLE_ENDIAN = 1
+
+
+def _pad8(length: int) -> int:
+    return (-length) % 8
+
+
+def _int64_bytes(column) -> bytes:
+    """Native-order packed bytes of an arena column (array or IntColumn)."""
+    if isinstance(column, array):
+        return column.tobytes()
+    return array("q", iter(column)).tobytes()
+
+
+def arena_snapshot_bytes(store: TermStore) -> bytes:
+    """The word-aligned, mmap-able snapshot encoding of an arena.
+
+    Re-snapshotting a store loaded by :func:`load_arena_snapshot` (with
+    no intervening appends) is byte-identical -- the golden round-trip
+    the serving tier's eviction path relies on.
+    """
+    names_blob = b"\x00".join(name.encode("utf-8") for name in store.interner)
+    pair_bytes = _int64_bytes(store._pair_data)
+    bounds_bytes = _int64_bytes(store._bounds)
+    sizes_bytes = _int64_bytes(store._mono_sizes)
+    flags = _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+    parts = [
+        _ARENA_SNAPSHOT_MAGIC,
+        struct.pack(
+            _ARENA_SNAPSHOT_HEADER,
+            len(names_blob),
+            len(pair_bytes) // 8,
+            len(bounds_bytes) // 8,
+            len(sizes_bytes) // 8,
+            flags,
+        ),
+        names_blob,
+        b"\x00" * _pad8(len(names_blob)),
+        pair_bytes,
+        bounds_bytes,
+        sizes_bytes,
+    ]
+    return b"".join(parts)
+
+
+def arena_snapshot_length(buffer, offset: int = 0) -> int:
+    """Total byte length of the snapshot starting at ``offset``."""
+    names_len, n_pairs, n_bounds, n_sizes, _ = struct.unpack_from(
+        _ARENA_SNAPSHOT_HEADER, buffer, offset + len(_ARENA_SNAPSHOT_MAGIC)
+    )
+    header = len(_ARENA_SNAPSHOT_MAGIC) + struct.calcsize(_ARENA_SNAPSHOT_HEADER)
+    return header + names_len + _pad8(names_len) + 8 * (n_pairs + n_bounds + n_sizes)
+
+
+def arena_from_buffer(buffer: memoryview, offset: int = 0) -> TermStore:
+    """Wrap one arena snapshot inside ``buffer`` without copying it.
+
+    ``buffer`` is typically a ``memoryview`` over an ``mmap``; the
+    returned store's pair/bounds/sizes columns read straight from it
+    (appends go to a private tail -- see
+    :class:`repro.provenance.ir.IntColumn`).  ``offset`` must be
+    8-aligned relative to the mapping.
+    """
+    if bytes(buffer[offset : offset + len(_ARENA_SNAPSHOT_MAGIC)]) != (
+        _ARENA_SNAPSHOT_MAGIC
+    ):
+        raise SerializationError("not an arena snapshot (bad magic)")
+    header_at = offset + len(_ARENA_SNAPSHOT_MAGIC)
+    try:
+        names_len, n_pairs, n_bounds, n_sizes, flags = struct.unpack_from(
+            _ARENA_SNAPSHOT_HEADER, buffer, header_at
+        )
+    except struct.error as error:
+        raise SerializationError(f"truncated arena snapshot: {error}") from None
+    cursor = header_at + struct.calcsize(_ARENA_SNAPSHOT_HEADER)
+    names_blob = bytes(buffer[cursor : cursor + names_len])
+    if len(names_blob) != names_len:
+        raise SerializationError("truncated arena snapshot name block")
+    cursor += names_len + _pad8(names_len)
+    writer_little = bool(flags & _FLAG_LITTLE_ENDIAN)
+    if writer_little != (sys.byteorder == "little"):
+        # Cross-endian snapshot: fall back to an eager decode (correct,
+        # but copying) through the v2 rebuild path.
+        endian = "<" if writer_little else ">"
+        pair_data = list(
+            struct.unpack_from(f"{endian}{n_pairs}q", buffer, cursor)
+        )
+        bounds = list(
+            struct.unpack_from(f"{endian}{n_bounds}q", buffer, cursor + 8 * n_pairs)
+        )
+        names = (
+            [part.decode("utf-8") for part in names_blob.split(b"\x00")]
+            if names_blob
+            else []
+        )
+        return _rebuild_store(names, pair_data, bounds)
+    end_pairs = cursor + 8 * n_pairs
+    end_bounds = end_pairs + 8 * n_bounds
+    end_sizes = end_bounds + 8 * n_sizes
+    if end_sizes > len(buffer):
+        raise SerializationError("truncated arena snapshot blocks")
+    pair_base = buffer[cursor:end_pairs].cast("q")
+    bounds_base = buffer[end_pairs:end_bounds].cast("q")
+    sizes_base = buffer[end_bounds:end_sizes].cast("q")
+    try:
+        return TermStore.from_buffers(names_blob, pair_base, bounds_base, sizes_base)
+    except ValueError as error:
+        raise SerializationError(str(error)) from None
+
+
+def write_arena_snapshot(store: TermStore, path: Union[str, os.PathLike]) -> int:
+    """Write one arena snapshot file; returns the byte count."""
+    blob = arena_snapshot_bytes(store)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_arena_snapshot(path: Union[str, os.PathLike]) -> TermStore:
+    """mmap an arena snapshot file and wrap it zero-copy.
+
+    The mapping stays alive for as long as the returned store's column
+    views reference it; the file descriptor is closed immediately.
+    """
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return arena_from_buffer(memoryview(mapped))
+
+
+# -- session snapshots ----------------------------------------------------------
+#
+# One file per evicted session: a JSON meta document (the replayable
+# event log -- dataset recipe, selection, ingested deltas, last
+# summarize request) followed by the session interner's name block and
+# the word-aligned arena snapshot, both at 8-aligned offsets so
+# restore can mmap the file once and wrap every block read-only.
+
+_SESSION_SNAPSHOT_MAGIC = b"PROXSN01"
+_SESSION_SNAPSHOT_HEADER = "<QQQ"
+
+
+def write_session_snapshot(
+    path: Union[str, os.PathLike],
+    meta: Dict[str, Any],
+    interner_names: Optional[List[str]] = None,
+    store: Optional[TermStore] = None,
+) -> int:
+    """Write a session snapshot; returns the byte count."""
+    meta_blob = json.dumps(meta, ensure_ascii=False, sort_keys=True).encode("utf-8")
+    names_blob = (
+        b"\x00".join(name.encode("utf-8") for name in interner_names)
+        if interner_names
+        else b""
+    )
+    arena_blob = arena_snapshot_bytes(store) if store is not None else b""
+    parts = [
+        _SESSION_SNAPSHOT_MAGIC,
+        struct.pack(
+            _SESSION_SNAPSHOT_HEADER, len(meta_blob), len(names_blob), len(arena_blob)
+        ),
+        meta_blob,
+        b"\x00" * _pad8(len(meta_blob)),
+        names_blob,
+        b"\x00" * _pad8(len(names_blob)),
+        arena_blob,
+    ]
+    blob = b"".join(parts)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_session_snapshot(
+    path: Union[str, os.PathLike],
+) -> Tuple[Dict[str, Any], bytes, Optional[TermStore]]:
+    """mmap a session snapshot: ``(meta, interner name blob, store)``.
+
+    The meta document and interner block are materialized (they are
+    small); the arena -- the bulk of the file -- is wrapped zero-copy.
+    ``store`` is ``None`` when the snapshot carried no arena (legacy
+    IR mode).
+    """
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    buffer = memoryview(mapped)
+    if bytes(buffer[: len(_SESSION_SNAPSHOT_MAGIC)]) != _SESSION_SNAPSHOT_MAGIC:
+        raise SerializationError("not a session snapshot (bad magic)")
+    try:
+        meta_len, names_len, arena_len = struct.unpack_from(
+            _SESSION_SNAPSHOT_HEADER, buffer, len(_SESSION_SNAPSHOT_MAGIC)
+        )
+    except struct.error as error:
+        raise SerializationError(f"truncated session snapshot: {error}") from None
+    cursor = len(_SESSION_SNAPSHOT_MAGIC) + struct.calcsize(_SESSION_SNAPSHOT_HEADER)
+    try:
+        meta = json.loads(bytes(buffer[cursor : cursor + meta_len]))
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"malformed session meta: {error}") from None
+    cursor += meta_len + _pad8(meta_len)
+    names_blob = bytes(buffer[cursor : cursor + names_len])
+    cursor += names_len + _pad8(names_len)
+    store = arena_from_buffer(buffer, cursor) if arena_len else None
+    return meta, names_blob, store
 
 
 def polynomial_to_dict(polynomial: Polynomial) -> Dict[str, Any]:

@@ -1,0 +1,190 @@
+"""SessionManager lifecycle: create/lookup/close, capacity, eviction.
+
+The manager is the actor behind the serving tier: per-session locks,
+429-mapped capacity limits, and snapshot eviction driven by the PR 7
+eviction ranking -- with transparent rehydration on next touch.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.observability import resources as _resources
+from repro.prox import CapacityError, ProxSession, SessionManager
+from repro.prox.manager import UnknownSessionError
+from repro.prox.summarization import SummarizationRequest
+
+SMALL = MovieLensConfig(n_users=8, n_movies=6, include_movie_merges=True, seed=3)
+
+
+def small_factory(session_id):
+    return ProxSession(generate_movielens(SMALL), session_id=session_id)
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    manager = SessionManager(
+        factory=small_factory, max_sessions=4, snapshot_dir=str(tmp_path)
+    )
+    yield manager
+    manager.close_all()
+
+
+class TestLifecycle:
+    def test_create_lookup_close(self, manager):
+        session = manager.create()
+        assert session.session_id in manager
+        with manager.acquire(session.session_id) as acquired:
+            assert acquired is session
+        assert manager.close(session.session_id)
+        assert session.session_id not in manager
+        # Idempotent: closing again reports False, never raises.
+        assert not manager.close(session.session_id)
+
+    def test_create_with_explicit_id(self, manager):
+        session = manager.create("alice")
+        assert session.session_id == "alice"
+        with pytest.raises(ValueError):
+            manager.create("alice")
+        with pytest.raises(ValueError):
+            manager.create("../escape")
+
+    def test_acquire_unknown_session(self, manager):
+        with pytest.raises(UnknownSessionError):
+            with manager.acquire("nope"):
+                pass
+
+    def test_close_unregisters_resource_account(self, manager):
+        session = manager.create()
+        session_id = session.session_id
+        assert _resources.REGISTRY.get(session_id) is not None
+        manager.close(session_id)
+        assert _resources.REGISTRY.get(session_id) is None
+
+    def test_adopt_external_session(self, manager):
+        session = ProxSession(generate_movielens(SMALL))
+        session_id = manager.adopt(session)
+        with manager.acquire(session_id) as acquired:
+            assert acquired is session
+        manager.close(session_id)
+
+
+class TestCapacity:
+    def test_capacity_limit_raises_with_retry_after(self, tmp_path):
+        manager = SessionManager(
+            factory=small_factory, max_sessions=2, snapshot_dir=str(tmp_path)
+        )
+        try:
+            manager.create()
+            manager.create()
+            with pytest.raises(CapacityError) as excinfo:
+                manager.create()
+            assert excinfo.value.retry_after >= 1.0
+            assert manager.rejected_total == 1
+            # Closing one frees a slot.
+            manager.close(manager.session_ids()[0])
+            manager.create()
+            assert manager.count() == 2
+        finally:
+            manager.close_all()
+
+    def test_failed_factory_releases_the_slot(self, tmp_path):
+        calls = []
+
+        def exploding(session_id):
+            calls.append(session_id)
+            raise RuntimeError("boom")
+
+        manager = SessionManager(
+            factory=exploding, max_sessions=1, snapshot_dir=str(tmp_path)
+        )
+        with pytest.raises(RuntimeError):
+            manager.create()
+        assert manager.count() == 0
+        # The slot is reusable with a working factory.
+        manager.create_with(None, small_factory)
+        assert manager.count() == 1
+        manager.close_all()
+
+
+class TestEviction:
+    def test_evict_and_transparent_restore(self, manager):
+        session = manager.create()
+        session_id = session.session_id
+        with manager.acquire(session_id) as live:
+            live.select_by(genre=None)
+            result = live.summarize(SummarizationRequest(number_of_steps=3))
+        before = (result.final_size, str(result.summary_expression))
+        assert manager.evict(session_id)
+        assert manager.evicted_total == 1
+        # Evicted: the account is gone, the entry remains.
+        assert _resources.REGISTRY.get(session_id) is None
+        assert session_id in manager
+        assert not manager.evict(session_id)  # already evicted
+        # Next acquire transparently rehydrates; the result recomputes
+        # bit-identically on first touch.
+        with manager.acquire(session_id) as restored:
+            assert restored is not session
+            rehydrated = restored._require_result()
+            after = (rehydrated.final_size, str(rehydrated.summary_expression))
+        assert before == after
+        assert manager.restored_total == 1
+
+    def test_close_evicted_session_removes_snapshot(self, manager, tmp_path):
+        session = manager.create()
+        session_id = session.session_id
+        with manager.acquire(session_id) as live:
+            live.select_by(genre=None)
+        assert manager.evict(session_id)
+        snapshots = list(tmp_path.glob("*.snap"))
+        assert len(snapshots) == 1
+        assert manager.close(session_id)
+        assert not list(tmp_path.glob("*.snap"))
+
+    def test_unsnapshotable_session_is_not_evicted(self, manager):
+        # An adopted session whose instance has no generator config
+        # cannot be rebuilt from disk, so evict refuses.
+        instance = generate_movielens(SMALL)
+        instance.metadata.pop("config", None)
+        session_id = manager.adopt(ProxSession(instance))
+        assert not manager.evict(session_id)
+        with manager.acquire(session_id) as still_live:
+            assert still_live is not None
+
+    def test_eviction_loop_evicts_idle_sessions(self, tmp_path):
+        manager = SessionManager(
+            factory=small_factory,
+            max_sessions=4,
+            snapshot_dir=str(tmp_path),
+            evict_idle_seconds=0.05,
+            eviction_interval=0.05,
+        )
+        try:
+            session = manager.create()
+            with manager.acquire(session.session_id) as live:
+                live.select_by(genre=None)
+            manager.start_eviction_loop()
+            deadline = time.monotonic() + 10.0
+            while manager.evicted_total == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert manager.evicted_total >= 1
+            # Still addressable: rehydrates on touch.
+            with manager.acquire(session.session_id) as restored:
+                assert restored.selected is not None
+        finally:
+            manager.stop_eviction_loop()
+            manager.close_all()
+
+    def test_drain_snapshots_all_live_sessions(self, manager):
+        first = manager.create()
+        second = manager.create()
+        for session in (first, second):
+            with manager.acquire(session.session_id) as live:
+                live.select_by(genre=None)
+        outcome = manager.drain()
+        assert sorted(outcome["snapshotted"]) == sorted(
+            [first.session_id, second.session_id]
+        )
+        assert outcome["skipped"] == []
+        assert manager.stats()["evicted"] == 2

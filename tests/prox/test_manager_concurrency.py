@@ -1,0 +1,152 @@
+"""Multithreaded hammer over the session manager.
+
+Many threads create/ingest/summarize/evict/close sessions at once.
+The invariants: no lost updates (every successful op's effect is
+visible), no double-close effects, every resource account is
+unregistered by the end, and errors stay typed (CapacityError /
+UnknownSessionError) -- never a torn internal state.
+"""
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.datasets import (
+    MovieLensConfig,
+    MovieLensDeltaConfig,
+    generate_movielens,
+    generate_movielens_deltas,
+)
+from repro.observability import resources as _resources
+from repro.prox import CapacityError, ProxSession, SessionManager
+from repro.prox.manager import UnknownSessionError
+from repro.prox.summarization import SummarizationRequest
+
+SMALL = MovieLensConfig(n_users=8, n_movies=6, include_movie_merges=True, seed=2)
+N_THREADS = 8
+ROUNDS = 4
+
+
+def test_hammer_create_ingest_summarize_evict_close(tmp_path):
+    instance_template = generate_movielens(SMALL)
+    deltas = generate_movielens_deltas(
+        instance_template, MovieLensDeltaConfig(n_deltas=1, seed=4)
+    )
+
+    def factory(session_id):
+        session = ProxSession(generate_movielens(SMALL), session_id=session_id)
+        session.select_by(genre=None)
+        return session
+
+    manager = SessionManager(
+        factory=factory, max_sessions=N_THREADS + 2, snapshot_dir=str(tmp_path)
+    )
+    accounts_before = set(_resources.REGISTRY.ids())
+    barrier = threading.Barrier(N_THREADS, timeout=60)
+    created_ids = []
+    created_lock = threading.Lock()
+    outcomes = []
+
+    def worker(index):
+        rng = random.Random(index)
+        local = []
+        barrier.wait()
+        for round_index in range(ROUNDS):
+            op = rng.choice(["create", "ingest", "summarize", "evict", "close"])
+            try:
+                if op == "create":
+                    session = manager.create()
+                    with created_lock:
+                        created_ids.append(session.session_id)
+                    local.append(("create", "ok"))
+                    continue
+                with created_lock:
+                    if not created_ids:
+                        continue
+                    target = rng.choice(created_ids)
+                if op == "ingest":
+                    with manager.acquire(target) as session:
+                        if session.ingested_deltas == 0:
+                            session.ingest(deltas[0])
+                        local.append(("ingest", session.ingested_deltas))
+                elif op == "summarize":
+                    with manager.acquire(target) as session:
+                        result = session.summarize(
+                            SummarizationRequest(number_of_steps=2)
+                        )
+                        local.append(("summarize", result.final_size))
+                elif op == "evict":
+                    local.append(("evict", manager.evict(target)))
+                elif op == "close":
+                    closed = manager.close(target)
+                    if closed:
+                        with created_lock:
+                            if target in created_ids:
+                                created_ids.remove(target)
+                    local.append(("close", closed))
+            except (CapacityError, UnknownSessionError):
+                local.append((op, "typed-rejection"))
+        return local
+
+    try:
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            for result in pool.map(worker, range(N_THREADS)):
+                outcomes.extend(result)
+    finally:
+        manager.close_all()
+
+    # Only typed rejections -- anything else would have raised out of
+    # the pool.map above and failed the test.
+    assert any(op == "create" for op, _ in outcomes)
+    # After close_all: no manager entries, and every account this test
+    # registered is unregistered again (no leaked gauges/accounts).
+    assert manager.count() == 0
+    leaked = set(_resources.REGISTRY.ids()) - accounts_before
+    assert leaked == set()
+    # Double-close is inert.
+    for session_id in list(created_ids):
+        assert not manager.close(session_id)
+
+
+def test_reads_do_not_contend_with_a_long_summarize(tmp_path):
+    """A slow summarize on one session never blocks ops on another."""
+    def factory(session_id):
+        session = ProxSession(generate_movielens(SMALL), session_id=session_id)
+        session.select_by(genre=None)
+        return session
+
+    manager = SessionManager(
+        factory=factory, max_sessions=4, snapshot_dir=str(tmp_path)
+    )
+    try:
+        slow = manager.create()
+        fast = manager.create()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_slow():
+            with manager.acquire(slow.session_id):
+                entered.set()
+                release.wait(timeout=30)
+
+        holder = threading.Thread(target=hold_slow, daemon=True)
+        holder.start()
+        assert entered.wait(timeout=10)
+        # While the slow session's lock is held, the fast session's
+        # whole select+summarize round trip completes.
+        done = threading.Event()
+
+        def use_fast():
+            with manager.acquire(fast.session_id) as session:
+                session.summarize(SummarizationRequest(number_of_steps=2))
+            done.set()
+
+        user = threading.Thread(target=use_fast, daemon=True)
+        user.start()
+        assert done.wait(timeout=60), (
+            "an unrelated session blocked behind another session's lock"
+        )
+        release.set()
+        holder.join(timeout=10)
+    finally:
+        manager.close_all()
