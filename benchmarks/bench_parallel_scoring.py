@@ -33,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -40,8 +41,21 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import SummarizationConfig, Summarizer  # noqa: E402
+from repro.core import (  # noqa: E402
+    DistanceComputer,
+    MappingState,
+    ScoringEngine,
+    SummarizationConfig,
+    Summarizer,
+    enumerate_candidates,
+    shm,
+)
 from repro.datasets import MovieLensConfig, generate_movielens  # noqa: E402
+
+#: Generous bound on the per-candidate bytes a worker may return: an
+#: (index, size, distance) triple pickles to a few dozen bytes and is
+#: independent of ``n_vals``; the pre-shm path returned kilobytes.
+PAYLOAD_BYTES_PER_CANDIDATE = 120
 
 RESULTS_PATH = Path(__file__).parent / "results" / "parallel_scoring.txt"
 RESULTS_JSON_PATH = Path(__file__).parent / "results" / "parallel_scoring.json"
@@ -122,6 +136,50 @@ def main(argv=None) -> int:
         candidates = max((r.n_candidates for r in result.steps), default=0)
         rows.append((label, seconds, result.n_steps, candidates))
 
+    # Worker-payload audit: the shared-memory parallel path must return
+    # only (index, size, distance) triples -- never the n_vals-scaled
+    # pickled accumulators -- and must unlink every segment it created.
+    problem = build_problem(n_users, n_movies, seed=args.seed)
+    computer = DistanceComputer(
+        problem.expression,
+        problem.valuations,
+        problem.val_func,
+        problem.combiners,
+        problem.universe,
+    )
+    engine = ScoringEngine(
+        problem,
+        SummarizationConfig(
+            w_dist=0.7,
+            seed=args.seed,
+            parallelism=workers[0],
+            parallel_threshold=1,
+        ),
+        computer,
+    )
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    candidates = enumerate_candidates(
+        current, problem.universe, problem.constraint
+    )
+    engine.measure(candidates, current, mapping)
+    payload_bytes = engine.last_worker_payload_bytes
+    if payload_bytes < 0:
+        print("FAIL: the payload-audit step never went parallel")
+        return 1
+    payload_per_candidate = payload_bytes / len(candidates)
+    if payload_per_candidate > PAYLOAD_BYTES_PER_CANDIDATE:
+        print(
+            f"FAIL: workers returned {payload_per_candidate:.0f} bytes per "
+            f"candidate (> {PAYLOAD_BYTES_PER_CANDIDATE}); the triples-only "
+            "contract is broken"
+        )
+        return 1
+    leaked = glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}-*")
+    if leaked:
+        print(f"FAIL: orphaned shared-memory segments: {leaked}")
+        return 1
+
     base = rows[0][1]
     lines = [
         f"instance: movielens n_users={n_users} n_movies={n_movies} "
@@ -135,6 +193,11 @@ def main(argv=None) -> int:
         lines.append(f"{label:<14} {seconds:>10.3f} {speedup:>8.2f}x")
     lines.append("")
     lines.append("all modes produced the identical merge sequence")
+    lines.append(
+        f"worker payload: {payload_per_candidate:.0f} bytes/candidate "
+        f"(triples only; bound {PAYLOAD_BYTES_PER_CANDIDATE}), "
+        "no shared-memory segments leaked"
+    )
     body = "\n".join(lines)
     print(body)
 
@@ -154,6 +217,8 @@ def main(argv=None) -> int:
             "cores": os.cpu_count(),
         },
         "widest_step_candidates": rows[0][3],
+        "worker_payload_bytes": payload_bytes,
+        "worker_payload_bytes_per_candidate": payload_per_candidate,
         "modes": [
             {
                 "mode": label,

@@ -20,11 +20,17 @@ speedup per batch size; the JSON mirror lands in
 artifact).  The headline acceptance number: at batch sizes >= 256 the
 packed kernel must be at least 5x faster than the reference sampler.
 
-``--quick`` runs a small instance (CI smoke): it asserts the packed
-path actually engaged (scoring path, batch telemetry) and skips the
-speedup expectation.  Estimate *correctness* is not re-proven here --
-``tests/core/test_sampled_scoring.py`` pins seed-matched bit-identity
-against the reference sampler.
+When the numpy kernel backend is active (``REPRO_KERNEL`` auto/numpy
+with numpy importable), every row also times the packed step under the
+pure-python reference kernels: the ``kernel-speedup`` column isolates
+the vectorization win from the batch-sharing win.
+
+``--quick`` (alias ``--smoke``) runs a small instance (CI smoke): it
+asserts the packed path actually engaged (scoring path, batch
+telemetry) and skips the speedup expectation.  Estimate *correctness*
+is not re-proven here -- ``tests/core/test_sampled_scoring.py`` pins
+seed-matched bit-identity against the reference sampler, and
+``tests/core/test_kernels.py`` pins kernel bit-identity.
 
 Usage::
 
@@ -50,6 +56,7 @@ from repro.core import (  # noqa: E402
     ScoringEngine,
     SummarizationConfig,
     enumerate_candidates,
+    kernels,
 )
 from repro.datasets import MovieLensConfig, generate_movielens  # noqa: E402
 
@@ -102,7 +109,10 @@ def measure_step(problem, candidates, batch, seed, **knobs):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke: small instance")
+    parser.add_argument(
+        "--quick", "--smoke", dest="quick", action="store_true",
+        help="CI smoke: small instance",
+    )
     parser.add_argument(
         "--seed", type=int, default=0,
         help="instance-generation and sampling RNG seed",
@@ -116,7 +126,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        n_users, n_movies, n_candidates, batches = 24, 30, 40, [64]
+        # Batch 256 rides along so the kernel-speedup floor in
+        # check_regression.py has a >= 256 row to look at.
+        n_users, n_movies, n_candidates, batches = 24, 30, 40, [64, 256]
     else:
         n_users, n_movies, n_candidates = args.users, args.movies, args.candidates
         batches = [64, 256, 1024]
@@ -155,27 +167,45 @@ def main(argv=None) -> int:
                 f"!= requested {batch} (budget clamp? raise --users)"
             )
             return 1
-        rows.append(
-            {
-                "batch": batch,
-                "candidates": len(candidates),
-                "reference_seconds": ref_seconds,
-                "packed_seconds": packed_seconds,
-                "speedup": ref_seconds / packed_seconds if packed_seconds else None,
-                "packed_batch_variance": packed_engine.last_sample_variance,
-            }
-        )
+        row = {
+            "batch": batch,
+            "candidates": len(candidates),
+            "reference_seconds": ref_seconds,
+            "packed_seconds": packed_seconds,
+            "speedup": ref_seconds / packed_seconds if packed_seconds else None,
+            "packed_batch_variance": packed_engine.last_sample_variance,
+            "kernel": packed_engine.last_kernel,
+        }
+        if kernels.active_backend() == kernels.MODE_NUMPY:
+            # The same packed step under the pure-python reference
+            # kernels: the vectorization win in isolation.
+            with kernels.backend(kernels.MODE_PYTHON):
+                _, _, python_seconds = measure_step(
+                    problem, candidates, batch, args.seed
+                )
+            row["kernel_python_seconds"] = python_seconds
+            row["kernel_speedup"] = (
+                python_seconds / packed_seconds if packed_seconds else None
+            )
+        rows.append(row)
 
     lines = [
         f"instance: movielens n_users={n_users} n_movies={n_movies} "
-        f"candidates={len(candidates)} seed={args.seed} cores={os.cpu_count()}",
+        f"candidates={len(candidates)} seed={args.seed} cores={os.cpu_count()} "
+        f"kernel={kernels.active_backend()}",
         "",
-        f"{'batch':>6} {'reference(s)':>13} {'packed(s)':>10} {'speedup':>9}",
+        f"{'batch':>6} {'reference(s)':>13} {'packed(s)':>10} {'speedup':>9} "
+        f"{'kernel-speedup':>14}",
     ]
     for row in rows:
+        kernel_speedup = row.get("kernel_speedup")
+        kernel_cell = (
+            f"{kernel_speedup:>13.1f}x" if kernel_speedup else f"{'-':>14}"
+        )
         lines.append(
             f"{row['batch']:>6} {row['reference_seconds']:>13.3f} "
-            f"{row['packed_seconds']:>10.3f} {row['speedup']:>8.1f}x"
+            f"{row['packed_seconds']:>10.3f} {row['speedup']:>8.1f}x "
+            f"{kernel_cell}"
         )
     lines.append("")
     lines.append(
@@ -192,6 +222,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "sampled_scoring",
         "quick": args.quick,
+        "kernel": kernels.active_backend(),
         "instance": {
             "dataset": "movielens",
             "n_users": n_users,

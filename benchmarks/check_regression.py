@@ -47,7 +47,10 @@ FAMILIES = {
     ),
     "sampled_scoring": (
         "sampled_scoring.json",
-        [(("rows", "speedup"), "higher")],
+        [
+            (("rows", "speedup"), "higher"),
+            (("rows", "kernel_speedup"), "higher"),
+        ],
     ),
     "candidate_carry": (
         "candidate_carry.json",
@@ -144,6 +147,19 @@ def _floors_family(name, fresh):
                 failures.append(
                     f"{name}: batch {row.get('batch')} packed scoring "
                     f"did not beat the reference ({row.get('speedup')}x)"
+                )
+            # The vectorized kernels must not significantly pessimize
+            # the packed step at vector-friendly batch sizes (at small
+            # batches construction dominates, so no floor there).
+            kernel_speedup = row.get("kernel_speedup")
+            if (
+                kernel_speedup is not None
+                and row.get("batch", 0) >= 256
+                and kernel_speedup <= 0.75
+            ):
+                failures.append(
+                    f"{name}: batch {row.get('batch')} numpy kernels "
+                    f"slowed the packed step ({kernel_speedup}x vs python)"
                 )
     elif name == "candidate_carry":
         for mode in fresh.get("modes", []):

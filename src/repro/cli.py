@@ -25,8 +25,9 @@ as JSON; ``summarize --profile FILE`` runs the stdlib sampling
 profiler over the run and writes collapsed stacks + flamegraph JSON
 (``REPRO_PROFILE=<hz>`` overrides the sampling rate);
 ``REPRO_LOG_LEVEL`` / ``REPRO_TRACE`` / ``REPRO_METRICS`` control the
-structured-logging/tracing/metrics knobs everywhere.  See
-docs/OPERATIONS.md for the full runbook.
+structured-logging/tracing/metrics knobs everywhere, and
+``REPRO_KERNEL=python|numpy`` (or ``summarize --kernel``) selects the
+scoring kernel backend.  See docs/OPERATIONS.md for the full runbook.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from typing import Optional, Sequence
 
 from .observability import profiling
 from .observability import tracing
+from .core import kernels as _kernels
 from .provenance import ir as _ir
 
 from . import serialization
@@ -171,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print interner cardinality and term-arena storage after the run",
     )
+    summarize.add_argument(
+        "--kernel",
+        choices=("auto", "python", "numpy"),
+        default="",
+        help="scoring kernel backend (default: REPRO_KERNEL, else auto-"
+        "detect; numpy degrades to python with a warning if unavailable)",
+    )
 
     experiment = commands.add_parser("experiment", help="run a Chapter 6 experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -277,6 +286,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.kernel:
+        _kernels.set_backend(args.kernel)
     if args.trace:
         tracing.set_enabled(True)
         tracing.take_trace()  # drop any stale tree from this thread

@@ -64,7 +64,12 @@ Knob resolution (``SummarizationConfig``):
   not off (validated by ``SummarizationConfig``).
 
 Parallel fan-out requires the ``fork`` start method (Linux/macOS
-CPython); platforms without it silently run serially.
+CPython); platforms without it silently run serially.  It also
+requires being called from the **main thread**: forking while sibling
+threads run can snapshot a pool queue's semaphore (or any lock)
+mid-acquire and deadlock the child, so a request-handler thread in the
+serving tier degrades to serial scoring with a structured-log warning
+instead of wedging the session.
 """
 
 from __future__ import annotations
@@ -72,13 +77,17 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import pickle
+import threading
 import time
 from array import array
 from collections import Counter
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from ..observability import log as _log
 from ..observability import metrics as _metrics
 from ..observability import tracing as _tracing
+from ..provenance import ir as _ir
 from ..provenance.annotations import Annotation, AnnotationUniverse
 from .candidates import Candidate, virtual_summary
 from .distance import DistanceComputer, DistanceEstimate
@@ -86,6 +95,8 @@ from .fast_distance import FastStepScorer, IncrementalStepScorer
 from .mapping import MappingState
 from .sampled_scoring import SampledStepScorer
 from .scoring import ScoredCandidate, score_candidates
+from . import kernels as _kernels
+from . import shm as _shm
 
 _SCORING_STEPS = _metrics.counter(
     "prox_scoring_steps_total",
@@ -161,39 +172,119 @@ class _OverlayUniverse:
 #: candidate offsets -- instead of thousands of per-candidate tuples:
 #: the compact arrays occupy far fewer copy-on-write pages and dirty
 #: none of them with per-object refcount writes in the workers.
+#: Published shared-memory blocks (the IR arena, the pinned sample
+#: batch, the detail-result matrices) ride along as fork-inherited
+#: mappings -- workers never attach segments by name.
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _score_span(span: Tuple[int, int]) -> List[Tuple[int, DistanceEstimate]]:
-    """Score a contiguous slice of the step's candidates (worker side)."""
+def _worker_bind() -> None:
+    """One-time per-worker setup: map the published shared blocks.
+
+    Runs lazily on a worker's first span.  The flags written here land
+    in the child's copy-on-write ``_WORKER_STATE`` -- each worker binds
+    once, the parent's dict is untouched.  Both bindings are
+    correctness-neutral (the mapped arena serves the same ids and
+    columns, the mapped weights the same doubles), so failures fall
+    back to the inherited state silently.
+    """
+    if _WORKER_STATE.get("bound"):
+        return
+    _WORKER_STATE["bound"] = True
+    arena = _WORKER_STATE.get("arena")
+    if arena is not None:
+        try:
+            from ..provenance import ir as _ir
+
+            _ir.install_store(arena.map_store())
+        except Exception:
+            pass
+    batch = _WORKER_STATE.get("batch")
+    if batch is not None:
+        try:
+            _WORKER_STATE["scorer"].adopt_shared_weights(
+                batch.weights_view()
+            )
+        except Exception:
+            pass
+
+
+def _score_span(span: Tuple[int, int]) -> List[Tuple[int, int, float]]:
+    """Score a contiguous slice of the step's candidates (worker side).
+
+    Returns only ``(candidate_index, size, distance_value)`` triples:
+    the parent rebuilds the (deterministic) estimate objects, so the
+    pickled payload is independent of ``n_vals`` and candidate shape.
+    """
+    _worker_bind()
     scorer = _WORKER_STATE["scorer"]
     names = _WORKER_STATE["part_names"]
     offsets = _WORKER_STATE["part_offsets"]
     low, high = span
-    return [
-        scorer.score(names[offsets[index] : offsets[index + 1]])
-        for index in range(low, high)
-    ]
+    out: List[Tuple[int, int, float]] = []
+    for index in range(low, high):
+        size, estimate = scorer.score(
+            names[offsets[index] : offsets[index + 1]]
+        )
+        out.append((index, size, estimate.value))
+    return out
 
 
-def _score_span_detail(
-    span: Tuple[int, int]
-) -> List[Tuple[int, DistanceEstimate, List[float], List[float]]]:
-    """Like :func:`_score_span`, also returning the per-valuation
-    accumulators the cross-step carry stores (sparse scorers only)."""
+def _score_span_detail(span: Tuple[int, int]) -> List[Tuple[int, int, float]]:
+    """Like :func:`_score_span` for the carry path: the per-valuation
+    accumulator vectors are written into the step's shared matrices
+    (one row per candidate, rows disjoint) instead of being pickled
+    back -- the return stays index/size/distance triples."""
+    _worker_bind()
     scorer = _WORKER_STATE["scorer"]
     names = _WORKER_STATE["part_names"]
     offsets = _WORKER_STATE["part_offsets"]
+    accs_rows = _WORKER_STATE["accs_matrix"]
+    wf_rows = _WORKER_STATE["wf_matrix"]
     low, high = span
-    return [
-        scorer.score_detail(names[offsets[index] : offsets[index + 1]])
-        for index in range(low, high)
-    ]
+    out: List[Tuple[int, int, float]] = []
+    for index in range(low, high):
+        size, estimate, accs, wf = scorer.score_detail(
+            names[offsets[index] : offsets[index + 1]]
+        )
+        accs_rows.write_row(index, accs)
+        wf_rows.write_row(index, wf)
+        out.append((index, size, estimate.value))
+    return out
 
 
 def fork_available() -> bool:
     """Whether pre-forked worker pools are supported on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+_FORK_UNSAFE_WARNED = False
+
+
+def fork_safe_here() -> bool:
+    """Whether forking a worker pool is safe from the calling thread.
+
+    A fork snapshots every lock and pool-queue semaphore in whatever
+    state some sibling thread holds it, so forking off the main thread
+    (a server request-handler, the eviction loop, ...) can deadlock
+    the child on a lock whose owner does not exist there.  Main-thread
+    callers (CLI, benchmarks, tests) keep the pre-forked pool.
+    """
+    return threading.current_thread() is threading.main_thread()
+
+
+def _warn_fork_unsafe(workers: int) -> None:
+    global _FORK_UNSAFE_WARNED
+    if _FORK_UNSAFE_WARNED:
+        return
+    _FORK_UNSAFE_WARNED = True
+    _log.get_logger("core.engine").warning(
+        "parallel_fork_unsafe requested_workers=%d thread=%s "
+        "resolution=serial reason=%s",
+        workers,
+        _log.quote(threading.current_thread().name),
+        _log.quote("fork off the main thread can deadlock workers"),
+    )
 
 
 def resolve_workers(
@@ -268,6 +359,15 @@ class ScoringEngine:
         self.last_path: str = ""
         #: Workers used by the most recent :meth:`measure` call.
         self.last_workers: int = 1
+        #: Pickled bytes returned by the most recent parallel step's
+        #: workers (index/size/distance triples only; -1 until a
+        #: parallel step runs).  The parallel benchmark asserts this
+        #: stays independent of ``n_vals``.
+        self.last_worker_payload_bytes: int = -1
+        #: Kernel backend that folded the most recent step's masks
+        #: (the scorer's captured backend; the process-wide active
+        #: backend for naive steps, which fold nothing).
+        self.last_kernel: str = _kernels.active_backend()
         #: Shared-batch telemetry of the most recent sampled step:
         #: batch size, achieved baseline variance, and whether the
         #: carried scorer's batch was reused rather than redrawn.
@@ -309,6 +409,7 @@ class ScoringEngine:
         with span:
             measured, seconds = self._measure(candidates, current, mapping)
             span.set("path", self.last_path)
+            span.set("kernel", self.last_kernel)
             span.set("workers", self.last_workers)
             span.set("n_candidates", len(candidates))
             span.set("seconds", seconds)
@@ -361,6 +462,7 @@ class ScoringEngine:
                         for candidate, (size, distance) in zip(candidates, results)
                     ]
                     self._record(self._scorer_path(scorer))
+                    self.last_kernel = scorer._kernel.name
                     self._note_sample_step(scorer)
                     return measured, time.perf_counter() - started
         return self._measure_naive(candidates, current, mapping)
@@ -604,6 +706,7 @@ class ScoringEngine:
                 candidates, current, mapping, w_dist, w_size, original_size
             )
             span.set("path", self.last_path)
+            span.set("kernel", self.last_kernel)
             span.set("workers", self.last_workers)
             span.set("n_candidates", len(candidates))
             span.set("seconds", seconds)
@@ -1024,6 +1127,7 @@ class ScoringEngine:
         self.total_carried += carried
         self.total_rescored += rescored
         self._record(self._scorer_path(scorer))
+        self.last_kernel = scorer._kernel.name
         self._note_sample_step(scorer)
         return best, time.perf_counter() - started
 
@@ -1146,6 +1250,9 @@ class ScoringEngine:
         workers = resolve_workers(
             self.config.parallelism, len(parts), self.config.parallel_threshold
         )
+        if workers > 1 and not fork_safe_here():
+            _warn_fork_unsafe(workers)
+            workers = 1
         self.last_workers = workers
         if workers <= 1:
             if detail:
@@ -1168,21 +1275,78 @@ class ScoringEngine:
             flat_names.extend(candidate_parts)
             offsets.append(len(flat_names))
 
+        # Shared-memory blocks for the pool's lifetime: detail results
+        # land in per-candidate matrix rows (workers return only
+        # index/size/distance triples), and the IR arena / pinned
+        # sample batch are published once for the workers to map
+        # read-only.  Everything is unlinked in the finally below; the
+        # publications are optimizations, so their failure (e.g. a full
+        # /dev/shm) degrades to the inherited copy-on-write state.
+        _shm.reap_stale_segments_once()
+        accs_matrix = wf_matrix = None
+        if detail:
+            accs_matrix = _shm.SharedMatrix(len(parts), scorer.n_vals, "accs")
+            wf_matrix = _shm.SharedMatrix(len(parts), scorer.n_vals, "wf")
+        arena = self._publish_arena()
+        batch = self._publish_batch(scorer)
+
         context = multiprocessing.get_context("fork")
         _WORKER_STATE["scorer"] = scorer
         _WORKER_STATE["part_names"] = flat_names
         _WORKER_STATE["part_offsets"] = offsets
+        _WORKER_STATE["accs_matrix"] = accs_matrix
+        _WORKER_STATE["wf_matrix"] = wf_matrix
+        _WORKER_STATE["arena"] = arena
+        _WORKER_STATE["batch"] = batch
         try:
             with context.Pool(processes=workers) as pool:
                 chunked = pool.map(
                     _score_span_detail if detail else _score_span, spans
                 )
+            self.last_worker_payload_bytes = sum(
+                len(pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL))
+                for chunk in chunked
+            )
+            results: List[tuple] = [None] * len(parts)  # type: ignore[list-item]
+            for chunk in chunked:
+                for index, size, value in chunk:
+                    estimate = scorer._estimate(value)
+                    if detail:
+                        results[index] = (
+                            size,
+                            estimate,
+                            accs_matrix.row_list(index),
+                            wf_matrix.row_list(index),
+                        )
+                    else:
+                        results[index] = (size, estimate)
+            return results
         finally:
             _WORKER_STATE.clear()
-        results: List[tuple] = []
-        for chunk in chunked:
-            results.extend(chunk)
-        return results
+            for block in (accs_matrix, wf_matrix, arena, batch):
+                if block is not None:
+                    block.destroy()
+
+    def _publish_arena(self) -> Optional["_shm.SharedArena"]:
+        """The global IR arena as a shared segment, if publishable."""
+        try:
+            if not _ir.ir_enabled():
+                return None
+            store = _ir.GLOBAL_STORE
+            if store.n_monomials() <= 1 and len(store.interner) == 0:
+                return None
+            return _shm.SharedArena.publish(store)
+        except Exception:
+            return None
+
+    def _publish_batch(self, scorer) -> Optional["_shm.SharedBatch"]:
+        """The pinned sample batch as a shared segment, if sampled."""
+        if not isinstance(scorer, SampledStepScorer):
+            return None
+        try:
+            return _shm.SharedBatch.publish(scorer)
+        except Exception:
+            return None
 
     def _measure_naive(
         self,
@@ -1220,4 +1384,5 @@ class ScoringEngine:
                 )
             )
         self._record(self.PATH_NAIVE)
+        self.last_kernel = _kernels.active_backend()
         return measured, time.perf_counter() - started

@@ -52,6 +52,7 @@ from ..provenance.annotations import AnnotationUniverse
 from ..provenance.monoids import CountMonoid, MaxMonoid, SumMonoid
 from ..provenance.tensor_sum import Guard, TensorSum, Term
 from ..provenance.valuation_classes import ValuationClass
+from . import kernels
 from .combiners import DomainCombiners, OrCombiner
 from .distance import DistanceComputer, DistanceEstimate
 from .mapping import MappingState
@@ -127,13 +128,24 @@ class FastStepScorer:
         self.valuations = self._step_valuations()
         self.n_vals = len(self.valuations)
         self._full_mask = (1 << self.n_vals) - 1
+        # The backend is captured once per scorer: a mid-step
+        # ``kernels.set_backend`` never mixes backends within one
+        # scorer's folds (results are bit-identical either way; this
+        # just keeps the ``kernel=`` span attribute truthful).
+        self._kernel = kernels.get_backend()
 
         self._build_masks()
         self._build_terms()
-        self._baseline = {
-            group: self._group_values(indexes)
-            for group, indexes in self._group_order.items()
-        }
+        terms = self._terms
+        dead_of = self._term_dead
+        self._baseline = self._kernel.baseline_scatter(
+            [
+                (group, [(terms[i].value, dead_of[i]) for i in indexes])
+                for group, indexes in self._group_order.items()
+            ],
+            self.n_vals,
+            self._is_max,
+        )
         self._orig_aligned = self._align_originals()
 
     # -- precomputation ---------------------------------------------------------
@@ -241,10 +253,7 @@ class FastStepScorer:
             ]
             for term in self._terms
         ]
-        self._term_dead: List[int] = [
-            self._term_mask(index, self._mask)
-            for index in range(len(self._terms))
-        ]
+        self._term_dead: List[int] = self._derive_term_dead()
         self._group_terms: Dict[Optional[str], List[int]] = {}
         self._ann_terms: Dict[object, List[int]] = {}
         key = self._key
@@ -265,6 +274,19 @@ class FastStepScorer:
             }
         else:
             self._group_order = self._group_terms
+
+    def _derive_term_dead(self) -> List[int]:
+        """Dead mask of every term under the current ``_mask`` table.
+
+        Hook point: the sampled subclass memoizes per-term masks across
+        ``advance()`` while its pinned batch survives (the batch fixes
+        the bit ↔ draw correspondence, so an unchanged term's mask
+        cannot change).
+        """
+        return [
+            self._term_mask(index, self._mask)
+            for index in range(len(self._terms))
+        ]
 
     def _group_values(
         self,
@@ -299,32 +321,12 @@ class FastStepScorer:
         """Per-valuation MAX; ``masks`` must arrive in descending value
         order (``_group_order`` keeps every group presorted), so each
         valuation is assigned the first alive value it sees."""
-        out = [0.0] * self.n_vals
-        remaining = self._full_mask if wanted is None else wanted & self._full_mask
-        for value, dead in masks:
-            alive = ~dead & remaining
-            while alive:
-                bit = alive & -alive
-                out[bit.bit_length() - 1] = value
-                alive ^= bit
-            remaining &= dead
-            if not remaining:
-                break
-        return out
+        return self._kernel.fold_max(masks, self.n_vals, wanted)
 
     def _fold_sum(
         self, masks: List[Tuple[float, int]], wanted: Optional[int] = None
     ) -> List[float]:
-        total = sum(value for value, _ in masks)
-        out = [total] * self.n_vals
-        limit = self._full_mask if wanted is None else wanted & self._full_mask
-        for value, dead in masks:
-            dead &= limit
-            while dead:
-                bit = dead & -dead
-                out[bit.bit_length() - 1] -= value
-                dead ^= bit
-        return out
+        return self._kernel.fold_sum(masks, self.n_vals, wanted)
 
     def _group_values_at(
         self,

@@ -1,0 +1,179 @@
+"""Pluggable scoring kernel backends (``REPRO_KERNEL=python|numpy``).
+
+The bit-packed scorers funnel their hot folds through one active
+:class:`~repro.core.kernels.protocol.KernelBackend`:
+
+* ``python`` -- the reference backend: the exact unbounded-int loops
+  the scorers ran inline before this tier existed.
+* ``numpy`` -- word-vector folds over zero-copy views of the packed
+  layouts; engineered to be bit-identical to the reference (see
+  :mod:`repro.core.kernels.numpy_backend`).
+
+Resolution mirrors ``REPRO_IR``: the env knob is read once at import,
+``auto`` (the default) picks numpy when importable and falls back to
+python otherwise, and an explicit ``REPRO_KERNEL=numpy`` without numpy
+*degrades* to python with a structured-log warning instead of
+crashing.  :func:`set_backend` / :func:`backend` switch process-wide
+at runtime (scorers capture the active backend at construction, so a
+mid-step switch never mixes backends within one scorer).
+
+The active backend is observable: the ``repro_kernel_backend``
+info-style gauge (1 for the active backend, 0 for the others), the
+``kernel=`` attribute on scoring spans, and the ``kernel`` field of
+``/healthz``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ...observability import log as _log
+from ...observability import metrics as _metrics
+from .protocol import KernelBackend, MaskedValue
+from .reference import PythonKernel
+
+__all__ = [
+    "KernelBackend",
+    "MaskedValue",
+    "PythonKernel",
+    "MODE_PYTHON",
+    "MODE_NUMPY",
+    "active_backend",
+    "get_backend",
+    "set_backend",
+    "backend",
+    "numpy_available",
+    "numpy_unavailable_reason",
+    "publish_backend_metric",
+]
+
+MODE_PYTHON = "python"
+MODE_NUMPY = "numpy"
+
+_AUTO_WORDS = frozenset({"", "auto", "default"})
+_PYTHON_WORDS = frozenset(
+    {
+        "python",
+        "py",
+        "reference",
+        "ref",
+        "legacy",
+        "off",
+        "0",
+        "false",
+        "no",
+        "disabled",
+    }
+)
+_NUMPY_WORDS = frozenset({"numpy", "np", "fast", "vector", "on", "1", "true", "yes"})
+
+_KERNEL_BACKEND = _metrics.gauge(
+    "repro_kernel_backend",
+    "Active scoring kernel backend (info-style: 1 for the active backend).",
+    labelnames=("backend",),
+)
+
+_LOGGER_NAME = "core.kernels"
+
+_REFERENCE = PythonKernel()
+
+#: Lazily probed numpy backend; ``False`` = probe failed, ``None`` =
+#: not probed yet.
+_NUMPY_BACKEND: object = None
+_NUMPY_ERROR: Optional[str] = None
+
+
+def _numpy_backend() -> Optional[KernelBackend]:
+    """The numpy backend instance, or ``None`` when numpy is absent."""
+    global _NUMPY_BACKEND, _NUMPY_ERROR
+    if _NUMPY_BACKEND is None:
+        try:
+            from .numpy_backend import NumpyKernel
+
+            _NUMPY_BACKEND = NumpyKernel()
+        except Exception as exc:  # ImportError, broken install, ...
+            _NUMPY_BACKEND = False
+            _NUMPY_ERROR = f"{type(exc).__name__}: {exc}"
+    return _NUMPY_BACKEND if _NUMPY_BACKEND is not False else None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed in this process."""
+    return _numpy_backend() is not None
+
+
+def numpy_unavailable_reason() -> Optional[str]:
+    """Why the numpy probe failed (``None`` when it succeeded)."""
+    _numpy_backend()
+    return _NUMPY_ERROR
+
+
+def _resolve_name(raw: str) -> str:
+    """Map one ``REPRO_KERNEL`` token to an available backend name."""
+    token = raw.strip().lower()
+    if token in _PYTHON_WORDS:
+        return MODE_PYTHON
+    if token in _NUMPY_WORDS:
+        if numpy_available():
+            return MODE_NUMPY
+        _log.get_logger(_LOGGER_NAME).warning(
+            "kernel_fallback requested=numpy active=python reason=%s",
+            _log.quote(numpy_unavailable_reason() or "numpy unavailable"),
+        )
+        return MODE_PYTHON
+    if token not in _AUTO_WORDS:
+        _log.get_logger(_LOGGER_NAME).warning(
+            "kernel_unknown requested=%s resolution=auto", _log.quote(raw)
+        )
+    return MODE_NUMPY if numpy_available() else MODE_PYTHON
+
+
+def publish_backend_metric() -> None:
+    """(Re-)export the ``repro_kernel_backend`` info gauge."""
+    active = _BACKEND_NAME
+    for name in (MODE_PYTHON, MODE_NUMPY):
+        _KERNEL_BACKEND.set(1.0 if name == active else 0.0, backend=name)
+
+
+def active_backend() -> str:
+    """Name of the backend currently in effect."""
+    return _BACKEND_NAME
+
+
+def get_backend() -> KernelBackend:
+    """The active backend object (scorers capture it at construction)."""
+    if _BACKEND_NAME == MODE_NUMPY:
+        resolved = _numpy_backend()
+        if resolved is not None:
+            return resolved
+    return _REFERENCE
+
+
+def set_backend(name: str) -> str:
+    """Switch kernel backends process-wide; returns the resolved name.
+
+    Accepts the same tokens as ``REPRO_KERNEL`` and degrades the same
+    way (numpy requested but unavailable → python, with a warning), so
+    callers can thread raw config values straight through.
+    """
+    global _BACKEND_NAME
+    _BACKEND_NAME = _resolve_name(str(name))
+    publish_backend_metric()
+    return _BACKEND_NAME
+
+
+@contextmanager
+def backend(temporary: str) -> Iterator[str]:
+    """Temporarily switch backends (tests and differentials)."""
+    previous = active_backend()
+    resolved = set_backend(temporary)
+    try:
+        yield resolved
+    finally:
+        set_backend(previous)
+
+
+_BACKEND_NAME: str = _resolve_name(os.environ.get("REPRO_KERNEL", "auto"))
+publish_backend_metric()

@@ -1,0 +1,239 @@
+"""The numpy backend: word-vector folds, bit-identical to the loops.
+
+Importing this module requires numpy; :mod:`repro.core.kernels` probes
+the import and degrades to the python reference when it fails.
+
+Bit-identity is engineered, not assumed:
+
+* Dead masks unpack to boolean position vectors
+  (``np.unpackbits(..., bitorder="little")`` over the mask's
+  little-endian bytes -- the same position ↔ bit correspondence as the
+  int tricks).  MAX *assigns* values through boolean indexing (no
+  accumulation, trivially exact) and SUM applies each term's
+  subtraction through boolean indexing *in term order*, so every
+  position sees the identical IEEE operation sequence the reference
+  loop performs there.
+* The blocked moments use ``np.cumsum`` along the 64-wide block axis
+  -- a strictly sequential scan, unlike ``np.sum``'s pairwise
+  reduction, which would associate differently -- and combine block
+  sums left to right in python floats.  The ragged tail block is
+  folded in python to sidestep padding artifacts.
+* Outputs convert back through ``.tolist()`` so downstream consumers
+  receive ordinary python floats/ints, indistinguishable from the
+  reference backend's.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as _np
+
+from .protocol import KernelBackend, MaskedValue
+
+#: ``np.bitwise_count`` landed in numpy 2.0; older numpys fall back to
+#: an unpack-based count.
+_BITWISE_COUNT = getattr(_np, "bitwise_count", None)
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorized folds over zero-copy views of the packed layouts."""
+
+    name = "numpy"
+
+    # -- mask unpacking ------------------------------------------------------
+
+    @staticmethod
+    def _dead_vector(mask: int, n_vals: int, cache: Optional[dict] = None):
+        """Boolean position vector of one packed dead mask."""
+        if cache is not None:
+            hit = cache.get(mask)
+            if hit is not None:
+                return hit
+        if mask:
+            clipped = mask & ((1 << n_vals) - 1)
+            raw = clipped.to_bytes((n_vals + 7) // 8, "little")
+            bits = _np.unpackbits(
+                _np.frombuffer(raw, dtype=_np.uint8),
+                count=n_vals,
+                bitorder="little",
+            ).view(_np.bool_)
+        else:
+            bits = _np.zeros(n_vals, dtype=_np.bool_)
+        if cache is not None:
+            cache[mask] = bits
+        return bits
+
+    @staticmethod
+    def _word_vector(words: Sequence[int]):
+        """Zero-copy uint64 view of an ``array('Q')`` (copy otherwise)."""
+        if isinstance(words, (array, bytes, bytearray, memoryview)):
+            return _np.frombuffer(words, dtype=_np.uint64)
+        return _np.asarray(words, dtype=_np.uint64)
+
+    # -- dead-mask folds -----------------------------------------------------
+
+    def fold_max(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+        _cache: Optional[dict] = None,
+    ) -> List[float]:
+        out = _np.zeros(n_vals, dtype=_np.float64)
+        if wanted is None:
+            remaining = _np.ones(n_vals, dtype=_np.bool_)
+        else:
+            remaining = self._dead_vector(wanted, n_vals).copy()
+        for value, dead in masks:
+            dead_vec = self._dead_vector(dead, n_vals, _cache)
+            out[remaining & ~dead_vec] = value
+            remaining &= dead_vec
+            if not remaining.any():
+                break
+        return out.tolist()
+
+    def fold_sum(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+        _cache: Optional[dict] = None,
+    ) -> List[float]:
+        # The left-to-right term total in python floats, exactly as the
+        # reference's C-level sum() accumulates it.
+        total = 0.0
+        for value, _ in masks:
+            total += value
+        out = _np.full(n_vals, total, dtype=_np.float64)
+        limit = (
+            None if wanted is None else self._dead_vector(wanted, n_vals)
+        )
+        for value, dead in masks:
+            dead_vec = self._dead_vector(dead, n_vals, _cache)
+            if limit is not None:
+                dead_vec = dead_vec & limit
+            out[dead_vec] -= value
+        return out.tolist()
+
+    def baseline_scatter(
+        self,
+        groups: Sequence[Tuple[object, Sequence[MaskedValue]]],
+        n_vals: int,
+        is_max: bool,
+    ) -> Dict[object, List[float]]:
+        # One unpack memo across every group of the step: distinct dead
+        # masks repeat heavily (terms share annotations), so the
+        # expensive int → vector conversion amortizes.
+        cache: dict = {}
+        if is_max:
+            return {
+                group: self.fold_max(masks, n_vals, _cache=cache)
+                for group, masks in groups
+            }
+        return {
+            group: self.fold_sum(masks, n_vals, _cache=cache)
+            for group, masks in groups
+        }
+
+    # -- sampled batch statistics --------------------------------------------
+
+    def weighted_moments(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> Tuple[float, float, float]:
+        v = _np.asarray(values, dtype=_np.float64)
+        w = _np.asarray(weights, dtype=_np.float64)
+        wv = w * v
+        wvv = wv * v
+        n = len(v)
+        full = n - (n % 64)
+        succ = 0.0
+        weight_sum = 0.0
+        sumsq = 0.0
+        if full:
+            # cumsum is a sequential scan: its last column equals the
+            # left-to-right in-block sum bit for bit (np.sum would not).
+            block_succ = _np.cumsum(wv[:full].reshape(-1, 64), axis=1)[:, -1]
+            block_weight = _np.cumsum(w[:full].reshape(-1, 64), axis=1)[:, -1]
+            block_sumsq = _np.cumsum(wvv[:full].reshape(-1, 64), axis=1)[:, -1]
+            for index in range(len(block_succ)):
+                succ += float(block_succ[index])
+                weight_sum += float(block_weight[index])
+                sumsq += float(block_sumsq[index])
+        if full < n:
+            block_s = 0.0
+            block_w = 0.0
+            block_q = 0.0
+            tail_wv = wv[full:].tolist()
+            tail_w = w[full:].tolist()
+            tail_wvv = wvv[full:].tolist()
+            for index in range(n - full):
+                block_s += tail_wv[index]
+                block_w += tail_w[index]
+                block_q += tail_wvv[index]
+            succ += block_s
+            weight_sum += block_w
+            sumsq += block_q
+        return succ, weight_sum, sumsq
+
+    # -- packed word-vector algebra ------------------------------------------
+
+    def fold_and(self, vectors: Sequence[Sequence[int]]) -> array:
+        if not vectors:
+            raise ValueError("fold_and requires at least one vector")
+        acc = self._word_vector(vectors[0]).copy()
+        for words in vectors[1:]:
+            acc &= self._word_vector(words)
+        return array("Q", acc.tobytes())
+
+    def fold_or(self, vectors: Sequence[Sequence[int]]) -> array:
+        if not vectors:
+            raise ValueError("fold_or requires at least one vector")
+        acc = self._word_vector(vectors[0]).copy()
+        for words in vectors[1:]:
+            acc |= self._word_vector(words)
+        return array("Q", acc.tobytes())
+
+    def popcount_blocks(self, words: Sequence[int]) -> List[int]:
+        vec = self._word_vector(words)
+        if _BITWISE_COUNT is not None:
+            return [int(count) for count in _BITWISE_COUNT(vec)]
+        unpacked = _np.unpackbits(vec.view(_np.uint8)).reshape(-1, 64)
+        return [int(count) for count in unpacked.sum(axis=1)]
+
+    def popcount(self, words: Sequence[int]) -> int:
+        vec = self._word_vector(words)
+        if _BITWISE_COUNT is not None:
+            return int(_BITWISE_COUNT(vec).sum())
+        return int(_np.unpackbits(vec.view(_np.uint8)).sum())
+
+    # -- interned-arena monomial product -------------------------------------
+
+    def merge_monomials(
+        self,
+        first: Sequence[Tuple[int, int]],
+        second: Sequence[Tuple[int, int]],
+    ) -> Tuple[int, ...]:
+        if not first:
+            pairs = second
+        elif not second:
+            pairs = first
+        else:
+            pairs = None
+        if pairs is not None:
+            flat: List[int] = []
+            for ann_id, exponent in pairs:
+                flat.append(ann_id)
+                flat.append(exponent)
+            return tuple(flat)
+        stacked = _np.array(
+            list(first) + list(second), dtype=_np.int64
+        ).reshape(-1, 2)
+        ids, inverse = _np.unique(stacked[:, 0], return_inverse=True)
+        exponents = _np.zeros(len(ids), dtype=_np.int64)
+        _np.add.at(exponents, inverse, stacked[:, 1])
+        out = _np.empty(2 * len(ids), dtype=_np.int64)
+        out[0::2] = ids
+        out[1::2] = exponents
+        return tuple(out.tolist())

@@ -1,0 +1,141 @@
+"""The kernel protocol: the narrow waist under the bit-packed scorers.
+
+Every hot fold of the scoring tier funnels through one of these ops,
+each defined over the same packed representations the scorers already
+use -- unbounded-int dead masks (bit ``i`` ⇔ valuation/draw position
+``i``), little-endian ``array('Q')`` word vectors, and ann-id-sorted
+monomial pair runs:
+
+* :meth:`~KernelBackend.fold_max` / :meth:`~KernelBackend.fold_sum` --
+  per-position group aggregates from ``(value, dead-mask)`` term lists
+  (the inner loop of ``FastStepScorer._group_values``).
+* :meth:`~KernelBackend.baseline_scatter` -- the per-group baseline
+  fold over every group at once (step precomputation), so a backend
+  can share unpacked mask state across groups.
+* :meth:`~KernelBackend.weighted_moments` -- the per-64-draw-block
+  weighted sum / weight / sum-of-squares reduction behind the sampled
+  batch statistics.
+* :meth:`~KernelBackend.fold_and` / :meth:`~KernelBackend.fold_or` /
+  :meth:`~KernelBackend.popcount_blocks` /
+  :meth:`~KernelBackend.popcount` -- packed word-vector combinators
+  over ``array('Q')`` blocks (mask algebra, survivor counting).
+* :meth:`~KernelBackend.merge_monomials` -- the sorted-merge monomial
+  product of the interned IR arena.
+
+**The contract is bit-identity, not approximation.**  Each op's result
+must equal the reference backend's to the last bit: same floats, same
+ints, same ordering.  Backends achieve that by preserving the exact
+IEEE operation sequence *per output position* (positions are mutually
+independent in every fold, so cross-position evaluation order is
+free).  The differential grids in ``tests/core/test_kernels.py``,
+``tests/core/test_sampled_scoring.py`` and
+``tests/core/test_parallel_scoring.py`` enforce the contract.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: ``(term value, packed dead mask)`` -- one fold operand.
+MaskedValue = Tuple[float, int]
+
+
+class KernelBackend:
+    """Abstract kernel backend; concrete backends override every op."""
+
+    #: Stable backend identifier (``"python"`` / ``"numpy"``).
+    name: str = "abstract"
+
+    # -- dead-mask folds -----------------------------------------------------
+
+    def fold_max(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+    ) -> List[float]:
+        """Per-position MAX of the alive values.
+
+        ``masks`` must arrive in descending value order (the scorers
+        keep groups presorted): each position takes the first value
+        whose mask leaves it alive, positions nobody covers stay 0.0.
+        ``wanted`` restricts the fold to the set positions of the
+        bitmask; other positions keep 0.0 and must not be read.
+        """
+        raise NotImplementedError
+
+    def fold_sum(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+    ) -> List[float]:
+        """Per-position SUM of the alive values.
+
+        Every position starts from the full left-to-right term total
+        and each term's value is subtracted at its dead positions *in
+        term order* -- the subtraction sequence per position is part of
+        the bit-identity contract.  ``wanted`` as in :meth:`fold_max`
+        (unrestricted positions hold the unfinished total).
+        """
+        raise NotImplementedError
+
+    def baseline_scatter(
+        self,
+        groups: Sequence[Tuple[object, Sequence[MaskedValue]]],
+        n_vals: int,
+        is_max: bool,
+    ) -> Dict[object, List[float]]:
+        """All per-group baseline folds of one step in a single call.
+
+        Semantically ``{group: fold(masks, n_vals)}`` with the fold
+        picked by ``is_max``; a backend may share unpacked mask state
+        across groups (terms repeat dead masks freely) but each group's
+        output must equal its standalone fold bit for bit.
+        """
+        fold = self.fold_max if is_max else self.fold_sum
+        return {group: fold(masks, n_vals) for group, masks in groups}
+
+    # -- sampled batch statistics --------------------------------------------
+
+    def weighted_moments(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> Tuple[float, float, float]:
+        """``(Σ w·v, Σ w, Σ w·v·v)`` folded in 64-element blocks.
+
+        Element ``i`` contributes ``w*v``, ``w`` and ``w*v*v`` (left
+        associated) to its block's local accumulators; block sums then
+        combine left to right -- exactly the blocked accumulation of
+        ``SampledStepScorer._compute_batch_stats``.
+        """
+        raise NotImplementedError
+
+    # -- packed word-vector algebra ------------------------------------------
+
+    def fold_and(self, vectors: Sequence[Sequence[int]]) -> array:
+        """Bitwise AND across equal-length ``array('Q')`` word vectors."""
+        raise NotImplementedError
+
+    def fold_or(self, vectors: Sequence[Sequence[int]]) -> array:
+        """Bitwise OR across equal-length ``array('Q')`` word vectors."""
+        raise NotImplementedError
+
+    def popcount_blocks(self, words: Sequence[int]) -> List[int]:
+        """Set-bit count of each 64-bit word."""
+        raise NotImplementedError
+
+    def popcount(self, words: Sequence[int]) -> int:
+        """Total set bits across the word vector."""
+        raise NotImplementedError
+
+    # -- interned-arena monomial product -------------------------------------
+
+    def merge_monomials(
+        self,
+        first: Sequence[Tuple[int, int]],
+        second: Sequence[Tuple[int, int]],
+    ) -> Tuple[int, ...]:
+        """Merge two ann-id-sorted ``(id, exponent)`` runs, summing
+        shared exponents; returns the flat interleaved key tuple."""
+        raise NotImplementedError

@@ -1,0 +1,149 @@
+"""The pure-python reference backend.
+
+These are the exact loops the scorers ran inline before the kernel
+tier existed (PR 1's enumerating folds, PR 5's blocked batch
+statistics, PR 3's sorted-merge monomial product), extracted verbatim:
+the reference backend *defines* the bit-identity contract every other
+backend is tested against, so nothing here may be "improved" in a way
+that changes a single output bit.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+from .protocol import KernelBackend, MaskedValue
+
+
+class PythonKernel(KernelBackend):
+    """Unbounded-int bit tricks and C-level ``sum``/``array`` loops."""
+
+    name = "python"
+
+    # -- dead-mask folds -----------------------------------------------------
+
+    def fold_max(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+    ) -> List[float]:
+        out = [0.0] * n_vals
+        full_mask = (1 << n_vals) - 1
+        remaining = full_mask if wanted is None else wanted & full_mask
+        for value, dead in masks:
+            alive = ~dead & remaining
+            while alive:
+                bit = alive & -alive
+                out[bit.bit_length() - 1] = value
+                alive ^= bit
+            remaining &= dead
+            if not remaining:
+                break
+        return out
+
+    def fold_sum(
+        self,
+        masks: Sequence[MaskedValue],
+        n_vals: int,
+        wanted: Optional[int] = None,
+    ) -> List[float]:
+        total = sum(value for value, _ in masks)
+        out = [total] * n_vals
+        full_mask = (1 << n_vals) - 1
+        limit = full_mask if wanted is None else wanted & full_mask
+        for value, dead in masks:
+            dead &= limit
+            while dead:
+                bit = dead & -dead
+                out[bit.bit_length() - 1] -= value
+                dead ^= bit
+        return out
+
+    # -- sampled batch statistics --------------------------------------------
+
+    def weighted_moments(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> Tuple[float, float, float]:
+        succ = 0.0
+        weight_sum = 0.0
+        sumsq = 0.0
+        n = len(values)
+        for start in range(0, n, 64):
+            block_succ = 0.0
+            block_weight = 0.0
+            block_sumsq = 0.0
+            for index in range(start, min(start + 64, n)):
+                value = values[index]
+                weight = weights[index]
+                block_succ += weight * value
+                block_weight += weight
+                block_sumsq += weight * value * value
+            succ += block_succ
+            weight_sum += block_weight
+            sumsq += block_sumsq
+        return succ, weight_sum, sumsq
+
+    # -- packed word-vector algebra ------------------------------------------
+
+    def fold_and(self, vectors: Sequence[Sequence[int]]) -> array:
+        if not vectors:
+            raise ValueError("fold_and requires at least one vector")
+        acc = array("Q", vectors[0])
+        for words in vectors[1:]:
+            for index, word in enumerate(words):
+                acc[index] &= word
+        return acc
+
+    def fold_or(self, vectors: Sequence[Sequence[int]]) -> array:
+        if not vectors:
+            raise ValueError("fold_or requires at least one vector")
+        acc = array("Q", vectors[0])
+        for words in vectors[1:]:
+            for index, word in enumerate(words):
+                acc[index] |= word
+        return acc
+
+    def popcount_blocks(self, words: Sequence[int]) -> List[int]:
+        return [int(word).bit_count() for word in words]
+
+    def popcount(self, words: Sequence[int]) -> int:
+        total = 0
+        for word in words:
+            total += int(word).bit_count()
+        return total
+
+    # -- interned-arena monomial product -------------------------------------
+
+    def merge_monomials(
+        self,
+        first: Sequence[Tuple[int, int]],
+        second: Sequence[Tuple[int, int]],
+    ) -> Tuple[int, ...]:
+        flat: List[int] = []
+        i = j = 0
+        n_first, n_second = len(first), len(second)
+        while i < n_first and j < n_second:
+            ann_a, exp_a = first[i]
+            ann_b, exp_b = second[j]
+            if ann_a == ann_b:
+                flat.append(ann_a)
+                flat.append(exp_a + exp_b)
+                i += 1
+                j += 1
+            elif ann_a < ann_b:
+                flat.append(ann_a)
+                flat.append(exp_a)
+                i += 1
+            else:
+                flat.append(ann_b)
+                flat.append(exp_b)
+                j += 1
+        for ann_id, exponent in first[i:]:
+            flat.append(ann_id)
+            flat.append(exponent)
+        for ann_id, exponent in second[j:]:
+            flat.append(ann_id)
+            flat.append(exponent)
+        return tuple(flat)

@@ -58,7 +58,7 @@ from array import array
 from typing import Dict, List, Optional
 
 from ..provenance.annotations import AnnotationUniverse
-from ..provenance.tensor_sum import TensorSum
+from ..provenance.tensor_sum import TensorSum, Term
 from ..provenance.valuation_classes import ValuationClass
 from .combiners import DomainCombiners
 from .distance import DistanceComputer, DistanceEstimate
@@ -105,6 +105,13 @@ class SampledStepScorer(IncrementalStepScorer):
         # differential comparison (and replay in tests) possible.
         sample = computer.valuations.sample
         self._batch = [sample(draw_rng) for _ in range(max(1, batch_size))]
+        # Per-term dead-mask memo, valid for the scorer's lifetime
+        # because the batch is pinned (see :meth:`_derive_term_dead`).
+        self._term_dead_cache: Dict[Term, int] = {}
+        #: Count of dead masks actually derived (cache misses); the
+        #: mask-reuse regression test asserts this stays sub-linear in
+        #: steps x terms while the batch survives ``advance``.
+        self.mask_builds = 0
         super().__init__(computer, current, mapping, universe, sparse=sparse)
         self._compute_batch_stats()
 
@@ -152,6 +159,31 @@ class SampledStepScorer(IncrementalStepScorer):
                     self._mask[mask_key] |= bits
         self._n_words = (self.n_vals + 63) // 64
 
+    def _derive_term_dead(self) -> List[int]:
+        """Memoized per-term dead masks, keyed on term identity.
+
+        ``advance()`` rebuilds the whole term table, but with the batch
+        pinned the bit ↔ draw correspondence never moves, so a term's
+        dead mask is a pure function of the term itself: any term
+        mentioning a merged part (in its annotations *or* its guards)
+        is rewritten by ``apply_mapping`` into a different
+        :class:`~repro.provenance.tensor_sum.Term` value -- a cache
+        miss -- while untouched terms read exactly the same ``_mask``
+        entries as before and hit.  The enumerating scorers keep the
+        uncached base implementation: their valuation axis is rebuilt
+        per scorer, so there is nothing to carry.
+        """
+        cache = self._term_dead_cache
+        out: List[int] = []
+        for index, term in enumerate(self._terms):
+            dead = cache.get(term)
+            if dead is None:
+                dead = self._term_mask(index, self._mask)
+                cache[term] = dead
+                self.mask_builds += 1
+            out.append(dead)
+        return out
+
     def _estimate(self, distance_value: float) -> DistanceEstimate:
         max_error = self.computer.max_error
         normalized = (
@@ -189,6 +221,18 @@ class SampledStepScorer(IncrementalStepScorer):
         """Per-term dead bits in the ``array('Q')`` word layout."""
         return [self._pack(mask) for mask in self._term_dead]
 
+    def adopt_shared_weights(self, weights) -> None:
+        """Serve per-draw weights from a mapped shared-memory block.
+
+        Called by forked scoring workers after mapping the published
+        :class:`~repro.core.shm.SharedBatch`: the float64 view holds
+        the identical doubles the list held, indexing yields the same
+        python floats, so every downstream accumulation is bit for bit
+        unchanged -- the reads just stop touching (and dirtying) the
+        parent's copy-on-write list pages.
+        """
+        self._weights = weights
+
     def _compute_batch_stats(self) -> None:
         """Weighted mean/variance of the baseline's per-draw values.
 
@@ -202,17 +246,13 @@ class SampledStepScorer(IncrementalStepScorer):
         metric = self.val_func.metric
         baseline = self._baseline
         aligned = self._orig_aligned
-        succ = 0.0
-        weight_sum = 0.0
-        sumsq = 0.0
-        for start in range(0, self.n_vals, 64):
-            block_succ = 0.0
-            block_weight = 0.0
-            block_sumsq = 0.0
-            for index in range(start, min(start + 64, self.n_vals)):
-                orig_vec = aligned[index]
-                keys = orig_vec.keys() | baseline.keys()
-                value = metric(
+        values: List[float] = []
+        weights: List[float] = []
+        for index in range(self.n_vals):
+            orig_vec = aligned[index]
+            keys = orig_vec.keys() | baseline.keys()
+            values.append(
+                metric(
                     {key: orig_vec.get(key, 0.0) for key in keys},
                     {
                         key: (
@@ -221,13 +261,11 @@ class SampledStepScorer(IncrementalStepScorer):
                         for key in keys
                     },
                 )
-                weight = self.valuations[index].weight
-                block_succ += weight * value
-                block_weight += weight
-                block_sumsq += weight * value * value
-            succ += block_succ
-            weight_sum += block_weight
-            sumsq += block_sumsq
+            )
+            weights.append(self.valuations[index].weight)
+        succ, weight_sum, sumsq = self._kernel.weighted_moments(
+            values, weights
+        )
         mean = succ / weight_sum if weight_sum else 0.0
         #: Weighted mean baseline distance over the batch (raw value).
         self.batch_mean = mean

@@ -1,0 +1,343 @@
+"""Shared-memory publication for the parallel scoring tier.
+
+The fork-pool scoring path used to move data in two expensive ways:
+candidate detail results (per-valuation accumulator lists) were
+pickled back from every worker, and workers read step state through
+copy-on-write pages that refcount traffic steadily dirtied.  This
+module replaces both with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+* :class:`SharedMatrix` -- a float64 ``n_rows x n_cols`` matrix the
+  workers *write* (one row per candidate: the carry accumulators and
+  weighted-finished vectors) and the parent reads back, so the pickled
+  return payload shrinks to ``(candidate_index, size, distance)``
+  triples regardless of ``n_vals``.
+* :class:`SharedArena` -- the interned IR arena's flat columns
+  (NUL-separated name blob plus the three int64 monomial columns)
+  published once per parallel step; a worker maps them zero-copy
+  through :meth:`TermStore.from_buffers
+  <repro.provenance.ir.TermStore.from_buffers>` and installs the view
+  as its process-local global store, so worker-side arena reads never
+  touch (or dirty) the parent's python object graph.
+* :class:`SharedBatch` -- the sampled scorer's pinned batch in packed
+  form: per-draw weights plus the per-term dead-bit word rows.
+  Workers adopt the weight block in place of the scorer's COW list
+  (bit-identical: the same float64 values feed the same arithmetic).
+
+**Lifecycle.**  Segments are created by the parent only, immediately
+before a pool forks, and unlinked in the same ``finally`` that tears
+the pool down -- workers use the fork-inherited mappings and never
+attach by name, which keeps CPython's per-process resource tracker out
+of the picture.  A module-level registry plus an ``atexit`` hook
+backstop abnormal exits, and :func:`reap_stale_segments` sweeps
+``/dev/shm`` for segments whose creating process died without
+cleanup (names embed the creator pid for exactly this check).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import re
+import secrets
+from array import array
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+#: Leading token of every segment this module creates.
+SEGMENT_PREFIX = "prox-shm"
+
+_NAME_PATTERN = re.compile(
+    rf"^{SEGMENT_PREFIX}-(?P<pid>\d+)-[A-Za-z0-9]+-[0-9a-f]+$"
+)
+
+#: Segments created (and thus owned) by this process, by name.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _segment_name(tag: str) -> str:
+    """A collision-free segment name embedding the creator pid."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{tag}-{secrets.token_hex(4)}"
+
+
+def create_segment(tag: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create and register one owned segment of ``nbytes`` bytes."""
+    segment = shared_memory.SharedMemory(
+        name=_segment_name(tag), create=True, size=max(1, nbytes)
+    )
+    _LIVE_SEGMENTS[segment.name] = segment
+    return segment
+
+
+def destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one owned segment (idempotent)."""
+    _LIVE_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+    except BufferError:
+        # A view outlived its release() -- leave the mapping to process
+        # teardown but still remove the name from the filesystem.
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _cleanup_live_segments() -> None:
+    for segment in list(_LIVE_SEGMENTS.values()):
+        destroy_segment(segment)
+
+
+atexit.register(_cleanup_live_segments)
+
+
+def live_segment_names() -> List[str]:
+    """Names of the segments this process currently owns."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+def reap_stale_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Unlink segments whose creating process no longer exists.
+
+    Crash insurance for the rare paths the ``finally``/``atexit``
+    cleanup cannot cover (SIGKILL mid-step).  Only names matching this
+    module's pid-embedding pattern are considered, and only when
+    ``/proc/<pid>`` is gone; segments of live processes -- including
+    this one -- are never touched.  Safe to call from any process;
+    the engine runs one sweep before its first parallel step (see
+    :func:`reap_stale_segments_once`).
+    """
+    reaped: List[str] = []
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return reaped
+    for entry in entries:
+        match = _NAME_PATTERN.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group("pid"))
+        if pid == os.getpid() or os.path.exists(f"/proc/{pid}"):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except OSError:
+            continue
+        reaped.append(entry)
+    return reaped
+
+
+_REAPED = False
+
+
+def reap_stale_segments_once() -> List[str]:
+    """One stale-segment sweep per process, at first parallel use."""
+    global _REAPED
+    if _REAPED:
+        return []
+    _REAPED = True
+    try:
+        return reap_stale_segments()
+    except Exception:
+        return []
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+class SharedMatrix:
+    """A float64 ``n_rows x n_cols`` matrix in one shared segment.
+
+    The parent creates it before forking; workers write whole rows
+    through the inherited mapping (``MAP_SHARED``: stores are visible
+    to the parent immediately); the parent copies rows out *after* the
+    pool joins, so there is no concurrent reader.  Rows are disjoint
+    per candidate, so concurrent writers never overlap.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int, tag: str = "matrix"):
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.segment = create_segment(tag, n_rows * n_cols * 8)
+        self._view: Optional[memoryview] = None
+
+    def _floats(self) -> memoryview:
+        # Created lazily per process: the worker's first write builds
+        # its own cast over the inherited mapping.
+        if self._view is None:
+            count = self.n_rows * self.n_cols
+            self._view = memoryview(self.segment.buf)[: count * 8].cast("d")
+        return self._view
+
+    def write_row(self, row: int, values: Sequence[float]) -> None:
+        base = row * self.n_cols
+        self._floats()[base : base + self.n_cols] = array("d", values)
+
+    def row_list(self, row: int) -> List[float]:
+        base = row * self.n_cols
+        return self._floats()[base : base + self.n_cols].tolist()
+
+    def release(self) -> None:
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+
+    def destroy(self) -> None:
+        self.release()
+        destroy_segment(self.segment)
+
+
+class SharedArena:
+    """The IR arena's flat columns, published once per parallel step.
+
+    Layout (all block offsets 8-aligned)::
+
+        int64[4] header: names_bytes, n_pairs, n_bounds, n_sizes
+        bytes    NUL-separated annotation names (interner id order)
+        int64[]  pair data / bounds / sizes columns
+
+    :meth:`map_store` rebuilds a read-only
+    :class:`~repro.provenance.ir.TermStore` over the mapped blocks --
+    the same zero-copy path PR 8's snapshot restore uses -- without
+    copying a byte out of the segment.
+    """
+
+    _HEADER = 4 * 8
+
+    def __init__(self, segment: shared_memory.SharedMemory):
+        self.segment = segment
+        self._views: List[memoryview] = []
+
+    @classmethod
+    def publish(cls, store) -> "SharedArena":
+        """Snapshot ``store``'s columns into a fresh segment."""
+        names_blob = b"\x00".join(
+            name.encode("utf-8") for name in store.interner
+        )
+        pairs = array("q", store._pair_data)
+        bounds = array("q", store._bounds)
+        sizes = array("q", store._mono_sizes)
+        names_at = _align8(cls._HEADER)
+        pairs_at = _align8(names_at + len(names_blob))
+        bounds_at = pairs_at + 8 * len(pairs)
+        sizes_at = bounds_at + 8 * len(bounds)
+        segment = create_segment("arena", sizes_at + 8 * len(sizes))
+        buf = segment.buf
+        header = array(
+            "q", (len(names_blob), len(pairs), len(bounds), len(sizes))
+        )
+        buf[: cls._HEADER] = header.tobytes()
+        buf[names_at : names_at + len(names_blob)] = names_blob
+        buf[pairs_at:bounds_at] = pairs.tobytes()
+        buf[bounds_at:sizes_at] = bounds.tobytes()
+        buf[sizes_at : sizes_at + 8 * len(sizes)] = sizes.tobytes()
+        return cls(segment)
+
+    def map_store(self):
+        """A zero-copy :class:`TermStore` view over the mapped columns."""
+        from ..provenance.ir import TermStore
+
+        whole = memoryview(self.segment.buf)
+        self._views.append(whole)
+        names_bytes, n_pairs, n_bounds, n_sizes = whole[
+            : self._HEADER
+        ].cast("q")
+        names_at = _align8(self._HEADER)
+        pairs_at = _align8(names_at + names_bytes)
+        bounds_at = pairs_at + 8 * n_pairs
+        sizes_at = bounds_at + 8 * n_bounds
+        names_blob = bytes(whole[names_at : names_at + names_bytes])
+        pair_base = whole[pairs_at:bounds_at].cast("q")
+        bounds_base = whole[bounds_at:sizes_at].cast("q")
+        sizes_base = whole[sizes_at : sizes_at + 8 * n_sizes].cast("q")
+        self._views.extend((pair_base, bounds_base, sizes_base))
+        return TermStore.from_buffers(
+            names_blob, pair_base, bounds_base, sizes_base
+        )
+
+    def release(self) -> None:
+        for view in self._views:
+            view.release()
+        self._views = []
+
+    def destroy(self) -> None:
+        self.release()
+        destroy_segment(self.segment)
+
+
+class SharedBatch:
+    """A sampled scorer's pinned batch, packed into one segment.
+
+    Layout::
+
+        int64[3] header: n_vals, n_terms, n_words
+        float64[n_vals]            per-draw weights
+        uint64[n_terms x n_words]  per-term dead-bit word rows
+
+    Workers adopt the weight block in place of the scorer's weight
+    list (``SampledStepScorer.adopt_shared_weights``); the dead-bit
+    rows are the batch's canonical packed image, mapped on demand.
+    """
+
+    _HEADER = 3 * 8
+
+    def __init__(self, segment: shared_memory.SharedMemory):
+        self.segment = segment
+        self._views: List[memoryview] = []
+
+    @classmethod
+    def publish(cls, scorer) -> "SharedBatch":
+        """Snapshot ``scorer``'s packed batch into a fresh segment."""
+        weights = array("d", scorer._weights)
+        rows = scorer.packed_term_dead()
+        n_vals = len(weights)
+        n_terms = len(rows)
+        n_words = len(rows[0]) if rows else 0
+        weights_at = _align8(cls._HEADER)
+        rows_at = weights_at + 8 * n_vals
+        segment = create_segment("batch", rows_at + 8 * n_terms * n_words)
+        buf = segment.buf
+        buf[: cls._HEADER] = array("q", (n_vals, n_terms, n_words)).tobytes()
+        buf[weights_at:rows_at] = weights.tobytes()
+        at = rows_at
+        for row in rows:
+            buf[at : at + 8 * n_words] = row.tobytes()
+            at += 8 * n_words
+        return cls(segment)
+
+    def _header(self):
+        view = memoryview(self.segment.buf)
+        self._views.append(view)
+        n_vals, n_terms, n_words = view[: self._HEADER].cast("q")
+        return view, n_vals, n_terms, n_words
+
+    def weights_view(self) -> memoryview:
+        """Read-only float64 view of the per-draw weights."""
+        view, n_vals, _, _ = self._header()
+        weights_at = _align8(self._HEADER)
+        weights = view[weights_at : weights_at + 8 * n_vals].cast("d")
+        self._views.append(weights)
+        return weights
+
+    def term_dead_words(self) -> List[memoryview]:
+        """Zero-copy uint64 word rows, one per term."""
+        view, n_vals, n_terms, n_words = self._header()
+        rows_at = _align8(self._HEADER) + 8 * n_vals
+        rows: List[memoryview] = []
+        for index in range(n_terms):
+            at = rows_at + 8 * n_words * index
+            row = view[at : at + 8 * n_words].cast("Q")
+            self._views.append(row)
+            rows.append(row)
+        return rows
+
+    def release(self) -> None:
+        for view in self._views:
+            view.release()
+        self._views = []
+
+    def destroy(self) -> None:
+        self.release()
+        destroy_segment(self.segment)

@@ -24,6 +24,20 @@ def uptime_seconds() -> float:
     return time.monotonic() - _STARTED
 
 
+def _active_kernel() -> str:
+    """The active scoring kernel backend name.
+
+    Imported lazily: ``repro.core`` depends on this package, so the
+    reverse import must not run at module-initialization time.
+    """
+    try:
+        from ..core import kernels
+
+        return kernels.active_backend()
+    except Exception:
+        return "unknown"
+
+
 def health_payload(extra: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
     """The ``/healthz`` body: static process facts plus caller extras."""
     payload: Dict[str, object] = {
@@ -33,6 +47,7 @@ def health_payload(extra: Optional[Mapping[str, object]] = None) -> Dict[str, ob
         "python": sys.version.split()[0],
         "metrics_enabled": metrics.ENABLED,
         "tracing_enabled": tracing.is_enabled(),
+        "kernel": _active_kernel(),
         "metric_families": len(metrics.REGISTRY.names()),
         # Serving-tier aggregates: how many sessions this process holds
         # and how much arena growth they are (jointly) responsible for.

@@ -549,7 +549,7 @@ class TermStore:
         product = self._product_memo.get(key)
         if product is None:
             product = self.intern_monomial(
-                _merge_pair_runs(self.mono_pairs(left), self.mono_pairs(right))
+                _active_merge()(self.mono_pairs(left), self.mono_pairs(right))
             )
             self._product_memo[key] = product
         return product
@@ -709,6 +709,22 @@ class TermStore:
             for _ in range(coefficient):
                 total = semiring.plus(total, value)
         return total
+
+
+def _active_merge():
+    """The active kernel backend's sorted-merge monomial product.
+
+    Imported lazily: ``repro.core.kernels`` pulls in ``repro.core``,
+    which must not execute while this module is still initializing.
+    Falls back to the inline merge if the kernel tier is unavailable
+    (both produce identical tuples -- the kernel reference backend *is*
+    this function, extracted).
+    """
+    try:
+        from ..core import kernels
+    except Exception:
+        return _merge_pair_runs
+    return kernels.get_backend().merge_monomials
 
 
 def _merge_pair_runs(

@@ -1,0 +1,252 @@
+"""The kernel protocol's bit-identity contract, property-checked.
+
+Every op of the numpy backend must equal the pure-python reference
+backend *exactly* -- same floats (``==``, not ``approx``), same ints,
+same ordering -- on arbitrary inputs, including ragged tail blocks
+where ``n_vals`` is not a multiple of 64.  Plus the resolution layer:
+env-token mapping, graceful degrade, the context manager, and the
+info gauge.
+"""
+
+import logging
+from array import array
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.kernels import PythonKernel
+from repro.observability import metrics as _metrics
+
+REFERENCE = PythonKernel()
+
+try:
+    from repro.core.kernels.numpy_backend import NumpyKernel
+
+    NUMPY = NumpyKernel()
+except Exception:  # pragma: no cover - exercised only without numpy
+    NUMPY = None
+
+needs_numpy = pytest.mark.skipif(
+    NUMPY is None, reason="numpy backend unavailable"
+)
+
+# Finite doubles whose products/sums stay finite across a dozen terms.
+values = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+positive_weights = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def fold_cases(draw):
+    # Sizes straddle the 64-bit word boundary so ragged tail blocks,
+    # exact multiples and sub-word masks are all exercised.
+    n_vals = draw(st.integers(min_value=1, max_value=200))
+    n_terms = draw(st.integers(min_value=0, max_value=10))
+    masks = [
+        (draw(values), draw(st.integers(0, (1 << n_vals) - 1)))
+        for _ in range(n_terms)
+    ]
+    wanted = draw(
+        st.one_of(st.none(), st.integers(0, (1 << n_vals) - 1))
+    )
+    return n_vals, masks, wanted
+
+
+@st.composite
+def word_vectors(draw):
+    n_words = draw(st.integers(min_value=1, max_value=8))
+    n_vectors = draw(st.integers(min_value=1, max_value=6))
+    word = st.integers(min_value=0, max_value=(1 << 64) - 1)
+    return [
+        array("Q", [draw(word) for _ in range(n_words)])
+        for _ in range(n_vectors)
+    ]
+
+
+@st.composite
+def monomial_runs(draw):
+    def run():
+        ids = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=50), max_size=8
+                )
+            )
+        )
+        return [
+            (ann_id, draw(st.integers(min_value=1, max_value=5)))
+            for ann_id in ids
+        ]
+
+    return run(), run()
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None)
+@given(case=fold_cases())
+def test_fold_max_bit_identical(case):
+    n_vals, masks, wanted = case
+    # MAX folds consume masks in descending value order (the scorers
+    # presort every group); the contract is defined over that order.
+    masks = sorted(masks, key=lambda entry: -entry[0])
+    assert NUMPY.fold_max(masks, n_vals, wanted) == REFERENCE.fold_max(
+        masks, n_vals, wanted
+    )
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None)
+@given(case=fold_cases())
+def test_fold_sum_bit_identical(case):
+    n_vals, masks, wanted = case
+    assert NUMPY.fold_sum(masks, n_vals, wanted) == REFERENCE.fold_sum(
+        masks, n_vals, wanted
+    )
+
+
+@needs_numpy
+@settings(max_examples=60, deadline=None)
+@given(case=fold_cases(), is_max=st.booleans(), n_groups=st.integers(1, 4))
+def test_baseline_scatter_matches_standalone_folds(case, is_max, n_groups):
+    n_vals, masks, _ = case
+    if is_max:
+        masks = sorted(masks, key=lambda entry: -entry[0])
+    # Same masks under several group keys: the shared unpack memo must
+    # not leak state between groups.
+    groups = [(f"g{index}", masks) for index in range(n_groups)]
+    assert NUMPY.baseline_scatter(
+        groups, n_vals, is_max
+    ) == REFERENCE.baseline_scatter(groups, n_vals, is_max)
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None)
+@given(
+    pairs=st.lists(st.tuples(values, positive_weights), max_size=200)
+)
+def test_weighted_moments_bit_identical(pairs):
+    vals = [value for value, _ in pairs]
+    weights = [weight for _, weight in pairs]
+    assert NUMPY.weighted_moments(vals, weights) == REFERENCE.weighted_moments(
+        vals, weights
+    )
+
+
+@needs_numpy
+def test_weighted_moments_ragged_tail_blocks():
+    # Exact 64-block boundaries and every ragged width near them.
+    for n in (1, 63, 64, 65, 127, 128, 129, 200):
+        vals = [((index * 7919) % 101 - 50) / 3.0 for index in range(n)]
+        weights = [((index * 104729) % 97 + 1) / 11.0 for index in range(n)]
+        assert NUMPY.weighted_moments(
+            vals, weights
+        ) == REFERENCE.weighted_moments(vals, weights)
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None)
+@given(vectors=word_vectors())
+def test_word_algebra_bit_identical(vectors):
+    assert NUMPY.fold_and(vectors) == REFERENCE.fold_and(vectors)
+    assert NUMPY.fold_or(vectors) == REFERENCE.fold_or(vectors)
+    first = vectors[0]
+    assert NUMPY.popcount_blocks(first) == REFERENCE.popcount_blocks(first)
+    assert NUMPY.popcount(first) == REFERENCE.popcount(first)
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None)
+@given(runs=monomial_runs())
+def test_merge_monomials_bit_identical(runs):
+    first, second = runs
+    assert NUMPY.merge_monomials(first, second) == REFERENCE.merge_monomials(
+        first, second
+    )
+
+
+def test_fold_empty_vectors_raise():
+    with pytest.raises(ValueError):
+        REFERENCE.fold_and([])
+    with pytest.raises(ValueError):
+        REFERENCE.fold_or([])
+    if NUMPY is not None:
+        with pytest.raises(ValueError):
+            NUMPY.fold_and([])
+        with pytest.raises(ValueError):
+            NUMPY.fold_or([])
+
+
+# -- resolution & fallback ----------------------------------------------------
+
+
+def test_python_tokens_resolve_to_reference():
+    for token in ("python", "py", "reference", "off", "legacy", "0"):
+        with kernels.backend(token) as resolved:
+            assert resolved == kernels.MODE_PYTHON
+            assert kernels.get_backend() is not None
+            assert kernels.get_backend().name == "python"
+
+
+@needs_numpy
+def test_numpy_tokens_resolve_to_numpy():
+    for token in ("numpy", "np", "fast", "on", "1"):
+        with kernels.backend(token) as resolved:
+            assert resolved == kernels.MODE_NUMPY
+            assert kernels.get_backend().name == "numpy"
+
+
+@contextmanager
+def _captured_warnings():
+    """Records emitted on the kernels logger, capture-agnostic."""
+    records = []
+    handler = logging.Handler()
+    handler.emit = records.append
+    logger = logging.getLogger("repro.core.kernels")
+    logger.addHandler(handler)
+    try:
+        yield records
+    finally:
+        logger.removeHandler(handler)
+
+
+def test_unknown_token_warns_and_falls_back_to_auto():
+    before = kernels.active_backend()
+    with _captured_warnings() as records:
+        with kernels.backend("quantum") as resolved:
+            assert resolved in (kernels.MODE_PYTHON, kernels.MODE_NUMPY)
+    assert any("kernel_unknown" in r.getMessage() for r in records)
+    assert kernels.active_backend() == before
+
+
+def test_numpy_request_degrades_when_probe_fails(monkeypatch):
+    monkeypatch.setattr(kernels, "_NUMPY_BACKEND", False)
+    monkeypatch.setattr(kernels, "_NUMPY_ERROR", "ImportError: no numpy")
+    with _captured_warnings() as records:
+        with kernels.backend("numpy") as resolved:
+            assert resolved == kernels.MODE_PYTHON
+            assert kernels.get_backend().name == "python"
+    assert any("kernel_fallback" in r.getMessage() for r in records)
+
+
+def test_backend_context_restores_previous():
+    before = kernels.active_backend()
+    with kernels.backend("python"):
+        assert kernels.active_backend() == "python"
+        with kernels.backend("auto"):
+            pass
+        assert kernels.active_backend() == "python"
+    assert kernels.active_backend() == before
+
+
+def test_backend_gauge_tracks_active_backend():
+    rendered = _metrics.REGISTRY.render()
+    active = kernels.active_backend()
+    assert (
+        f'repro_kernel_backend{{backend="{active}"}} 1' in rendered
+    )
+    other = "python" if active == "numpy" else "numpy"
+    assert f'repro_kernel_backend{{backend="{other}"}} 0' in rendered

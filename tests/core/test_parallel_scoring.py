@@ -52,7 +52,32 @@ from repro.provenance import (
     Valuation,
 )
 
+from repro.core import kernels
+
 MONOIDS = {"MAX": MAX, "SUM": SUM, "COUNT": COUNT}
+
+KERNEL_AXIS = [
+    kernels.MODE_PYTHON,
+    pytest.param(
+        kernels.MODE_NUMPY,
+        marks=pytest.mark.skipif(
+            not kernels.numpy_available(), reason="numpy backend unavailable"
+        ),
+    ),
+]
+
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+
+
+@pytest.fixture(params=KERNEL_AXIS)
+def kernel(request):
+    """Run the test under each kernel backend (python x numpy)."""
+    with kernels.backend(request.param) as resolved:
+        assert resolved == request.param
+        yield resolved
 
 
 # -- instance generation -----------------------------------------------------------
@@ -225,7 +250,7 @@ def assert_all_paths_agree(problem):
 
 @pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
 @pytest.mark.parametrize("seed", [0, 7, 42])
-def test_differential_over_rng_grid(monoid_name, seed):
+def test_differential_over_rng_grid(monoid_name, seed, kernel):
     assert_all_paths_agree(random_problem(seed, MONOIDS[monoid_name]))
 
 
@@ -641,7 +666,7 @@ _ENGINE_KNOB_IDS = (
 @pytest.mark.parametrize("ir_mode", [_ir.MODE_LEGACY, _ir.MODE_IR])
 @pytest.mark.parametrize("knobs", _ENGINE_KNOBS, ids=_ENGINE_KNOB_IDS)
 @pytest.mark.parametrize("seed", [3, 9])
-def test_greedy_carry_bit_identical(seed, knobs, ir_mode):
+def test_greedy_carry_bit_identical(seed, knobs, ir_mode, kernel):
     """The carry axis of the differential grid: with cross-step
     candidate carry on, a greedy run must be *bit*-identical to the
     carry-off (seed) run -- same merges, sizes and exact distance
@@ -657,6 +682,27 @@ def test_greedy_carry_bit_identical(seed, knobs, ir_mode):
         off = _full_fingerprint(runner("off"))
         on = _full_fingerprint(runner("on"))
     assert on == off
+
+
+@needs_numpy
+@pytest.mark.parametrize("knobs", _ENGINE_KNOBS, ids=_ENGINE_KNOB_IDS)
+def test_greedy_run_bit_identical_across_kernels(knobs):
+    """The tentpole contract end-to-end: a full greedy run under the
+    numpy kernels reproduces the python-kernel run bit for bit -- same
+    merges, same sizes, same exact distance floats -- on every engine
+    path."""
+
+    def runner():
+        return Summarizer(
+            movielens_problem(3),
+            SummarizationConfig(w_dist=0.7, max_steps=6, seed=0, **knobs),
+        ).run()
+
+    with kernels.backend(kernels.MODE_PYTHON):
+        reference = _full_fingerprint(runner())
+    with kernels.backend(kernels.MODE_NUMPY):
+        vectorized = _full_fingerprint(runner())
+    assert vectorized == reference
 
 
 @pytest.mark.parametrize("monoid_name", sorted(MONOIDS))

@@ -43,6 +43,7 @@ from repro.core import (
     enumerate_candidates,
     virtual_summary,
 )
+from repro.core import kernels
 from repro.core.engine import _OverlayUniverse
 from repro.core.fast_distance import FastStepScorer
 from repro.provenance import (
@@ -163,6 +164,28 @@ def reference_sampled(problem, current, mapping, candidate, batch, seed):
 BATCH = 96
 SEED = 123
 
+KERNEL_AXIS = [
+    kernels.MODE_PYTHON,
+    pytest.param(
+        kernels.MODE_NUMPY,
+        marks=pytest.mark.skipif(
+            not kernels.numpy_available(), reason="numpy backend unavailable"
+        ),
+    ),
+]
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+
+
+@pytest.fixture(params=KERNEL_AXIS)
+def kernel(request):
+    """Run the test under each kernel backend (python x numpy)."""
+    with kernels.backend(request.param) as resolved:
+        assert resolved == request.param
+        yield resolved
+
 
 def step_state(problem):
     current = problem.expression
@@ -177,7 +200,7 @@ def step_state(problem):
 
 @pytest.mark.parametrize("seed", [0, 7, 42])
 @pytest.mark.parametrize("monoid_name", sorted(MONOIDS))
-def test_scorer_matches_reference_sampler_bit_identical(monoid_name, seed):
+def test_scorer_matches_reference_sampler_bit_identical(monoid_name, seed, kernel):
     problem = random_problem(seed, MONOIDS[monoid_name])
     computer = sampling_computer(problem, SEED, batch=BATCH)
     current, mapping, candidates = step_state(problem)
@@ -324,7 +347,7 @@ def test_engine_sampled_measurements_match_reference():
         assert scored.distance.value == reference.value
 
 
-def test_serial_and_parallel_sampled_runs_bit_identical():
+def test_serial_and_parallel_sampled_runs_bit_identical(kernel):
     problem = random_problem(6, SUM, n_terms=18)
     current, mapping, candidates = step_state(problem)
 
@@ -413,6 +436,64 @@ def test_engine_reuses_carried_batch_and_reports_it():
     assert engine.last_path == ScoringEngine.PATH_SAMPLED_INCREMENTAL
     assert engine.last_batch_reused
     assert engine._scorer._batch is first_batch
+
+
+def test_pinned_batch_masks_survive_advance():
+    """With the batch pinned, ``advance`` must not re-derive dead masks
+    for terms the merge left untouched -- the Term-keyed memo makes the
+    rebuild cost proportional to the merge, not to the whole table."""
+    problem = random_problem(8, SUM)
+    computer = sampling_computer(problem, SEED, batch=BATCH)
+    current, mapping, candidates = step_state(problem)
+    scorer = SampledStepScorer(computer, current, mapping, problem.universe)
+    first_builds = scorer.mask_builds
+    assert first_builds == len(scorer._terms)
+    for candidate in candidates:
+        scorer.score(candidate.parts)
+    assert scorer.mask_builds == first_builds, "scoring must not rebuild masks"
+    chosen, summary, current, mapping = apply_first(
+        problem, current, mapping, candidates
+    )
+    scorer.advance(chosen.parts, summary.name, current, mapping)
+    assert scorer._batch is not None
+    rebuilt = scorer.mask_builds - first_builds
+    assert rebuilt < len(scorer._terms), (
+        "advance re-derived masks for terms the merge did not rewrite"
+    )
+
+
+@needs_numpy
+def test_sampled_run_bit_identical_across_kernels():
+    def run():
+        problem = random_problem(6, SUM, n_terms=18)
+        return Summarizer(
+            problem,
+            SummarizationConfig(
+                w_dist=0.7,
+                max_steps=4,
+                seed=0,
+                max_enumerate=0,
+                distance_samples=BATCH,
+            ),
+        ).run()
+
+    def fingerprint(result):
+        return [
+            (
+                record.merged,
+                record.size_after,
+                None
+                if record.distance_after is None
+                else record.distance_after.value,
+            )
+            for record in result.steps
+        ]
+
+    with kernels.backend(kernels.MODE_PYTHON):
+        reference = fingerprint(run())
+    with kernels.backend(kernels.MODE_NUMPY):
+        vectorized = fingerprint(run())
+    assert vectorized == reference
 
 
 def test_stale_sampled_distances_are_lower_bounds():

@@ -1,0 +1,210 @@
+"""Shared-memory publication: round-trips, lifecycle, worker payloads.
+
+The shm tier is an execution-strategy change only -- published blocks
+must round-trip bit for bit, parallel selection must stay identical to
+serial, workers must return only index/size/distance triples, and no
+segment may outlive its step (or its process).
+"""
+
+import glob
+import logging
+import os
+import threading
+
+import pytest
+
+from repro.core import (
+    DistanceComputer,
+    MappingState,
+    ScoringEngine,
+    SummarizationConfig,
+    Summarizer,
+    enumerate_candidates,
+    shm,
+)
+from repro.core import engine as engine_module
+from repro.core.engine import fork_available
+from repro.datasets import MovieLensConfig, generate_movielens
+from repro.provenance import ir as _ir
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _shm_names():
+    return glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}-*")
+
+
+def test_shared_matrix_round_trips_rows():
+    matrix = shm.SharedMatrix(3, 5, "test")
+    try:
+        rows = [[float(row * 10 + col) / 7.0 for col in range(5)] for row in range(3)]
+        for index, row in enumerate(rows):
+            matrix.write_row(index, row)
+        for index, row in enumerate(rows):
+            assert matrix.row_list(index) == row
+    finally:
+        matrix.destroy()
+    assert matrix.segment.name not in shm.live_segment_names()
+
+
+def test_shared_arena_round_trips_term_store():
+    store = _ir.TermStore()
+    monos = []
+    for pairs in (
+        [("a", 1), ("b", 2)],
+        [("b", 1), ("c", 3)],
+        [("a", 2)],
+        [],
+    ):
+        monos.append(store.mono_from_name_pairs(pairs))
+    arena = shm.SharedArena.publish(store)
+    try:
+        mapped = arena.map_store()
+        assert mapped.n_monomials() == store.n_monomials()
+        assert list(mapped.interner) == list(store.interner)
+        for mono in monos:
+            assert mapped.mono_pairs(mono) == store.mono_pairs(mono)
+        # The product memo path works against the mapped columns too.
+        product = mapped.mono_product(monos[0], monos[1])
+        assert mapped.mono_pairs(product) == store.mono_pairs(
+            store.mono_product(monos[0], monos[1])
+        )
+    finally:
+        arena.destroy()
+    assert not _shm_names()
+
+
+def test_reap_stale_segments_skips_live_owners(tmp_path):
+    # A segment owned by this (live) process must never be reaped.
+    segment = shm.create_segment("reap", 64)
+    try:
+        assert shm.reap_stale_segments() == []
+        assert os.path.exists(f"/dev/shm/{segment.name}")
+    finally:
+        shm.destroy_segment(segment)
+    # A name carrying a dead pid is reaped.
+    stale = f"{shm.SEGMENT_PREFIX}-999999999-test-deadbeef"
+    path = f"/dev/shm/{stale}"
+    with open(path, "wb") as handle:
+        handle.write(b"\x00" * 16)
+    try:
+        assert stale in shm.reap_stale_segments()
+        assert not os.path.exists(path)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def _fingerprint(result):
+    return [
+        (
+            record.merged,
+            record.size_after,
+            None
+            if record.distance_after is None
+            else record.distance_after.value,
+        )
+        for record in result.steps
+    ]
+
+
+def _run(parallelism, **knobs):
+    problem = generate_movielens(
+        MovieLensConfig(n_users=12, n_movies=8, seed=3)
+    ).problem()
+    config = SummarizationConfig(
+        w_dist=0.7,
+        max_steps=4,
+        seed=0,
+        parallelism=parallelism,
+        parallel_threshold=1,
+        **knobs,
+    )
+    return Summarizer(problem, config).run()
+
+
+@needs_fork
+@pytest.mark.parametrize(
+    "knobs",
+    [
+        {},
+        {"incremental": "on"},
+        {"incremental": "on", "max_enumerate": 0, "distance_samples": 64},
+    ],
+    ids=["exact", "carry", "sampled"],
+)
+def test_parallel_shm_scoring_matches_serial_and_leaks_nothing(knobs):
+    parallel = _run(4, **knobs)
+    serial = _run(0, **knobs)
+    assert _fingerprint(parallel) == _fingerprint(serial)
+    assert not _shm_names()
+
+
+@needs_fork
+def test_workers_return_only_triples():
+    problem = generate_movielens(
+        MovieLensConfig(n_users=12, n_movies=8, seed=3)
+    ).problem()
+    computer = DistanceComputer(
+        problem.expression,
+        problem.valuations,
+        problem.val_func,
+        problem.combiners,
+        problem.universe,
+    )
+    engine = ScoringEngine(
+        problem,
+        SummarizationConfig(
+            w_dist=0.7, seed=0, parallelism=4, parallel_threshold=1
+        ),
+        computer,
+    )
+    current = problem.expression
+    mapping = MappingState(sorted(current.annotation_names()))
+    candidates = enumerate_candidates(
+        current, problem.universe, problem.constraint
+    )
+    assert candidates, "instance must produce candidates"
+    engine.measure(candidates, current, mapping)
+    payload = engine.last_worker_payload_bytes
+    assert payload >= 0, "no parallel step ran"
+    # Triples only: a few dozen bytes per candidate, never the
+    # n_vals-scaled accumulator payload the pickling path returned.
+    assert payload < 120 * len(candidates)
+
+
+@needs_fork
+def test_forced_parallelism_off_main_thread_degrades_to_serial(monkeypatch):
+    # Forking from a request-handler thread can snapshot a pool-queue
+    # semaphore held by a sibling thread and deadlock the worker (seen
+    # live against the serving tier), so the engine must fall back to
+    # serial scoring -- and say so -- instead of wedging the session.
+    monkeypatch.setattr(engine_module, "_FORK_UNSAFE_WARNED", False)
+    records = []
+    handler = logging.Handler()
+    handler.emit = records.append
+    logger = logging.getLogger("repro.core.engine")  # repro.<name> hierarchy
+    logger.addHandler(handler)
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = _run(2)
+        except BaseException as error:  # pragma: no cover - diagnostics
+            outcome["error"] = error
+
+    try:
+        thread = threading.Thread(target=run, name="handler-thread")
+        thread.start()
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "threaded parallel summarize hung"
+    finally:
+        logger.removeHandler(handler)
+    assert "error" not in outcome, outcome.get("error")
+    assert _fingerprint(outcome["result"]) == _fingerprint(_run(0))
+    assert any(
+        "parallel_fork_unsafe" in record.getMessage() for record in records
+    )
+    assert not _shm_names()

@@ -304,6 +304,70 @@ def test_score_candidates_spans_report_carry_partition(instrumentation_guard):
     assert any(carried > 0 for carried, _ in partitions[1:])
 
 
+# -- kernel backends ---------------------------------------------------------------
+
+
+def test_kernel_backend_golden_scrape(instrumentation_guard):
+    """The kernel info gauge renders in exposition format with one
+    sample per backend, 1 marking the active one."""
+    from repro.core import kernels
+
+    metrics.set_enabled(True)
+    kernels.publish_backend_metric()
+    scrape = metrics.REGISTRY.render()
+    assert (
+        "# HELP repro_kernel_backend Active scoring kernel backend "
+        "(info-style: 1 for the active backend).\n"
+        "# TYPE repro_kernel_backend gauge\n"
+    ) in scrape
+    active = kernels.active_backend()
+    other = "python" if active == "numpy" else "numpy"
+    assert f'repro_kernel_backend{{backend="{active}"}} 1' in scrape
+    assert f'repro_kernel_backend{{backend="{other}"}} 0' in scrape
+
+
+def test_score_candidates_spans_report_the_kernel(instrumentation_guard):
+    from repro.core import kernels
+
+    tracing.set_enabled(True)
+    tracing.take_trace()
+    result = _summarize()
+
+    root = tracing.take_trace()
+    steps = [child for child in root.children if child.name.startswith("step[")]
+    assert len(steps) >= result.n_steps
+    for child in steps[: result.n_steps]:
+        scoring = child.find("score_candidates")
+        assert scoring is not None
+        assert scoring.attributes["kernel"] == kernels.active_backend()
+
+
+def test_output_is_byte_identical_across_kernel_backends(
+    instrumentation_guard,
+):
+    """The kernel tier is an execution-strategy change only: with
+    instrumentation off OR on, the numpy backend's output is
+    byte-identical to the reference backend's, on the enumerated and
+    the sampled path."""
+    from repro.core import kernels
+
+    if not kernels.numpy_available():
+        pytest.skip("numpy backend unavailable")
+
+    for knobs in ({}, dict(max_enumerate=0, distance_samples=64)):
+        metrics.set_enabled(False)
+        tracing.set_enabled(False)
+        with kernels.backend(kernels.MODE_PYTHON):
+            baseline = _summarize(**knobs)
+        metrics.set_enabled(True)
+        tracing.set_enabled(True)
+        tracing.take_trace()
+        with kernels.backend(kernels.MODE_NUMPY):
+            instrumented = _summarize(**knobs)
+        tracing.take_trace()
+        assert _portable(instrumented) == _portable(baseline), knobs
+
+
 # -- streaming ingest & summary repair ---------------------------------------------
 
 

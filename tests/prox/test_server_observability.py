@@ -122,6 +122,29 @@ def test_healthz_reports_ir_state(server):
     assert payload["ir_arena_bytes"] >= 0
 
 
+def test_healthz_reports_kernel_backend(server):
+    from repro.core import kernels
+
+    _, _, raw = fetch(server, "GET", "/healthz")
+    payload = json.loads(raw)
+    assert payload["kernel"] in ("python", "numpy")
+    assert payload["kernel"] == kernels.active_backend()
+
+
+def test_metrics_scrape_includes_the_kernel_gauge(server):
+    """The kernel info gauge is present with a sample per backend (1 for
+    the active one) -- the CI probe greps for exactly this family."""
+    _, _, raw = fetch(server, "GET", "/metrics")
+    text = raw.decode("utf-8")
+    assert "# TYPE repro_kernel_backend gauge" in text
+    from repro.core import kernels
+
+    active = kernels.active_backend()
+    other = "python" if active == "numpy" else "numpy"
+    assert f'repro_kernel_backend{{backend="{active}"}} 1' in text
+    assert f'repro_kernel_backend{{backend="{other}"}} 0' in text
+
+
 @pytest.mark.skipif(not metrics.ENABLED, reason="metrics disabled via REPRO_METRICS")
 def test_ir_gauges_advance_after_a_summarization(server):
     from repro.provenance import ir
