@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Packed ``MaskTable`` construction vs. the seed bigint mask build.
+
+The seed scorers built per-annotation false masks as unbounded python
+ints: for every falsifying valuation, ``mask[key] |= 1 << index`` --
+quadratic bit-shuffling once batches reach hundreds of draws, and the
+single hottest slice of sampled-scorer construction.  The packed
+representation gathers the same false sets and hands them to the
+kernel's ``scatter_false_sets``, which writes ``array('Q')`` word rows
+into one contiguous table.
+
+This benchmark times the two constructions on identical false-set
+inputs (the gather itself -- python-side combiner walks -- is shared
+and excluded, so the ratio isolates the representation change), across
+batch sizes and annotation counts.  The JSON mirror lands in
+``benchmarks/results/mask_build.json`` and feeds the perf gate
+(``check_regression.py``): packed construction must beat the bigint
+build at vector-scale batches.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mask_build.py [--quick]
+        [--seed N] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import kernels  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "mask_build.txt"
+RESULTS_JSON_PATH = Path(__file__).parent / "results" / "mask_build.json"
+
+
+def false_entries(n_rows: int, n_vals: int, seed: int):
+    """Synthetic per-valuation false sets shaped like scorer input.
+
+    Each valuation falsifies a small handful of annotations (the
+    cancel-one classes falsify one; lifted guard semantics a few), so
+    rows-per-entry stays small while entries track the batch size.
+    """
+    rng = random.Random(seed)
+    entries = []
+    for index in range(n_vals):
+        rows = rng.sample(range(n_rows), rng.choice([1, 1, 2, 3]))
+        entries.append((rows, (index,)))
+    return entries
+
+
+def bigint_build(n_rows: int, entries, n_vals: int):
+    """The seed construction: ``mask[row] |= 1 << index`` bigints."""
+    masks = [0] * n_rows
+    for rows, positions in entries:
+        for position in positions:
+            bit = 1 << position
+            for row in rows:
+                masks[row] |= bit
+    return masks
+
+
+def time_best(repeats: int, build):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = build()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", "--smoke", dest="quick", action="store_true",
+        help="CI smoke: fewer sizes and repeats",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=0,
+        help="timing repeats per size (0 = auto: 5 full, 3 quick)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes = [(64, 256), (64, 1024)]
+    else:
+        sizes = [(64, 256), (64, 1024), (128, 4096), (256, 16384)]
+    repeats = args.repeats or (3 if args.quick else 5)
+
+    backend = kernels.get_backend()
+    rows = []
+    for n_rows, n_vals in sizes:
+        entries = false_entries(n_rows, n_vals, args.seed)
+        bigint_seconds, big_masks = time_best(
+            repeats, lambda: bigint_build(n_rows, entries, n_vals)
+        )
+        packed_seconds, table = time_best(
+            repeats,
+            lambda: backend.scatter_false_sets(n_rows, entries, n_vals),
+        )
+        # Representation equivalence, asserted on every sizing (the
+        # hypothesis suite proves it exhaustively; this is a tripwire).
+        if table.row_ints() != big_masks:
+            print(f"FAIL: packed rows != bigint masks at {n_rows}x{n_vals}")
+            return 1
+        rows.append(
+            {
+                "n_rows": n_rows,
+                "n_vals": n_vals,
+                "bigint_seconds": bigint_seconds,
+                "packed_seconds": packed_seconds,
+                "speedup": (
+                    bigint_seconds / packed_seconds if packed_seconds else None
+                ),
+            }
+        )
+
+    lines = [
+        f"instance: synthetic false-set scatter seed={args.seed} "
+        f"repeats={repeats} cores={os.cpu_count()} "
+        f"kernel={kernels.active_backend()}",
+        "",
+        f"{'rows':>6} {'n_vals':>7} {'bigint(s)':>11} {'packed(s)':>11} "
+        f"{'speedup':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_rows']:>6} {row['n_vals']:>7} "
+            f"{row['bigint_seconds']:>11.6f} {row['packed_seconds']:>11.6f} "
+            f"{row['speedup']:>8.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        "rows are asserted bit-identical between the two constructions "
+        "(tests/core/test_mask_table.py proves the property)"
+    )
+    body = "\n".join(lines)
+    print(body)
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(body + "\n")
+    print(f"\nwritten to {RESULTS_PATH}")
+
+    payload = {
+        "benchmark": "mask_build",
+        "quick": args.quick,
+        "kernel": kernels.active_backend(),
+        "instance": {
+            "workload": "synthetic-false-set-scatter",
+            "seed": args.seed,
+            "repeats": repeats,
+            "cores": os.cpu_count(),
+        },
+        "rows": rows,
+    }
+    RESULTS_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {RESULTS_JSON_PATH}")
+
+    if not args.quick:
+        for row in rows:
+            if row["n_vals"] >= 4096 and (row["speedup"] or 0.0) < 1.0:
+                print(
+                    f"FAIL: packed scatter {row['speedup']:.2f}x at "
+                    f"n_vals {row['n_vals']} -- slower than the bigint build"
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,8 +26,9 @@ profiler over the run and writes collapsed stacks + flamegraph JSON
 (``REPRO_PROFILE=<hz>`` overrides the sampling rate);
 ``REPRO_LOG_LEVEL`` / ``REPRO_TRACE`` / ``REPRO_METRICS`` control the
 structured-logging/tracing/metrics knobs everywhere, and
-``REPRO_KERNEL=python|numpy`` (or ``summarize --kernel``) selects the
-scoring kernel backend.  See docs/OPERATIONS.md for the full runbook.
+``REPRO_KERNEL=python|numpy|native`` (or ``summarize --kernel``)
+selects the scoring kernel backend.  See docs/OPERATIONS.md for the
+full runbook.
 """
 
 from __future__ import annotations
@@ -175,10 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument(
         "--kernel",
-        choices=("auto", "python", "numpy"),
+        choices=("auto", "python", "numpy", "native"),
         default="",
         help="scoring kernel backend (default: REPRO_KERNEL, else auto-"
-        "detect; numpy degrades to python with a warning if unavailable)",
+        "detect; native degrades to numpy, numpy to python, each with a "
+        "warning if unavailable)",
     )
 
     experiment = commands.add_parser("experiment", help="run a Chapter 6 experiment")

@@ -6,11 +6,14 @@ whole algorithm (and what Fig. 6.5 measures).  This module exploits
 three structural facts to collapse that product:
 
 1. The valuation class is fixed across the step, so each current
-   annotation's lifted truth values can be packed once into an integer
-   *bitmask* (bit ``v`` set ⇔ the annotation is false under valuation
-   ``v``).  A term is dead exactly when any of its annotations' bits
-   are set, so per-term aliveness across *all* valuations is a couple
-   of bitwise ORs.
+   annotation's lifted truth values can be packed once into a *bitmask
+   word row* -- a little-endian ``array('Q')`` vector, bit ``v`` set ⇔
+   the annotation is false under valuation ``v`` -- scattered for all
+   annotations at once into one contiguous
+   :class:`~repro.core.kernels.masktable.MaskTable` by the active
+   kernel backend.  A term is dead exactly when any of its
+   annotations' bits are set, so per-term aliveness across *all*
+   valuations is a couple of word-wise ORs.
 2. A candidate merge ``{a, b} → c`` changes aliveness only for terms
    containing ``a`` or ``b`` (with the OR combiner,
    ``mask(c) = mask(a) AND mask(b)``); every other group's aggregate is
@@ -48,11 +51,15 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from array import array
+
 from ..provenance.annotations import AnnotationUniverse
 from ..provenance.monoids import CountMonoid, MaxMonoid, SumMonoid
 from ..provenance.tensor_sum import Guard, TensorSum, Term
 from ..provenance.valuation_classes import ValuationClass
 from . import kernels
+from .kernels.masktable import WordRow
+from .kernels.protocol import MaskedValue
 from .combiners import DomainCombiners, OrCombiner
 from .distance import DistanceComputer, DistanceEstimate
 from .mapping import MappingState
@@ -127,12 +134,15 @@ class FastStepScorer:
         self._is_max = isinstance(self.monoid, MaxMonoid)
         self.valuations = self._step_valuations()
         self.n_vals = len(self.valuations)
-        self._full_mask = (1 << self.n_vals) - 1
         # The backend is captured once per scorer: a mid-step
         # ``kernels.set_backend`` never mixes backends within one
         # scorer's folds (results are bit-identical either way; this
         # just keeps the ``kernel=`` span attribute truthful).
         self._kernel = kernels.get_backend()
+        # Shared all-ones / all-zeros word rows (read-only by
+        # convention; never handed out for mutation).
+        self._full_row = kernels.full_row(self.n_vals)
+        self._zero_row = kernels.zero_row(self.n_vals)
 
         self._build_masks()
         self._build_terms()
@@ -167,16 +177,30 @@ class FastStepScorer:
         """
         return self.computer._original_result(index, valuation)
 
-    def _build_masks(self) -> None:
-        """Lifted false bitmask per current annotation (key space)."""
+    def _mask_rows(self) -> Dict[object, int]:
+        """Table-row index per annotation key, in expression order."""
         key = self._key
-        self._mask: Dict[object, int] = {
-            key(name): 0 for name in self.current.annotation_names()
-        }
+        row_of: Dict[object, int] = {}
+        for name in self.current.annotation_names():
+            mask_key = key(name)
+            if mask_key not in row_of:
+                row_of[mask_key] = len(row_of)
+        return row_of
+
+    def _build_masks(self) -> None:
+        """Lifted false word row per current annotation (key space).
+
+        The per-valuation false sets are gathered in python (they come
+        from the combiners' lifted semantics) and scattered into one
+        contiguous :class:`MaskTable` by the kernel backend;
+        ``self._mask`` maps each key to a zero-copy view of its row.
+        """
+        row_of = self._mask_rows()
         combiners = self.computer.combiners
         interner = self._interner
+        entries: List[Tuple[List[int], Tuple[int, ...]]] = []
         for index, valuation in enumerate(self.valuations):
-            bit = 1 << index
+            rows: List[int] = []
             for name in combiners.lifted_false_set(
                 valuation, self.mapping, self.universe
             ):
@@ -184,61 +208,85 @@ class FastStepScorer:
                 # outside the expression, which must not grow the
                 # interner.
                 mask_key = interner.lookup(name) if interner is not None else name
-                if mask_key is not None and mask_key in self._mask:
-                    self._mask[mask_key] |= bit
+                if mask_key is not None:
+                    row = row_of.get(mask_key)
+                    if row is not None:
+                        rows.append(row)
+            if rows:
+                entries.append((rows, (index,)))
+        table = self._kernel.scatter_false_sets(
+            len(row_of), entries, self.n_vals
+        )
+        self._mask: Dict[object, WordRow] = {
+            mask_key: table.row(row) for mask_key, row in row_of.items()
+        }
 
     def _term_mask(
         self,
         index: int,
-        mask_of: Mapping[object, int],
-        override_of: Optional[Mapping[object, int]] = None,
-    ) -> int:
+        mask_of: Mapping[object, WordRow],
+        override_of: Optional[Mapping[object, WordRow]] = None,
+    ) -> WordRow:
         """Valuations under which term ``index`` contributes nothing.
 
-        ``override_of`` layers a handful of substituted masks over
+        ``override_of`` layers a handful of substituted rows over
         ``mask_of`` without copying it (candidate scoring substitutes
-        only the merged annotations' masks).  Annotation and guard keys
+        only the merged annotations' rows).  Annotation and guard keys
         come pre-interned from ``_build_terms`` -- re-interning the same
         names for every scored candidate was a measurable slice of the
-        seed path.
+        seed path.  Single-operand folds return the operand itself:
+        callers treat dead rows as read-only, so aliasing is safe.
         """
-        dead = 0
+        rows: List[WordRow] = []
         if override_of is None:
             for mask_key in self._term_ann_keys[index]:
-                dead |= mask_of[mask_key]
+                rows.append(mask_of[mask_key])
         else:
             for mask_key in self._term_ann_keys[index]:
                 mask = override_of.get(mask_key)
-                dead |= mask_of[mask_key] if mask is None else mask
+                rows.append(mask_of[mask_key] if mask is None else mask)
         for guard_token, guard_keys in self._term_guard_keys[index]:
-            dead |= self._guard_mask(
-                guard_token, guard_keys, mask_of, override_of
+            rows.append(
+                self._guard_mask(guard_token, guard_keys, mask_of, override_of)
             )
-        return dead
+        if not rows:
+            return self._zero_row
+        if len(rows) == 1:
+            return rows[0]
+        return self._kernel.fold_or(rows)
 
     def _guard_mask(
         self,
         guard_token: Guard,
         guard_keys: Sequence[object],
-        mask_of: Mapping[object, int],
-        override_of: Optional[Mapping[object, int]] = None,
-    ) -> int:
+        mask_of: Mapping[object, WordRow],
+        override_of: Optional[Mapping[object, WordRow]] = None,
+    ) -> WordRow:
         compare = _COMPARE[guard_token.op]
         sat_alive = compare(guard_token.value, guard_token.threshold)
         sat_dead = compare(0.0, guard_token.threshold)
-        union = 0
+        if sat_alive and sat_dead:
+            return self._zero_row
+        if not sat_alive and not sat_dead:
+            return self._full_row
+        rows: List[WordRow] = []
         for mask_key in guard_keys:
             mask = (
                 override_of.get(mask_key) if override_of is not None else None
             )
-            union |= mask_of.get(mask_key, 0) if mask is None else mask
-        if sat_alive and sat_dead:
-            return 0
-        if sat_alive and not sat_dead:
+            if mask is None:
+                mask = mask_of.get(mask_key)
+            if mask is not None:
+                rows.append(mask)
+        if not rows:
+            union: WordRow = self._zero_row
+        elif len(rows) == 1:
+            union = rows[0]
+        else:
+            union = self._kernel.fold_or(rows)
+        if sat_alive:
             return union
-        if not sat_alive and sat_dead:
-            return ~union & self._full_mask
-        return self._full_mask
+        return self._kernel.fold_not(union, self.n_vals)
 
     def _build_terms(self) -> None:
         self._terms: List[Term] = list(self.current.terms)
@@ -253,7 +301,7 @@ class FastStepScorer:
             ]
             for term in self._terms
         ]
-        self._term_dead: List[int] = self._derive_term_dead()
+        self._term_dead: List[WordRow] = self._derive_term_dead()
         self._group_terms: Dict[Optional[str], List[int]] = {}
         self._ann_terms: Dict[object, List[int]] = {}
         key = self._key
@@ -274,9 +322,17 @@ class FastStepScorer:
             }
         else:
             self._group_order = self._group_terms
+        # Per-group ``(value, dead-row)`` operand lists plus each term's
+        # position, built lazily by ``_recompute_groups``: candidate
+        # scoring then copies the list and patches only the overridden
+        # positions instead of rebuilding every tuple per candidate.
+        # Terms and dead rows were just replaced, so start fresh.
+        self._group_mask_cache: Dict[
+            Optional[str], Tuple[List[MaskedValue], Dict[int, int]]
+        ] = {}
 
-    def _derive_term_dead(self) -> List[int]:
-        """Dead mask of every term under the current ``_mask`` table.
+    def _derive_term_dead(self) -> List[WordRow]:
+        """Dead row of every term under the current ``_mask`` table.
 
         Hook point: the sampled subclass memoizes per-term masks across
         ``advance()`` while its pinned batch survives (the batch fixes
@@ -291,17 +347,17 @@ class FastStepScorer:
     def _group_values(
         self,
         indexes: Sequence[int],
-        override: Optional[Mapping[int, int]] = None,
-        wanted: Optional[int] = None,
+        override: Optional[Mapping[int, WordRow]] = None,
+        wanted: Optional[WordRow] = None,
     ) -> List[float]:
         """Aggregate value of one group under every valuation.
 
-        ``override`` substitutes dead masks for (candidate-affected)
+        ``override`` substitutes dead rows for (candidate-affected)
         term indexes.  ``wanted`` restricts the fold to the valuation
-        positions in the bitmask: each position's value is independent
-        of every other position's, so the entries filled in are
-        bit-identical to a full fold's -- the rest stay 0.0 (MAX) or
-        hold the unfinished group total (SUM) and must not be read.
+        positions set in the word row: each position's value is
+        independent of every other position's, so the entries filled in
+        are bit-identical to a full fold's -- the rest stay 0.0 (MAX)
+        or hold the unfinished group total (SUM) and must not be read.
         """
         dead_of = self._term_dead
         if override is None:
@@ -316,7 +372,9 @@ class FastStepScorer:
         return self._fold_sum(masks, wanted)
 
     def _fold_max(
-        self, masks: List[Tuple[float, int]], wanted: Optional[int] = None
+        self,
+        masks: List[Tuple[float, WordRow]],
+        wanted: Optional[WordRow] = None,
     ) -> List[float]:
         """Per-valuation MAX; ``masks`` must arrive in descending value
         order (``_group_order`` keeps every group presorted), so each
@@ -324,14 +382,16 @@ class FastStepScorer:
         return self._kernel.fold_max(masks, self.n_vals, wanted)
 
     def _fold_sum(
-        self, masks: List[Tuple[float, int]], wanted: Optional[int] = None
+        self,
+        masks: List[Tuple[float, WordRow]],
+        wanted: Optional[WordRow] = None,
     ) -> List[float]:
         return self._kernel.fold_sum(masks, self.n_vals, wanted)
 
     def _group_values_at(
         self,
         indexes: Sequence[int],
-        override: Mapping[int, int],
+        override: Mapping[int, WordRow],
         positions: Sequence[int],
     ) -> List[float]:
         """Group aggregate at the requested positions only.
@@ -348,35 +408,48 @@ class FastStepScorer:
         out: List[float] = []
         if self._is_max:
             for position in positions:
-                bit = 1 << position
+                word = position >> 6
+                bit = 1 << (position & 63)
                 value = 0.0
                 for index in indexes:
                     mask = override.get(index)
                     if mask is None:
                         mask = dead_of[index]
-                    if not mask & bit:
+                    if not mask[word] & bit:
                         value = terms[index].value
                         break
                 out.append(value)
             return out
         total = sum(terms[index].value for index in indexes)
         for position in positions:
-            bit = 1 << position
+            word = position >> 6
+            bit = 1 << (position & 63)
             acc = total
             for index in indexes:
                 mask = override.get(index)
                 if mask is None:
                     mask = dead_of[index]
-                if mask & bit:
+                if mask[word] & bit:
                     acc -= terms[index].value
             out.append(acc)
         return out
 
     def _align_originals(self) -> List[Dict[Optional[str], float]]:
-        """Original vectors per valuation, in current-group coordinates."""
+        """Original vectors per valuation, in current-group coordinates.
+
+        Sampling with replacement repeats batch members; a repeated
+        member's original result is the same cached object, so its
+        vector is folded once and dict-copied per extra position (the
+        copies stay independent -- ``advance`` refolds them in place).
+        """
         aligned: List[Dict[Optional[str], float]] = []
         mapping = self.mapping
+        folded: Dict[int, Dict[Optional[str], float]] = {}
         for index, valuation in enumerate(self.valuations):
+            cached = folded.get(id(valuation))
+            if cached is not None:
+                aligned.append(dict(cached))
+                continue
             original = self._original_result(index, valuation)
             vector: Dict[Optional[str], float] = {}
             for key, aggregate in original.items():
@@ -386,6 +459,7 @@ class FastStepScorer:
                     vector[image] = self.monoid.combine(vector[image], value)
                 else:
                     vector[image] = value
+            folded[id(valuation)] = vector
             aligned.append(vector)
         return aligned
 
@@ -396,19 +470,21 @@ class FastStepScorer:
 
     def _candidate_state(
         self, parts: Sequence[str]
-    ) -> Tuple[FrozenSet[str], List[int], Dict[int, int], bool]:
+    ) -> Tuple[FrozenSet[str], List[int], Dict[int, WordRow], bool]:
         """Shared per-candidate precomputation: the merge's neighborhood.
 
         Returns the part set, the indexes of the terms the merge
-        touches, their substituted dead masks, and whether any part is
+        touches, their substituted dead rows, and whether any part is
         itself a group key (group-merge case).
         """
         part_set = frozenset(parts)
         key = self._key
         part_keys = [key(name) for name in parts]
-        merged_mask = self._full_mask
-        for part_key in part_keys:
-            merged_mask &= self._mask[part_key]
+        # OR combiner over 0/1 valuations: the merged annotation is
+        # false exactly where every part is, i.e. the AND of the rows.
+        merged_mask = self._kernel.fold_and(
+            [self._mask[part_key] for part_key in part_keys]
+        )
         # Overlay instead of copying the whole mask dict: the handful
         # of affected-term lookups below never justify an
         # O(annotations) copy per candidate.
@@ -499,6 +575,58 @@ class FastStepScorer:
             affected_groups[group] = self._group_order[group]
         return affected_groups
 
+    def _recompute_groups(
+        self,
+        parts: FrozenSet[str],
+        marker: str,
+        override: Mapping[int, WordRow],
+        group_merge: bool,
+    ) -> Dict[Optional[str], List[float]]:
+        """Disturbed groups' columns in one batched kernel call.
+
+        Equivalent to ``{group: _group_values(indexes, override)}``
+        over ``_affected_group_indexes`` -- the batching amortizes the
+        per-call kernel dispatch across the candidate's groups.
+        """
+        affected = self._affected_group_indexes(
+            parts, marker, override, group_merge
+        )
+        if not affected:
+            return {}
+        dead_of = self._term_dead
+        terms = self._terms
+        cache = self._group_mask_cache
+        group_order = self._group_order
+        batched: List[List[MaskedValue]] = []
+        for group, indexes in affected.items():
+            if indexes is group_order.get(group):
+                # Whole-group recompute: copy the cached operand list
+                # and patch just the overridden positions.
+                entry = cache.get(group)
+                if entry is None:
+                    pre = [(terms[i].value, dead_of[i]) for i in indexes]
+                    pos_of = {i: p for p, i in enumerate(indexes)}
+                    cache[group] = entry = (pre, pos_of)
+                pre, pos_of = entry
+                masks: Optional[List[MaskedValue]] = None
+                for i, row in override.items():
+                    position = pos_of.get(i)
+                    if position is not None:
+                        if masks is None:
+                            masks = list(pre)
+                        masks[position] = (terms[i].value, row)
+                batched.append(pre if masks is None else masks)
+            else:
+                # Marker/merged-group index lists are candidate-shaped.
+                batched.append(
+                    [
+                        (terms[i].value, override.get(i, dead_of[i]))
+                        for i in indexes
+                    ]
+                )
+        columns = self._kernel.group_fold(batched, self.n_vals, self._is_max)
+        return dict(zip(affected.keys(), columns))
+
     def _candidate_vectors(
         self,
         parts: FrozenSet[str],
@@ -506,12 +634,7 @@ class FastStepScorer:
         override: Mapping[int, int],
         group_merge: bool,
     ) -> List[Dict[Optional[str], float]]:
-        recomputed = {
-            group: self._group_values(indexes, override)
-            for group, indexes in self._affected_group_indexes(
-                parts, marker, override, group_merge
-            ).items()
-        }
+        recomputed = self._recompute_groups(parts, marker, override, group_merge)
         vectors: List[Dict[Optional[str], float]] = []
         for index in range(self.n_vals):
             vector: Dict[Optional[str], float] = {}
@@ -662,15 +785,21 @@ class IncrementalStepScorer(FastStepScorer):
         # a fresh _align_originals would.
         self._image: Dict[Optional[str], Optional[str]] = {}
         self._orig_lists: List[List[Tuple[Optional[str], float]]] = []
+        # Read-only entry lists: repeated batch members share one list
+        # (``advance`` only iterates them, never mutates).
+        listed: Dict[int, List[Tuple[Optional[str], float]]] = {}
         for index, valuation in enumerate(self.valuations):
-            original = self._original_result(index, valuation)
-            entries: List[Tuple[Optional[str], float]] = []
-            for key, aggregate in original.items():
-                entries.append((key, aggregate.finalized_value()))
-                if key not in self._image:
-                    self._image[key] = (
-                        self.mapping.get(key, key) if key is not None else None
-                    )
+            entries = listed.get(id(valuation))
+            if entries is None:
+                original = self._original_result(index, valuation)
+                entries = []
+                for key, aggregate in original.items():
+                    entries.append((key, aggregate.finalized_value()))
+                    if key not in self._image:
+                        self._image[key] = (
+                            self.mapping.get(key, key) if key is not None else None
+                        )
+                listed[id(valuation)] = entries
             self._orig_lists.append(entries)
 
         self._nonzero: List[Dict[Optional[str], float]] = []
@@ -692,17 +821,41 @@ class IncrementalStepScorer(FastStepScorer):
         for weight in self._weights:
             weight_sum += weight
         self._weight_sum: float = weight_sum
+        # Columnar float64 mirrors of the sparse dicts for the kernel
+        # ``sparse_scores`` path, built lazily (many candidates per step
+        # share them) and dropped by ``advance``/``adopt_shared_weights``.
+        # Dense columns encode an absent key as 0.0: subtracting or
+        # adding that coordinate is an IEEE identity, so the columnar
+        # walk is bit-identical to the dict walk it mirrors.
+        self._base_col: Optional[array] = None
+        self._weights_col: Optional[object] = None
+        self._zero_col: Optional[array] = None
+        self._nonzero_cols: Dict[object, array] = {}
+        self._orig_cols: Dict[object, array] = {}
         if self._sparse:
             self._build_nonzero()
 
     # -- sparse state ------------------------------------------------------------
 
     def _build_nonzero(self) -> None:
-        """Per-valuation nonzero metric contributions of the baseline."""
+        """Per-valuation nonzero metric contributions of the baseline.
+
+        A repeated batch member's baseline and original values are
+        position-independent (all its positions carry the same dead
+        bits), so its contributions are computed once and dict-copied
+        per extra position -- the copies must stay independent because
+        ``_refresh_contributions`` mutates them per position.
+        """
         contrib = self.val_func.metric_contrib
         self._nonzero = []
         self._nonzero_sum = []
+        built: Dict[int, Tuple[Dict[Optional[str], float], float]] = {}
         for index in range(self.n_vals):
+            cached = built.get(id(self.valuations[index]))
+            if cached is not None:
+                self._nonzero.append(dict(cached[0]))
+                self._nonzero_sum.append(cached[1])
+                continue
             orig_vec = self._orig_aligned[index]
             entries: Dict[Optional[str], float] = {}
             total = 0.0
@@ -715,6 +868,7 @@ class IncrementalStepScorer(FastStepScorer):
                 if value != 0.0:
                     entries[key] = value
                     total += value
+            built[id(self.valuations[index])] = (entries, total)
             self._nonzero.append(entries)
             self._nonzero_sum.append(total)
 
@@ -756,6 +910,63 @@ class IncrementalStepScorer(FastStepScorer):
             deltas.append(delta)
         return deltas
 
+    # -- sparse column mirrors ---------------------------------------------------
+
+    def _drop_sparse_columns(self) -> None:
+        """Invalidate the columnar mirrors (state they mirror changed)."""
+        self._base_col = None
+        self._nonzero_cols.clear()
+        self._orig_cols.clear()
+
+    def _sparse_base_col(self) -> array:
+        if self._base_col is None:
+            self._base_col = array("d", self._nonzero_sum)
+        return self._base_col
+
+    def _sparse_weights_col(self):
+        if self._weights_col is None:
+            weights = self._weights
+            if isinstance(weights, (array, memoryview)):
+                self._weights_col = weights
+            else:
+                self._weights_col = array("d", weights)
+        return self._weights_col
+
+    def _sparse_zero_col(self) -> array:
+        if self._zero_col is None:
+            self._zero_col = array("d", bytes(8 * self.n_vals))
+        return self._zero_col
+
+    def _nonzero_col(self, key: object) -> array:
+        """Dense column of one key's nonzero contributions (0.0 absent).
+
+        The nonzero dicts never store 0.0 (``value != 0.0`` gates the
+        insert), so the dense column and the dict agree exactly on
+        which coordinates carry a value.
+        """
+        col = self._nonzero_cols.get(key)
+        if col is None:
+            col = array("d", bytes(8 * self.n_vals))
+            nonzero_of = self._nonzero
+            for index in range(self.n_vals):
+                value = nonzero_of[index].get(key)
+                if value is not None:
+                    col[index] = value
+            self._nonzero_cols[key] = col
+        return col
+
+    def _orig_col(self, group: Optional[str]) -> array:
+        """Dense column of one group's aligned original values."""
+        col = self._orig_cols.get(group)
+        if col is None:
+            aligned = self._orig_aligned
+            col = array(
+                "d",
+                (aligned[index].get(group, 0.0) for index in range(self.n_vals)),
+            )
+            self._orig_cols[group] = col
+        return col
+
     # -- candidate scoring -------------------------------------------------------
 
     def score(self, parts: Sequence[str]) -> Tuple[int, DistanceEstimate]:
@@ -787,44 +998,78 @@ class IncrementalStepScorer(FastStepScorer):
     ) -> Tuple[int, DistanceEstimate, List[float], List[float]]:
         marker = self._MARKER
         part_set, affected, override, group_merge = self._candidate_state(parts)
-        recomputed = {
-            group: self._group_values(indexes, override)
-            for group, indexes in self._affected_group_indexes(
-                part_set, marker, override, group_merge
-            ).items()
-        }
-        contrib = self.val_func.metric_contrib
-        finish = self.val_func.metric_finish
-        weights = self._weights
-        nonzero_sum = self._nonzero_sum
-        nonzero_of = self._nonzero
+        recomputed = self._recompute_groups(
+            part_set, marker, override, group_merge
+        )
         excluded = list(part_set)
         excluded.extend(
             group for group in recomputed if group not in part_set
         )
-        total = 0.0
-        accs: List[float] = []
-        wf: List[float] = []
-        for index in range(self.n_vals):
-            orig_vec = self._orig_aligned[index]
-            nonzero = nonzero_of[index]
-            acc = nonzero_sum[index]
-            for key in excluded:
-                carried = nonzero.get(key)
-                if carried is not None:
-                    acc -= carried
+        kind = getattr(self.val_func, "contrib_kind", None)
+        if kind is not None:
+            # Columnar kernel path: same key walk per position as the
+            # dict loop below (excluded subtractions in ``excluded``
+            # order, then recomputed contribs in dict order), expressed
+            # over dense float64 columns so the backend runs it at C
+            # speed.  Absent coordinates are 0.0 -- IEEE identities
+            # under the subtraction -- keeping the result bit-identical.
+            minus = [self._nonzero_col(key) for key in excluded]
+            contribs: List[Tuple[Sequence[float], Sequence[float]]] = []
             for group, values in recomputed.items():
                 if group == marker:
-                    original = (
-                        self._fold_orig(index, part_set) if group_merge else 0.0
-                    )
+                    if group_merge:
+                        originals: Sequence[float] = array(
+                            "d",
+                            (
+                                self._fold_orig(index, part_set)
+                                for index in range(self.n_vals)
+                            ),
+                        )
+                    else:
+                        originals = self._sparse_zero_col()
                 else:
-                    original = orig_vec.get(group, 0.0)
-                acc += contrib(original, values[index])
-            accs.append(acc)
-            finished = weights[index] * finish(acc)
-            wf.append(finished)
-            total += finished
+                    originals = self._orig_col(group)
+                contribs.append((originals, values))
+            accs, wf, total = self._kernel.sparse_scores(
+                self._sparse_base_col(),
+                minus,
+                contribs,
+                self._sparse_weights_col(),
+                kind,
+            )
+        else:
+            # Reference dict walk: VAL-FUNCs without a ``contrib_kind``
+            # keep the original sparse loop.
+            contrib = self.val_func.metric_contrib
+            finish = self.val_func.metric_finish
+            weights = self._weights
+            nonzero_sum = self._nonzero_sum
+            nonzero_of = self._nonzero
+            total = 0.0
+            accs = []
+            wf = []
+            for index in range(self.n_vals):
+                orig_vec = self._orig_aligned[index]
+                nonzero = nonzero_of[index]
+                acc = nonzero_sum[index]
+                for key in excluded:
+                    carried = nonzero.get(key)
+                    if carried is not None:
+                        acc -= carried
+                for group, values in recomputed.items():
+                    if group == marker:
+                        original = (
+                            self._fold_orig(index, part_set)
+                            if group_merge
+                            else 0.0
+                        )
+                    else:
+                        original = orig_vec.get(group, 0.0)
+                    acc += contrib(original, values[index])
+                accs.append(acc)
+                finished = weights[index] * finish(acc)
+                wf.append(finished)
+                total += finished
         total_weight = self._weight_sum
         distance_value = total / total_weight if total_weight else 0.0
         estimate = self._estimate(distance_value)
@@ -929,13 +1174,13 @@ class IncrementalStepScorer(FastStepScorer):
         # sequence is unchanged, so the result stays bit-identical.
         key = self._key
         part_keys = [key(name) for name in parts]
-        wanted = 0
-        for index in positions:
-            wanted |= 1 << index
-        combined = 0
-        for part_key in part_keys:
-            combined |= self._mask[part_key]
-        if not combined & wanted and not any(
+        mask_of = self._mask
+        falsified = any(
+            mask_of[part_key][index >> 6] & (1 << (index & 63))
+            for index in positions
+            for part_key in part_keys
+        )
+        if not falsified and not any(
             part in self._group_terms for part in parts
         ):
             return self._score_positions_baseline(parts, part_keys, positions)
@@ -1096,9 +1341,11 @@ class IncrementalStepScorer(FastStepScorer):
         old_unaffected_size = self.current.size() - sum(
             self._terms[index].size() for index in old_affected
         )
-        merged_mask = self._full_mask
-        for name in parts:
-            merged_mask &= self._mask[key(name)]
+        # Fresh ``array('Q')`` (fold_and always copies): the merged row
+        # stays valid after the part rows' backing table is dropped.
+        merged_mask = self._kernel.fold_and(
+            [self._mask[key(name)] for name in parts]
+        )
         for name in parts:
             del self._mask[key(name)]
         self._mask[new_key] = merged_mask
@@ -1160,4 +1407,7 @@ class IncrementalStepScorer(FastStepScorer):
             refresh = set(touched_groups)
             refresh.add(new_name)
             self.last_delta = self._refresh_contributions(part_set, refresh)
+        # The nonzero dicts, their running sums and the aligned
+        # originals all moved; the columnar mirrors must follow.
+        self._drop_sparse_columns()
         self.steps_carried += 1

@@ -2,23 +2,32 @@
 
 Every hot fold of the scoring tier funnels through one of these ops,
 each defined over the same packed representations the scorers already
-use -- unbounded-int dead masks (bit ``i`` ⇔ valuation/draw position
-``i``), little-endian ``array('Q')`` word vectors, and ann-id-sorted
-monomial pair runs:
+use -- little-endian ``array('Q')`` word rows (bit ``i`` ⇔
+valuation/draw position ``i``, see
+:mod:`repro.core.kernels.masktable`) and ann-id-sorted monomial pair
+runs:
 
+* :meth:`~KernelBackend.scatter_false_sets` -- mask *construction*:
+  scatter lifted false sets into a contiguous :class:`MaskTable`
+  (the per-step precomputation of ``_build_masks``).
 * :meth:`~KernelBackend.fold_max` / :meth:`~KernelBackend.fold_sum` --
-  per-position group aggregates from ``(value, dead-mask)`` term lists
+  per-position group aggregates from ``(value, dead-row)`` term lists
   (the inner loop of ``FastStepScorer._group_values``).
 * :meth:`~KernelBackend.baseline_scatter` -- the per-group baseline
   fold over every group at once (step precomputation), so a backend
   can share unpacked mask state across groups.
+* :meth:`~KernelBackend.sparse_scores` -- the per-position sparse
+  candidate accumulation (base − excluded columns + recomputed
+  contribs, finished and weight-multiplied) for the decomposable
+  VAL-FUNCs tagged with a ``contrib_kind``.
 * :meth:`~KernelBackend.weighted_moments` -- the per-64-draw-block
   weighted sum / weight / sum-of-squares reduction behind the sampled
   batch statistics.
 * :meth:`~KernelBackend.fold_and` / :meth:`~KernelBackend.fold_or` /
+  :meth:`~KernelBackend.fold_not` /
   :meth:`~KernelBackend.popcount_blocks` /
-  :meth:`~KernelBackend.popcount` -- packed word-vector combinators
-  over ``array('Q')`` blocks (mask algebra, survivor counting).
+  :meth:`~KernelBackend.popcount` -- packed word-row combinators
+  (mask algebra, survivor counting).
 * :meth:`~KernelBackend.merge_monomials` -- the sorted-merge monomial
   product of the interned IR arena.
 
@@ -27,9 +36,11 @@ must equal the reference backend's to the last bit: same floats, same
 ints, same ordering.  Backends achieve that by preserving the exact
 IEEE operation sequence *per output position* (positions are mutually
 independent in every fold, so cross-position evaluation order is
-free).  The differential grids in ``tests/core/test_kernels.py``,
-``tests/core/test_sampled_scoring.py`` and
-``tests/core/test_parallel_scoring.py`` enforce the contract.
+free).  Mask rows are tail-clamped (bits ``>= n_vals`` zero) and the
+fold operands arrive tail-clamped; scatter outputs must be bit-for-bit
+equal as words.  The differential grids in
+``tests/core/test_kernels.py``, ``tests/core/test_sampled_scoring.py``
+and ``tests/core/test_parallel_scoring.py`` enforce the contract.
 """
 
 from __future__ import annotations
@@ -37,15 +48,47 @@ from __future__ import annotations
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: ``(term value, packed dead mask)`` -- one fold operand.
-MaskedValue = Tuple[float, int]
+from .masktable import MaskTable, WordRow
+
+#: ``(term value, packed dead-mask word row)`` -- one fold operand.
+MaskedValue = Tuple[float, WordRow]
+
+#: ``contrib_kind`` tags :meth:`KernelBackend.sparse_scores` accepts.
+#: ``sqdiff``  -- contrib ``d*d`` (d = orig − summ), finish
+#:               ``sqrt(t) if t > 0 else 0.0``  (EuclideanDistance);
+#: ``absdiff`` -- contrib ``abs(d)``, finish ``t if t > 0 else 0.0``
+#:               (AbsoluteDifference);
+#: ``isclose01`` -- contrib ``0.0 if isclose(o, s) else 1.0`` with
+#:               ``math.isclose`` semantics (rel_tol 1e-9, abs_tol 0),
+#:               finish ``0.0 if t == 0.0 else 1.0``  (Disagreement).
+SPARSE_KINDS = frozenset({"sqdiff", "absdiff", "isclose01"})
 
 
 class KernelBackend:
     """Abstract kernel backend; concrete backends override every op."""
 
-    #: Stable backend identifier (``"python"`` / ``"numpy"``).
+    #: Stable backend identifier (``"python"`` / ``"numpy"`` /
+    #: ``"native"``).
     name: str = "abstract"
+
+    # -- mask construction ---------------------------------------------------
+
+    def scatter_false_sets(
+        self,
+        n_rows: int,
+        entries: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        n_vals: int,
+    ) -> MaskTable:
+        """Scatter false sets into a fresh ``n_rows × n_words`` table.
+
+        Each entry is ``(row_indexes, positions)``: every listed row
+        gets every listed position bit set (OR into whatever earlier
+        entries wrote).  The enumerating scorer passes one entry per
+        valuation (``positions == [index]``); the sampled scorer one
+        entry per *distinct* drawn member carrying all its draw
+        positions.  The result is tail-clamped by construction.
+        """
+        raise NotImplementedError
 
     # -- dead-mask folds -----------------------------------------------------
 
@@ -53,15 +96,15 @@ class KernelBackend:
         self,
         masks: Sequence[MaskedValue],
         n_vals: int,
-        wanted: Optional[int] = None,
+        wanted: Optional[WordRow] = None,
     ) -> List[float]:
         """Per-position MAX of the alive values.
 
         ``masks`` must arrive in descending value order (the scorers
         keep groups presorted): each position takes the first value
-        whose mask leaves it alive, positions nobody covers stay 0.0.
-        ``wanted`` restricts the fold to the set positions of the
-        bitmask; other positions keep 0.0 and must not be read.
+        whose dead row leaves it alive, positions nobody covers stay
+        0.0.  ``wanted`` restricts the fold to the set positions of the
+        word row; other positions keep 0.0 and must not be read.
         """
         raise NotImplementedError
 
@@ -69,7 +112,7 @@ class KernelBackend:
         self,
         masks: Sequence[MaskedValue],
         n_vals: int,
-        wanted: Optional[int] = None,
+        wanted: Optional[WordRow] = None,
     ) -> List[float]:
         """Per-position SUM of the alive values.
 
@@ -91,11 +134,59 @@ class KernelBackend:
 
         Semantically ``{group: fold(masks, n_vals)}`` with the fold
         picked by ``is_max``; a backend may share unpacked mask state
-        across groups (terms repeat dead masks freely) but each group's
+        across groups (terms repeat dead rows freely) but each group's
         output must equal its standalone fold bit for bit.
         """
         fold = self.fold_max if is_max else self.fold_sum
         return {group: fold(masks, n_vals) for group, masks in groups}
+
+    def group_fold(
+        self,
+        groups: Sequence[Sequence[MaskedValue]],
+        n_vals: int,
+        is_max: bool,
+        wanted: Optional[WordRow] = None,
+    ) -> List[Sequence[float]]:
+        """All of one candidate's group folds in a single call.
+
+        Semantically ``[fold(masks, n_vals, wanted) for masks in
+        groups]`` with the fold picked by ``is_max``.  Candidate
+        scoring recomputes a handful of disturbed groups per candidate;
+        batching them through one kernel call amortizes the per-call
+        dispatch cost that dominates at small word counts.  Each
+        group's column must equal its standalone fold bit for bit;
+        backends may return any indexable float sequence (the native
+        backend hands back ``array('d')`` slices).
+        """
+        fold = self.fold_max if is_max else self.fold_sum
+        return [fold(masks, n_vals, wanted) for masks in groups]
+
+    # -- sparse candidate scoring --------------------------------------------
+
+    def sparse_scores(
+        self,
+        base: Sequence[float],
+        minus: Sequence[Sequence[float]],
+        contribs: Sequence[Tuple[Sequence[float], Sequence[float]]],
+        weights: Sequence[float],
+        kind: str,
+    ) -> Tuple[List[float], List[float], float]:
+        """Per-position sparse accumulation → ``(accs, wf, total)``.
+
+        Position ``i`` computes, in this exact IEEE order::
+
+            acc  = base[i] − minus[0][i] − minus[1][i] − …
+                 + contrib(orig[0][i], vals[0][i]) + …
+            wf_i = weights[i] * finish(acc)
+
+        with ``contrib``/``finish`` the closed forms named by ``kind``
+        (one of :data:`SPARSE_KINDS`); ``total`` is the left-to-right
+        sum of ``wf``.  The dense columns encode absence as 0.0 --
+        subtracting or adding an absent coordinate is an IEEE identity,
+        which is what makes the columnar form bit-identical to the
+        sparse dict walk it replaces.
+        """
+        raise NotImplementedError
 
     # -- sampled batch statistics --------------------------------------------
 
@@ -111,22 +202,26 @@ class KernelBackend:
         """
         raise NotImplementedError
 
-    # -- packed word-vector algebra ------------------------------------------
+    # -- packed word-row algebra ---------------------------------------------
 
-    def fold_and(self, vectors: Sequence[Sequence[int]]) -> array:
-        """Bitwise AND across equal-length ``array('Q')`` word vectors."""
+    def fold_and(self, vectors: Sequence[WordRow]) -> array:
+        """Bitwise AND across equal-length word rows."""
         raise NotImplementedError
 
-    def fold_or(self, vectors: Sequence[Sequence[int]]) -> array:
-        """Bitwise OR across equal-length ``array('Q')`` word vectors."""
+    def fold_or(self, vectors: Sequence[WordRow]) -> array:
+        """Bitwise OR across equal-length word rows."""
         raise NotImplementedError
 
-    def popcount_blocks(self, words: Sequence[int]) -> List[int]:
+    def fold_not(self, words: WordRow, n_vals: int) -> array:
+        """Bitwise complement of one row, tail-clamped to ``n_vals``."""
+        raise NotImplementedError
+
+    def popcount_blocks(self, words: WordRow) -> List[int]:
         """Set-bit count of each 64-bit word."""
         raise NotImplementedError
 
-    def popcount(self, words: Sequence[int]) -> int:
-        """Total set bits across the word vector."""
+    def popcount(self, words: WordRow) -> int:
+        """Total set bits across the word row."""
         raise NotImplementedError
 
     # -- interned-arena monomial product -------------------------------------

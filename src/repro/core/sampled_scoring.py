@@ -23,11 +23,11 @@ Monte-Carlo batch per step:
   independent per-candidate batches.
 * **The same packed kernel.**  Batch positions take the enumerated
   valuations' place: each current annotation's dead bits across the
-  batch pack into one unbounded integer -- internally a little-endian
-  vector of 64-bit words, i.e. ``array('Q')`` blocks with C-speed
-  bitwise kernels -- with the lifted false set computed once per
-  *distinct* drawn member (sampling with replacement repeats members;
-  their position bits OR in wholesale).  Per-term dead masks, per-group
+  batch pack into one little-endian ``array('Q')`` word row inside a
+  contiguous :class:`~repro.core.kernels.masktable.MaskTable`, with
+  the lifted false set computed once per *distinct* drawn member
+  (sampling with replacement repeats members; all of a member's draw
+  positions scatter in one entry).  Per-term dead masks, per-group
   baseline aggregates and the aligned original vectors are computed
   once per step, and a candidate touches only the terms containing its
   merged parts, exactly like the enumerating scorer.
@@ -63,6 +63,8 @@ from ..provenance.valuation_classes import ValuationClass
 from .combiners import DomainCombiners
 from .distance import DistanceComputer, DistanceEstimate
 from .fast_distance import FastStepScorer, IncrementalStepScorer
+from .kernels import MaskTable
+from .kernels.masktable import WordRow
 from .mapping import MappingState
 
 
@@ -105,13 +107,20 @@ class SampledStepScorer(IncrementalStepScorer):
         # differential comparison (and replay in tests) possible.
         sample = computer.valuations.sample
         self._batch = [sample(draw_rng) for _ in range(max(1, batch_size))]
-        # Per-term dead-mask memo, valid for the scorer's lifetime
+        # Per-term dead-row memo, valid for the scorer's lifetime
         # because the batch is pinned (see :meth:`_derive_term_dead`).
-        self._term_dead_cache: Dict[Term, int] = {}
+        self._term_dead_cache: Dict[Term, WordRow] = {}
         #: Count of dead masks actually derived (cache misses); the
         #: mask-reuse regression test asserts this stays sub-linear in
         #: steps x terms while the batch survives ``advance``.
         self.mask_builds = 0
+        #: Count of packed-view materializations (see
+        #: :meth:`packed_term_dead_table`); the re-packing regression
+        #: test asserts repeated reads within one step cost one build.
+        self.pack_builds = 0
+        self._packed_term_table: Optional[MaskTable] = None
+        self._packed_term_rows: Optional[List[WordRow]] = None
+        self._packed_mask_views: Optional[Dict[object, WordRow]] = None
         super().__init__(computer, current, mapping, universe, sparse=sparse)
         self._compute_batch_stats()
 
@@ -128,39 +137,50 @@ class SampledStepScorer(IncrementalStepScorer):
         return self.computer._original_for(valuation)
 
     def _build_masks(self) -> None:
-        """Dead-bit masks across the batch, one lift per distinct member.
+        """Dead-bit rows across the batch, one lift per distinct member.
 
         Identical output to the enumerating ``_build_masks`` (bit ``i``
         set ⇔ the annotation is false under batch position ``i``), but
         the lifted false set -- the expensive part -- is computed once
-        per distinct drawn valuation and its position mask ORed in
-        wholesale: sampling with replacement from a stored class
-        repeats member objects freely.
+        per distinct drawn valuation, and its scatter entry carries
+        *all* of that member's draw positions at once: sampling with
+        replacement from a stored class repeats member objects freely.
         """
-        key = self._key
-        self._mask: Dict[object, int] = {
-            key(name): 0 for name in self.current.annotation_names()
-        }
+        row_of = self._mask_rows()
         combiners = self.computer.combiners
         interner = self._interner
-        positions: Dict[int, int] = {}
+        positions: Dict[int, List[int]] = {}
         members: Dict[int, object] = {}
         for index, valuation in enumerate(self.valuations):
             ident = id(valuation)
-            positions[ident] = positions.get(ident, 0) | (1 << index)
-            members[ident] = valuation
+            bucket = positions.get(ident)
+            if bucket is None:
+                positions[ident] = [index]
+                members[ident] = valuation
+            else:
+                bucket.append(index)
+        entries = []
         for ident, valuation in members.items():
-            bits = positions[ident]
+            rows: List[int] = []
             for name in combiners.lifted_false_set(
                 valuation, self.mapping, self.universe
             ):
                 mask_key = interner.lookup(name) if interner is not None else name
-                if mask_key is not None and mask_key in self._mask:
-                    self._mask[mask_key] |= bits
-        self._n_words = (self.n_vals + 63) // 64
+                if mask_key is not None:
+                    row = row_of.get(mask_key)
+                    if row is not None:
+                        rows.append(row)
+            if rows:
+                entries.append((rows, positions[ident]))
+        table = self._kernel.scatter_false_sets(
+            len(row_of), entries, self.n_vals
+        )
+        self._mask: Dict[object, WordRow] = {
+            mask_key: table.row(row) for mask_key, row in row_of.items()
+        }
 
-    def _derive_term_dead(self) -> List[int]:
-        """Memoized per-term dead masks, keyed on term identity.
+    def _derive_term_dead(self) -> List[WordRow]:
+        """Memoized per-term dead rows, keyed on term identity.
 
         ``advance()`` rebuilds the whole term table, but with the batch
         pinned the bit ↔ draw correspondence never moves, so a term's
@@ -174,7 +194,7 @@ class SampledStepScorer(IncrementalStepScorer):
         per scorer, so there is nothing to carry.
         """
         cache = self._term_dead_cache
-        out: List[int] = []
+        out: List[WordRow] = []
         for index, term in enumerate(self._terms):
             dead = cache.get(term)
             if dead is None:
@@ -205,21 +225,49 @@ class SampledStepScorer(IncrementalStepScorer):
         """Number of drawn valuations shared by every candidate."""
         return self.n_vals
 
-    def _pack(self, mask: int) -> array:
-        """One dead-bit mask as little-endian 64-bit word blocks."""
-        return array("Q", mask.to_bytes(self._n_words * 8, "little"))
-
-    def packed_masks(self) -> Dict[object, array]:
+    def packed_masks(self) -> Dict[object, WordRow]:
         """Per-annotation dead bits in the ``array('Q')`` word layout.
 
         Word ``w`` bit ``b`` covers batch position ``64*w + b`` -- the
-        same blocking :meth:`_compute_batch_stats` folds over.
+        same blocking :meth:`_compute_batch_stats` folds over.  The
+        rows ARE the scorer's live mask rows (zero-copy, memoized per
+        step); treat them as read-only.
         """
-        return {key: self._pack(mask) for key, mask in self._mask.items()}
+        if self._packed_mask_views is None:
+            self._packed_mask_views = dict(self._mask)
+        return self._packed_mask_views
 
-    def packed_term_dead(self) -> List[array]:
-        """Per-term dead bits in the ``array('Q')`` word layout."""
-        return [self._pack(mask) for mask in self._term_dead]
+    def packed_term_dead_table(self) -> MaskTable:
+        """The per-term dead rows as one contiguous :class:`MaskTable`.
+
+        Built at most once per step (``advance`` invalidates): the
+        term-dead list mixes views into the step's mask table with
+        standalone merged rows, so the contiguous image -- what the
+        shared-memory batch snapshot blits wholesale -- is materialized
+        here and memoized.  ``pack_builds`` counts materializations.
+        """
+        if self._packed_term_table is None:
+            dead = self._term_dead
+            table = MaskTable(len(dead), self.n_vals)
+            words = table.words
+            n_words = table.n_words
+            for index, row in enumerate(dead):
+                words[index * n_words : (index + 1) * n_words] = array(
+                    "Q", row
+                )
+            self._packed_term_table = table
+            self.pack_builds += 1
+        return self._packed_term_table
+
+    def packed_term_dead(self) -> List[WordRow]:
+        """Per-term dead bits in the ``array('Q')`` word layout.
+
+        Zero-copy views into :meth:`packed_term_dead_table`, memoized
+        until the next ``advance``.
+        """
+        if self._packed_term_rows is None:
+            self._packed_term_rows = self.packed_term_dead_table().rows()
+        return self._packed_term_rows
 
     def adopt_shared_weights(self, weights) -> None:
         """Serve per-draw weights from a mapped shared-memory block.
@@ -232,6 +280,9 @@ class SampledStepScorer(IncrementalStepScorer):
         parent's copy-on-write list pages.
         """
         self._weights = weights
+        # The sparse kernel path caches the weights buffer it hands the
+        # backend; repoint it at the adopted block.
+        self._weights_col = None
 
     def _compute_batch_stats(self) -> None:
         """Weighted mean/variance of the baseline's per-draw values.
@@ -248,11 +299,16 @@ class SampledStepScorer(IncrementalStepScorer):
         aligned = self._orig_aligned
         values: List[float] = []
         weights: List[float] = []
+        # A repeated batch member's baseline and original values are
+        # position-independent, so its metric is evaluated once.
+        evaluated: Dict[int, float] = {}
         for index in range(self.n_vals):
-            orig_vec = aligned[index]
-            keys = orig_vec.keys() | baseline.keys()
-            values.append(
-                metric(
+            valuation = self.valuations[index]
+            value = evaluated.get(id(valuation))
+            if value is None:
+                orig_vec = aligned[index]
+                keys = orig_vec.keys() | baseline.keys()
+                value = metric(
                     {key: orig_vec.get(key, 0.0) for key in keys},
                     {
                         key: (
@@ -261,8 +317,9 @@ class SampledStepScorer(IncrementalStepScorer):
                         for key in keys
                     },
                 )
-            )
-            weights.append(self.valuations[index].weight)
+                evaluated[id(valuation)] = value
+            values.append(value)
+            weights.append(valuation.weight)
         succ, weight_sum, sumsq = self._kernel.weighted_moments(
             values, weights
         )
@@ -293,4 +350,9 @@ class SampledStepScorer(IncrementalStepScorer):
         constructs a fresh scorer.
         """
         super().advance(parts, new_name, new_expression, new_mapping)
+        # The term table (and possibly the mask dict) moved: the packed
+        # views must be re-materialized on next read.
+        self._packed_term_table = None
+        self._packed_term_rows = None
+        self._packed_mask_views = None
         self._compute_batch_stats()

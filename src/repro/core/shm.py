@@ -289,22 +289,34 @@ class SharedBatch:
 
     @classmethod
     def publish(cls, scorer) -> "SharedBatch":
-        """Snapshot ``scorer``'s packed batch into a fresh segment."""
+        """Snapshot ``scorer``'s packed batch into a fresh segment.
+
+        The sampled scorer exposes its dead rows as one contiguous
+        :class:`~repro.core.kernels.masktable.MaskTable`
+        (``packed_term_dead_table``), so the whole block blits in a
+        single ``tobytes``; scorers without the table fall back to
+        row-by-row copies of ``packed_term_dead()``.
+        """
         weights = array("d", scorer._weights)
-        rows = scorer.packed_term_dead()
         n_vals = len(weights)
-        n_terms = len(rows)
-        n_words = len(rows[0]) if rows else 0
+        table_of = getattr(scorer, "packed_term_dead_table", None)
+        if table_of is not None:
+            table = table_of()
+            n_terms = table.n_rows
+            n_words = table.n_words
+            payload = table.words.tobytes()
+        else:
+            rows = scorer.packed_term_dead()
+            n_terms = len(rows)
+            n_words = len(rows[0]) if rows else 0
+            payload = b"".join(row.tobytes() for row in rows)
         weights_at = _align8(cls._HEADER)
         rows_at = weights_at + 8 * n_vals
-        segment = create_segment("batch", rows_at + 8 * n_terms * n_words)
+        segment = create_segment("batch", rows_at + len(payload))
         buf = segment.buf
         buf[: cls._HEADER] = array("q", (n_vals, n_terms, n_words)).tobytes()
         buf[weights_at:rows_at] = weights.tobytes()
-        at = rows_at
-        for row in rows:
-            buf[at : at + 8 * n_words] = row.tobytes()
-            at += 8 * n_words
+        buf[rows_at : rows_at + len(payload)] = payload
         return cls(segment)
 
     def _header(self):

@@ -77,6 +77,14 @@ class VectorValFunc(ABC):
     #: to the dense per-candidate metric.
     decomposable: bool = False
 
+    #: Kernel tag for the decomposed contrib/finish pair, or ``None``.
+    #: A non-``None`` tag promises that ``metric_contrib`` /
+    #: ``metric_finish`` are *exactly* the closed forms the kernel
+    #: backends implement for that tag (IEEE-reproducible primitives
+    #: only: +, -, *, abs, sqrt, comparisons -- never libm ``pow``),
+    #: so vectorized scoring stays bit-identical to the python loop.
+    contrib_kind: Optional[str] = None
+
     def __init__(self, monoid: AggregationMonoid):
         self.monoid = monoid
 
@@ -132,14 +140,24 @@ class EuclideanDistance(VectorValFunc):
 
     name = "Euclidean Distance"
     decomposable = True
+    contrib_kind = "sqdiff"
+
+    # Squares are spelled ``delta * delta`` rather than ``delta ** 2``:
+    # CPython routes ``**`` through libm ``pow``, which is not
+    # correctly rounded on every platform, while IEEE multiplication is
+    # exact everywhere -- the only form python, numpy and C agree on
+    # bit-for-bit.
 
     def metric(self, original, summary) -> float:
-        return math.sqrt(
-            sum((original[key] - summary[key]) ** 2 for key in original)
-        )
+        total = 0.0
+        for key in original:
+            delta = original[key] - summary[key]
+            total += delta * delta
+        return math.sqrt(total)
 
     def metric_contrib(self, original: float, summary: float) -> float:
-        return (original - summary) ** 2
+        delta = original - summary
+        return delta * delta
 
     def metric_finish(self, total: float) -> float:
         return math.sqrt(total) if total > 0.0 else 0.0
@@ -154,6 +172,7 @@ class AbsoluteDifference(VectorValFunc):
 
     name = "Absolute Difference"
     decomposable = True
+    contrib_kind = "absdiff"
 
     def metric(self, original, summary) -> float:
         return sum(abs(original[key] - summary[key]) for key in original)
@@ -175,6 +194,7 @@ class Disagreement(VectorValFunc):
 
     name = "Disagreement"
     decomposable = True
+    contrib_kind = "isclose01"
 
     def metric(self, original, summary) -> float:
         return 0.0 if all(

@@ -64,6 +64,12 @@ KERNEL_AXIS = [
             not kernels.numpy_available(), reason="numpy backend unavailable"
         ),
     ),
+    pytest.param(
+        kernels.MODE_NATIVE,
+        marks=pytest.mark.skipif(
+            not kernels.native_available(), reason="native backend unavailable"
+        ),
+    ),
 ]
 
 
@@ -71,10 +77,14 @@ needs_numpy = pytest.mark.skipif(
     not kernels.numpy_available(), reason="numpy backend unavailable"
 )
 
+needs_native = pytest.mark.skipif(
+    not kernels.native_available(), reason="native backend unavailable"
+)
+
 
 @pytest.fixture(params=KERNEL_AXIS)
 def kernel(request):
-    """Run the test under each kernel backend (python x numpy)."""
+    """Run the test under each kernel backend (python x numpy x native)."""
     with kernels.backend(request.param) as resolved:
         assert resolved == request.param
         yield resolved
@@ -688,9 +698,10 @@ def test_greedy_carry_bit_identical(seed, knobs, ir_mode, kernel):
 @pytest.mark.parametrize("knobs", _ENGINE_KNOBS, ids=_ENGINE_KNOB_IDS)
 def test_greedy_run_bit_identical_across_kernels(knobs):
     """The tentpole contract end-to-end: a full greedy run under the
-    numpy kernels reproduces the python-kernel run bit for bit -- same
-    merges, same sizes, same exact distance floats -- on every engine
-    path."""
+    accelerated kernels reproduces the python-kernel run bit for bit --
+    same merges, same sizes, same exact distance floats -- on every
+    engine path.  The native backend joins the comparison whenever its
+    probe succeeds on this host."""
 
     def runner():
         return Summarizer(
@@ -703,6 +714,10 @@ def test_greedy_run_bit_identical_across_kernels(knobs):
     with kernels.backend(kernels.MODE_NUMPY):
         vectorized = _full_fingerprint(runner())
     assert vectorized == reference
+    if kernels.native_available():
+        with kernels.backend(kernels.MODE_NATIVE):
+            compiled = _full_fingerprint(runner())
+        assert compiled == reference
 
 
 @pytest.mark.parametrize("monoid_name", sorted(MONOIDS))

@@ -172,16 +172,26 @@ KERNEL_AXIS = [
             not kernels.numpy_available(), reason="numpy backend unavailable"
         ),
     ),
+    pytest.param(
+        kernels.MODE_NATIVE,
+        marks=pytest.mark.skipif(
+            not kernels.native_available(), reason="native backend unavailable"
+        ),
+    ),
 ]
 
 needs_numpy = pytest.mark.skipif(
     not kernels.numpy_available(), reason="numpy backend unavailable"
 )
 
+needs_native = pytest.mark.skipif(
+    not kernels.native_available(), reason="native backend unavailable"
+)
+
 
 @pytest.fixture(params=KERNEL_AXIS)
 def kernel(request):
-    """Run the test under each kernel backend (python x numpy)."""
+    """Run the test under each kernel backend (python x numpy x native)."""
     with kernels.backend(request.param) as resolved:
         assert resolved == request.param
         yield resolved
@@ -494,6 +504,10 @@ def test_sampled_run_bit_identical_across_kernels():
     with kernels.backend(kernels.MODE_NUMPY):
         vectorized = fingerprint(run())
     assert vectorized == reference
+    if kernels.native_available():
+        with kernels.backend(kernels.MODE_NATIVE):
+            compiled = fingerprint(run())
+        assert compiled == reference
 
 
 def test_stale_sampled_distances_are_lower_bounds():
@@ -534,14 +548,49 @@ def test_packed_views_round_trip_the_masks():
     packed = scorer.packed_masks()
     assert set(packed) == set(scorer._mask)
     for key, words in packed.items():
-        assert isinstance(words, array) and words.typecode == "Q"
         assert len(words) == n_words
-        assert int.from_bytes(words.tobytes(), "little") == scorer._mask[key]
+        assert kernels.row_int(words) == kernels.row_int(scorer._mask[key])
     term_packed = scorer.packed_term_dead()
     assert len(term_packed) == len(scorer._term_dead)
     for words, mask in zip(term_packed, scorer._term_dead):
         assert len(words) == n_words
-        assert int.from_bytes(words.tobytes(), "little") == mask
+        assert kernels.row_int(words) == kernels.row_int(mask)
+    # The contiguous table is the same bytes, row-major.
+    table = scorer.packed_term_dead_table()
+    assert table.n_rows == len(scorer._term_dead)
+    assert table.words.tobytes() == b"".join(
+        row.tobytes() for row in term_packed
+    )
+
+
+def test_packed_views_memoized_until_advance():
+    """Satellite: repeated packed reads within one step must not re-pack;
+    ``advance`` invalidates and the next read rebuilds exactly once."""
+    problem = random_problem(8, SUM)
+    computer = sampling_computer(problem, SEED, batch=BATCH)
+    current, mapping, candidates = step_state(problem)
+    scorer = SampledStepScorer(computer, current, mapping, problem.universe)
+    assert scorer.pack_builds == 0, "packing is lazy"
+    first_table = scorer.packed_term_dead_table()
+    first_rows = scorer.packed_term_dead()
+    first_masks = scorer.packed_masks()
+    for _ in range(5):
+        assert scorer.packed_term_dead_table() is first_table
+        assert scorer.packed_term_dead() is first_rows
+        assert scorer.packed_masks() is first_masks
+    assert scorer.pack_builds == 1
+    chosen, summary, current, mapping = apply_first(
+        problem, current, mapping, candidates
+    )
+    scorer.advance(chosen.parts, summary.name, current, mapping)
+    second_table = scorer.packed_term_dead_table()
+    assert second_table is not first_table
+    assert scorer.packed_term_dead_table() is second_table
+    assert scorer.pack_builds == 2
+    # The fresh views reflect the post-merge term table.
+    assert second_table.n_rows == len(scorer._term_dead)
+    for row, mask in zip(scorer.packed_term_dead(), scorer._term_dead):
+        assert kernels.row_int(row) == kernels.row_int(mask)
 
 
 def test_batch_stats_match_flat_weighted_fold():

@@ -127,7 +127,7 @@ def test_healthz_reports_kernel_backend(server):
 
     _, _, raw = fetch(server, "GET", "/healthz")
     payload = json.loads(raw)
-    assert payload["kernel"] in ("python", "numpy")
+    assert payload["kernel"] in ("python", "numpy", "native")
     assert payload["kernel"] == kernels.active_backend()
 
 
